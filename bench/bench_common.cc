@@ -1,0 +1,66 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace adrdedup::bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("ADRDEDUP_BENCH_SCALE");
+    if (env == nullptr) return 0.1;
+    const double value = std::atof(env);
+    if (value <= 0.0) return 0.1;
+    return std::clamp(value, 0.001, 10.0);
+  }();
+  return scale;
+}
+
+size_t Scaled(size_t paper_size, size_t minimum) {
+  const auto scaled =
+      static_cast<size_t>(static_cast<double>(paper_size) * BenchScale());
+  return std::max(minimum, scaled);
+}
+
+const Workload& SharedWorkload() {
+  static Workload* workload = [] {
+    auto* w = new Workload();
+    datagen::GeneratorConfig config;  // paper Table 3 defaults
+    w->corpus = datagen::GenerateCorpus(config);
+    util::ThreadPool pool(4);
+    w->features = distance::ExtractAllFeatures(w->corpus.db, {}, &pool);
+    return w;
+  }();
+  return *workload;
+}
+
+distance::LabeledPairDatasets MakeDatasets(size_t train_pairs,
+                                           size_t test_pairs,
+                                           uint64_t seed) {
+  distance::DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_training_pairs = train_pairs;
+  spec.num_testing_pairs = test_pairs;
+  return BuildDatasets(SharedWorkload().corpus, SharedWorkload().features,
+                       spec);
+}
+
+std::vector<int8_t> LabelsOf(const distance::PairDataset& dataset) {
+  std::vector<int8_t> labels;
+  labels.reserve(dataset.pairs.size());
+  for (const auto& pair : dataset.pairs) labels.push_back(pair.label);
+  return labels;
+}
+
+void PrintBanner(const std::string& experiment,
+                 const std::string& paper_reference) {
+  std::cout << "==============================================\n"
+            << experiment << "\n"
+            << "reproduces: " << paper_reference << "\n"
+            << "workload scale: " << BenchScale()
+            << " of the paper's pair counts"
+            << " (ADRDEDUP_BENCH_SCALE to change)\n"
+            << "==============================================\n";
+}
+
+}  // namespace adrdedup::bench

@@ -1,0 +1,56 @@
+// Shared scaffolding for the per-figure/per-table experiment harnesses.
+//
+// Every bench reproduces one table or figure of the paper's Section 5 at
+// a configurable fraction of the published workload sizes: the authors
+// ran on a 14-node cluster; we run on one machine, so pair counts are
+// multiplied by ADRDEDUP_BENCH_SCALE (default 0.1; set to 1 for the
+// paper-size runs). Counts, ratios and AUPR are size-normalized, so the
+// reported shapes are comparable at any scale; every binary prints the
+// scale it ran at.
+#ifndef ADRDEDUP_BENCH_BENCH_COMMON_H_
+#define ADRDEDUP_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "distance/report_features.h"
+#include "eval/table_printer.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace adrdedup::bench {
+
+// Scale factor from ADRDEDUP_BENCH_SCALE (clamped to [0.001, 10]).
+double BenchScale();
+
+// paper_size * scale, at least `minimum`.
+size_t Scaled(size_t paper_size, size_t minimum = 1);
+
+struct Workload {
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+};
+
+// The full Table-3 corpus (10,382 reports, 286 duplicate pairs) with
+// extracted features, built once per process.
+const Workload& SharedWorkload();
+
+// Labelled train/test pair datasets over the shared workload.
+distance::LabeledPairDatasets MakeDatasets(size_t train_pairs,
+                                           size_t test_pairs,
+                                           uint64_t seed = 7);
+
+// Extracts labels for metric computation.
+std::vector<int8_t> LabelsOf(const distance::PairDataset& dataset);
+
+// Prints the standard bench banner.
+void PrintBanner(const std::string& experiment,
+                 const std::string& paper_reference);
+
+}  // namespace adrdedup::bench
+
+#endif  // ADRDEDUP_BENCH_BENCH_COMMON_H_

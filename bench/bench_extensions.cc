@@ -1,0 +1,213 @@
+// Benches for the post-paper extensions:
+//   E1. Blocking methods — candidate-set reduction vs duplicate recall
+//       (key blocking, sorted neighbourhood, prefix-filtered token
+//       index) against the quadratic pair universe.
+//   E2. Baseline round-up — AUPR of Fast kNN vs SVM vs Fellegi-Sunter
+//       vs class-weighted kNN on one dataset.
+//   E3. Active learning — AUPR vs labels queried, uncertainty vs random.
+//   E4. Learned f(theta) — pruning ratio of the learned halo vs the
+//       paper's manual grid.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "blocking/blocking.h"
+#include "blocking/sorted_neighbourhood.h"
+#include "blocking/token_index.h"
+#include "core/active_learning.h"
+#include "core/fast_knn.h"
+#include "core/test_set_pruner.h"
+#include "eval/metrics.h"
+#include "ml/fellegi_sunter.h"
+#include "ml/svm.h"
+
+namespace adrdedup::bench {
+namespace {
+
+void BenchBlocking() {
+  eval::PrintSection(&std::cout,
+                     "E1: candidate generation (10,382-report corpus)");
+  const auto& workload = SharedWorkload();
+  const auto& features = workload.features;
+  eval::TablePrinter table(
+      &std::cout, {"method", "candidate pairs", "reduction ratio",
+                   "duplicate recall"});
+
+  auto add_row = [&](const std::string& name,
+                     const std::vector<distance::ReportPair>& pairs) {
+    table.AddRow(
+        {name, std::to_string(pairs.size()),
+         eval::TablePrinter::Num(
+             blocking::ReductionRatio(pairs.size(), features.size()), 4),
+         eval::TablePrinter::Num(
+             blocking::PairCompleteness(pairs,
+                                        workload.corpus.duplicate_pairs),
+             3)});
+  };
+
+  blocking::BlockingOptions drug_only;
+  drug_only.keys = {blocking::BlockingKey::kDrugToken};
+  add_row("key blocking: drug",
+          GenerateCandidates(features, drug_only).pairs);
+
+  blocking::BlockingOptions drug_adr;
+  drug_adr.keys = {blocking::BlockingKey::kDrugToken,
+                   blocking::BlockingKey::kAdrToken};
+  add_row("key blocking: drug+adr",
+          GenerateCandidates(features, drug_adr).pairs);
+
+  blocking::SortedNeighbourhoodOptions snm;
+  snm.window = 10;
+  snm.passes = 3;
+  add_row("sorted neighbourhood w=10 p=3",
+          SortedNeighbourhoodCandidates(features, snm));
+
+  blocking::TokenIndexOptions token_index;
+  token_index.jaccard_threshold = 0.5;
+  add_row("token prefix index t=0.5",
+          DescriptionOverlapCandidates(features, token_index).pairs);
+
+  table.Print();
+  const double universe = 0.5 * static_cast<double>(features.size()) *
+                          static_cast<double>(features.size() - 1);
+  std::cout << "full pair universe: "
+            << static_cast<uint64_t>(universe) << " pairs\n";
+}
+
+void BenchBaselines(const distance::LabeledPairDatasets& data,
+                    minispark::SparkContext* ctx) {
+  eval::PrintSection(&std::cout, "E2: baseline round-up (AUPR)");
+  const auto labels = LabelsOf(data.test);
+  eval::TablePrinter table(&std::cout, {"classifier", "AUPR"});
+
+  core::FastKnnOptions knn_options;
+  knn_options.k = 9;
+  knn_options.num_clusters = 32;
+  core::FastKnnClassifier knn(knn_options);
+  knn.Fit(data.train.pairs, &ctx->pool());
+  table.AddRow({"Fast kNN (paper)",
+                eval::TablePrinter::Num(
+                    eval::Aupr(knn.ScoreAllSpark(ctx, data.test.pairs),
+                               labels),
+                    3)});
+
+  core::FastKnnOptions weighted_options = knn_options;
+  weighted_options.positive_weight = 5.0;
+  core::FastKnnClassifier weighted(weighted_options);
+  weighted.Fit(data.train.pairs, &ctx->pool());
+  table.AddRow({"Fast kNN, class weight 5 [14]",
+                eval::TablePrinter::Num(
+                    eval::Aupr(weighted.ScoreAllSpark(ctx, data.test.pairs),
+                               labels),
+                    3)});
+
+  ml::SvmClassifier svm(ml::SvmOptions{});
+  svm.Fit(data.train.pairs);
+  table.AddRow({"linear SVM (averaged Pegasos)",
+                eval::TablePrinter::Num(
+                    eval::Aupr(svm.ScoreAll(data.test.pairs), labels), 3)});
+
+  ml::FellegiSunterClassifier fs(ml::FellegiSunterOptions{});
+  fs.Fit(data.train.pairs);
+  table.AddRow({"Fellegi-Sunter [16]",
+                eval::TablePrinter::Num(
+                    eval::Aupr(fs.ScoreAll(data.test.pairs), labels), 3)});
+  table.Print();
+}
+
+void BenchActiveLearning(const distance::LabeledPairDatasets& data) {
+  eval::PrintSection(&std::cout,
+                     "E3: active learning — AUPR vs labels queried [20]");
+  const auto labels = LabelsOf(data.test);
+  eval::TablePrinter table(
+      &std::cout,
+      {"labels", "uncertainty AUPR", "random AUPR"});
+
+  auto curve = [&](core::QueryStrategy strategy) {
+    std::vector<std::pair<size_t, double>> points;
+    core::ActiveLearningOptions options;
+    options.strategy = strategy;
+    options.initial_labels = 400;
+    options.batch_size = 100;
+    options.rounds = 5;
+    options.knn.num_clusters = 16;
+    RunActiveLearning(
+        data.train.pairs,
+        [](const distance::LabeledPair& pair) { return pair.label; },
+        options,
+        [&](size_t, size_t labels_used,
+            const core::FastKnnClassifier& classifier) {
+          std::vector<double> scores;
+          for (const auto& pair : data.test.pairs) {
+            scores.push_back(classifier.Score(pair.vector));
+          }
+          points.emplace_back(labels_used, eval::Aupr(scores, labels));
+        });
+    return points;
+  };
+
+  const auto uncertain = curve(core::QueryStrategy::kUncertainty);
+  const auto random = curve(core::QueryStrategy::kRandom);
+  for (size_t i = 0; i < uncertain.size(); ++i) {
+    table.AddRow({std::to_string(uncertain[i].first),
+                  eval::TablePrinter::Num(uncertain[i].second, 3),
+                  eval::TablePrinter::Num(random[i].second, 3)});
+  }
+  table.Print();
+}
+
+void BenchLearnedFTheta(const distance::LabeledPairDatasets& data) {
+  eval::PrintSection(
+      &std::cout, "E4: learned f(theta) vs manual grid (paper future work)");
+  std::vector<distance::LabeledPair> train_positives;
+  for (const auto& pair : data.train.pairs) {
+    if (pair.is_positive()) train_positives.push_back(pair);
+  }
+  // Hold out a third of positives to learn the halo from.
+  const size_t held = train_positives.size() / 3;
+  std::vector<distance::LabeledPair> held_out(
+      train_positives.end() - static_cast<ptrdiff_t>(held),
+      train_positives.end());
+  train_positives.resize(train_positives.size() - held);
+
+  core::TestSetPruner pruner(core::TestSetPrunerOptions{.num_clusters = 8});
+  pruner.Fit(train_positives);
+  const double learned = pruner.LearnFTheta(held_out, 0.05);
+
+  eval::TablePrinter table(
+      &std::cout,
+      {"f(theta)", "kept fraction", "true duplicates kept"});
+  auto add_row = [&](const std::string& name, double f_theta) {
+    const auto result = pruner.Prune(data.test.pairs, f_theta);
+    size_t positives_kept = 0;
+    for (size_t index : result.kept) {
+      if (data.test.pairs[index].is_positive()) ++positives_kept;
+    }
+    table.AddRow({name, eval::TablePrinter::Num(result.KeptRatio(), 3),
+                  std::to_string(positives_kept) + "/" +
+                      std::to_string(data.test.CountPositive())});
+  };
+  add_row("learned (" + eval::TablePrinter::Num(learned, 3) + ")", learned);
+  for (double manual : {0.3, 0.5, 0.7, 0.9}) {
+    add_row(eval::TablePrinter::Num(manual, 1), manual);
+  }
+  table.Print();
+}
+
+int Main() {
+  PrintBanner("bench_extensions",
+              "post-paper extensions (blocking, baselines, active "
+              "learning, learned pruning)");
+  const auto data =
+      MakeDatasets(Scaled(1000000, 20000), Scaled(20000, 4000));
+  minispark::SparkContext ctx({.num_executors = 4});
+  BenchBlocking();
+  BenchBaselines(data, &ctx);
+  BenchActiveLearning(data);
+  BenchLearnedFTheta(data);
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

@@ -1,0 +1,107 @@
+// Figure 10 — execution time vs executor number:
+//   10(a) Fast kNN classification for training sizes {2M, 3M, 4M}
+//         (scaled); 48 training clusters, 5 test blocks;
+//   10(b) the pairwise-distance computing stage over the full corpus
+//         (10,382 reports).
+//
+// Executor scaling is obtained from the minispark ClusterCostModel over
+// measured task durations (see bench_fig9 and DESIGN.md): the decreasing
+// trend flattens as per-executor coordination overhead grows, the effect
+// the paper attributes to data shuffle across more nodes.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+#include "distance/pairwise.h"
+#include "minispark/cluster_model.h"
+#include "util/random.h"
+
+namespace adrdedup::bench {
+namespace {
+
+constexpr size_t kExecutorSweep[] = {5, 10, 15, 20};
+
+int Main() {
+  PrintBanner("bench_fig10_executors",
+              "Figure 10 (execution time vs executor number)");
+  const size_t test = Scaled(10000, 1000);
+  minispark::SparkContext ctx({.num_executors = 4});
+  const minispark::ClusterCostModel model;
+
+  std::cout << "\n## Fig 10(a): overall classification time; "
+            << "48 clusters, 5 blocks, " << test << " test pairs\n";
+  eval::TablePrinter table_a(
+      &std::cout, {"executors", "train 2M (s)", "train 3M (s)",
+                   "train 4M (s)"});
+  // Collect task durations once per training size, then sweep executors.
+  std::vector<std::vector<double>> durations(3);
+  std::vector<uint64_t> shuffle_bytes(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    const size_t train =
+        Scaled(static_cast<size_t>(i + 2) * 1000000, 20000);
+    const auto data = MakeDatasets(train, test, 200 + i);
+    core::FastKnnOptions options;
+    options.k = 9;
+    options.num_clusters = 48;
+    core::FastKnnClassifier classifier(options);
+    classifier.Fit(data.train.pairs, &ctx.pool());
+    ctx.metrics().Reset();
+    (void)classifier.ScoreAllSpark(&ctx, data.test.pairs, 5);
+    durations[i] = ctx.metrics().TaskDurations();
+    shuffle_bytes[i] = ctx.metrics().Snapshot().shuffle_bytes_written;
+  }
+  for (size_t executors : kExecutorSweep) {
+    std::vector<std::string> row = {std::to_string(executors)};
+    for (int i = 0; i < 3; ++i) {
+      row.push_back(eval::TablePrinter::Num(
+          model.SimulateExecutionSeconds(durations[i], shuffle_bytes[i],
+                                         executors),
+          3));
+    }
+    table_a.AddRow(row);
+  }
+  table_a.Print();
+
+  std::cout << "\n## Fig 10(b): pairwise distance computing time "
+            << "(10,382 reports)\n";
+  // The distance stage of the workflow: compute distance vectors for a
+  // batch of candidate pairs over the full corpus.
+  const auto& workload = SharedWorkload();
+  util::Rng rng(31);
+  std::vector<distance::ReportPair> pairs;
+  const size_t num_pairs = Scaled(2000000, 50000);
+  pairs.reserve(num_pairs);
+  const auto n = static_cast<uint32_t>(workload.corpus.db.size());
+  while (pairs.size() < num_pairs) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(n));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(n));
+    if (a == b) continue;
+    pairs.push_back(
+        distance::ReportPair{std::min(a, b), std::max(a, b)});
+  }
+  ctx.metrics().Reset();
+  (void)distance::ComputePairDistancesSpark(&ctx, workload.features, pairs,
+                                            {}, 40);
+  const auto stage_durations = ctx.metrics().TaskDurations();
+  const auto stage_bytes = ctx.metrics().Snapshot().shuffle_bytes_written;
+
+  eval::TablePrinter table_b(&std::cout,
+                             {"executors", "distance stage time (s)"});
+  for (size_t executors : kExecutorSweep) {
+    table_b.AddRow(
+        {std::to_string(executors),
+         eval::TablePrinter::Num(
+             model.SimulateExecutionSeconds(stage_durations, stage_bytes,
+                                            executors),
+             3)});
+  }
+  table_b.Print();
+  std::cout << "(paper: the distance stage is a small fraction of the "
+               "overall time and keeps speeding up with executors)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

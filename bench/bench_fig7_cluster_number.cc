@@ -1,0 +1,50 @@
+// Figure 7 — impact of the training-set cluster number b on comparison
+// volumes; 4M training / 10k testing pairs (scaled):
+//   7(a) intra-cluster comparisons (decreasing in b, then uneven sizes
+//        stall the trend),
+//   7(b) additional clusters checked in stage 2 (increasing in b),
+//   7(c) cross-cluster comparisons (decreasing in b).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+
+namespace adrdedup::bench {
+namespace {
+
+int Main() {
+  PrintBanner("bench_fig7_cluster_number",
+              "Figure 7 (impact of the cluster number)");
+  const size_t train = Scaled(4000000, 40000);
+  const size_t test = Scaled(10000, 1000);
+  std::cout << "training pairs: " << train << ", testing pairs: " << test
+            << "\n\n";
+  const auto data = MakeDatasets(train, test);
+  minispark::SparkContext ctx({.num_executors = 4});
+
+  eval::TablePrinter table(
+      &std::cout,
+      {"clusters b", "intra-cluster comparisons (7a)",
+       "additional clusters checked (7b)",
+       "cross-cluster comparisons (7c)"});
+  for (size_t b : {10u, 25u, 40u, 55u, 70u}) {
+    core::FastKnnOptions options;
+    options.k = 9;
+    options.num_clusters = b;
+    core::FastKnnClassifier classifier(options);
+    classifier.Fit(data.train.pairs, &ctx.pool());
+    (void)classifier.ScoreAllSpark(&ctx, data.test.pairs);
+    const auto stats = classifier.stats().Snapshot();
+    table.AddRow({std::to_string(b),
+                  std::to_string(stats.intra_cluster_comparisons),
+                  std::to_string(stats.additional_clusters_checked),
+                  std::to_string(stats.cross_cluster_comparisons)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

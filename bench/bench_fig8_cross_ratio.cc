@@ -1,0 +1,48 @@
+// Figure 8 — cross-cluster work relative to intra-cluster work, and
+// execution time, as the cluster number b grows (4M training / 10k
+// testing pairs, scaled). The paper reports cross/intra ratios of
+// 1.4-1.9% and an execution-time curve that falls ~31% from b=25 to
+// b=55, then flattens or slightly rises at b=70.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+
+namespace adrdedup::bench {
+namespace {
+
+int Main() {
+  PrintBanner("bench_fig8_cross_ratio",
+              "Figure 8 (cross/intra comparison ratio and time vs b)");
+  const size_t train = Scaled(4000000, 40000);
+  const size_t test = Scaled(10000, 1000);
+  std::cout << "training pairs: " << train << ", testing pairs: " << test
+            << "\n\n";
+  const auto data = MakeDatasets(train, test);
+  minispark::SparkContext ctx({.num_executors = 4});
+
+  eval::TablePrinter table(&std::cout,
+                           {"clusters b", "cross/intra ratio (8a)",
+                            "execution time s (8b)"});
+  for (size_t b : {10u, 25u, 40u, 55u, 70u}) {
+    core::FastKnnOptions options;
+    options.k = 9;
+    options.num_clusters = b;
+    core::FastKnnClassifier classifier(options);
+    classifier.Fit(data.train.pairs, &ctx.pool());
+    util::Stopwatch watch;
+    (void)classifier.ScoreAllSpark(&ctx, data.test.pairs);
+    const double seconds = watch.ElapsedSeconds();
+    const auto stats = classifier.stats().Snapshot();
+    table.AddRow({std::to_string(b),
+                  eval::TablePrinter::Num(stats.CrossToIntraRatio(), 5),
+                  eval::TablePrinter::Num(seconds, 3)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

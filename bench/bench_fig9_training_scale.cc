@@ -1,0 +1,66 @@
+// Figure 9 — scalability with the training-set size: execution time for
+// training sizes 1M-5M (scaled) at test-block numbers c in {4, 8, 12};
+// 32 training clusters, 25 executors (paper setting).
+//
+// This reproduction runs on one machine, so cluster execution time is
+// obtained from the minispark ClusterCostModel: measured per-task CPU
+// durations are scheduled onto 25 simulated executors (LPT), plus the
+// metered shuffle volume and per-executor coordination cost (see
+// minispark/cluster_model.h and DESIGN.md).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+#include "minispark/cluster_model.h"
+
+namespace adrdedup::bench {
+namespace {
+
+int Main() {
+  PrintBanner("bench_fig9_training_scale",
+              "Figure 9 (scalability with training set size)");
+  const size_t test = Scaled(10000, 1000);
+  constexpr size_t kExecutors = 25;
+  std::cout << "testing pairs: " << test
+            << ", training clusters: 32, simulated executors: "
+            << kExecutors << "\n\n";
+  minispark::SparkContext ctx({.num_executors = 4});
+  const minispark::ClusterCostModel model;
+
+  eval::TablePrinter table(
+      &std::cout, {"paper train size (M)", "scaled size", "blocks c=4 (s)",
+                   "blocks c=8 (s)", "blocks c=12 (s)"});
+  for (int millions = 1; millions <= 5; ++millions) {
+    const size_t train =
+        Scaled(static_cast<size_t>(millions) * 1000000, 20000);
+    const auto data = MakeDatasets(train, test, 100 + millions);
+
+    core::FastKnnOptions options;
+    options.k = 9;
+    options.num_clusters = 32;
+    core::FastKnnClassifier classifier(options);
+    classifier.Fit(data.train.pairs, &ctx.pool());
+
+    std::vector<std::string> row = {std::to_string(millions),
+                                    std::to_string(train)};
+    for (size_t blocks : {4u, 8u, 12u}) {
+      ctx.metrics().Reset();
+      (void)classifier.ScoreAllSpark(&ctx, data.test.pairs, blocks);
+      const auto durations = ctx.metrics().TaskDurations();
+      const auto snapshot = ctx.metrics().Snapshot();
+      row.push_back(eval::TablePrinter::Num(
+          model.SimulateExecutionSeconds(
+              durations, snapshot.shuffle_bytes_written, kExecutors),
+          3));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::cout << "(paper: time grows 1.4-2.1x when training grows 5x)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

@@ -1,0 +1,182 @@
+// Micro-benchmarks (google-benchmark) for the primitive kernels behind
+// the system: string similarity metrics, the text pipeline, per-pair
+// distance vectors, kNN search, k-means iterations, and minispark ops.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+#include "distance/pairwise.h"
+#include "minispark/pair_rdd.h"
+#include "minispark/rdd.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "text/porter_stemmer.h"
+#include "text/similarity.h"
+#include "text/text_pipeline.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace adrdedup::bench {
+namespace {
+
+const char* const kNarrative =
+    "Reference number AU-104523 is a report received from the sponsor "
+    "pertaining to a 54 year-old male patient who experienced "
+    "rhabdomyolysis and myalgia while on atorvastatin for the treatment "
+    "of unknown indication. The reported outcome was Recovered.";
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a = "atorvastatin calcium";
+  const std::string b = "atorvastatine kalzium";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaccardTokens(benchmark::State& state) {
+  const auto a = text::Tokenize(kNarrative);
+  auto b = a;
+  b.resize(b.size() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardTokens);
+
+void BM_PorterStem(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::PorterStem("hospitalisation"));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_TextPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::ProcessFreeText(kNarrative));
+  }
+}
+BENCHMARK(BM_TextPipeline);
+
+void BM_DistanceVector(benchmark::State& state) {
+  const auto& workload = SharedWorkload();
+  const auto& f = workload.features;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distance::ComputeDistanceVector(f[i % f.size()],
+                                        f[(i * 7 + 13) % f.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DistanceVector);
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  distance::DistanceVector a;
+  distance::DistanceVector b;
+  for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+    a[d] = 0.25 * static_cast<double>(d);
+    b[d] = 1.0 - a[d];
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::EuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_EuclideanDistance);
+
+std::vector<distance::LabeledPair> MicroTrainingSet(size_t n) {
+  util::Rng rng(11);
+  std::vector<distance::LabeledPair> pairs(n);
+  for (auto& pair : pairs) {
+    for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+      pair.vector[d] = rng.UniformDouble();
+    }
+    pair.label = rng.Bernoulli(0.01) ? +1 : -1;
+  }
+  return pairs;
+}
+
+void BM_BruteForceKnn(benchmark::State& state) {
+  const auto train = MicroTrainingSet(static_cast<size_t>(state.range(0)));
+  distance::DistanceVector query;
+  query[0] = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::BruteForceKnn(query, train, 9));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BruteForceKnn)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FastKnnQuery(benchmark::State& state) {
+  static const auto& train = *new std::vector<distance::LabeledPair>(
+      MicroTrainingSet(100000));
+  static const auto& classifier = *[] {
+    auto* c = new core::FastKnnClassifier([] {
+      core::FastKnnOptions options;
+      options.k = 9;
+      options.num_clusters = 48;
+      return options;
+    }());
+    c->Fit(train);
+    return c;
+  }();
+  distance::DistanceVector query;
+  query[0] = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Score(query));
+  }
+}
+BENCHMARK(BM_FastKnnQuery);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  std::vector<distance::DistanceVector> points;
+  util::Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    distance::DistanceVector p;
+    for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+      p[d] = rng.UniformDouble();
+    }
+    points.push_back(p);
+  }
+  for (auto _ : state) {
+    ml::KMeansOptions options;
+    options.num_clusters = 32;
+    options.max_iterations = 1;
+    benchmark::DoNotOptimize(ml::RunKMeans(points, options));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_KMeansIteration);
+
+void BM_RddMapCollect(benchmark::State& state) {
+  minispark::SparkContext ctx({.num_executors = 4});
+  std::vector<int> data(100000);
+  for (int i = 0; i < 100000; ++i) data[i] = i;
+  for (auto _ : state) {
+    auto rdd = ctx.Parallelize(data, 8).Map<int>([](int x) {
+      return x * 2 + 1;
+    });
+    benchmark::DoNotOptimize(rdd.Collect());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_RddMapCollect);
+
+void BM_RddReduceByKey(benchmark::State& state) {
+  minispark::SparkContext ctx({.num_executors = 4});
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 100000; ++i) data.emplace_back(i % 97, i);
+  for (auto _ : state) {
+    auto rdd = ctx.Parallelize(data, 8);
+    auto sums =
+        minispark::ReduceByKey(rdd, [](int a, int b) { return a + b; }, 8);
+    benchmark::DoNotOptimize(sums.Collect());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_RddReduceByKey);
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table 3 — summary of the TGA dataset. Regenerates the corpus summary
+// and prints it next to the paper's published numbers.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace adrdedup::bench {
+namespace {
+
+int Main() {
+  PrintBanner("bench_table3_dataset", "Table 3 (summary of TGA dataset)");
+  const auto& workload = SharedWorkload();
+  datagen::GeneratorConfig config;  // the defaults the corpus was built with
+  const auto summary = Summarize(workload.corpus, config);
+
+  eval::TablePrinter table(&std::cout, {"Quantity", "Paper", "Measured"});
+  table.AddRow({"Report period", "1 Jul. 2013 - 31 Dec. 2013",
+                summary.report_period});
+  table.AddRow({"Number of cases", "10,382",
+                std::to_string(summary.num_cases)});
+  table.AddRow({"Number of fields per report", "37",
+                std::to_string(summary.num_fields)});
+  table.AddRow({"Number of unique drugs", "1,366",
+                std::to_string(summary.num_unique_drugs)});
+  table.AddRow({"Number of unique ADRs", "2,351",
+                std::to_string(summary.num_unique_adrs)});
+  table.AddRow({"Known duplicate pairs", "286",
+                std::to_string(summary.known_duplicate_pairs)});
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

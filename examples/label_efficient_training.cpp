@@ -1,0 +1,108 @@
+// Label-efficient training: a new regulator has NO labelled duplicate
+// pairs, only an expert who can answer "are these two reports the same
+// case?". Active learning (uncertainty sampling) spends that expert's
+// time where it matters, and the learned f(theta) then tightens the
+// testing-set pruner — together, the workflow the paper sketches as
+// future work on top of its Fast kNN core.
+//
+// Build & run:  ./build/examples/label_efficient_training
+#include <iostream>
+
+#include "core/active_learning.h"
+#include "core/test_set_pruner.h"
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+
+int main() {
+  using namespace adrdedup;
+
+  datagen::GeneratorConfig config;
+  config.num_reports = 2000;
+  config.num_duplicate_pairs = 120;
+  config.num_drugs = 300;
+  config.num_adrs = 450;
+  const auto corpus = datagen::GenerateCorpus(config);
+  util::ThreadPool pool(4);
+  const auto features = distance::ExtractAllFeatures(corpus.db, {}, &pool);
+
+  // The unlabelled pool the expert will be queried about, plus a held-out
+  // evaluation set (in production the evaluation is a later audit).
+  distance::DatasetSpec spec;
+  spec.num_training_pairs = 20000;
+  spec.num_testing_pairs = 5000;
+  const auto datasets = distance::BuildDatasets(corpus, features, spec);
+  std::vector<int8_t> eval_labels;
+  for (const auto& pair : datasets.test.pairs) {
+    eval_labels.push_back(pair.label);
+  }
+
+  // The "expert": ground truth with a per-query counter.
+  size_t expert_answers = 0;
+  auto oracle = [&expert_answers](const distance::LabeledPair& pair) {
+    ++expert_answers;
+    return pair.label;
+  };
+
+  core::ActiveLearningOptions options;
+  options.strategy = core::QueryStrategy::kUncertainty;
+  options.initial_labels = 300;
+  options.batch_size = 60;
+  options.rounds = 6;
+  options.knn.k = 9;
+  options.knn.num_clusters = 16;
+
+  std::cout << "expert labels " << options.initial_labels
+            << " random pairs to start, then answers "
+            << options.batch_size << " targeted questions per round\n\n";
+
+  eval::TablePrinter table(&std::cout, {"round", "labels", "eval AUPR"});
+  const auto result = RunActiveLearning(
+      datasets.train.pairs, oracle, options,
+      [&](size_t round, size_t labels_used,
+          const core::FastKnnClassifier& classifier) {
+        std::vector<double> scores;
+        for (const auto& pair : datasets.test.pairs) {
+          scores.push_back(classifier.Score(pair.vector));
+        }
+        table.AddRow({std::to_string(round), std::to_string(labels_used),
+                      eval::TablePrinter::Num(
+                          eval::Aupr(scores, eval_labels), 3)});
+      });
+  table.Print();
+  std::cout << "\nexpert answered " << expert_answers
+            << " questions in total; " << result.positives_found
+            << " labelled pairs turned out to be duplicates ("
+            << result.labelled.size() << " labels overall)\n";
+
+  // Learn the pruning halo from the labelled positives (paper future
+  // work) and show what it saves on the evaluation set.
+  std::vector<distance::LabeledPair> positives;
+  for (const auto& pair : result.labelled) {
+    if (pair.is_positive()) positives.push_back(pair);
+  }
+  if (positives.size() >= 4) {
+    core::TestSetPruner pruner(
+        core::TestSetPrunerOptions{.num_clusters = 4});
+    const size_t held = positives.size() / 4;
+    std::vector<distance::LabeledPair> held_out(positives.end() - held,
+                                                positives.end());
+    positives.resize(positives.size() - held);
+    pruner.Fit(positives);
+    const double f_theta = pruner.LearnFTheta(held_out, 0.05);
+    const auto pruned = pruner.Prune(datasets.test.pairs, f_theta);
+    size_t positives_kept = 0;
+    for (size_t index : pruned.kept) {
+      if (datasets.test.pairs[index].is_positive()) ++positives_kept;
+    }
+    std::cout << "\nlearned f(theta) = "
+              << eval::TablePrinter::Num(f_theta, 3)
+              << ": classification workload drops to "
+              << eval::TablePrinter::Num(pruned.KeptRatio() * 100.0, 1)
+              << "% of the pair volume, keeping " << positives_kept
+              << "/" << datasets.test.CountPositive()
+              << " true duplicates\n";
+  }
+  return 0;
+}

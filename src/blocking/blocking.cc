@@ -1,0 +1,115 @@
+#include "blocking/blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace adrdedup::blocking {
+
+namespace {
+
+using distance::ReportFeatures;
+using distance::ReportPair;
+
+// Emits the blocking-key strings of one report under `key`.
+std::vector<std::string> KeysOf(const ReportFeatures& features,
+                                BlockingKey key) {
+  switch (key) {
+    case BlockingKey::kDrugToken:
+      return features.drug_tokens;
+    case BlockingKey::kAdrToken:
+      return features.adr_tokens;
+    case BlockingKey::kOnsetDate:
+      if (features.onset_date.empty()) return {};
+      return {features.onset_date};
+    case BlockingKey::kSexAndAgeBand: {
+      if (features.sex.empty() || !features.age.has_value()) return {};
+      return {features.sex + "/" + std::to_string(*features.age / 5)};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string BlockingKeyName(BlockingKey key) {
+  switch (key) {
+    case BlockingKey::kDrugToken:
+      return "drug-token";
+    case BlockingKey::kAdrToken:
+      return "adr-token";
+    case BlockingKey::kOnsetDate:
+      return "onset-date";
+    case BlockingKey::kSexAndAgeBand:
+      return "sex+age-band";
+  }
+  return "?";
+}
+
+BlockingResult GenerateCandidates(
+    const std::vector<ReportFeatures>& features,
+    const BlockingOptions& options) {
+  ADRDEDUP_CHECK(!options.keys.empty()) << "no blocking keys configured";
+  BlockingResult result;
+  std::unordered_set<uint64_t> seen;
+
+  for (BlockingKey key : options.keys) {
+    // Bucket report ids per key string.
+    std::unordered_map<std::string, std::vector<uint32_t>> blocks;
+    for (size_t i = 0; i < features.size(); ++i) {
+      for (const std::string& value : KeysOf(features[i], key)) {
+        blocks[value].push_back(static_cast<uint32_t>(i));
+      }
+    }
+    result.total_blocks += blocks.size();
+    for (const auto& [value, members] : blocks) {
+      if (options.max_block_size != 0 &&
+          members.size() > options.max_block_size) {
+        ++result.oversized_blocks_skipped;
+        continue;
+      }
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          const ReportPair pair{std::min(members[i], members[j]),
+                                std::max(members[i], members[j])};
+          if (seen.insert(PairKey(pair)).second) {
+            result.pairs.push_back(pair);
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const ReportPair& a, const ReportPair& b) {
+              return PairKey(a) < PairKey(b);
+            });
+  return result;
+}
+
+double ReductionRatio(size_t num_candidates, size_t num_reports) {
+  if (num_reports < 2) return 0.0;
+  const double universe = 0.5 * static_cast<double>(num_reports) *
+                          static_cast<double>(num_reports - 1);
+  return 1.0 - static_cast<double>(num_candidates) / universe;
+}
+
+double PairCompleteness(
+    const std::vector<ReportPair>& candidates,
+    const std::vector<std::pair<uint32_t, uint32_t>>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<uint64_t> candidate_keys;
+  candidate_keys.reserve(candidates.size());
+  for (const ReportPair& pair : candidates) {
+    candidate_keys.insert(PairKey(pair));
+  }
+  size_t found = 0;
+  for (auto [a, b] : truth) {
+    const ReportPair pair{std::min(a, b), std::max(a, b)};
+    if (candidate_keys.contains(PairKey(pair))) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(truth.size());
+}
+
+}  // namespace adrdedup::blocking

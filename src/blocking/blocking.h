@@ -1,0 +1,63 @@
+// Candidate-pair generation by standard key blocking. The pair universe
+// of Eq. 3 grows quadratically with the database; classic record-linkage
+// blocking only compares reports that agree on a cheap blocking key
+// (here: sharing a suspect drug, a reaction term, or an onset date),
+// trading a bounded recall loss for orders of magnitude fewer pairs.
+// The kNN classifier then runs on the surviving candidates only.
+#ifndef ADRDEDUP_BLOCKING_BLOCKING_H_
+#define ADRDEDUP_BLOCKING_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distance/pairwise.h"
+#include "distance/report_features.h"
+
+namespace adrdedup::blocking {
+
+// Which report attribute forms the blocking key.
+enum class BlockingKey {
+  kDrugToken,     // any shared suspect-drug entry
+  kAdrToken,      // any shared reaction term
+  kOnsetDate,     // identical onset date (misses date-corrupted dups)
+  kSexAndAgeBand, // sex plus 5-year age band
+};
+
+std::string BlockingKeyName(BlockingKey key);
+
+struct BlockingOptions {
+  std::vector<BlockingKey> keys = {BlockingKey::kDrugToken};
+  // Blocks larger than this are skipped entirely (a "Paracetamol" block
+  // would otherwise reintroduce the quadratic blow-up); 0 = unlimited.
+  size_t max_block_size = 2000;
+};
+
+struct BlockingResult {
+  // Deduplicated candidate pairs, a < b, sorted by PairKey.
+  std::vector<distance::ReportPair> pairs;
+  // Blocks that exceeded max_block_size and were skipped.
+  size_t oversized_blocks_skipped = 0;
+  // Total block count across all keys (before the size filter).
+  size_t total_blocks = 0;
+};
+
+// Builds candidate pairs: every pair of reports sharing at least one
+// block under at least one configured key. `features` indexes reports by
+// id (ExtractAllFeatures output).
+BlockingResult GenerateCandidates(
+    const std::vector<distance::ReportFeatures>& features,
+    const BlockingOptions& options = {});
+
+// Reduction ratio 1 - |candidates| / |full pair universe|.
+double ReductionRatio(size_t num_candidates, size_t num_reports);
+
+// Fraction of `truth` pairs contained in `candidates` (pair completeness
+// a.k.a. blocking recall). Both inputs may be in any order.
+double PairCompleteness(
+    const std::vector<distance::ReportPair>& candidates,
+    const std::vector<std::pair<uint32_t, uint32_t>>& truth);
+
+}  // namespace adrdedup::blocking
+
+#endif  // ADRDEDUP_BLOCKING_BLOCKING_H_

@@ -1,0 +1,77 @@
+#include "blocking/sorted_neighbourhood.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace adrdedup::blocking {
+
+namespace {
+
+using distance::ReportFeatures;
+using distance::ReportPair;
+
+std::string FirstOrEmpty(const std::vector<std::string>& tokens) {
+  return tokens.empty() ? std::string() : tokens.front();
+}
+
+}  // namespace
+
+std::string SortKey(const ReportFeatures& features, size_t pass) {
+  // Four key components, rotated per pass.
+  const std::string components[4] = {
+      FirstOrEmpty(features.drug_tokens),
+      FirstOrEmpty(features.adr_tokens),
+      features.sex,
+      features.age.has_value() ? std::to_string(*features.age) : "",
+  };
+  std::string key;
+  for (size_t c = 0; c < 4; ++c) {
+    key += components[(c + pass) % 4];
+    key.push_back('|');
+  }
+  return key;
+}
+
+std::vector<ReportPair> SortedNeighbourhoodCandidates(
+    const std::vector<ReportFeatures>& features,
+    const SortedNeighbourhoodOptions& options) {
+  ADRDEDUP_CHECK_GE(options.window, 2u);
+  ADRDEDUP_CHECK_GE(options.passes, 1u);
+
+  std::vector<ReportPair> pairs;
+  std::unordered_set<uint64_t> seen;
+  for (size_t pass = 0; pass < options.passes; ++pass) {
+    std::vector<uint32_t> order(features.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::string> keys(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+      keys[i] = SortKey(features[i], pass);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      // Stable total order: tie-break on id so passes are deterministic.
+      const int cmp = keys[a].compare(keys[b]);
+      return cmp != 0 ? cmp < 0 : a < b;
+    });
+
+    for (size_t i = 0; i < order.size(); ++i) {
+      const size_t end = std::min(order.size(), i + options.window);
+      for (size_t j = i + 1; j < end; ++j) {
+        const ReportPair pair{std::min(order[i], order[j]),
+                              std::max(order[i], order[j])};
+        if (seen.insert(PairKey(pair)).second) {
+          pairs.push_back(pair);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ReportPair& a, const ReportPair& b) {
+              return PairKey(a) < PairKey(b);
+            });
+  return pairs;
+}
+
+}  // namespace adrdedup::blocking

@@ -1,0 +1,38 @@
+// Sorted-neighbourhood method (Hernandez & Stolfo): sort reports by a
+// composite key and compare each report only to the w-1 reports inside a
+// sliding window. Complements key blocking: tolerant to key typos (near
+// keys sort near each other) with a hard O(n·w) candidate bound.
+#ifndef ADRDEDUP_BLOCKING_SORTED_NEIGHBOURHOOD_H_
+#define ADRDEDUP_BLOCKING_SORTED_NEIGHBOURHOOD_H_
+
+#include <string>
+#include <vector>
+
+#include "distance/pairwise.h"
+#include "distance/report_features.h"
+
+namespace adrdedup::blocking {
+
+struct SortedNeighbourhoodOptions {
+  // Sliding-window width (w >= 2); each record pairs with its w-1
+  // successors in sort order.
+  size_t window = 10;
+  // Number of independent passes with rotated sort keys; multi-pass SNM
+  // recovers pairs a single key ordering separates.
+  size_t passes = 2;
+};
+
+// The composite sort key of pass `pass` for one report: rotates the
+// order of (first drug token, first ADR token, sex, age) so different
+// passes cluster on different attributes.
+std::string SortKey(const distance::ReportFeatures& features, size_t pass);
+
+// Candidate pairs from multi-pass sorted neighbourhood; deduplicated,
+// a < b, sorted by PairKey.
+std::vector<distance::ReportPair> SortedNeighbourhoodCandidates(
+    const std::vector<distance::ReportFeatures>& features,
+    const SortedNeighbourhoodOptions& options = {});
+
+}  // namespace adrdedup::blocking
+
+#endif  // ADRDEDUP_BLOCKING_SORTED_NEIGHBOURHOOD_H_

@@ -1,0 +1,100 @@
+#include "blocking/token_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace adrdedup::blocking {
+
+namespace {
+
+using distance::ReportFeatures;
+using distance::ReportPair;
+
+// Prefix length for a set of size `s` at Jaccard threshold `t`:
+// p = s - ceil(t*s) + 1. Any pair with Jaccard >= t has overlap
+// o >= ceil(t * max(s1, s2)); if all common tokens sat outside a
+// record's prefix, its overlap would be at most ceil(t*s) - 1 — a
+// contradiction — so the globally-first common token lies inside both
+// prefixes.
+size_t PrefixLength(size_t s, double t) {
+  if (s == 0) return 0;
+  const auto required =
+      static_cast<size_t>(std::ceil(t * static_cast<double>(s)));
+  if (required == 0) return s;
+  return s - required + 1;
+}
+
+}  // namespace
+
+TokenIndexResult DescriptionOverlapCandidates(
+    const std::vector<ReportFeatures>& features,
+    const TokenIndexOptions& options) {
+  ADRDEDUP_CHECK_GT(options.jaccard_threshold, 0.0);
+  ADRDEDUP_CHECK_LE(options.jaccard_threshold, 1.0);
+  TokenIndexResult result;
+
+  // Global token frequencies define the canonical ordering: rare tokens
+  // first, so prefixes carry the most selective tokens.
+  std::unordered_map<std::string, uint32_t> frequency;
+  for (const ReportFeatures& f : features) {
+    for (const std::string& token : f.description_tokens) {
+      ++frequency[token];
+    }
+  }
+  const auto max_count = static_cast<uint32_t>(
+      options.max_token_frequency * static_cast<double>(features.size()));
+
+  // Per report: description tokens sorted by (frequency, token).
+  auto canonical_order = [&](const std::vector<std::string>& tokens) {
+    std::vector<std::string> ordered = tokens;
+    std::sort(ordered.begin(), ordered.end(),
+              [&](const std::string& a, const std::string& b) {
+                const uint32_t fa = frequency.at(a);
+                const uint32_t fb = frequency.at(b);
+                return fa != fb ? fa < fb : a < b;
+              });
+    return ordered;
+  };
+
+  std::unordered_map<std::string, std::vector<uint32_t>> postings;
+  std::unordered_set<std::string> dropped;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const auto ordered = canonical_order(features[i].description_tokens);
+    const size_t prefix =
+        PrefixLength(ordered.size(), options.jaccard_threshold);
+    for (size_t p = 0; p < prefix; ++p) {
+      if (options.max_token_frequency < 1.0 &&
+          frequency.at(ordered[p]) > max_count) {
+        dropped.insert(ordered[p]);
+        continue;
+      }
+      postings[ordered[p]].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  result.indexed_tokens = postings.size();
+  result.stop_tokens_dropped = dropped.size();
+
+  std::unordered_set<uint64_t> seen;
+  for (const auto& [token, ids] : postings) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        const ReportPair pair{std::min(ids[i], ids[j]),
+                              std::max(ids[i], ids[j])};
+        if (seen.insert(PairKey(pair)).second) {
+          result.pairs.push_back(pair);
+        }
+      }
+    }
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const ReportPair& a, const ReportPair& b) {
+              return PairKey(a) < PairKey(b);
+            });
+  return result;
+}
+
+}  // namespace adrdedup::blocking

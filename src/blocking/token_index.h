@@ -1,0 +1,50 @@
+// Inverted token index with prefix-filtered overlap candidate generation
+// (the set-similarity-join family the paper's related work cites [21]):
+// two description token sets with Jaccard >= t must share a token among
+// the first |set| - ceil(t * |set|) + 1 tokens of a global-frequency
+// ordering, so indexing only those prefixes yields every candidate pair
+// above the threshold with far less index fan-out than full indexing.
+#ifndef ADRDEDUP_BLOCKING_TOKEN_INDEX_H_
+#define ADRDEDUP_BLOCKING_TOKEN_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distance/pairwise.h"
+#include "distance/report_features.h"
+
+namespace adrdedup::blocking {
+
+struct TokenIndexOptions {
+  // Jaccard similarity threshold the candidate set must cover.
+  double jaccard_threshold = 0.5;
+  // Approximation knob: tokens occurring in more than this fraction of
+  // reports are dropped from indexing. At the default 1.0 nothing is
+  // dropped and the completeness guarantee below is exact; smaller
+  // values shrink the candidate set but may lose pairs whose only shared
+  // prefix tokens are frequent.
+  double max_token_frequency = 1.0;
+};
+
+struct TokenIndexResult {
+  // Candidate pairs (a < b, sorted by PairKey) that share at least one
+  // indexed prefix token.
+  std::vector<distance::ReportPair> pairs;
+  // Number of distinct tokens actually indexed.
+  size_t indexed_tokens = 0;
+  // Tokens dropped by the frequency cap.
+  size_t stop_tokens_dropped = 0;
+};
+
+// Builds candidates over the description token sets of `features` using
+// prefix filtering at `options.jaccard_threshold`. Guarantee (tested):
+// every report pair whose description-token Jaccard similarity is >= the
+// threshold appears in the result.
+TokenIndexResult DescriptionOverlapCandidates(
+    const std::vector<distance::ReportFeatures>& features,
+    const TokenIndexOptions& options = {});
+
+}  // namespace adrdedup::blocking
+
+#endif  // ADRDEDUP_BLOCKING_TOKEN_INDEX_H_

@@ -1,0 +1,89 @@
+#include "core/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adrdedup::core {
+
+using distance::LabeledPair;
+
+ActiveLearningResult RunActiveLearning(
+    const std::vector<LabeledPair>& pool, const LabelOracle& oracle,
+    const ActiveLearningOptions& options, const RoundObserver& observer) {
+  ADRDEDUP_CHECK(oracle != nullptr);
+  ADRDEDUP_CHECK_GE(options.initial_labels, 1u);
+  ADRDEDUP_CHECK_GT(pool.size(),
+                    options.initial_labels +
+                        options.batch_size * options.rounds)
+      << "pool too small for the labelling budget";
+
+  util::Rng rng(options.seed);
+  std::vector<size_t> unlabelled(pool.size());
+  std::iota(unlabelled.begin(), unlabelled.end(), 0);
+  rng.Shuffle(&unlabelled);
+
+  ActiveLearningResult result;
+  auto take = [&](size_t position_in_unlabelled) {
+    const size_t pool_index = unlabelled[position_in_unlabelled];
+    unlabelled.erase(unlabelled.begin() +
+                     static_cast<ptrdiff_t>(position_in_unlabelled));
+    LabeledPair labelled = pool[pool_index];
+    labelled.label = oracle(pool[pool_index]);
+    if (labelled.label > 0) ++result.positives_found;
+    result.labelled.push_back(labelled);
+  };
+
+  // Seed round: random draw (positions 0.. are already shuffled).
+  for (size_t i = 0; i < options.initial_labels; ++i) {
+    take(unlabelled.size() - 1);
+  }
+  // The seed draw is the cost floor both strategies share; only
+  // subsequent oracle calls are counted as active queries.
+  result.positives_found = 0;
+  for (const LabeledPair& pair : result.labelled) {
+    if (pair.is_positive()) ++result.positives_found;
+  }
+
+  FastKnnClassifier classifier(options.knn);
+  classifier.Fit(result.labelled);
+  if (observer) observer(0, result.labelled.size(), classifier);
+
+  for (size_t round = 1; round <= options.rounds; ++round) {
+    if (options.strategy == QueryStrategy::kUncertainty) {
+      // Rank unlabelled pool by |score| ascending, take the batch head.
+      std::vector<std::pair<double, size_t>> ranked;
+      ranked.reserve(unlabelled.size());
+      for (size_t position = 0; position < unlabelled.size(); ++position) {
+        const double score =
+            classifier.Score(pool[unlabelled[position]].vector);
+        ranked.emplace_back(std::abs(score), position);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      // Collect positions, then remove from the back so earlier indices
+      // stay valid.
+      std::vector<size_t> positions;
+      for (size_t i = 0; i < options.batch_size && i < ranked.size(); ++i) {
+        positions.push_back(ranked[i].second);
+      }
+      std::sort(positions.rbegin(), positions.rend());
+      for (size_t position : positions) take(position);
+      result.oracle_queries += positions.size();
+    } else {
+      for (size_t i = 0; i < options.batch_size && !unlabelled.empty();
+           ++i) {
+        take(unlabelled.size() - 1);
+        ++result.oracle_queries;
+      }
+    }
+    classifier = FastKnnClassifier(options.knn);
+    classifier.Fit(result.labelled);
+    if (observer) observer(round, result.labelled.size(), classifier);
+  }
+  return result;
+}
+
+}  // namespace adrdedup::core

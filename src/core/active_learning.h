@@ -1,0 +1,64 @@
+// Active-learning loop for label-efficient training (the paper's related
+// work cites interactive deduplication via active learning [20]): the
+// expert labels only the pairs the current classifier is least sure
+// about, instead of a large random sample. Uncertainty for the Eq. 5
+// score is distance from the decision threshold theta = 0.
+#ifndef ADRDEDUP_CORE_ACTIVE_LEARNING_H_
+#define ADRDEDUP_CORE_ACTIVE_LEARNING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/fast_knn.h"
+#include "distance/pair_dataset.h"
+
+namespace adrdedup::core {
+
+enum class QueryStrategy {
+  // Label the pairs with the smallest |score| (closest to theta = 0).
+  kUncertainty,
+  // Label uniformly random pairs (the passive baseline).
+  kRandom,
+};
+
+struct ActiveLearningOptions {
+  FastKnnOptions knn;
+  QueryStrategy strategy = QueryStrategy::kUncertainty;
+  // Random labels drawn before the first round.
+  size_t initial_labels = 200;
+  // Oracle queries per round.
+  size_t batch_size = 25;
+  size_t rounds = 8;
+  uint64_t seed = 19;
+};
+
+// Reveals the true label of a pool pair (the human expert).
+using LabelOracle = std::function<int8_t(const distance::LabeledPair&)>;
+
+// Observes the classifier after each round (round 0 = after the initial
+// random labels); use it to track quality-vs-labels curves.
+using RoundObserver =
+    std::function<void(size_t round, size_t labels_used,
+                       const FastKnnClassifier& classifier)>;
+
+struct ActiveLearningResult {
+  // The labelled training set accumulated over all rounds.
+  std::vector<distance::LabeledPair> labelled;
+  // Oracle queries issued (excludes the initial random draw).
+  size_t oracle_queries = 0;
+  // How many queried pairs turned out positive — uncertainty sampling
+  // should surface far more positives than the base rate.
+  size_t positives_found = 0;
+};
+
+// Runs the loop over `pool` (labels in the pool are ignored; the oracle
+// is the only label source). The observer may be null.
+ActiveLearningResult RunActiveLearning(
+    const std::vector<distance::LabeledPair>& pool,
+    const LabelOracle& oracle, const ActiveLearningOptions& options,
+    const RoundObserver& observer = nullptr);
+
+}  // namespace adrdedup::core
+
+#endif  // ADRDEDUP_CORE_ACTIVE_LEARNING_H_

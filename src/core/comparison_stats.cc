@@ -1,0 +1,40 @@
+#include "core/comparison_stats.h"
+
+#include <sstream>
+
+namespace adrdedup::core {
+
+std::string ComparisonStatsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "queries=" << queries
+      << " intra=" << intra_cluster_comparisons
+      << " positive=" << positive_comparisons
+      << " additional_clusters=" << additional_clusters_checked
+      << " cross=" << cross_cluster_comparisons
+      << " early_exits=" << early_exits
+      << " cross/intra=" << CrossToIntraRatio();
+  return out.str();
+}
+
+ComparisonStatsSnapshot ComparisonStats::Snapshot() const {
+  ComparisonStatsSnapshot out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.intra_cluster_comparisons = intra_.load(std::memory_order_relaxed);
+  out.positive_comparisons = positive_.load(std::memory_order_relaxed);
+  out.additional_clusters_checked =
+      additional_clusters_.load(std::memory_order_relaxed);
+  out.cross_cluster_comparisons = cross_.load(std::memory_order_relaxed);
+  out.early_exits = early_exits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ComparisonStats::Reset() {
+  queries_ = 0;
+  intra_ = 0;
+  positive_ = 0;
+  additional_clusters_ = 0;
+  cross_ = 0;
+  early_exits_ = 0;
+}
+
+}  // namespace adrdedup::core

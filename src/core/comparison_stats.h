@@ -1,0 +1,71 @@
+// Counters for the comparison volumes the paper's Figures 7 and 8 report:
+// intra-cluster comparisons (stage 1), comparisons against the global
+// positive set, additional clusters selected by Algorithm 1, and
+// cross-cluster comparisons (stage 2). Thread-safe; classification tasks
+// on different executors update them concurrently.
+#ifndef ADRDEDUP_CORE_COMPARISON_STATS_H_
+#define ADRDEDUP_CORE_COMPARISON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace adrdedup::core {
+
+struct ComparisonStatsSnapshot {
+  uint64_t queries = 0;
+  uint64_t intra_cluster_comparisons = 0;
+  uint64_t positive_comparisons = 0;
+  uint64_t additional_clusters_checked = 0;
+  uint64_t cross_cluster_comparisons = 0;
+  // Queries that skipped stage 2 because their k nearest were all
+  // negative and no positive could enter (Observations 1-3).
+  uint64_t early_exits = 0;
+
+  double CrossToIntraRatio() const {
+    if (intra_cluster_comparisons == 0) return 0.0;
+    return static_cast<double>(cross_cluster_comparisons) /
+           static_cast<double>(intra_cluster_comparisons);
+  }
+
+  std::string ToString() const;
+};
+
+class ComparisonStats {
+ public:
+  ComparisonStats() = default;
+  ComparisonStats(const ComparisonStats&) = delete;
+  ComparisonStats& operator=(const ComparisonStats&) = delete;
+
+  void AddQuery() { queries_.fetch_add(1, std::memory_order_relaxed); }
+  void AddIntra(uint64_t n) {
+    intra_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddPositive(uint64_t n) {
+    positive_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddAdditionalClusters(uint64_t n) {
+    additional_clusters_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddCross(uint64_t n) {
+    cross_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddEarlyExit() {
+    early_exits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ComparisonStatsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> intra_{0};
+  std::atomic<uint64_t> positive_{0};
+  std::atomic<uint64_t> additional_clusters_{0};
+  std::atomic<uint64_t> cross_{0};
+  std::atomic<uint64_t> early_exits_{0};
+};
+
+}  // namespace adrdedup::core
+
+#endif  // ADRDEDUP_CORE_COMPARISON_STATS_H_

@@ -1,0 +1,155 @@
+#include "core/dedup_pipeline.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adrdedup::core {
+
+using distance::LabeledPair;
+using distance::ReportPair;
+
+DedupPipeline::DedupPipeline(minispark::SparkContext* ctx,
+                             const DedupPipelineOptions& options)
+    : ctx_(ctx),
+      options_(options),
+      classifier_(options.knn),
+      pruner_(options.pruner),
+      rng_(options.seed) {
+  ADRDEDUP_CHECK(ctx != nullptr);
+}
+
+void DedupPipeline::BootstrapDatabase(
+    const std::vector<report::AdrReport>& reports) {
+  for (const report::AdrReport& report : reports) {
+    db_.Add(report);
+  }
+  // Text processing (Fig. 1) happens once per report at ingest.
+  features_ = distance::ExtractAllFeatures(db_, options_.features,
+                                           &ctx_->pool());
+}
+
+void DedupPipeline::SeedLabels(const std::vector<LabeledPair>& labeled) {
+  for (const LabeledPair& pair : labeled) {
+    if (pair.is_positive()) {
+      positive_store_.push_back(pair);
+    } else {
+      ++negatives_seen_;
+      if (negative_store_.size() < options_.max_negative_store) {
+        negative_store_.push_back(pair);
+      }
+    }
+  }
+  models_ready_ = false;
+}
+
+void DedupPipeline::Refit() {
+  ADRDEDUP_CHECK(!positive_store_.empty() || !negative_store_.empty())
+      << "no labelled pairs; call SeedLabels() first";
+  std::vector<LabeledPair> train;
+  train.reserve(positive_store_.size() + negative_store_.size());
+  train.insert(train.end(), positive_store_.begin(), positive_store_.end());
+  train.insert(train.end(), negative_store_.begin(), negative_store_.end());
+  classifier_.Fit(train, &ctx_->pool());
+  if (options_.f_theta >= 0.0 && !positive_store_.empty()) {
+    pruner_.Fit(positive_store_);
+  }
+  models_ready_ = true;
+}
+
+DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
+    const std::vector<report::AdrReport>& reports) {
+  if (!models_ready_) Refit();
+
+  // Ingest: the batch joins the database and the feature cache.
+  const report::ReportId first_new = static_cast<report::ReportId>(db_.size());
+  std::vector<report::ReportId> existing;
+  existing.reserve(db_.size());
+  for (size_t i = 0; i < db_.size(); ++i) {
+    existing.push_back(static_cast<report::ReportId>(i));
+  }
+  std::vector<report::ReportId> fresh;
+  fresh.reserve(reports.size());
+  for (const report::AdrReport& report : reports) {
+    fresh.push_back(db_.Add(report));
+  }
+  features_.resize(db_.size());
+  ctx_->pool().ParallelFor(first_new, db_.size(), [&](size_t i) {
+    features_[i] = distance::ExtractFeatures(
+        db_.Get(static_cast<report::ReportId>(i)), options_.features);
+  });
+
+  // Candidate pairs for this batch: the full Eq. 3 universe, or the
+  // blocking-key subset restricted to pairs touching a new report.
+  std::vector<ReportPair> pairs;
+  if (options_.use_blocking) {
+    const auto blocked =
+        blocking::GenerateCandidates(features_, options_.blocking);
+    for (const ReportPair& pair : blocked.pairs) {
+      if (pair.b >= first_new) pairs.push_back(pair);
+    }
+  } else {
+    pairs = distance::PairsForNewReports(existing, fresh);
+  }
+
+  DetectionResult result;
+  result.pairs_considered = pairs.size();
+  if (pairs.empty()) {
+    result.pairs_after_pruning = 0;
+    return result;
+  }
+
+  // Pairwise distances as a minispark job.
+  const std::vector<distance::DistanceVector> vectors =
+      distance::ComputePairDistancesSpark(ctx_, features_, pairs,
+                                          options_.pairwise);
+
+  // Testing-set pruning (Section 4.3.4).
+  std::vector<size_t> candidate_indices;
+  candidate_indices.reserve(pairs.size());
+  const bool prune = options_.f_theta >= 0.0 && !positive_store_.empty();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (!prune || pruner_.ShouldKeep(vectors[i], options_.f_theta)) {
+      candidate_indices.push_back(i);
+    }
+  }
+  result.pairs_after_pruning = candidate_indices.size();
+
+  // Classification (Algorithm 2) over the surviving pairs.
+  std::vector<LabeledPair> queries(candidate_indices.size());
+  for (size_t q = 0; q < candidate_indices.size(); ++q) {
+    queries[q].vector = vectors[candidate_indices[q]];
+    queries[q].pair = pairs[candidate_indices[q]];
+  }
+  const std::vector<double> scores =
+      classifier_.ScoreAllSpark(ctx_, queries);
+
+  // Eq. 6 thresholding plus the Fig. 1 feedback loop: detected duplicates
+  // enter the positive store; everything else is a labelled negative,
+  // reservoir-sampled into the bounded non-duplicate store.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    LabeledPair labeled = queries[q];
+    if (scores[q] >= options_.theta) {
+      labeled.label = +1;
+      positive_store_.push_back(labeled);
+      result.duplicates.push_back(labeled.pair);
+      result.scores.push_back(scores[q]);
+    } else {
+      labeled.label = -1;
+      ++negatives_seen_;
+      if (negative_store_.size() < options_.max_negative_store) {
+        negative_store_.push_back(labeled);
+      } else {
+        const uint64_t slot = rng_.Uniform(negatives_seen_);
+        if (slot < negative_store_.size()) {
+          negative_store_[slot] = labeled;
+        }
+      }
+    }
+  }
+  // Stores changed; models refit lazily on the next batch.
+  models_ready_ = false;
+  return result;
+}
+
+}  // namespace adrdedup::core

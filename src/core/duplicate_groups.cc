@@ -1,0 +1,70 @@
+#include "core/duplicate_groups.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace adrdedup::core {
+
+UnionFind::UnionFind(size_t n) : parent_(n), size_(n, 1) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  ADRDEDUP_CHECK_LT(x, parent_.size());
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    const uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  return true;
+}
+
+size_t UnionFind::SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+DuplicateGroups BuildDuplicateGroups(
+    const std::vector<distance::ReportPair>& detected_pairs,
+    size_t num_reports) {
+  UnionFind uf(num_reports);
+  for (const auto& pair : detected_pairs) {
+    ADRDEDUP_CHECK_LT(pair.a, num_reports);
+    ADRDEDUP_CHECK_LT(pair.b, num_reports);
+    uf.Union(pair.a, pair.b);
+  }
+
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_root;
+  for (size_t i = 0; i < num_reports; ++i) {
+    const auto id = static_cast<uint32_t>(i);
+    if (uf.SizeOf(id) >= 2) {
+      by_root[uf.Find(id)].push_back(id);
+    }
+  }
+
+  DuplicateGroups result;
+  result.num_singletons = num_reports;
+  result.groups.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    result.num_singletons -= members.size();
+    result.groups.push_back(std::move(members));
+  }
+  std::sort(result.groups.begin(), result.groups.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return result;
+}
+
+}  // namespace adrdedup::core

@@ -1,0 +1,56 @@
+// Duplicate-group construction: detected pairs link reports into case
+// groups via transitive closure (union-find). Regulators act on groups —
+// one "true case" with N linked submissions — not on raw pairs; group
+// structure also feeds the corrected disproportionality statistics the
+// paper's introduction motivates (duplicates distort ADR report ratios).
+#ifndef ADRDEDUP_CORE_DUPLICATE_GROUPS_H_
+#define ADRDEDUP_CORE_DUPLICATE_GROUPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/pairwise.h"
+
+namespace adrdedup::core {
+
+// Union-find over report ids with path compression and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  // Representative of x's set (with path compression).
+  uint32_t Find(uint32_t x);
+
+  // Merges the sets of a and b; returns true if they were disjoint.
+  bool Union(uint32_t a, uint32_t b);
+
+  // Size of x's set.
+  size_t SizeOf(uint32_t x);
+
+  size_t num_elements() const { return parent_.size(); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+struct DuplicateGroups {
+  // Groups with >= 2 members, each sorted ascending; groups ordered by
+  // their smallest member.
+  std::vector<std::vector<uint32_t>> groups;
+  // Reports in no detected pair (singleton cases).
+  size_t num_singletons = 0;
+
+  // Distinct cases = singletons + groups (each group is one true case).
+  size_t DistinctCases() const { return num_singletons + groups.size(); }
+};
+
+// Builds duplicate groups from detected pairs over a database of
+// `num_reports` reports. Pair ids must be < num_reports.
+DuplicateGroups BuildDuplicateGroups(
+    const std::vector<distance::ReportPair>& detected_pairs,
+    size_t num_reports);
+
+}  // namespace adrdedup::core
+
+#endif  // ADRDEDUP_CORE_DUPLICATE_GROUPS_H_

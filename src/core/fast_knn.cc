@@ -1,0 +1,385 @@
+#include "core/fast_knn.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "minispark/rdd.h"
+#include "util/logging.h"
+
+namespace adrdedup::core {
+
+using distance::DistanceVector;
+using distance::EuclideanDistance;
+using distance::LabeledPair;
+using ml::Neighbor;
+
+FastKnnClassifier::FastKnnClassifier(const FastKnnOptions& options)
+    : options_(options) {
+  ADRDEDUP_CHECK_GE(options_.k, 1u);
+  ADRDEDUP_CHECK_GE(options_.num_clusters, 1u);
+}
+
+void FastKnnClassifier::Fit(const std::vector<LabeledPair>& train,
+                            util::ThreadPool* pool) {
+  ADRDEDUP_CHECK(!train.empty()) << "Fit with empty training set";
+
+  // Cluster the full training set (Algorithm 2, line 1).
+  std::vector<DistanceVector> points;
+  points.reserve(train.size());
+  for (const LabeledPair& pair : train) points.push_back(pair.vector);
+  ml::KMeansOptions kmeans_options;
+  kmeans_options.num_clusters = options_.num_clusters;
+  kmeans_options.seed = options_.seed;
+  kmeans_options.max_iterations = options_.kmeans_max_iterations;
+  const ml::KMeansResult clustering = RunKMeans(points, kmeans_options, pool);
+  centers_ = clustering.centers;
+
+  // Bucket negatives per Voronoi cell; keep positives global
+  // (Observation 1: they are few and every query compares against all of
+  // them anyway).
+  partitions_.assign(centers_.size(), {});
+  positives_.clear();
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train[i].is_positive()) {
+      positives_.push_back(train[i]);
+    } else {
+      partitions_[clustering.assignment[i]].push_back(train[i]);
+    }
+  }
+
+  // Pairwise center distances for Eq. 7.
+  const size_t b = centers_.size();
+  center_distances_.assign(b * b, 0.0);
+  for (size_t i = 0; i < b; ++i) {
+    for (size_t j = i + 1; j < b; ++j) {
+      const double d = EuclideanDistance(centers_[i], centers_[j]);
+      center_distances_[i * b + j] = d;
+      center_distances_[j * b + i] = d;
+    }
+  }
+  fitted_ = true;
+}
+
+double FastKnnClassifier::HyperplaneDistance(const DistanceVector& query,
+                                             size_t i, size_t j) const {
+  const double d_pj = EuclideanDistance(query, centers_[j]);
+  const double d_pi = EuclideanDistance(query, centers_[i]);
+  const double d_centers = center_distances_[i * centers_.size() + j];
+  if (d_centers <= 0.0) {
+    // Coincident centers: no separating hyperplane; never prune.
+    return 0.0;
+  }
+  return (d_pj * d_pj - d_pi * d_pi) / (2.0 * d_centers);
+}
+
+std::vector<size_t> FastKnnClassifier::SelectAdditionalPartitions(
+    const DistanceVector& query, size_t home_cluster,
+    double kth_distance) const {
+  // Algorithm 1, lines 6-11: include partition j when the query's k-th
+  // neighbour is farther than the hyperplane separating home and j —
+  // otherwise no point of j can enter the top k (triangle inequality on
+  // the Voronoi geometry, Observation 4).
+  std::vector<size_t> selected;
+  for (size_t j = 0; j < partitions_.size(); ++j) {
+    if (j == home_cluster) continue;
+    if (partitions_[j].empty()) continue;
+    if (kth_distance > HyperplaneDistance(query, home_cluster, j)) {
+      selected.push_back(j);
+    }
+  }
+  return selected;
+}
+
+namespace {
+
+// Offsets partition-local neighbour indices into a classifier-global id
+// space so merged lists stay deduplicated and deterministic.
+void OffsetIndices(std::vector<Neighbor>* neighbors, uint32_t base) {
+  for (Neighbor& n : *neighbors) n.index += base;
+}
+
+double KthDistanceOrInf(const std::vector<Neighbor>& neighbors, size_t k) {
+  if (neighbors.size() < k) return std::numeric_limits<double>::infinity();
+  return neighbors.back().distance;
+}
+
+}  // namespace
+
+FastKnnResult FastKnnClassifier::Classify(
+    const DistanceVector& query) const {
+  ADRDEDUP_CHECK(fitted_) << "Classify() before Fit()";
+  stats_->AddQuery();
+  const size_t k = options_.k;
+
+  // Global index bases: negatives get [0, total_negatives) in partition
+  // order, positives follow.
+  // (Recomputed per call cheaply; partitions_ is immutable after Fit.)
+  const size_t home = ml::NearestCenter(query, centers_);
+
+  uint32_t home_base = 0;
+  std::vector<uint32_t> bases(partitions_.size(), 0);
+  {
+    uint32_t running = 0;
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      bases[p] = running;
+      running += static_cast<uint32_t>(partitions_[p].size());
+    }
+    home_base = bases[home];
+  }
+  const uint32_t positive_base = [&] {
+    uint32_t total = 0;
+    for (const auto& partition : partitions_) {
+      total += static_cast<uint32_t>(partition.size());
+    }
+    return total;
+  }();
+
+  // Stage 1: intra-cluster kNN over the home cell's negatives.
+  std::vector<Neighbor> merged =
+      ml::BruteForceKnn(query, partitions_[home], k);
+  OffsetIndices(&merged, home_base);
+  stats_->AddIntra(partitions_[home].size());
+
+  // Positive sweep (Algorithm 2, lines 9-10): all positives, always.
+  std::vector<Neighbor> positive_neighbors =
+      ml::BruteForceKnn(query, positives_, k);
+  OffsetIndices(&positive_neighbors, positive_base);
+  stats_->AddPositive(positives_.size());
+  const double nearest_positive =
+      positive_neighbors.empty()
+          ? std::numeric_limits<double>::infinity()
+          : positive_neighbors.front().distance;
+  merged = ml::MergeNeighbors(merged, positive_neighbors, k);
+
+  double kth = KthDistanceOrInf(merged, k);
+
+  // Early exit (Algorithm 1, lines 2-5): the k nearest so far are all
+  // negative and even the nearest positive cannot enter the top k, so s
+  // has no positive evidence anywhere in T.
+  if (options_.early_exit_all_negative && kth <= nearest_positive) {
+    const bool any_positive_in_topk =
+        std::any_of(merged.begin(), merged.end(),
+                    [](const Neighbor& n) { return n.label > 0; });
+    if (!any_positive_in_topk) {
+      stats_->AddEarlyExit();
+      FastKnnResult result;
+      result.score =
+          options_.vote == ml::KnnVote::kInverseDistance
+              ? ml::InverseDistanceScore(merged, options_.min_distance,
+                                         options_.positive_weight)
+              : ml::MajorityVoteScore(merged);
+      result.neighbors = std::move(merged);
+      return result;
+    }
+  }
+
+  // Stage 2: cross-cluster search over Algorithm-1-selected cells.
+  std::vector<size_t> extra =
+      options_.prune_with_hyperplanes
+          ? SelectAdditionalPartitions(query, home, kth)
+          : [&] {
+              std::vector<size_t> all;
+              for (size_t j = 0; j < partitions_.size(); ++j) {
+                if (j != home && !partitions_[j].empty()) all.push_back(j);
+              }
+              return all;
+            }();
+  stats_->AddAdditionalClusters(extra.size());
+  for (size_t j : extra) {
+    std::vector<Neighbor> cell_neighbors =
+        ml::BruteForceKnn(query, partitions_[j], k);
+    OffsetIndices(&cell_neighbors, bases[j]);
+    stats_->AddCross(partitions_[j].size());
+    merged = ml::MergeNeighbors(merged, cell_neighbors, k);
+  }
+
+  FastKnnResult result;
+  result.score =
+      options_.vote == ml::KnnVote::kInverseDistance
+          ? ml::InverseDistanceScore(merged, options_.min_distance,
+                                     options_.positive_weight)
+          : ml::MajorityVoteScore(merged);
+  result.neighbors = std::move(merged);
+  return result;
+}
+
+std::vector<double> FastKnnClassifier::ScoreAll(
+    const std::vector<LabeledPair>& queries) const {
+  std::vector<double> scores;
+  scores.reserve(queries.size());
+  for (const LabeledPair& query : queries) {
+    scores.push_back(Score(query.vector));
+  }
+  return scores;
+}
+
+std::vector<double> FastKnnClassifier::ScoreAllSpark(
+    minispark::SparkContext* ctx, const std::vector<LabeledPair>& queries,
+    size_t num_test_blocks) const {
+  ADRDEDUP_CHECK(ctx != nullptr);
+  ADRDEDUP_CHECK(fitted_) << "ScoreAllSpark() before Fit()";
+  // S is split into c blocks (Algorithm 2, line 4) and each block joins
+  // against the b training partitions, so the job runs at b*c task
+  // granularity — matching the partition count of Algorithm 2's
+  // cluster-ID join and giving the scheduler enough tasks to balance
+  // across executors.
+  std::vector<std::pair<size_t, DistanceVector>> indexed;
+  indexed.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    indexed.emplace_back(i, queries[i].vector);
+  }
+  const size_t blocks = num_test_blocks != 0
+                            ? num_test_blocks
+                            : ctx->default_parallelism();
+  auto rdd = ctx->Parallelize(std::move(indexed),
+                              blocks * partitions_.size());
+  auto scored = rdd.Map<std::pair<size_t, double>>(
+      [this](const std::pair<size_t, DistanceVector>& record) {
+        return std::make_pair(record.first, Score(record.second));
+      });
+  std::vector<double> out(queries.size());
+  for (const auto& [index, score] : scored.Collect()) {
+    out[index] = score;
+  }
+  return out;
+}
+
+namespace {
+
+// Binary serialization helpers. Host-endian (the model file is a local
+// cache, not an interchange format — documented in model_io.h).
+constexpr char kModelMagic[] = "ADRKNN1";
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteVector(std::ostream& out, const DistanceVector& v) {
+  for (size_t d = 0; d < distance::kDistanceDims; ++d) WritePod(out, v[d]);
+}
+
+bool ReadVector(std::istream& in, DistanceVector* v) {
+  for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+    if (!ReadPod(in, &(*v)[d])) return false;
+  }
+  return true;
+}
+
+void WritePairs(std::ostream& out, const std::vector<LabeledPair>& pairs) {
+  WritePod(out, static_cast<uint64_t>(pairs.size()));
+  for (const LabeledPair& pair : pairs) {
+    WriteVector(out, pair.vector);
+    WritePod(out, pair.pair.a);
+    WritePod(out, pair.pair.b);
+    WritePod(out, pair.label);
+  }
+}
+
+bool ReadPairs(std::istream& in, std::vector<LabeledPair>* pairs) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  pairs->resize(count);
+  for (LabeledPair& pair : *pairs) {
+    if (!ReadVector(in, &pair.vector)) return false;
+    if (!ReadPod(in, &pair.pair.a)) return false;
+    if (!ReadPod(in, &pair.pair.b)) return false;
+    if (!ReadPod(in, &pair.label)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Status FastKnnClassifier::Save(std::ostream& out) const {
+  if (!fitted_) {
+    return util::Status::FailedPrecondition("Save() on an unfitted model");
+  }
+  out.write(kModelMagic, sizeof(kModelMagic));
+  WritePod(out, static_cast<uint64_t>(options_.k));
+  WritePod(out, static_cast<uint64_t>(options_.num_clusters));
+  WritePod(out, static_cast<uint8_t>(options_.vote));
+  WritePod(out, options_.min_distance);
+  WritePod(out, options_.positive_weight);
+  WritePod(out, static_cast<uint8_t>(options_.early_exit_all_negative));
+  WritePod(out, static_cast<uint8_t>(options_.prune_with_hyperplanes));
+
+  WritePod(out, static_cast<uint64_t>(centers_.size()));
+  for (const DistanceVector& center : centers_) WriteVector(out, center);
+  for (const auto& partition : partitions_) WritePairs(out, partition);
+  WritePairs(out, positives_);
+  if (!out) return util::Status::IoError("model write failed");
+  return util::Status::OK();
+}
+
+util::Result<FastKnnClassifier> FastKnnClassifier::Load(std::istream& in) {
+  char magic[sizeof(kModelMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
+    return util::Status::InvalidArgument("not a Fast kNN model file");
+  }
+  FastKnnOptions options;
+  uint64_t k = 0;
+  uint64_t num_clusters = 0;
+  uint8_t vote = 0;
+  uint8_t early_exit = 0;
+  uint8_t prune = 0;
+  if (!ReadPod(in, &k) || !ReadPod(in, &num_clusters) ||
+      !ReadPod(in, &vote) || !ReadPod(in, &options.min_distance) ||
+      !ReadPod(in, &options.positive_weight) || !ReadPod(in, &early_exit) ||
+      !ReadPod(in, &prune)) {
+    return util::Status::InvalidArgument("truncated model header");
+  }
+  options.k = k;
+  options.num_clusters = num_clusters;
+  options.vote = static_cast<ml::KnnVote>(vote);
+  options.early_exit_all_negative = early_exit != 0;
+  options.prune_with_hyperplanes = prune != 0;
+
+  FastKnnClassifier classifier(options);
+  uint64_t num_centers = 0;
+  if (!ReadPod(in, &num_centers) || num_centers == 0 ||
+      num_centers > 1000000) {
+    return util::Status::InvalidArgument("corrupt model: centers");
+  }
+  classifier.centers_.resize(num_centers);
+  for (DistanceVector& center : classifier.centers_) {
+    if (!ReadVector(in, &center)) {
+      return util::Status::InvalidArgument("truncated model: centers");
+    }
+  }
+  classifier.partitions_.resize(num_centers);
+  for (auto& partition : classifier.partitions_) {
+    if (!ReadPairs(in, &partition)) {
+      return util::Status::InvalidArgument("truncated model: partitions");
+    }
+  }
+  if (!ReadPairs(in, &classifier.positives_)) {
+    return util::Status::InvalidArgument("truncated model: positives");
+  }
+
+  // Rebuild the derived center-distance matrix.
+  const size_t b = classifier.centers_.size();
+  classifier.center_distances_.assign(b * b, 0.0);
+  for (size_t i = 0; i < b; ++i) {
+    for (size_t j = i + 1; j < b; ++j) {
+      const double d = EuclideanDistance(classifier.centers_[i],
+                                         classifier.centers_[j]);
+      classifier.center_distances_[i * b + j] = d;
+      classifier.center_distances_[j * b + i] = d;
+    }
+  }
+  classifier.fitted_ = true;
+  return classifier;
+}
+
+}  // namespace adrdedup::core

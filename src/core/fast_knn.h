@@ -1,0 +1,161 @@
+// Fast kNN classification — the paper's primary contribution (Section 4.3).
+//
+// Training pairs T are Voronoi-partitioned with k-means (Algorithm 2,
+// line 1). For a test pair s:
+//   Stage 1 (intra-cluster): exact kNN against the negative pairs of the
+//     cluster s is assigned to (lines 6-8).
+//   Positive sweep: distances to every positive training pair — cheap,
+//     because positives are rare (Observation 1) — merged into the top-k
+//     (lines 9-10).
+//   Early exit: if the k nearest so far are all negative and even the
+//     nearest positive is farther than the current k-th neighbour, s
+//     cannot be a duplicate and stage 2 is skipped (Observations 2-3,
+//     Algorithm 1 lines 2-5).
+//   Stage 2 (cross-cluster): Algorithm 1 selects the neighbouring Voronoi
+//     cells whose hyperplane is closer than the current k-th neighbour
+//     (Eq. 7, Observation 4); their negatives are searched and merged
+//     (lines 12-15).
+// The score is Eq. 5 (inverse-distance-weighted label sum) and the label
+// is Eq. 6 (threshold theta).
+//
+// With `early_exit_all_negative = false` the search is provably exact:
+// the returned k nearest neighbours equal brute force over all of T
+// (tested against ml::KnnClassifier). The paper's default early exit
+// keeps the classification decision but may freeze the score of obvious
+// non-duplicates before all global neighbours are found.
+#ifndef ADRDEDUP_CORE_FAST_KNN_H_
+#define ADRDEDUP_CORE_FAST_KNN_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/comparison_stats.h"
+#include "distance/pair_dataset.h"
+#include "minispark/context.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "util/status.h"
+
+namespace adrdedup::core {
+
+struct FastKnnOptions {
+  // Neighbourhood size (odd values make Eq. 1 majority votes strict).
+  size_t k = 9;
+  // Number of Voronoi cells b for the training partitioning.
+  size_t num_clusters = 32;
+  // Eq. 5 (inverse distance) or Eq. 1 (majority) scoring.
+  ml::KnnVote vote = ml::KnnVote::kInverseDistance;
+  // Distance clamp for Eq. 5 (exact matches contribute 1/min_distance).
+  double min_distance = 1e-6;
+  // Class weight on positive neighbours in Eq. 5; > 1 gives the
+  // imbalance-aware weighting of Liu & Chawla [14] (extension; the
+  // paper's method is 1.0).
+  double positive_weight = 1.0;
+  // Observations 2-3 shortcut. Disable for a provably exact kNN search.
+  bool early_exit_all_negative = true;
+  // Observation 4 pruning. Disable to search every cluster in stage 2
+  // (the "naive parallelization" ablation of Section 4.3.1).
+  bool prune_with_hyperplanes = true;
+  // k-means seeding.
+  uint64_t seed = 5;
+  int kmeans_max_iterations = 25;
+};
+
+// Per-query classification result.
+struct FastKnnResult {
+  double score = 0.0;
+  // The k nearest neighbours found (ascending distance). Under the
+  // default early exit this may reflect only the partitions searched.
+  std::vector<ml::Neighbor> neighbors;
+};
+
+class FastKnnClassifier {
+ public:
+  explicit FastKnnClassifier(const FastKnnOptions& options);
+
+  // Partitions the training set. Positives are kept globally; negatives
+  // are bucketed by Voronoi cell. Copies its input.
+  void Fit(const std::vector<distance::LabeledPair>& train,
+           util::ThreadPool* pool = nullptr);
+
+  // Classifies one query (thread-safe after Fit).
+  FastKnnResult Classify(const distance::DistanceVector& query) const;
+
+  // Eq. 5 / Eq. 1 score only.
+  double Score(const distance::DistanceVector& query) const {
+    return Classify(query).score;
+  }
+
+  // Scores a batch sequentially.
+  std::vector<double> ScoreAll(
+      const std::vector<distance::LabeledPair>& queries) const;
+
+  // Algorithm 2 as a minispark job: the testing set is split into
+  // `num_test_blocks` blocks (parameter c; 0 = context default
+  // parallelism) and scored in parallel on the context's executors.
+  std::vector<double> ScoreAllSpark(
+      minispark::SparkContext* ctx,
+      const std::vector<distance::LabeledPair>& queries,
+      size_t num_test_blocks = 0) const;
+
+  // Eq. 6.
+  static int8_t Classify(double score, double theta) {
+    return score >= theta ? +1 : -1;
+  }
+
+  // Algorithm 1, exposed for tests: the extra partitions to search for a
+  // query assigned to `home_cluster` whose current k-th neighbour
+  // distance is `kth_distance`.
+  std::vector<size_t> SelectAdditionalPartitions(
+      const distance::DistanceVector& query, size_t home_cluster,
+      double kth_distance) const;
+
+  // Serializes the fitted model (options, centers, partitions,
+  // positives) in the versioned binary format of model_io.h. The stream
+  // must be binary-mode. Fails on an unfitted classifier.
+  util::Status Save(std::ostream& out) const;
+
+  // Reconstructs a fitted classifier saved with Save(). The result
+  // classifies identically to the original (tested property).
+  static util::Result<FastKnnClassifier> Load(std::istream& in);
+
+  const ComparisonStats& stats() const { return *stats_; }
+  ComparisonStats& stats() { return *stats_; }
+
+  const FastKnnOptions& options() const { return options_; }
+  const std::vector<distance::DistanceVector>& centers() const {
+    return centers_;
+  }
+  // Negative training pairs of one Voronoi cell.
+  const std::vector<distance::LabeledPair>& partition(size_t i) const {
+    return partitions_[i];
+  }
+  size_t num_partitions() const { return partitions_.size(); }
+  const std::vector<distance::LabeledPair>& positives() const {
+    return positives_;
+  }
+
+ private:
+  // Distance from `query` (assigned to cell i) to the hyperplane
+  // separating cells i and j — Eq. 7.
+  double HyperplaneDistance(const distance::DistanceVector& query, size_t i,
+                            size_t j) const;
+
+  FastKnnOptions options_;
+  bool fitted_ = false;
+  std::vector<distance::DistanceVector> centers_;
+  // d(p_i, p_j) matrix, row-major, for Eq. 7.
+  std::vector<double> center_distances_;
+  std::vector<std::vector<distance::LabeledPair>> partitions_;  // negatives
+  std::vector<distance::LabeledPair> positives_;
+  // Heap-allocated so the classifier stays movable (ComparisonStats holds
+  // atomics); never null.
+  std::unique_ptr<ComparisonStats> stats_ =
+      std::make_unique<ComparisonStats>();
+};
+
+}  // namespace adrdedup::core
+
+#endif  // ADRDEDUP_CORE_FAST_KNN_H_

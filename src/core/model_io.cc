@@ -1,0 +1,23 @@
+#include "core/model_io.h"
+
+#include <fstream>
+
+namespace adrdedup::core {
+
+util::Status SaveModelToFile(const FastKnnClassifier& classifier,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  ADRDEDUP_RETURN_NOT_OK(classifier.Save(out));
+  out.flush();
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<FastKnnClassifier> LoadModelFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  return FastKnnClassifier::Load(in);
+}
+
+}  // namespace adrdedup::core

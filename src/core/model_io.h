@@ -1,0 +1,25 @@
+// File-level persistence for fitted Fast kNN models, so a regulator can
+// train once and screen many batches across process restarts. The format
+// ("ADRKNN1" magic + little-endian-native binary sections) is written and
+// parsed by FastKnnClassifier::Save/Load; these helpers add the file
+// plumbing and error mapping.
+#ifndef ADRDEDUP_CORE_MODEL_IO_H_
+#define ADRDEDUP_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "core/fast_knn.h"
+#include "util/status.h"
+
+namespace adrdedup::core {
+
+// Writes the fitted `classifier` to `path` (overwrites).
+util::Status SaveModelToFile(const FastKnnClassifier& classifier,
+                             const std::string& path);
+
+// Loads a model previously written by SaveModelToFile.
+util::Result<FastKnnClassifier> LoadModelFromFile(const std::string& path);
+
+}  // namespace adrdedup::core
+
+#endif  // ADRDEDUP_CORE_MODEL_IO_H_

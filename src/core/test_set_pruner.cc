@@ -1,0 +1,82 @@
+#include "core/test_set_pruner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace adrdedup::core {
+
+using distance::DistanceVector;
+using distance::EuclideanDistance;
+using distance::LabeledPair;
+
+void TestSetPruner::Fit(const std::vector<LabeledPair>& positives) {
+  ADRDEDUP_CHECK(!positives.empty())
+      << "pruner needs at least one positive pair";
+  std::vector<DistanceVector> points;
+  points.reserve(positives.size());
+  for (const LabeledPair& pair : positives) {
+    ADRDEDUP_CHECK(pair.is_positive())
+        << "TestSetPruner::Fit expects positive pairs only";
+    points.push_back(pair.vector);
+  }
+
+  ml::KMeansOptions kmeans_options;
+  kmeans_options.num_clusters = options_.num_clusters;
+  kmeans_options.seed = options_.seed;
+  const ml::KMeansResult clustering = RunKMeans(points, kmeans_options);
+  centers_ = clustering.centers;
+
+  radii_.assign(centers_.size(), 0.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const uint32_t c = clustering.assignment[i];
+    radii_[c] = std::max(radii_[c],
+                         EuclideanDistance(points[i], centers_[c]));
+  }
+  fitted_ = true;
+}
+
+bool TestSetPruner::ShouldKeep(const DistanceVector& v,
+                               double f_theta) const {
+  ADRDEDUP_CHECK(fitted_) << "Prune() before Fit()";
+  for (size_t c = 0; c < centers_.size(); ++c) {
+    if (EuclideanDistance(v, centers_[c]) <= radii_[c] + f_theta) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double TestSetPruner::LearnFTheta(
+    const std::vector<LabeledPair>& held_out_positives,
+    double safety_margin) const {
+  ADRDEDUP_CHECK(fitted_) << "LearnFTheta() before Fit()";
+  double required = 0.0;
+  for (const LabeledPair& pair : held_out_positives) {
+    // Slack of the best-covering cluster: how far outside its halo the
+    // pair sits at f(theta) = 0.
+    double best_slack = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers_.size(); ++c) {
+      const double slack =
+          EuclideanDistance(pair.vector, centers_[c]) - radii_[c];
+      best_slack = std::min(best_slack, slack);
+    }
+    required = std::max(required, std::max(0.0, best_slack));
+  }
+  return required + safety_margin;
+}
+
+PruneResult TestSetPruner::Prune(const std::vector<LabeledPair>& test,
+                                 double f_theta) const {
+  PruneResult result;
+  result.input_size = test.size();
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (ShouldKeep(test[i].vector, f_theta)) {
+      result.kept.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace adrdedup::core

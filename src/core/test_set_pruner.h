@@ -1,0 +1,75 @@
+// Testing-set pruning (paper Section 4.3.4): positive training pairs are
+// clustered; a testing pair that lies outside every positive cluster's
+// radius + f(theta) halo cannot attract enough positive evidence to score
+// above theta, so it is dropped before classification.
+#ifndef ADRDEDUP_CORE_TEST_SET_PRUNER_H_
+#define ADRDEDUP_CORE_TEST_SET_PRUNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/pair_dataset.h"
+#include "ml/kmeans.h"
+
+namespace adrdedup::core {
+
+struct TestSetPrunerOptions {
+  // Number of clusters l over the positive training pairs.
+  size_t num_clusters = 8;
+  uint64_t seed = 13;
+};
+
+struct PruneResult {
+  // Indices into the input testing set that survive pruning.
+  std::vector<size_t> kept;
+  size_t input_size = 0;
+
+  // Fraction of the testing set retained.
+  double KeptRatio() const {
+    return input_size == 0
+               ? 1.0
+               : static_cast<double>(kept.size()) /
+                     static_cast<double>(input_size);
+  }
+};
+
+class TestSetPruner {
+ public:
+  explicit TestSetPruner(const TestSetPrunerOptions& options)
+      : options_(options) {}
+
+  // Step 1-2: cluster the positive pairs and record each cluster's radius
+  // (distance of its farthest member to the center).
+  void Fit(const std::vector<distance::LabeledPair>& positives);
+
+  // Step 3: keep testing pair t iff dist(t, cp_i) <= dcp_i + f_theta for
+  // some positive cluster i.
+  PruneResult Prune(const std::vector<distance::LabeledPair>& test,
+                    double f_theta) const;
+
+  // True iff `v` falls inside some cluster halo.
+  bool ShouldKeep(const distance::DistanceVector& v, double f_theta) const;
+
+  // Learns f(theta) from labelled data — the paper's stated future work
+  // ("the setting can be learned from the labelled data"): returns the
+  // smallest halo that keeps every pair of `held_out_positives`, plus
+  // `safety_margin`. Pairs already inside a cluster radius contribute 0.
+  double LearnFTheta(
+      const std::vector<distance::LabeledPair>& held_out_positives,
+      double safety_margin = 0.05) const;
+
+  const std::vector<distance::DistanceVector>& centers() const {
+    return centers_;
+  }
+  const std::vector<double>& radii() const { return radii_; }
+
+ private:
+  TestSetPrunerOptions options_;
+  bool fitted_ = false;
+  std::vector<distance::DistanceVector> centers_;
+  std::vector<double> radii_;
+};
+
+}  // namespace adrdedup::core
+
+#endif  // ADRDEDUP_CORE_TEST_SET_PRUNER_H_

@@ -1,0 +1,148 @@
+#include "datagen/description_gen.h"
+
+#include "util/logging.h"
+
+namespace adrdedup::datagen {
+
+namespace {
+
+std::string SexWord(const std::string& sex) {
+  if (sex == "M") return "male";
+  if (sex == "F") return "female";
+  return "patient";
+}
+
+std::string JoinWithAnd(const std::vector<std::string>& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += (i + 1 == items.size()) ? " and " : ", ";
+    out += items[i];
+  }
+  return out;
+}
+
+std::string JoinDrugs(const std::vector<std::string>& drugs) {
+  return JoinWithAnd(drugs);
+}
+
+const char* PickFiller(util::Rng* rng, std::initializer_list<const char*>
+                                           options) {
+  const size_t index = static_cast<size_t>(rng->Uniform(options.size()));
+  return *(options.begin() + static_cast<ptrdiff_t>(index));
+}
+
+// Template 0: sponsor literature-report style (Table 1, report A).
+std::string RenderSponsorStyle(const CaseFacts& f, util::Rng* rng) {
+  std::string out = "Reference number " + f.reference_number +
+                    " is a report received ";
+  out += PickFiller(rng, {"from the sponsor", "from a literature source",
+                          "via the reporting programme"});
+  out += " pertaining to a " + std::to_string(f.age) + " year-old " +
+         SexWord(f.sex) + " patient who experienced " +
+         JoinWithAnd(f.reactions) + " while on " + JoinDrugs(f.drugs) +
+         " for the treatment of ";
+  out += PickFiller(rng, {"unknown indication", "an unspecified condition",
+                          "the underlying illness"});
+  out += ". The reported outcome was " + f.outcome + ". ";
+  out += PickFiller(rng,
+                    {"Causality was not assessed by the reporter.",
+                     "No further information was available at this time.",
+                     "Follow-up has been requested from the reporter.",
+                     "The case was assessed as medically significant."});
+  return out;
+}
+
+// Template 1: first-person clinical narrative (Table 1, report B).
+std::string RenderClinicalStyle(const CaseFacts& f, util::Rng* rng) {
+  std::string out = "The " + std::to_string(f.age) + "-year-old " +
+                    SexWord(f.sex) + " subject started treatment with " +
+                    JoinDrugs(f.drugs) + ", start date ";
+  const std::string documented_as = "documented as " + f.onset_date;
+  out += PickFiller(rng, {"and duration of therapy unknown",
+                          "not recorded in the notes",
+                          documented_as.c_str()});
+  out += ". On " + f.onset_date + " the subject presented with " +
+         JoinWithAnd(f.reactions) + ". ";
+  out += PickFiller(
+      rng, {"Treatment was withdrawn and supportive care commenced.",
+            "The subject was reviewed by the treating physician.",
+            "Laboratory investigations were ordered the same day.",
+            "The dose was reduced following the event."});
+  out += " Outcome at the time of reporting: " + f.outcome + ".";
+  return out;
+}
+
+// Template 2: consumer timeline narrative (Table 1, reports C/D).
+std::string RenderConsumerStyle(const CaseFacts& f, util::Rng* rng) {
+  std::string out = "On " + f.onset_date + ", ";
+  out += PickFiller(rng, {"in the evening, ", "in the afternoon, ",
+                          "within hours of administration, ", ""});
+  out += "the patient experienced " + JoinWithAnd(f.reactions) +
+         " after taking " + JoinDrugs(f.drugs) + ". ";
+  out += PickFiller(
+      rng,
+      {"She required assistance before she felt better and so didn't go "
+       "to hospital.",
+       "An ambulance was called and the patient was assessed at home.",
+       "The symptoms settled over the following days without treatment.",
+       "The patient attended the local emergency department overnight."});
+  out += " The reporter described the outcome as " + f.outcome + ".";
+  return out;
+}
+
+// Template 3: regulator case-summary style.
+std::string RenderRegulatorStyle(const CaseFacts& f, util::Rng* rng) {
+  std::string out =
+      "Case " + f.reference_number + " concerns a " +
+      std::to_string(f.age) + " year old " + SexWord(f.sex) +
+      " reported by a " + f.reporter_type + ". Suspected medicine: " +
+      JoinDrugs(f.drugs) + ". Reported reactions: " +
+      JoinWithAnd(f.reactions) + " with onset " + f.onset_date + ". ";
+  out += PickFiller(
+      rng, {"Concomitant medications were not reported.",
+            "The patient had no relevant medical history on file.",
+            "Rechallenge information was not provided.",
+            "Dechallenge was positive according to the reporter."});
+  out += " Outcome: " + f.outcome + ".";
+  return out;
+}
+
+// Template 4: hospital discharge style.
+std::string RenderHospitalStyle(const CaseFacts& f, util::Rng* rng) {
+  std::string out =
+      "Admission note: " + std::to_string(f.age) + PickFiller(rng, {"yo ", " year old "}) +
+      SexWord(f.sex) + " presenting with " + JoinWithAnd(f.reactions) +
+      ". Current medications include " + JoinDrugs(f.drugs) +
+      " commenced prior to onset on " + f.onset_date + ". ";
+  out += PickFiller(
+      rng,
+      {"Suspected adverse drug reaction; medicine ceased on admission.",
+       "Reaction considered probably related to the suspect medicine.",
+       "Patient monitored overnight; vitals remained stable.",
+       "Bloods taken on admission showed no other abnormality."});
+  out += " Discharge status: " + f.outcome + ".";
+  return out;
+}
+
+}  // namespace
+
+size_t NumDescriptionTemplates() { return 5; }
+
+std::string RenderDescription(const CaseFacts& facts, size_t template_index,
+                              util::Rng* rng) {
+  ADRDEDUP_CHECK(rng != nullptr);
+  switch (template_index % NumDescriptionTemplates()) {
+    case 0:
+      return RenderSponsorStyle(facts, rng);
+    case 1:
+      return RenderClinicalStyle(facts, rng);
+    case 2:
+      return RenderConsumerStyle(facts, rng);
+    case 3:
+      return RenderRegulatorStyle(facts, rng);
+    default:
+      return RenderHospitalStyle(facts, rng);
+  }
+}
+
+}  // namespace adrdedup::datagen

@@ -1,0 +1,42 @@
+// Free-text "report description" synthesis. Real TGA descriptions are
+// mostly 250-300 characters of clinical narrative; duplicated reports
+// describe the same case in different words (paper Table 1). We render a
+// structured CaseFacts record through one of several narrative templates,
+// so two renderings of the same facts share content words (drug, reaction,
+// dates) but differ in phrasing — exactly the signal the paper's
+// tokenize/stop-word/stem pipeline is designed to recover.
+#ifndef ADRDEDUP_DATAGEN_DESCRIPTION_GEN_H_
+#define ADRDEDUP_DATAGEN_DESCRIPTION_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace adrdedup::datagen {
+
+// The clinical facts a narrative is rendered from.
+struct CaseFacts {
+  int age = 0;
+  std::string sex;                     // "M" / "F"
+  std::vector<std::string> drugs;      // generic names
+  std::vector<std::string> reactions;  // ADR names
+  std::string onset_date;              // "30/04/2013" style
+  std::string outcome;                 // outcome description
+  std::string reporter_type;
+  std::string reference_number;
+};
+
+// Number of distinct narrative templates available.
+size_t NumDescriptionTemplates();
+
+// Renders `facts` through template `template_index`
+// (mod NumDescriptionTemplates()). `rng` supplies filler variation
+// (connective phrases, elaborations) so renderings differ even under the
+// same template.
+std::string RenderDescription(const CaseFacts& facts, size_t template_index,
+                              util::Rng* rng);
+
+}  // namespace adrdedup::datagen
+
+#endif  // ADRDEDUP_DATAGEN_DESCRIPTION_GEN_H_

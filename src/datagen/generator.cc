@@ -1,0 +1,549 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datagen/description_gen.h"
+#include "datagen/lexicons.h"
+#include "report/field.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace adrdedup::datagen {
+
+namespace {
+
+using report::AdrReport;
+using report::FieldId;
+
+constexpr int kDaysPerMonth[] = {31, 28, 31, 30, 31, 30,
+                                 31, 31, 30, 31, 30, 31};
+
+// Calendar date helpers; the six-month window never crosses a leap day.
+struct Date {
+  int year;
+  int month;  // 1-12
+  int day;    // 1-31
+};
+
+Date AddDays(Date date, int days) {
+  date.day += days;
+  while (date.day > kDaysPerMonth[date.month - 1]) {
+    date.day -= kDaysPerMonth[date.month - 1];
+    ++date.month;
+    if (date.month > 12) {
+      date.month = 1;
+      ++date.year;
+    }
+  }
+  return date;
+}
+
+std::string FormatSlashDate(const Date& date) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%02d/%02d/%04d 00:00:00", date.day,
+                date.month, date.year);
+  return buffer;
+}
+
+std::string FormatPlainDate(const Date& date) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%02d/%02d/%04d", date.day,
+                date.month, date.year);
+  return buffer;
+}
+
+// Internal case description from which a report (or a duplicate of it) is
+// rendered.
+struct CaseSeed {
+  CaseFacts facts;
+  // Narrative template the description is rendered through; duplicates of
+  // the channel-overlap kind reuse it, follow-ups switch.
+  size_t template_index = 0;
+  Date report_date;
+  Date onset_date;
+  std::string state;
+  std::string severity;
+  std::string route;
+  std::string form;
+  int dosage_amount = 0;
+  bool state_missing = false;
+  bool onset_missing = false;
+  bool age_missing = false;
+};
+
+class CorpusBuilder {
+ public:
+  CorpusBuilder(const GeneratorConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        drugs_(MakeDrugLexicon(config.num_drugs)),
+        adrs_(MakeAdrLexicon(config.num_adrs)) {}
+
+  GeneratedCorpus Build() {
+    ADRDEDUP_CHECK_GT(config_.num_reports, 2 * config_.num_duplicate_pairs)
+        << "corpus too small for the requested duplicate pairs";
+    const size_t num_originals =
+        config_.num_reports - config_.num_duplicate_pairs;
+
+    // Seeds plus sibling-group structure: groups of distinct patients
+    // sharing one exposure event. `group_of[i]` is the event id of seed i
+    // or SIZE_MAX for singletons.
+    std::vector<CaseSeed> seeds;
+    std::vector<size_t> group_of;
+    seeds.reserve(num_originals);
+    group_of.reserve(num_originals);
+    size_t next_group = 0;
+    while (seeds.size() < num_originals) {
+      const size_t case_index = seeds.size();
+      CaseSeed base = MakeCaseSeed(case_index);
+      const size_t room = num_originals - seeds.size();
+      const double group_rate =
+          config_.sibling_event_fraction /
+          (0.5 * static_cast<double>(2 + config_.max_sibling_group));
+      if (room >= 2 && config_.max_sibling_group >= 2 &&
+          rng_.Bernoulli(group_rate)) {
+        const size_t group_size = std::min(
+            room, 2 + static_cast<size_t>(
+                          rng_.Uniform(config_.max_sibling_group - 1)));
+        const size_t group_id = next_group++;
+        seeds.push_back(base);
+        group_of.push_back(group_id);
+        for (size_t s = 1; s < group_size; ++s) {
+          seeds.push_back(DeriveSibling(base, seeds.size()));
+          group_of.push_back(group_id);
+        }
+      } else {
+        seeds.push_back(std::move(base));
+        group_of.push_back(SIZE_MAX);
+      }
+    }
+
+    // Choose which originals get a duplicate copy.
+    std::vector<size_t> original_indices(num_originals);
+    for (size_t i = 0; i < num_originals; ++i) original_indices[i] = i;
+    rng_.Shuffle(&original_indices);
+    original_indices.resize(config_.num_duplicate_pairs);
+    std::sort(original_indices.begin(), original_indices.end());
+
+    // Emit reports in arrival (report-date) order: originals in sequence,
+    // each duplicate shortly after its original, as follow-up/overlap
+    // duplicates arrive in practice.
+    GeneratedCorpus corpus;
+    std::vector<report::ReportId> original_ids(num_originals);
+    for (size_t i = 0; i < num_originals; ++i) {
+      original_ids[i] = corpus.db.Add(RenderReport(seeds[i], /*is_copy=*/false));
+    }
+    for (size_t original : original_indices) {
+      CaseSeed copy = CorruptForDuplicate(seeds[original]);
+      const report::ReportId copy_id =
+          corpus.db.Add(RenderReport(copy, /*is_copy=*/true));
+      corpus.duplicate_pairs.emplace_back(original_ids[original], copy_id);
+    }
+    // Export the non-duplicate sibling pairs (all intra-group pairs).
+    for (size_t i = 0; i < num_originals; ++i) {
+      if (group_of[i] == SIZE_MAX) continue;
+      for (size_t j = i + 1;
+           j < num_originals && group_of[j] == group_of[i]; ++j) {
+        corpus.sibling_pairs.emplace_back(original_ids[i], original_ids[j]);
+      }
+    }
+    return corpus;
+  }
+
+ private:
+  // Zipf-ish sampling so a few drugs/ADRs dominate, as in real SRS data.
+  // A u^1.5 skew concentrates mass at the head of the lexicon without
+  // making coincidental exact matches between unrelated cases common.
+  const std::string& SampleTerm(const std::vector<std::string>& lexicon) {
+    const double u = rng_.UniformDouble();
+    const size_t index = static_cast<size_t>(
+        u * std::sqrt(u) * static_cast<double>(lexicon.size()));
+    return lexicon[std::min(index, lexicon.size() - 1)];
+  }
+
+  // The first draw of case `case_index` cycles through the whole lexicon
+  // so every entry occurs at least once (matching Table 3 unique counts);
+  // later draws are Zipf-ish.
+  const std::string& CoveringTerm(const std::vector<std::string>& lexicon,
+                                  size_t cycle_index) {
+    if (cycle_index < lexicon.size()) return lexicon[cycle_index];
+    return SampleTerm(lexicon);
+  }
+
+  CaseSeed MakeCaseSeed(size_t case_index) {
+    CaseSeed seed;
+    seed.facts.age = static_cast<int>(rng_.UniformInt(1, 95));
+    seed.facts.sex = SexCategories()[rng_.Uniform(SexCategories().size())];
+    const size_t num_drugs = 1 + rng_.Uniform(3);   // 1-3 suspect drugs
+    const size_t num_reactions = 1 + rng_.Uniform(5);  // 1-5 reactions
+    std::set<std::string> chosen;
+    seed.facts.drugs.push_back(CoveringTerm(drugs_, case_index));
+    chosen.insert(seed.facts.drugs[0]);
+    while (seed.facts.drugs.size() < num_drugs) {
+      const std::string& drug = SampleTerm(drugs_);
+      if (chosen.insert(drug).second) seed.facts.drugs.push_back(drug);
+    }
+    chosen.clear();
+    // The ADR lexicon (2,351 entries) is wider than the drug lexicon;
+    // stride by 2 so full coverage still completes within the corpus.
+    seed.facts.reactions.push_back(CoveringTerm(adrs_, case_index * 2));
+    // During the coverage phase the second slot is mandatory — otherwise a
+    // single-reaction case would leave its odd coverage index unused and
+    // the unique-ADR count would fall short of the lexicon size.
+    const bool covering = case_index * 2 + 1 < adrs_.size();
+    if (num_reactions > 1 || covering) {
+      const std::string& second = CoveringTerm(adrs_, case_index * 2 + 1);
+      if (second != seed.facts.reactions[0]) {
+        seed.facts.reactions.push_back(second);
+      }
+    }
+    chosen.insert(seed.facts.reactions.begin(), seed.facts.reactions.end());
+    while (seed.facts.reactions.size() < num_reactions) {
+      const std::string& adr = SampleTerm(adrs_);
+      if (chosen.insert(adr).second) seed.facts.reactions.push_back(adr);
+    }
+    seed.facts.outcome =
+        OutcomeDescriptions()[rng_.Uniform(OutcomeDescriptions().size())];
+    seed.facts.reporter_type =
+        ReporterTypes()[rng_.Uniform(ReporterTypes().size())];
+    seed.facts.reference_number =
+        "AU-" + std::to_string(100000 + case_index);
+    seed.template_index = rng_.Uniform(NumDescriptionTemplates());
+
+    const Date window_start{config_.start_year, config_.start_month, 1};
+    seed.report_date = AddDays(
+        window_start,
+        static_cast<int>(rng_.Uniform(
+            static_cast<uint64_t>(std::max(1, config_.window_days)))));
+    // Onset precedes the report by 0-30 days; clamp inside the window
+    // rather than modelling pre-window onsets.
+    seed.onset_date = seed.report_date;
+    const int lead = static_cast<int>(rng_.Uniform(31));
+    seed.onset_date = AddDays(window_start,
+                              std::max(0, DayIndexOf(seed.report_date) -
+                                              lead));
+    seed.facts.onset_date = FormatPlainDate(seed.onset_date);
+
+    seed.state = AustralianStates()[rng_.Uniform(AustralianStates().size())];
+    seed.severity =
+        SeverityDescriptions()[rng_.Uniform(SeverityDescriptions().size())];
+    seed.route = RoutesOfAdministration()[rng_.Uniform(
+        RoutesOfAdministration().size())];
+    seed.form = DosageForms()[rng_.Uniform(DosageForms().size())];
+    seed.dosage_amount = static_cast<int>(rng_.UniformInt(1, 4)) * 20;
+
+    seed.state_missing = rng_.Bernoulli(config_.p_missing_state);
+    seed.onset_missing = rng_.Bernoulli(config_.p_missing_onset);
+    seed.age_missing = rng_.Bernoulli(config_.p_missing_age);
+    return seed;
+  }
+
+  int DayIndexOf(const Date& date) const {
+    // Days since the window start; good enough inside one half-year.
+    int days = 0;
+    Date cursor{config_.start_year, config_.start_month, 1};
+    while (cursor.month != date.month || cursor.year != date.year) {
+      days += kDaysPerMonth[cursor.month - 1];
+      ++cursor.month;
+      if (cursor.month > 12) {
+        cursor.month = 1;
+        ++cursor.year;
+      }
+    }
+    return days + date.day - 1;
+  }
+
+  // Derives a sibling case: a different patient in the same exposure
+  // event. Drug, onset date, state and most reactions carry over; age,
+  // sex and reference number are the patient's own.
+  CaseSeed DeriveSibling(const CaseSeed& base, size_t case_index) {
+    CaseSeed sibling = base;
+    // Many exposure events are age-cohort programs (school vaccination
+    // rounds, aged-care clinics): the sibling patient then shares the
+    // recorded age, so age agreement alone cannot separate duplicates
+    // from sibling pairs. The same programs are often single-sex (HPV
+    // school rounds), so sex frequently matches too.
+    // Cohort/sex-match and edit probabilities are tuned so that every
+    // per-dimension marginal of sibling pairs matches the duplicate-pair
+    // marginal: no single field separates the two classes, only the
+    // joint footprints do (see DESIGN.md on the benchmark geometry).
+    // Note these are per-member rates; a pair of two derived siblings
+    // composes two independent corruptions, so per-member rates are about
+    // half of the target pair-level rates.
+    if (!rng_.Bernoulli(0.85)) {
+      sibling.facts.age = static_cast<int>(rng_.UniformInt(1, 95));
+    }
+    if (rng_.Bernoulli(0.05)) {
+      sibling.facts.sex = sibling.facts.sex == "M" ? "F" : "M";
+    }
+    if (rng_.Bernoulli(0.12)) {
+      EditDrugList(&sibling.facts.drugs);
+    }
+    sibling.facts.reference_number =
+        "AU-" + std::to_string(100000 + case_index);
+    sibling.facts.outcome =
+        OutcomeDescriptions()[rng_.Uniform(OutcomeDescriptions().size())];
+    // Each patient reacts in their own way: the sibling keeps the event's
+    // hallmark reaction but often diverges beyond it.
+    if (rng_.Bernoulli(0.5)) {
+      EditReactionList(&sibling.facts.reactions);
+    }
+    rng_.Shuffle(&sibling.facts.reactions);
+    // Two entry paths, as with duplicates: most siblings are keyed in by
+    // the same clinic staff (template and structured fields carry over);
+    // the rest arrive late through another clinic — narrative rewritten
+    // and the form transcribed sloppily (state/onset dropped).
+    if (rng_.Bernoulli(0.25)) {
+      sibling.template_index = static_cast<size_t>(
+          (sibling.template_index + 1 +
+           rng_.Uniform(NumDescriptionTemplates() - 1)) %
+          NumDescriptionTemplates());
+      sibling.state_missing = rng_.Bernoulli(0.6);
+      sibling.onset_missing = rng_.Bernoulli(0.6);
+    }
+    // Otherwise the event form carries over: state/onset missingness is
+    // inherited from the base report, so clean siblings agree on them.
+    // The sibling files its own report a few days around the event.
+    sibling.report_date = AddDays(base.report_date,
+                                  static_cast<int>(rng_.Uniform(7)));
+    return sibling;
+  }
+
+  // Applies the Table-1 corruption model to produce the duplicate copy's
+  // case seed. Two footprints (see GeneratorConfig): channel-overlap
+  // copies keep the narrative but mangle demographics; follow-up copies
+  // keep demographics but rewrite the narrative as the case evolves.
+  CaseSeed CorruptForDuplicate(const CaseSeed& original) {
+    CaseSeed copy = original;
+    // Follow-up/duplicate submissions arrive days to weeks later.
+    copy.report_date =
+        AddDays(original.report_date, static_cast<int>(1 + rng_.Uniform(21)));
+
+    // Data-entry sex errors afflict both duplicate kinds.
+    if (rng_.Bernoulli(config_.p_sex_flip)) {
+      copy.facts.sex = copy.facts.sex == "M" ? "F" : "M";
+    }
+    const bool followup = rng_.Bernoulli(config_.p_followup_duplicate);
+    if (followup) {
+      // Narrative rewritten: a different template (Table 1(a)).
+      copy.template_index =
+          (original.template_index + 1 + rng_.Uniform(
+               NumDescriptionTemplates() - 1)) % NumDescriptionTemplates();
+      if (rng_.Bernoulli(config_.p_drug_list_edit)) {
+        EditDrugList(&copy.facts.drugs);
+      }
+      if (rng_.Bernoulli(config_.p_outcome_differs)) {
+        std::string new_outcome = copy.facts.outcome;
+        while (new_outcome == copy.facts.outcome) {
+          new_outcome = OutcomeDescriptions()[rng_.Uniform(
+              OutcomeDescriptions().size())];
+        }
+        copy.facts.outcome = new_outcome;
+      }
+      if (rng_.Bernoulli(config_.p_reaction_list_edit)) {
+        EditReactionList(&copy.facts.reactions);
+      }
+    } else {
+      // Channel overlap: same narrative source, transcription noise in
+      // the structured fields (Table 1(b)). Transcription errors are
+      // correlated — a sloppy re-keying of the form mangles several
+      // demographic fields at once, not one coin-flip at a time.
+      const bool sloppy_transcription = rng_.Bernoulli(0.8);
+      if (sloppy_transcription) {
+        if (rng_.Bernoulli(config_.p_age_typo)) {
+          // Transcribe one digit wrongly, like 84 -> 34 in Table 1.
+          const int tens = copy.facts.age / 10;
+          int new_tens = tens;
+          while (new_tens == tens) {
+            new_tens = static_cast<int>(rng_.Uniform(10));
+          }
+          copy.facts.age = new_tens * 10 + copy.facts.age % 10;
+          if (copy.facts.age == 0) copy.facts.age = 1;
+        }
+        if (rng_.Bernoulli(config_.p_state_goes_missing)) {
+          copy.state_missing = true;
+        }
+        if (rng_.Bernoulli(config_.p_onset_date_missing)) {
+          copy.onset_missing = true;
+        }
+      }
+      if (rng_.Bernoulli(0.5)) {
+        EditReactionList(&copy.facts.reactions);
+      }
+    }
+    // Duplicates frequently reorder multi-valued lists (Table 1(b)).
+    rng_.Shuffle(&copy.facts.reactions);
+    return copy;
+  }
+
+  void EditDrugList(std::vector<std::string>* drugs) {
+    if (drugs->size() > 1 && rng_.Bernoulli(0.6)) {
+      drugs->pop_back();
+      return;
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& drug = SampleTerm(drugs_);
+      if (std::find(drugs->begin(), drugs->end(), drug) == drugs->end()) {
+        drugs->push_back(drug);
+        return;
+      }
+    }
+  }
+
+  void EditReactionList(std::vector<std::string>* reactions) {
+    if (reactions->size() > 1 && rng_.Bernoulli(0.5)) {
+      const size_t victim = rng_.Uniform(reactions->size());
+      reactions->erase(reactions->begin() + static_cast<ptrdiff_t>(victim));
+      return;
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& adr = adrs_[rng_.Uniform(adrs_.size())];
+      if (std::find(reactions->begin(), reactions->end(), adr) ==
+          reactions->end()) {
+        reactions->push_back(adr);
+        return;
+      }
+    }
+  }
+
+  AdrReport RenderReport(const CaseSeed& seed, bool is_copy) {
+    AdrReport r;
+    const std::string case_number =
+        "C" + std::to_string(1000000 + next_case_number_++);
+    r.Set(FieldId::kCaseNumber, case_number);
+    r.Set(FieldId::kReportDate, FormatPlainDate(seed.report_date));
+    r.Set(FieldId::kCalculatedAge,
+          seed.age_missing ? "" : std::to_string(seed.facts.age));
+    r.Set(FieldId::kSex, seed.facts.sex);
+    r.Set(FieldId::kWeightCode, std::to_string(rng_.UniformInt(1, 6)));
+    r.Set(FieldId::kEthnicityCode, std::to_string(rng_.UniformInt(1, 9)));
+    r.Set(FieldId::kResidentialState,
+          seed.state_missing ? std::string(report::kNotKnown) : seed.state);
+    r.Set(FieldId::kOnsetDate,
+          seed.onset_missing ? "" : FormatSlashDate(seed.onset_date));
+    r.Set(FieldId::kDateOfOutcome, FormatPlainDate(seed.report_date));
+    r.Set(FieldId::kReactionOutcomeCode,
+          std::to_string(1 + IndexOf(OutcomeDescriptions(),
+                                     seed.facts.outcome)));
+    r.Set(FieldId::kReactionOutcomeDescription, seed.facts.outcome);
+    r.Set(FieldId::kSeverityCode,
+          std::to_string(1 + IndexOf(SeverityDescriptions(), seed.severity)));
+    r.Set(FieldId::kSeverityDescription, seed.severity);
+
+    r.Set(FieldId::kReportDescription,
+          RenderDescription(seed.facts, seed.template_index, &rng_));
+    r.Set(FieldId::kTreatmentText,
+          is_copy && rng_.Bernoulli(0.5) ? "Supportive care"
+                                         : "None recorded");
+    const bool hospitalised = seed.severity == "Hospitalisation";
+    r.Set(FieldId::kHospitalisationCode, hospitalised ? "1" : "2");
+    r.Set(FieldId::kHospitalisationDescription,
+          hospitalised ? "Admitted" : "Not admitted");
+
+    const std::string reaction_list =
+        util::Join(seed.facts.reactions, ",");
+    // MedDRA LLT/PT: the synthetic vocabulary uses the reaction names as
+    // both LLT and PT labels; codes are stable hashes of the names.
+    r.Set(FieldId::kMeddraLltCode, reaction_list);
+    r.Set(FieldId::kLltName, reaction_list);
+    r.Set(FieldId::kMeddraPtCode, reaction_list);
+    r.Set(FieldId::kPtName, reaction_list);
+
+    r.Set(FieldId::kSuspectCode, "1");
+    r.Set(FieldId::kSuspectDescription, "Suspect");
+    const std::string drug_list = util::Join(seed.facts.drugs, ",");
+    r.Set(FieldId::kTradeNameCode,
+          std::to_string(2000 + IndexOf(drugs_, seed.facts.drugs[0])));
+    r.Set(FieldId::kTradeNameDescription, seed.facts.drugs[0]);
+    r.Set(FieldId::kGenericNameCode,
+          std::to_string(3000 + IndexOf(drugs_, seed.facts.drugs[0])));
+    r.Set(FieldId::kGenericNameDescription, drug_list);
+    r.Set(FieldId::kDosageAmount, std::to_string(seed.dosage_amount));
+    r.Set(FieldId::kUnitProportionCode, "mg");
+    r.Set(FieldId::kDosageFormCode,
+          std::to_string(1 + IndexOf(DosageForms(), seed.form)));
+    r.Set(FieldId::kDosageFormDescription, seed.form);
+    r.Set(FieldId::kRouteOfAdministrationCode,
+          std::to_string(1 + IndexOf(RoutesOfAdministration(), seed.route)));
+    r.Set(FieldId::kRouteOfAdministrationDescription, seed.route);
+    r.Set(FieldId::kDosageStartDate, FormatPlainDate(seed.onset_date));
+    r.Set(FieldId::kDosageHaltDate, "");
+    r.Set(FieldId::kReporterType, seed.facts.reporter_type);
+    r.Set(FieldId::kReportTypeDescription,
+          is_copy ? "Follow-up" : "Initial");
+    return r;
+  }
+
+  static size_t IndexOf(const std::vector<std::string>& values,
+                        const std::string& value) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] == value) return i;
+    }
+    return 0;
+  }
+
+  const GeneratorConfig& config_;
+  util::Rng rng_;
+  std::vector<std::string> drugs_;
+  std::vector<std::string> adrs_;
+  size_t next_case_number_ = 0;
+};
+
+}  // namespace
+
+GeneratedCorpus GenerateCorpus(const GeneratorConfig& config) {
+  return CorpusBuilder(config).Build();
+}
+
+CorpusQualityReport ProfileCorpus(const GeneratedCorpus& corpus) {
+  CorpusQualityReport profile;
+  const auto& fields = report::DedupFields();
+  const size_t n = corpus.db.size();
+  if (n == 0) return profile;
+
+  size_t length_sum = 0;
+  size_t in_band = 0;
+  profile.min_description_length = SIZE_MAX;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& r = corpus.db.Get(static_cast<report::ReportId>(i));
+    for (size_t f = 0; f < fields.size(); ++f) {
+      if (r.IsMissing(fields[f])) profile.missing_rate[f] += 1.0;
+    }
+    const size_t length = r.description().size();
+    length_sum += length;
+    profile.min_description_length =
+        std::min(profile.min_description_length, length);
+    profile.max_description_length =
+        std::max(profile.max_description_length, length);
+    if (length >= 150 && length <= 400) ++in_band;
+  }
+  for (double& rate : profile.missing_rate) {
+    rate /= static_cast<double>(n);
+  }
+  profile.mean_description_length =
+      static_cast<double>(length_sum) / static_cast<double>(n);
+  profile.description_in_band_fraction =
+      static_cast<double>(in_band) / static_cast<double>(n);
+  return profile;
+}
+
+CorpusSummary Summarize(const GeneratedCorpus& corpus,
+                        const GeneratorConfig& config) {
+  CorpusSummary summary;
+  summary.report_period =
+      "1 Jul. " + std::to_string(config.start_year) + " - 31 Dec. " +
+      std::to_string(config.start_year);
+  summary.num_cases = corpus.db.size();
+  summary.num_fields = report::kNumFields;
+  summary.num_unique_drugs = corpus.db.CountUniqueValues(
+      FieldId::kGenericNameDescription, /*split_on_comma=*/true);
+  summary.num_unique_adrs = corpus.db.CountUniqueValues(
+      FieldId::kMeddraPtCode, /*split_on_comma=*/true);
+  summary.known_duplicate_pairs = corpus.duplicate_pairs.size();
+  return summary;
+}
+
+}  // namespace adrdedup::datagen

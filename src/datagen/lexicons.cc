@@ -1,0 +1,237 @@
+#include "datagen/lexicons.h"
+
+#include <functional>
+#include <set>
+
+#include "util/logging.h"
+
+namespace adrdedup::datagen {
+
+namespace {
+
+// Hand-written seeds: common generics plus the drugs appearing in the
+// paper's Table 1 examples.
+const char* const kDrugSeeds[] = {
+    "Atorvastatin",    "Influenza Vaccine", "Dtpa Vaccine",
+    "Paracetamol",     "Ibuprofen",         "Amoxicillin",
+    "Simvastatin",     "Metformin",         "Omeprazole",
+    "Esomeprazole",    "Perindopril",       "Ramipril",
+    "Amlodipine",      "Atenolol",          "Metoprolol",
+    "Warfarin",        "Clopidogrel",       "Aspirin",
+    "Sertraline",      "Fluoxetine",        "Escitalopram",
+    "Venlafaxine",     "Diazepam",          "Temazepam",
+    "Tramadol",        "Codeine",           "Oxycodone",
+    "Morphine",        "Fentanyl",          "Prednisolone",
+    "Salbutamol",      "Fluticasone",       "Tiotropium",
+    "Insulin Glargine", "Gliclazide",       "Sitagliptin",
+    "Rosuvastatin",    "Pravastatin",       "Candesartan",
+    "Irbesartan",      "Telmisartan",       "Hydrochlorothiazide",
+    "Frusemide",       "Spironolactone",    "Digoxin",
+    "Amiodarone",      "Rivaroxaban",       "Apixaban",
+    "Dabigatran",      "Enoxaparin",        "Ceftriaxone",
+    "Cephalexin",      "Ciprofloxacin",     "Doxycycline",
+    "Azithromycin",    "Clarithromycin",    "Trimethoprim",
+    "Nitrofurantoin",  "Vancomycin",        "Gentamicin",
+    "Mmr Vaccine",     "Hpv Vaccine",       "Pneumococcal Vaccine",
+    "Rotavirus Vaccine", "Varicella Vaccine", "Hepatitis B Vaccine",
+    "Zoster Vaccine",  "Meningococcal Vaccine", "Bcg Vaccine",
+    "Carbamazepine",   "Sodium Valproate",  "Lamotrigine",
+    "Levetiracetam",   "Phenytoin",         "Gabapentin",
+    "Pregabalin",      "Quetiapine",        "Olanzapine",
+    "Risperidone",     "Aripiprazole",      "Lithium",
+    "Methotrexate",    "Leflunomide",       "Sulfasalazine",
+    "Hydroxychloroquine", "Adalimumab",     "Etanercept",
+    "Infliximab",      "Rituximab",         "Trastuzumab",
+    "Tamoxifen",       "Anastrozole",       "Letrozole",
+    "Cisplatin",       "Carboplatin",       "Paclitaxel",
+    "Docetaxel",       "Fluorouracil",      "Capecitabine",
+    "Allopurinol",     "Colchicine",        "Alendronate",
+    "Denosumab",       "Raloxifene",        "Levothyroxine",
+    "Carbimazole",     "Isotretinoin",      "Roaccutane",
+    "Varenicline",     "Naltrexone",        "Methadone",
+    "Buprenorphine",   "Ondansetron",       "Metoclopramide",
+    "Domperidone",     "Loperamide",        "Mesalazine",
+    "Azathioprine",    "Tacrolimus",        "Cyclosporin",
+};
+
+// Pharmaceutical-sounding syllables for morphological expansion.
+const char* const kDrugPrefixes[] = {
+    "Alv", "Bex", "Cort", "Dar", "Eml", "Fen", "Gast", "Hal",  "Ivo",
+    "Jan", "Kel", "Lor",  "Mev", "Nor", "Oxa", "Pax", "Quin", "Rud",
+    "Sel", "Tav", "Uri",  "Vel", "Wex", "Xan", "Yel", "Zan",  "Brom",
+    "Clav", "Dex", "Erg", "Flu", "Gly", "Hep", "Ket", "Lam",  "Mor",
+};
+const char* const kDrugMiddles[] = {
+    "a",  "o",  "i",   "e",   "u",   "al", "ol",  "il", "an", "en",
+    "in", "on", "ar",  "er",  "or",  "ab", "ad",  "ag", "am", "ap",
+    "as", "at", "av",  "ax",  "az",  "eb", "ec",  "ed", "eg", "em",
+};
+const char* const kDrugSuffixes[] = {
+    "statin", "pril",  "sartan", "olol",  "azole", "mycin", "cillin",
+    "floxacin", "tidine", "prazole", "dipine", "zepam", "codone",
+    "mab",    "nib",   "parin",  "gliptin", "formin", "setron", "caine",
+    "barbital", "phylline", "terol", "dronate", "fibrate", "thiazide",
+    "vir",    "oxetine", "azepine", "apine", "idone", "exate",  "platin",
+    "taxel",  "rubicin", "bicin",  "uracil", "arabine", "tinib",  "zumab",
+};
+
+// Reaction-name seeds, including every term from Table 1.
+const char* const kAdrSeeds[] = {
+    "Rhabdomyolysis", "Vomiting",       "Pyrexia",
+    "Cough",          "Headache",       "Choking sensation",
+    "Chills",         "Myalgia",        "Nausea",
+    "Diarrhoea",      "Dizziness",      "Rash",
+    "Pruritus",       "Urticaria",      "Angioedema",
+    "Anaphylaxis",    "Dyspnoea",       "Fatigue",
+    "Somnolence",     "Insomnia",       "Anxiety",
+    "Depression",     "Confusion",      "Hallucination",
+    "Seizure",        "Tremor",         "Paraesthesia",
+    "Hypotension",    "Hypertension",   "Palpitations",
+    "Tachycardia",    "Bradycardia",    "Syncope",
+    "Chest pain",     "Abdominal pain", "Constipation",
+    "Dyspepsia",      "Dry mouth",      "Dysgeusia",
+    "Anorexia",       "Weight increased", "Weight decreased",
+    "Oedema peripheral", "Arthralgia",  "Back pain",
+    "Muscle spasms",  "Muscular weakness", "Asthenia",
+    "Malaise",        "Influenza like illness", "Injection site pain",
+    "Injection site erythema", "Injection site swelling",
+    "Injection site rash", "Hyperhidrosis", "Flushing",
+    "Alopecia",       "Photosensitivity reaction", "Erythema",
+    "Blister",        "Dermatitis",     "Eczema",
+    "Epistaxis",      "Haematoma",      "Thrombocytopenia",
+    "Anaemia",        "Neutropenia",    "Leukopenia",
+    "Hepatotoxicity", "Jaundice",       "Hepatitis",
+    "Renal failure",  "Renal impairment", "Haematuria",
+    "Proteinuria",    "Urinary retention", "Visual impairment",
+    "Blurred vision", "Tinnitus",       "Vertigo",
+    "Hypoacusis",     "Dry eye",        "Conjunctivitis",
+    "Stomatitis",     "Mouth ulceration", "Dysphagia",
+    "Gastrointestinal haemorrhage", "Pancreatitis", "Hyperglycaemia",
+    "Hypoglycaemia",  "Hyperkalaemia",  "Hyponatraemia",
+    "Dehydration",    "Fever",          "Night sweats",
+    "Lymphadenopathy", "Oral candidiasis", "Pneumonia",
+    "Bronchospasm",   "Wheezing",       "Pharyngitis",
+};
+
+const char* const kAdrSites[] = {
+    "Application site", "Injection site", "Infusion site", "Abdominal",
+    "Muscular",         "Hepatic",        "Renal",          "Cardiac",
+    "Gastric",          "Ocular",         "Skin",           "Oral",
+    "Nasal",            "Vaginal",        "Rectal",         "Scalp",
+    "Ear",              "Chest",          "Back",           "Neck",
+    "Limb",             "Joint",          "Bladder",        "Pulmonary",
+};
+const char* const kAdrEvents[] = {
+    "pain",        "swelling",    "erythema",     "discomfort",
+    "haemorrhage", "irritation",  "inflammation", "hypersensitivity",
+    "discharge",   "numbness",    "stiffness",    "spasm",
+    "ulcer",       "oedema",      "pruritus",     "rash",
+    "disorder",    "infection",   "reaction",     "tenderness",
+    "weakness",    "cramp",       "burning",      "paralysis",
+    "discolouration", "twitching", "dryness",     "hypertrophy",
+};
+
+std::vector<std::string> ExpandLexicon(
+    const char* const* seeds, size_t num_seeds,
+    const std::function<std::string(size_t)>& synthesize, size_t count) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  out.reserve(count);
+  for (size_t i = 0; i < num_seeds && out.size() < count; ++i) {
+    if (seen.insert(seeds[i]).second) out.emplace_back(seeds[i]);
+  }
+  // Deterministic synthesis fills the remainder; the index-driven
+  // construction cycles through factor combinations so collisions are
+  // rare, and `seen` filters the few that occur.
+  for (size_t i = 0; out.size() < count; ++i) {
+    std::string candidate = synthesize(i);
+    if (seen.insert(candidate).second) out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> MakeDrugLexicon(size_t count) {
+  constexpr size_t kNumPrefixes = std::size(kDrugPrefixes);
+  constexpr size_t kNumMiddles = std::size(kDrugMiddles);
+  constexpr size_t kNumSuffixes = std::size(kDrugSuffixes);
+  auto synthesize = [&](size_t i) {
+    const size_t prefix = i % kNumPrefixes;
+    const size_t middle = (i / kNumPrefixes) % kNumMiddles;
+    const size_t suffix = (i / (kNumPrefixes * kNumMiddles)) % kNumSuffixes;
+    std::string name = kDrugPrefixes[prefix];
+    name += kDrugMiddles[middle];
+    name += kDrugSuffixes[suffix];
+    return name;
+  };
+  return ExpandLexicon(kDrugSeeds, std::size(kDrugSeeds), synthesize, count);
+}
+
+std::vector<std::string> MakeAdrLexicon(size_t count) {
+  constexpr size_t kNumSites = std::size(kAdrSites);
+  constexpr size_t kNumEvents = std::size(kAdrEvents);
+  auto synthesize = [&](size_t i) {
+    const size_t site = i % kNumSites;
+    const size_t event = (i / kNumSites) % kNumEvents;
+    const size_t variant = i / (kNumSites * kNumEvents);
+    std::string name = kAdrSites[site];
+    name.push_back(' ');
+    name += kAdrEvents[event];
+    if (variant > 0) {
+      // Qualify overflow combinations to stay unique ("... grade 2").
+      name += " grade ";
+      name += std::to_string(variant + 1);
+    }
+    return name;
+  };
+  return ExpandLexicon(kAdrSeeds, std::size(kAdrSeeds), synthesize, count);
+}
+
+const std::vector<std::string>& AustralianStates() {
+  static const auto& states = *new std::vector<std::string>{
+      "NSW", "VIC", "QLD", "SA", "WA", "TAS", "NT", "ACT"};
+  return states;
+}
+
+const std::vector<std::string>& SexCategories() {
+  static const auto& sexes = *new std::vector<std::string>{"M", "F"};
+  return sexes;
+}
+
+const std::vector<std::string>& OutcomeDescriptions() {
+  static const auto& outcomes = *new std::vector<std::string>{
+      "Unknown", "Recovered", "Recovering", "Not Recovered",
+      "Recovered With Sequelae", "Fatal"};
+  return outcomes;
+}
+
+const std::vector<std::string>& SeverityDescriptions() {
+  static const auto& severities = *new std::vector<std::string>{
+      "Not Serious", "Serious", "Life Threatening", "Hospitalisation",
+      "Death"};
+  return severities;
+}
+
+const std::vector<std::string>& ReporterTypes() {
+  static const auto& reporters = *new std::vector<std::string>{
+      "General Practitioner", "Pharmacist", "Hospital", "Consumer",
+      "Pharmaceutical Company", "Nurse", "Specialist"};
+  return reporters;
+}
+
+const std::vector<std::string>& RoutesOfAdministration() {
+  static const auto& routes = *new std::vector<std::string>{
+      "Oral", "Intramuscular", "Intravenous", "Subcutaneous", "Topical",
+      "Inhalation", "Rectal", "Transdermal"};
+  return routes;
+}
+
+const std::vector<std::string>& DosageForms() {
+  static const auto& forms = *new std::vector<std::string>{
+      "Tablet", "Capsule", "Injection", "Suspension", "Cream", "Patch",
+      "Inhaler", "Syrup"};
+  return forms;
+}
+
+}  // namespace adrdedup::datagen

@@ -1,0 +1,34 @@
+// Controlled vocabularies for synthetic ADR report generation: generic
+// drug names, MedDRA-preferred-term-like reaction names, Australian
+// states, outcome/severity/reporter categories. Each open vocabulary
+// (drugs, ADRs) combines a hand-written seed list with deterministic
+// morphological expansion so any requested size can be produced while
+// every entry stays pronounceable and unique.
+#ifndef ADRDEDUP_DATAGEN_LEXICONS_H_
+#define ADRDEDUP_DATAGEN_LEXICONS_H_
+
+#include <string>
+#include <vector>
+
+namespace adrdedup::datagen {
+
+// Exactly `count` distinct generic drug names ("Atorvastatin",
+// "Influenza Vaccine", ...). Deterministic across runs.
+std::vector<std::string> MakeDrugLexicon(size_t count);
+
+// Exactly `count` distinct adverse-reaction names ("Rhabdomyolysis",
+// "Vomiting", "Injection site rash", ...). Deterministic.
+std::vector<std::string> MakeAdrLexicon(size_t count);
+
+// Closed categorical vocabularies.
+const std::vector<std::string>& AustralianStates();
+const std::vector<std::string>& SexCategories();
+const std::vector<std::string>& OutcomeDescriptions();
+const std::vector<std::string>& SeverityDescriptions();
+const std::vector<std::string>& ReporterTypes();
+const std::vector<std::string>& RoutesOfAdministration();
+const std::vector<std::string>& DosageForms();
+
+}  // namespace adrdedup::datagen
+
+#endif  // ADRDEDUP_DATAGEN_LEXICONS_H_

@@ -1,0 +1,39 @@
+#include "distance/distance_vector.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace adrdedup::distance {
+
+std::string DistanceVector::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < kDistanceDims; ++i) {
+    if (i > 0) out << ", ";
+    out << v[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+double EuclideanDistance(const DistanceVector& a, const DistanceVector& b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+double SquaredEuclideanDistance(const DistanceVector& a,
+                                const DistanceVector& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < kDistanceDims; ++i) {
+    const double diff = a.v[i] - b.v[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double TotalDisagreement(const DistanceVector& v) {
+  double sum = 0.0;
+  for (double x : v.v) sum += x;
+  return sum;
+}
+
+}  // namespace adrdedup::distance

@@ -1,0 +1,55 @@
+// The per-pair distance vector of paper Section 4.2: one component per
+// selected field (age, sex, state, onset date, drug name, ADR name,
+// report description), each in [0, 1]. Report pairs are compared to each
+// other by the Euclidean distance between their distance vectors.
+#ifndef ADRDEDUP_DISTANCE_DISTANCE_VECTOR_H_
+#define ADRDEDUP_DISTANCE_DISTANCE_VECTOR_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace adrdedup::distance {
+
+// Component order matches report::DedupFields().
+inline constexpr size_t kDistanceDims = 7;
+
+enum class Component : size_t {
+  kAge = 0,
+  kSex = 1,
+  kState = 2,
+  kOnsetDate = 3,
+  kDrugName = 4,
+  kAdrName = 5,
+  kDescription = 6,
+};
+
+struct DistanceVector {
+  std::array<double, kDistanceDims> v{};
+
+  double& operator[](size_t i) { return v[i]; }
+  double operator[](size_t i) const { return v[i]; }
+  double& at(Component c) { return v[static_cast<size_t>(c)]; }
+  double at(Component c) const { return v[static_cast<size_t>(c)]; }
+
+  friend bool operator==(const DistanceVector& a,
+                         const DistanceVector& b) = default;
+
+  std::string ToString() const;
+};
+
+// Euclidean distance between two pair-distance vectors (the metric the
+// kNN classifier and k-means run on).
+double EuclideanDistance(const DistanceVector& a, const DistanceVector& b);
+
+// Squared Euclidean distance (cheaper inner loops; monotone in the above).
+double SquaredEuclideanDistance(const DistanceVector& a,
+                                const DistanceVector& b);
+
+// L1 norm of the vector itself — a crude "total field disagreement"
+// useful for sanity checks and examples.
+double TotalDisagreement(const DistanceVector& v);
+
+}  // namespace adrdedup::distance
+
+#endif  // ADRDEDUP_DISTANCE_DISTANCE_VECTOR_H_

@@ -1,0 +1,127 @@
+#include "distance/pair_dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adrdedup::distance {
+
+size_t PairDataset::CountPositive() const {
+  size_t count = 0;
+  for (const LabeledPair& pair : pairs) {
+    if (pair.is_positive()) ++count;
+  }
+  return count;
+}
+
+LabeledPairDatasets BuildDatasets(
+    const datagen::GeneratedCorpus& corpus,
+    const std::vector<ReportFeatures>& features, const DatasetSpec& spec,
+    const PairwiseOptions& options) {
+  const size_t n = corpus.db.size();
+  ADRDEDUP_CHECK_GE(n, 2u);
+  const double universe =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  ADRDEDUP_CHECK_LT(
+      static_cast<double>(spec.num_training_pairs + spec.num_testing_pairs),
+      0.5 * universe)
+      << "requested more pairs than the pair universe can supply";
+
+  util::Rng rng(spec.seed);
+
+  // Ground-truth positives, shuffled then split between train and test.
+  std::vector<ReportPair> positives;
+  positives.reserve(corpus.duplicate_pairs.size());
+  for (const auto& [a, b] : corpus.duplicate_pairs) {
+    positives.push_back(a < b ? ReportPair{a, b} : ReportPair{b, a});
+  }
+  rng.Shuffle(&positives);
+  const size_t train_positives = std::min(
+      positives.size(),
+      static_cast<size_t>(spec.positive_train_fraction *
+                          static_cast<double>(positives.size())));
+
+  std::unordered_set<uint64_t> used;
+  used.reserve(spec.num_training_pairs + spec.num_testing_pairs +
+               positives.size());
+  for (const ReportPair& pair : positives) used.insert(PairKey(pair));
+
+  // Hard negatives: same-event sibling pairs, split train/test in the
+  // same proportion as the random negatives.
+  std::vector<ReportPair> hard_negatives;
+  for (const auto& [a, b] : corpus.sibling_pairs) {
+    const ReportPair pair = a < b ? ReportPair{a, b} : ReportPair{b, a};
+    if (!rng.Bernoulli(spec.sibling_negative_fraction)) continue;
+    if (used.insert(PairKey(pair)).second) hard_negatives.push_back(pair);
+  }
+  rng.Shuffle(&hard_negatives);
+  const double train_share =
+      static_cast<double>(spec.num_training_pairs) /
+      static_cast<double>(spec.num_training_pairs + spec.num_testing_pairs);
+  const size_t hard_train_count = std::min(
+      hard_negatives.size(),
+      static_cast<size_t>(train_share *
+                          static_cast<double>(hard_negatives.size())));
+
+  auto sample_negative = [&]() {
+    for (;;) {
+      const auto a = static_cast<report::ReportId>(rng.Uniform(n));
+      const auto b = static_cast<report::ReportId>(rng.Uniform(n));
+      if (a == b) continue;
+      const ReportPair pair{std::min(a, b), std::max(a, b)};
+      if (used.insert(PairKey(pair)).second) return pair;
+    }
+  };
+
+  auto make_labeled = [&](const ReportPair& pair, int8_t label) {
+    LabeledPair out;
+    out.pair = pair;
+    out.label = label;
+    out.vector =
+        ComputeDistanceVector(features[pair.a], features[pair.b], options);
+    return out;
+  };
+
+  LabeledPairDatasets datasets;
+  datasets.train.pairs.reserve(spec.num_training_pairs);
+  datasets.test.pairs.reserve(spec.num_testing_pairs);
+
+  for (size_t i = 0; i < train_positives &&
+                     datasets.train.pairs.size() < spec.num_training_pairs;
+       ++i) {
+    datasets.train.pairs.push_back(make_labeled(positives[i], +1));
+  }
+  for (size_t i = 0; i < hard_train_count &&
+                     datasets.train.pairs.size() < spec.num_training_pairs;
+       ++i) {
+    datasets.train.pairs.push_back(make_labeled(hard_negatives[i], -1));
+  }
+  while (datasets.train.pairs.size() < spec.num_training_pairs) {
+    datasets.train.pairs.push_back(make_labeled(sample_negative(), -1));
+  }
+
+  for (size_t i = train_positives;
+       i < positives.size() &&
+       datasets.test.pairs.size() < spec.num_testing_pairs;
+       ++i) {
+    datasets.test.pairs.push_back(make_labeled(positives[i], +1));
+  }
+  for (size_t i = hard_train_count;
+       i < hard_negatives.size() &&
+       datasets.test.pairs.size() < spec.num_testing_pairs;
+       ++i) {
+    datasets.test.pairs.push_back(make_labeled(hard_negatives[i], -1));
+  }
+  while (datasets.test.pairs.size() < spec.num_testing_pairs) {
+    datasets.test.pairs.push_back(make_labeled(sample_negative(), -1));
+  }
+
+  // Shuffle so label order carries no information.
+  rng.Shuffle(&datasets.train.pairs);
+  rng.Shuffle(&datasets.test.pairs);
+  return datasets;
+}
+
+}  // namespace adrdedup::distance

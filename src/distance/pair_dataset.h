@@ -1,0 +1,64 @@
+// Labelled report-pair datasets: the training set T (duplicate "+1" /
+// non-duplicate "-1" distance vectors, extremely imbalanced) and the
+// testing set S of paper Section 3. Positives are the corpus ground-truth
+// duplicate pairs; negatives are sampled uniformly from the remaining
+// O(n^2) pair universe, which keeps the natural imbalance.
+#ifndef ADRDEDUP_DISTANCE_PAIR_DATASET_H_
+#define ADRDEDUP_DISTANCE_PAIR_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "distance/pairwise.h"
+
+namespace adrdedup::distance {
+
+// One labelled report pair: the distance vector between its two reports
+// plus the duplicate label.
+struct LabeledPair {
+  DistanceVector vector;
+  ReportPair pair;
+  int8_t label = -1;  // +1 duplicate, -1 non-duplicate
+
+  bool is_positive() const { return label > 0; }
+};
+
+struct PairDataset {
+  std::vector<LabeledPair> pairs;
+
+  size_t CountPositive() const;
+  size_t CountNegative() const { return pairs.size() - CountPositive(); }
+};
+
+struct DatasetSpec {
+  uint64_t seed = 7;
+  size_t num_training_pairs = 100000;
+  size_t num_testing_pairs = 10000;
+  // Fraction of ground-truth duplicate pairs placed in the training set;
+  // the remainder seeds the testing set (so recall is measurable).
+  double positive_train_fraction = 0.7;
+  // Sibling (same-event, different-patient) pairs are the hard negatives;
+  // this fraction of the available sibling pairs is mixed into the
+  // negative sample (split between train and test like the random
+  // negatives). 1.0 uses them all.
+  double sibling_negative_fraction = 1.0;
+};
+
+struct LabeledPairDatasets {
+  PairDataset train;
+  PairDataset test;
+};
+
+// Builds disjoint train/test pair datasets from a generated corpus.
+// `features` must be ExtractAllFeatures(corpus.db). Sampled negative
+// pairs are distinct and disjoint across the two sets. Requires the pair
+// universe to comfortably exceed the requested sizes.
+LabeledPairDatasets BuildDatasets(
+    const datagen::GeneratedCorpus& corpus,
+    const std::vector<ReportFeatures>& features, const DatasetSpec& spec,
+    const PairwiseOptions& options = {});
+
+}  // namespace adrdedup::distance
+
+#endif  // ADRDEDUP_DISTANCE_PAIR_DATASET_H_

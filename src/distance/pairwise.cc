@@ -1,0 +1,114 @@
+#include "distance/pairwise.h"
+
+#include "minispark/rdd.h"
+#include "util/logging.h"
+
+namespace adrdedup::distance {
+
+double AgeDistance(const ReportFeatures& x, const ReportFeatures& y,
+                   const PairwiseOptions& options) {
+  if (!x.age.has_value() || !y.age.has_value()) {
+    if (options.missing_policy == MissingPolicy::kNeutral) return 0.5;
+    // Literal comparison: two missing ages look the same on the form.
+    return (x.age.has_value() == y.age.has_value()) ? 0.0 : 1.0;
+  }
+  return (*x.age == *y.age) ? 0.0 : 1.0;
+}
+
+double CategoricalDistance(const std::string& x, const std::string& y,
+                           const PairwiseOptions& options) {
+  if (x.empty() || y.empty()) {
+    if (options.missing_policy == MissingPolicy::kNeutral) return 0.5;
+    return (x.empty() == y.empty()) ? 0.0 : 1.0;
+  }
+  return (x == y) ? 0.0 : 1.0;
+}
+
+DistanceVector ComputeDistanceVector(const ReportFeatures& x,
+                                     const ReportFeatures& y,
+                                     const PairwiseOptions& options) {
+  DistanceVector d;
+  d.at(Component::kAge) = AgeDistance(x, y, options);
+  d.at(Component::kSex) = CategoricalDistance(x.sex, y.sex, options);
+  d.at(Component::kState) = CategoricalDistance(x.state, y.state, options);
+  d.at(Component::kOnsetDate) =
+      CategoricalDistance(x.onset_date, y.onset_date, options);
+  d.at(Component::kDrugName) =
+      SortedJaccardDistance(x.drug_tokens, y.drug_tokens);
+  d.at(Component::kAdrName) =
+      SortedJaccardDistance(x.adr_tokens, y.adr_tokens);
+  d.at(Component::kDescription) =
+      SortedJaccardDistance(x.description_tokens, y.description_tokens);
+  for (size_t i = 0; i < kDistanceDims; ++i) {
+    d[i] *= options.field_weights[i];
+  }
+  return d;
+}
+
+std::vector<DistanceVector> ComputePairDistances(
+    const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options) {
+  std::vector<DistanceVector> out;
+  out.reserve(pairs.size());
+  for (const ReportPair& pair : pairs) {
+    ADRDEDUP_DCHECK_LT(pair.a, features.size());
+    ADRDEDUP_DCHECK_LT(pair.b, features.size());
+    out.push_back(
+        ComputeDistanceVector(features[pair.a], features[pair.b], options));
+  }
+  return out;
+}
+
+std::vector<DistanceVector> ComputePairDistancesSpark(
+    minispark::SparkContext* ctx,
+    const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
+    size_t num_partitions) {
+  ADRDEDUP_CHECK(ctx != nullptr);
+  // Ship (index, pair) records so the collected vectors can be put back
+  // in input order regardless of partitioning.
+  std::vector<std::pair<size_t, ReportPair>> indexed;
+  indexed.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    indexed.emplace_back(i, pairs[i]);
+  }
+  auto rdd = ctx->Parallelize(std::move(indexed), num_partitions);
+  // `features` is captured by reference: it outlives the action below and
+  // is read-only, mirroring a Spark broadcast variable.
+  auto distances =
+      rdd.Map<std::pair<size_t, DistanceVector>>(
+          [&features, options](const std::pair<size_t, ReportPair>& record) {
+            const auto& [index, pair] = record;
+            return std::make_pair(
+                index, ComputeDistanceVector(features[pair.a],
+                                             features[pair.b], options));
+          });
+  std::vector<DistanceVector> out(pairs.size());
+  for (auto& [index, vector] : distances.Collect()) {
+    out[index] = vector;
+  }
+  return out;
+}
+
+std::vector<ReportPair> PairsForNewReports(
+    const std::vector<report::ReportId>& existing,
+    const std::vector<report::ReportId>& fresh) {
+  std::vector<ReportPair> pairs;
+  pairs.reserve(existing.size() * fresh.size() +
+                fresh.size() * (fresh.size() - 1) / 2);
+  for (const report::ReportId n : fresh) {
+    for (const report::ReportId e : existing) {
+      pairs.push_back(e < n ? ReportPair{e, n} : ReportPair{n, e});
+    }
+  }
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    for (size_t j = i + 1; j < fresh.size(); ++j) {
+      const report::ReportId a = std::min(fresh[i], fresh[j]);
+      const report::ReportId b = std::max(fresh[i], fresh[j]);
+      pairs.push_back(ReportPair{a, b});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace adrdedup::distance

@@ -1,0 +1,85 @@
+// Pairwise report distance computation (paper Section 4.2): per-field
+// distances assembled into a DistanceVector, sequentially or as a
+// minispark job (the "pairwise distance computing" stage of Fig. 10(b)).
+#ifndef ADRDEDUP_DISTANCE_PAIRWISE_H_
+#define ADRDEDUP_DISTANCE_PAIRWISE_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "distance/distance_vector.h"
+#include "distance/report_features.h"
+#include "minispark/context.h"
+#include "report/report_database.h"
+
+namespace adrdedup::distance {
+
+// How missing field values compare.
+enum class MissingPolicy {
+  // Literal comparison: missing == missing -> 0, missing vs value -> 1.
+  // This is what "the distance is 0 if the values are the same" does on
+  // regulator extracts where missing is itself a value ("-", "Not Known").
+  kCompareLiterally,
+  // Any comparison involving a missing value contributes a neutral 0.5.
+  kNeutral,
+};
+
+struct PairwiseOptions {
+  MissingPolicy missing_policy = MissingPolicy::kCompareLiterally;
+  // Per-component scaling of the distance vector (DedupFields order).
+  // All-ones is the paper's unweighted vector; a weight w scales that
+  // field's contribution to every downstream Euclidean comparison by w.
+  std::array<double, kDistanceDims> field_weights = {1, 1, 1, 1, 1, 1, 1};
+};
+
+// An unordered pair of report ids (a < b by construction).
+struct ReportPair {
+  report::ReportId a = 0;
+  report::ReportId b = 0;
+
+  friend bool operator==(const ReportPair&, const ReportPair&) = default;
+};
+
+// Encodes a pair as a single 64-bit key (for hashing / dedup).
+inline uint64_t PairKey(const ReportPair& pair) {
+  return (static_cast<uint64_t>(pair.a) << 32) | pair.b;
+}
+
+// Per-field distances between two feature records (each in [0, 1]).
+double AgeDistance(const ReportFeatures& x, const ReportFeatures& y,
+                   const PairwiseOptions& options);
+double CategoricalDistance(const std::string& x, const std::string& y,
+                           const PairwiseOptions& options);
+
+// Full 7-component distance vector between two reports.
+DistanceVector ComputeDistanceVector(const ReportFeatures& x,
+                                     const ReportFeatures& y,
+                                     const PairwiseOptions& options = {});
+
+// Distance vectors for a list of pairs, sequential.
+std::vector<DistanceVector> ComputePairDistances(
+    const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs,
+    const PairwiseOptions& options = {});
+
+// Same computation expressed as a minispark job: the pair list is
+// parallelized across executors, features are shared read-only (standing
+// in for a Spark broadcast variable). `num_partitions` 0 = context
+// default.
+std::vector<DistanceVector> ComputePairDistancesSpark(
+    minispark::SparkContext* ctx,
+    const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs,
+    const PairwiseOptions& options = {}, size_t num_partitions = 0);
+
+// All i<j pairs among `ids` plus all (existing, new) pairs — the pair
+// universe of Eq. 3 for a batch of new reports against the database.
+std::vector<ReportPair> PairsForNewReports(
+    const std::vector<report::ReportId>& existing,
+    const std::vector<report::ReportId>& fresh);
+
+}  // namespace adrdedup::distance
+
+#endif  // ADRDEDUP_DISTANCE_PAIRWISE_H_

@@ -1,0 +1,101 @@
+#include "distance/report_features.h"
+
+#include <algorithm>
+
+#include "report/field.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace adrdedup::distance {
+
+namespace {
+
+using report::FieldId;
+
+void SortUnique(std::vector<std::string>* tokens) {
+  std::sort(tokens->begin(), tokens->end());
+  tokens->erase(std::unique(tokens->begin(), tokens->end()), tokens->end());
+}
+
+// Splits a comma-separated multi-value field ("Vomiting,Pyrexia,Cough")
+// into trimmed lower-case entries.
+std::vector<std::string> SplitListField(const std::string& raw) {
+  std::vector<std::string> tokens;
+  for (const std::string& piece : util::Split(raw, ',')) {
+    const std::string_view trimmed = util::TrimAscii(piece);
+    if (!trimmed.empty()) tokens.push_back(util::ToLowerAscii(trimmed));
+  }
+  SortUnique(&tokens);
+  return tokens;
+}
+
+}  // namespace
+
+ReportFeatures ExtractFeatures(const report::AdrReport& report,
+                               const FeatureOptions& options) {
+  ReportFeatures features;
+  features.age = report.Age();
+  features.sex = report.IsMissing(FieldId::kSex) ? "" : report.sex();
+  features.state = report.IsMissing(FieldId::kResidentialState)
+                       ? ""
+                       : report.residential_state();
+  features.onset_date =
+      report.IsMissing(FieldId::kOnsetDate) ? "" : report.onset_date();
+  if (options.string_field_shingles > 0) {
+    features.drug_tokens = text::CharacterShingles(
+        report.drug_name(), options.string_field_shingles);
+    SortUnique(&features.drug_tokens);
+    features.adr_tokens = text::CharacterShingles(
+        report.adr_name(), options.string_field_shingles);
+    SortUnique(&features.adr_tokens);
+  } else {
+    features.drug_tokens = SplitListField(report.drug_name());
+    features.adr_tokens = SplitListField(report.adr_name());
+  }
+  features.description_tokens =
+      text::ProcessFreeText(report.description(), options.text);
+  SortUnique(&features.description_tokens);
+  return features;
+}
+
+std::vector<ReportFeatures> ExtractAllFeatures(
+    const report::ReportDatabase& db, const FeatureOptions& options,
+    util::ThreadPool* pool) {
+  std::vector<ReportFeatures> features(db.size());
+  auto extract = [&](size_t i) {
+    features[i] =
+        ExtractFeatures(db.Get(static_cast<report::ReportId>(i)), options);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, db.size(), extract);
+  } else {
+    for (size_t i = 0; i < db.size(); ++i) extract(i);
+  }
+  return features;
+}
+
+double SortedJaccardDistance(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t intersection = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t union_size = a.size() + b.size() - intersection;
+  if (union_size == 0) return 0.0;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+}  // namespace adrdedup::distance

@@ -1,0 +1,58 @@
+// Precomputed comparison features for one report. Pairwise distance over
+// millions of pairs would re-run tokenization/stop-wording/stemming
+// quadratically if done naively; extracting features once per report makes
+// each pair comparison a handful of set intersections.
+#ifndef ADRDEDUP_DISTANCE_REPORT_FEATURES_H_
+#define ADRDEDUP_DISTANCE_REPORT_FEATURES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/report_database.h"
+#include "text/text_pipeline.h"
+#include "util/thread_pool.h"
+
+namespace adrdedup::distance {
+
+struct ReportFeatures {
+  std::optional<int> age;
+  // Raw categorical values; empty string means missing.
+  std::string sex;
+  std::string state;
+  std::string onset_date;
+  // Sorted, deduplicated, lower-cased token sets.
+  std::vector<std::string> drug_tokens;
+  std::vector<std::string> adr_tokens;
+  std::vector<std::string> description_tokens;
+};
+
+struct FeatureOptions {
+  text::TextPipelineOptions text;
+  // When > 0, the drug-name and ADR-name fields are compared as sets of
+  // character n-grams of this size instead of whole list entries, making
+  // their Jaccard distances robust to single-character typos
+  // ("atorvastatin" vs "atorvastetin"). 0 (the paper's setting) compares
+  // whole entries.
+  size_t string_field_shingles = 0;
+};
+
+// Extracts features from one report.
+ReportFeatures ExtractFeatures(const report::AdrReport& report,
+                               const FeatureOptions& options = {});
+
+// Features for every report in `db`, indexed by ReportId. Uses `pool`
+// when provided (feature extraction dominates Fig. 10(b)'s pairwise
+// distance step, so it is worth parallelizing).
+std::vector<ReportFeatures> ExtractAllFeatures(
+    const report::ReportDatabase& db, const FeatureOptions& options = {},
+    util::ThreadPool* pool = nullptr);
+
+// Jaccard distance between two sorted unique token vectors (two-pointer
+// intersection; both inputs must be sorted and deduplicated).
+double SortedJaccardDistance(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+}  // namespace adrdedup::distance
+
+#endif  // ADRDEDUP_DISTANCE_REPORT_FEATURES_H_

@@ -1,0 +1,151 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace adrdedup::eval {
+
+double ConfusionCounts::Precision() const {
+  const uint64_t predicted = true_positives + false_positives;
+  if (predicted == 0) return 1.0;  // no detections, no false alarms
+  return static_cast<double>(true_positives) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionCounts::Recall() const {
+  const uint64_t actual = true_positives + false_negatives;
+  if (actual == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(actual);
+}
+
+double ConfusionCounts::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+ConfusionCounts Confusion(const std::vector<double>& scores,
+                          const std::vector<int8_t>& labels, double theta) {
+  ADRDEDUP_CHECK_EQ(scores.size(), labels.size());
+  ConfusionCounts counts;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted_positive = scores[i] >= theta;
+    const bool actually_positive = labels[i] > 0;
+    if (predicted_positive && actually_positive) {
+      ++counts.true_positives;
+    } else if (predicted_positive) {
+      ++counts.false_positives;
+    } else if (actually_positive) {
+      ++counts.false_negatives;
+    } else {
+      ++counts.true_negatives;
+    }
+  }
+  return counts;
+}
+
+PrCurve ComputePrCurve(const std::vector<double>& scores,
+                       const std::vector<int8_t>& labels) {
+  ADRDEDUP_CHECK_EQ(scores.size(), labels.size());
+  uint64_t total_positives = 0;
+  for (int8_t label : labels) {
+    if (label > 0) ++total_positives;
+  }
+  ADRDEDUP_CHECK_GT(total_positives, 0u)
+      << "PR curve undefined without positive examples";
+
+  // Descending score sweep; ties collapse into one threshold step.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  PrCurve curve;
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  double previous_recall = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == threshold) {
+      if (labels[order[i]] > 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(tp + fp);
+    const double recall =
+        static_cast<double>(tp) / static_cast<double>(total_positives);
+    curve.points.push_back(PrPoint{threshold, precision, recall});
+    // Step integration: each recall increment contributes the precision
+    // achieved at the threshold that produced it (average precision).
+    curve.aupr += (recall - previous_recall) * precision;
+    previous_recall = recall;
+  }
+  return curve;
+}
+
+double Aupr(const std::vector<double>& scores,
+            const std::vector<int8_t>& labels) {
+  return ComputePrCurve(scores, labels).aupr;
+}
+
+RocCurve ComputeRocCurve(const std::vector<double>& scores,
+                         const std::vector<int8_t>& labels) {
+  ADRDEDUP_CHECK_EQ(scores.size(), labels.size());
+  uint64_t total_positives = 0;
+  uint64_t total_negatives = 0;
+  for (int8_t label : labels) {
+    (label > 0 ? total_positives : total_negatives) += 1;
+  }
+  ADRDEDUP_CHECK_GT(total_positives, 0u) << "ROC needs a positive example";
+  ADRDEDUP_CHECK_GT(total_negatives, 0u) << "ROC needs a negative example";
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  RocCurve curve;
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  double previous_fpr = 0.0;
+  double previous_tpr = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == threshold) {
+      if (labels[order[i]] > 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    const double fpr =
+        static_cast<double>(fp) / static_cast<double>(total_negatives);
+    const double tpr =
+        static_cast<double>(tp) / static_cast<double>(total_positives);
+    curve.points.push_back(RocPoint{threshold, fpr, tpr});
+    // Trapezoid between consecutive points.
+    curve.auc += (fpr - previous_fpr) * 0.5 * (tpr + previous_tpr);
+    previous_fpr = fpr;
+    previous_tpr = tpr;
+  }
+  return curve;
+}
+
+double Auroc(const std::vector<double>& scores,
+             const std::vector<int8_t>& labels) {
+  return ComputeRocCurve(scores, labels).auc;
+}
+
+}  // namespace adrdedup::eval

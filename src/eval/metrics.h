@@ -1,0 +1,82 @@
+// Classification metrics used by the paper's evaluation (Section 5.2.2):
+// precision, recall, the precision-recall curve, and the area under it
+// (AUPR), the metric of choice for highly imbalanced datasets [4].
+#ifndef ADRDEDUP_EVAL_METRICS_H_
+#define ADRDEDUP_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adrdedup::eval {
+
+struct ConfusionCounts {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t true_negatives = 0;
+  uint64_t false_negatives = 0;
+
+  // number of correctly identified duplicate pairs /
+  // number of total identified duplicate pairs.
+  double Precision() const;
+  // number of correctly identified duplicate pairs /
+  // number of total true duplicate pairs.
+  double Recall() const;
+  double F1() const;
+};
+
+// Confusion counts of thresholding `scores` at `theta` (score >= theta
+// classifies positive). `labels` uses +1 / -1.
+ConfusionCounts Confusion(const std::vector<double>& scores,
+                          const std::vector<int8_t>& labels, double theta);
+
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+struct PrCurve {
+  // One point per distinct score threshold, recall-ascending.
+  std::vector<PrPoint> points;
+  // Area under the curve (average precision: sum of precision at each
+  // positive, weighted by the recall step it contributes).
+  double aupr = 0.0;
+};
+
+// Builds the precision-recall curve. Requires at least one positive
+// label. Tied scores are processed as one threshold step.
+PrCurve ComputePrCurve(const std::vector<double>& scores,
+                       const std::vector<int8_t>& labels);
+
+// Convenience: just the area.
+double Aupr(const std::vector<double>& scores,
+            const std::vector<int8_t>& labels);
+
+struct RocPoint {
+  double threshold = 0.0;
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+};
+
+struct RocCurve {
+  // FPR-ascending points, one per distinct threshold, starting at (0,0)
+  // implicitly and ending at (1,1).
+  std::vector<RocPoint> points;
+  // Area under the ROC curve (trapezoidal).
+  double auc = 0.0;
+};
+
+// Builds the ROC curve. Requires at least one positive and one negative
+// label. Provided for completeness: the paper follows Davis & Goadrich
+// [4] in preferring AUPR, because ROC overstates performance on highly
+// imbalanced data (see the demonstration in eval_metrics_test).
+RocCurve ComputeRocCurve(const std::vector<double>& scores,
+                         const std::vector<int8_t>& labels);
+
+double Auroc(const std::vector<double>& scores,
+             const std::vector<int8_t>& labels);
+
+}  // namespace adrdedup::eval
+
+#endif  // ADRDEDUP_EVAL_METRICS_H_

@@ -1,0 +1,82 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace adrdedup::eval {
+
+TablePrinter::TablePrinter(std::ostream* out,
+                           std::vector<std::string> headers)
+    : out_(out), headers_(std::move(headers)) {
+  ADRDEDUP_CHECK(out != nullptr);
+  ADRDEDUP_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(const std::vector<std::string>& cells) {
+  ADRDEDUP_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(cells);
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      *out_ << (c == 0 ? "| " : " | ");
+      *out_ << row[c];
+      for (size_t i = row[c].size(); i < widths[c]; ++i) *out_ << ' ';
+    }
+    *out_ << " |\n";
+  };
+  print_row(headers_);
+  *out_ << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) *out_ << '-';
+    *out_ << "|";
+  }
+  *out_ << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out_->flush();
+
+  // Optional CSV export for plotting: one file per printed table.
+  if (const char* outdir = std::getenv("ADRDEDUP_BENCH_OUTDIR");
+      outdir != nullptr && *outdir != '\0') {
+    static int counter = 0;
+    const std::string name =
+        export_name_.empty() ? "table_" + std::to_string(counter++)
+                             : export_name_;
+    const std::string path = std::string(outdir) + "/" + name + ".csv";
+    if (auto status = SaveCsv(path); !status.ok()) {
+      ADRDEDUP_LOG_WARNING << "CSV export failed: " << status.ToString();
+    }
+  }
+}
+
+util::Status TablePrinter::SaveCsv(const std::string& path) const {
+  std::vector<util::CsvRow> rows;
+  rows.reserve(rows_.size() + 1);
+  rows.push_back(headers_);
+  rows.insert(rows.end(), rows_.begin(), rows_.end());
+  return util::CsvWriteFile(path, rows);
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void PrintSection(std::ostream* out, const std::string& title) {
+  *out << "\n## " << title << "\n\n";
+}
+
+}  // namespace adrdedup::eval

@@ -1,0 +1,51 @@
+// Fixed-width console tables for the experiment harnesses — every bench
+// binary prints its figure/table as rows through this printer so output
+// stays uniform and grep-able.
+#ifndef ADRDEDUP_EVAL_TABLE_PRINTER_H_
+#define ADRDEDUP_EVAL_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adrdedup::eval {
+
+class TablePrinter {
+ public:
+  // `out` must outlive the printer.
+  TablePrinter(std::ostream* out, std::vector<std::string> headers);
+
+  // Adds one data row; must have as many cells as there are headers.
+  void AddRow(const std::vector<std::string>& cells);
+
+  // Renders header + rows with per-column widths. If the environment
+  // variable ADRDEDUP_BENCH_OUTDIR is set, the table is also written as
+  // CSV into that directory (see SaveCsv); failures there are logged,
+  // not fatal.
+  void Print() const;
+
+  // Writes header + rows as CSV to `path`.
+  util::Status SaveCsv(const std::string& path) const;
+
+  // Sets the basename used by the automatic CSV export (default:
+  // "table_<n>" counted per process). Call before Print().
+  void set_export_name(std::string name) { export_name_ = std::move(name); }
+
+  // Formats a double with `precision` decimals.
+  static std::string Num(double value, int precision = 3);
+
+ private:
+  std::ostream* out_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string export_name_;
+};
+
+// Prints a "## <title>" section heading (benches group their tables).
+void PrintSection(std::ostream* out, const std::string& title);
+
+}  // namespace adrdedup::eval
+
+#endif  // ADRDEDUP_EVAL_TABLE_PRINTER_H_

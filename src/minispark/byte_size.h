@@ -1,0 +1,37 @@
+// Approximate in-memory size of records, used by the shuffle service to
+// account for "data transfer" the way Spark's shuffle write/read metrics
+// do. Extend by specializing ByteSizeOf for custom record types.
+#ifndef ADRDEDUP_MINISPARK_BYTE_SIZE_H_
+#define ADRDEDUP_MINISPARK_BYTE_SIZE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adrdedup::minispark {
+
+template <typename T>
+size_t ByteSizeOf(const T&) {
+  return sizeof(T);
+}
+
+inline size_t ByteSizeOf(const std::string& s) {
+  return sizeof(std::string) + s.size();
+}
+
+template <typename A, typename B>
+size_t ByteSizeOf(const std::pair<A, B>& p) {
+  return ByteSizeOf(p.first) + ByteSizeOf(p.second);
+}
+
+template <typename T>
+size_t ByteSizeOf(const std::vector<T>& v) {
+  size_t total = sizeof(std::vector<T>);
+  for (const T& item : v) total += ByteSizeOf(item);
+  return total;
+}
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_BYTE_SIZE_H_

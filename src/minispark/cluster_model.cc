@@ -1,0 +1,42 @@
+#include "minispark/cluster_model.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace adrdedup::minispark {
+
+double ClusterCostModel::LptMakespan(
+    const std::vector<double>& task_seconds, size_t executors) {
+  ADRDEDUP_CHECK_GE(executors, 1u);
+  if (task_seconds.empty()) return 0.0;
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  // Min-heap of executor loads; assign each task to the least-loaded.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      loads;
+  for (size_t e = 0; e < executors; ++e) loads.push(0.0);
+  for (double t : sorted) {
+    const double least = loads.top();
+    loads.pop();
+    loads.push(least + t);
+  }
+  double makespan = 0.0;
+  while (!loads.empty()) {
+    makespan = std::max(makespan, loads.top());
+    loads.pop();
+  }
+  return makespan;
+}
+
+double ClusterCostModel::SimulateExecutionSeconds(
+    const std::vector<double>& task_seconds, uint64_t shuffle_bytes,
+    size_t executors) const {
+  return LptMakespan(task_seconds, executors) +
+         static_cast<double>(shuffle_bytes) / network_bytes_per_second +
+         per_executor_coordination_seconds *
+             static_cast<double>(executors);
+}
+
+}  // namespace adrdedup::minispark

@@ -1,0 +1,48 @@
+// Simulated-cluster cost model. The reproduction machine is a single
+// node, so executor-scaling experiments (paper Figs. 9 and 10) cannot be
+// driven by wall-clock time. Instead the scheduler records the measured
+// CPU duration of every task, and this model predicts what a cluster of
+// E executors would have taken:
+//
+//   T(E) = LPT-makespan(task_durations, E)        // compute, imbalance
+//        + shuffle_bytes / kNetworkBytesPerSecond // shuffle transfer
+//        + kPerExecutorCoordinationSeconds * E    // driver coordination
+//
+// The makespan term gives the ~1/E speed-up that dominates at small E;
+// the coordination term produces the flattening the paper attributes to
+// growing data-shuffle overhead as more nodes participate (Fig. 10a).
+// Constants are deliberately conservative and documented here; absolute
+// values are not meaningful, only curve shapes are.
+#ifndef ADRDEDUP_MINISPARK_CLUSTER_MODEL_H_
+#define ADRDEDUP_MINISPARK_CLUSTER_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adrdedup::minispark {
+
+struct ClusterCostModel {
+  // Infiniband-class effective shuffle bandwidth per job.
+  double network_bytes_per_second = 1.0e9;
+  // Driver/scheduler coordination cost per participating executor
+  // (heartbeats, task dispatch, result fan-in). Roughly YARN/Spark task
+  // round-trip overhead; deliberately small so that scaled-down
+  // reproductions stay compute-dominated at the paper's executor counts
+  // but still flatten as executors grow.
+  double per_executor_coordination_seconds = 0.0005;
+
+  // Longest-processing-time-first makespan of `task_seconds` on
+  // `executors` identical workers. Returns 0 for no tasks.
+  static double LptMakespan(const std::vector<double>& task_seconds,
+                            size_t executors);
+
+  // Full model: makespan + shuffle transfer + coordination.
+  double SimulateExecutionSeconds(const std::vector<double>& task_seconds,
+                                  uint64_t shuffle_bytes,
+                                  size_t executors) const;
+};
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_CLUSTER_MODEL_H_

@@ -1,0 +1,27 @@
+#include "minispark/context.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace adrdedup::minispark {
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "tasks=" << tasks_launched << " shuffles=" << shuffles_performed
+      << " shuffle_records=" << shuffle_records_written
+      << " shuffle_bytes=" << shuffle_bytes_written
+      << " recomputed_partitions=" << partitions_recomputed;
+  return out.str();
+}
+
+SparkContext::SparkContext(const Config& config)
+    : default_parallelism_(config.default_parallelism != 0
+                               ? config.default_parallelism
+                               : 2 * std::max<size_t>(1,
+                                                      config.num_executors)),
+      pool_(config.num_executors) {
+  ADRDEDUP_CHECK_GE(default_parallelism_, 1u);
+}
+
+}  // namespace adrdedup::minispark

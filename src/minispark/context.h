@@ -1,0 +1,60 @@
+// SparkContext: the entry point of the minispark engine. Owns the executor
+// pool (one worker thread per simulated executor), the scheduler metrics,
+// and the Parallelize() source that turns a local collection into an RDD.
+//
+// minispark reproduces the subset of Apache Spark the paper's Algorithm 2
+// uses — map / filter / flatMap / union / join / reduceByKey /
+// aggregateByKey / cartesian transformations, collect / count / reduce /
+// aggregate actions, in-memory caching, and lineage-based recomputation of
+// lost partitions — as an in-process library. An "executor" is a worker
+// thread; "shuffle" is a hash repartitioning whose record/byte volume is
+// metered like Spark's shuffle-write metrics.
+#ifndef ADRDEDUP_MINISPARK_CONTEXT_H_
+#define ADRDEDUP_MINISPARK_CONTEXT_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "minispark/metrics.h"
+#include "util/thread_pool.h"
+
+namespace adrdedup::minispark {
+
+template <typename T>
+class Rdd;  // defined in minispark/rdd.h
+
+class SparkContext {
+ public:
+  struct Config {
+    // Number of simulated executors (worker threads).
+    size_t num_executors = 4;
+    // Default number of partitions for sources and shuffles; 0 means
+    // 2 * num_executors (Spark's common guidance).
+    size_t default_parallelism = 0;
+  };
+
+  explicit SparkContext(const Config& config);
+
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  size_t num_executors() const { return pool_.num_threads(); }
+  size_t default_parallelism() const { return default_parallelism_; }
+
+  util::ThreadPool& pool() { return pool_; }
+  Metrics& metrics() { return metrics_; }
+
+  // Distributes `data` over `num_partitions` (0 = default parallelism)
+  // contiguous slices. Defined in rdd.h to break the include cycle.
+  template <typename T>
+  Rdd<T> Parallelize(std::vector<T> data, size_t num_partitions = 0);
+
+ private:
+  size_t default_parallelism_;
+  Metrics metrics_;
+  util::ThreadPool pool_;  // declared last: joins before members die
+};
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_CONTEXT_H_

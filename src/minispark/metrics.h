@@ -1,0 +1,91 @@
+// Execution metrics collected by the minispark scheduler: task launches,
+// shuffle volume, and cache recomputations. Mirrors the subset of Spark's
+// TaskMetrics the paper's evaluation reasons about (shuffle overhead in
+// Fig. 10, executor scaling).
+#ifndef ADRDEDUP_MINISPARK_METRICS_H_
+#define ADRDEDUP_MINISPARK_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adrdedup::minispark {
+
+struct MetricsSnapshot {
+  uint64_t tasks_launched = 0;
+  uint64_t shuffles_performed = 0;
+  uint64_t shuffle_records_written = 0;
+  uint64_t shuffle_bytes_written = 0;
+  uint64_t partitions_recomputed = 0;
+
+  std::string ToString() const;
+};
+
+// Thread-safe metric counters owned by a SparkContext.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void AddTask() { tasks_launched_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Records the measured duration of one completed task, feeding the
+  // ClusterCostModel executor-scaling simulation.
+  void AddTaskDuration(double seconds) {
+    std::lock_guard<std::mutex> lock(durations_mutex_);
+    task_durations_.push_back(seconds);
+  }
+
+  std::vector<double> TaskDurations() const {
+    std::lock_guard<std::mutex> lock(durations_mutex_);
+    return task_durations_;
+  }
+  void AddShuffle(uint64_t records, uint64_t bytes) {
+    shuffles_performed_.fetch_add(1, std::memory_order_relaxed);
+    shuffle_records_written_.fetch_add(records, std::memory_order_relaxed);
+    shuffle_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddRecomputedPartition() {
+    partitions_recomputed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot out;
+    out.tasks_launched = tasks_launched_.load(std::memory_order_relaxed);
+    out.shuffles_performed =
+        shuffles_performed_.load(std::memory_order_relaxed);
+    out.shuffle_records_written =
+        shuffle_records_written_.load(std::memory_order_relaxed);
+    out.shuffle_bytes_written =
+        shuffle_bytes_written_.load(std::memory_order_relaxed);
+    out.partitions_recomputed =
+        partitions_recomputed_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void Reset() {
+    tasks_launched_ = 0;
+    shuffles_performed_ = 0;
+    shuffle_records_written_ = 0;
+    shuffle_bytes_written_ = 0;
+    partitions_recomputed_ = 0;
+    std::lock_guard<std::mutex> lock(durations_mutex_);
+    task_durations_.clear();
+  }
+
+ private:
+  mutable std::mutex durations_mutex_;
+  std::vector<double> task_durations_;
+  std::atomic<uint64_t> tasks_launched_{0};
+  std::atomic<uint64_t> shuffles_performed_{0};
+  std::atomic<uint64_t> shuffle_records_written_{0};
+  std::atomic<uint64_t> shuffle_bytes_written_{0};
+  std::atomic<uint64_t> partitions_recomputed_{0};
+};
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_METRICS_H_

@@ -1,0 +1,299 @@
+// Key-value operations over Rdd<std::pair<K, V>>: hash-partitioned shuffle,
+// reduceByKey (with map-side combine, as Spark does), groupByKey,
+// aggregateByKey, and inner join. These are the "join / aggregate /
+// reduce" primitives Algorithm 2 of the paper is written in.
+#ifndef ADRDEDUP_MINISPARK_PAIR_RDD_H_
+#define ADRDEDUP_MINISPARK_PAIR_RDD_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "minispark/rdd.h"
+
+namespace adrdedup::minispark {
+
+namespace internal {
+
+// Hash-partitions the records of a pair RDD so that all records sharing a
+// key land in the same output partition. Wide dependency: materializes
+// during EnsureReady and meters shuffle volume.
+template <typename K, typename V>
+class ShuffleByKeyNode final : public RddNode<std::pair<K, V>> {
+ public:
+  ShuffleByKeyNode(std::shared_ptr<RddNode<std::pair<K, V>>> parent,
+                   size_t num_partitions)
+      : RddNode<std::pair<K, V>>(parent->ctx()),
+        parent_(std::move(parent)),
+        num_partitions_(std::max<size_t>(1, num_partitions)) {}
+
+  size_t NumPartitions() const override { return num_partitions_; }
+
+  PartitionData<std::pair<K, V>> Compute(size_t partition) override {
+    ADRDEDUP_CHECK(materialized_) << "EnsureReady() not run before Compute";
+    return buckets_[partition];
+  }
+
+  void EnsureReady() override {
+    parent_->EnsureReady();
+    std::call_once(once_, [this] { Materialize(); });
+  }
+
+  std::string DebugLabel() const override { return "ShuffleByKey"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  void Materialize() {
+    const size_t parent_parts = parent_->NumPartitions();
+    // Each parent partition scatters into its own local bucket set; the
+    // per-bucket merge below is the "shuffle read".
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> local(
+        parent_parts);
+    std::vector<uint64_t> bytes_per_part(parent_parts, 0);
+    this->ctx()->pool().ParallelFor(0, parent_parts, [&](size_t p) {
+      this->ctx()->metrics().AddTask();
+      util::Stopwatch watch;
+      const PartitionData<std::pair<K, V>> input = parent_->Compute(p);
+      auto& buckets = local[p];
+      buckets.resize(num_partitions_);
+      const std::hash<K> hasher;
+      for (const auto& record : *input) {
+        bytes_per_part[p] += ByteSizeOf(record);
+        buckets[hasher(record.first) % num_partitions_].push_back(record);
+      }
+      this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+    });
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    for (size_t p = 0; p < parent_parts; ++p) bytes += bytes_per_part[p];
+    std::vector<std::vector<std::pair<K, V>>> merged(num_partitions_);
+    for (auto& buckets : local) {
+      for (size_t b = 0; b < num_partitions_; ++b) {
+        records += buckets[b].size();
+        std::move(buckets[b].begin(), buckets[b].end(),
+                  std::back_inserter(merged[b]));
+      }
+    }
+    this->ctx()->metrics().AddShuffle(records, bytes);
+    buckets_.reserve(num_partitions_);
+    for (auto& bucket : merged) {
+      buckets_.push_back(MakePartition(std::move(bucket)));
+    }
+    materialized_ = true;
+  }
+
+  std::shared_ptr<RddNode<std::pair<K, V>>> parent_;
+  size_t num_partitions_;
+  std::once_flag once_;
+  bool materialized_ = false;
+  std::vector<PartitionData<std::pair<K, V>>> buckets_;
+};
+
+// Inner hash join of two co-shuffled pair RDDs. Both sides are shuffled to
+// the same bucket count, so bucket i of each side holds exactly the keys
+// hashing to i; Compute builds a hash table over the left bucket and
+// probes with the right.
+template <typename K, typename V, typename W>
+class JoinNode final : public RddNode<std::pair<K, std::pair<V, W>>> {
+ public:
+  JoinNode(std::shared_ptr<ShuffleByKeyNode<K, V>> left,
+           std::shared_ptr<ShuffleByKeyNode<K, W>> right)
+      : RddNode<std::pair<K, std::pair<V, W>>>(left->ctx()),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    ADRDEDUP_CHECK_EQ(left_->NumPartitions(), right_->NumPartitions());
+  }
+
+  size_t NumPartitions() const override { return left_->NumPartitions(); }
+
+  PartitionData<std::pair<K, std::pair<V, W>>> Compute(
+      size_t partition) override {
+    const auto left_bucket = left_->Compute(partition);
+    const auto right_bucket = right_->Compute(partition);
+    std::unordered_multimap<K, const V*> table;
+    table.reserve(left_bucket->size());
+    for (const auto& [key, value] : *left_bucket) {
+      table.emplace(key, &value);
+    }
+    std::vector<std::pair<K, std::pair<V, W>>> out;
+    for (const auto& [key, w] : *right_bucket) {
+      auto [begin, end] = table.equal_range(key);
+      for (auto it = begin; it != end; ++it) {
+        out.emplace_back(key, std::pair<V, W>(*it->second, w));
+      }
+    }
+    return MakePartition(std::move(out));
+  }
+
+  void EnsureReady() override {
+    left_->EnsureReady();
+    right_->EnsureReady();
+  }
+
+  std::string DebugLabel() const override { return "Join"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    left_->AppendLineage(out, depth + 1);
+    right_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<ShuffleByKeyNode<K, V>> left_;
+  std::shared_ptr<ShuffleByKeyNode<K, W>> right_;
+};
+
+}  // namespace internal
+
+// Hash-partitions `rdd` by key into `num_partitions` buckets
+// (0 = context default parallelism).
+template <typename K, typename V>
+Rdd<std::pair<K, V>> PartitionByKey(const Rdd<std::pair<K, V>>& rdd,
+                                    size_t num_partitions = 0) {
+  const size_t parts = num_partitions != 0
+                           ? num_partitions
+                           : rdd.ctx()->default_parallelism();
+  return Rdd<std::pair<K, V>>(
+      rdd.ctx(), std::make_shared<internal::ShuffleByKeyNode<K, V>>(
+                     rdd.node(), parts));
+}
+
+// reduceByKey with map-side combine: per-partition local combine, shuffle
+// of the combined pairs, then a final combine per bucket. `fn` must be
+// associative and commutative.
+template <typename K, typename V, typename Fn>
+Rdd<std::pair<K, V>> ReduceByKey(const Rdd<std::pair<K, V>>& rdd, Fn fn,
+                                 size_t num_partitions = 0) {
+  auto combine = [fn](size_t, const std::vector<std::pair<K, V>>& records) {
+    std::unordered_map<K, V> acc;
+    acc.reserve(records.size());
+    for (const auto& [key, value] : records) {
+      auto [it, inserted] = acc.emplace(key, value);
+      if (!inserted) it->second = fn(it->second, value);
+    }
+    return std::vector<std::pair<K, V>>(acc.begin(), acc.end());
+  };
+  auto locally_combined =
+      rdd.template MapPartitionsWithIndex<std::pair<K, V>>(combine);
+  auto shuffled = PartitionByKey(locally_combined, num_partitions);
+  return shuffled.template MapPartitionsWithIndex<std::pair<K, V>>(combine);
+}
+
+// groupByKey: shuffle then gather each key's values (order follows
+// partition order of the parent, which is deterministic here).
+template <typename K, typename V>
+Rdd<std::pair<K, std::vector<V>>> GroupByKey(const Rdd<std::pair<K, V>>& rdd,
+                                             size_t num_partitions = 0) {
+  auto shuffled = PartitionByKey(rdd, num_partitions);
+  return shuffled.template MapPartitionsWithIndex<
+      std::pair<K, std::vector<V>>>(
+      [](size_t, const std::vector<std::pair<K, V>>& records) {
+        std::unordered_map<K, std::vector<V>> groups;
+        for (const auto& [key, value] : records) {
+          groups[key].push_back(value);
+        }
+        return std::vector<std::pair<K, std::vector<V>>>(
+            std::make_move_iterator(groups.begin()),
+            std::make_move_iterator(groups.end()));
+      });
+}
+
+// aggregateByKey: seq_op folds a V into the per-key U accumulator locally;
+// comb_op merges accumulators across partitions after the shuffle.
+template <typename K, typename V, typename U, typename SeqOp, typename CombOp>
+Rdd<std::pair<K, U>> AggregateByKey(const Rdd<std::pair<K, V>>& rdd, U zero,
+                                    SeqOp seq_op, CombOp comb_op,
+                                    size_t num_partitions = 0) {
+  auto local = rdd.template MapPartitionsWithIndex<std::pair<K, U>>(
+      [zero, seq_op](size_t, const std::vector<std::pair<K, V>>& records) {
+        std::unordered_map<K, U> acc;
+        for (const auto& [key, value] : records) {
+          auto [it, inserted] = acc.emplace(key, zero);
+          it->second = seq_op(std::move(it->second), value);
+        }
+        return std::vector<std::pair<K, U>>(
+            std::make_move_iterator(acc.begin()),
+            std::make_move_iterator(acc.end()));
+      });
+  auto shuffled = PartitionByKey(local, num_partitions);
+  return shuffled.template MapPartitionsWithIndex<std::pair<K, U>>(
+      [comb_op](size_t, const std::vector<std::pair<K, U>>& records) {
+        std::unordered_map<K, U> acc;
+        for (const auto& [key, value] : records) {
+          auto [it, inserted] = acc.emplace(key, value);
+          if (!inserted) {
+            it->second = comb_op(std::move(it->second), value);
+          }
+        }
+        return std::vector<std::pair<K, U>>(
+            std::make_move_iterator(acc.begin()),
+            std::make_move_iterator(acc.end()));
+      });
+}
+
+// Inner join: pairs (k, (v, w)) for every (k, v) in `left` and (k, w) in
+// `right` sharing k.
+template <typename K, typename V, typename W>
+Rdd<std::pair<K, std::pair<V, W>>> Join(const Rdd<std::pair<K, V>>& left,
+                                        const Rdd<std::pair<K, W>>& right,
+                                        size_t num_partitions = 0) {
+  const size_t parts = num_partitions != 0
+                           ? num_partitions
+                           : left.ctx()->default_parallelism();
+  auto left_shuffle = std::make_shared<internal::ShuffleByKeyNode<K, V>>(
+      left.node(), parts);
+  auto right_shuffle = std::make_shared<internal::ShuffleByKeyNode<K, W>>(
+      right.node(), parts);
+  return Rdd<std::pair<K, std::pair<V, W>>>(
+      left.ctx(), std::make_shared<internal::JoinNode<K, V, W>>(
+                      left_shuffle, right_shuffle));
+}
+
+// Transformation: keys only.
+template <typename K, typename V>
+Rdd<K> Keys(const Rdd<std::pair<K, V>>& rdd) {
+  return rdd.template Map<K>(
+      [](const std::pair<K, V>& record) { return record.first; });
+}
+
+// Transformation: values only.
+template <typename K, typename V>
+Rdd<V> Values(const Rdd<std::pair<K, V>>& rdd) {
+  return rdd.template Map<V>(
+      [](const std::pair<K, V>& record) { return record.second; });
+}
+
+// Transformation: maps values, keeping keys (and partitioning) intact.
+template <typename K, typename V, typename U, typename Fn>
+Rdd<std::pair<K, U>> MapValues(const Rdd<std::pair<K, V>>& rdd, Fn fn) {
+  return rdd.template Map<std::pair<K, U>>(
+      [fn = std::move(fn)](const std::pair<K, V>& record) {
+        return std::pair<K, U>(record.first, fn(record.second));
+      });
+}
+
+// Action: counts records per key on the driver.
+template <typename K, typename V>
+std::unordered_map<K, size_t> CountByKey(const Rdd<std::pair<K, V>>& rdd) {
+  std::unordered_map<K, size_t> counts;
+  for (const auto& [key, value] : rdd.Collect()) ++counts[key];
+  return counts;
+}
+
+// Action: collects into a map; later records win on key collision
+// (Spark's collectAsMap contract).
+template <typename K, typename V>
+std::unordered_map<K, V> CollectAsMap(const Rdd<std::pair<K, V>>& rdd) {
+  std::unordered_map<K, V> out;
+  for (auto& [key, value] : rdd.Collect()) out[key] = value;
+  return out;
+}
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_PAIR_RDD_H_

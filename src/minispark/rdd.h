@@ -1,0 +1,962 @@
+// Resilient-distributed-dataset abstraction of minispark. An Rdd<T> is a
+// lazy, immutable, partitioned collection described by a lineage DAG of
+// RddNode objects; transformations build new nodes, actions walk the DAG:
+// wide (shuffle) nodes materialize during EnsureReady(), then every output
+// partition is computed as one task on the executor pool.
+//
+// Usage:
+//   SparkContext ctx({.num_executors = 8});
+//   auto squares = ctx.Parallelize(std::vector<int>{1, 2, 3})
+//                      .Map<int>([](int x) { return x * x; });
+//   std::vector<int> out = squares.Collect();
+//
+// Thread-safety: Rdd handles are cheap shared_ptr copies; a single Rdd may
+// be used from one thread at a time, but distinct handles over the same
+// lineage are safe because materialization is guarded per node.
+#ifndef ADRDEDUP_MINISPARK_RDD_H_
+#define ADRDEDUP_MINISPARK_RDD_H_
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "minispark/byte_size.h"
+#include "minispark/context.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace adrdedup::minispark {
+
+template <typename T>
+using PartitionData = std::shared_ptr<const std::vector<T>>;
+
+template <typename T>
+PartitionData<T> MakePartition(std::vector<T> data) {
+  return std::make_shared<const std::vector<T>>(std::move(data));
+}
+
+// Base of the lineage DAG. Compute() may be called concurrently for
+// different partitions; EnsureReady() is always called from the action's
+// calling thread before any Compute(), so wide nodes can use the executor
+// pool during materialization without risking pool-in-pool deadlock.
+template <typename T>
+class RddNode {
+ public:
+  explicit RddNode(SparkContext* ctx) : ctx_(ctx) {}
+  virtual ~RddNode() = default;
+
+  RddNode(const RddNode&) = delete;
+  RddNode& operator=(const RddNode&) = delete;
+
+  virtual size_t NumPartitions() const = 0;
+  virtual PartitionData<T> Compute(size_t partition) = 0;
+  // Recursively materializes shuffle dependencies. Default: nothing.
+  virtual void EnsureReady() {}
+
+  // One-line node label for lineage debugging ("Map", "ShuffleByKey"...).
+  virtual std::string DebugLabel() const { return "RDD"; }
+  // Appends this node's lineage, leaf-last, one "  "-indented line per
+  // level (Spark's toDebugString). Default: this node only.
+  virtual void AppendLineage(std::string* out, int depth) const {
+    AppendLineageLine(out, depth, DebugLabel());
+  }
+
+ protected:
+  void AppendLineageLine(std::string* out, int depth,
+                         const std::string& label) const {
+    for (int i = 0; i < depth; ++i) out->append("  ");
+    out->append("(").append(std::to_string(NumPartitions())).append(") ");
+    out->append(label);
+    out->push_back('\n');
+  }
+
+ public:
+  SparkContext* ctx() const { return ctx_; }
+
+ private:
+  SparkContext* ctx_;
+};
+
+namespace internal {
+
+// Leaf node over a local collection, sliced contiguously.
+template <typename T>
+class ParallelizeNode final : public RddNode<T> {
+ public:
+  ParallelizeNode(SparkContext* ctx, std::vector<T> data,
+                  size_t num_partitions)
+      : RddNode<T>(ctx), data_(MakePartition(std::move(data))) {
+    const size_t n = std::max<size_t>(1, num_partitions);
+    const size_t count = data_->size();
+    // Slice boundaries: partition i covers [i*count/n, (i+1)*count/n).
+    offsets_.reserve(n + 1);
+    for (size_t i = 0; i <= n; ++i) {
+      offsets_.push_back(i * count / n);
+    }
+  }
+
+  size_t NumPartitions() const override { return offsets_.size() - 1; }
+
+  PartitionData<T> Compute(size_t partition) override {
+    ADRDEDUP_CHECK_LT(partition, NumPartitions());
+    std::vector<T> slice(data_->begin() + offsets_[partition],
+                         data_->begin() + offsets_[partition + 1]);
+    return MakePartition(std::move(slice));
+  }
+
+  std::string DebugLabel() const override { return "Parallelize"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+  }
+
+ private:
+  PartitionData<T> data_;
+  std::vector<size_t> offsets_;
+};
+
+template <typename T, typename P>
+class MapNode final : public RddNode<T> {
+ public:
+  MapNode(std::shared_ptr<RddNode<P>> parent, std::function<T(const P&)> fn)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+
+  PartitionData<T> Compute(size_t partition) override {
+    const PartitionData<P> input = parent_->Compute(partition);
+    std::vector<T> out;
+    out.reserve(input->size());
+    for (const P& record : *input) out.push_back(fn_(record));
+    return MakePartition(std::move(out));
+  }
+
+  void EnsureReady() override { parent_->EnsureReady(); }
+
+  std::string DebugLabel() const override { return "Map"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<P>> parent_;
+  std::function<T(const P&)> fn_;
+};
+
+template <typename T>
+class FilterNode final : public RddNode<T> {
+ public:
+  FilterNode(std::shared_ptr<RddNode<T>> parent,
+             std::function<bool(const T&)> pred)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        pred_(std::move(pred)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+
+  PartitionData<T> Compute(size_t partition) override {
+    const PartitionData<T> input = parent_->Compute(partition);
+    std::vector<T> out;
+    for (const T& record : *input) {
+      if (pred_(record)) out.push_back(record);
+    }
+    return MakePartition(std::move(out));
+  }
+
+  void EnsureReady() override { parent_->EnsureReady(); }
+
+  std::string DebugLabel() const override { return "Filter"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<T>> parent_;
+  std::function<bool(const T&)> pred_;
+};
+
+template <typename T, typename P>
+class FlatMapNode final : public RddNode<T> {
+ public:
+  FlatMapNode(std::shared_ptr<RddNode<P>> parent,
+              std::function<std::vector<T>(const P&)> fn)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+
+  PartitionData<T> Compute(size_t partition) override {
+    const PartitionData<P> input = parent_->Compute(partition);
+    std::vector<T> out;
+    for (const P& record : *input) {
+      std::vector<T> produced = fn_(record);
+      std::move(produced.begin(), produced.end(), std::back_inserter(out));
+    }
+    return MakePartition(std::move(out));
+  }
+
+  void EnsureReady() override { parent_->EnsureReady(); }
+
+  std::string DebugLabel() const override { return "FlatMap"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<P>> parent_;
+  std::function<std::vector<T>(const P&)> fn_;
+};
+
+// Whole-partition transformation (mapPartitionsWithIndex).
+template <typename T, typename P>
+class MapPartitionsNode final : public RddNode<T> {
+ public:
+  MapPartitionsNode(
+      std::shared_ptr<RddNode<P>> parent,
+      std::function<std::vector<T>(size_t, const std::vector<P>&)> fn)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+
+  PartitionData<T> Compute(size_t partition) override {
+    const PartitionData<P> input = parent_->Compute(partition);
+    return MakePartition(fn_(partition, *input));
+  }
+
+  void EnsureReady() override { parent_->EnsureReady(); }
+
+  std::string DebugLabel() const override { return "MapPartitions"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<P>> parent_;
+  std::function<std::vector<T>(size_t, const std::vector<P>&)> fn_;
+};
+
+// Concatenation of two lineages; partitions of the left side come first.
+template <typename T>
+class UnionNode final : public RddNode<T> {
+ public:
+  UnionNode(std::shared_ptr<RddNode<T>> left,
+            std::shared_ptr<RddNode<T>> right)
+      : RddNode<T>(left->ctx()),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  size_t NumPartitions() const override {
+    return left_->NumPartitions() + right_->NumPartitions();
+  }
+
+  PartitionData<T> Compute(size_t partition) override {
+    const size_t left_count = left_->NumPartitions();
+    if (partition < left_count) return left_->Compute(partition);
+    return right_->Compute(partition - left_count);
+  }
+
+  void EnsureReady() override {
+    left_->EnsureReady();
+    right_->EnsureReady();
+  }
+
+  std::string DebugLabel() const override { return "Union"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    left_->AppendLineage(out, depth + 1);
+    right_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<T>> left_;
+  std::shared_ptr<RddNode<T>> right_;
+};
+
+// In-memory cache with per-partition lazy fill. Losing a partition (test
+// hook DropPartition) falls back to lineage recomputation, which is the
+// RDD fault-tolerance story.
+template <typename T>
+class CacheNode final : public RddNode<T> {
+ public:
+  explicit CacheNode(std::shared_ptr<RddNode<T>> parent)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        slots_(parent_->NumPartitions()) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+
+  PartitionData<T> Compute(size_t partition) override {
+    ADRDEDUP_CHECK_LT(partition, slots_.size());
+    Slot& slot = slots_[partition];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.data == nullptr) {
+      if (slot.was_filled) {
+        // The partition was cached and then lost: lineage recovery.
+        this->ctx()->metrics().AddRecomputedPartition();
+      }
+      slot.data = parent_->Compute(partition);
+      slot.was_filled = true;
+    }
+    return slot.data;
+  }
+
+  void EnsureReady() override { parent_->EnsureReady(); }
+
+  // Simulates executor loss of one cached partition.
+  void DropPartition(size_t partition) {
+    ADRDEDUP_CHECK_LT(partition, slots_.size());
+    Slot& slot = slots_[partition];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.data = nullptr;
+  }
+
+  bool IsPartitionCached(size_t partition) const {
+    ADRDEDUP_CHECK_LT(partition, slots_.size());
+    const Slot& slot = slots_[partition];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    return slot.data != nullptr;
+  }
+
+  std::string DebugLabel() const override { return "Cache"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    PartitionData<T> data;
+    bool was_filled = false;
+  };
+
+  std::shared_ptr<RddNode<T>> parent_;
+  std::vector<Slot> slots_;
+};
+
+// Round-robin repartitioning; a wide dependency, so the records are
+// materialized during EnsureReady and metered as shuffle volume.
+template <typename T>
+class RepartitionNode final : public RddNode<T> {
+ public:
+  RepartitionNode(std::shared_ptr<RddNode<T>> parent, size_t num_partitions)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        num_partitions_(std::max<size_t>(1, num_partitions)) {}
+
+  size_t NumPartitions() const override { return num_partitions_; }
+
+  PartitionData<T> Compute(size_t partition) override {
+    ADRDEDUP_CHECK(materialized_) << "EnsureReady() not run before Compute";
+    return buckets_[partition];
+  }
+
+  void EnsureReady() override {
+    parent_->EnsureReady();
+    std::call_once(once_, [this] { Materialize(); });
+  }
+
+  std::string DebugLabel() const override { return "Repartition [shuffle]"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  void Materialize() {
+    const size_t parent_parts = parent_->NumPartitions();
+    std::vector<PartitionData<T>> inputs(parent_parts);
+    this->ctx()->pool().ParallelFor(0, parent_parts, [&](size_t p) {
+      this->ctx()->metrics().AddTask();
+      util::Stopwatch watch;
+      inputs[p] = parent_->Compute(p);
+      this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+    });
+    std::vector<std::vector<T>> buckets(num_partitions_);
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    size_t next = 0;
+    for (const auto& input : inputs) {
+      for (const T& record : *input) {
+        bytes += ByteSizeOf(record);
+        ++records;
+        buckets[next].push_back(record);
+        next = (next + 1) % num_partitions_;
+      }
+    }
+    this->ctx()->metrics().AddShuffle(records, bytes);
+    buckets_.reserve(num_partitions_);
+    for (auto& bucket : buckets) {
+      buckets_.push_back(MakePartition(std::move(bucket)));
+    }
+    materialized_ = true;
+  }
+
+  std::shared_ptr<RddNode<T>> parent_;
+  size_t num_partitions_;
+  std::once_flag once_;
+  bool materialized_ = false;
+  std::vector<PartitionData<T>> buckets_;
+};
+
+// Cartesian product: left partitioning is kept; the right side is fully
+// materialized (broadcast) during EnsureReady, as Spark does for the
+// blocks of its CartesianRDD.
+template <typename A, typename B>
+class CartesianNode final : public RddNode<std::pair<A, B>> {
+ public:
+  CartesianNode(std::shared_ptr<RddNode<A>> left,
+                std::shared_ptr<RddNode<B>> right)
+      : RddNode<std::pair<A, B>>(left->ctx()),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  size_t NumPartitions() const override { return left_->NumPartitions(); }
+
+  PartitionData<std::pair<A, B>> Compute(size_t partition) override {
+    ADRDEDUP_CHECK(right_all_ != nullptr)
+        << "EnsureReady() not run before Compute";
+    const PartitionData<A> input = left_->Compute(partition);
+    std::vector<std::pair<A, B>> out;
+    out.reserve(input->size() * right_all_->size());
+    for (const A& a : *input) {
+      for (const B& b : *right_all_) out.emplace_back(a, b);
+    }
+    return MakePartition(std::move(out));
+  }
+
+  void EnsureReady() override {
+    left_->EnsureReady();
+    right_->EnsureReady();
+    std::call_once(once_, [this] {
+      const size_t parts = right_->NumPartitions();
+      std::vector<PartitionData<B>> inputs(parts);
+      this->ctx()->pool().ParallelFor(0, parts, [&](size_t p) {
+        this->ctx()->metrics().AddTask();
+        util::Stopwatch watch;
+        inputs[p] = right_->Compute(p);
+        this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+      });
+      std::vector<B> all;
+      uint64_t bytes = 0;
+      for (const auto& input : inputs) {
+        for (const B& record : *input) {
+          bytes += ByteSizeOf(record);
+          all.push_back(record);
+        }
+      }
+      this->ctx()->metrics().AddShuffle(all.size(), bytes);
+      right_all_ = MakePartition(std::move(all));
+    });
+  }
+
+  std::string DebugLabel() const override { return "Cartesian [broadcast right]"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    left_->AppendLineage(out, depth + 1);
+    right_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<A>> left_;
+  std::shared_ptr<RddNode<B>> right_;
+  std::once_flag once_;
+  PartitionData<B> right_all_;
+};
+
+// coalesce(n): merges adjacent partitions without a shuffle. Narrow in
+// Spark's sense: output partition g concatenates the contiguous input
+// range [g*P/n, (g+1)*P/n).
+template <typename T>
+class CoalesceNode final : public RddNode<T> {
+ public:
+  CoalesceNode(std::shared_ptr<RddNode<T>> parent, size_t num_partitions)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        num_partitions_(std::max<size_t>(1, num_partitions)) {}
+
+  size_t NumPartitions() const override { return num_partitions_; }
+
+  PartitionData<T> Compute(size_t partition) override {
+    const size_t parent_parts = parent_->NumPartitions();
+    const size_t lo = partition * parent_parts / num_partitions_;
+    const size_t hi = (partition + 1) * parent_parts / num_partitions_;
+    std::vector<T> out;
+    for (size_t p = lo; p < hi; ++p) {
+      const PartitionData<T> input = parent_->Compute(p);
+      out.insert(out.end(), input->begin(), input->end());
+    }
+    return MakePartition(std::move(out));
+  }
+
+  void EnsureReady() override { parent_->EnsureReady(); }
+
+  std::string DebugLabel() const override { return "Coalesce"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<T>> parent_;
+  size_t num_partitions_;
+};
+
+// Bernoulli sampling, narrow: each partition draws from its own
+// deterministic stream, so results are stable across executor counts.
+template <typename T>
+class SampleNode final : public RddNode<T> {
+ public:
+  SampleNode(std::shared_ptr<RddNode<T>> parent, double fraction,
+             uint64_t seed)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        fraction_(fraction),
+        seed_(seed) {}
+
+  size_t NumPartitions() const override { return parent_->NumPartitions(); }
+
+  PartitionData<T> Compute(size_t partition) override {
+    const PartitionData<T> input = parent_->Compute(partition);
+    util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (partition + 1)));
+    std::vector<T> out;
+    for (const T& record : *input) {
+      if (rng.Bernoulli(fraction_)) out.push_back(record);
+    }
+    return MakePartition(std::move(out));
+  }
+
+  void EnsureReady() override { parent_->EnsureReady(); }
+
+  std::string DebugLabel() const override { return "Sample"; }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  std::shared_ptr<RddNode<T>> parent_;
+  double fraction_;
+  uint64_t seed_;
+};
+
+// Base for wide nodes that materialize the whole parent and re-slice it:
+// Distinct, SortBy and ZipWithIndex below share this machinery.
+template <typename T, typename Out>
+class MaterializingNode : public RddNode<Out> {
+ public:
+  explicit MaterializingNode(std::shared_ptr<RddNode<T>> parent)
+      : RddNode<Out>(parent->ctx()), parent_(std::move(parent)) {}
+
+  size_t NumPartitions() const override {
+    return parent_->NumPartitions();
+  }
+
+  PartitionData<Out> Compute(size_t partition) override {
+    ADRDEDUP_CHECK(materialized_) << "EnsureReady() not run before Compute";
+    return slices_[partition];
+  }
+
+  void EnsureReady() final {
+    parent_->EnsureReady();
+    std::call_once(once_, [this] {
+      const size_t parts = parent_->NumPartitions();
+      std::vector<PartitionData<T>> inputs(parts);
+      this->ctx()->pool().ParallelFor(0, parts, [&](size_t p) {
+        this->ctx()->metrics().AddTask();
+        util::Stopwatch watch;
+        inputs[p] = parent_->Compute(p);
+        this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+      });
+      std::vector<T> all;
+      uint64_t bytes = 0;
+      for (const auto& input : inputs) {
+        for (const T& record : *input) {
+          bytes += ByteSizeOf(record);
+          all.push_back(record);
+        }
+      }
+      this->ctx()->metrics().AddShuffle(all.size(), bytes);
+      std::vector<Out> transformed = Transform(std::move(all));
+      // Re-slice contiguously into the parent's partition count.
+      const size_t n = transformed.size();
+      slices_.reserve(parts);
+      for (size_t p = 0; p < parts; ++p) {
+        const size_t lo = p * n / parts;
+        const size_t hi = (p + 1) * n / parts;
+        slices_.push_back(MakePartition(std::vector<Out>(
+            std::make_move_iterator(transformed.begin() + lo),
+            std::make_move_iterator(transformed.begin() + hi))));
+      }
+      materialized_ = true;
+    });
+  }
+
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, this->DebugLabel());
+    parent_->AppendLineage(out, depth + 1);
+  }
+
+  protected:
+  // Whole-dataset transformation implemented by subclasses.
+  virtual std::vector<Out> Transform(std::vector<T> all) = 0;
+
+ private:
+  std::shared_ptr<RddNode<T>> parent_;
+  std::once_flag once_;
+  bool materialized_ = false;
+  std::vector<PartitionData<Out>> slices_;
+};
+
+// distinct(): first occurrence wins, input order preserved.
+template <typename T>
+class DistinctNode final : public MaterializingNode<T, T> {
+ public:
+  using MaterializingNode<T, T>::MaterializingNode;
+
+  std::string DebugLabel() const override { return "Distinct [shuffle]"; }
+
+  protected:
+  std::vector<T> Transform(std::vector<T> all) override {
+    std::vector<T> out;
+    std::unordered_set<T> seen;
+    seen.reserve(all.size());
+    for (T& record : all) {
+      if (seen.insert(record).second) out.push_back(std::move(record));
+    }
+    return out;
+  }
+};
+
+// sortBy(key): stable global sort by fn(record).
+template <typename T, typename K>
+class SortByNode final : public MaterializingNode<T, T> {
+ public:
+  SortByNode(std::shared_ptr<RddNode<T>> parent,
+             std::function<K(const T&)> key_fn)
+      : MaterializingNode<T, T>(std::move(parent)),
+        key_fn_(std::move(key_fn)) {}
+
+  std::string DebugLabel() const override { return "SortBy [shuffle]"; }
+
+  protected:
+  std::vector<T> Transform(std::vector<T> all) override {
+    std::stable_sort(all.begin(), all.end(),
+                     [this](const T& a, const T& b) {
+                       return key_fn_(a) < key_fn_(b);
+                     });
+    return all;
+  }
+
+ private:
+  std::function<K(const T&)> key_fn_;
+};
+
+// zipWithIndex(): pairs every record with its global position.
+template <typename T>
+class ZipWithIndexNode final
+    : public MaterializingNode<T, std::pair<T, uint64_t>> {
+ public:
+  using MaterializingNode<T, std::pair<T, uint64_t>>::MaterializingNode;
+
+  std::string DebugLabel() const override { return "ZipWithIndex [shuffle]"; }
+
+  protected:
+  std::vector<std::pair<T, uint64_t>> Transform(
+      std::vector<T> all) override {
+    std::vector<std::pair<T, uint64_t>> out;
+    out.reserve(all.size());
+    for (uint64_t i = 0; i < all.size(); ++i) {
+      out.emplace_back(std::move(all[i]), i);
+    }
+    return out;
+  }
+};
+
+}  // namespace internal
+
+// User-facing RDD handle (cheap to copy).
+template <typename T>
+class Rdd {
+ public:
+  Rdd(SparkContext* ctx, std::shared_ptr<RddNode<T>> node)
+      : ctx_(ctx), node_(std::move(node)) {}
+
+  Rdd(const Rdd&) = default;
+  Rdd& operator=(const Rdd&) = default;
+
+  SparkContext* ctx() const { return ctx_; }
+  const std::shared_ptr<RddNode<T>>& node() const { return node_; }
+  size_t NumPartitions() const { return node_->NumPartitions(); }
+
+  // Spark's toDebugString: the lineage tree, action-side node first,
+  // "(partitions) Label" per line.
+  std::string ToDebugString() const {
+    std::string out;
+    node_->AppendLineage(&out, 0);
+    return out;
+  }
+
+  // ---- Transformations (lazy) ----
+
+  template <typename U, typename Fn>
+  Rdd<U> Map(Fn fn) const {
+    return Rdd<U>(ctx_, std::make_shared<internal::MapNode<U, T>>(
+                            node_, std::function<U(const T&)>(std::move(fn))));
+  }
+
+  template <typename Fn>
+  Rdd<T> Filter(Fn pred) const {
+    return Rdd<T>(ctx_,
+                  std::make_shared<internal::FilterNode<T>>(
+                      node_, std::function<bool(const T&)>(std::move(pred))));
+  }
+
+  template <typename U, typename Fn>
+  Rdd<U> FlatMap(Fn fn) const {
+    return Rdd<U>(ctx_, std::make_shared<internal::FlatMapNode<U, T>>(
+                            node_, std::function<std::vector<U>(const T&)>(
+                                       std::move(fn))));
+  }
+
+  template <typename U, typename Fn>
+  Rdd<U> MapPartitionsWithIndex(Fn fn) const {
+    return Rdd<U>(
+        ctx_, std::make_shared<internal::MapPartitionsNode<U, T>>(
+                  node_,
+                  std::function<std::vector<U>(size_t, const std::vector<T>&)>(
+                      std::move(fn))));
+  }
+
+  // Keys every record: fn(record) -> K, producing pairs for pair_rdd.h.
+  template <typename K, typename Fn>
+  Rdd<std::pair<K, T>> KeyBy(Fn fn) const {
+    return Map<std::pair<K, T>>(
+        [fn = std::move(fn)](const T& record) {
+          return std::pair<K, T>(fn(record), record);
+        });
+  }
+
+  Rdd<T> Union(const Rdd<T>& other) const {
+    return Rdd<T>(ctx_, std::make_shared<internal::UnionNode<T>>(
+                            node_, other.node_));
+  }
+
+  Rdd<T> Cache() const {
+    return Rdd<T>(ctx_, std::make_shared<internal::CacheNode<T>>(node_));
+  }
+
+  Rdd<T> Repartition(size_t num_partitions) const {
+    return Rdd<T>(ctx_, std::make_shared<internal::RepartitionNode<T>>(
+                            node_, num_partitions));
+  }
+
+  // Bernoulli sample of roughly `fraction` of the records;
+  // deterministic in `seed` and independent of executor count.
+  Rdd<T> Sample(double fraction, uint64_t seed = 1) const {
+    return Rdd<T>(ctx_, std::make_shared<internal::SampleNode<T>>(
+                            node_, fraction, seed));
+  }
+
+  // Deduplicates records (first occurrence wins). Wide: materializes.
+  // Requires std::hash<T> and operator==.
+  Rdd<T> Distinct() const {
+    return Rdd<T>(ctx_, std::make_shared<internal::DistinctNode<T>>(node_));
+  }
+
+  // Globally sorts by fn(record) ascending (stable). Wide: materializes.
+  template <typename K, typename Fn>
+  Rdd<T> SortBy(Fn fn) const {
+    return Rdd<T>(ctx_, std::make_shared<internal::SortByNode<T, K>>(
+                            node_, std::function<K(const T&)>(std::move(fn))));
+  }
+
+  // Pairs each record with its global index. Wide: materializes.
+  Rdd<std::pair<T, uint64_t>> ZipWithIndex() const {
+    return Rdd<std::pair<T, uint64_t>>(
+        ctx_, std::make_shared<internal::ZipWithIndexNode<T>>(node_));
+  }
+
+  template <typename B>
+  Rdd<std::pair<T, B>> Cartesian(const Rdd<B>& other) const {
+    return Rdd<std::pair<T, B>>(
+        ctx_, std::make_shared<internal::CartesianNode<T, B>>(node_,
+                                                              other.node()));
+  }
+
+  // ---- Actions (eager) ----
+
+  // Materializes every partition and concatenates in partition order.
+  std::vector<T> Collect() const {
+    std::vector<PartitionData<T>> parts = ComputeAllPartitions();
+    std::vector<T> out;
+    size_t total = 0;
+    for (const auto& part : parts) total += part->size();
+    out.reserve(total);
+    for (const auto& part : parts) {
+      out.insert(out.end(), part->begin(), part->end());
+    }
+    return out;
+  }
+
+  // Partition-structured collect (Spark's glom().collect()).
+  std::vector<std::vector<T>> GlomCollect() const {
+    std::vector<PartitionData<T>> parts = ComputeAllPartitions();
+    std::vector<std::vector<T>> out;
+    out.reserve(parts.size());
+    for (const auto& part : parts) out.push_back(*part);
+    return out;
+  }
+
+  size_t Count() const {
+    std::vector<PartitionData<T>> parts = ComputeAllPartitions();
+    size_t total = 0;
+    for (const auto& part : parts) total += part->size();
+    return total;
+  }
+
+  // Folds all records with the associative, commutative `fn`; `zero` is
+  // the identity.
+  template <typename Fn>
+  T Reduce(T zero, Fn fn) const {
+    std::vector<PartitionData<T>> parts = ComputeAllPartitions();
+    T acc = std::move(zero);
+    for (const auto& part : parts) {
+      for (const T& record : *part) acc = fn(acc, record);
+    }
+    return acc;
+  }
+
+  // Spark aggregate(): per-partition seq_op folds records into a partition
+  // accumulator (in parallel), then comb_op merges accumulators in
+  // partition order.
+  template <typename U, typename SeqOp, typename CombOp>
+  U Aggregate(U zero, SeqOp seq_op, CombOp comb_op) const {
+    node_->EnsureReady();
+    const size_t parts = node_->NumPartitions();
+    std::vector<U> partials(parts, zero);
+    ctx_->pool().ParallelFor(0, parts, [&](size_t p) {
+      ctx_->metrics().AddTask();
+      util::Stopwatch watch;
+      const PartitionData<T> input = node_->Compute(p);
+      U acc = zero;
+      for (const T& record : *input) acc = seq_op(std::move(acc), record);
+      partials[p] = std::move(acc);
+      ctx_->metrics().AddTaskDuration(watch.ElapsedSeconds());
+    });
+    U result = std::move(zero);
+    for (U& partial : partials) {
+      result = comb_op(std::move(result), std::move(partial));
+    }
+    return result;
+  }
+
+  // Merges adjacent partitions down to `num_partitions` without a
+  // shuffle (Spark's coalesce). No-op if the RDD already has fewer.
+  Rdd<T> Coalesce(size_t num_partitions) const {
+    if (num_partitions >= node_->NumPartitions()) return *this;
+    return Rdd<T>(ctx_, std::make_shared<internal::CoalesceNode<T>>(
+                            node_, num_partitions));
+  }
+
+  // The `n` smallest records under `cmp` (default operator<), sorted.
+  template <typename Cmp = std::less<T>>
+  std::vector<T> TakeOrdered(size_t n, Cmp cmp = Cmp()) const {
+    std::vector<T> all = Collect();
+    const size_t keep = std::min(n, all.size());
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<ptrdiff_t>(keep), all.end(),
+                      cmp);
+    all.resize(keep);
+    return all;
+  }
+
+  // First record in partition order; CHECKs on an empty RDD.
+  T First() const {
+    const std::vector<T> head = Take(1);
+    ADRDEDUP_CHECK(!head.empty()) << "First() on an empty RDD";
+    return head.front();
+  }
+
+  bool IsEmpty() const { return Take(1).empty(); }
+
+  // Occurrences of each distinct record (driver-side map).
+  std::unordered_map<T, size_t> CountByValue() const {
+    std::unordered_map<T, size_t> counts;
+    for (const T& record : Collect()) ++counts[record];
+    return counts;
+  }
+
+  // First `n` records in partition order.
+  std::vector<T> Take(size_t n) const {
+    node_->EnsureReady();
+    std::vector<T> out;
+    for (size_t p = 0; p < node_->NumPartitions() && out.size() < n; ++p) {
+      ctx_->metrics().AddTask();
+      const PartitionData<T> part = node_->Compute(p);
+      for (const T& record : *part) {
+        if (out.size() >= n) break;
+        out.push_back(record);
+      }
+    }
+    return out;
+  }
+
+  // ---- Fault-injection hooks (valid only on the result of Cache()) ----
+
+  void DropCachedPartition(size_t partition) const {
+    auto* cache = dynamic_cast<internal::CacheNode<T>*>(node_.get());
+    ADRDEDUP_CHECK(cache != nullptr)
+        << "DropCachedPartition on a non-cached RDD";
+    cache->DropPartition(partition);
+  }
+
+  bool IsPartitionCached(size_t partition) const {
+    auto* cache = dynamic_cast<internal::CacheNode<T>*>(node_.get());
+    ADRDEDUP_CHECK(cache != nullptr) << "IsPartitionCached on a non-cached RDD";
+    return cache->IsPartitionCached(partition);
+  }
+
+ private:
+  std::vector<PartitionData<T>> ComputeAllPartitions() const {
+    node_->EnsureReady();
+    const size_t parts = node_->NumPartitions();
+    std::vector<PartitionData<T>> out(parts);
+    ctx_->pool().ParallelFor(0, parts, [&](size_t p) {
+      ctx_->metrics().AddTask();
+      util::Stopwatch watch;
+      out[p] = node_->Compute(p);
+      ctx_->metrics().AddTaskDuration(watch.ElapsedSeconds());
+    });
+    return out;
+  }
+
+  SparkContext* ctx_;
+  std::shared_ptr<RddNode<T>> node_;
+};
+
+template <typename T>
+Rdd<T> SparkContext::Parallelize(std::vector<T> data, size_t num_partitions) {
+  const size_t parts =
+      num_partitions != 0 ? num_partitions : default_parallelism_;
+  return Rdd<T>(this, std::make_shared<internal::ParallelizeNode<T>>(
+                          this, std::move(data), parts));
+}
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_RDD_H_

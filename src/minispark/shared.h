@@ -1,0 +1,73 @@
+// Shared-state primitives of the Spark programming model:
+//  * Broadcast<T> — an immutable value shipped once to every executor
+//    (here: a shared_ptr the task lambdas capture by value);
+//  * Accumulator<T> — an add-only variable tasks update and only the
+//    driver reads (Algorithm 2 collects its comparison counters this
+//    way in the Spark original).
+#ifndef ADRDEDUP_MINISPARK_SHARED_H_
+#define ADRDEDUP_MINISPARK_SHARED_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace adrdedup::minispark {
+
+// Read-only value shared across tasks. Copying a Broadcast copies a
+// pointer, never the payload.
+template <typename T>
+class Broadcast {
+ public:
+  explicit Broadcast(T value)
+      : value_(std::make_shared<const T>(std::move(value))) {}
+
+  const T& operator*() const { return *value_; }
+  const T* operator->() const { return value_.get(); }
+  const T& value() const { return *value_; }
+
+ private:
+  std::shared_ptr<const T> value_;
+};
+
+template <typename T>
+Broadcast<T> MakeBroadcast(T value) {
+  return Broadcast<T>(std::move(value));
+}
+
+// Add-only shared variable. `Add` may be called from any task; `value`
+// is meaningful once the action that ran those tasks has returned.
+// Copies share the same underlying cell (like Spark accumulators
+// captured into closures).
+template <typename T>
+class Accumulator {
+ public:
+  explicit Accumulator(T zero = T{})
+      : state_(std::make_shared<State>(std::move(zero))) {}
+
+  void Add(const T& delta) {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->value += delta;
+  }
+
+  T value() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->value;
+  }
+
+  void Reset(T zero = T{}) {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->value = std::move(zero);
+  }
+
+ private:
+  struct State {
+    explicit State(T zero) : value(std::move(zero)) {}
+    mutable std::mutex mutex;
+    T value;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_SHARED_H_

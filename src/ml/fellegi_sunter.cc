@@ -1,0 +1,61 @@
+#include "ml/fellegi_sunter.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace adrdedup::ml {
+
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+void FellegiSunterClassifier::Fit(const std::vector<LabeledPair>& train) {
+  std::array<double, kDistanceDims> agree_match{};
+  std::array<double, kDistanceDims> agree_nonmatch{};
+  double matches = 0.0;
+  double nonmatches = 0.0;
+  for (const LabeledPair& pair : train) {
+    const bool positive = pair.is_positive();
+    (positive ? matches : nonmatches) += 1.0;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      if (Agrees(pair.vector[d])) {
+        (positive ? agree_match[d] : agree_nonmatch[d]) += 1.0;
+      }
+    }
+  }
+  ADRDEDUP_CHECK_GT(matches, 0.0)
+      << "Fellegi-Sunter needs labelled duplicates";
+  ADRDEDUP_CHECK_GT(nonmatches, 0.0)
+      << "Fellegi-Sunter needs labelled non-duplicates";
+
+  const double s = options_.smoothing;
+  for (size_t d = 0; d < kDistanceDims; ++d) {
+    m_[d] = (agree_match[d] + s) / (matches + 2.0 * s);
+    u_[d] = (agree_nonmatch[d] + s) / (nonmatches + 2.0 * s);
+    agree_weight_[d] = std::log(m_[d] / u_[d]);
+    disagree_weight_[d] = std::log((1.0 - m_[d]) / (1.0 - u_[d]));
+  }
+  fitted_ = true;
+}
+
+double FellegiSunterClassifier::Score(
+    const distance::DistanceVector& query) const {
+  ADRDEDUP_CHECK(fitted_) << "Score() before Fit()";
+  double score = 0.0;
+  for (size_t d = 0; d < kDistanceDims; ++d) {
+    score += Agrees(query[d]) ? agree_weight_[d] : disagree_weight_[d];
+  }
+  return score;
+}
+
+std::vector<double> FellegiSunterClassifier::ScoreAll(
+    const std::vector<LabeledPair>& queries) const {
+  std::vector<double> scores;
+  scores.reserve(queries.size());
+  for (const LabeledPair& query : queries) {
+    scores.push_back(Score(query.vector));
+  }
+  return scores;
+}
+
+}  // namespace adrdedup::ml

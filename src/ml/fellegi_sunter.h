@@ -1,0 +1,64 @@
+// Fellegi-Sunter probabilistic record linkage — the classical method the
+// paper's related work traces to Newcombe [16] and Jaro [11, 12]: each
+// field contributes log(m_i/u_i) when the pair agrees on it and
+// log((1-m_i)/(1-u_i)) when it disagrees, where m_i = P(agree | match)
+// and u_i = P(agree | non-match) are estimated from labelled pairs. Kept
+// as a third baseline next to kNN and SVM.
+#ifndef ADRDEDUP_ML_FELLEGI_SUNTER_H_
+#define ADRDEDUP_ML_FELLEGI_SUNTER_H_
+
+#include <array>
+#include <vector>
+
+#include "distance/pair_dataset.h"
+
+namespace adrdedup::ml {
+
+struct FellegiSunterOptions {
+  // A field "agrees" when its distance component is <= this threshold
+  // (string fields yield fractional distances).
+  double agreement_threshold = 0.3;
+  // Laplace smoothing pseudo-count for the m/u estimates.
+  double smoothing = 1.0;
+};
+
+class FellegiSunterClassifier {
+ public:
+  explicit FellegiSunterClassifier(const FellegiSunterOptions& options)
+      : options_(options) {}
+
+  // Estimates per-field m/u probabilities from the labelled pairs.
+  // Requires at least one positive and one negative example.
+  void Fit(const std::vector<distance::LabeledPair>& train);
+
+  // Log-likelihood-ratio score; higher = more likely duplicate.
+  double Score(const distance::DistanceVector& query) const;
+
+  std::vector<double> ScoreAll(
+      const std::vector<distance::LabeledPair>& queries) const;
+
+  // Estimated P(agree | match) / P(agree | non-match) per field.
+  const std::array<double, distance::kDistanceDims>& m() const {
+    return m_;
+  }
+  const std::array<double, distance::kDistanceDims>& u() const {
+    return u_;
+  }
+
+ private:
+  bool Agrees(double component) const {
+    return component <= options_.agreement_threshold;
+  }
+
+  FellegiSunterOptions options_;
+  bool fitted_ = false;
+  std::array<double, distance::kDistanceDims> m_{};
+  std::array<double, distance::kDistanceDims> u_{};
+  // Precomputed log weights.
+  std::array<double, distance::kDistanceDims> agree_weight_{};
+  std::array<double, distance::kDistanceDims> disagree_weight_{};
+};
+
+}  // namespace adrdedup::ml
+
+#endif  // ADRDEDUP_ML_FELLEGI_SUNTER_H_

@@ -1,0 +1,148 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adrdedup::ml {
+
+using distance::DistanceVector;
+using distance::kDistanceDims;
+using distance::SquaredEuclideanDistance;
+
+namespace {
+
+// k-means++ seeding: first center uniform, subsequent centers sampled
+// proportionally to squared distance from the nearest chosen center.
+std::vector<DistanceVector> SeedCenters(
+    const std::vector<DistanceVector>& points, size_t k, util::Rng* rng) {
+  std::vector<DistanceVector> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->Uniform(points.size())]);
+  std::vector<double> best_sq(points.size(),
+                              std::numeric_limits<double>::max());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      best_sq[i] = std::min(
+          best_sq[i], SquaredEuclideanDistance(points[i], centers.back()));
+      total += best_sq[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centers; duplicate one.
+      centers.push_back(points[rng->Uniform(points.size())]);
+      continue;
+    }
+    double draw = rng->UniformDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      draw -= best_sq[i];
+      if (draw <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+size_t NearestCenter(const DistanceVector& point,
+                     const std::vector<DistanceVector>& centers) {
+  ADRDEDUP_CHECK(!centers.empty());
+  size_t best = 0;
+  double best_sq = SquaredEuclideanDistance(point, centers[0]);
+  for (size_t c = 1; c < centers.size(); ++c) {
+    const double sq = SquaredEuclideanDistance(point, centers[c]);
+    if (sq < best_sq) {
+      best_sq = sq;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult RunKMeans(const std::vector<DistanceVector>& points,
+                       const KMeansOptions& options,
+                       util::ThreadPool* pool) {
+  ADRDEDUP_CHECK(!points.empty()) << "k-means on an empty point set";
+  ADRDEDUP_CHECK_GE(options.num_clusters, 1u);
+  const size_t k = std::min(options.num_clusters, points.size());
+  util::Rng rng(options.seed);
+
+  KMeansResult result;
+  result.centers = SeedCenters(points, k, &rng);
+  result.assignment.assign(points.size(), 0);
+
+  double previous_inertia = std::numeric_limits<double>::max();
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+
+    // Assignment step (parallel when a pool is available).
+    std::vector<double> point_sq(points.size(), 0.0);
+    auto assign = [&](size_t i) {
+      const size_t c = NearestCenter(points[i], result.centers);
+      result.assignment[i] = static_cast<uint32_t>(c);
+      point_sq[i] = SquaredEuclideanDistance(points[i], result.centers[c]);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, points.size(), assign);
+    } else {
+      for (size_t i = 0; i < points.size(); ++i) assign(i);
+    }
+    result.inertia = 0.0;
+    for (double sq : point_sq) result.inertia += sq;
+
+    // Update step.
+    std::vector<DistanceVector> sums(k);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const uint32_t c = result.assignment[i];
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        sums[c][d] += points[i][d];
+      }
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster at the point farthest from its center,
+        // which keeps every Voronoi cell non-degenerate.
+        size_t farthest = 0;
+        for (size_t i = 1; i < points.size(); ++i) {
+          if (point_sq[i] > point_sq[farthest]) farthest = i;
+        }
+        result.centers[c] = points[farthest];
+        point_sq[farthest] = 0.0;
+        continue;
+      }
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        result.centers[c][d] =
+            sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (previous_inertia - result.inertia <=
+        options.tolerance * std::max(previous_inertia, 1e-12)) {
+      break;
+    }
+    previous_inertia = result.inertia;
+  }
+
+  // Final assignment against the last centers so assignment/centers agree.
+  auto assign_final = [&](size_t i) {
+    result.assignment[i] =
+        static_cast<uint32_t>(NearestCenter(points[i], result.centers));
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, points.size(), assign_final);
+  } else {
+    for (size_t i = 0; i < points.size(); ++i) assign_final(i);
+  }
+  return result;
+}
+
+}  // namespace adrdedup::ml

@@ -1,0 +1,48 @@
+// Lloyd's k-means with k-means++ seeding over pair-distance vectors.
+// Used by Fast kNN to Voronoi-partition the training set (Algorithm 2,
+// step 1) and by the testing-set pruner to cluster positive pairs
+// (Section 4.3.4).
+#ifndef ADRDEDUP_ML_KMEANS_H_
+#define ADRDEDUP_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/distance_vector.h"
+#include "util/thread_pool.h"
+
+namespace adrdedup::ml {
+
+struct KMeansOptions {
+  size_t num_clusters = 8;
+  int max_iterations = 50;
+  // Relative decrease of inertia below which iteration stops early.
+  double tolerance = 1e-6;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  std::vector<distance::DistanceVector> centers;
+  // Cluster index per input point.
+  std::vector<uint32_t> assignment;
+  int iterations = 0;
+  // Sum of squared distances of points to their assigned centers.
+  double inertia = 0.0;
+};
+
+// Clusters `points` into options.num_clusters Voronoi cells. If there are
+// fewer distinct points than clusters, the result may contain empty
+// clusters; their centers are reseeded from the farthest points so every
+// returned center is meaningful. Uses `pool` for the assignment step when
+// provided.
+KMeansResult RunKMeans(const std::vector<distance::DistanceVector>& points,
+                       const KMeansOptions& options,
+                       util::ThreadPool* pool = nullptr);
+
+// Index of the nearest center to `point` (ties break to the lower index).
+size_t NearestCenter(const distance::DistanceVector& point,
+                     const std::vector<distance::DistanceVector>& centers);
+
+}  // namespace adrdedup::ml
+
+#endif  // ADRDEDUP_ML_KMEANS_H_

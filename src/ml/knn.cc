@@ -1,0 +1,99 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adrdedup::ml {
+
+using distance::DistanceVector;
+using distance::EuclideanDistance;
+using distance::LabeledPair;
+
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+std::vector<Neighbor> BruteForceKnn(const DistanceVector& query,
+                                    const std::vector<LabeledPair>& train,
+                                    size_t k) {
+  ADRDEDUP_CHECK_GE(k, 1u);
+  // Max-heap of the best k so far; heap top is the current worst keeper.
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return NeighborLess(a, b);  // max-heap on (distance, index)
+  };
+  for (size_t i = 0; i < train.size(); ++i) {
+    const double d = EuclideanDistance(query, train[i].vector);
+    if (heap.size() == k && !NeighborLess(
+            Neighbor{d, train[i].label, static_cast<uint32_t>(i)},
+            heap.front())) {
+      continue;
+    }
+    heap.push_back(Neighbor{d, train[i].label, static_cast<uint32_t>(i)});
+    std::push_heap(heap.begin(), heap.end(), worse);
+    if (heap.size() > k) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.pop_back();
+    }
+  }
+  std::sort(heap.begin(), heap.end(), NeighborLess);
+  return heap;
+}
+
+std::vector<Neighbor> MergeNeighbors(const std::vector<Neighbor>& a,
+                                     const std::vector<Neighbor>& b,
+                                     size_t k) {
+  std::vector<Neighbor> merged;
+  merged.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(merged), NeighborLess);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+double InverseDistanceScore(const std::vector<Neighbor>& neighbors,
+                            double min_distance, double positive_weight) {
+  double score = 0.0;
+  for (const Neighbor& n : neighbors) {
+    const double d = std::max(n.distance, min_distance);
+    const double weight = n.label > 0 ? positive_weight : 1.0;
+    score += weight * static_cast<double>(n.label) / d;
+  }
+  return score;
+}
+
+double MajorityVoteScore(const std::vector<Neighbor>& neighbors) {
+  double sum = 0.0;
+  for (const Neighbor& n : neighbors) sum += static_cast<double>(n.label);
+  return sum;
+}
+
+void KnnClassifier::Fit(std::vector<LabeledPair> train) {
+  ADRDEDUP_CHECK(!train.empty()) << "kNN fit with empty training set";
+  train_ = std::move(train);
+}
+
+double KnnClassifier::Score(const DistanceVector& query) const {
+  ADRDEDUP_CHECK(!train_.empty()) << "Score() before Fit()";
+  const std::vector<Neighbor> neighbors =
+      BruteForceKnn(query, train_, options_.k);
+  return options_.vote == KnnVote::kInverseDistance
+             ? InverseDistanceScore(neighbors, options_.min_distance,
+                                    options_.positive_weight)
+             : MajorityVoteScore(neighbors);
+}
+
+std::vector<double> KnnClassifier::ScoreAll(
+    const std::vector<LabeledPair>& queries) const {
+  std::vector<double> scores;
+  scores.reserve(queries.size());
+  for (const LabeledPair& query : queries) {
+    scores.push_back(Score(query.vector));
+  }
+  return scores;
+}
+
+}  // namespace adrdedup::ml

@@ -1,0 +1,96 @@
+// Exact (brute-force) k-nearest-neighbour machinery: neighbour search,
+// the inverse-distance score of paper Eq. 5, the majority vote of Eq. 1,
+// and a reference KnnClassifier. FastKnnClassifier (src/core) must agree
+// with this classifier exactly — that property is tested.
+#ifndef ADRDEDUP_ML_KNN_H_
+#define ADRDEDUP_ML_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/pair_dataset.h"
+
+namespace adrdedup::ml {
+
+// One training neighbour of a query point.
+struct Neighbor {
+  double distance = 0.0;
+  int8_t label = -1;
+  // Index into the training set the search ran over.
+  uint32_t index = 0;
+};
+
+// Orders by distance, then index (total order for deterministic top-k).
+bool NeighborLess(const Neighbor& a, const Neighbor& b);
+
+// The k nearest training pairs to `query`, sorted ascending by distance.
+// O(|train| log k).
+std::vector<Neighbor> BruteForceKnn(
+    const distance::DistanceVector& query,
+    const std::vector<distance::LabeledPair>& train, size_t k);
+
+// Merges two sorted neighbour lists, keeping the k nearest distinct
+// entries (entries are distinct by (distance, index)).
+std::vector<Neighbor> MergeNeighbors(const std::vector<Neighbor>& a,
+                                     const std::vector<Neighbor>& b,
+                                     size_t k);
+
+// Eq. 5: sum of 1/sim over positive neighbours minus sum of 1/sim over
+// negative neighbours, where sim is the Euclidean distance between the
+// two pair-distance vectors. Distances below `min_distance` are clamped
+// so an exact match contributes a large, finite weight.
+// `positive_weight` scales positive contributions (> 1 implements the
+// class-confidence weighting of Liu & Chawla [14] for imbalanced data;
+// 1.0 is the paper's plain Eq. 5).
+double InverseDistanceScore(const std::vector<Neighbor>& neighbors,
+                            double min_distance = 1e-6,
+                            double positive_weight = 1.0);
+
+// Eq. 1: unweighted majority vote (+1 / -1); `neighbors` should have odd
+// size for a strict majority. Returns the label sum (positive -> +1).
+double MajorityVoteScore(const std::vector<Neighbor>& neighbors);
+
+enum class KnnVote {
+  kInverseDistance,  // Eq. 5 (the paper's choice)
+  kMajority,         // Eq. 1 (ablation)
+};
+
+struct KnnOptions {
+  size_t k = 9;
+  KnnVote vote = KnnVote::kInverseDistance;
+  double min_distance = 1e-6;
+  // Class weight on positive neighbours (kInverseDistance only).
+  double positive_weight = 1.0;
+};
+
+// Reference kNN classifier over labelled pair-distance vectors.
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(KnnOptions options) : options_(options) {}
+
+  // Stores (copies) the training set.
+  void Fit(std::vector<distance::LabeledPair> train);
+
+  // Eq. 5 (or Eq. 1) score of one query.
+  double Score(const distance::DistanceVector& query) const;
+
+  // Scores for a batch of queries.
+  std::vector<double> ScoreAll(
+      const std::vector<distance::LabeledPair>& queries) const;
+
+  // Eq. 6: label from score and threshold theta.
+  static int8_t Classify(double score, double theta) {
+    return score >= theta ? +1 : -1;
+  }
+
+  const KnnOptions& options() const { return options_; }
+  const std::vector<distance::LabeledPair>& train() const { return train_; }
+
+ private:
+  KnnOptions options_;
+  std::vector<distance::LabeledPair> train_;
+};
+
+}  // namespace adrdedup::ml
+
+#endif  // ADRDEDUP_ML_KNN_H_

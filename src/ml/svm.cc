@@ -1,0 +1,89 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adrdedup::ml {
+
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+void SvmClassifier::Fit(const std::vector<LabeledPair>& train) {
+  ADRDEDUP_CHECK(!train.empty()) << "SVM fit with empty training set";
+  util::Rng rng(options_.seed);
+  model_ = SvmModel{};
+
+  const size_t n = train.size();
+  const double lambda =
+      options_.lambda > 0.0
+          ? options_.lambda
+          : 1.0 / (options_.c * static_cast<double>(n));
+  const uint64_t total_steps =
+      static_cast<uint64_t>(options_.epochs) * static_cast<uint64_t>(n);
+
+  // Pegasos: at step t, eta = 1/(lambda*t); on margin violation take a
+  // hinge sub-gradient step, always apply the shrinking factor. The
+  // returned model is the average of the iterates over the second half of
+  // training (averaged Pegasos), which removes the heavy dependence on
+  // which rare positives happen to be sampled late.
+  SvmModel average{};
+  uint64_t averaged_steps = 0;
+  for (uint64_t t = 1; t <= total_steps; ++t) {
+    const LabeledPair& example = train[rng.Uniform(n)];
+    const double y = static_cast<double>(example.label);
+    const double eta = 1.0 / (lambda * static_cast<double>(t));
+    const double margin = y * model_.Score(example.vector);
+
+    const double shrink = 1.0 - eta * lambda;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      model_.weights[d] *= shrink;
+    }
+    if (margin < 1.0) {
+      const double weight =
+          example.label > 0 ? options_.positive_weight : 1.0;
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        model_.weights[d] += eta * weight * y * example.vector[d];
+      }
+      model_.bias += eta * weight * y;
+    }
+
+    // Pegasos projection onto the ball of radius 1/sqrt(lambda).
+    double norm_sq = model_.bias * model_.bias;
+    for (double w : model_.weights) norm_sq += w * w;
+    const double limit_sq = 1.0 / lambda;
+    if (norm_sq > limit_sq) {
+      const double scale = std::sqrt(limit_sq / norm_sq);
+      for (double& w : model_.weights) w *= scale;
+      model_.bias *= scale;
+    }
+
+    if (t * 2 >= total_steps) {
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        average.weights[d] += model_.weights[d];
+      }
+      average.bias += model_.bias;
+      ++averaged_steps;
+    }
+  }
+  if (averaged_steps > 0) {
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      model_.weights[d] =
+          average.weights[d] / static_cast<double>(averaged_steps);
+    }
+    model_.bias = average.bias / static_cast<double>(averaged_steps);
+  }
+}
+
+std::vector<double> SvmClassifier::ScoreAll(
+    const std::vector<LabeledPair>& queries) const {
+  std::vector<double> scores;
+  scores.reserve(queries.size());
+  for (const LabeledPair& query : queries) {
+    scores.push_back(Score(query.vector));
+  }
+  return scores;
+}
+
+}  // namespace adrdedup::ml

@@ -1,0 +1,70 @@
+// Linear soft-margin SVM trained with the Pegasos stochastic sub-gradient
+// solver (Shalev-Shwartz et al., 2007). This is the paper's baseline
+// classifier (Section 5.2.1): distance vectors of report pairs are
+// separated by a maximum-margin hyperplane.
+#ifndef ADRDEDUP_ML_SVM_H_
+#define ADRDEDUP_ML_SVM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "distance/pair_dataset.h"
+
+namespace adrdedup::ml {
+
+struct SvmOptions {
+  // Regularization strength (Pegasos lambda); smaller fits harder.
+  // 0 selects the scale-invariant default lambda = 1 / (c * n), the
+  // standard SVM C parameterization, so behaviour does not drift with
+  // training-set size.
+  double lambda = 0.0;
+  // Soft-margin C used by the automatic lambda.
+  double c = 1.0;
+  // Number of stochastic epochs over the training set.
+  int epochs = 5;
+  uint64_t seed = 3;
+  // Weight multiplier applied to the loss of positive examples; 1.0 is
+  // the plain unweighted SVM the paper compares against.
+  double positive_weight = 1.0;
+};
+
+// Trained hyperplane w.x + b.
+struct SvmModel {
+  std::array<double, distance::kDistanceDims> weights{};
+  double bias = 0.0;
+
+  // Signed margin of `v`; >= theta classifies as duplicate.
+  double Score(const distance::DistanceVector& v) const {
+    double s = bias;
+    for (size_t i = 0; i < distance::kDistanceDims; ++i) {
+      s += weights[i] * v[i];
+    }
+    return s;
+  }
+};
+
+class SvmClassifier {
+ public:
+  explicit SvmClassifier(SvmOptions options) : options_(options) {}
+
+  // Trains on the labelled pairs. The caller keeps ownership of `train`.
+  void Fit(const std::vector<distance::LabeledPair>& train);
+
+  double Score(const distance::DistanceVector& query) const {
+    return model_.Score(query);
+  }
+  std::vector<double> ScoreAll(
+      const std::vector<distance::LabeledPair>& queries) const;
+
+  const SvmModel& model() const { return model_; }
+  const SvmOptions& options() const { return options_; }
+
+ private:
+  SvmOptions options_;
+  SvmModel model_;
+};
+
+}  // namespace adrdedup::ml
+
+#endif  // ADRDEDUP_ML_SVM_H_

@@ -1,0 +1,72 @@
+#include "ml/svm_clustering.h"
+
+#include <algorithm>
+
+#include "ml/kmeans.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adrdedup::ml {
+
+using distance::LabeledPair;
+
+void SvmClusteringClassifier::Fit(const std::vector<LabeledPair>& train) {
+  ADRDEDUP_CHECK(!train.empty());
+  if (options_.sample_size == 0 || options_.sample_size >= train.size()) {
+    last_sample_size_ = train.size();
+    svm_.Fit(train);
+    return;
+  }
+
+  std::vector<distance::DistanceVector> points;
+  points.reserve(train.size());
+  for (const LabeledPair& pair : train) points.push_back(pair.vector);
+
+  KMeansOptions kmeans_options;
+  kmeans_options.num_clusters = options_.num_clusters;
+  kmeans_options.seed = options_.seed;
+  const KMeansResult clusters = RunKMeans(points, kmeans_options);
+
+  // Bucket training indices per cluster.
+  std::vector<std::vector<size_t>> members(clusters.centers.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    members[clusters.assignment[i]].push_back(i);
+  }
+
+  // Per-cluster quota: equal share of the sample budget. Clusters smaller
+  // than the quota contribute everything they have — this is the "make
+  // sure report pairs in small clusters are included" rule; the leftover
+  // budget is redistributed to the larger clusters.
+  util::Rng rng(options_.seed + 1);
+  std::vector<size_t> order(members.size());
+  for (size_t c = 0; c < members.size(); ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return members[a].size() < members[b].size();
+  });
+
+  std::vector<LabeledPair> sample;
+  sample.reserve(options_.sample_size);
+  size_t budget = options_.sample_size;
+  size_t clusters_left = members.size();
+  for (size_t c : order) {
+    const size_t quota = budget / std::max<size_t>(1, clusters_left);
+    --clusters_left;
+    auto& index_list = members[c];
+    if (index_list.size() <= quota) {
+      for (size_t i : index_list) sample.push_back(train[i]);
+      budget -= index_list.size();
+    } else {
+      rng.Shuffle(&index_list);
+      for (size_t j = 0; j < quota; ++j) {
+        sample.push_back(train[index_list[j]]);
+      }
+      budget -= quota;
+    }
+  }
+
+  last_sample_size_ = sample.size();
+  ADRDEDUP_CHECK(!sample.empty());
+  svm_.Fit(sample);
+}
+
+}  // namespace adrdedup::ml

@@ -1,0 +1,54 @@
+// "SVM clustering" baseline of paper Section 5.2.2: cluster the training
+// set with k-means and build a stratified training sample that guarantees
+// representation of small clusters (which is where the rare positive
+// pairs live), then train a plain SVM on the sample.
+#ifndef ADRDEDUP_ML_SVM_CLUSTERING_H_
+#define ADRDEDUP_ML_SVM_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/svm.h"
+
+namespace adrdedup::ml {
+
+struct SvmClusteringOptions {
+  SvmOptions svm;
+  // Number of k-means clusters over the training set (paper Fig. 5(c)
+  // uses 8).
+  size_t num_clusters = 8;
+  // Total size of the stratified sample the SVM is trained on; 0 trains
+  // on the full set (clustering then only reorders).
+  size_t sample_size = 50000;
+  uint64_t seed = 11;
+};
+
+class SvmClusteringClassifier {
+ public:
+  explicit SvmClusteringClassifier(SvmClusteringOptions options)
+      : options_(options), svm_(options.svm) {}
+
+  // Clusters `train`, samples every cluster (small clusters are fully
+  // included), and fits the SVM on the sample.
+  void Fit(const std::vector<distance::LabeledPair>& train);
+
+  double Score(const distance::DistanceVector& query) const {
+    return svm_.Score(query);
+  }
+  std::vector<double> ScoreAll(
+      const std::vector<distance::LabeledPair>& queries) const {
+    return svm_.ScoreAll(queries);
+  }
+
+  // Size of the stratified sample used in the last Fit (for tests).
+  size_t last_sample_size() const { return last_sample_size_; }
+
+ private:
+  SvmClusteringOptions options_;
+  SvmClassifier svm_;
+  size_t last_sample_size_ = 0;
+};
+
+}  // namespace adrdedup::ml
+
+#endif  // ADRDEDUP_ML_SVM_CLUSTERING_H_

@@ -1,0 +1,117 @@
+#include "report/field.h"
+
+#include "util/logging.h"
+
+namespace adrdedup::report {
+
+namespace {
+
+constexpr std::string_view kCase = "Case Details";
+constexpr std::string_view kPatient = "Patient Details";
+constexpr std::string_view kReaction = "Reaction Information";
+constexpr std::string_view kMedicine = "Medicine Information";
+constexpr std::string_view kReporter = "Reporter Details";
+
+constexpr std::array<FieldSpec, kNumFields> kSchema = {{
+    {FieldId::kCaseNumber, "case_number", FieldType::kString, kCase, false},
+    {FieldId::kReportDate, "report_date", FieldType::kDate, kCase, false},
+    {FieldId::kCalculatedAge, "calculated_age", FieldType::kNumeric,
+     kPatient, true},
+    {FieldId::kSex, "sex", FieldType::kCategorical, kPatient, true},
+    {FieldId::kWeightCode, "weight_code", FieldType::kCategorical, kPatient,
+     false},
+    {FieldId::kEthnicityCode, "ethnicity_code", FieldType::kCategorical,
+     kPatient, false},
+    {FieldId::kResidentialState, "residential_state",
+     FieldType::kCategorical, kPatient, true},
+    {FieldId::kOnsetDate, "onset_date", FieldType::kDate, kReaction, true},
+    {FieldId::kDateOfOutcome, "date_of_outcome", FieldType::kDate,
+     kReaction, false},
+    {FieldId::kReactionOutcomeCode, "reaction_outcome_code",
+     FieldType::kCategorical, kReaction, false},
+    {FieldId::kReactionOutcomeDescription, "reaction_outcome_description",
+     FieldType::kString, kReaction, false},
+    {FieldId::kSeverityCode, "severity_code", FieldType::kCategorical,
+     kReaction, false},
+    {FieldId::kSeverityDescription, "severity_description",
+     FieldType::kString, kReaction, false},
+    {FieldId::kReportDescription, "report_description", FieldType::kFreeText,
+     kReaction, true},
+    {FieldId::kTreatmentText, "treatment_text", FieldType::kFreeText,
+     kReaction, false},
+    {FieldId::kHospitalisationCode, "hospitalisation_code",
+     FieldType::kCategorical, kReaction, false},
+    {FieldId::kHospitalisationDescription, "hospitalisation_description",
+     FieldType::kString, kReaction, false},
+    {FieldId::kMeddraLltCode, "meddra_llt_code", FieldType::kCategorical,
+     kReaction, false},
+    {FieldId::kLltName, "llt_name", FieldType::kString, kReaction, false},
+    {FieldId::kMeddraPtCode, "meddra_pt_code", FieldType::kString,
+     kReaction, true},
+    {FieldId::kPtName, "pt_name", FieldType::kString, kReaction, false},
+    {FieldId::kSuspectCode, "suspect_code", FieldType::kCategorical,
+     kMedicine, false},
+    {FieldId::kSuspectDescription, "suspect_description", FieldType::kString,
+     kMedicine, false},
+    {FieldId::kTradeNameCode, "trade_name_code", FieldType::kCategorical,
+     kMedicine, false},
+    {FieldId::kTradeNameDescription, "trade_name_description",
+     FieldType::kString, kMedicine, false},
+    {FieldId::kGenericNameCode, "generic_name_code", FieldType::kCategorical,
+     kMedicine, false},
+    {FieldId::kGenericNameDescription, "generic_name_description",
+     FieldType::kString, kMedicine, true},
+    {FieldId::kDosageAmount, "dosage_amount", FieldType::kNumeric, kMedicine,
+     false},
+    {FieldId::kUnitProportionCode, "unit_proportion_code",
+     FieldType::kCategorical, kMedicine, false},
+    {FieldId::kDosageFormCode, "dosage_form_code", FieldType::kCategorical,
+     kMedicine, false},
+    {FieldId::kDosageFormDescription, "dosage_form_description",
+     FieldType::kString, kMedicine, false},
+    {FieldId::kRouteOfAdministrationCode, "route_of_administration_code",
+     FieldType::kCategorical, kMedicine, false},
+    {FieldId::kRouteOfAdministrationDescription,
+     "route_of_administration_description", FieldType::kString, kMedicine,
+     false},
+    {FieldId::kDosageStartDate, "dosage_start_date", FieldType::kDate,
+     kMedicine, false},
+    {FieldId::kDosageHaltDate, "dosage_halt_date", FieldType::kDate,
+     kMedicine, false},
+    {FieldId::kReporterType, "reporter_type", FieldType::kCategorical,
+     kReporter, false},
+    {FieldId::kReportTypeDescription, "report_type_description",
+     FieldType::kString, kReporter, false},
+}};
+
+// Distance-vector order fixed by Section 4.2: age, sex, state, onset date,
+// drug name, ADR name, report description.
+constexpr std::array<FieldId, 7> kDedupFields = {
+    FieldId::kCalculatedAge,          FieldId::kSex,
+    FieldId::kResidentialState,       FieldId::kOnsetDate,
+    FieldId::kGenericNameDescription, FieldId::kMeddraPtCode,
+    FieldId::kReportDescription,
+};
+
+}  // namespace
+
+const std::array<FieldSpec, kNumFields>& Schema() { return kSchema; }
+
+const FieldSpec& GetFieldSpec(FieldId id) {
+  const size_t index = static_cast<size_t>(id);
+  ADRDEDUP_CHECK_LT(index, kNumFields);
+  const FieldSpec& spec = kSchema[index];
+  ADRDEDUP_DCHECK(spec.id == id);
+  return spec;
+}
+
+std::optional<FieldId> FieldIdFromName(std::string_view name) {
+  for (const FieldSpec& spec : kSchema) {
+    if (spec.name == name) return spec.id;
+  }
+  return std::nullopt;
+}
+
+const std::array<FieldId, 7>& DedupFields() { return kDedupFields; }
+
+}  // namespace adrdedup::report

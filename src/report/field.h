@@ -1,0 +1,100 @@
+// Schema of an ADR report as collected by the TGA (paper Table 2):
+// 37 fields in five groups. Seven of them (paper Section 4.2) feed the
+// duplicate-detection distance vector.
+#ifndef ADRDEDUP_REPORT_FIELD_H_
+#define ADRDEDUP_REPORT_FIELD_H_
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace adrdedup::report {
+
+// All 37 fields of Table 2, grouped as in the paper. (The published table
+// lists "trade name text" and "trade name description" as one free-form
+// trade-name field; we keep a single trade_name_description to land on the
+// 37 fields that Table 3 reports.)
+enum class FieldId : uint8_t {
+  // Case Details
+  kCaseNumber = 0,
+  kReportDate,
+  // Patient Details
+  kCalculatedAge,
+  kSex,
+  kWeightCode,
+  kEthnicityCode,
+  kResidentialState,
+  // Reaction Information
+  kOnsetDate,
+  kDateOfOutcome,
+  kReactionOutcomeCode,
+  kReactionOutcomeDescription,
+  kSeverityCode,
+  kSeverityDescription,
+  kReportDescription,
+  kTreatmentText,
+  kHospitalisationCode,
+  kHospitalisationDescription,
+  kMeddraLltCode,
+  kLltName,
+  kMeddraPtCode,
+  kPtName,
+  // Medicine Information
+  kSuspectCode,
+  kSuspectDescription,
+  kTradeNameCode,
+  kTradeNameDescription,
+  kGenericNameCode,
+  kGenericNameDescription,
+  kDosageAmount,
+  kUnitProportionCode,
+  kDosageFormCode,
+  kDosageFormDescription,
+  kRouteOfAdministrationCode,
+  kRouteOfAdministrationDescription,
+  kDosageStartDate,
+  kDosageHaltDate,
+  // Reporter Details
+  kReporterType,
+  kReportTypeDescription,
+};
+
+inline constexpr size_t kNumFields = 37;
+
+// How a field participates in distance computation (Section 4.2):
+// numeric and categorical compare 0/1 on equality; string uses Jaccard;
+// free text goes through the NLP pipeline first.
+enum class FieldType : uint8_t {
+  kNumeric,
+  kCategorical,
+  kString,
+  kFreeText,
+  kDate,  // compared as categorical, kept distinct for generation/IO
+};
+
+// Static description of one schema field.
+struct FieldSpec {
+  FieldId id;
+  std::string_view name;   // CSV column header, snake_case
+  FieldType type;
+  std::string_view group;  // Table 2 information group
+  bool used_in_dedup;      // one of the seven bold fields of Table 2
+};
+
+// Returns the 37-entry schema, indexed by static_cast<size_t>(FieldId).
+const std::array<FieldSpec, kNumFields>& Schema();
+
+// Returns the spec for `id`.
+const FieldSpec& GetFieldSpec(FieldId id);
+
+// Looks up a field by its snake_case column name.
+std::optional<FieldId> FieldIdFromName(std::string_view name);
+
+// The seven fields used by the duplicate detector, in distance-vector
+// order: age, sex, state, onset date, drug name, ADR name, description.
+const std::array<FieldId, 7>& DedupFields();
+
+}  // namespace adrdedup::report
+
+#endif  // ADRDEDUP_REPORT_FIELD_H_

@@ -1,0 +1,29 @@
+#include "report/report.h"
+
+#include <cctype>
+
+namespace adrdedup::report {
+
+bool AdrReport::IsMissing(FieldId id) const {
+  const std::string& value = Get(id);
+  return value.empty() || value == kNotKnown || value == "-";
+}
+
+std::optional<int> AdrReport::Age() const {
+  const std::string& raw = Get(FieldId::kCalculatedAge);
+  if (raw.empty()) return std::nullopt;
+  int value = 0;
+  bool any_digit = false;
+  for (char c : raw) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      return std::nullopt;
+    }
+    value = value * 10 + (c - '0');
+    any_digit = true;
+    if (value > 200) return std::nullopt;  // implausible age, treat missing
+  }
+  if (!any_digit) return std::nullopt;
+  return value;
+}
+
+}  // namespace adrdedup::report

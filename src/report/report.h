@@ -1,0 +1,71 @@
+// In-memory representation of a single ADR report record. All fields are
+// stored as strings (matching the regulator's CSV extracts, where even
+// ages arrive as text and may carry transcription errors); typed accessors
+// parse on demand.
+#ifndef ADRDEDUP_REPORT_REPORT_H_
+#define ADRDEDUP_REPORT_REPORT_H_
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "report/field.h"
+
+namespace adrdedup::report {
+
+// The sentinel regulators use for missing categorical values.
+inline constexpr std::string_view kNotKnown = "Not Known";
+
+class AdrReport {
+ public:
+  AdrReport() = default;
+
+  AdrReport(const AdrReport&) = default;
+  AdrReport& operator=(const AdrReport&) = default;
+  AdrReport(AdrReport&&) = default;
+  AdrReport& operator=(AdrReport&&) = default;
+
+  // Raw field access.
+  const std::string& Get(FieldId id) const {
+    return values_[static_cast<size_t>(id)];
+  }
+  void Set(FieldId id, std::string value) {
+    values_[static_cast<size_t>(id)] = std::move(value);
+  }
+
+  // True when the field is empty or the regulator's missing marker.
+  bool IsMissing(FieldId id) const;
+
+  // Parses calculated_age; nullopt when missing or unparsable.
+  std::optional<int> Age() const;
+
+  // Convenience accessors for the dedup fields.
+  const std::string& case_number() const {
+    return Get(FieldId::kCaseNumber);
+  }
+  const std::string& sex() const { return Get(FieldId::kSex); }
+  const std::string& residential_state() const {
+    return Get(FieldId::kResidentialState);
+  }
+  const std::string& onset_date() const { return Get(FieldId::kOnsetDate); }
+  const std::string& drug_name() const {
+    return Get(FieldId::kGenericNameDescription);
+  }
+  const std::string& adr_name() const { return Get(FieldId::kMeddraPtCode); }
+  const std::string& description() const {
+    return Get(FieldId::kReportDescription);
+  }
+
+  // Field-by-field equality.
+  friend bool operator==(const AdrReport& a, const AdrReport& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::array<std::string, kNumFields> values_;
+};
+
+}  // namespace adrdedup::report
+
+#endif  // ADRDEDUP_REPORT_REPORT_H_

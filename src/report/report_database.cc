@@ -1,0 +1,59 @@
+#include "report/report_database.h"
+
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace adrdedup::report {
+
+ReportId ReportDatabase::Add(AdrReport report) {
+  const ReportId id = static_cast<ReportId>(reports_.size());
+  // First writer wins in the case-number index; later collisions remain
+  // reachable by arrival index.
+  case_number_index_.emplace(report.case_number(), id);
+  reports_.push_back(std::move(report));
+  return id;
+}
+
+const AdrReport& ReportDatabase::Get(ReportId id) const {
+  ADRDEDUP_CHECK_LT(static_cast<size_t>(id), reports_.size());
+  return reports_[id];
+}
+
+std::vector<ReportId> ReportDatabase::ReportsSince(ReportId since) const {
+  std::vector<ReportId> ids;
+  for (size_t i = since; i < reports_.size(); ++i) {
+    ids.push_back(static_cast<ReportId>(i));
+  }
+  return ids;
+}
+
+util::Result<ReportId> ReportDatabase::FindByCaseNumber(
+    const std::string& case_number) const {
+  auto it = case_number_index_.find(case_number);
+  if (it == case_number_index_.end()) {
+    return util::Status::NotFound("case number not found: " + case_number);
+  }
+  return it->second;
+}
+
+size_t ReportDatabase::CountUniqueValues(FieldId id,
+                                         bool split_on_comma) const {
+  std::set<std::string> values;
+  for (const AdrReport& report : reports_) {
+    if (report.IsMissing(id)) continue;
+    const std::string& raw = report.Get(id);
+    if (split_on_comma) {
+      for (const std::string& piece : util::Split(raw, ',')) {
+        const std::string_view trimmed = util::TrimAscii(piece);
+        if (!trimmed.empty()) values.emplace(trimmed);
+      }
+    } else {
+      values.insert(raw);
+    }
+  }
+  return values.size();
+}
+
+}  // namespace adrdedup::report

@@ -1,0 +1,59 @@
+// Append-only store of ADR reports ordered by arrival time, mirroring the
+// paper's "report database" component (Fig. 1): reports with later arrival
+// are checked for duplication against earlier ones.
+#ifndef ADRDEDUP_REPORT_REPORT_DATABASE_H_
+#define ADRDEDUP_REPORT_REPORT_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "report/report.h"
+#include "util/status.h"
+
+namespace adrdedup::report {
+
+// Stable identifier of a report inside one database: its arrival index.
+using ReportId = uint32_t;
+
+class ReportDatabase {
+ public:
+  ReportDatabase() = default;
+
+  ReportDatabase(const ReportDatabase&) = delete;
+  ReportDatabase& operator=(const ReportDatabase&) = delete;
+  ReportDatabase(ReportDatabase&&) = default;
+  ReportDatabase& operator=(ReportDatabase&&) = default;
+
+  // Appends `report`; returns its arrival index. Case numbers need not be
+  // unique (duplicate submissions arrive with distinct case numbers, but
+  // data-entry collisions do occur in the wild and must not be rejected).
+  ReportId Add(AdrReport report);
+
+  size_t size() const { return reports_.size(); }
+  bool empty() const { return reports_.empty(); }
+
+  // `id` must be < size().
+  const AdrReport& Get(ReportId id) const;
+
+  // All reports with arrival index >= `since` ("new reports" in Fig. 1).
+  std::vector<ReportId> ReportsSince(ReportId since) const;
+
+  // First arrival index carrying `case_number`, if any.
+  util::Result<ReportId> FindByCaseNumber(
+      const std::string& case_number) const;
+
+  // Distinct non-missing values in the given field (Table-3 statistics:
+  // unique drugs, unique ADRs). Multi-valued fields (comma-separated drug
+  // and ADR lists) are split before counting.
+  size_t CountUniqueValues(FieldId id, bool split_on_comma) const;
+
+ private:
+  std::vector<AdrReport> reports_;
+  std::unordered_map<std::string, ReportId> case_number_index_;
+};
+
+}  // namespace adrdedup::report
+
+#endif  // ADRDEDUP_REPORT_REPORT_DATABASE_H_

@@ -1,0 +1,69 @@
+#include "report/report_io.h"
+
+#include <vector>
+
+#include "util/csv.h"
+
+namespace adrdedup::report {
+
+util::Status WriteCsv(const ReportDatabase& db, const std::string& path) {
+  std::vector<util::CsvRow> rows;
+  rows.reserve(db.size() + 1);
+
+  util::CsvRow header;
+  header.reserve(kNumFields);
+  for (const FieldSpec& spec : Schema()) {
+    header.emplace_back(spec.name);
+  }
+  rows.push_back(std::move(header));
+
+  for (size_t i = 0; i < db.size(); ++i) {
+    const AdrReport& report = db.Get(static_cast<ReportId>(i));
+    util::CsvRow row;
+    row.reserve(kNumFields);
+    for (const FieldSpec& spec : Schema()) {
+      row.push_back(report.Get(spec.id));
+    }
+    rows.push_back(std::move(row));
+  }
+  return util::CsvWriteFile(path, rows);
+}
+
+util::Result<ReportDatabase> ReadCsv(const std::string& path) {
+  auto rows_result = util::CsvReadFile(path);
+  if (!rows_result.ok()) return rows_result.status();
+  const std::vector<util::CsvRow>& rows = rows_result.value();
+  if (rows.empty()) {
+    return util::Status::InvalidArgument("CSV has no header row: " + path);
+  }
+
+  // Map CSV columns to schema fields via the header.
+  std::vector<FieldId> column_fields;
+  column_fields.reserve(rows[0].size());
+  for (const std::string& name : rows[0]) {
+    auto id = FieldIdFromName(name);
+    if (!id.has_value()) {
+      return util::Status::InvalidArgument("unknown column: " + name);
+    }
+    column_fields.push_back(*id);
+  }
+
+  ReportDatabase db;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const util::CsvRow& row = rows[r];
+    if (row.size() != column_fields.size()) {
+      return util::Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(row.size()) + " fields, header has " +
+          std::to_string(column_fields.size()));
+    }
+    AdrReport report;
+    for (size_t c = 0; c < row.size(); ++c) {
+      report.Set(column_fields[c], row[c]);
+    }
+    db.Add(std::move(report));
+  }
+  return db;
+}
+
+}  // namespace adrdedup::report

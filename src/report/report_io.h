@@ -1,0 +1,22 @@
+// CSV import/export for report databases. The column set is exactly the
+// 37-field schema of Table 2, headed by snake_case field names.
+#ifndef ADRDEDUP_REPORT_REPORT_IO_H_
+#define ADRDEDUP_REPORT_REPORT_IO_H_
+
+#include <string>
+
+#include "report/report_database.h"
+#include "util/status.h"
+
+namespace adrdedup::report {
+
+// Writes `db` to `path` as CSV with a header row.
+util::Status WriteCsv(const ReportDatabase& db, const std::string& path);
+
+// Reads a CSV produced by WriteCsv (or any CSV whose header names a subset
+// of the schema fields; unknown columns are rejected) into a database.
+util::Result<ReportDatabase> ReadCsv(const std::string& path);
+
+}  // namespace adrdedup::report
+
+#endif  // ADRDEDUP_REPORT_REPORT_IO_H_

@@ -1,0 +1,150 @@
+#include "report/validation.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace adrdedup::report {
+
+namespace {
+
+constexpr int kDaysPerMonth[] = {31, 29, 31, 30, 31, 30,
+                                 31, 31, 30, 31, 30, 31};
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+void Add(std::vector<ValidationIssue>* issues, FieldId field,
+         IssueSeverity severity, std::string message) {
+  issues->push_back(ValidationIssue{field, severity, std::move(message)});
+}
+
+void CheckDateField(const AdrReport& report, FieldId field,
+                    std::vector<ValidationIssue>* issues) {
+  if (report.IsMissing(field)) return;
+  int day = 0;
+  int month = 0;
+  int year = 0;
+  if (!ParseReportDate(report.Get(field), &day, &month, &year)) {
+    Add(issues, field, IssueSeverity::kError,
+        "unparsable date '" + report.Get(field) + "'");
+  }
+}
+
+void CheckListField(const AdrReport& report, FieldId field,
+                    std::vector<ValidationIssue>* issues) {
+  if (report.IsMissing(field)) return;
+  for (const std::string& piece : util::Split(report.Get(field), ',')) {
+    if (util::TrimAscii(piece).empty()) {
+      Add(issues, field, IssueSeverity::kWarning,
+          "list contains an empty entry");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool ParseReportDate(const std::string& text, int* day, int* month,
+                     int* year) {
+  // DD/MM/YYYY with optional " HH:MM:SS" tail.
+  const std::string_view date =
+      std::string_view(text).substr(0, text.find(' '));
+  const auto parts = util::Split(date, '/');
+  if (parts.size() != 3) return false;
+  if (!AllDigits(parts[0]) || !AllDigits(parts[1]) ||
+      !AllDigits(parts[2])) {
+    return false;
+  }
+  if (parts[2].size() != 4) return false;
+  *day = std::stoi(parts[0]);
+  *month = std::stoi(parts[1]);
+  *year = std::stoi(parts[2]);
+  if (*month < 1 || *month > 12) return false;
+  if (*day < 1 || *day > kDaysPerMonth[*month - 1]) return false;
+  return true;
+}
+
+std::vector<ValidationIssue> ValidateReport(const AdrReport& report) {
+  std::vector<ValidationIssue> issues;
+
+  if (report.case_number().empty()) {
+    Add(&issues, FieldId::kCaseNumber, IssueSeverity::kError,
+        "missing case number");
+  }
+
+  const std::string& raw_age = report.Get(FieldId::kCalculatedAge);
+  if (!report.IsMissing(FieldId::kCalculatedAge)) {
+    if (!AllDigits(raw_age)) {
+      Add(&issues, FieldId::kCalculatedAge, IssueSeverity::kError,
+          "age '" + raw_age + "' is not a number");
+    } else {
+      const int age = std::stoi(raw_age);
+      if (age > 120) {
+        Add(&issues, FieldId::kCalculatedAge, IssueSeverity::kWarning,
+            "implausible age " + raw_age);
+      }
+    }
+  }
+
+  const std::string& sex = report.Get(FieldId::kSex);
+  if (!report.IsMissing(FieldId::kSex) && sex != "M" && sex != "F") {
+    Add(&issues, FieldId::kSex, IssueSeverity::kWarning,
+        "unexpected sex value '" + sex + "'");
+  }
+
+  CheckDateField(report, FieldId::kOnsetDate, &issues);
+  CheckDateField(report, FieldId::kReportDate, &issues);
+
+  // Chronology: onset must not postdate the report.
+  int od = 0, om = 0, oy = 0, rd = 0, rm = 0, ry = 0;
+  if (!report.IsMissing(FieldId::kOnsetDate) &&
+      !report.IsMissing(FieldId::kReportDate) &&
+      ParseReportDate(report.Get(FieldId::kOnsetDate), &od, &om, &oy) &&
+      ParseReportDate(report.Get(FieldId::kReportDate), &rd, &rm, &ry)) {
+    const long onset = oy * 10000L + om * 100L + od;
+    const long reported = ry * 10000L + rm * 100L + rd;
+    if (onset > reported) {
+      Add(&issues, FieldId::kOnsetDate, IssueSeverity::kWarning,
+          "onset date is after the report date");
+    }
+  }
+
+  if (!report.IsMissing(FieldId::kReportDescription) &&
+      report.description().size() < 30) {
+    Add(&issues, FieldId::kReportDescription, IssueSeverity::kWarning,
+        "report description unusually short (" +
+            std::to_string(report.description().size()) + " chars)");
+  }
+
+  CheckListField(report, FieldId::kGenericNameDescription, &issues);
+  CheckListField(report, FieldId::kMeddraPtCode, &issues);
+  return issues;
+}
+
+ValidationSummary ValidateDatabase(const ReportDatabase& db,
+                                   std::vector<ReportId>* flagged) {
+  ValidationSummary summary;
+  summary.reports_checked = db.size();
+  for (size_t i = 0; i < db.size(); ++i) {
+    const auto issues = ValidateReport(db.Get(static_cast<ReportId>(i)));
+    if (issues.empty()) continue;
+    ++summary.reports_with_issues;
+    if (flagged != nullptr) flagged->push_back(static_cast<ReportId>(i));
+    for (const ValidationIssue& issue : issues) {
+      if (issue.severity == IssueSeverity::kError) {
+        ++summary.total_errors;
+      } else {
+        ++summary.total_warnings;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace adrdedup::report

@@ -1,0 +1,60 @@
+// Ingest-time data-quality validation. Regulator extracts arrive with
+// transcription errors (the very errors Table 1 shows); validation flags
+// them so analysts can distinguish "legitimately missing" from "mangled".
+// Validation never rejects a report — duplicate detection must still run
+// over dirty data — it produces a structured issue list per report.
+#ifndef ADRDEDUP_REPORT_VALIDATION_H_
+#define ADRDEDUP_REPORT_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "report/report.h"
+#include "report/report_database.h"
+
+namespace adrdedup::report {
+
+enum class IssueSeverity {
+  kWarning,  // suspicious but usable
+  kError,    // field value is not interpretable
+};
+
+struct ValidationIssue {
+  FieldId field;
+  IssueSeverity severity = IssueSeverity::kWarning;
+  std::string message;
+};
+
+// Checks one report. Rules:
+//  * case_number must be non-empty (error);
+//  * calculated_age, if present, must parse and lie in [0, 120]
+//    (error if unparsable, warning if implausible);
+//  * sex, if present, must be "M" or "F" (warning otherwise);
+//  * onset_date / report_date, if present, must look like a
+//    DD/MM/YYYY[ HH:MM:SS] date with a real calendar day (error);
+//  * onset_date must not be after report_date when both parse (warning);
+//  * report_description shorter than 30 characters is flagged (warning —
+//    the free-text field carries much of the dedup signal);
+//  * drug and ADR list fields must not contain empty entries (warning).
+std::vector<ValidationIssue> ValidateReport(const AdrReport& report);
+
+struct ValidationSummary {
+  size_t reports_checked = 0;
+  size_t reports_with_issues = 0;
+  size_t total_warnings = 0;
+  size_t total_errors = 0;
+};
+
+// Validates every report in `db`; per-report issues can be obtained by
+// re-running ValidateReport on the flagged ids in `flagged`.
+ValidationSummary ValidateDatabase(const ReportDatabase& db,
+                                   std::vector<ReportId>* flagged = nullptr);
+
+// Parses "DD/MM/YYYY" or "DD/MM/YYYY HH:MM:SS"; returns true and fills
+// the parts when the text is a real calendar date.
+bool ParseReportDate(const std::string& text, int* day, int* month,
+                     int* year);
+
+}  // namespace adrdedup::report
+
+#endif  // ADRDEDUP_REPORT_VALIDATION_H_

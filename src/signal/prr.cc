@@ -1,0 +1,174 @@
+#include "signal/prr.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace adrdedup::signal {
+
+namespace {
+
+std::vector<std::string> SplitLower(const std::string& raw) {
+  std::vector<std::string> out;
+  for (const std::string& piece : util::Split(raw, ',')) {
+    const std::string_view trimmed = util::TrimAscii(piece);
+    if (!trimmed.empty()) out.push_back(util::ToLowerAscii(trimmed));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Contains(const std::vector<std::string>& sorted,
+              const std::string& value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+}  // namespace
+
+double ContingencyTable::Prr() const {
+  const uint64_t drug_total = a + b;
+  const uint64_t other_total = c + d;
+  if (a == 0 || drug_total == 0) return 0.0;
+  if (other_total == 0 || c == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double drug_rate =
+      static_cast<double>(a) / static_cast<double>(drug_total);
+  const double other_rate =
+      static_cast<double>(c) / static_cast<double>(other_total);
+  return drug_rate / other_rate;
+}
+
+double ContingencyTable::ChiSquare() const {
+  const double n = static_cast<double>(a + b + c + d);
+  const double row1 = static_cast<double>(a + b);
+  const double row2 = static_cast<double>(c + d);
+  const double col1 = static_cast<double>(a + c);
+  const double col2 = static_cast<double>(b + d);
+  if (row1 == 0 || row2 == 0 || col1 == 0 || col2 == 0) return 0.0;
+  const double det = static_cast<double>(a) * static_cast<double>(d) -
+                     static_cast<double>(b) * static_cast<double>(c);
+  return n * det * det / (row1 * row2 * col1 * col2);
+}
+
+bool ContingencyTable::IsSignal() const {
+  return a >= 3 && Prr() >= 2.0 && ChiSquare() >= 4.0;
+}
+
+PrrAnalyzer::PrrAnalyzer(const report::ReportDatabase& db) {
+  std::vector<report::ReportId> all;
+  all.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    all.push_back(static_cast<report::ReportId>(i));
+  }
+  Ingest(db, all);
+}
+
+PrrAnalyzer::PrrAnalyzer(const report::ReportDatabase& db,
+                         const std::vector<report::ReportId>& keep) {
+  Ingest(db, keep);
+}
+
+void PrrAnalyzer::Ingest(const report::ReportDatabase& db,
+                         const std::vector<report::ReportId>& keep) {
+  cases_.reserve(keep.size());
+  for (report::ReportId id : keep) {
+    ADRDEDUP_CHECK_LT(static_cast<size_t>(id), db.size());
+    const auto& r = db.Get(id);
+    Case c;
+    c.drugs = SplitLower(r.drug_name());
+    c.events = SplitLower(r.adr_name());
+    cases_.push_back(std::move(c));
+  }
+}
+
+ContingencyTable PrrAnalyzer::Table(const std::string& drug,
+                                    const std::string& event) const {
+  const std::string drug_key = util::ToLowerAscii(drug);
+  const std::string event_key = util::ToLowerAscii(event);
+  ContingencyTable table;
+  for (const Case& c : cases_) {
+    const bool has_drug = Contains(c.drugs, drug_key);
+    const bool has_event = Contains(c.events, event_key);
+    if (has_drug && has_event) {
+      ++table.a;
+    } else if (has_drug) {
+      ++table.b;
+    } else if (has_event) {
+      ++table.c;
+    } else {
+      ++table.d;
+    }
+  }
+  return table;
+}
+
+std::vector<SignalResult> PrrAnalyzer::DetectSignals(
+    uint64_t min_cases) const {
+  // Count co-occurrences and margins in one pass.
+  std::map<std::pair<std::string, std::string>, uint64_t> together;
+  std::map<std::string, uint64_t> drug_counts;
+  std::map<std::string, uint64_t> event_counts;
+  for (const Case& c : cases_) {
+    for (const std::string& drug : c.drugs) ++drug_counts[drug];
+    for (const std::string& event : c.events) ++event_counts[event];
+    for (const std::string& drug : c.drugs) {
+      for (const std::string& event : c.events) {
+        ++together[{drug, event}];
+      }
+    }
+  }
+  const uint64_t total = cases_.size();
+
+  std::vector<SignalResult> signals;
+  for (const auto& [key, a] : together) {
+    if (a < min_cases) continue;
+    const auto& [drug, event] = key;
+    ContingencyTable table;
+    table.a = a;
+    table.b = drug_counts[drug] - a;
+    table.c = event_counts[event] - a;
+    table.d = total - table.a - table.b - table.c;
+    if (table.IsSignal()) {
+      signals.push_back(SignalResult{drug, event, table});
+    }
+  }
+  std::sort(signals.begin(), signals.end(),
+            [](const SignalResult& x, const SignalResult& y) {
+              const double px = x.table.Prr();
+              const double py = y.table.Prr();
+              if (px != py) return px > py;
+              if (x.drug != y.drug) return x.drug < y.drug;
+              return x.event < y.event;
+            });
+  return signals;
+}
+
+std::vector<report::ReportId> RepresentativesFromGroups(
+    const std::vector<std::vector<uint32_t>>& groups, size_t num_reports) {
+  std::unordered_set<uint32_t> drop;
+  for (const auto& members : groups) {
+    ADRDEDUP_CHECK(!members.empty());
+    // Keep the smallest id (the earliest arrival), drop the rest.
+    for (size_t i = 1; i < members.size(); ++i) {
+      ADRDEDUP_CHECK_LT(members[i], num_reports);
+      drop.insert(members[i]);
+    }
+  }
+  std::vector<report::ReportId> keep;
+  keep.reserve(num_reports - drop.size());
+  for (size_t i = 0; i < num_reports; ++i) {
+    if (!drop.contains(static_cast<uint32_t>(i))) {
+      keep.push_back(static_cast<report::ReportId>(i));
+    }
+  }
+  return keep;
+}
+
+}  // namespace adrdedup::signal

@@ -1,0 +1,98 @@
+// Disproportionality analysis — the reason duplicate detection matters.
+// Drug-safety surveillance flags a drug-event combination as a potential
+// ADR signal when the event is reported disproportionally often for that
+// drug (Evans et al. [6], cited in the paper's introduction): the
+// proportional reporting ratio
+//
+//           a / (a + b)
+//   PRR = ---------------      a: cases with drug and event
+//           c / (c + d)        b: drug, other events
+//                              c: other drugs, event
+//                              d: other drugs, other events
+//
+// with the standard signal criterion PRR >= 2, chi-square >= 4, a >= 3.
+// Duplicated reports inflate `a` for the duplicated combinations and can
+// conjure spurious signals — the distortion the paper's introduction
+// warns about and that dedup removes (see examples/signal_distortion).
+#ifndef ADRDEDUP_SIGNAL_PRR_H_
+#define ADRDEDUP_SIGNAL_PRR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/report_database.h"
+
+namespace adrdedup::signal {
+
+// 2x2 contingency counts for one drug-event combination.
+struct ContingencyTable {
+  uint64_t a = 0;  // drug & event
+  uint64_t b = 0;  // drug & not event
+  uint64_t c = 0;  // not drug & event
+  uint64_t d = 0;  // not drug & not event
+
+  // PRR as defined above; +inf when the event never occurs without the
+  // drug (c == 0 with a > 0), 0 when the drug never shows the event.
+  double Prr() const;
+
+  // Pearson chi-square with one degree of freedom (no continuity
+  // correction), 0 when any margin is empty.
+  double ChiSquare() const;
+
+  // Evans et al. criterion: PRR >= 2, chi-square >= 4, a >= 3.
+  bool IsSignal() const;
+};
+
+struct SignalResult {
+  std::string drug;
+  std::string event;
+  ContingencyTable table;
+};
+
+// Disproportionality analyzer over a report database. Reports are
+// reduced to (drug set, event set) per case; an optional keep-list
+// restricts counting to representative reports (one per duplicate group),
+// which is how deduplication corrects the statistics.
+class PrrAnalyzer {
+ public:
+  // Uses every report in `db`.
+  explicit PrrAnalyzer(const report::ReportDatabase& db);
+
+  // Uses only the reports named in `keep` (e.g. duplicate-group
+  // representatives plus all singletons). Ids must be < db.size().
+  PrrAnalyzer(const report::ReportDatabase& db,
+              const std::vector<report::ReportId>& keep);
+
+  size_t num_cases() const { return cases_.size(); }
+
+  // Contingency table for one (lower-cased) drug and event term.
+  ContingencyTable Table(const std::string& drug,
+                         const std::string& event) const;
+
+  // All combinations meeting the Evans criterion with at least
+  // `min_cases` co-reports, sorted by descending PRR (ties: by drug then
+  // event for determinism).
+  std::vector<SignalResult> DetectSignals(uint64_t min_cases = 3) const;
+
+ private:
+  struct Case {
+    std::vector<std::string> drugs;   // sorted unique, lower case
+    std::vector<std::string> events;  // sorted unique, lower case
+  };
+
+  void Ingest(const report::ReportDatabase& db,
+              const std::vector<report::ReportId>& keep);
+
+  std::vector<Case> cases_;
+};
+
+// Convenience: the keep-list "one representative (smallest id) per
+// duplicate group, plus every report in no group". `groups` uses the
+// core::DuplicateGroups layout (sorted member lists).
+std::vector<report::ReportId> RepresentativesFromGroups(
+    const std::vector<std::vector<uint32_t>>& groups, size_t num_reports);
+
+}  // namespace adrdedup::signal
+
+#endif  // ADRDEDUP_SIGNAL_PRR_H_

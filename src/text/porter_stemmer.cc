@@ -1,0 +1,329 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace adrdedup::text {
+
+namespace {
+
+// The implementation operates on a mutable buffer `b` with the current
+// logical end `k` (inclusive index of last character), following the
+// structure of Porter's reference implementation.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)) {
+    k_ = b_.empty() ? -1 : static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Stem() {
+    if (k_ <= 1) return b_;  // words of length <= 2 are left alone
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_ + 1));
+    return b_;
+  }
+
+ private:
+  // True if b[i] is a consonant, treating 'y' as a consonant when it
+  // follows a vowel position per Porter's definition.
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure m(): the number of VC sequences in b[0..j_].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if b[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b[i-1..i] is a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // True if b[i-2..i] is consonant-vowel-consonant with the final
+  // consonant not being w, x or y (the CVC condition of step 1b/5).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) ||
+        !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // True if b ends with suffix `s`; sets j_ to the position just before it.
+  bool Ends(std::string_view s) {
+    const int length = static_cast<int>(s.size());
+    if (length > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ - length + 1), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - length;
+    return true;
+  }
+
+  // Replaces the suffix at b[j_+1..k_] with `s` and adjusts k_.
+  void SetTo(std::string_view s) {
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  // SetTo(s) when m() > 0.
+  void ReplaceIf(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Step 1a: plurals. Step 1b: -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        const char c = b_[static_cast<size_t>(k_)];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else {
+        j_ = k_;
+        if (Measure() == 1 && Cvc(k_)) SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  // Step 2: double-suffix reductions (-ational -> -ate etc.) when m > 0.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIf("ate"); break; }
+        if (Ends("tional")) { ReplaceIf("tion"); }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIf("ence"); break; }
+        if (Ends("anci")) { ReplaceIf("ance"); }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIf("ize"); }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIf("ble"); break; }
+        if (Ends("alli")) { ReplaceIf("al"); break; }
+        if (Ends("entli")) { ReplaceIf("ent"); break; }
+        if (Ends("eli")) { ReplaceIf("e"); break; }
+        if (Ends("ousli")) { ReplaceIf("ous"); }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIf("ize"); break; }
+        if (Ends("ation")) { ReplaceIf("ate"); break; }
+        if (Ends("ator")) { ReplaceIf("ate"); }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIf("al"); break; }
+        if (Ends("iveness")) { ReplaceIf("ive"); break; }
+        if (Ends("fulness")) { ReplaceIf("ful"); break; }
+        if (Ends("ousness")) { ReplaceIf("ous"); }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIf("al"); break; }
+        if (Ends("iviti")) { ReplaceIf("ive"); break; }
+        if (Ends("biliti")) { ReplaceIf("ble"); }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIf("log"); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate/-ative/... when m > 0.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIf("ic"); break; }
+        if (Ends("ative")) { ReplaceIf(""); break; }
+        if (Ends("alize")) { ReplaceIf("al"); }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIf("ic"); }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIf("ic"); break; }
+        if (Ends("ful")) { ReplaceIf(""); }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIf(""); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: strip -ant/-ence/... when m > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        // -ion is stripped only after s or t.
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Step 5: drop final -e when m > 1 (or m == 1 without CVC), and reduce
+  // -ll to -l when m > 1.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      const int a = Measure();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = -1;  // index of last valid character
+  int j_ = 0;   // end of stem after the most recent Ends() match
+};
+
+bool IsAllAlpha(std::string_view word) {
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() < 3 || !IsAllAlpha(word)) return std::string(word);
+  return Stemmer(std::string(word)).Stem();
+}
+
+std::vector<std::string> PorterStemAll(std::vector<std::string> tokens) {
+  for (auto& token : tokens) token = PorterStem(token);
+  return tokens;
+}
+
+}  // namespace adrdedup::text

@@ -1,0 +1,23 @@
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). Reduces English words to root forms so
+// that "experienced"/"experiencing"/"experiences" compare equal in the
+// report-description Jaccard distance (paper Section 4.2).
+#ifndef ADRDEDUP_TEXT_PORTER_STEMMER_H_
+#define ADRDEDUP_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::text {
+
+// Stems one lower-case word. Words shorter than 3 characters and tokens
+// containing non-alphabetic characters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+// Stems every token in place and returns the vector.
+std::vector<std::string> PorterStemAll(std::vector<std::string> tokens);
+
+}  // namespace adrdedup::text
+
+#endif  // ADRDEDUP_TEXT_PORTER_STEMMER_H_

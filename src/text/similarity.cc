@@ -1,0 +1,178 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace adrdedup::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  // Keep the shorter string in the inner dimension for O(min) space.
+  if (a.size() < b.size()) std::swap(a, b);
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t above = row[j];  // D[i-1][j]
+      const size_t substitution_cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({above + 1, row[j - 1] + 1,
+                         diagonal + substitution_cost});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(LevenshteinDistance(a, b)) /
+         static_cast<double>(longest);
+}
+
+std::optional<size_t> HammingDistance(std::string_view a,
+                                      std::string_view b) {
+  if (a.size() != b.size()) return std::nullopt;
+  size_t distance = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++distance;
+  }
+  return distance;
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::unordered_set<std::string> set_a(a.begin(), a.end());
+  const std::unordered_set<std::string> set_b(b.begin(), b.end());
+  size_t intersection = 0;
+  for (const auto& token : set_a) {
+    if (set_b.contains(token)) ++intersection;
+  }
+  const size_t union_size = set_a.size() + set_b.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+double JaccardDistance(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  return 1.0 - JaccardSimilarity(a, b);
+}
+
+double JaccardSimilarityChars(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::set<char> set_a(a.begin(), a.end());
+  const std::set<char> set_b(b.begin(), b.end());
+  size_t intersection = 0;
+  for (char c : set_a) {
+    if (set_b.contains(c)) ++intersection;
+  }
+  const size_t union_size = set_a.size() + set_b.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_map<std::string, size_t> freq_a;
+  std::unordered_map<std::string, size_t> freq_b;
+  for (const auto& token : a) ++freq_a[token];
+  for (const auto& token : b) ++freq_b[token];
+
+  double dot = 0.0;
+  for (const auto& [token, count] : freq_a) {
+    auto it = freq_b.find(token);
+    if (it != freq_b.end()) {
+      dot += static_cast<double>(count) * static_cast<double>(it->second);
+    }
+  }
+  double norm_a = 0.0;
+  for (const auto& [token, count] : freq_a) {
+    norm_a += static_cast<double>(count) * static_cast<double>(count);
+  }
+  double norm_b = 0.0;
+  for (const auto& [token, count] : freq_b) {
+    norm_b += static_cast<double>(count) * static_cast<double>(count);
+  }
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t window =
+      std::max(a.size(), b.size()) / 2 == 0
+          ? 0
+          : std::max(a.size(), b.size()) / 2 - 1;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order, halved.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions / 2)) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro +
+         static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::unordered_set<std::string> set_a(a.begin(), a.end());
+  const std::unordered_set<std::string> set_b(b.begin(), b.end());
+  if (set_a.empty() && set_b.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const auto& token : set_a) {
+    if (set_b.contains(token)) ++intersection;
+  }
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(set_a.size() + set_b.size());
+}
+
+}  // namespace adrdedup::text

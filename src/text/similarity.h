@@ -1,0 +1,65 @@
+// String and token-set similarity metrics referenced by the paper:
+// Levenshtein edit distance [13], Hamming distance [8], Jaccard
+// coefficient [3] (Eq. 4) and cosine similarity over token multisets.
+#ifndef ADRDEDUP_TEXT_SIMILARITY_H_
+#define ADRDEDUP_TEXT_SIMILARITY_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::text {
+
+// Levenshtein edit distance (insert/delete/substitute, unit costs).
+// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+// Edit distance normalized to [0, 1] by max length; 0 for two empty
+// strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+// Hamming distance; nullopt when lengths differ (undefined per [8]).
+std::optional<size_t> HammingDistance(std::string_view a,
+                                      std::string_view b);
+
+// Jaccard similarity |A∩B| / |A∪B| over token sets (duplicates ignored).
+// Two empty sets are defined as identical (similarity 1).
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+// Jaccard distance 1 - similarity — Eq. 4 of the paper.
+double JaccardDistance(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+// Jaccard over the sets of characters of two strings; used for short
+// string-typed fields (drug name, ADR name) where token structure is
+// delimiter-based.
+double JaccardSimilarityChars(std::string_view a, std::string_view b);
+
+// Cosine similarity between term-frequency vectors of the token lists.
+// Two empty lists have similarity 1; one empty list vs non-empty is 0.
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+// Dice coefficient 2|A∩B| / (|A|+|B|) over token sets (extra metric used
+// by the ablation benches).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+// Jaro similarity [Jaro 1989, cited by the paper for record linkage]:
+// m/3 (1/|a| + 1/|b|) + (m - t)/(3m) over matching characters m within
+// the standard window and transpositions t. 1 for equal strings, 0 when
+// nothing matches (and for one empty vs non-empty input).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+// Jaro-Winkler: Jaro boosted by common-prefix length (up to 4 chars)
+// with scaling factor `prefix_scale` (standard 0.1; must keep
+// 4 * prefix_scale <= 1 so results stay within [0, 1]).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace adrdedup::text
+
+#endif  // ADRDEDUP_TEXT_SIMILARITY_H_

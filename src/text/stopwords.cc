@@ -1,0 +1,60 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace adrdedup::text {
+
+namespace {
+
+// Classic English stop list (a superset of the SMART/Snowball core),
+// kept sorted so membership is a binary search over string_views.
+constexpr std::string_view kStopWords[] = {
+    "a",       "about",   "above",   "after",   "again",    "against",
+    "all",     "am",      "an",      "and",     "any",      "are",
+    "aren",    "as",      "at",      "be",      "because",  "been",
+    "before",  "being",   "below",   "between", "both",     "but",
+    "by",      "can",     "cannot",  "could",   "couldn",   "did",
+    "didn",    "do",      "does",    "doesn",   "doing",    "don",
+    "down",    "during",  "each",    "few",     "for",      "from",
+    "further", "had",     "hadn",    "has",     "hasn",     "have",
+    "haven",   "having",  "he",      "her",     "here",     "hers",
+    "herself", "him",     "himself", "his",     "how",      "i",
+    "if",      "in",      "into",    "is",      "isn",      "it",
+    "its",     "itself",  "just",    "me",      "more",     "most",
+    "mustn",   "my",      "myself",  "no",      "nor",      "not",
+    "now",     "of",      "off",     "on",      "once",     "only",
+    "or",      "other",   "ought",   "our",     "ours",     "ourselves",
+    "out",     "over",    "own",     "s",       "same",     "shan",
+    "she",     "should",  "shouldn", "so",      "some",     "such",
+    "t",       "than",    "that",    "the",     "their",    "theirs",
+    "them",    "themselves", "then", "there",   "these",    "they",
+    "this",    "those",   "through", "to",      "too",      "under",
+    "until",   "up",      "very",    "was",     "wasn",     "we",
+    "were",    "weren",   "what",    "when",    "where",    "which",
+    "while",   "who",     "whom",    "why",     "will",     "with",
+    "won",     "would",   "wouldn",  "you",     "your",     "yours",
+    "yourself", "yourselves",
+};
+
+constexpr size_t kNumStopWords = std::size(kStopWords);
+
+}  // namespace
+
+bool IsStopWord(std::string_view token) {
+  return std::binary_search(std::begin(kStopWords), std::end(kStopWords),
+                            token);
+}
+
+std::vector<std::string> RemoveStopWords(std::vector<std::string> tokens) {
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (!IsStopWord(token)) kept.push_back(std::move(token));
+  }
+  return kept;
+}
+
+size_t StopWordCount() { return kNumStopWords; }
+
+}  // namespace adrdedup::text

@@ -1,0 +1,22 @@
+// English stop-word filtering used before stemming report descriptions.
+#ifndef ADRDEDUP_TEXT_STOPWORDS_H_
+#define ADRDEDUP_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::text {
+
+// True if `token` (already lower-cased) is an English stop word.
+bool IsStopWord(std::string_view token);
+
+// Returns `tokens` with stop words removed, preserving order.
+std::vector<std::string> RemoveStopWords(std::vector<std::string> tokens);
+
+// Number of entries in the built-in stop list (exposed for tests).
+size_t StopWordCount();
+
+}  // namespace adrdedup::text
+
+#endif  // ADRDEDUP_TEXT_STOPWORDS_H_

@@ -1,0 +1,27 @@
+#include "text/text_pipeline.h"
+
+#include "text/porter_stemmer.h"
+#include "text/similarity.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace adrdedup::text {
+
+std::vector<std::string> ProcessFreeText(std::string_view text,
+                                         const TextPipelineOptions& options) {
+  std::vector<std::string> tokens =
+      options.min_number_length > 0
+          ? TokenizeKeepingLongNumbers(text, options.min_number_length)
+          : Tokenize(text);
+  if (options.remove_stopwords) tokens = RemoveStopWords(std::move(tokens));
+  if (options.stem) tokens = PorterStemAll(std::move(tokens));
+  return tokens;
+}
+
+double FreeTextJaccardDistance(std::string_view a, std::string_view b,
+                               const TextPipelineOptions& options) {
+  return JaccardDistance(ProcessFreeText(a, options),
+                         ProcessFreeText(b, options));
+}
+
+}  // namespace adrdedup::text

@@ -1,0 +1,33 @@
+// The report-description preprocessing pipeline of paper Section 4.2:
+// tokenize, remove stop words, stem to root forms. The resulting token set
+// feeds the Jaccard distance of the free-text field.
+#ifndef ADRDEDUP_TEXT_TEXT_PIPELINE_H_
+#define ADRDEDUP_TEXT_TEXT_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::text {
+
+struct TextPipelineOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  // Pure-digit tokens shorter than this are dropped (0 keeps everything).
+  size_t min_number_length = 0;
+};
+
+// Applies tokenize -> (stop-word filter) -> (stem) and returns the
+// processed token list (order preserved, duplicates kept; set semantics
+// are applied by the similarity functions).
+std::vector<std::string> ProcessFreeText(
+    std::string_view text, const TextPipelineOptions& options = {});
+
+// Jaccard distance between two free-text values after pipeline
+// processing — the paper's free-text field distance.
+double FreeTextJaccardDistance(std::string_view a, std::string_view b,
+                               const TextPipelineOptions& options = {});
+
+}  // namespace adrdedup::text
+
+#endif  // ADRDEDUP_TEXT_TEXT_PIPELINE_H_

@@ -1,0 +1,82 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace adrdedup::text {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsAllDigits(std::string_view token) {
+  for (char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return !token.empty();
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsTokenChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> CharacterShingles(std::string_view text,
+                                            size_t n) {
+  ADRDEDUP_CHECK_GE(n, 1u);
+  // Normalize: lower-cased alphanumerics, word gaps collapsed to one '_'
+  // so shingles do not leak across distant words.
+  std::string normalized;
+  bool gap = false;
+  for (char c : text) {
+    if (IsTokenChar(c)) {
+      if (gap && !normalized.empty()) normalized.push_back('_');
+      gap = false;
+      normalized.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      gap = true;
+    }
+  }
+  std::vector<std::string> shingles;
+  if (normalized.empty()) return shingles;
+  if (normalized.size() <= n) {
+    shingles.push_back(std::move(normalized));
+    return shingles;
+  }
+  shingles.reserve(normalized.size() - n + 1);
+  for (size_t i = 0; i + n <= normalized.size(); ++i) {
+    shingles.push_back(normalized.substr(i, n));
+  }
+  return shingles;
+}
+
+std::vector<std::string> TokenizeKeepingLongNumbers(std::string_view text,
+                                                    size_t min_digits) {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (IsAllDigits(token) && token.size() < min_digits) continue;
+    kept.push_back(std::move(token));
+  }
+  return kept;
+}
+
+}  // namespace adrdedup::text

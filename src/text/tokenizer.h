@@ -1,0 +1,31 @@
+// Word tokenizer for ADR report free text (Section 4.2 of the paper):
+// lower-cases ASCII, splits on non-alphanumeric characters, and keeps
+// alphanumeric runs as tokens ("02-Oct-2013" -> {"02", "oct", "2013"}).
+#ifndef ADRDEDUP_TEXT_TOKENIZER_H_
+#define ADRDEDUP_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::text {
+
+// Splits `text` into lower-cased alphanumeric tokens.
+std::vector<std::string> Tokenize(std::string_view text);
+
+// As Tokenize, but drops pure-digit tokens shorter than `min_digits` —
+// small numbers ("2", "80") are mostly dosage noise while long digit runs
+// (dates, reference numbers) carry duplicate-detection signal.
+std::vector<std::string> TokenizeKeepingLongNumbers(std::string_view text,
+                                                    size_t min_digits);
+
+// Overlapping character n-grams of the lower-cased alphanumeric
+// normalization of `text` ("aspirin", n=3 -> asp, spi, pir, iri, rin).
+// Shingle-set Jaccard is robust to single-character typos where word
+// tokens are all-or-nothing; inputs shorter than n yield the whole
+// normalized string as one shingle. `n` must be >= 1.
+std::vector<std::string> CharacterShingles(std::string_view text, size_t n);
+
+}  // namespace adrdedup::text
+
+#endif  // ADRDEDUP_TEXT_TOKENIZER_H_

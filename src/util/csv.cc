@@ -1,0 +1,141 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace adrdedup::util {
+
+namespace {
+bool NeedsQuoting(std::string_view field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::string CsvEscape(std::string_view field) {
+  if (!NeedsQuoting(field)) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvFormatRow(const CsvRow& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(CsvEscape(row[i]));
+  }
+  return out;
+}
+
+Result<CsvRow> CsvParseLine(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"' && field.empty()) {
+        in_quotes = true;
+      } else if (c == ',') {
+        row.push_back(std::move(field));
+        field.clear();
+      } else {
+        field.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+Result<std::vector<CsvRow>> CsvParse(std::string_view text) {
+  std::vector<CsvRow> rows;
+  std::string pending;
+  size_t line_start = 0;
+  // Accumulate physical lines until quotes balance, then parse the logical
+  // line; this supports embedded newlines inside quoted fields.
+  auto quotes_balanced = [](std::string_view s) {
+    size_t count = 0;
+    for (char c : s) {
+      if (c == '"') ++count;
+    }
+    return count % 2 == 0;
+  };
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      const std::string_view physical =
+          text.substr(line_start, i - line_start);
+      if (pending.empty()) {
+        pending.assign(physical);
+      } else {
+        pending.push_back('\n');
+        pending.append(physical);
+      }
+      if (quotes_balanced(pending)) {
+        // Strip the carriage return of a CRLF record terminator — but
+        // only here, at a record boundary, so CRLF sequences inside
+        // quoted fields survive intact.
+        if (!pending.empty() && pending.back() == '\r') {
+          pending.pop_back();
+        }
+        if (!(i == text.size() && pending.empty())) {
+          auto row = CsvParseLine(pending);
+          if (!row.ok()) return row.status();
+          rows.push_back(std::move(row).value());
+        }
+        pending.clear();
+      }
+      line_start = i + 1;
+    }
+  }
+  if (!pending.empty()) {
+    return Status::InvalidArgument("unterminated quoted CSV field at EOF");
+  }
+  return rows;
+}
+
+Result<std::vector<CsvRow>> CsvReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CsvParse(buffer.str());
+}
+
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& row : rows) {
+    out << CsvFormatRow(row) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace adrdedup::util

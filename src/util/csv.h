@@ -1,0 +1,41 @@
+// Minimal RFC-4180-style CSV reader/writer used for report import/export
+// and experiment result tables. Fields containing the separator, quotes or
+// newlines are quoted; embedded quotes are doubled.
+#ifndef ADRDEDUP_UTIL_CSV_H_
+#define ADRDEDUP_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adrdedup::util {
+
+using CsvRow = std::vector<std::string>;
+
+// Escapes one field for CSV output.
+std::string CsvEscape(std::string_view field);
+
+// Serializes one row (no trailing newline).
+std::string CsvFormatRow(const CsvRow& row);
+
+// Parses one logical CSV line into fields; handles quoted fields with
+// embedded separators and doubled quotes. Embedded newlines are not
+// supported by this single-line entry point (the file-level parser below
+// stitches them). Fails on dangling quotes.
+Result<CsvRow> CsvParseLine(std::string_view line);
+
+// Parses full CSV text, honoring quoted fields that span newlines.
+Result<std::vector<CsvRow>> CsvParse(std::string_view text);
+
+// Reads and parses a CSV file from disk.
+Result<std::vector<CsvRow>> CsvReadFile(const std::string& path);
+
+// Writes rows to a CSV file, overwriting it.
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<CsvRow>& rows);
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_CSV_H_

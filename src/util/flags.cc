@@ -1,0 +1,91 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace adrdedup::util {
+
+Result<FlagSet> FlagSet::Parse(int argc, const char* const* argv) {
+  FlagSet flags;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flags_done || arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + arg + "'");
+    }
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      flags.values_[body] = "true";
+    } else if (eq == 0) {
+      return Status::InvalidArgument("missing flag name in '" + arg + "'");
+    } else {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int64_t> FlagSet::GetInt(const std::string& name,
+                                int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> FlagSet::GetDouble(const std::string& name,
+                                  double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return value;
+}
+
+bool FlagSet::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+Status FlagSet::ExpectOnly(const std::vector<std::string>& known) const {
+  std::string strays;
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      if (!strays.empty()) strays += ", ";
+      strays += "--" + name;
+    }
+  }
+  if (!strays.empty()) {
+    return Status::InvalidArgument("unknown flags: " + strays);
+  }
+  return Status::OK();
+}
+
+}  // namespace adrdedup::util

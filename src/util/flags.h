@@ -1,0 +1,48 @@
+// Minimal --key=value command-line flag parsing for the CLI tools. No
+// global registry: callers declare a FlagSet, query typed values, and get
+// Status-based errors for unknown flags or bad conversions.
+#ifndef ADRDEDUP_UTIL_FLAGS_H_
+#define ADRDEDUP_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adrdedup::util {
+
+class FlagSet {
+ public:
+  // Parses argv-style arguments. Accepted forms: --name=value and
+  // --name (boolean true). Positional arguments (no leading --) are
+  // collected in order. "--" ends flag parsing.
+  static Result<FlagSet> Parse(int argc, const char* const* argv);
+
+  // Typed getters with defaults; conversion failures return an error.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  Result<int64_t> GetInt(const std::string& name,
+                         int64_t default_value) const;
+  Result<double> GetDouble(const std::string& name,
+                           double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  bool Has(const std::string& name) const {
+    return values_.contains(name);
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names the caller recognizes; anything else in the input makes this
+  // return an error listing the strays (catches typos early).
+  Status ExpectOnly(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_FLAGS_H_

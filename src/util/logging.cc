@@ -1,0 +1,74 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace adrdedup::util {
+
+namespace {
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+LogSeverity InitialSeverityFromEnv() {
+  const char* env = std::getenv("ADRDEDUP_LOG_LEVEL");
+  if (env == nullptr) return LogSeverity::kInfo;
+  const int level = std::atoi(env);
+  if (level < 0 || level > 4) return LogSeverity::kInfo;
+  return static_cast<LogSeverity>(level);
+}
+
+// Plain int, not the enum, so the global is constant-initializable-ish and
+// trivially destructible; -1 means "not yet read from the environment".
+int g_min_severity = -1;
+std::mutex g_log_mutex;
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  if (g_min_severity < 0) {
+    g_min_severity = static_cast<int>(InitialSeverityFromEnv());
+  }
+  return static_cast<LogSeverity>(g_min_severity);
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity = static_cast<int>(severity);
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  // Strip the directory part so log lines stay short.
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << SeverityName(severity) << " " << basename << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity()) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace adrdedup::util

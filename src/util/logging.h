@@ -1,0 +1,119 @@
+// Minimal logging and assertion facilities in the spirit of RocksDB/Arrow
+// internal logging: leveled stream logging plus CHECK-style invariant
+// assertions that abort the process on violation. The library does not use
+// exceptions; programmer errors fail fast through these macros and
+// recoverable errors travel through util::Status.
+#ifndef ADRDEDUP_UTIL_LOGGING_H_
+#define ADRDEDUP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace adrdedup::util {
+
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns the current process-wide minimum severity; messages below it are
+// discarded. Defaults to kInfo; override with SetMinLogSeverity or the
+// ADRDEDUP_LOG_LEVEL environment variable (0-4) read at first use.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+// Stream-style log message. Emits to stderr on destruction; a kFatal
+// message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+namespace internal_logging {
+// Builds the "a vs. b" detail for failed binary CHECK_xx comparisons.
+template <typename A, typename B>
+std::string MakeCheckOpString(const A& a, const B& b, const char* op_text) {
+  std::ostringstream out;
+  out << " (" << a << " " << op_text << " " << b << ")";
+  return out.str();
+}
+}  // namespace internal_logging
+
+}  // namespace adrdedup::util
+
+#define ADRDEDUP_LOG_DEBUG \
+  ::adrdedup::util::LogMessage(::adrdedup::util::LogSeverity::kDebug, \
+                               __FILE__, __LINE__)  \
+      .stream()
+#define ADRDEDUP_LOG_INFO \
+  ::adrdedup::util::LogMessage(::adrdedup::util::LogSeverity::kInfo, \
+                               __FILE__, __LINE__)  \
+      .stream()
+#define ADRDEDUP_LOG_WARNING \
+  ::adrdedup::util::LogMessage(::adrdedup::util::LogSeverity::kWarning, \
+                               __FILE__, __LINE__)  \
+      .stream()
+#define ADRDEDUP_LOG_ERROR \
+  ::adrdedup::util::LogMessage(::adrdedup::util::LogSeverity::kError, \
+                               __FILE__, __LINE__)  \
+      .stream()
+#define ADRDEDUP_LOG_FATAL \
+  ::adrdedup::util::LogMessage(::adrdedup::util::LogSeverity::kFatal, \
+                               __FILE__, __LINE__)  \
+      .stream()
+
+// Invariant checks: always on, abort on failure.
+#define ADRDEDUP_CHECK(condition)                                  \
+  while (!(condition))                                             \
+  ADRDEDUP_LOG_FATAL << "Check failed: " #condition " "
+
+#define ADRDEDUP_CHECK_OP(op, op_text, a, b)                            \
+  while (!((a)op(b)))                                                   \
+  ADRDEDUP_LOG_FATAL << "Check failed: " #a " " op_text " " #b          \
+                     << ::adrdedup::util::internal_logging::            \
+                            MakeCheckOpString((a), (b), op_text)        \
+                     << " "
+
+#define ADRDEDUP_CHECK_EQ(a, b) ADRDEDUP_CHECK_OP(==, "==", a, b)
+#define ADRDEDUP_CHECK_NE(a, b) ADRDEDUP_CHECK_OP(!=, "!=", a, b)
+#define ADRDEDUP_CHECK_LT(a, b) ADRDEDUP_CHECK_OP(<, "<", a, b)
+#define ADRDEDUP_CHECK_LE(a, b) ADRDEDUP_CHECK_OP(<=, "<=", a, b)
+#define ADRDEDUP_CHECK_GT(a, b) ADRDEDUP_CHECK_OP(>, ">", a, b)
+#define ADRDEDUP_CHECK_GE(a, b) ADRDEDUP_CHECK_OP(>=, ">=", a, b)
+
+// Debug-only variants, compiled out of optimized builds.
+#ifdef NDEBUG
+#define ADRDEDUP_DCHECK(condition) \
+  while (false && (condition)) ::adrdedup::util::NullStream()
+#define ADRDEDUP_DCHECK_EQ(a, b) ADRDEDUP_DCHECK((a) == (b))
+#define ADRDEDUP_DCHECK_LT(a, b) ADRDEDUP_DCHECK((a) < (b))
+#define ADRDEDUP_DCHECK_LE(a, b) ADRDEDUP_DCHECK((a) <= (b))
+#else
+#define ADRDEDUP_DCHECK(condition) ADRDEDUP_CHECK(condition)
+#define ADRDEDUP_DCHECK_EQ(a, b) ADRDEDUP_CHECK_EQ(a, b)
+#define ADRDEDUP_DCHECK_LT(a, b) ADRDEDUP_CHECK_LT(a, b)
+#define ADRDEDUP_DCHECK_LE(a, b) ADRDEDUP_CHECK_LE(a, b)
+#endif
+
+#endif  // ADRDEDUP_UTIL_LOGGING_H_

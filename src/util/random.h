@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for reproducible data
+// synthesis and experiments. Rng wraps xoshiro256** seeded via SplitMix64;
+// identical seeds yield identical streams on every platform, unlike
+// std::default_random_engine / std::uniform_int_distribution whose outputs
+// are implementation-defined.
+#ifndef ADRDEDUP_UTIL_RANDOM_H_
+#define ADRDEDUP_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adrdedup::util {
+
+// SplitMix64 step: advances `state` and returns the next 64-bit output.
+// Used for seeding and as a cheap standalone mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+// xoshiro256** generator with convenience samplers. Not thread-safe; give
+// each thread its own instance (Fork() derives independent streams).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  // Next raw 64 bits.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  // sampling, so the distribution is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+
+  // Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Weights must be non-negative with a positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  // Derives an independent generator; the two streams do not overlap in
+  // practice because the child is re-seeded through SplitMix64.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  // Cached second output of Box-Muller; NaN-free flag tracks validity.
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_RANDOM_H_

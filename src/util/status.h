@@ -1,0 +1,124 @@
+// Status / Result error handling, modeled on the RocksDB/Arrow convention:
+// recoverable errors are returned as values, never thrown. A Status carries
+// an error code and a human-readable message; Result<T> is a Status plus a
+// value on success.
+#ifndef ADRDEDUP_UTIL_STATUS_H_
+#define ADRDEDUP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace adrdedup::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+};
+
+// Returns the canonical name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic error indicator. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+// A Status or a value of type T. Callers must test ok() before value().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return Status::...;` directly, mirroring arrow::Result.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    ADRDEDUP_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    ADRDEDUP_CHECK(ok()) << "Result::value() on error: "
+                         << std::get<Status>(data_).ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    ADRDEDUP_CHECK(ok()) << "Result::value() on error: "
+                         << std::get<Status>(data_).ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    ADRDEDUP_CHECK(ok()) << "Result::value() on error: "
+                         << std::get<Status>(data_).ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace adrdedup::util
+
+// Propagates a non-OK Status to the caller, RocksDB-style.
+#define ADRDEDUP_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::adrdedup::util::Status _status = (expr);       \
+    if (!_status.ok()) return _status;               \
+  } while (false)
+
+#endif  // ADRDEDUP_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the experiment harnesses.
+#ifndef ADRDEDUP_UTIL_STOPWATCH_H_
+#define ADRDEDUP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace adrdedup::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_STOPWATCH_H_

@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+#ifndef ADRDEDUP_UTIL_STRING_UTIL_H_
+#define ADRDEDUP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::util {
+
+// Splits on every occurrence of `sep`; adjacent separators yield empty
+// pieces ("a,,b" -> {"a", "", "b"}). An empty input yields {""}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// ASCII lower-casing (locale-independent).
+std::string ToLowerAscii(std::string_view text);
+
+// Strips leading and trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view text);
+
+// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_STRING_UTIL_H_

@@ -1,0 +1,59 @@
+// Fixed-size worker pool used by minispark executors and the parallel
+// distance kernels. Tasks are std::function<void()>; Submit returns a
+// std::future so callers can join on individual tasks, and ParallelFor
+// provides the common blocked-range idiom.
+#ifndef ADRDEDUP_UTIL_THREAD_POOL_H_
+#define ADRDEDUP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adrdedup::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues `fn`; the future resolves when it has run. Tasks must not
+  // block on futures of tasks submitted to the same pool (no work
+  // stealing), or the pool can deadlock; compose at the call site instead.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Runs fn(i) for i in [begin, end) across the pool and blocks until all
+  // iterations finish. Iterations are grouped into contiguous blocks, one
+  // batch per worker, so per-task overhead stays negligible.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  // Total tasks executed since construction (for scheduler metrics).
+  uint64_t tasks_executed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  uint64_t tasks_executed_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_THREAD_POOL_H_

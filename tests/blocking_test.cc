@@ -1,0 +1,262 @@
+#include "blocking/blocking.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/sorted_neighbourhood.h"
+#include "blocking/token_index.h"
+#include "datagen/generator.h"
+#include "text/similarity.h"
+
+namespace adrdedup::blocking {
+namespace {
+
+using distance::ReportFeatures;
+using distance::ReportPair;
+
+ReportFeatures MakeFeatures(const std::string& drug, const std::string& adr,
+                            const std::string& sex, int age) {
+  ReportFeatures f;
+  if (!drug.empty()) f.drug_tokens = {drug};
+  if (!adr.empty()) f.adr_tokens = {adr};
+  f.sex = sex;
+  f.age = age;
+  return f;
+}
+
+TEST(BlockingTest, PairsShareTheBlockingKey) {
+  std::vector<ReportFeatures> features = {
+      MakeFeatures("aspirin", "rash", "M", 30),
+      MakeFeatures("aspirin", "nausea", "F", 40),
+      MakeFeatures("warfarin", "rash", "M", 50),
+      MakeFeatures("warfarin", "nausea", "F", 60),
+  };
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken};
+  const auto result = GenerateCandidates(features, options);
+  // aspirin block: (0,1); warfarin block: (2,3).
+  ASSERT_EQ(result.pairs.size(), 2u);
+  EXPECT_EQ(result.pairs[0], (ReportPair{0, 1}));
+  EXPECT_EQ(result.pairs[1], (ReportPair{2, 3}));
+}
+
+TEST(BlockingTest, MultipleKeysUnionCandidates) {
+  std::vector<ReportFeatures> features = {
+      MakeFeatures("aspirin", "rash", "M", 30),
+      MakeFeatures("aspirin", "nausea", "F", 40),
+      MakeFeatures("warfarin", "rash", "M", 50),
+  };
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken, BlockingKey::kAdrToken};
+  const auto result = GenerateCandidates(features, options);
+  // drug: (0,1); adr "rash": (0,2).
+  ASSERT_EQ(result.pairs.size(), 2u);
+}
+
+TEST(BlockingTest, CandidatesAreDeduplicated) {
+  // Reports sharing both drug AND adr must appear once.
+  std::vector<ReportFeatures> features = {
+      MakeFeatures("aspirin", "rash", "M", 30),
+      MakeFeatures("aspirin", "rash", "F", 40),
+  };
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken, BlockingKey::kAdrToken};
+  const auto result = GenerateCandidates(features, options);
+  EXPECT_EQ(result.pairs.size(), 1u);
+}
+
+TEST(BlockingTest, OversizedBlocksSkipped) {
+  std::vector<ReportFeatures> features;
+  for (int i = 0; i < 50; ++i) {
+    features.push_back(MakeFeatures("paracetamol", "", "M", 30));
+  }
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken};
+  options.max_block_size = 10;
+  const auto result = GenerateCandidates(features, options);
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.oversized_blocks_skipped, 1u);
+  EXPECT_EQ(result.total_blocks, 1u);
+}
+
+TEST(BlockingTest, SexAgeBandKey) {
+  std::vector<ReportFeatures> features = {
+      MakeFeatures("", "", "M", 31),  // band 6
+      MakeFeatures("", "", "M", 34),  // band 6
+      MakeFeatures("", "", "M", 36),  // band 7
+      MakeFeatures("", "", "F", 31),  // different sex
+  };
+  BlockingOptions options;
+  options.keys = {BlockingKey::kSexAndAgeBand};
+  const auto result = GenerateCandidates(features, options);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], (ReportPair{0, 1}));
+}
+
+TEST(BlockingTest, MissingKeysProduceNoPairs) {
+  std::vector<ReportFeatures> empty_features(10);
+  BlockingOptions options;
+  options.keys = {BlockingKey::kOnsetDate, BlockingKey::kSexAndAgeBand};
+  EXPECT_TRUE(GenerateCandidates(empty_features, options).pairs.empty());
+}
+
+TEST(BlockingTest, ReductionRatio) {
+  EXPECT_DOUBLE_EQ(ReductionRatio(0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(ReductionRatio(4950, 100), 0.0);
+  EXPECT_NEAR(ReductionRatio(495, 100), 0.9, 1e-12);
+}
+
+TEST(BlockingTest, PairCompleteness) {
+  std::vector<ReportPair> candidates = {{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(PairCompleteness(candidates, {{0, 1}, {2, 3}}), 1.0);
+  EXPECT_DOUBLE_EQ(PairCompleteness(candidates, {{1, 0}, {5, 6}}), 0.5);
+  EXPECT_DOUBLE_EQ(PairCompleteness(candidates, {}), 1.0);
+}
+
+struct CorpusFixture {
+  CorpusFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 1200;
+    config.num_duplicate_pairs = 80;
+    config.num_drugs = 200;
+    config.num_adrs = 300;
+    corpus = datagen::GenerateCorpus(config);
+    features = distance::ExtractAllFeatures(corpus.db);
+  }
+  datagen::GeneratedCorpus corpus;
+  std::vector<ReportFeatures> features;
+};
+
+CorpusFixture& Fixture() {
+  static CorpusFixture& fixture = *new CorpusFixture();
+  return fixture;
+}
+
+TEST(BlockingTest, DrugBlockingFindsNearlyAllDuplicatesOnCorpus) {
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken, BlockingKey::kAdrToken};
+  const auto result = GenerateCandidates(Fixture().features, options);
+  // Duplicates share drugs (drug-list edits are rare), so completeness
+  // should be near-perfect while the pair universe shrinks drastically.
+  EXPECT_GT(PairCompleteness(result.pairs, Fixture().corpus.duplicate_pairs),
+            0.95);
+  EXPECT_GT(ReductionRatio(result.pairs.size(), Fixture().features.size()),
+            0.3);
+}
+
+TEST(SortedNeighbourhoodTest, WindowBoundsCandidateCount) {
+  SortedNeighbourhoodOptions options;
+  options.window = 5;
+  options.passes = 1;
+  const auto pairs =
+      SortedNeighbourhoodCandidates(Fixture().features, options);
+  // At most n * (w-1) pairs per pass.
+  EXPECT_LE(pairs.size(), Fixture().features.size() * 4);
+  EXPECT_FALSE(pairs.empty());
+}
+
+TEST(SortedNeighbourhoodTest, MorePassesMoreCandidates) {
+  SortedNeighbourhoodOptions one_pass;
+  one_pass.window = 6;
+  one_pass.passes = 1;
+  SortedNeighbourhoodOptions three_passes;
+  three_passes.window = 6;
+  three_passes.passes = 3;
+  const auto single =
+      SortedNeighbourhoodCandidates(Fixture().features, one_pass);
+  const auto multi =
+      SortedNeighbourhoodCandidates(Fixture().features, three_passes);
+  EXPECT_GT(multi.size(), single.size());
+  // Multi-pass contains the single pass (same pass-0 ordering).
+  std::set<uint64_t> multi_keys;
+  for (const auto& pair : multi) multi_keys.insert(PairKey(pair));
+  for (const auto& pair : single) {
+    EXPECT_TRUE(multi_keys.contains(PairKey(pair)));
+  }
+}
+
+TEST(SortedNeighbourhoodTest, AdjacentSortKeysPairUp) {
+  std::vector<ReportFeatures> features = {
+      MakeFeatures("aaadrug", "rash", "M", 30),
+      MakeFeatures("aaadrug", "rash", "M", 31),
+      MakeFeatures("zzzdrug", "cough", "F", 70),
+  };
+  SortedNeighbourhoodOptions options;
+  options.window = 2;
+  options.passes = 1;
+  const auto pairs = SortedNeighbourhoodCandidates(features, options);
+  // Window 2 pairs each record with its sort successor: exactly 2 pairs,
+  // with (0,1) adjacent.
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (ReportPair{0, 1}));
+}
+
+TEST(SortedNeighbourhoodTest, InvalidOptionsDie) {
+  SortedNeighbourhoodOptions options;
+  options.window = 1;
+  EXPECT_DEATH(
+      (void)SortedNeighbourhoodCandidates(Fixture().features, options),
+      "Check failed");
+}
+
+TEST(TokenIndexTest, CompletenessGuaranteeAtThreshold) {
+  // Every pair with description-token Jaccard >= t must be a candidate.
+  const auto& features = Fixture().features;
+  TokenIndexOptions options;
+  options.jaccard_threshold = 0.5;
+  const auto result = DescriptionOverlapCandidates(features, options);
+  std::set<uint64_t> candidate_keys;
+  for (const auto& pair : result.pairs) {
+    candidate_keys.insert(PairKey(pair));
+  }
+  // Exhaustive check over a subsample (full n^2 would be slow).
+  for (size_t a = 0; a < 300; ++a) {
+    for (size_t b = a + 1; b < 300; ++b) {
+      const double similarity = text::JaccardSimilarity(
+          features[a].description_tokens, features[b].description_tokens);
+      if (similarity >= options.jaccard_threshold) {
+        EXPECT_TRUE(candidate_keys.contains(PairKey(
+            ReportPair{static_cast<uint32_t>(a), static_cast<uint32_t>(b)})))
+            << a << "," << b << " sim=" << similarity;
+      }
+    }
+  }
+}
+
+TEST(TokenIndexTest, HigherThresholdFewerCandidates) {
+  TokenIndexOptions low;
+  low.jaccard_threshold = 0.3;
+  TokenIndexOptions high;
+  high.jaccard_threshold = 0.8;
+  const auto low_result =
+      DescriptionOverlapCandidates(Fixture().features, low);
+  const auto high_result =
+      DescriptionOverlapCandidates(Fixture().features, high);
+  EXPECT_GT(low_result.pairs.size(), high_result.pairs.size());
+}
+
+TEST(TokenIndexTest, FrequencyCapDropsTokens) {
+  TokenIndexOptions capped;
+  capped.jaccard_threshold = 0.5;
+  capped.max_token_frequency = 0.01;
+  const auto result =
+      DescriptionOverlapCandidates(Fixture().features, capped);
+  EXPECT_GT(result.stop_tokens_dropped, 0u);
+}
+
+TEST(TokenIndexTest, EmptyFeatures) {
+  const auto result = DescriptionOverlapCandidates({}, {});
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.indexed_tokens, 0u);
+}
+
+TEST(BlockingKeyNameTest, AllNamed) {
+  EXPECT_EQ(BlockingKeyName(BlockingKey::kDrugToken), "drug-token");
+  EXPECT_EQ(BlockingKeyName(BlockingKey::kAdrToken), "adr-token");
+  EXPECT_EQ(BlockingKeyName(BlockingKey::kOnsetDate), "onset-date");
+  EXPECT_EQ(BlockingKeyName(BlockingKey::kSexAndAgeBand), "sex+age-band");
+}
+
+}  // namespace
+}  // namespace adrdedup::blocking

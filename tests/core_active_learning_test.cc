@@ -1,0 +1,160 @@
+#include "core/active_learning.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "eval/metrics.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::LabeledPair;
+
+struct ActiveFixture {
+  ActiveFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 1500;
+    config.num_duplicate_pairs = 100;
+    config.num_drugs = 250;
+    config.num_adrs = 400;
+    auto corpus = datagen::GenerateCorpus(config);
+    auto features = distance::ExtractAllFeatures(corpus.db);
+    distance::DatasetSpec spec;
+    spec.num_training_pairs = 12000;  // the unlabelled pool
+    spec.num_testing_pairs = 3000;    // held-out evaluation
+    auto datasets = distance::BuildDatasets(corpus, features, spec);
+    pool = std::move(datasets.train.pairs);
+    eval_set = std::move(datasets.test.pairs);
+    for (const auto& pair : eval_set) eval_labels.push_back(pair.label);
+  }
+  std::vector<LabeledPair> pool;
+  std::vector<LabeledPair> eval_set;
+  std::vector<int8_t> eval_labels;
+};
+
+ActiveFixture& Fixture() {
+  static ActiveFixture& fixture = *new ActiveFixture();
+  return fixture;
+}
+
+LabelOracle TruthOracle() {
+  return [](const LabeledPair& pair) { return pair.label; };
+}
+
+ActiveLearningOptions BaseOptions(QueryStrategy strategy) {
+  ActiveLearningOptions options;
+  options.strategy = strategy;
+  options.initial_labels = 500;
+  options.batch_size = 50;
+  options.rounds = 6;
+  options.knn.num_clusters = 8;
+  return options;
+}
+
+TEST(ActiveLearningTest, LabelBudgetRespected) {
+  const auto options = BaseOptions(QueryStrategy::kUncertainty);
+  const auto result =
+      RunActiveLearning(Fixture().pool, TruthOracle(), options);
+  EXPECT_EQ(result.labelled.size(),
+            options.initial_labels + options.batch_size * options.rounds);
+  EXPECT_EQ(result.oracle_queries, options.batch_size * options.rounds);
+}
+
+TEST(ActiveLearningTest, OracleLabelsMatchGroundTruth) {
+  const auto options = BaseOptions(QueryStrategy::kRandom);
+  const auto result =
+      RunActiveLearning(Fixture().pool, TruthOracle(), options);
+  // Every labelled pair's vector exists in the pool with the same label.
+  size_t checked = 0;
+  for (const auto& labelled : result.labelled) {
+    for (const auto& pool_pair : Fixture().pool) {
+      if (PairKey(pool_pair.pair) == PairKey(labelled.pair)) {
+        EXPECT_EQ(pool_pair.label, labelled.label);
+        ++checked;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(checked, result.labelled.size());
+}
+
+TEST(ActiveLearningTest, NoPairLabelledTwice) {
+  const auto options = BaseOptions(QueryStrategy::kUncertainty);
+  const auto result =
+      RunActiveLearning(Fixture().pool, TruthOracle(), options);
+  std::set<uint64_t> keys;
+  for (const auto& pair : result.labelled) {
+    EXPECT_TRUE(keys.insert(PairKey(pair.pair)).second);
+  }
+}
+
+TEST(ActiveLearningTest, UncertaintyFindsMorePositivesThanRandom) {
+  const auto uncertain = RunActiveLearning(
+      Fixture().pool, TruthOracle(),
+      BaseOptions(QueryStrategy::kUncertainty));
+  const auto random = RunActiveLearning(
+      Fixture().pool, TruthOracle(), BaseOptions(QueryStrategy::kRandom));
+  // Uncertainty sampling concentrates queries near the decision boundary
+  // where the rare positives live.
+  EXPECT_GE(uncertain.positives_found, random.positives_found);
+}
+
+TEST(ActiveLearningTest, ObserverSeesEveryRound) {
+  const auto options = BaseOptions(QueryStrategy::kUncertainty);
+  std::vector<size_t> rounds;
+  std::vector<size_t> labels;
+  RunActiveLearning(Fixture().pool, TruthOracle(), options,
+                    [&](size_t round, size_t labels_used,
+                        const FastKnnClassifier& classifier) {
+                      rounds.push_back(round);
+                      labels.push_back(labels_used);
+                      EXPECT_GT(classifier.num_partitions(), 0u);
+                    });
+  ASSERT_EQ(rounds.size(), options.rounds + 1);  // round 0 + each round
+  EXPECT_EQ(rounds.front(), 0u);
+  EXPECT_EQ(rounds.back(), options.rounds);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], labels[i - 1] + options.batch_size);
+  }
+}
+
+TEST(ActiveLearningTest, QualityImprovesOverPassiveAtEqualBudget) {
+  auto& fixture = Fixture();
+  auto final_aupr = [&](QueryStrategy strategy) {
+    double aupr = 0.0;
+    const auto options = BaseOptions(strategy);
+    RunActiveLearning(
+        fixture.pool, TruthOracle(), options,
+        [&](size_t round, size_t, const FastKnnClassifier& classifier) {
+          if (round != options.rounds) return;
+          std::vector<double> scores;
+          for (const auto& pair : fixture.eval_set) {
+            scores.push_back(classifier.Score(pair.vector));
+          }
+          aupr = eval::Aupr(scores, fixture.eval_labels);
+        });
+    return aupr;
+  };
+  const double active = final_aupr(QueryStrategy::kUncertainty);
+  const double passive = final_aupr(QueryStrategy::kRandom);
+  // At this tiny label budget the passive learner has almost no positive
+  // examples; the active learner must do at least as well.
+  EXPECT_GE(active + 0.02, passive);
+}
+
+TEST(ActiveLearningTest, PoolTooSmallDies) {
+  ActiveLearningOptions options = BaseOptions(QueryStrategy::kRandom);
+  options.initial_labels = 100;
+  options.batch_size = 50;
+  options.rounds = 10;
+  std::vector<LabeledPair> tiny_pool(200);
+  EXPECT_DEATH(
+      RunActiveLearning(tiny_pool, TruthOracle(), options),
+      "pool too small");
+}
+
+}  // namespace
+}  // namespace adrdedup::core

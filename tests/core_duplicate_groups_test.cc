@@ -1,0 +1,111 @@
+#include "core/duplicate_groups.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::ReportPair;
+
+TEST(UnionFindTest, InitiallyDisjoint) {
+  UnionFind uf(5);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SizeOf(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNovelty) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.SizeOf(0), 2u);
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_EQ(uf.SizeOf(2), 3u);
+  EXPECT_NE(uf.Find(0), uf.Find(4));
+}
+
+TEST(UnionFindTest, TransitiveChains) {
+  UnionFind uf(100);
+  for (uint32_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.Find(0), uf.Find(99));
+  EXPECT_EQ(uf.SizeOf(50), 100u);
+}
+
+TEST(UnionFindTest, RandomizedPartitionInvariant) {
+  util::Rng rng(3);
+  UnionFind uf(200);
+  // Reference: naive label propagation.
+  std::vector<int> label(200);
+  for (int i = 0; i < 200; ++i) label[i] = i;
+  auto relabel = [&](int from, int to) {
+    for (int& l : label) {
+      if (l == from) l = to;
+    }
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<uint32_t>(rng.Uniform(200));
+    const auto b = static_cast<uint32_t>(rng.Uniform(200));
+    uf.Union(a, b);
+    relabel(label[a], label[b]);
+  }
+  for (uint32_t i = 0; i < 200; ++i) {
+    for (uint32_t j = 0; j < 200; ++j) {
+      EXPECT_EQ(uf.Find(i) == uf.Find(j), label[i] == label[j])
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(DuplicateGroupsTest, PairsFormGroups) {
+  const std::vector<ReportPair> pairs = {{0, 1}, {3, 4}, {4, 5}};
+  const auto groups = BuildDuplicateGroups(pairs, 8);
+  ASSERT_EQ(groups.groups.size(), 2u);
+  EXPECT_EQ(groups.groups[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(groups.groups[1], (std::vector<uint32_t>{3, 4, 5}));
+  EXPECT_EQ(groups.num_singletons, 3u);  // 2, 6, 7
+  EXPECT_EQ(groups.DistinctCases(), 5u);
+}
+
+TEST(DuplicateGroupsTest, TransitiveClosureMergesChains) {
+  const std::vector<ReportPair> pairs = {{0, 1}, {1, 2}, {2, 3}, {5, 6},
+                                         {6, 7}, {0, 3}};
+  const auto groups = BuildDuplicateGroups(pairs, 10);
+  ASSERT_EQ(groups.groups.size(), 2u);
+  EXPECT_EQ(groups.groups[0], (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(groups.groups[1], (std::vector<uint32_t>{5, 6, 7}));
+}
+
+TEST(DuplicateGroupsTest, NoPairsAllSingletons) {
+  const auto groups = BuildDuplicateGroups({}, 42);
+  EXPECT_TRUE(groups.groups.empty());
+  EXPECT_EQ(groups.num_singletons, 42u);
+  EXPECT_EQ(groups.DistinctCases(), 42u);
+}
+
+TEST(DuplicateGroupsTest, DuplicatePairsIdempotent) {
+  const std::vector<ReportPair> pairs = {{0, 1}, {0, 1}, {1, 0}};
+  const auto groups = BuildDuplicateGroups(pairs, 3);
+  ASSERT_EQ(groups.groups.size(), 1u);
+  EXPECT_EQ(groups.groups[0], (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(DuplicateGroupsTest, GroupsSortedBySmallestMember) {
+  const std::vector<ReportPair> pairs = {{7, 8}, {0, 2}};
+  const auto groups = BuildDuplicateGroups(pairs, 10);
+  ASSERT_EQ(groups.groups.size(), 2u);
+  EXPECT_EQ(groups.groups[0][0], 0u);
+  EXPECT_EQ(groups.groups[1][0], 7u);
+}
+
+TEST(DuplicateGroupsTest, OutOfRangePairDies) {
+  EXPECT_DEATH(
+      { auto g = BuildDuplicateGroups({{0, 9}}, 5); (void)g; },
+      "Check failed");
+}
+
+}  // namespace
+}  // namespace adrdedup::core

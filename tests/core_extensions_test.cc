@@ -1,0 +1,159 @@
+// Tests for the post-paper extensions: class-weighted Eq. 5 scoring
+// (Liu & Chawla [14]) and learned f(theta) for the testing-set pruner
+// (the paper's stated future work).
+#include <gtest/gtest.h>
+
+#include "core/fast_knn.h"
+#include "core/test_set_pruner.h"
+#include "util/random.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::DistanceVector;
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+std::vector<LabeledPair> StructuredPairs(size_t n, double positive_rate,
+                                         uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (auto& pair : pairs) {
+    const bool positive = rng.Bernoulli(positive_rate);
+    pair.label = positive ? +1 : -1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = positive ? rng.UniformDouble(0.0, 0.4)
+                                : rng.UniformDouble(0.1, 1.0);
+    }
+  }
+  return pairs;
+}
+
+TEST(WeightedKnnTest, WeightScalesPositiveContribution) {
+  std::vector<ml::Neighbor> neighbors = {
+      {0.5, +1, 0},  // +2 at weight 1
+      {0.25, -1, 1},  // -4
+  };
+  EXPECT_DOUBLE_EQ(ml::InverseDistanceScore(neighbors, 1e-6, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(ml::InverseDistanceScore(neighbors, 1e-6, 3.0), 2.0);
+}
+
+TEST(WeightedKnnTest, UnitWeightMatchesPlainEq5) {
+  const auto train = StructuredPairs(2000, 0.05, 1);
+  const auto queries = StructuredPairs(100, 0.05, 2);
+  FastKnnOptions plain_options;
+  plain_options.num_clusters = 8;
+  FastKnnClassifier plain(plain_options);
+  plain.Fit(train);
+  FastKnnOptions weighted_options = plain_options;
+  weighted_options.positive_weight = 1.0;
+  FastKnnClassifier weighted(weighted_options);
+  weighted.Fit(train);
+  for (const auto& query : queries) {
+    EXPECT_DOUBLE_EQ(plain.Score(query.vector),
+                     weighted.Score(query.vector));
+  }
+}
+
+TEST(WeightedKnnTest, HigherWeightNeverLowersScores) {
+  const auto train = StructuredPairs(2000, 0.05, 3);
+  const auto queries = StructuredPairs(200, 0.05, 4);
+  FastKnnOptions base;
+  base.num_clusters = 8;
+  base.early_exit_all_negative = false;
+  FastKnnClassifier plain(base);
+  plain.Fit(train);
+  FastKnnOptions boosted = base;
+  boosted.positive_weight = 5.0;
+  FastKnnClassifier weighted(boosted);
+  weighted.Fit(train);
+  for (const auto& query : queries) {
+    EXPECT_GE(weighted.Score(query.vector) + 1e-9,
+              plain.Score(query.vector));
+  }
+}
+
+TEST(WeightedKnnTest, WeightCanFlipBorderlineDecisions) {
+  // One near positive vs several mid-distance negatives.
+  std::vector<LabeledPair> train;
+  LabeledPair positive;
+  positive.label = +1;
+  positive.vector[0] = 0.30;
+  train.push_back(positive);
+  for (int i = 0; i < 8; ++i) {
+    LabeledPair negative;
+    negative.label = -1;
+    negative.vector[0] = 0.55 + 0.01 * i;
+    train.push_back(negative);
+  }
+  DistanceVector query;
+  query[0] = 0.5;
+  FastKnnOptions options;
+  options.k = 9;
+  options.num_clusters = 2;
+  options.early_exit_all_negative = false;
+  FastKnnClassifier plain(options);
+  plain.Fit(train);
+  EXPECT_LT(plain.Score(query), 0.0);
+  options.positive_weight = 50.0;
+  FastKnnClassifier weighted(options);
+  weighted.Fit(train);
+  EXPECT_GT(weighted.Score(query), 0.0);
+}
+
+std::vector<LabeledPair> PositiveBlob(size_t n, double center,
+                                      double spread, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (auto& pair : pairs) {
+    pair.label = +1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = center + rng.UniformDouble(-spread, spread);
+    }
+  }
+  return pairs;
+}
+
+TEST(LearnFThetaTest, LearnedHaloKeepsAllHeldOutPositives) {
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 4});
+  pruner.Fit(PositiveBlob(100, 0.25, 0.08, 5));
+  // Held-out positives from a slightly wider distribution.
+  const auto held_out = PositiveBlob(50, 0.25, 0.15, 6);
+  const double f_theta = pruner.LearnFTheta(held_out, 0.02);
+  for (const auto& pair : held_out) {
+    EXPECT_TRUE(pruner.ShouldKeep(pair.vector, f_theta));
+  }
+}
+
+TEST(LearnFThetaTest, InDistributionHeldOutNeedsOnlyMargin) {
+  const auto positives = PositiveBlob(200, 0.3, 0.1, 7);
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 3});
+  pruner.Fit(positives);
+  // Training positives themselves are inside the radii: learned halo is
+  // exactly the safety margin.
+  EXPECT_DOUBLE_EQ(pruner.LearnFTheta(positives, 0.05), 0.05);
+}
+
+TEST(LearnFThetaTest, TighterThanWorstCaseManualSetting) {
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 4});
+  pruner.Fit(PositiveBlob(150, 0.2, 0.05, 8));
+  const auto held_out = PositiveBlob(50, 0.2, 0.07, 9);
+  const double learned = pruner.LearnFTheta(held_out, 0.02);
+  // The learned halo is far below the conservative 0.9 manual setting.
+  EXPECT_LT(learned, 0.5);
+  EXPECT_GT(learned, 0.0);
+}
+
+TEST(LearnFThetaTest, EmptyHeldOutGivesMargin) {
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 2});
+  pruner.Fit(PositiveBlob(20, 0.2, 0.05, 10));
+  EXPECT_DOUBLE_EQ(pruner.LearnFTheta({}, 0.1), 0.1);
+}
+
+TEST(LearnFThetaTest, BeforeFitDies) {
+  TestSetPruner pruner(TestSetPrunerOptions{});
+  EXPECT_DEATH((void)pruner.LearnFTheta({}, 0.1), "before Fit");
+}
+
+}  // namespace
+}  // namespace adrdedup::core

@@ -1,0 +1,162 @@
+#include "core/model_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+std::vector<LabeledPair> StructuredPairs(size_t n, double positive_rate,
+                                         uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = rng.Bernoulli(positive_rate);
+    pairs[i].label = positive ? +1 : -1;
+    pairs[i].pair = {static_cast<uint32_t>(i),
+                     static_cast<uint32_t>(i + 1)};
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pairs[i].vector[d] = positive ? rng.UniformDouble(0.0, 0.4)
+                                    : rng.UniformDouble(0.1, 1.0);
+    }
+  }
+  return pairs;
+}
+
+FastKnnClassifier FittedClassifier() {
+  FastKnnOptions options;
+  options.k = 7;
+  options.num_clusters = 12;
+  options.positive_weight = 2.0;
+  options.early_exit_all_negative = false;
+  FastKnnClassifier classifier(options);
+  classifier.Fit(StructuredPairs(2000, 0.03, 77));
+  return classifier;
+}
+
+TEST(ModelIoTest, StreamRoundTripScoresIdentically) {
+  const FastKnnClassifier original = FittedClassifier();
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream).ok());
+
+  auto loaded = FastKnnClassifier::Load(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const auto queries = StructuredPairs(200, 0.03, 78);
+  for (const auto& query : queries) {
+    ASSERT_DOUBLE_EQ(original.Score(query.vector),
+                     loaded.value().Score(query.vector));
+  }
+}
+
+TEST(ModelIoTest, OptionsSurviveRoundTrip) {
+  const FastKnnClassifier original = FittedClassifier();
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream).ok());
+  auto loaded = FastKnnClassifier::Load(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().options().k, 7u);
+  EXPECT_EQ(loaded.value().options().num_clusters, 12u);
+  EXPECT_DOUBLE_EQ(loaded.value().options().positive_weight, 2.0);
+  EXPECT_FALSE(loaded.value().options().early_exit_all_negative);
+  EXPECT_EQ(loaded.value().num_partitions(), original.num_partitions());
+  EXPECT_EQ(loaded.value().positives().size(),
+            original.positives().size());
+}
+
+class ModelIoEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, bool, double>> {};
+
+TEST_P(ModelIoEquivalence, LoadedModelMatchesOriginalEverywhere) {
+  const auto [num_clusters, early_exit, positive_weight] = GetParam();
+  FastKnnOptions options;
+  options.k = 9;
+  options.num_clusters = num_clusters;
+  options.early_exit_all_negative = early_exit;
+  options.positive_weight = positive_weight;
+  FastKnnClassifier original(options);
+  original.Fit(StructuredPairs(1500, 0.03, 91));
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream).ok());
+  auto loaded = FastKnnClassifier::Load(stream);
+  ASSERT_TRUE(loaded.ok());
+
+  const auto queries = StructuredPairs(120, 0.03, 92);
+  minispark::SparkContext ctx({.num_executors = 3});
+  const auto original_scores = original.ScoreAllSpark(&ctx, queries, 4);
+  const auto loaded_scores =
+      loaded.value().ScoreAllSpark(&ctx, queries, 4);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_DOUBLE_EQ(original_scores[i], loaded_scores[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelIoEquivalence,
+    ::testing::Combine(::testing::Values(4, 16, 48),
+                       ::testing::Values(true, false),
+                       ::testing::Values(1.0, 5.0)));
+
+TEST(ModelIoTest, UnfittedModelRefusesToSave) {
+  FastKnnClassifier classifier(FastKnnOptions{});
+  std::stringstream stream;
+  const auto status = classifier.Save(stream);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelIoTest, GarbageInputRejected) {
+  std::stringstream stream;
+  stream << "definitely not a model";
+  EXPECT_FALSE(FastKnnClassifier::Load(stream).ok());
+}
+
+TEST(ModelIoTest, TruncatedInputRejected) {
+  const FastKnnClassifier original = FittedClassifier();
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream).ok());
+  const std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(FastKnnClassifier::Load(truncated).ok());
+}
+
+class ModelFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("adrdedup_model_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(ModelFileTest, FileRoundTrip) {
+  const FastKnnClassifier original = FittedClassifier();
+  ASSERT_TRUE(SaveModelToFile(original, path_).ok());
+  auto loaded = LoadModelFromFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto queries = StructuredPairs(50, 0.03, 79);
+  for (const auto& query : queries) {
+    EXPECT_DOUBLE_EQ(original.Score(query.vector),
+                     loaded.value().Score(query.vector));
+  }
+}
+
+TEST_F(ModelFileTest, MissingFileFails) {
+  auto loaded = LoadModelFromFile("/nonexistent/model.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace adrdedup::core

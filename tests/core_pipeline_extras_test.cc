@@ -1,0 +1,157 @@
+// Secondary DedupPipeline behaviours: classifier stats exposure, the
+// neutral missing-value policy, bounded negative store with reservoir
+// replacement, and determinism of a full run.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/dedup_pipeline.h"
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::LabeledPair;
+using distance::PairKey;
+
+struct Fixture {
+  Fixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 700;
+    config.num_duplicate_pairs = 50;
+    config.num_drugs = 120;
+    config.num_adrs = 200;
+    corpus = datagen::GenerateCorpus(config);
+    features = distance::ExtractAllFeatures(corpus.db);
+  }
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+};
+
+Fixture& Shared() {
+  static Fixture& fixture = *new Fixture();
+  return fixture;
+}
+
+std::vector<LabeledPair> Seed(size_t boot, size_t total) {
+  auto& fixture = Shared();
+  std::set<uint64_t> dups;
+  std::vector<LabeledPair> seed;
+  for (auto [a, b] : fixture.corpus.duplicate_pairs) {
+    dups.insert(PairKey({std::min(a, b), std::max(a, b)}));
+    if (std::max(a, b) >= boot) continue;
+    LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    pair.label = +1;
+    pair.vector = ComputeDistanceVector(fixture.features[pair.pair.a],
+                                        fixture.features[pair.pair.b]);
+    seed.push_back(pair);
+  }
+  util::Rng rng(23);
+  while (seed.size() < total) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(boot));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(boot));
+    if (a == b) continue;
+    LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    if (dups.contains(PairKey(pair.pair))) continue;
+    pair.label = -1;
+    pair.vector = ComputeDistanceVector(fixture.features[pair.pair.a],
+                                        fixture.features[pair.pair.b]);
+    seed.push_back(pair);
+  }
+  return seed;
+}
+
+void SetupPipeline(DedupPipeline* pipeline, size_t boot) {
+  std::vector<report::AdrReport> initial;
+  for (size_t i = 0; i < boot; ++i) {
+    initial.push_back(
+        Shared().corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  pipeline->BootstrapDatabase(initial);
+  pipeline->SeedLabels(Seed(boot, 2000));
+}
+
+DedupPipelineOptions Options() {
+  DedupPipelineOptions options;
+  options.knn.k = 9;
+  options.knn.num_clusters = 8;
+  options.f_theta = 0.9;
+  return options;
+}
+
+std::vector<report::AdrReport> Batch(size_t from, size_t count) {
+  std::vector<report::AdrReport> batch;
+  for (size_t i = from; i < from + count; ++i) {
+    batch.push_back(
+        Shared().corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  return batch;
+}
+
+TEST(PipelineExtrasTest, ClassifierStatsExposedAfterProcessing) {
+  minispark::SparkContext ctx({.num_executors = 2});
+  DedupPipeline pipeline(&ctx, Options());
+  SetupPipeline(&pipeline, 660);
+  pipeline.ProcessNewReports(Batch(660, 20));
+  const auto stats = pipeline.LastClassifierStats();
+  EXPECT_GT(stats.queries, 0u);
+  EXPECT_GT(stats.intra_cluster_comparisons, 0u);
+}
+
+TEST(PipelineExtrasTest, NeutralMissingPolicyRunsEndToEnd) {
+  minispark::SparkContext ctx({.num_executors = 2});
+  DedupPipelineOptions options = Options();
+  options.pairwise.missing_policy = distance::MissingPolicy::kNeutral;
+  DedupPipeline pipeline(&ctx, options);
+  SetupPipeline(&pipeline, 660);
+  const auto result = pipeline.ProcessNewReports(Batch(660, 20));
+  EXPECT_GT(result.pairs_considered, 0u);
+}
+
+TEST(PipelineExtrasTest, NegativeStoreBounded) {
+  minispark::SparkContext ctx({.num_executors = 2});
+  DedupPipelineOptions options = Options();
+  options.max_negative_store = 2500;
+  DedupPipeline pipeline(&ctx, options);
+  SetupPipeline(&pipeline, 660);
+  pipeline.ProcessNewReports(Batch(660, 15));
+  pipeline.ProcessNewReports(Batch(675, 15));
+  EXPECT_LE(pipeline.num_negative_labels(), 2500u);
+}
+
+TEST(PipelineExtrasTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    minispark::SparkContext ctx({.num_executors = 4});
+    DedupPipeline pipeline(&ctx, Options());
+  SetupPipeline(&pipeline, 660);
+    const auto result = pipeline.ProcessNewReports(Batch(660, 25));
+    std::vector<uint64_t> keys;
+    for (const auto& pair : result.duplicates) {
+      keys.push_back(PairKey(pair));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PipelineExtrasTest, WeightedKnnOptionFlowsThrough) {
+  minispark::SparkContext ctx({.num_executors = 2});
+  DedupPipelineOptions plain = Options();
+  DedupPipelineOptions weighted = Options();
+  weighted.knn.positive_weight = 10.0;
+  DedupPipeline p1(&ctx, plain);
+  SetupPipeline(&p1, 660);
+  DedupPipeline p2(&ctx, weighted);
+  SetupPipeline(&p2, 660);
+  const auto r1 = p1.ProcessNewReports(Batch(660, 25));
+  const auto r2 = p2.ProcessNewReports(Batch(660, 25));
+  // Up-weighting positives can only widen the detected set.
+  EXPECT_GE(r2.duplicates.size(), r1.duplicates.size());
+}
+
+}  // namespace
+}  // namespace adrdedup::core

@@ -1,0 +1,264 @@
+#include "core/dedup_pipeline.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::LabeledPair;
+using distance::PairKey;
+
+struct PipelineFixture {
+  PipelineFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 1000;
+    config.num_duplicate_pairs = 70;
+    config.num_drugs = 150;
+    config.num_adrs = 250;
+    corpus = datagen::GenerateCorpus(config);
+    features = distance::ExtractAllFeatures(corpus.db);
+  }
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+};
+
+DedupPipelineOptions DefaultOptions() {
+  DedupPipelineOptions options;
+  options.knn.k = 9;
+  options.knn.num_clusters = 12;
+  options.theta = 0.0;
+  options.f_theta = 0.9;
+  return options;
+}
+
+// Builds the labelled seed from ground truth: all duplicate pairs among
+// the first `boot` reports plus sampled negatives.
+std::vector<LabeledPair> SeedFromTruth(const PipelineFixture& fixture,
+                                       size_t boot, size_t negatives) {
+  std::vector<LabeledPair> seed;
+  for (auto [a, b] : fixture.corpus.duplicate_pairs) {
+    if (a >= boot || b >= boot) continue;
+    LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    pair.label = +1;
+    pair.vector = ComputeDistanceVector(fixture.features[a],
+                                        fixture.features[b]);
+    seed.push_back(pair);
+  }
+  util::Rng rng(21);
+  std::set<uint64_t> dups;
+  for (auto [a, b] : fixture.corpus.duplicate_pairs) {
+    dups.insert(PairKey({std::min(a, b), std::max(a, b)}));
+  }
+  while (seed.size() < negatives) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(boot));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(boot));
+    if (a == b) continue;
+    distance::ReportPair pair{std::min(a, b), std::max(a, b)};
+    if (dups.contains(PairKey(pair))) continue;
+    LabeledPair labeled;
+    labeled.pair = pair;
+    labeled.label = -1;
+    labeled.vector = ComputeDistanceVector(fixture.features[pair.a],
+                                           fixture.features[pair.b]);
+    seed.push_back(labeled);
+  }
+  return seed;
+}
+
+PipelineFixture& Fixture() {
+  static PipelineFixture& fixture = *new PipelineFixture();
+  return fixture;
+}
+
+TEST(DedupPipelineTest, DetectsInjectedDuplicates) {
+  auto& fixture = Fixture();
+  // The generator appends duplicate copies after all originals (930
+  // originals + 70 copies here), so the bootstrap cut must land inside
+  // the copy range for the seed to contain positive labels.
+  const size_t boot = 960;
+
+  minispark::SparkContext ctx({.num_executors = 4});
+  DedupPipeline pipeline(&ctx, DefaultOptions());
+
+  std::vector<report::AdrReport> initial;
+  for (size_t i = 0; i < boot; ++i) {
+    initial.push_back(fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  pipeline.BootstrapDatabase(initial);
+  pipeline.SeedLabels(SeedFromTruth(fixture, boot, 5000));
+
+  // Feed the remaining 100 reports (the tail contains duplicate copies).
+  std::vector<report::AdrReport> batch;
+  for (size_t i = boot; i < fixture.corpus.db.size(); ++i) {
+    batch.push_back(fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  const auto result = pipeline.ProcessNewReports(batch);
+
+  // Ground truth duplicates whose copy is in the batch.
+  std::set<uint64_t> truth;
+  for (auto [a, b] : fixture.corpus.duplicate_pairs) {
+    if (b >= boot) truth.insert(PairKey({std::min(a, b), std::max(a, b)}));
+  }
+  ASSERT_FALSE(truth.empty());
+
+  size_t found = 0;
+  for (const auto& pair : result.duplicates) {
+    if (truth.contains(PairKey(pair))) ++found;
+  }
+  // Recall over the batch should be substantial.
+  EXPECT_GT(found * 10, truth.size() * 5)
+      << "found " << found << " of " << truth.size();
+  // Precision: detections shouldn't dwarf the truth (weak bound; the
+  // synthetic task has genuinely ambiguous sibling pairs).
+  EXPECT_LT(result.duplicates.size(), truth.size() * 30);
+  EXPECT_EQ(result.scores.size(), result.duplicates.size());
+}
+
+TEST(DedupPipelineTest, PruningReducesClassifiedPairs) {
+  auto& fixture = Fixture();
+  const size_t boot = 960;  // past the copy range: seed holds positives
+  minispark::SparkContext ctx({.num_executors = 4});
+
+  auto run = [&](double f_theta) {
+    DedupPipelineOptions options = DefaultOptions();
+    options.f_theta = f_theta;
+    DedupPipeline pipeline(&ctx, options);
+    std::vector<report::AdrReport> initial;
+    for (size_t i = 0; i < boot; ++i) {
+      initial.push_back(
+          fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+    }
+    pipeline.BootstrapDatabase(initial);
+    pipeline.SeedLabels(SeedFromTruth(fixture, boot, 2000));
+    std::vector<report::AdrReport> batch;
+    for (size_t i = boot; i < boot + 20; ++i) {
+      batch.push_back(
+          fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+    }
+    return pipeline.ProcessNewReports(batch);
+  };
+
+  const auto unpruned = run(-1.0);
+  const auto pruned = run(0.5);
+  EXPECT_EQ(unpruned.pairs_after_pruning, unpruned.pairs_considered);
+  EXPECT_LT(pruned.pairs_after_pruning, pruned.pairs_considered);
+  EXPECT_EQ(pruned.pairs_considered, unpruned.pairs_considered);
+}
+
+TEST(DedupPipelineTest, FeedbackGrowsLabelledStores) {
+  auto& fixture = Fixture();
+  minispark::SparkContext ctx({.num_executors = 4});
+  DedupPipeline pipeline(&ctx, DefaultOptions());
+  std::vector<report::AdrReport> initial;
+  for (size_t i = 0; i < 400; ++i) {
+    initial.push_back(
+        fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  pipeline.BootstrapDatabase(initial);
+  pipeline.SeedLabels(SeedFromTruth(fixture, 400, 1500));
+  const size_t negatives_before = pipeline.num_negative_labels();
+
+  std::vector<report::AdrReport> batch;
+  for (size_t i = 400; i < 410; ++i) {
+    batch.push_back(fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  pipeline.ProcessNewReports(batch);
+  EXPECT_GT(pipeline.num_negative_labels(), negatives_before);
+  EXPECT_EQ(pipeline.db().size(), 410u);
+}
+
+TEST(DedupPipelineTest, EmptyBatchIsNoop) {
+  auto& fixture = Fixture();
+  minispark::SparkContext ctx({.num_executors = 2});
+  DedupPipeline pipeline(&ctx, DefaultOptions());
+  std::vector<report::AdrReport> initial;
+  for (size_t i = 0; i < 300; ++i) {
+    initial.push_back(
+        fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  pipeline.BootstrapDatabase(initial);
+  pipeline.SeedLabels(SeedFromTruth(fixture, 300, 1000));
+  const auto result = pipeline.ProcessNewReports({});
+  EXPECT_TRUE(result.duplicates.empty());
+  EXPECT_EQ(result.pairs_considered, 0u);
+}
+
+TEST(DedupPipelineTest, BlockingShrinksCandidatesKeepsMostDetections) {
+  auto& fixture = Fixture();
+  const size_t boot = 960;
+  minispark::SparkContext ctx({.num_executors = 4});
+
+  auto run = [&](bool use_blocking) {
+    DedupPipelineOptions options = DefaultOptions();
+    options.use_blocking = use_blocking;
+    options.blocking.keys = {blocking::BlockingKey::kDrugToken,
+                             blocking::BlockingKey::kAdrToken};
+    DedupPipeline pipeline(&ctx, options);
+    std::vector<report::AdrReport> initial;
+    for (size_t i = 0; i < boot; ++i) {
+      initial.push_back(
+          fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+    }
+    pipeline.BootstrapDatabase(initial);
+    pipeline.SeedLabels(SeedFromTruth(fixture, boot, 3000));
+    std::vector<report::AdrReport> batch;
+    for (size_t i = boot; i < fixture.corpus.db.size(); ++i) {
+      batch.push_back(
+          fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+    }
+    return pipeline.ProcessNewReports(batch);
+  };
+
+  const auto full = run(false);
+  const auto blocked = run(true);
+  // Blocking considers far fewer pairs...
+  EXPECT_LT(blocked.pairs_considered, full.pairs_considered / 5);
+  // ...while keeping the bulk of the detections (duplicates share keys).
+  std::set<uint64_t> truth;
+  for (auto [a, b] : fixture.corpus.duplicate_pairs) {
+    if (b >= boot) truth.insert(PairKey({std::min(a, b), std::max(a, b)}));
+  }
+  auto hits = [&](const DedupPipeline::DetectionResult& result) {
+    size_t found = 0;
+    for (const auto& pair : result.duplicates) {
+      if (truth.contains(PairKey(pair))) ++found;
+    }
+    return found;
+  };
+  EXPECT_GE(hits(blocked) * 10, hits(full) * 8);
+}
+
+TEST(DedupPipelineTest, IncrementalBatchesAccumulate) {
+  auto& fixture = Fixture();
+  minispark::SparkContext ctx({.num_executors = 4});
+  DedupPipeline pipeline(&ctx, DefaultOptions());
+  std::vector<report::AdrReport> initial;
+  for (size_t i = 0; i < 400; ++i) {
+    initial.push_back(
+        fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  pipeline.BootstrapDatabase(initial);
+  pipeline.SeedLabels(SeedFromTruth(fixture, 400, 1500));
+
+  for (size_t batch_start = 400; batch_start < 430; batch_start += 10) {
+    std::vector<report::AdrReport> batch;
+    for (size_t i = batch_start; i < batch_start + 10; ++i) {
+      batch.push_back(
+          fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+    }
+    const auto result = pipeline.ProcessNewReports(batch);
+    // Pair universe grows with the database: n_existing * 10 + C(10,2).
+    EXPECT_EQ(result.pairs_considered,
+              batch_start * 10 + 45);
+  }
+  EXPECT_EQ(pipeline.db().size(), 430u);
+}
+
+}  // namespace
+}  // namespace adrdedup::core

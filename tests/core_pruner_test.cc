@@ -1,0 +1,181 @@
+#include "core/test_set_pruner.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "util/random.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::DistanceVector;
+using distance::EuclideanDistance;
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+std::vector<LabeledPair> PositiveBlob(size_t n, double center,
+                                      double spread, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (auto& pair : pairs) {
+    pair.label = +1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = center + rng.UniformDouble(-spread, spread);
+    }
+  }
+  return pairs;
+}
+
+TEST(TestSetPrunerTest, KeepsPointsInsideHalo) {
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 2});
+  pruner.Fit(PositiveBlob(100, 0.2, 0.05, 1));
+  DistanceVector inside;
+  for (size_t d = 0; d < kDistanceDims; ++d) inside[d] = 0.2;
+  EXPECT_TRUE(pruner.ShouldKeep(inside, 0.1));
+}
+
+TEST(TestSetPrunerTest, DropsFarPoints) {
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 2});
+  pruner.Fit(PositiveBlob(100, 0.1, 0.05, 2));
+  DistanceVector far;
+  for (size_t d = 0; d < kDistanceDims; ++d) far[d] = 0.95;
+  EXPECT_FALSE(pruner.ShouldKeep(far, 0.3));
+  // A giant halo keeps everything.
+  EXPECT_TRUE(pruner.ShouldKeep(far, 10.0));
+}
+
+TEST(TestSetPrunerTest, EveryTrainingPositiveSurvives) {
+  const auto positives = PositiveBlob(200, 0.3, 0.15, 3);
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 5});
+  pruner.Fit(positives);
+  // f(theta) = 0: the cluster radii alone must cover all members.
+  for (const auto& pair : positives) {
+    EXPECT_TRUE(pruner.ShouldKeep(pair.vector, 0.0));
+  }
+}
+
+TEST(TestSetPrunerTest, KeptSetGrowsWithThreshold) {
+  const auto positives = PositiveBlob(150, 0.25, 0.1, 4);
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 4});
+  pruner.Fit(positives);
+
+  util::Rng rng(5);
+  std::vector<LabeledPair> test(3000);
+  for (auto& pair : test) {
+    pair.label = -1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = rng.UniformDouble();
+    }
+  }
+
+  size_t previous = 0;
+  for (double f_theta : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto result = pruner.Prune(test, f_theta);
+    EXPECT_GE(result.kept.size(), previous) << "f_theta=" << f_theta;
+    previous = result.kept.size();
+    EXPECT_DOUBLE_EQ(result.KeptRatio(),
+                     static_cast<double>(result.kept.size()) / 3000.0);
+  }
+}
+
+TEST(TestSetPrunerTest, PruneReturnsSortedValidIndices) {
+  const auto positives = PositiveBlob(50, 0.2, 0.1, 6);
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 3});
+  pruner.Fit(positives);
+  util::Rng rng(7);
+  std::vector<LabeledPair> test(500);
+  for (auto& pair : test) {
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = rng.UniformDouble();
+    }
+  }
+  const auto result = pruner.Prune(test, 0.4);
+  EXPECT_EQ(result.input_size, 500u);
+  for (size_t i = 1; i < result.kept.size(); ++i) {
+    EXPECT_LT(result.kept[i - 1], result.kept[i]);
+  }
+  for (size_t index : result.kept) EXPECT_LT(index, 500u);
+}
+
+TEST(TestSetPrunerTest, RadiiCoverFarthestMember) {
+  const auto positives = PositiveBlob(100, 0.4, 0.2, 8);
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 3});
+  pruner.Fit(positives);
+  ASSERT_EQ(pruner.centers().size(), pruner.radii().size());
+  // Every positive is within some cluster's radius of that center.
+  for (const auto& pair : positives) {
+    bool covered = false;
+    for (size_t c = 0; c < pruner.centers().size(); ++c) {
+      if (EuclideanDistance(pair.vector, pruner.centers()[c]) <=
+          pruner.radii()[c] + 1e-12) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(TestSetPrunerTest, NoTrueDuplicatePrunedOnGeneratedData) {
+  // The paper observes that all duplicate pairs survive pruning for all
+  // tested thresholds; verify on a synthetic corpus.
+  datagen::GeneratorConfig config;
+  config.num_reports = 1500;
+  config.num_duplicate_pairs = 100;
+  config.num_drugs = 200;
+  config.num_adrs = 300;
+  auto corpus = datagen::GenerateCorpus(config);
+  auto features = distance::ExtractAllFeatures(corpus.db);
+  distance::DatasetSpec spec;
+  spec.num_training_pairs = 20000;
+  spec.num_testing_pairs = 5000;
+  auto datasets = distance::BuildDatasets(corpus, features, spec);
+
+  std::vector<LabeledPair> train_positives;
+  for (const auto& pair : datasets.train.pairs) {
+    if (pair.is_positive()) train_positives.push_back(pair);
+  }
+  TestSetPruner pruner(TestSetPrunerOptions{.num_clusters = 8});
+  pruner.Fit(train_positives);
+
+  // At moderate-to-large halos every duplicate survives; at the tightest
+  // setting the paper tested, allow a rare outlier duplicate (the
+  // synthetic corruption model has heavier tails than TGA's data).
+  for (double f_theta : {0.5, 0.7, 0.9}) {
+    for (const auto& pair : datasets.test.pairs) {
+      if (!pair.is_positive()) continue;
+      EXPECT_TRUE(pruner.ShouldKeep(pair.vector, f_theta))
+          << "true duplicate pruned at f_theta=" << f_theta;
+    }
+  }
+  size_t kept = 0;
+  size_t positives = 0;
+  for (const auto& pair : datasets.test.pairs) {
+    if (!pair.is_positive()) continue;
+    ++positives;
+    if (pruner.ShouldKeep(pair.vector, 0.3)) ++kept;
+  }
+  EXPECT_GE(kept * 100, positives * 90) << kept << "/" << positives;
+}
+
+TEST(TestSetPrunerTest, FitRejectsNegatives) {
+  std::vector<LabeledPair> mixed = PositiveBlob(10, 0.2, 0.05, 9);
+  mixed[3].label = -1;
+  TestSetPruner pruner(TestSetPrunerOptions{});
+  EXPECT_DEATH(pruner.Fit(mixed), "positive pairs only");
+}
+
+TEST(TestSetPrunerTest, FitEmptyDies) {
+  TestSetPruner pruner(TestSetPrunerOptions{});
+  EXPECT_DEATH(pruner.Fit({}), "at least one positive");
+}
+
+TEST(TestSetPrunerTest, PruneBeforeFitDies) {
+  TestSetPruner pruner(TestSetPrunerOptions{});
+  DistanceVector v;
+  EXPECT_DEATH((void)pruner.ShouldKeep(v, 0.5), "before Fit");
+}
+
+}  // namespace
+}  // namespace adrdedup::core

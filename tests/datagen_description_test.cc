@@ -1,0 +1,100 @@
+#include "datagen/description_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "text/text_pipeline.h"
+#include "util/random.h"
+
+namespace adrdedup::datagen {
+namespace {
+
+CaseFacts SampleFacts() {
+  CaseFacts facts;
+  facts.age = 54;
+  facts.sex = "M";
+  facts.drugs = {"Atorvastatin"};
+  facts.reactions = {"Rhabdomyolysis", "Myalgia"};
+  facts.onset_date = "30/04/2013";
+  facts.outcome = "Recovered";
+  facts.reporter_type = "Hospital";
+  facts.reference_number = "AU-100042";
+  return facts;
+}
+
+TEST(DescriptionGenTest, EveryTemplateMentionsTheCoreFacts) {
+  util::Rng rng(1);
+  const CaseFacts facts = SampleFacts();
+  for (size_t t = 0; t < NumDescriptionTemplates(); ++t) {
+    const std::string text = RenderDescription(facts, t, &rng);
+    EXPECT_NE(text.find("Atorvastatin"), std::string::npos) << t;
+    EXPECT_NE(text.find("Rhabdomyolysis"), std::string::npos) << t;
+    EXPECT_NE(text.find("Recovered"), std::string::npos) << t;
+    if (t != 2) {
+      // The consumer-timeline template narrates without the age.
+      EXPECT_NE(text.find("54"), std::string::npos) << t;
+    }
+  }
+}
+
+TEST(DescriptionGenTest, TemplatesProduceDistinctPhrasings) {
+  util::Rng rng(2);
+  const CaseFacts facts = SampleFacts();
+  std::set<std::string> renderings;
+  for (size_t t = 0; t < NumDescriptionTemplates(); ++t) {
+    renderings.insert(RenderDescription(facts, t, &rng));
+  }
+  EXPECT_EQ(renderings.size(), NumDescriptionTemplates());
+}
+
+TEST(DescriptionGenTest, SameTemplateSharesMoreTokensThanDifferent) {
+  // The channel-overlap duplicate model depends on this: re-rendering
+  // through the same template is much closer (token-wise) than switching
+  // templates.
+  const CaseFacts facts = SampleFacts();
+  util::Rng rng_a(3);
+  util::Rng rng_b(4);
+  util::Rng rng_c(5);
+  const std::string same_1 = RenderDescription(facts, 0, &rng_a);
+  const std::string same_2 = RenderDescription(facts, 0, &rng_b);
+  const std::string other = RenderDescription(facts, 2, &rng_c);
+  const double d_same = text::FreeTextJaccardDistance(same_1, same_2);
+  const double d_other = text::FreeTextJaccardDistance(same_1, other);
+  EXPECT_LT(d_same, d_other);
+  EXPECT_LT(d_same, 0.45);
+}
+
+TEST(DescriptionGenTest, TemplateIndexWrapsModulo) {
+  const CaseFacts facts = SampleFacts();
+  util::Rng rng_a(6);
+  util::Rng rng_b(6);
+  EXPECT_EQ(RenderDescription(facts, 1, &rng_a),
+            RenderDescription(facts, 1 + NumDescriptionTemplates(),
+                              &rng_b));
+}
+
+TEST(DescriptionGenTest, NarrativeLengthInPaperBand) {
+  util::Rng rng(7);
+  CaseFacts facts = SampleFacts();
+  facts.reactions = {"Vomiting", "Pyrexia", "Cough", "Headache"};
+  facts.drugs = {"Influenza Vaccine", "Dtpa Vaccine"};
+  for (size_t t = 0; t < NumDescriptionTemplates(); ++t) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::string text = RenderDescription(facts, t, &rng);
+      EXPECT_GT(text.size(), 120u);
+      EXPECT_LT(text.size(), 600u);
+    }
+  }
+}
+
+TEST(DescriptionGenTest, MultipleDrugsJoinedNaturally) {
+  util::Rng rng(8);
+  CaseFacts facts = SampleFacts();
+  facts.drugs = {"DrugA", "DrugB", "DrugC"};
+  const std::string text = RenderDescription(facts, 1, &rng);
+  EXPECT_NE(text.find("DrugA, DrugB and DrugC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adrdedup::datagen

@@ -1,0 +1,189 @@
+#include "datagen/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "report/field.h"
+
+namespace adrdedup::datagen {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_reports = 800;
+  config.num_duplicate_pairs = 60;
+  config.num_drugs = 120;
+  config.num_adrs = 200;
+  return config;
+}
+
+TEST(GeneratorTest, Table3StatisticsReproduced) {
+  // The default configuration reproduces the paper's Table 3 exactly.
+  GeneratorConfig config;
+  auto corpus = GenerateCorpus(config);
+  auto summary = Summarize(corpus, config);
+  EXPECT_EQ(summary.num_cases, 10382u);
+  EXPECT_EQ(summary.num_fields, 37u);
+  EXPECT_EQ(summary.num_unique_drugs, 1366u);
+  EXPECT_EQ(summary.num_unique_adrs, 2351u);
+  EXPECT_EQ(summary.known_duplicate_pairs, 286u);
+  EXPECT_EQ(summary.report_period, "1 Jul. 2013 - 31 Dec. 2013");
+}
+
+TEST(GeneratorTest, SmallCorpusShape) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  EXPECT_EQ(corpus.db.size(), 800u);
+  EXPECT_EQ(corpus.duplicate_pairs.size(), 60u);
+}
+
+TEST(GeneratorTest, DuplicatePairIdsValidAndOrdered) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  for (const auto& [a, b] : corpus.duplicate_pairs) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, corpus.db.size());
+  }
+}
+
+TEST(GeneratorTest, DuplicatePairsAreDistinct) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  std::set<std::pair<report::ReportId, report::ReportId>> seen(
+      corpus.duplicate_pairs.begin(), corpus.duplicate_pairs.end());
+  EXPECT_EQ(seen.size(), corpus.duplicate_pairs.size());
+}
+
+TEST(GeneratorTest, EachOriginalDuplicatedAtMostOnce) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  std::set<report::ReportId> originals;
+  for (const auto& [a, b] : corpus.duplicate_pairs) {
+    EXPECT_TRUE(originals.insert(a).second);
+  }
+}
+
+TEST(GeneratorTest, SiblingPairsDisjointFromDuplicates) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  EXPECT_FALSE(corpus.sibling_pairs.empty());
+  std::set<std::pair<report::ReportId, report::ReportId>> dups(
+      corpus.duplicate_pairs.begin(), corpus.duplicate_pairs.end());
+  for (auto [a, b] : corpus.sibling_pairs) {
+    if (a > b) std::swap(a, b);
+    EXPECT_LT(b, corpus.db.size());
+    EXPECT_FALSE(dups.contains({a, b}));
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  auto c1 = GenerateCorpus(SmallConfig());
+  auto c2 = GenerateCorpus(SmallConfig());
+  ASSERT_EQ(c1.db.size(), c2.db.size());
+  for (size_t i = 0; i < c1.db.size(); ++i) {
+    ASSERT_EQ(c1.db.Get(static_cast<report::ReportId>(i)),
+              c2.db.Get(static_cast<report::ReportId>(i)));
+  }
+  EXPECT_EQ(c1.duplicate_pairs, c2.duplicate_pairs);
+  EXPECT_EQ(c1.sibling_pairs, c2.sibling_pairs);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config = SmallConfig();
+  auto c1 = GenerateCorpus(config);
+  config.seed = 12345;
+  auto c2 = GenerateCorpus(config);
+  bool any_difference = false;
+  for (size_t i = 0; i < c1.db.size() && !any_difference; ++i) {
+    any_difference = !(c1.db.Get(static_cast<report::ReportId>(i)) ==
+                       c2.db.Get(static_cast<report::ReportId>(i)));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, DuplicatesShareCoreIdentity) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  size_t same_sex = 0;
+  for (const auto& [a, b] : corpus.duplicate_pairs) {
+    const auto& ra = corpus.db.Get(a);
+    const auto& rb = corpus.db.Get(b);
+    // Distinct case numbers (they entered as separate records).
+    EXPECT_NE(ra.case_number(), rb.case_number());
+    if (ra.sex() == rb.sex()) ++same_sex;
+  }
+  // Sex flips are rare data-entry errors.
+  EXPECT_GT(same_sex * 10, corpus.duplicate_pairs.size() * 7);
+}
+
+TEST(GeneratorTest, DescriptionsAreNarrativeLength) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  size_t in_range = 0;
+  for (size_t i = 0; i < corpus.db.size(); ++i) {
+    const auto& desc =
+        corpus.db.Get(static_cast<report::ReportId>(i)).description();
+    EXPECT_GT(desc.size(), 80u);
+    if (desc.size() >= 150 && desc.size() <= 400) ++in_range;
+  }
+  // The paper says the majority are 250-300 chars; our templates land in
+  // a comparable band.
+  EXPECT_GT(in_range * 10, corpus.db.size() * 8);
+}
+
+TEST(GeneratorTest, ReportDatesInsideWindow) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  for (size_t i = 0; i < corpus.db.size(); ++i) {
+    const auto& date =
+        corpus.db.Get(static_cast<report::ReportId>(i))
+            .Get(report::FieldId::kReportDate);
+    ASSERT_EQ(date.size(), 10u) << date;
+    const int year = std::stoi(date.substr(6, 4));
+    EXPECT_GE(year, 2013);
+    EXPECT_LE(year, 2014);  // late duplicates may spill a few weeks
+  }
+}
+
+TEST(GeneratorTest, AllFieldsPopulatedModuloMissingness) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  // Spot-check a handful of always-populated fields.
+  for (size_t i = 0; i < corpus.db.size(); i += 97) {
+    const auto& report = corpus.db.Get(static_cast<report::ReportId>(i));
+    EXPECT_FALSE(report.case_number().empty());
+    EXPECT_FALSE(report.sex().empty());
+    EXPECT_FALSE(report.drug_name().empty());
+    EXPECT_FALSE(report.adr_name().empty());
+    EXPECT_FALSE(report.description().empty());
+    EXPECT_FALSE(report.Get(report::FieldId::kReporterType).empty());
+  }
+}
+
+TEST(ProfileCorpusTest, MissingRatesTrackConfig) {
+  GeneratorConfig config = SmallConfig();
+  auto corpus = GenerateCorpus(config);
+  const auto profile = ProfileCorpus(corpus);
+  // DedupFields order: age, sex, state, onset, drug, adr, description.
+  EXPECT_NEAR(profile.missing_rate[0], config.p_missing_age, 0.05);
+  EXPECT_DOUBLE_EQ(profile.missing_rate[1], 0.0);  // sex always present
+  // State and onset pick up extra missingness from duplicate corruption
+  // and sloppy siblings, so only lower bounds are stable.
+  EXPECT_GE(profile.missing_rate[2], config.p_missing_state * 0.7);
+  EXPECT_GE(profile.missing_rate[3], config.p_missing_onset * 0.7);
+  EXPECT_DOUBLE_EQ(profile.missing_rate[4], 0.0);  // drug always present
+  EXPECT_DOUBLE_EQ(profile.missing_rate[6], 0.0);  // description present
+}
+
+TEST(ProfileCorpusTest, DescriptionLengthBand) {
+  auto corpus = GenerateCorpus(SmallConfig());
+  const auto profile = ProfileCorpus(corpus);
+  EXPECT_GT(profile.mean_description_length, 150.0);
+  EXPECT_LT(profile.mean_description_length, 450.0);
+  EXPECT_GT(profile.description_in_band_fraction, 0.8);
+  EXPECT_LE(profile.min_description_length,
+            profile.max_description_length);
+}
+
+TEST(GeneratorTest, RejectsImpossibleConfig) {
+  GeneratorConfig config = SmallConfig();
+  config.num_reports = 100;
+  config.num_duplicate_pairs = 60;
+  EXPECT_DEATH({ auto c = GenerateCorpus(config); (void)c; },
+               "corpus too small");
+}
+
+}  // namespace
+}  // namespace adrdedup::datagen

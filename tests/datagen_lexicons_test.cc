@@ -1,0 +1,77 @@
+#include "datagen/lexicons.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::datagen {
+namespace {
+
+class LexiconSizeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LexiconSizeProperty, DrugLexiconExactSizeAndUnique) {
+  const size_t count = GetParam();
+  const auto drugs = MakeDrugLexicon(count);
+  EXPECT_EQ(drugs.size(), count);
+  const std::set<std::string> unique(drugs.begin(), drugs.end());
+  EXPECT_EQ(unique.size(), count);
+}
+
+TEST_P(LexiconSizeProperty, AdrLexiconExactSizeAndUnique) {
+  const size_t count = GetParam();
+  const auto adrs = MakeAdrLexicon(count);
+  EXPECT_EQ(adrs.size(), count);
+  const std::set<std::string> unique(adrs.begin(), adrs.end());
+  EXPECT_EQ(unique.size(), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LexiconSizeProperty,
+                         ::testing::Values(1, 10, 120, 1366, 2351, 5000));
+
+TEST(LexiconTest, Deterministic) {
+  EXPECT_EQ(MakeDrugLexicon(500), MakeDrugLexicon(500));
+  EXPECT_EQ(MakeAdrLexicon(500), MakeAdrLexicon(500));
+}
+
+TEST(LexiconTest, LargerLexiconExtendsSmaller) {
+  const auto small = MakeDrugLexicon(100);
+  const auto large = MakeDrugLexicon(200);
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], large[i]);
+  }
+}
+
+TEST(LexiconTest, SeedsAppearFirst) {
+  const auto drugs = MakeDrugLexicon(10);
+  EXPECT_EQ(drugs[0], "Atorvastatin");  // Table 1 example drug
+  const auto adrs = MakeAdrLexicon(10);
+  EXPECT_EQ(adrs[0], "Rhabdomyolysis");  // Table 1 example reaction
+}
+
+TEST(LexiconTest, NoEmptyEntries) {
+  for (const auto& drug : MakeDrugLexicon(2000)) {
+    EXPECT_FALSE(drug.empty());
+  }
+  for (const auto& adr : MakeAdrLexicon(3000)) {
+    EXPECT_FALSE(adr.empty());
+  }
+}
+
+TEST(ClosedVocabularyTest, ExpectedSizes) {
+  EXPECT_EQ(AustralianStates().size(), 8u);
+  EXPECT_EQ(SexCategories().size(), 2u);
+  EXPECT_GE(OutcomeDescriptions().size(), 4u);
+  EXPECT_GE(SeverityDescriptions().size(), 3u);
+  EXPECT_GE(ReporterTypes().size(), 4u);
+  EXPECT_GE(RoutesOfAdministration().size(), 4u);
+  EXPECT_GE(DosageForms().size(), 4u);
+}
+
+TEST(ClosedVocabularyTest, StableReferences) {
+  // Repeated calls must return the same object (function-local static).
+  EXPECT_EQ(&AustralianStates(), &AustralianStates());
+  EXPECT_EQ(&OutcomeDescriptions(), &OutcomeDescriptions());
+}
+
+}  // namespace
+}  // namespace adrdedup::datagen

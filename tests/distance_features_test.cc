@@ -1,0 +1,133 @@
+#include "distance/report_features.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "report/field.h"
+
+namespace adrdedup::distance {
+namespace {
+
+using report::AdrReport;
+using report::FieldId;
+
+AdrReport SampleReport() {
+  AdrReport report;
+  report.Set(FieldId::kCalculatedAge, "46");
+  report.Set(FieldId::kSex, "M");
+  report.Set(FieldId::kResidentialState, "NSW");
+  report.Set(FieldId::kOnsetDate, "30/04/2013 00:00:00");
+  report.Set(FieldId::kGenericNameDescription,
+             "Influenza Vaccine,Dtpa Vaccine");
+  report.Set(FieldId::kMeddraPtCode, "Vomiting,Pyrexia,Cough,Headache");
+  report.Set(FieldId::kReportDescription,
+             "The subject experienced vomiting and headaches.");
+  return report;
+}
+
+TEST(ExtractFeaturesTest, BasicExtraction) {
+  const auto features = ExtractFeatures(SampleReport());
+  EXPECT_EQ(features.age, 46);
+  EXPECT_EQ(features.sex, "M");
+  EXPECT_EQ(features.state, "NSW");
+  EXPECT_EQ(features.onset_date, "30/04/2013 00:00:00");
+  EXPECT_EQ(features.drug_tokens,
+            (std::vector<std::string>{"dtpa vaccine", "influenza vaccine"}));
+  EXPECT_EQ(features.adr_tokens,
+            (std::vector<std::string>{"cough", "headache", "pyrexia",
+                                      "vomiting"}));
+}
+
+TEST(ExtractFeaturesTest, DescriptionGoesThroughNlpPipeline) {
+  const auto features = ExtractFeatures(SampleReport());
+  // Stop words removed, stems applied, sorted unique.
+  EXPECT_EQ(features.description_tokens,
+            (std::vector<std::string>{"experienc", "headach", "subject",
+                                      "vomit"}));
+}
+
+TEST(ExtractFeaturesTest, MissingValuesBecomeEmpty) {
+  AdrReport report;
+  report.Set(FieldId::kResidentialState, std::string(report::kNotKnown));
+  const auto features = ExtractFeatures(report);
+  EXPECT_EQ(features.age, std::nullopt);
+  EXPECT_TRUE(features.sex.empty());
+  EXPECT_TRUE(features.state.empty());
+  EXPECT_TRUE(features.drug_tokens.empty());
+}
+
+TEST(ExtractFeaturesTest, ListFieldsTrimmedAndDeduplicated) {
+  AdrReport report;
+  report.Set(FieldId::kMeddraPtCode, "Rash , rash,RASH, Nausea");
+  const auto features = ExtractFeatures(report);
+  EXPECT_EQ(features.adr_tokens,
+            (std::vector<std::string>{"nausea", "rash"}));
+}
+
+TEST(ExtractAllFeaturesTest, SequentialMatchesParallel) {
+  datagen::GeneratorConfig config;
+  config.num_reports = 300;
+  config.num_duplicate_pairs = 20;
+  config.num_drugs = 60;
+  config.num_adrs = 90;
+  auto corpus = datagen::GenerateCorpus(config);
+  const auto sequential = ExtractAllFeatures(corpus.db);
+  util::ThreadPool pool(8);
+  const auto parallel = ExtractAllFeatures(corpus.db, {}, &pool);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].age, parallel[i].age);
+    EXPECT_EQ(sequential[i].drug_tokens, parallel[i].drug_tokens);
+    EXPECT_EQ(sequential[i].description_tokens,
+              parallel[i].description_tokens);
+  }
+}
+
+TEST(ExtractFeaturesTest, ShingleModeTokenizesStringFields) {
+  AdrReport report;
+  report.Set(FieldId::kGenericNameDescription, "Aspirin");
+  report.Set(FieldId::kMeddraPtCode, "Rash");
+  FeatureOptions options;
+  options.string_field_shingles = 3;
+  const auto features = ExtractFeatures(report, options);
+  EXPECT_EQ(features.drug_tokens,
+            (std::vector<std::string>{"asp", "iri", "pir", "rin", "spi"}));
+  EXPECT_EQ(features.adr_tokens,
+            (std::vector<std::string>{"ash", "ras"}));
+}
+
+TEST(ExtractFeaturesTest, ShinglesToleratesSingleTypos) {
+  AdrReport clean;
+  clean.Set(FieldId::kGenericNameDescription, "Atorvastatin");
+  AdrReport typo;
+  typo.Set(FieldId::kGenericNameDescription, "Atorvastetin");
+  FeatureOptions whole;
+  FeatureOptions shingled;
+  shingled.string_field_shingles = 3;
+  // Whole-entry comparison: all-or-nothing mismatch (distance 1).
+  EXPECT_DOUBLE_EQ(
+      SortedJaccardDistance(ExtractFeatures(clean, whole).drug_tokens,
+                            ExtractFeatures(typo, whole).drug_tokens),
+      1.0);
+  // Shingles: most trigrams still match.
+  EXPECT_LT(
+      SortedJaccardDistance(ExtractFeatures(clean, shingled).drug_tokens,
+                            ExtractFeatures(typo, shingled).drug_tokens),
+      0.5);
+}
+
+TEST(SortedJaccardTest, MatchesUnsortedReference) {
+  const std::vector<std::string> a = {"apple", "banana", "cherry"};
+  const std::vector<std::string> b = {"banana", "cherry", "date"};
+  EXPECT_DOUBLE_EQ(SortedJaccardDistance(a, b), 1.0 - 2.0 / 4.0);
+}
+
+TEST(SortedJaccardTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(SortedJaccardDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SortedJaccardDistance({"x"}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SortedJaccardDistance({"x"}, {"x"}), 0.0);
+  EXPECT_DOUBLE_EQ(SortedJaccardDistance({"x"}, {"y"}), 1.0);
+}
+
+}  // namespace
+}  // namespace adrdedup::distance

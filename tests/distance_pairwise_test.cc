@@ -1,0 +1,199 @@
+#include "distance/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "report/field.h"
+#include "text/similarity.h"
+#include "util/random.h"
+
+namespace adrdedup::distance {
+namespace {
+
+using report::AdrReport;
+using report::FieldId;
+
+ReportFeatures MakeFeatures(std::optional<int> age,
+                            const std::string& sex,
+                            const std::string& state,
+                            const std::string& onset) {
+  ReportFeatures f;
+  f.age = age;
+  f.sex = sex;
+  f.state = state;
+  f.onset_date = onset;
+  return f;
+}
+
+TEST(AgeDistanceTest, LiteralPolicy) {
+  PairwiseOptions options;
+  EXPECT_EQ(AgeDistance(MakeFeatures(46, "", "", ""),
+                        MakeFeatures(46, "", "", ""), options),
+            0.0);
+  EXPECT_EQ(AgeDistance(MakeFeatures(84, "", "", ""),
+                        MakeFeatures(34, "", "", ""), options),
+            1.0);
+  // Missing vs missing compares equal; missing vs value differs.
+  EXPECT_EQ(AgeDistance(MakeFeatures(std::nullopt, "", "", ""),
+                        MakeFeatures(std::nullopt, "", "", ""), options),
+            0.0);
+  EXPECT_EQ(AgeDistance(MakeFeatures(std::nullopt, "", "", ""),
+                        MakeFeatures(46, "", "", ""), options),
+            1.0);
+}
+
+TEST(AgeDistanceTest, NeutralPolicy) {
+  PairwiseOptions options;
+  options.missing_policy = MissingPolicy::kNeutral;
+  EXPECT_EQ(AgeDistance(MakeFeatures(std::nullopt, "", "", ""),
+                        MakeFeatures(46, "", "", ""), options),
+            0.5);
+  EXPECT_EQ(AgeDistance(MakeFeatures(std::nullopt, "", "", ""),
+                        MakeFeatures(std::nullopt, "", "", ""), options),
+            0.5);
+  EXPECT_EQ(AgeDistance(MakeFeatures(46, "", "", ""),
+                        MakeFeatures(46, "", "", ""), options),
+            0.0);
+}
+
+TEST(CategoricalDistanceTest, Policies) {
+  PairwiseOptions literal;
+  EXPECT_EQ(CategoricalDistance("M", "M", literal), 0.0);
+  EXPECT_EQ(CategoricalDistance("M", "F", literal), 1.0);
+  EXPECT_EQ(CategoricalDistance("", "", literal), 0.0);
+  EXPECT_EQ(CategoricalDistance("", "M", literal), 1.0);
+  PairwiseOptions neutral;
+  neutral.missing_policy = MissingPolicy::kNeutral;
+  EXPECT_EQ(CategoricalDistance("", "M", neutral), 0.5);
+}
+
+TEST(ComputeDistanceVectorTest, IdenticalReportsAreZero) {
+  AdrReport report;
+  report.Set(FieldId::kCalculatedAge, "46");
+  report.Set(FieldId::kSex, "M");
+  report.Set(FieldId::kResidentialState, "NSW");
+  report.Set(FieldId::kOnsetDate, "01/08/2013");
+  report.Set(FieldId::kGenericNameDescription, "Atorvastatin");
+  report.Set(FieldId::kMeddraPtCode, "Rhabdomyolysis");
+  report.Set(FieldId::kReportDescription, "patient experienced myalgia");
+  const auto f = ExtractFeatures(report);
+  const auto v = ComputeDistanceVector(f, f);
+  for (size_t i = 0; i < kDistanceDims; ++i) {
+    EXPECT_EQ(v[i], 0.0) << "component " << i;
+  }
+}
+
+TEST(ComputeDistanceVectorTest, ComponentsInUnitInterval) {
+  datagen::GeneratorConfig config;
+  config.num_reports = 200;
+  config.num_duplicate_pairs = 15;
+  config.num_drugs = 40;
+  config.num_adrs = 60;
+  auto corpus = datagen::GenerateCorpus(config);
+  const auto features = ExtractAllFeatures(corpus.db);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = rng.Uniform(features.size());
+    const auto b = rng.Uniform(features.size());
+    const auto v = ComputeDistanceVector(features[a], features[b]);
+    for (size_t i = 0; i < kDistanceDims; ++i) {
+      ASSERT_GE(v[i], 0.0);
+      ASSERT_LE(v[i], 1.0);
+    }
+    // Symmetry.
+    EXPECT_EQ(v, ComputeDistanceVector(features[b], features[a]));
+  }
+}
+
+TEST(ComputeDistanceVectorTest, JaccardComponentsMatchReferenceMetric) {
+  AdrReport a;
+  a.Set(FieldId::kGenericNameDescription, "DrugA,DrugB");
+  AdrReport b;
+  b.Set(FieldId::kGenericNameDescription, "DrugB,DrugC");
+  const auto v =
+      ComputeDistanceVector(ExtractFeatures(a), ExtractFeatures(b));
+  EXPECT_DOUBLE_EQ(v.at(Component::kDrugName),
+                   text::JaccardDistance({"druga", "drugb"},
+                                         {"drugb", "drugc"}));
+}
+
+TEST(ComputeDistanceVectorTest, FieldWeightsScaleComponents) {
+  AdrReport a;
+  a.Set(FieldId::kCalculatedAge, "46");
+  a.Set(FieldId::kSex, "M");
+  AdrReport b;
+  b.Set(FieldId::kCalculatedAge, "84");
+  b.Set(FieldId::kSex, "F");
+  PairwiseOptions weighted;
+  weighted.field_weights = {0.5, 2.0, 1, 1, 1, 1, 1};
+  const auto v =
+      ComputeDistanceVector(ExtractFeatures(a), ExtractFeatures(b),
+                            weighted);
+  EXPECT_DOUBLE_EQ(v.at(Component::kAge), 0.5);   // 1 * 0.5
+  EXPECT_DOUBLE_EQ(v.at(Component::kSex), 2.0);   // 1 * 2.0
+}
+
+TEST(ComputeDistanceVectorTest, ZeroWeightMutesAField) {
+  AdrReport a;
+  a.Set(FieldId::kCalculatedAge, "10");
+  AdrReport b;
+  b.Set(FieldId::kCalculatedAge, "90");
+  PairwiseOptions muted;
+  muted.field_weights[static_cast<size_t>(Component::kAge)] = 0.0;
+  const auto v =
+      ComputeDistanceVector(ExtractFeatures(a), ExtractFeatures(b), muted);
+  EXPECT_DOUBLE_EQ(v.at(Component::kAge), 0.0);
+}
+
+TEST(ComputePairDistancesTest, SequentialMatchesSparkJob) {
+  datagen::GeneratorConfig config;
+  config.num_reports = 150;
+  config.num_duplicate_pairs = 10;
+  config.num_drugs = 30;
+  config.num_adrs = 50;
+  auto corpus = datagen::GenerateCorpus(config);
+  const auto features = ExtractAllFeatures(corpus.db);
+
+  std::vector<ReportPair> pairs;
+  util::Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(150));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(150));
+    if (a == b) continue;
+    pairs.push_back(ReportPair{std::min(a, b), std::max(a, b)});
+  }
+
+  const auto sequential = ComputePairDistances(features, pairs);
+  minispark::SparkContext ctx({.num_executors = 4});
+  const auto spark = ComputePairDistancesSpark(&ctx, features, pairs, {}, 6);
+  ASSERT_EQ(sequential.size(), spark.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i], spark[i]) << "pair " << i;
+  }
+}
+
+TEST(PairKeyTest, InjectiveOnOrderedPairs) {
+  EXPECT_NE(PairKey({1, 2}), PairKey({2, 1}));
+  EXPECT_NE(PairKey({0, 1}), PairKey({1, 0}));
+  EXPECT_EQ(PairKey({3, 9}), PairKey({3, 9}));
+}
+
+TEST(PairsForNewReportsTest, CountsAndOrdering) {
+  const std::vector<report::ReportId> existing = {0, 1, 2};
+  const std::vector<report::ReportId> fresh = {3, 4};
+  const auto pairs = PairsForNewReports(existing, fresh);
+  // 3 existing x 2 new + C(2,2) new-new = 6 + 1.
+  EXPECT_EQ(pairs.size(), 7u);
+  for (const auto& pair : pairs) {
+    EXPECT_LT(pair.a, pair.b);
+  }
+}
+
+TEST(PairsForNewReportsTest, EmptyInputs) {
+  EXPECT_TRUE(PairsForNewReports({}, {}).empty());
+  EXPECT_EQ(PairsForNewReports({0, 1}, {}).size(), 0u);
+  EXPECT_EQ(PairsForNewReports({}, {5, 6, 7}).size(), 3u);
+}
+
+}  // namespace
+}  // namespace adrdedup::distance

@@ -1,0 +1,95 @@
+#include "distance/distance_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::distance {
+namespace {
+
+DistanceVector Make(std::initializer_list<double> values) {
+  DistanceVector v;
+  size_t i = 0;
+  for (double x : values) v[i++] = x;
+  return v;
+}
+
+TEST(DistanceVectorTest, DefaultsToZero) {
+  DistanceVector v;
+  for (size_t i = 0; i < kDistanceDims; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(DistanceVectorTest, ComponentAccess) {
+  DistanceVector v;
+  v.at(Component::kDescription) = 0.5;
+  EXPECT_EQ(v[6], 0.5);
+  EXPECT_EQ(v.at(Component::kDescription), 0.5);
+}
+
+TEST(EuclideanTest, KnownValues) {
+  const auto zero = Make({0, 0, 0, 0, 0, 0, 0});
+  const auto ones = Make({1, 1, 1, 1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(EuclideanDistance(zero, zero), 0.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(zero, ones), std::sqrt(7.0));
+  EXPECT_DOUBLE_EQ(EuclideanDistance(Make({3, 4, 0, 0, 0, 0, 0}), zero),
+                   5.0);
+}
+
+TEST(EuclideanTest, SquaredConsistentWithPlain) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    DistanceVector a;
+    DistanceVector b;
+    for (size_t i = 0; i < kDistanceDims; ++i) {
+      a[i] = rng.UniformDouble();
+      b[i] = rng.UniformDouble();
+    }
+    EXPECT_NEAR(EuclideanDistance(a, b) * EuclideanDistance(a, b),
+                SquaredEuclideanDistance(a, b), 1e-12);
+  }
+}
+
+TEST(EuclideanTest, MetricProperties) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    DistanceVector v[3];
+    for (auto& vec : v) {
+      for (size_t i = 0; i < kDistanceDims; ++i) {
+        vec[i] = rng.UniformDouble();
+      }
+    }
+    // Symmetry, identity, triangle inequality.
+    EXPECT_DOUBLE_EQ(EuclideanDistance(v[0], v[1]),
+                     EuclideanDistance(v[1], v[0]));
+    EXPECT_DOUBLE_EQ(EuclideanDistance(v[0], v[0]), 0.0);
+    EXPECT_LE(EuclideanDistance(v[0], v[2]),
+              EuclideanDistance(v[0], v[1]) +
+                  EuclideanDistance(v[1], v[2]) + 1e-12);
+  }
+}
+
+TEST(TotalDisagreementTest, SumsComponents) {
+  EXPECT_DOUBLE_EQ(TotalDisagreement(Make({0.5, 0.5, 0, 0, 0, 1, 0})),
+                   2.0);
+  EXPECT_DOUBLE_EQ(TotalDisagreement(DistanceVector{}), 0.0);
+}
+
+TEST(DistanceVectorTest, ToStringListsComponents) {
+  const auto text = Make({0, 0.5, 0, 0, 0, 0, 1}).ToString();
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), ']');
+}
+
+TEST(DistanceVectorTest, EqualityIsComponentwise) {
+  const auto a = Make({0, 1, 0, 1, 0, 1, 0});
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b[3] = 0.5;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace adrdedup::distance

@@ -1,0 +1,233 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::eval {
+namespace {
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  const std::vector<double> scores = {0.9, 0.8, 0.3, 0.1};
+  const std::vector<int8_t> labels = {+1, -1, +1, -1};
+  const auto counts = Confusion(scores, labels, 0.5);
+  EXPECT_EQ(counts.true_positives, 1u);
+  EXPECT_EQ(counts.false_positives, 1u);
+  EXPECT_EQ(counts.false_negatives, 1u);
+  EXPECT_EQ(counts.true_negatives, 1u);
+}
+
+TEST(ConfusionTest, PrecisionRecallF1) {
+  ConfusionCounts counts;
+  counts.true_positives = 8;
+  counts.false_positives = 2;
+  counts.false_negatives = 2;
+  counts.true_negatives = 88;
+  EXPECT_DOUBLE_EQ(counts.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(counts.Recall(), 0.8);
+  EXPECT_DOUBLE_EQ(counts.F1(), 0.8);
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  ConfusionCounts none;
+  EXPECT_DOUBLE_EQ(none.Precision(), 1.0);  // no detections, no errors
+  EXPECT_DOUBLE_EQ(none.Recall(), 1.0);     // no positives to find
+  ConfusionCounts all_missed;
+  all_missed.false_negatives = 5;
+  EXPECT_DOUBLE_EQ(all_missed.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(all_missed.F1(), 0.0);
+}
+
+TEST(ConfusionTest, ThresholdSweepMonotonicity) {
+  util::Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int8_t> labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(rng.UniformDouble(-1, 1));
+    labels.push_back(rng.Bernoulli(0.1) ? +1 : -1);
+  }
+  // Raising theta can only shrink the detected set.
+  uint64_t previous_detected = scores.size() + 1;
+  for (double theta : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    const auto counts = Confusion(scores, labels, theta);
+    const uint64_t detected =
+        counts.true_positives + counts.false_positives;
+    EXPECT_LE(detected, previous_detected);
+    previous_detected = detected;
+  }
+}
+
+TEST(PrCurveTest, PerfectClassifierHasAuprOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int8_t> labels = {+1, +1, -1, -1};
+  EXPECT_DOUBLE_EQ(Aupr(scores, labels), 1.0);
+}
+
+TEST(PrCurveTest, InvertedClassifierNearZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int8_t> labels = {+1, +1, -1, -1};
+  EXPECT_LT(Aupr(scores, labels), 0.5);
+}
+
+TEST(PrCurveTest, RandomScoresApproachPositiveRate) {
+  util::Rng rng(2);
+  std::vector<double> scores;
+  std::vector<int8_t> labels;
+  const double rate = 0.2;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.UniformDouble());
+    labels.push_back(rng.Bernoulli(rate) ? +1 : -1);
+  }
+  EXPECT_NEAR(Aupr(scores, labels), rate, 0.03);
+}
+
+TEST(PrCurveTest, KnownHandComputedCurve) {
+  // Descending scores: labels +, -, +, -.
+  const std::vector<double> scores = {4, 3, 2, 1};
+  const std::vector<int8_t> labels = {+1, -1, +1, -1};
+  const auto curve = ComputePrCurve(scores, labels);
+  ASSERT_EQ(curve.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve.points[2].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve.points[2].recall, 1.0);
+  // AUPR = 0.5 * 1.0 + 0.5 * (2/3).
+  EXPECT_NEAR(curve.aupr, 0.5 + 0.5 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrCurveTest, TiedScoresCollapseToOneStep) {
+  const std::vector<double> scores = {1, 1, 1, 1};
+  const std::vector<int8_t> labels = {+1, -1, +1, -1};
+  const auto curve = ComputePrCurve(scores, labels);
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve.points[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve.aupr, 0.5);
+}
+
+TEST(PrCurveTest, RecallMonotonicAlongCurve) {
+  util::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int8_t> labels;
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back(rng.Gaussian());
+    labels.push_back(rng.Bernoulli(0.05) ? +1 : -1);
+  }
+  const auto curve = ComputePrCurve(scores, labels);
+  for (size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].recall, curve.points[i - 1].recall);
+    EXPECT_LE(curve.points[i].threshold, curve.points[i - 1].threshold);
+  }
+  EXPECT_DOUBLE_EQ(curve.points.back().recall, 1.0);
+}
+
+TEST(PrCurveTest, AuprWithinUnitInterval) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> scores;
+    std::vector<int8_t> labels;
+    bool any_positive = false;
+    for (int i = 0; i < 200; ++i) {
+      scores.push_back(rng.Gaussian());
+      const bool positive = rng.Bernoulli(0.3);
+      any_positive |= positive;
+      labels.push_back(positive ? +1 : -1);
+    }
+    if (!any_positive) labels[0] = +1;
+    const double aupr = Aupr(scores, labels);
+    EXPECT_GE(aupr, 0.0);
+    EXPECT_LE(aupr, 1.0);
+  }
+}
+
+TEST(PrCurveTest, BetterSeparationHigherAupr) {
+  util::Rng rng(5);
+  auto make = [&](double separation) {
+    std::vector<double> scores;
+    std::vector<int8_t> labels;
+    for (int i = 0; i < 2000; ++i) {
+      const bool positive = rng.Bernoulli(0.05);
+      labels.push_back(positive ? +1 : -1);
+      scores.push_back(rng.Gaussian() + (positive ? separation : 0.0));
+    }
+    return Aupr(scores, labels);
+  };
+  EXPECT_GT(make(3.0), make(0.5));
+}
+
+TEST(RocCurveTest, PerfectClassifier) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int8_t> labels = {+1, +1, -1, -1};
+  EXPECT_DOUBLE_EQ(Auroc(scores, labels), 1.0);
+}
+
+TEST(RocCurveTest, RandomScoresNearHalf) {
+  util::Rng rng(6);
+  std::vector<double> scores;
+  std::vector<int8_t> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.UniformDouble());
+    labels.push_back(rng.Bernoulli(0.2) ? +1 : -1);
+  }
+  EXPECT_NEAR(Auroc(scores, labels), 0.5, 0.02);
+}
+
+TEST(RocCurveTest, KnownHandComputedAuc) {
+  // Descending: +, -, +, -. ROC points: (0,.5) (".5,.5") (.5,1) (1,1).
+  const std::vector<double> scores = {4, 3, 2, 1};
+  const std::vector<int8_t> labels = {+1, -1, +1, -1};
+  const auto curve = ComputeRocCurve(scores, labels);
+  ASSERT_EQ(curve.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve.points[0].true_positive_rate, 0.5);
+  EXPECT_DOUBLE_EQ(curve.points[0].false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.auc, 0.75);
+}
+
+TEST(RocCurveTest, CurveEndsAtOneOne) {
+  util::Rng rng(7);
+  std::vector<double> scores;
+  std::vector<int8_t> labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(rng.Gaussian());
+    labels.push_back(rng.Bernoulli(0.3) ? +1 : -1);
+  }
+  const auto curve = ComputeRocCurve(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.points.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().true_positive_rate, 1.0);
+}
+
+TEST(RocCurveTest, RocFlattersImbalancedData) {
+  // The Davis & Goadrich [4] argument the paper invokes for choosing
+  // AUPR: with 0.1% positives, a classifier that ranks well overall but
+  // admits many absolute false positives still shows a near-perfect ROC
+  // while its precision-recall area exposes the problem.
+  util::Rng rng(8);
+  std::vector<double> scores;
+  std::vector<int8_t> labels;
+  for (int i = 0; i < 100000; ++i) {
+    const bool positive = i < 100;  // 0.1%
+    labels.push_back(positive ? +1 : -1);
+    scores.push_back(positive ? rng.Gaussian(3.0, 1.0)
+                              : rng.Gaussian(0.0, 1.0));
+  }
+  const double auroc = Auroc(scores, labels);
+  const double aupr = Aupr(scores, labels);
+  EXPECT_GT(auroc, 0.97);       // looks near-perfect
+  EXPECT_LT(aupr, auroc - 0.2); // AUPR reveals the false-positive load
+}
+
+TEST(RocCurveTest, MissingClassDies) {
+  EXPECT_DEATH((void)Auroc({1.0, 2.0}, {+1, +1}), "negative example");
+  EXPECT_DEATH((void)Auroc({1.0, 2.0}, {-1, -1}), "positive example");
+}
+
+TEST(PrCurveTest, NoPositivesDies) {
+  EXPECT_DEATH((void)Aupr({1.0, 2.0}, {-1, -1}), "positive");
+}
+
+TEST(PrCurveTest, SizeMismatchDies) {
+  EXPECT_DEATH((void)Aupr({1.0}, {+1, -1}), "Check failed");
+}
+
+}  // namespace
+}  // namespace adrdedup::eval

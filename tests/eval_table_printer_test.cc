@@ -1,0 +1,80 @@
+#include "eval/table_printer.h"
+
+#include <filesystem>
+#include <sstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace adrdedup::eval {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedMarkdownTable) {
+  std::ostringstream out;
+  TablePrinter table(&out, {"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"long-name", "22"});
+  table.Print();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha     | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("|-----------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, RowWidthMismatchDies) {
+  std::ostringstream out;
+  TablePrinter table(&out, {"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(TablePrinterTest, SaveCsvRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("adrdedup_table_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  std::ostringstream out;
+  TablePrinter table(&out, {"k", "AUPR"});
+  table.AddRow({"5", "0.896"});
+  table.AddRow({"9", "0.925"});
+  ASSERT_TRUE(table.SaveCsv(path).ok());
+  auto rows = util::CsvReadFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[0], (util::CsvRow{"k", "AUPR"}));
+  EXPECT_EQ(rows.value()[2], (util::CsvRow{"9", "0.925"}));
+  std::filesystem::remove(path);
+}
+
+TEST(TablePrinterTest, EnvExportWritesNamedCsv) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("adrdedup_outdir_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  setenv("ADRDEDUP_BENCH_OUTDIR", dir.string().c_str(), 1);
+  {
+    std::ostringstream out;
+    TablePrinter table(&out, {"x"});
+    table.set_export_name("my_experiment");
+    table.AddRow({"1"});
+    table.Print();
+  }
+  unsetenv("ADRDEDUP_BENCH_OUTDIR");
+  EXPECT_TRUE(std::filesystem::exists(dir / "my_experiment.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PrintSectionTest, FormatsHeading) {
+  std::ostringstream out;
+  PrintSection(&out, "My Section");
+  EXPECT_EQ(out.str(), "\n## My Section\n\n");
+}
+
+}  // namespace
+}  // namespace adrdedup::eval

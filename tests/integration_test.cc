@@ -1,0 +1,160 @@
+// Cross-module integration: generated corpus -> features -> labelled pair
+// datasets -> classifiers -> metrics, asserting the paper's headline
+// qualitative results at reduced scale:
+//  * Fast kNN == exact kNN (the parallelization is lossless),
+//  * kNN outperforms the SVM baseline under label imbalance (Fig. 5),
+//  * testing-set pruning keeps all true duplicates (Fig. 11),
+//  * cross-cluster work is a tiny fraction of intra-cluster work (Fig. 8).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/fast_knn.h"
+#include "core/test_set_pruner.h"
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "eval/metrics.h"
+#include "ml/svm.h"
+#include "ml/svm_clustering.h"
+
+namespace adrdedup {
+namespace {
+
+struct Scenario {
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+  distance::LabeledPairDatasets datasets;
+  std::vector<int8_t> test_labels;
+};
+
+Scenario& SharedScenario() {
+  static Scenario& scenario = *new Scenario();
+  static bool initialized = false;
+  if (!initialized) {
+    initialized = true;
+    datagen::GeneratorConfig config;
+    config.num_reports = 2500;
+    config.num_duplicate_pairs = 140;
+    config.num_drugs = 350;
+    config.num_adrs = 550;
+    scenario.corpus = datagen::GenerateCorpus(config);
+    util::ThreadPool pool(8);
+    scenario.features =
+        distance::ExtractAllFeatures(scenario.corpus.db, {}, &pool);
+    distance::DatasetSpec spec;
+    spec.num_training_pairs = 40000;
+    spec.num_testing_pairs = 4000;
+    scenario.datasets =
+        distance::BuildDatasets(scenario.corpus, scenario.features, spec);
+    for (const auto& pair : scenario.datasets.test.pairs) {
+      scenario.test_labels.push_back(pair.label);
+    }
+  }
+  return scenario;
+}
+
+TEST(IntegrationTest, KnnBeatsSvmUnderImbalance) {
+  auto& s = SharedScenario();
+  util::ThreadPool pool(8);
+
+  core::FastKnnOptions knn_options;
+  knn_options.k = 9;
+  knn_options.num_clusters = 16;
+  core::FastKnnClassifier knn(knn_options);
+  knn.Fit(s.datasets.train.pairs, &pool);
+  minispark::SparkContext ctx({.num_executors = 8});
+  const auto knn_scores = knn.ScoreAllSpark(&ctx, s.datasets.test.pairs);
+
+  ml::SvmClassifier svm(ml::SvmOptions{});
+  svm.Fit(s.datasets.train.pairs);
+  const auto svm_scores = svm.ScoreAll(s.datasets.test.pairs);
+
+  const double knn_aupr = eval::Aupr(knn_scores, s.test_labels);
+  const double svm_aupr = eval::Aupr(svm_scores, s.test_labels);
+  // The paper's Fig. 5: kNN significantly outperforms the SVM baseline.
+  EXPECT_GT(knn_aupr, svm_aupr);
+  EXPECT_GT(knn_aupr, 0.5);
+}
+
+TEST(IntegrationTest, FastKnnExactlyMatchesReferenceKnnOnRealVectors) {
+  auto& s = SharedScenario();
+  util::ThreadPool pool(8);
+
+  core::FastKnnOptions options;
+  options.k = 9;
+  options.num_clusters = 24;
+  options.early_exit_all_negative = false;
+  core::FastKnnClassifier fast(options);
+  fast.Fit(s.datasets.train.pairs, &pool);
+
+  ml::KnnClassifier brute(ml::KnnOptions{.k = 9});
+  brute.Fit(s.datasets.train.pairs);
+
+  for (size_t i = 0; i < 200; ++i) {
+    const auto& query = s.datasets.test.pairs[i];
+    ASSERT_DOUBLE_EQ(fast.Score(query.vector), brute.Score(query.vector))
+        << "query " << i;
+  }
+}
+
+TEST(IntegrationTest, CrossClusterWorkIsSmallFraction) {
+  auto& s = SharedScenario();
+  util::ThreadPool pool(8);
+  core::FastKnnOptions options;
+  options.k = 9;
+  options.num_clusters = 32;
+  core::FastKnnClassifier classifier(options);
+  classifier.Fit(s.datasets.train.pairs, &pool);
+  for (size_t i = 0; i < 1000; ++i) {
+    classifier.Score(s.datasets.test.pairs[i].vector);
+  }
+  const auto stats = classifier.stats().Snapshot();
+  // Paper Fig. 8(a): cross/intra between ~0.1% and a few percent.
+  EXPECT_GT(stats.intra_cluster_comparisons, 0u);
+  EXPECT_LT(stats.CrossToIntraRatio(), 0.1);
+}
+
+TEST(IntegrationTest, PruningKeepsAllTrueDuplicatesAndCutsWork) {
+  auto& s = SharedScenario();
+  std::vector<distance::LabeledPair> train_positives;
+  for (const auto& pair : s.datasets.train.pairs) {
+    if (pair.is_positive()) train_positives.push_back(pair);
+  }
+  core::TestSetPruner pruner(core::TestSetPrunerOptions{.num_clusters = 8});
+  pruner.Fit(train_positives);
+
+  const auto result = pruner.Prune(s.datasets.test.pairs, 0.5);
+  EXPECT_LT(result.KeptRatio(), 1.0);
+  std::set<size_t> kept(result.kept.begin(), result.kept.end());
+  for (size_t i = 0; i < s.datasets.test.pairs.size(); ++i) {
+    if (s.datasets.test.pairs[i].is_positive()) {
+      EXPECT_TRUE(kept.contains(i)) << "true duplicate " << i << " pruned";
+    }
+  }
+}
+
+TEST(IntegrationTest, DuplicatePairsMeasurablyCloserThanRandom) {
+  auto& s = SharedScenario();
+  double dup_mean = 0.0;
+  size_t dup_count = 0;
+  double neg_mean = 0.0;
+  size_t neg_count = 0;
+  for (const auto& pair : s.datasets.train.pairs) {
+    const double total = distance::TotalDisagreement(pair.vector);
+    if (pair.is_positive()) {
+      dup_mean += total;
+      ++dup_count;
+    } else {
+      neg_mean += total;
+      ++neg_count;
+    }
+  }
+  ASSERT_GT(dup_count, 0u);
+  ASSERT_GT(neg_count, 0u);
+  dup_mean /= static_cast<double>(dup_count);
+  neg_mean /= static_cast<double>(neg_count);
+  EXPECT_LT(dup_mean + 0.5, neg_mean);
+}
+
+}  // namespace
+}  // namespace adrdedup

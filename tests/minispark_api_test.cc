@@ -1,0 +1,199 @@
+// Tests for the second wave of minispark API surface: Coalesce,
+// TakeOrdered, First, IsEmpty, CountByValue, Keys/Values/MapValues.
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "minispark/pair_rdd.h"
+#include "minispark/rdd.h"
+
+namespace adrdedup::minispark {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+class ApiTest : public ::testing::Test {
+ protected:
+  SparkContext ctx_{SparkContext::Config{.num_executors = 4}};
+};
+
+TEST_F(ApiTest, CoalesceReducesPartitionsKeepsOrder) {
+  auto rdd = ctx_.Parallelize(Iota(100), 10).Coalesce(3);
+  EXPECT_EQ(rdd.NumPartitions(), 3u);
+  EXPECT_EQ(rdd.Collect(), Iota(100));
+}
+
+TEST_F(ApiTest, CoalesceToOne) {
+  auto rdd = ctx_.Parallelize(Iota(20), 7).Coalesce(1);
+  EXPECT_EQ(rdd.NumPartitions(), 1u);
+  EXPECT_EQ(rdd.Collect(), Iota(20));
+}
+
+TEST_F(ApiTest, CoalesceIsNoOpWhenAlreadySmaller) {
+  auto rdd = ctx_.Parallelize(Iota(10), 2);
+  auto coalesced = rdd.Coalesce(8);
+  EXPECT_EQ(coalesced.NumPartitions(), 2u);
+}
+
+TEST_F(ApiTest, CoalesceAfterWideDependencyIsSafe) {
+  // Regression: Coalesce must surface its parent to EnsureReady so wide
+  // ancestors materialize on the driver thread, not inside a pool task.
+  auto rdd = ctx_.Parallelize(std::vector<int>{5, 1, 4, 2, 3}, 5)
+                 .SortBy<int>([](int x) { return x; })
+                 .Coalesce(2);
+  EXPECT_EQ(rdd.Collect(), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_NE(rdd.ToDebugString().find("Coalesce"), std::string::npos);
+}
+
+TEST_F(ApiTest, CoalesceComposesWithTransformations) {
+  auto rdd = ctx_.Parallelize(Iota(50), 8)
+                 .Map<int>([](int x) { return x * 2; })
+                 .Coalesce(2)
+                 .Filter([](int x) { return x % 4 == 0; });
+  std::vector<int> expected;
+  for (int x : Iota(50)) {
+    if ((x * 2) % 4 == 0) expected.push_back(x * 2);
+  }
+  EXPECT_EQ(rdd.Collect(), expected);
+}
+
+TEST_F(ApiTest, TakeOrderedSmallest) {
+  std::vector<int> data = {9, 3, 7, 1, 8, 2};
+  auto rdd = ctx_.Parallelize(data, 3);
+  EXPECT_EQ(rdd.TakeOrdered(3), (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(ApiTest, TakeOrderedCustomComparator) {
+  std::vector<int> data = {9, 3, 7, 1, 8, 2};
+  auto rdd = ctx_.Parallelize(data, 3);
+  EXPECT_EQ(rdd.TakeOrdered(2, std::greater<int>()),
+            (std::vector<int>{9, 8}));
+}
+
+TEST_F(ApiTest, TakeOrderedMoreThanAvailable) {
+  auto rdd = ctx_.Parallelize(std::vector<int>{2, 1}, 1);
+  EXPECT_EQ(rdd.TakeOrdered(10), (std::vector<int>{1, 2}));
+}
+
+TEST_F(ApiTest, FirstAndIsEmpty) {
+  auto rdd = ctx_.Parallelize(Iota(5), 2);
+  EXPECT_EQ(rdd.First(), 0);
+  EXPECT_FALSE(rdd.IsEmpty());
+  auto empty = ctx_.Parallelize(std::vector<int>{}, 2);
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_DEATH((void)empty.First(), "empty RDD");
+}
+
+TEST_F(ApiTest, FirstSkipsEmptyLeadingPartitions) {
+  auto rdd = ctx_.Parallelize(Iota(10), 4).Filter([](int x) {
+    return x >= 7;
+  });
+  EXPECT_EQ(rdd.First(), 7);
+}
+
+TEST_F(ApiTest, CountByValue) {
+  std::vector<std::string> data = {"a", "b", "a", "c", "a", "b"};
+  auto counts = ctx_.Parallelize(data, 3).CountByValue();
+  EXPECT_EQ(counts["a"], 3u);
+  EXPECT_EQ(counts["b"], 2u);
+  EXPECT_EQ(counts["c"], 1u);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST_F(ApiTest, KeysValuesMapValues) {
+  std::vector<std::pair<std::string, int>> data = {
+      {"x", 1}, {"y", 2}, {"x", 3}};
+  auto rdd = ctx_.Parallelize(data, 2);
+  EXPECT_EQ(Keys(rdd).Collect(),
+            (std::vector<std::string>{"x", "y", "x"}));
+  EXPECT_EQ(Values(rdd).Collect(), (std::vector<int>{1, 2, 3}));
+  auto doubled = MapValues<std::string, int, int>(
+      rdd, [](int v) { return v * 10; });
+  EXPECT_EQ(doubled.Collect(),
+            (std::vector<std::pair<std::string, int>>{
+                {"x", 10}, {"y", 20}, {"x", 30}}));
+}
+
+TEST_F(ApiTest, MapValuesTypeChange) {
+  std::vector<std::pair<int, int>> data = {{1, 10}, {2, 20}};
+  auto rdd = ctx_.Parallelize(data, 1);
+  auto stringified = MapValues<int, int, std::string>(
+      rdd, [](int v) { return std::to_string(v); });
+  EXPECT_EQ(stringified.Collect(),
+            (std::vector<std::pair<int, std::string>>{{1, "10"},
+                                                      {2, "20"}}));
+}
+
+TEST_F(ApiTest, ToDebugStringShowsLineage) {
+  auto rdd = ctx_.Parallelize(Iota(10), 4)
+                 .Map<int>([](int x) { return x; })
+                 .Filter([](int) { return true; });
+  const std::string lineage = rdd.ToDebugString();
+  EXPECT_EQ(lineage,
+            "(4) Filter\n  (4) Map\n    (4) Parallelize\n");
+}
+
+TEST_F(ApiTest, ToDebugStringMarksShufflesAndBranches) {
+  auto left = ctx_.Parallelize(
+      std::vector<std::pair<int, int>>{{1, 1}}, 2);
+  auto right = ctx_.Parallelize(
+      std::vector<std::pair<int, int>>{{1, 2}}, 2);
+  auto joined = Join(left, right, 3);
+  const std::string lineage = joined.ToDebugString();
+  EXPECT_NE(lineage.find("Join"), std::string::npos);
+  // Both shuffle children appear.
+  size_t shuffles = 0;
+  size_t pos = 0;
+  while ((pos = lineage.find("ShuffleByKey", pos)) != std::string::npos) {
+    ++shuffles;
+    pos += 1;
+  }
+  EXPECT_EQ(shuffles, 2u);
+
+  auto sorted = ctx_.Parallelize(Iota(5), 2).SortBy<int>([](int x) {
+    return x;
+  });
+  EXPECT_NE(sorted.ToDebugString().find("SortBy [shuffle]"),
+            std::string::npos);
+  auto cached = ctx_.Parallelize(Iota(5), 2).Cache();
+  EXPECT_NE(cached.ToDebugString().find("Cache"), std::string::npos);
+}
+
+TEST_F(ApiTest, ComposedPipelineEndToEnd) {
+  // WordCount-style composition exercising the new operators together.
+  std::vector<std::string> lines = {"a b a", "c b", "a"};
+  auto words =
+      ctx_.Parallelize(lines, 2).FlatMap<std::string>(
+          [](const std::string& line) {
+            std::vector<std::string> out;
+            std::string word;
+            for (char c : line) {
+              if (c == ' ') {
+                if (!word.empty()) out.push_back(word);
+                word.clear();
+              } else {
+                word.push_back(c);
+              }
+            }
+            if (!word.empty()) out.push_back(word);
+            return out;
+          });
+  auto counts = ReduceByKey(
+      words.KeyBy<std::string>([](const std::string& w) { return w; })
+          .template Map<std::pair<std::string, int>>(
+              [](const std::pair<std::string, std::string>& kv) {
+                return std::make_pair(kv.first, 1);
+              }),
+      [](int a, int b) { return a + b; }, 2);
+  auto top = Values(counts).TakeOrdered(1, std::greater<int>());
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 3);  // "a" appears three times
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark

@@ -1,0 +1,86 @@
+#include "minispark/cluster_model.h"
+
+#include <gtest/gtest.h>
+
+#include "minispark/rdd.h"
+#include "util/random.h"
+
+namespace adrdedup::minispark {
+namespace {
+
+TEST(LptMakespanTest, SingleExecutorIsSum) {
+  EXPECT_DOUBLE_EQ(
+      ClusterCostModel::LptMakespan({1.0, 2.0, 3.0}, 1), 6.0);
+}
+
+TEST(LptMakespanTest, PerfectSplit) {
+  EXPECT_DOUBLE_EQ(
+      ClusterCostModel::LptMakespan({2.0, 2.0, 2.0, 2.0}, 4), 2.0);
+  EXPECT_DOUBLE_EQ(
+      ClusterCostModel::LptMakespan({3.0, 1.0, 2.0, 2.0}, 2), 4.0);
+}
+
+TEST(LptMakespanTest, BoundedByLongestTask) {
+  EXPECT_DOUBLE_EQ(ClusterCostModel::LptMakespan({5.0, 0.1, 0.1}, 8), 5.0);
+}
+
+TEST(LptMakespanTest, EmptyTasks) {
+  EXPECT_DOUBLE_EQ(ClusterCostModel::LptMakespan({}, 4), 0.0);
+}
+
+TEST(LptMakespanTest, MonotoneInExecutors) {
+  util::Rng rng(1);
+  std::vector<double> tasks;
+  for (int i = 0; i < 200; ++i) tasks.push_back(rng.UniformDouble(0.1, 2.0));
+  double previous = 1e300;
+  for (size_t e = 1; e <= 32; e *= 2) {
+    const double makespan = ClusterCostModel::LptMakespan(tasks, e);
+    EXPECT_LE(makespan, previous + 1e-12);
+    previous = makespan;
+    // Never below the theoretical lower bounds.
+    double sum = 0.0;
+    double longest = 0.0;
+    for (double t : tasks) {
+      sum += t;
+      longest = std::max(longest, t);
+    }
+    EXPECT_GE(makespan + 1e-12, sum / static_cast<double>(e));
+    EXPECT_GE(makespan + 1e-12, longest);
+  }
+}
+
+TEST(ClusterCostModelTest, CoordinationTermCreatesFlattening) {
+  // With enough executors the coordination term dominates and the curve
+  // turns — the Fig. 10(a) flattening.
+  ClusterCostModel model;
+  std::vector<double> tasks(64, 1.0);
+  const double at_8 = model.SimulateExecutionSeconds(tasks, 0, 8);
+  const double at_64 = model.SimulateExecutionSeconds(tasks, 0, 64);
+  const double at_2000 = model.SimulateExecutionSeconds(tasks, 0, 2000);
+  EXPECT_LT(at_64, at_8);
+  EXPECT_GT(at_2000, at_64);  // over-provisioning eventually costs
+}
+
+TEST(ClusterCostModelTest, ShuffleBytesAddTransferTime) {
+  ClusterCostModel model;
+  const double without = model.SimulateExecutionSeconds({1.0}, 0, 2);
+  const double with =
+      model.SimulateExecutionSeconds({1.0}, 2'000'000'000ULL, 2);
+  EXPECT_NEAR(with - without, 2.0, 1e-9);
+}
+
+TEST(ClusterCostModelTest, IntegratesWithContextTaskDurations) {
+  SparkContext ctx({.num_executors = 2});
+  ctx.metrics().Reset();
+  ctx.Parallelize(std::vector<int>(1000, 1), 8)
+      .Map<int>([](int x) { return x + 1; })
+      .Count();
+  const auto durations = ctx.metrics().TaskDurations();
+  EXPECT_EQ(durations.size(), 8u);
+  for (double d : durations) EXPECT_GE(d, 0.0);
+  ClusterCostModel model;
+  EXPECT_GT(model.SimulateExecutionSeconds(durations, 0, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark

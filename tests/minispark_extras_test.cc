@@ -1,0 +1,161 @@
+// Tests for the extended minispark surface: Sample, Distinct, SortBy,
+// ZipWithIndex, Broadcast and Accumulator.
+#include <numeric>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "minispark/rdd.h"
+#include "minispark/shared.h"
+
+namespace adrdedup::minispark {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+class ExtrasTest : public ::testing::Test {
+ protected:
+  SparkContext ctx_{SparkContext::Config{.num_executors = 4}};
+};
+
+TEST_F(ExtrasTest, SampleFractionApproximate) {
+  auto sampled = ctx_.Parallelize(Iota(20000), 8).Sample(0.25, 42);
+  const size_t count = sampled.Count();
+  EXPECT_GT(count, 20000 * 0.20);
+  EXPECT_LT(count, 20000 * 0.30);
+}
+
+TEST_F(ExtrasTest, SampleEdgesAndDeterminism) {
+  auto rdd = ctx_.Parallelize(Iota(1000), 4);
+  EXPECT_EQ(rdd.Sample(0.0, 1).Count(), 0u);
+  EXPECT_EQ(rdd.Sample(1.0, 1).Count(), 1000u);
+  EXPECT_EQ(rdd.Sample(0.5, 7).Collect(), rdd.Sample(0.5, 7).Collect());
+  EXPECT_NE(rdd.Sample(0.5, 7).Count(), rdd.Sample(0.5, 8).Count());
+}
+
+TEST_F(ExtrasTest, SampleIsSubset) {
+  auto rdd = ctx_.Parallelize(Iota(500), 3);
+  const auto sampled = rdd.Sample(0.4, 9).Collect();
+  std::set<int> universe;
+  for (int x : Iota(500)) universe.insert(x);
+  std::set<int> seen;
+  for (int x : sampled) {
+    EXPECT_TRUE(universe.contains(x));
+    EXPECT_TRUE(seen.insert(x).second) << "duplicate " << x;
+  }
+}
+
+TEST_F(ExtrasTest, DistinctRemovesDuplicatesKeepsOrder) {
+  std::vector<int> data = {3, 1, 3, 2, 1, 4, 4, 4, 5};
+  auto distinct = ctx_.Parallelize(data, 3).Distinct();
+  EXPECT_EQ(distinct.Collect(), (std::vector<int>{3, 1, 2, 4, 5}));
+}
+
+TEST_F(ExtrasTest, DistinctOnStrings) {
+  std::vector<std::string> data = {"b", "a", "b", "c", "a"};
+  auto distinct = ctx_.Parallelize(data, 2).Distinct();
+  EXPECT_EQ(distinct.Count(), 3u);
+}
+
+TEST_F(ExtrasTest, DistinctCountsAsShuffle) {
+  ctx_.metrics().Reset();
+  ctx_.Parallelize(Iota(100), 4).Distinct().Count();
+  EXPECT_EQ(ctx_.metrics().Snapshot().shuffles_performed, 1u);
+}
+
+TEST_F(ExtrasTest, SortByOrdersGlobally) {
+  std::vector<int> data = {5, 3, 9, 1, 7, 2, 8, 0, 6, 4};
+  auto sorted = ctx_.Parallelize(data, 4).SortBy<int>([](int x) {
+    return x;
+  });
+  EXPECT_EQ(sorted.Collect(), Iota(10));
+}
+
+TEST_F(ExtrasTest, SortByCustomKeyDescending) {
+  auto sorted = ctx_.Parallelize(Iota(10), 3).SortBy<int>([](int x) {
+    return -x;
+  });
+  const auto result = sorted.Collect();
+  EXPECT_EQ(result.front(), 9);
+  EXPECT_EQ(result.back(), 0);
+}
+
+TEST_F(ExtrasTest, SortByIsStable) {
+  // Sort by x % 3; equal keys keep input order.
+  std::vector<int> data = {3, 0, 4, 1, 6, 9, 7};
+  auto sorted = ctx_.Parallelize(data, 2).SortBy<int>([](int x) {
+    return x % 3;
+  });
+  EXPECT_EQ(sorted.Collect(), (std::vector<int>{3, 0, 6, 9, 4, 1, 7}));
+}
+
+TEST_F(ExtrasTest, ZipWithIndexAssignsGlobalPositions) {
+  std::vector<std::string> data = {"a", "b", "c", "d", "e"};
+  auto zipped = ctx_.Parallelize(data, 3).ZipWithIndex();
+  const auto result = zipped.Collect();
+  ASSERT_EQ(result.size(), 5u);
+  for (uint64_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i].first, data[i]);
+    EXPECT_EQ(result[i].second, i);
+  }
+}
+
+TEST_F(ExtrasTest, ZipWithIndexAfterFilter) {
+  auto zipped = ctx_.Parallelize(Iota(10), 4)
+                    .Filter([](int x) { return x % 2 == 0; })
+                    .ZipWithIndex();
+  const auto result = zipped.Collect();
+  ASSERT_EQ(result.size(), 5u);
+  EXPECT_EQ(result[2], (std::pair<int, uint64_t>{4, 2}));
+}
+
+TEST(BroadcastTest, SharesValueWithoutCopying) {
+  Broadcast<std::vector<int>> broadcast(Iota(1000));
+  auto copy = broadcast;
+  EXPECT_EQ(&copy.value(), &broadcast.value());
+  EXPECT_EQ(copy->size(), 1000u);
+  EXPECT_EQ((*copy)[5], 5);
+}
+
+TEST(BroadcastTest, UsableInsideTasks) {
+  SparkContext ctx({.num_executors = 4});
+  auto lookup = MakeBroadcast(std::vector<int>{10, 20, 30});
+  auto mapped = ctx.Parallelize(std::vector<int>{0, 1, 2, 1, 0}, 3)
+                    .Map<int>([lookup](int i) { return (*lookup)[i]; });
+  EXPECT_EQ(mapped.Collect(), (std::vector<int>{10, 20, 30, 20, 10}));
+}
+
+TEST(AccumulatorTest, SumsAcrossTasks) {
+  SparkContext ctx({.num_executors = 4});
+  Accumulator<long> total(0);
+  auto rdd = ctx.Parallelize(Iota(1000), 8).Map<int>([total](int x) mutable {
+    total.Add(x);
+    return x;
+  });
+  rdd.Count();
+  EXPECT_EQ(total.value(), 499500L);
+}
+
+TEST(AccumulatorTest, CopiesShareState) {
+  Accumulator<int> a(5);
+  Accumulator<int> b = a;
+  b.Add(3);
+  EXPECT_EQ(a.value(), 8);
+  a.Reset();
+  EXPECT_EQ(b.value(), 0);
+}
+
+TEST(AccumulatorTest, DoubleAccumulator) {
+  Accumulator<double> acc(0.0);
+  acc.Add(0.5);
+  acc.Add(0.25);
+  EXPECT_DOUBLE_EQ(acc.value(), 0.75);
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark

@@ -1,0 +1,159 @@
+#include "minispark/pair_rdd.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::minispark {
+namespace {
+
+using IntPair = std::pair<int, int>;
+
+class PairRddTest : public ::testing::Test {
+ protected:
+  Rdd<IntPair> MakePairs(int n, int num_keys, size_t partitions = 4) {
+    std::vector<IntPair> data;
+    for (int i = 0; i < n; ++i) data.emplace_back(i % num_keys, i);
+    return ctx_.Parallelize(std::move(data), partitions);
+  }
+
+  SparkContext ctx_{SparkContext::Config{.num_executors = 4}};
+};
+
+TEST_F(PairRddTest, PartitionByKeyGroupsKeysTogether) {
+  auto shuffled = PartitionByKey(MakePairs(100, 10), 4);
+  EXPECT_EQ(shuffled.NumPartitions(), 4u);
+  const auto parts = shuffled.GlomCollect();
+  // Every key must appear in exactly one partition.
+  std::map<int, std::set<size_t>> key_partitions;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (const auto& [key, value] : parts[p]) {
+      key_partitions[key].insert(p);
+    }
+  }
+  for (const auto& [key, where] : key_partitions) {
+    EXPECT_EQ(where.size(), 1u) << "key " << key << " split across shuffles";
+  }
+  EXPECT_EQ(shuffled.Count(), 100u);
+}
+
+TEST_F(PairRddTest, ReduceByKeyMatchesSequential) {
+  auto sums = ReduceByKey(MakePairs(1000, 7),
+                          [](int a, int b) { return a + b; }, 4);
+  auto result = CollectAsMap(sums);
+  std::map<int, int> expected;
+  for (int i = 0; i < 1000; ++i) expected[i % 7] += i;
+  ASSERT_EQ(result.size(), expected.size());
+  for (const auto& [key, sum] : expected) {
+    EXPECT_EQ(result[key], sum) << "key " << key;
+  }
+}
+
+TEST_F(PairRddTest, ReduceByKeySingleKey) {
+  auto sums = ReduceByKey(MakePairs(50, 1),
+                          [](int a, int b) { return a + b; }, 3);
+  auto result = sums.Collect();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].second, 1225);
+}
+
+TEST_F(PairRddTest, GroupByKeyCollectsAllValues) {
+  auto groups = GroupByKey(MakePairs(30, 3), 2);
+  auto result = CollectAsMap(groups);
+  ASSERT_EQ(result.size(), 3u);
+  for (int key = 0; key < 3; ++key) {
+    auto values = result[key];
+    std::sort(values.begin(), values.end());
+    ASSERT_EQ(values.size(), 10u);
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(values[i], key + static_cast<int>(i) * 3);
+    }
+  }
+}
+
+TEST_F(PairRddTest, AggregateByKeyAverages) {
+  auto aggregated = AggregateByKey(
+      MakePairs(100, 4), std::pair<long, int>{0L, 0},
+      [](std::pair<long, int> acc, int v) {
+        return std::pair<long, int>{acc.first + v, acc.second + 1};
+      },
+      [](std::pair<long, int> a, std::pair<long, int> b) {
+        return std::pair<long, int>{a.first + b.first,
+                                    a.second + b.second};
+      },
+      4);
+  auto result = CollectAsMap(aggregated);
+  ASSERT_EQ(result.size(), 4u);
+  for (const auto& [key, acc] : result) {
+    EXPECT_EQ(acc.second, 25);
+  }
+}
+
+TEST_F(PairRddTest, JoinInner) {
+  std::vector<std::pair<int, std::string>> left = {
+      {1, "a"}, {2, "b"}, {3, "c"}, {1, "a2"}};
+  std::vector<std::pair<int, double>> right = {
+      {1, 1.5}, {3, 3.5}, {4, 4.5}};
+  auto joined = Join(ctx_.Parallelize(std::move(left), 2),
+                     ctx_.Parallelize(std::move(right), 3), 4);
+  auto rows = joined.Collect();
+  // Keys: 1 matches twice (two left rows), 3 once, 2 and 4 never.
+  EXPECT_EQ(rows.size(), 3u);
+  std::multiset<int> keys;
+  for (const auto& [key, vw] : rows) keys.insert(key);
+  EXPECT_EQ(keys.count(1), 2u);
+  EXPECT_EQ(keys.count(3), 1u);
+  EXPECT_EQ(keys.count(2), 0u);
+}
+
+TEST_F(PairRddTest, JoinEmptySideYieldsEmpty) {
+  auto left = ctx_.Parallelize(std::vector<IntPair>{{1, 1}}, 1);
+  auto right = ctx_.Parallelize(std::vector<IntPair>{}, 1);
+  EXPECT_EQ(Join(left, right, 2).Count(), 0u);
+}
+
+TEST_F(PairRddTest, CountByKey) {
+  auto counts = CountByKey(MakePairs(100, 6));
+  size_t total = 0;
+  for (const auto& [key, count] : counts) total += count;
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST_F(PairRddTest, ShuffleMetricsAccounted) {
+  ctx_.metrics().Reset();
+  ReduceByKey(MakePairs(200, 5), [](int a, int b) { return a + b; }, 4)
+      .Count();
+  const auto snapshot = ctx_.metrics().Snapshot();
+  EXPECT_EQ(snapshot.shuffles_performed, 1u);
+  // Map-side combine shrinks shuffle volume to ~keys-per-partition.
+  EXPECT_LE(snapshot.shuffle_records_written, 4u * 5u);
+  EXPECT_GE(snapshot.shuffle_records_written, 5u);
+}
+
+TEST_F(PairRddTest, ResultsIndependentOfPartitionCount) {
+  auto reference = CollectAsMap(ReduceByKey(
+      MakePairs(500, 11), [](int a, int b) { return a + b; }, 1));
+  for (size_t parts : {2u, 5u, 16u}) {
+    auto result = CollectAsMap(ReduceByKey(
+        MakePairs(500, 11), [](int a, int b) { return a + b; }, parts));
+    EXPECT_EQ(result, reference) << parts << " partitions";
+  }
+}
+
+TEST_F(PairRddTest, StringKeysWork) {
+  std::vector<std::pair<std::string, int>> data = {
+      {"alpha", 1}, {"beta", 2}, {"alpha", 3}};
+  auto sums = ReduceByKey(ctx_.Parallelize(std::move(data), 2),
+                          [](int a, int b) { return a + b; }, 2);
+  auto result = CollectAsMap(sums);
+  EXPECT_EQ(result["alpha"], 4);
+  EXPECT_EQ(result["beta"], 2);
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark

@@ -1,0 +1,192 @@
+#include "minispark/rdd.h"
+
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::minispark {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+class RddTest : public ::testing::Test {
+ protected:
+  SparkContext ctx_{SparkContext::Config{.num_executors = 4}};
+};
+
+TEST_F(RddTest, ParallelizeCollectRoundTrip) {
+  const auto data = Iota(100);
+  auto rdd = ctx_.Parallelize(data, 7);
+  EXPECT_EQ(rdd.NumPartitions(), 7u);
+  EXPECT_EQ(rdd.Collect(), data);
+}
+
+TEST_F(RddTest, ParallelizeEmptyCollection) {
+  auto rdd = ctx_.Parallelize(std::vector<int>{}, 3);
+  EXPECT_EQ(rdd.Count(), 0u);
+  EXPECT_TRUE(rdd.Collect().empty());
+}
+
+TEST_F(RddTest, ParallelizeMorePartitionsThanRecords) {
+  auto rdd = ctx_.Parallelize(Iota(3), 10);
+  EXPECT_EQ(rdd.NumPartitions(), 10u);
+  EXPECT_EQ(rdd.Collect(), Iota(3));
+}
+
+TEST_F(RddTest, DefaultParallelismUsed) {
+  auto rdd = ctx_.Parallelize(Iota(100));
+  EXPECT_EQ(rdd.NumPartitions(), ctx_.default_parallelism());
+}
+
+TEST_F(RddTest, GlomPreservesPartitionStructure) {
+  auto rdd = ctx_.Parallelize(Iota(10), 3);
+  const auto parts = rdd.GlomCollect();
+  ASSERT_EQ(parts.size(), 3u);
+  std::vector<int> flattened;
+  for (const auto& part : parts) {
+    flattened.insert(flattened.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(flattened, Iota(10));
+}
+
+TEST_F(RddTest, MapMatchesSequential) {
+  auto rdd = ctx_.Parallelize(Iota(50), 4);
+  auto squared = rdd.Map<int>([](int x) { return x * x; });
+  std::vector<int> expected;
+  for (int x : Iota(50)) expected.push_back(x * x);
+  EXPECT_EQ(squared.Collect(), expected);
+}
+
+TEST_F(RddTest, MapChangesType) {
+  auto rdd = ctx_.Parallelize(Iota(5), 2);
+  auto strings =
+      rdd.Map<std::string>([](int x) { return std::to_string(x); });
+  EXPECT_EQ(strings.Collect(),
+            (std::vector<std::string>{"0", "1", "2", "3", "4"}));
+}
+
+TEST_F(RddTest, FilterMatchesSequential) {
+  auto rdd = ctx_.Parallelize(Iota(100), 5);
+  auto evens = rdd.Filter([](int x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.Count(), 50u);
+  for (int x : evens.Collect()) EXPECT_EQ(x % 2, 0);
+}
+
+TEST_F(RddTest, FlatMapExpandsRecords) {
+  auto rdd = ctx_.Parallelize(Iota(5), 2);
+  auto repeated = rdd.FlatMap<int>([](int x) {
+    return std::vector<int>(static_cast<size_t>(x), x);
+  });
+  EXPECT_EQ(repeated.Collect(),
+            (std::vector<int>{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}));
+}
+
+TEST_F(RddTest, MapPartitionsWithIndexSeesWholePartitions) {
+  auto rdd = ctx_.Parallelize(Iota(10), 2);
+  auto sizes = rdd.MapPartitionsWithIndex<size_t>(
+      [](size_t, const std::vector<int>& part) {
+        return std::vector<size_t>{part.size()};
+      });
+  const auto collected = sizes.Collect();
+  ASSERT_EQ(collected.size(), 2u);
+  EXPECT_EQ(collected[0] + collected[1], 10u);
+}
+
+TEST_F(RddTest, UnionConcatenates) {
+  auto a = ctx_.Parallelize(Iota(5), 2);
+  auto b = ctx_.Parallelize(std::vector<int>{100, 101}, 1);
+  auto u = a.Union(b);
+  EXPECT_EQ(u.NumPartitions(), 3u);
+  EXPECT_EQ(u.Collect(), (std::vector<int>{0, 1, 2, 3, 4, 100, 101}));
+}
+
+TEST_F(RddTest, CartesianProducesAllPairs) {
+  auto a = ctx_.Parallelize(std::vector<int>{1, 2}, 2);
+  auto b = ctx_.Parallelize(std::vector<int>{10, 20, 30}, 2);
+  auto cart = a.Cartesian(b);
+  EXPECT_EQ(cart.Count(), 6u);
+  auto pairs = cart.Collect();
+  EXPECT_EQ(pairs[0], (std::pair<int, int>{1, 10}));
+}
+
+TEST_F(RddTest, RepartitionKeepsRecords) {
+  auto rdd = ctx_.Parallelize(Iota(20), 2).Repartition(5);
+  EXPECT_EQ(rdd.NumPartitions(), 5u);
+  auto collected = rdd.Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, Iota(20));
+}
+
+TEST_F(RddTest, RepartitionCountsAsShuffle) {
+  ctx_.metrics().Reset();
+  ctx_.Parallelize(Iota(30), 3).Repartition(6).Count();
+  const auto snapshot = ctx_.metrics().Snapshot();
+  EXPECT_EQ(snapshot.shuffles_performed, 1u);
+  EXPECT_EQ(snapshot.shuffle_records_written, 30u);
+  EXPECT_GT(snapshot.shuffle_bytes_written, 0u);
+}
+
+TEST_F(RddTest, ReduceSumsEverything) {
+  auto rdd = ctx_.Parallelize(Iota(101), 8);
+  EXPECT_EQ(rdd.Reduce(0, [](int a, int b) { return a + b; }), 5050);
+}
+
+TEST_F(RddTest, AggregateMatchesSequentialFold) {
+  auto rdd = ctx_.Parallelize(Iota(100), 6);
+  const auto [count, sum] = rdd.Aggregate<std::pair<int, long>>(
+      {0, 0L},
+      [](std::pair<int, long> acc, int x) {
+        return std::pair<int, long>{acc.first + 1, acc.second + x};
+      },
+      [](std::pair<int, long> a, std::pair<int, long> b) {
+        return std::pair<int, long>{a.first + b.first,
+                                    a.second + b.second};
+      });
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sum, 4950L);
+}
+
+TEST_F(RddTest, TakeReturnsPrefix) {
+  auto rdd = ctx_.Parallelize(Iota(100), 10);
+  EXPECT_EQ(rdd.Take(5), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(rdd.Take(0).size(), 0u);
+  EXPECT_EQ(rdd.Take(1000).size(), 100u);
+}
+
+TEST_F(RddTest, KeyByBuildsPairs) {
+  auto rdd = ctx_.Parallelize(Iota(6), 2);
+  auto keyed = rdd.KeyBy<int>([](int x) { return x % 2; });
+  const auto pairs = keyed.Collect();
+  ASSERT_EQ(pairs.size(), 6u);
+  EXPECT_EQ(pairs[3], (std::pair<int, int>{1, 3}));
+}
+
+TEST_F(RddTest, ChainedTransformationsStayLazyUntilAction) {
+  ctx_.metrics().Reset();
+  auto rdd = ctx_.Parallelize(Iota(10), 2)
+                 .Map<int>([](int x) { return x + 1; })
+                 .Filter([](int x) { return x > 5; });
+  EXPECT_EQ(ctx_.metrics().Snapshot().tasks_launched, 0u);
+  EXPECT_EQ(rdd.Count(), 5u);
+  EXPECT_GT(ctx_.metrics().Snapshot().tasks_launched, 0u);
+}
+
+TEST_F(RddTest, ResultsIndependentOfExecutorCount) {
+  SparkContext one(SparkContext::Config{.num_executors = 1});
+  SparkContext many(SparkContext::Config{.num_executors = 8});
+  auto compute = [](SparkContext* ctx) {
+    return ctx->Parallelize(Iota(500), 13)
+        .Map<int>([](int x) { return 3 * x + 1; })
+        .Filter([](int x) { return x % 7 != 0; })
+        .Collect();
+  };
+  EXPECT_EQ(compute(&one), compute(&many));
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark

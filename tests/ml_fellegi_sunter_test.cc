@@ -1,0 +1,122 @@
+#include "ml/fellegi_sunter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+
+namespace adrdedup::ml {
+namespace {
+
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+// Positives agree on (almost) everything; negatives on (almost) nothing.
+std::vector<LabeledPair> SyntheticPairs(size_t n, double positive_rate,
+                                        uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (auto& pair : pairs) {
+    const bool positive = rng.Bernoulli(positive_rate);
+    pair.label = positive ? +1 : -1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      const bool agree = positive ? rng.Bernoulli(0.9) : rng.Bernoulli(0.1);
+      pair.vector[d] = agree ? 0.0 : 1.0;
+    }
+  }
+  return pairs;
+}
+
+TEST(FellegiSunterTest, EstimatesMatchGeneratingProbabilities) {
+  const auto train = SyntheticPairs(20000, 0.3, 1);
+  FellegiSunterClassifier classifier(FellegiSunterOptions{});
+  classifier.Fit(train);
+  for (size_t d = 0; d < kDistanceDims; ++d) {
+    EXPECT_NEAR(classifier.m()[d], 0.9, 0.03) << d;
+    EXPECT_NEAR(classifier.u()[d], 0.1, 0.03) << d;
+  }
+}
+
+TEST(FellegiSunterTest, AgreementRaisesScore) {
+  const auto train = SyntheticPairs(5000, 0.3, 2);
+  FellegiSunterClassifier classifier(FellegiSunterOptions{});
+  classifier.Fit(train);
+  distance::DistanceVector all_agree;   // zeros
+  distance::DistanceVector all_disagree;
+  for (size_t d = 0; d < kDistanceDims; ++d) all_disagree[d] = 1.0;
+  EXPECT_GT(classifier.Score(all_agree), 0.0);
+  EXPECT_LT(classifier.Score(all_disagree), 0.0);
+}
+
+TEST(FellegiSunterTest, ScoreIsSumOfFieldWeights) {
+  const auto train = SyntheticPairs(5000, 0.3, 3);
+  FellegiSunterClassifier classifier(FellegiSunterOptions{});
+  classifier.Fit(train);
+  distance::DistanceVector v;  // all agree
+  double expected = 0.0;
+  for (size_t d = 0; d < kDistanceDims; ++d) {
+    expected += std::log(classifier.m()[d] / classifier.u()[d]);
+  }
+  EXPECT_NEAR(classifier.Score(v), expected, 1e-9);
+}
+
+TEST(FellegiSunterTest, SeparatesSyntheticPairs) {
+  const auto train = SyntheticPairs(10000, 0.1, 4);
+  const auto test = SyntheticPairs(2000, 0.1, 5);
+  FellegiSunterClassifier classifier(FellegiSunterOptions{});
+  classifier.Fit(train);
+  std::vector<int8_t> labels;
+  for (const auto& pair : test) labels.push_back(pair.label);
+  EXPECT_GT(eval::Aupr(classifier.ScoreAll(test), labels), 0.9);
+}
+
+TEST(FellegiSunterTest, ReasonableOnGeneratedCorpus) {
+  datagen::GeneratorConfig config;
+  config.num_reports = 1500;
+  config.num_duplicate_pairs = 90;
+  config.num_drugs = 250;
+  config.num_adrs = 350;
+  auto corpus = datagen::GenerateCorpus(config);
+  auto features = distance::ExtractAllFeatures(corpus.db);
+  distance::DatasetSpec spec;
+  spec.num_training_pairs = 20000;
+  spec.num_testing_pairs = 4000;
+  auto datasets = distance::BuildDatasets(corpus, features, spec);
+  FellegiSunterClassifier classifier(FellegiSunterOptions{});
+  classifier.Fit(datasets.train.pairs);
+  std::vector<int8_t> labels;
+  for (const auto& pair : datasets.test.pairs) labels.push_back(pair.label);
+  // Useful, though below kNN: it bins fields to agree/disagree and
+  // assumes conditional independence.
+  EXPECT_GT(eval::Aupr(classifier.ScoreAll(datasets.test.pairs), labels),
+            0.15);
+}
+
+TEST(FellegiSunterTest, SmoothingKeepsWeightsFinite) {
+  // Degenerate training data: positives agree everywhere.
+  std::vector<LabeledPair> train(100);
+  for (size_t i = 0; i < train.size(); ++i) {
+    train[i].label = i < 5 ? +1 : -1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      train[i].vector[d] = i < 5 ? 0.0 : 1.0;
+    }
+  }
+  FellegiSunterClassifier classifier(FellegiSunterOptions{});
+  classifier.Fit(train);
+  distance::DistanceVector v;
+  EXPECT_TRUE(std::isfinite(classifier.Score(v)));
+}
+
+TEST(FellegiSunterTest, MissingClassDies) {
+  std::vector<LabeledPair> negatives(10);
+  for (auto& pair : negatives) pair.label = -1;
+  FellegiSunterClassifier classifier(FellegiSunterOptions{});
+  EXPECT_DEATH(classifier.Fit(negatives), "labelled duplicates");
+  EXPECT_DEATH((void)classifier.Score({}), "before Fit");
+}
+
+}  // namespace
+}  // namespace adrdedup::ml

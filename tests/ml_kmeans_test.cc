@@ -1,0 +1,185 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::ml {
+namespace {
+
+using distance::DistanceVector;
+using distance::EuclideanDistance;
+using distance::kDistanceDims;
+
+std::vector<DistanceVector> RandomPoints(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<DistanceVector> points(n);
+  for (auto& point : points) {
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      point[d] = rng.UniformDouble();
+    }
+  }
+  return points;
+}
+
+// Three well-separated blobs near distinct corners of the unit hypercube.
+std::vector<DistanceVector> ThreeBlobs(size_t per_blob, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<DistanceVector> points;
+  const double centers[3] = {0.1, 0.5, 0.9};
+  for (double c : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      DistanceVector p;
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        p[d] = c + rng.UniformDouble(-0.03, 0.03);
+      }
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, AssignmentCoversAllPoints) {
+  const auto points = RandomPoints(500, 1);
+  KMeansOptions options;
+  options.num_clusters = 8;
+  const auto result = RunKMeans(points, options);
+  EXPECT_EQ(result.assignment.size(), points.size());
+  EXPECT_EQ(result.centers.size(), 8u);
+  for (uint32_t c : result.assignment) EXPECT_LT(c, 8u);
+}
+
+TEST(KMeansTest, VoronoiProperty) {
+  // Every point must be assigned to its nearest center — the property
+  // Observation 4 / Eq. 7 pruning in FastKnn depends on.
+  const auto points = RandomPoints(800, 2);
+  KMeansOptions options;
+  options.num_clusters = 12;
+  const auto result = RunKMeans(points, options);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const size_t nearest = NearestCenter(points[i], result.centers);
+    EXPECT_NEAR(
+        EuclideanDistance(points[i], result.centers[result.assignment[i]]),
+        EuclideanDistance(points[i], result.centers[nearest]), 1e-12)
+        << "point " << i;
+  }
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  const auto points = ThreeBlobs(100, 3);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 7;
+  const auto result = RunKMeans(points, options);
+  // Each blob of 100 consecutive points should map to one cluster.
+  for (size_t blob = 0; blob < 3; ++blob) {
+    const uint32_t label = result.assignment[blob * 100];
+    for (size_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(result.assignment[blob * 100 + i], label);
+    }
+  }
+  // And the three blobs get three distinct clusters.
+  EXPECT_NE(result.assignment[0], result.assignment[100]);
+  EXPECT_NE(result.assignment[100], result.assignment[200]);
+  EXPECT_NE(result.assignment[0], result.assignment[200]);
+}
+
+TEST(KMeansTest, MoreClustersThanPointsClamps) {
+  const auto points = RandomPoints(5, 4);
+  KMeansOptions options;
+  options.num_clusters = 50;
+  const auto result = RunKMeans(points, options);
+  EXPECT_EQ(result.centers.size(), 5u);
+}
+
+TEST(KMeansTest, SingleCluster) {
+  const auto points = RandomPoints(100, 5);
+  KMeansOptions options;
+  options.num_clusters = 1;
+  const auto result = RunKMeans(points, options);
+  ASSERT_EQ(result.centers.size(), 1u);
+  // Center is the mean.
+  DistanceVector mean;
+  for (const auto& p : points) {
+    for (size_t d = 0; d < kDistanceDims; ++d) mean[d] += p[d];
+  }
+  for (size_t d = 0; d < kDistanceDims; ++d) {
+    EXPECT_NEAR(result.centers[0][d],
+                mean[d] / static_cast<double>(points.size()), 1e-9);
+  }
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  const auto points = RandomPoints(300, 6);
+  KMeansOptions options;
+  options.num_clusters = 6;
+  const auto r1 = RunKMeans(points, options);
+  const auto r2 = RunKMeans(points, options);
+  EXPECT_EQ(r1.assignment, r2.assignment);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+}
+
+TEST(KMeansTest, ParallelMatchesSequential) {
+  const auto points = RandomPoints(400, 7);
+  KMeansOptions options;
+  options.num_clusters = 10;
+  const auto sequential = RunKMeans(points, options);
+  util::ThreadPool pool(8);
+  const auto parallel = RunKMeans(points, options, &pool);
+  EXPECT_EQ(sequential.assignment, parallel.assignment);
+  EXPECT_NEAR(sequential.inertia, parallel.inertia, 1e-9);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  const auto points = RandomPoints(500, 8);
+  double previous = 1e300;
+  for (size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    KMeansOptions options;
+    options.num_clusters = k;
+    options.seed = 9;
+    const auto result = RunKMeans(points, options);
+    EXPECT_LE(result.inertia, previous * 1.0001) << "k=" << k;
+    previous = result.inertia;
+  }
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  std::vector<DistanceVector> points(50);  // all identical zeros
+  KMeansOptions options;
+  options.num_clusters = 4;
+  const auto result = RunKMeans(points, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+  for (uint32_t c : result.assignment) {
+    EXPECT_LT(c, result.centers.size());
+  }
+}
+
+TEST(KMeansTest, EmptyInputDies) {
+  KMeansOptions options;
+  EXPECT_DEATH(
+      { auto r = RunKMeans({}, options); (void)r; }, "empty point set");
+}
+
+TEST(NearestCenterTest, PicksClosest) {
+  std::vector<DistanceVector> centers(3);
+  centers[0][0] = 0.0;
+  centers[1][0] = 0.5;
+  centers[2][0] = 1.0;
+  DistanceVector q;
+  q[0] = 0.6;
+  EXPECT_EQ(NearestCenter(q, centers), 1u);
+  q[0] = 0.95;
+  EXPECT_EQ(NearestCenter(q, centers), 2u);
+}
+
+TEST(NearestCenterTest, TieBreaksToLowerIndex) {
+  std::vector<DistanceVector> centers(2);
+  centers[0][0] = 0.0;
+  centers[1][0] = 1.0;
+  DistanceVector q;
+  q[0] = 0.5;
+  EXPECT_EQ(NearestCenter(q, centers), 0u);
+}
+
+}  // namespace
+}  // namespace adrdedup::ml

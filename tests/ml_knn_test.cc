@@ -1,0 +1,206 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::ml {
+namespace {
+
+using distance::DistanceVector;
+using distance::EuclideanDistance;
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+std::vector<LabeledPair> RandomTrainingSet(size_t n, double positive_rate,
+                                           uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pairs[i].vector[d] = rng.UniformDouble();
+    }
+    pairs[i].label = rng.Bernoulli(positive_rate) ? +1 : -1;
+    pairs[i].pair = {static_cast<uint32_t>(i),
+                     static_cast<uint32_t>(i + 1)};
+  }
+  return pairs;
+}
+
+// Reference: full sort instead of the heap-based top-k.
+std::vector<Neighbor> NaiveKnn(const DistanceVector& query,
+                               const std::vector<LabeledPair>& train,
+                               size_t k) {
+  std::vector<Neighbor> all;
+  for (size_t i = 0; i < train.size(); ++i) {
+    all.push_back(Neighbor{EuclideanDistance(query, train[i].vector),
+                           train[i].label, static_cast<uint32_t>(i)});
+  }
+  std::sort(all.begin(), all.end(), NeighborLess);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+bool SameNeighbors(const std::vector<Neighbor>& a,
+                   const std::vector<Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].index != b[i].index || a[i].label != b[i].label ||
+        a[i].distance != b[i].distance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class BruteForceKnnProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(BruteForceKnnProperty, MatchesNaiveSort) {
+  const auto [n, k] = GetParam();
+  const auto train = RandomTrainingSet(n, 0.1, 42 + n + k);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    DistanceVector query;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      query[d] = rng.UniformDouble();
+    }
+    const auto fast = BruteForceKnn(query, train, k);
+    const auto naive = NaiveKnn(query, train, k);
+    EXPECT_TRUE(SameNeighbors(fast, naive))
+        << "n=" << n << " k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BruteForceKnnProperty,
+    ::testing::Combine(::testing::Values(1, 5, 50, 500),
+                       ::testing::Values(1, 3, 9, 21, 100)));
+
+TEST(BruteForceKnnTest, ResultSortedAscending) {
+  const auto train = RandomTrainingSet(200, 0.2, 1);
+  DistanceVector query;
+  const auto neighbors = BruteForceKnn(query, train, 15);
+  for (size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_LE(neighbors[i - 1].distance, neighbors[i].distance);
+  }
+}
+
+TEST(BruteForceKnnTest, EmptyTrainingSetYieldsEmpty) {
+  DistanceVector query;
+  EXPECT_TRUE(BruteForceKnn(query, {}, 5).empty());
+}
+
+TEST(BruteForceKnnTest, KLargerThanTrainingSet) {
+  const auto train = RandomTrainingSet(4, 0.5, 2);
+  DistanceVector query;
+  EXPECT_EQ(BruteForceKnn(query, train, 10).size(), 4u);
+}
+
+TEST(MergeNeighborsTest, KeepsGlobalTopK) {
+  const auto train = RandomTrainingSet(100, 0.3, 3);
+  DistanceVector query;
+  query[0] = 0.5;
+  // Split the training set, search both halves, merge.
+  std::vector<LabeledPair> first(train.begin(), train.begin() + 60);
+  std::vector<LabeledPair> second(train.begin() + 60, train.end());
+  auto a = BruteForceKnn(query, first, 9);
+  auto b = BruteForceKnn(query, second, 9);
+  for (auto& n : b) n.index += 60;  // globalize indices
+  const auto merged = MergeNeighbors(a, b, 9);
+  const auto reference = NaiveKnn(query, train, 9);
+  EXPECT_TRUE(SameNeighbors(merged, reference));
+}
+
+TEST(MergeNeighborsTest, EmptySides) {
+  const auto train = RandomTrainingSet(10, 0.5, 4);
+  DistanceVector query;
+  const auto a = BruteForceKnn(query, train, 5);
+  EXPECT_TRUE(SameNeighbors(MergeNeighbors(a, {}, 5), a));
+  EXPECT_TRUE(SameNeighbors(MergeNeighbors({}, a, 5), a));
+  EXPECT_TRUE(MergeNeighbors({}, {}, 5).empty());
+}
+
+TEST(InverseDistanceScoreTest, SignsAndWeights) {
+  // Eq. 5: positives add 1/d, negatives subtract 1/d.
+  std::vector<Neighbor> neighbors = {
+      {0.5, +1, 0},  // +2
+      {0.25, -1, 1},  // -4
+  };
+  EXPECT_DOUBLE_EQ(InverseDistanceScore(neighbors), -2.0);
+}
+
+TEST(InverseDistanceScoreTest, ClampPreventsInfinity) {
+  std::vector<Neighbor> neighbors = {{0.0, +1, 0}};
+  const double score = InverseDistanceScore(neighbors, 1e-6);
+  EXPECT_DOUBLE_EQ(score, 1e6);
+}
+
+TEST(InverseDistanceScoreTest, CloserPositiveOutweighsFartherNegatives) {
+  // The paper's normalization: one near positive beats several distant
+  // negatives — how kNN copes with imbalance.
+  std::vector<Neighbor> neighbors = {
+      {0.05, +1, 0}, {0.9, -1, 1}, {0.95, -1, 2}, {1.0, -1, 3},
+      {1.0, -1, 4},  {1.1, -1, 5}};
+  EXPECT_GT(InverseDistanceScore(neighbors), 0.0);
+}
+
+TEST(MajorityVoteScoreTest, Eq1Semantics) {
+  std::vector<Neighbor> neighbors = {
+      {0.1, +1, 0}, {0.2, +1, 1}, {0.3, -1, 2}};
+  EXPECT_DOUBLE_EQ(MajorityVoteScore(neighbors), 1.0);
+  neighbors.push_back({0.4, -1, 3});
+  neighbors.push_back({0.5, -1, 4});
+  EXPECT_DOUBLE_EQ(MajorityVoteScore(neighbors), -1.0);
+}
+
+TEST(MajorityVoteScoreTest, IgnoresDistances) {
+  std::vector<Neighbor> near = {{0.001, +1, 0}, {0.9, -1, 1}, {0.9, -1, 2}};
+  EXPECT_LT(MajorityVoteScore(near), 0.0);       // Eq. 1 says negative
+  EXPECT_GT(InverseDistanceScore(near), 0.0);    // Eq. 5 says positive
+}
+
+TEST(KnnClassifierTest, ClassifiesByThreshold) {
+  EXPECT_EQ(KnnClassifier::Classify(0.5, 0.0), +1);
+  EXPECT_EQ(KnnClassifier::Classify(-0.5, 0.0), -1);
+  EXPECT_EQ(KnnClassifier::Classify(0.0, 0.0), +1);  // score >= theta
+  EXPECT_EQ(KnnClassifier::Classify(0.5, 1.0), -1);
+}
+
+TEST(KnnClassifierTest, ScoreAllMatchesScore) {
+  const auto train = RandomTrainingSet(300, 0.1, 5);
+  const auto queries = RandomTrainingSet(20, 0.1, 6);
+  KnnClassifier classifier(KnnOptions{.k = 7});
+  classifier.Fit(train);
+  const auto scores = classifier.ScoreAll(queries);
+  ASSERT_EQ(scores.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], classifier.Score(queries[i].vector));
+  }
+}
+
+TEST(KnnClassifierTest, NearExactPositiveMatchScoresHigh) {
+  auto train = RandomTrainingSet(100, 0.0, 7);
+  train[0].label = +1;
+  KnnClassifier classifier(KnnOptions{.k = 5});
+  const auto positive_vector = train[0].vector;
+  classifier.Fit(std::move(train));
+  EXPECT_GT(classifier.Score(positive_vector), 0.0);
+}
+
+TEST(KnnClassifierTest, ScoreBeforeFitDies) {
+  KnnClassifier classifier(KnnOptions{});
+  DistanceVector query;
+  EXPECT_DEATH((void)classifier.Score(query), "before Fit");
+}
+
+TEST(NeighborLessTest, TotalOrder) {
+  EXPECT_TRUE(NeighborLess({0.1, +1, 5}, {0.2, +1, 1}));
+  EXPECT_TRUE(NeighborLess({0.1, +1, 1}, {0.1, +1, 2}));
+  EXPECT_FALSE(NeighborLess({0.1, +1, 2}, {0.1, -1, 2}));
+}
+
+}  // namespace
+}  // namespace adrdedup::ml

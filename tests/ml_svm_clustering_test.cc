@@ -1,0 +1,104 @@
+#include "ml/svm_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::ml {
+namespace {
+
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+// Imbalanced blob data: a tiny positive cluster and a huge negative one.
+std::vector<LabeledPair> ImbalancedBlobs(size_t negatives,
+                                         size_t positives, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < positives; ++i) {
+    LabeledPair pair;
+    pair.label = +1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = rng.UniformDouble(0.0, 0.2);
+    }
+    pairs.push_back(pair);
+  }
+  for (size_t i = 0; i < negatives; ++i) {
+    LabeledPair pair;
+    pair.label = -1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = rng.UniformDouble(0.5, 1.0);
+    }
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+TEST(SvmClusteringTest, SampleSizeRespected) {
+  const auto train = ImbalancedBlobs(10000, 40, 1);
+  SvmClusteringOptions options;
+  options.sample_size = 2000;
+  options.num_clusters = 6;
+  SvmClusteringClassifier classifier(options);
+  classifier.Fit(train);
+  EXPECT_LE(classifier.last_sample_size(), 2000u);
+  EXPECT_GT(classifier.last_sample_size(), 1000u);
+}
+
+TEST(SvmClusteringTest, ZeroSampleSizeTrainsOnFullSet) {
+  const auto train = ImbalancedBlobs(500, 20, 2);
+  SvmClusteringOptions options;
+  options.sample_size = 0;
+  SvmClusteringClassifier classifier(options);
+  classifier.Fit(train);
+  EXPECT_EQ(classifier.last_sample_size(), train.size());
+}
+
+TEST(SvmClusteringTest, SampleLargerThanSetTrainsOnFullSet) {
+  const auto train = ImbalancedBlobs(300, 10, 3);
+  SvmClusteringOptions options;
+  options.sample_size = 100000;
+  SvmClusteringClassifier classifier(options);
+  classifier.Fit(train);
+  EXPECT_EQ(classifier.last_sample_size(), train.size());
+}
+
+TEST(SvmClusteringTest, StillSeparatesBlobData) {
+  const auto train = ImbalancedBlobs(8000, 60, 4);
+  SvmClusteringOptions options;
+  options.sample_size = 1500;
+  options.num_clusters = 8;
+  SvmClusteringClassifier classifier(options);
+  classifier.Fit(train);
+  const auto test = ImbalancedBlobs(200, 20, 5);
+  size_t correct = 0;
+  for (const auto& example : test) {
+    const int8_t predicted =
+        classifier.Score(example.vector) >= 0 ? +1 : -1;
+    if (predicted == example.label) ++correct;
+  }
+  EXPECT_GT(correct, test.size() * 9 / 10);
+}
+
+TEST(SvmClusteringTest, SmallClustersFullyIncluded) {
+  // The positive blob forms (at least one) tiny k-means cluster; its
+  // members must survive sampling — that is the method's entire point.
+  const auto train = ImbalancedBlobs(20000, 30, 6);
+  SvmClusteringOptions options;
+  options.sample_size = 1000;
+  options.num_clusters = 10;
+  SvmClusteringClassifier classifier(options);
+  classifier.Fit(train);
+  // A plain uniform sample of 1000/20030 would keep ~1.5 positives; the
+  // stratified sample trains a model that still recognizes the positive
+  // region, which it can only do if the positives made it in.
+  distance::DistanceVector positive_center;
+  for (size_t d = 0; d < kDistanceDims; ++d) positive_center[d] = 0.1;
+  distance::DistanceVector negative_center;
+  for (size_t d = 0; d < kDistanceDims; ++d) negative_center[d] = 0.75;
+  EXPECT_GT(classifier.Score(positive_center),
+            classifier.Score(negative_center));
+}
+
+}  // namespace
+}  // namespace adrdedup::ml

@@ -1,0 +1,136 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::ml {
+namespace {
+
+using distance::DistanceVector;
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+// Linearly separable set: positives have small component sums, negatives
+// large ones — the idealized duplicate geometry.
+std::vector<LabeledPair> SeparableSet(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (auto& pair : pairs) {
+    const bool positive = rng.Bernoulli(0.3);
+    pair.label = positive ? +1 : -1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = positive ? rng.UniformDouble(0.0, 0.25)
+                                : rng.UniformDouble(0.65, 1.0);
+    }
+  }
+  return pairs;
+}
+
+TEST(SvmTest, LearnsSeparableProblem) {
+  const auto train = SeparableSet(2000, 1);
+  SvmClassifier svm(SvmOptions{.epochs = 10});
+  svm.Fit(train);
+  const auto test = SeparableSet(300, 2);
+  size_t correct = 0;
+  for (const auto& example : test) {
+    const int8_t predicted = svm.Score(example.vector) >= 0 ? +1 : -1;
+    if (predicted == example.label) ++correct;
+  }
+  EXPECT_GT(correct, test.size() * 95 / 100);
+}
+
+TEST(SvmTest, ScoreDecreasesWithDistanceComponents) {
+  const auto train = SeparableSet(2000, 3);
+  SvmClassifier svm(SvmOptions{.epochs = 10});
+  svm.Fit(train);
+  DistanceVector similar;   // all zeros: identical reports
+  DistanceVector different;
+  for (size_t d = 0; d < kDistanceDims; ++d) different[d] = 1.0;
+  EXPECT_GT(svm.Score(similar), svm.Score(different));
+}
+
+TEST(SvmTest, DeterministicInSeed) {
+  const auto train = SeparableSet(500, 4);
+  SvmClassifier a(SvmOptions{});
+  SvmClassifier b(SvmOptions{});
+  a.Fit(train);
+  b.Fit(train);
+  for (size_t d = 0; d < kDistanceDims; ++d) {
+    EXPECT_DOUBLE_EQ(a.model().weights[d], b.model().weights[d]);
+  }
+  EXPECT_DOUBLE_EQ(a.model().bias, b.model().bias);
+}
+
+TEST(SvmTest, ModelNormBoundedByPegasosProjection) {
+  const auto train = SeparableSet(1000, 5);
+  SvmOptions options;
+  options.lambda = 1e-2;
+  SvmClassifier svm(options);
+  svm.Fit(train);
+  double norm_sq = svm.model().bias * svm.model().bias;
+  for (double w : svm.model().weights) norm_sq += w * w;
+  EXPECT_LE(norm_sq, 1.0 / options.lambda + 1e-9);
+}
+
+TEST(SvmTest, PositiveWeightShiftsDecisionTowardRecall) {
+  // With heavy imbalance, up-weighting positives must not lower the
+  // count of detected positives.
+  util::Rng rng(6);
+  std::vector<LabeledPair> train;
+  for (int i = 0; i < 5000; ++i) {
+    LabeledPair pair;
+    const bool positive = i < 25;  // 0.5% positives
+    pair.label = positive ? +1 : -1;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pair.vector[d] = positive ? rng.UniformDouble(0.0, 0.45)
+                                : rng.UniformDouble(0.35, 1.0);
+    }
+    train.push_back(pair);
+  }
+  SvmClassifier plain(SvmOptions{});
+  plain.Fit(train);
+  SvmOptions weighted_options;
+  weighted_options.positive_weight = 50.0;
+  SvmClassifier weighted(weighted_options);
+  weighted.Fit(train);
+
+  size_t plain_hits = 0;
+  size_t weighted_hits = 0;
+  for (const auto& example : train) {
+    if (example.label < 0) continue;
+    if (plain.Score(example.vector) >= 0) ++plain_hits;
+    if (weighted.Score(example.vector) >= 0) ++weighted_hits;
+  }
+  EXPECT_GE(weighted_hits, plain_hits);
+}
+
+TEST(SvmTest, ScoreAllMatchesScore) {
+  const auto train = SeparableSet(400, 7);
+  const auto queries = SeparableSet(30, 8);
+  SvmClassifier svm(SvmOptions{});
+  svm.Fit(train);
+  const auto scores = svm.ScoreAll(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], svm.Score(queries[i].vector));
+  }
+}
+
+TEST(SvmTest, EmptyTrainingDies) {
+  SvmClassifier svm(SvmOptions{});
+  EXPECT_DEATH(svm.Fit({}), "empty training set");
+}
+
+TEST(SvmModelTest, ScoreIsAffine) {
+  SvmModel model;
+  model.weights[0] = 2.0;
+  model.weights[3] = -1.0;
+  model.bias = 0.5;
+  DistanceVector v;
+  v[0] = 0.25;
+  v[3] = 0.5;
+  EXPECT_DOUBLE_EQ(model.Score(v), 0.5 + 2.0 * 0.25 - 1.0 * 0.5);
+}
+
+}  // namespace
+}  // namespace adrdedup::ml

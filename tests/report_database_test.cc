@@ -1,0 +1,99 @@
+#include "report/report_database.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::report {
+namespace {
+
+AdrReport MakeReport(const std::string& case_number,
+                     const std::string& drug,
+                     const std::string& adr) {
+  AdrReport report;
+  report.Set(FieldId::kCaseNumber, case_number);
+  report.Set(FieldId::kGenericNameDescription, drug);
+  report.Set(FieldId::kMeddraPtCode, adr);
+  return report;
+}
+
+TEST(ReportDatabaseTest, AddAssignsArrivalIndices) {
+  ReportDatabase db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.Add(MakeReport("C1", "DrugA", "Nausea")), 0u);
+  EXPECT_EQ(db.Add(MakeReport("C2", "DrugB", "Rash")), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.Get(0).case_number(), "C1");
+  EXPECT_EQ(db.Get(1).case_number(), "C2");
+}
+
+TEST(ReportDatabaseTest, GetOutOfRangeDies) {
+  ReportDatabase db;
+  db.Add(MakeReport("C1", "DrugA", "Nausea"));
+  EXPECT_DEATH({ (void)db.Get(5); }, "Check failed");
+}
+
+TEST(ReportDatabaseTest, ReportsSince) {
+  ReportDatabase db;
+  for (int i = 0; i < 5; ++i) {
+    db.Add(MakeReport("C" + std::to_string(i), "D", "A"));
+  }
+  EXPECT_EQ(db.ReportsSince(3),
+            (std::vector<ReportId>{3, 4}));
+  EXPECT_EQ(db.ReportsSince(0).size(), 5u);
+  EXPECT_TRUE(db.ReportsSince(5).empty());
+}
+
+TEST(ReportDatabaseTest, FindByCaseNumber) {
+  ReportDatabase db;
+  db.Add(MakeReport("C1", "D", "A"));
+  db.Add(MakeReport("C2", "D", "A"));
+  auto found = db.FindByCaseNumber("C2");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 1u);
+  EXPECT_FALSE(db.FindByCaseNumber("C9").ok());
+}
+
+TEST(ReportDatabaseTest, DuplicateCaseNumbersKeepFirstInIndex) {
+  ReportDatabase db;
+  db.Add(MakeReport("C1", "DrugA", "A"));
+  db.Add(MakeReport("C1", "DrugB", "A"));
+  auto found = db.FindByCaseNumber("C1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 0u);
+  EXPECT_EQ(db.size(), 2u);  // both reports stored
+}
+
+TEST(ReportDatabaseTest, CountUniqueValuesPlain) {
+  ReportDatabase db;
+  db.Add(MakeReport("C1", "DrugA", "Nausea"));
+  db.Add(MakeReport("C2", "DrugA", "Rash"));
+  db.Add(MakeReport("C3", "DrugB", "Rash"));
+  EXPECT_EQ(db.CountUniqueValues(FieldId::kGenericNameDescription,
+                                 /*split_on_comma=*/false),
+            2u);
+}
+
+TEST(ReportDatabaseTest, CountUniqueValuesSplitsLists) {
+  ReportDatabase db;
+  db.Add(MakeReport("C1", "DrugA,DrugB", "Nausea,Rash"));
+  db.Add(MakeReport("C2", "DrugB, DrugC", "Rash"));
+  EXPECT_EQ(db.CountUniqueValues(FieldId::kGenericNameDescription,
+                                 /*split_on_comma=*/true),
+            3u);
+  EXPECT_EQ(db.CountUniqueValues(FieldId::kMeddraPtCode,
+                                 /*split_on_comma=*/true),
+            2u);
+}
+
+TEST(ReportDatabaseTest, CountUniqueSkipsMissing) {
+  ReportDatabase db;
+  db.Add(MakeReport("C1", "", "A"));
+  db.Add(MakeReport("C2", "-", "A"));
+  AdrReport not_known = MakeReport("C3", "", "A");
+  not_known.Set(FieldId::kGenericNameDescription, std::string(kNotKnown));
+  db.Add(std::move(not_known));
+  EXPECT_EQ(db.CountUniqueValues(FieldId::kGenericNameDescription, true),
+            0u);
+}
+
+}  // namespace
+}  // namespace adrdedup::report

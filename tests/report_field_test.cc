@@ -1,0 +1,85 @@
+#include "report/field.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::report {
+namespace {
+
+TEST(SchemaTest, Exactly37Fields) {
+  EXPECT_EQ(Schema().size(), 37u);
+  EXPECT_EQ(kNumFields, 37u);
+}
+
+TEST(SchemaTest, FieldIdsMatchPositions) {
+  const auto& schema = Schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(schema[i].id), i);
+  }
+}
+
+TEST(SchemaTest, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const FieldSpec& spec : Schema()) {
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate field name: " << spec.name;
+  }
+}
+
+TEST(SchemaTest, FiveTableGroupsPresent) {
+  std::set<std::string_view> groups;
+  for (const FieldSpec& spec : Schema()) groups.insert(spec.group);
+  EXPECT_EQ(groups.size(), 5u);
+  EXPECT_TRUE(groups.contains("Case Details"));
+  EXPECT_TRUE(groups.contains("Patient Details"));
+  EXPECT_TRUE(groups.contains("Reaction Information"));
+  EXPECT_TRUE(groups.contains("Medicine Information"));
+  EXPECT_TRUE(groups.contains("Reporter Details"));
+}
+
+TEST(SchemaTest, ExactlySevenDedupFields) {
+  size_t count = 0;
+  for (const FieldSpec& spec : Schema()) {
+    if (spec.used_in_dedup) ++count;
+  }
+  EXPECT_EQ(count, 7u);
+  EXPECT_EQ(DedupFields().size(), 7u);
+}
+
+TEST(SchemaTest, DedupFieldsMatchSection42) {
+  // Section 4.2: age numeric; sex/state/onset categorical-ish; drug name,
+  // ADR name and report description string/free-text.
+  const auto& fields = DedupFields();
+  EXPECT_EQ(fields[0], FieldId::kCalculatedAge);
+  EXPECT_EQ(fields[1], FieldId::kSex);
+  EXPECT_EQ(fields[2], FieldId::kResidentialState);
+  EXPECT_EQ(fields[3], FieldId::kOnsetDate);
+  EXPECT_EQ(fields[4], FieldId::kGenericNameDescription);
+  EXPECT_EQ(fields[5], FieldId::kMeddraPtCode);
+  EXPECT_EQ(fields[6], FieldId::kReportDescription);
+
+  EXPECT_EQ(GetFieldSpec(fields[0]).type, FieldType::kNumeric);
+  EXPECT_EQ(GetFieldSpec(fields[1]).type, FieldType::kCategorical);
+  EXPECT_EQ(GetFieldSpec(fields[4]).type, FieldType::kString);
+  EXPECT_EQ(GetFieldSpec(fields[6]).type, FieldType::kFreeText);
+  for (FieldId id : fields) {
+    EXPECT_TRUE(GetFieldSpec(id).used_in_dedup);
+  }
+}
+
+TEST(FieldIdFromNameTest, RoundTripsEveryField) {
+  for (const FieldSpec& spec : Schema()) {
+    auto id = FieldIdFromName(spec.name);
+    ASSERT_TRUE(id.has_value()) << spec.name;
+    EXPECT_EQ(*id, spec.id);
+  }
+}
+
+TEST(FieldIdFromNameTest, UnknownNameIsNullopt) {
+  EXPECT_FALSE(FieldIdFromName("not_a_field").has_value());
+  EXPECT_FALSE(FieldIdFromName("").has_value());
+}
+
+}  // namespace
+}  // namespace adrdedup::report

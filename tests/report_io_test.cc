@@ -1,0 +1,97 @@
+#include "report/report_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace adrdedup::report {
+namespace {
+
+class ReportIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("adrdedup_report_io_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(ReportIoTest, RoundTripSmallDatabase) {
+  ReportDatabase db;
+  AdrReport a;
+  a.Set(FieldId::kCaseNumber, "C1");
+  a.Set(FieldId::kReportDescription, "text with, comma and \"quotes\"");
+  a.Set(FieldId::kSex, "M");
+  db.Add(a);
+  AdrReport b;
+  b.Set(FieldId::kCaseNumber, "C2");
+  b.Set(FieldId::kReportDescription, "multi\nline narrative");
+  db.Add(b);
+
+  ASSERT_TRUE(WriteCsv(db, path_).ok());
+  auto read = ReadCsv(path_);
+  ASSERT_TRUE(read.ok());
+  const ReportDatabase& loaded = read.value();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.Get(0), a);
+  EXPECT_EQ(loaded.Get(1), b);
+}
+
+TEST_F(ReportIoTest, RoundTripGeneratedCorpus) {
+  datagen::GeneratorConfig config;
+  config.num_reports = 300;
+  config.num_duplicate_pairs = 20;
+  config.num_drugs = 50;
+  config.num_adrs = 80;
+  auto corpus = datagen::GenerateCorpus(config);
+  ASSERT_TRUE(WriteCsv(corpus.db, path_).ok());
+  auto read = ReadCsv(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), corpus.db.size());
+  for (size_t i = 0; i < corpus.db.size(); ++i) {
+    ASSERT_EQ(read.value().Get(static_cast<ReportId>(i)),
+              corpus.db.Get(static_cast<ReportId>(i)))
+        << "report " << i;
+  }
+}
+
+TEST_F(ReportIoTest, UnknownColumnRejected) {
+  std::ofstream out(path_);
+  out << "case_number,bogus_column\nC1,x\n";
+  out.close();
+  auto read = ReadCsv(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReportIoTest, RaggedRowRejected) {
+  std::ofstream out(path_);
+  out << "case_number,sex\nC1,M\nC2\n";
+  out.close();
+  EXPECT_FALSE(ReadCsv(path_).ok());
+}
+
+TEST_F(ReportIoTest, SubsetOfColumnsAccepted) {
+  std::ofstream out(path_);
+  out << "case_number,sex\nC1,M\n";
+  out.close();
+  auto read = ReadCsv(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().size(), 1u);
+  EXPECT_EQ(read.value().Get(0).sex(), "M");
+  EXPECT_TRUE(read.value().Get(0).Get(FieldId::kReportDescription).empty());
+}
+
+TEST_F(ReportIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace adrdedup::report

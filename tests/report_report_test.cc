@@ -1,0 +1,75 @@
+#include "report/report.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::report {
+namespace {
+
+TEST(AdrReportTest, GetSetRoundTrip) {
+  AdrReport report;
+  report.Set(FieldId::kSex, "F");
+  report.Set(FieldId::kCalculatedAge, "34");
+  EXPECT_EQ(report.Get(FieldId::kSex), "F");
+  EXPECT_EQ(report.sex(), "F");
+  EXPECT_EQ(report.Get(FieldId::kCalculatedAge), "34");
+}
+
+TEST(AdrReportTest, FieldsDefaultEmpty) {
+  AdrReport report;
+  for (const FieldSpec& spec : Schema()) {
+    EXPECT_TRUE(report.Get(spec.id).empty());
+  }
+}
+
+TEST(AdrReportTest, MissingDetection) {
+  AdrReport report;
+  EXPECT_TRUE(report.IsMissing(FieldId::kResidentialState));
+  report.Set(FieldId::kResidentialState, std::string(kNotKnown));
+  EXPECT_TRUE(report.IsMissing(FieldId::kResidentialState));
+  report.Set(FieldId::kResidentialState, "-");
+  EXPECT_TRUE(report.IsMissing(FieldId::kResidentialState));
+  report.Set(FieldId::kResidentialState, "NSW");
+  EXPECT_FALSE(report.IsMissing(FieldId::kResidentialState));
+}
+
+TEST(AdrReportTest, AgeParsing) {
+  AdrReport report;
+  EXPECT_EQ(report.Age(), std::nullopt);
+  report.Set(FieldId::kCalculatedAge, "46");
+  EXPECT_EQ(report.Age(), 46);
+  report.Set(FieldId::kCalculatedAge, "0");
+  EXPECT_EQ(report.Age(), 0);
+  report.Set(FieldId::kCalculatedAge, "abc");
+  EXPECT_EQ(report.Age(), std::nullopt);
+  report.Set(FieldId::kCalculatedAge, "4a");
+  EXPECT_EQ(report.Age(), std::nullopt);
+  report.Set(FieldId::kCalculatedAge, "999");
+  EXPECT_EQ(report.Age(), std::nullopt);  // implausible -> missing
+}
+
+TEST(AdrReportTest, ConvenienceAccessors) {
+  AdrReport report;
+  report.Set(FieldId::kCaseNumber, "C1");
+  report.Set(FieldId::kOnsetDate, "30/04/2013 00:00:00");
+  report.Set(FieldId::kGenericNameDescription, "Atorvastatin");
+  report.Set(FieldId::kMeddraPtCode, "Rhabdomyolysis");
+  report.Set(FieldId::kReportDescription, "free text");
+  EXPECT_EQ(report.case_number(), "C1");
+  EXPECT_EQ(report.onset_date(), "30/04/2013 00:00:00");
+  EXPECT_EQ(report.drug_name(), "Atorvastatin");
+  EXPECT_EQ(report.adr_name(), "Rhabdomyolysis");
+  EXPECT_EQ(report.description(), "free text");
+}
+
+TEST(AdrReportTest, EqualityIsFieldwise) {
+  AdrReport a;
+  AdrReport b;
+  EXPECT_EQ(a, b);
+  a.Set(FieldId::kSex, "M");
+  EXPECT_FALSE(a == b);
+  b.Set(FieldId::kSex, "M");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace adrdedup::report

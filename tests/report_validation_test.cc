@@ -1,0 +1,177 @@
+#include "report/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+
+namespace adrdedup::report {
+namespace {
+
+AdrReport CleanReport() {
+  AdrReport report;
+  report.Set(FieldId::kCaseNumber, "C1");
+  report.Set(FieldId::kCalculatedAge, "46");
+  report.Set(FieldId::kSex, "M");
+  report.Set(FieldId::kOnsetDate, "30/04/2013 00:00:00");
+  report.Set(FieldId::kReportDate, "15/05/2013");
+  report.Set(FieldId::kGenericNameDescription, "Atorvastatin");
+  report.Set(FieldId::kMeddraPtCode, "Rhabdomyolysis,Myalgia");
+  report.Set(FieldId::kReportDescription,
+             "The subject experienced rhabdomyolysis while on treatment.");
+  return report;
+}
+
+size_t CountSeverity(const std::vector<ValidationIssue>& issues,
+                     IssueSeverity severity) {
+  size_t count = 0;
+  for (const auto& issue : issues) {
+    if (issue.severity == severity) ++count;
+  }
+  return count;
+}
+
+TEST(ValidateReportTest, CleanReportHasNoIssues) {
+  EXPECT_TRUE(ValidateReport(CleanReport()).empty());
+}
+
+TEST(ValidateReportTest, MissingCaseNumberIsError) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kCaseNumber, "");
+  const auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, FieldId::kCaseNumber);
+  EXPECT_EQ(issues[0].severity, IssueSeverity::kError);
+}
+
+TEST(ValidateReportTest, NonNumericAgeIsError) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kCalculatedAge, "forty-six");
+  const auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, IssueSeverity::kError);
+}
+
+TEST(ValidateReportTest, ImplausibleAgeIsWarning) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kCalculatedAge, "150");
+  const auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, IssueSeverity::kWarning);
+}
+
+TEST(ValidateReportTest, MissingAgeIsFine) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kCalculatedAge, "");
+  EXPECT_TRUE(ValidateReport(report).empty());
+}
+
+TEST(ValidateReportTest, UnknownSexIsWarning) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kSex, "X");
+  const auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, FieldId::kSex);
+}
+
+TEST(ValidateReportTest, BadDatesAreErrors) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kOnsetDate, "31/02/2013");  // February 31st
+  auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, IssueSeverity::kError);
+
+  report = CleanReport();
+  report.Set(FieldId::kReportDate, "2013-05-15");  // wrong format
+  issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, FieldId::kReportDate);
+}
+
+TEST(ValidateReportTest, OnsetAfterReportIsWarning) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kOnsetDate, "20/06/2013");
+  report.Set(FieldId::kReportDate, "15/05/2013");
+  const auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].severity, IssueSeverity::kWarning);
+  EXPECT_NE(issues[0].message.find("after"), std::string::npos);
+}
+
+TEST(ValidateReportTest, ShortDescriptionIsWarning) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kReportDescription, "sick");
+  const auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, FieldId::kReportDescription);
+}
+
+TEST(ValidateReportTest, EmptyListEntriesWarned) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kMeddraPtCode, "Rash,,Nausea");
+  const auto issues = ValidateReport(report);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].field, FieldId::kMeddraPtCode);
+}
+
+TEST(ValidateReportTest, MultipleIssuesAccumulate) {
+  AdrReport report = CleanReport();
+  report.Set(FieldId::kCaseNumber, "");
+  report.Set(FieldId::kCalculatedAge, "abc");
+  report.Set(FieldId::kSex, "?");
+  const auto issues = ValidateReport(report);
+  EXPECT_EQ(issues.size(), 3u);
+  EXPECT_EQ(CountSeverity(issues, IssueSeverity::kError), 2u);
+  EXPECT_EQ(CountSeverity(issues, IssueSeverity::kWarning), 1u);
+}
+
+TEST(ParseReportDateTest, AcceptsBothForms) {
+  int d = 0, m = 0, y = 0;
+  EXPECT_TRUE(ParseReportDate("30/04/2013", &d, &m, &y));
+  EXPECT_EQ(d, 30);
+  EXPECT_EQ(m, 4);
+  EXPECT_EQ(y, 2013);
+  EXPECT_TRUE(ParseReportDate("01/12/1999 23:59:59", &d, &m, &y));
+  EXPECT_EQ(y, 1999);
+}
+
+TEST(ParseReportDateTest, RejectsMalformed) {
+  int d = 0, m = 0, y = 0;
+  EXPECT_FALSE(ParseReportDate("", &d, &m, &y));
+  EXPECT_FALSE(ParseReportDate("30-04-2013", &d, &m, &y));
+  EXPECT_FALSE(ParseReportDate("30/13/2013", &d, &m, &y));
+  EXPECT_FALSE(ParseReportDate("0/04/2013", &d, &m, &y));
+  EXPECT_FALSE(ParseReportDate("30/04/13", &d, &m, &y));
+  EXPECT_FALSE(ParseReportDate("aa/bb/cccc", &d, &m, &y));
+}
+
+TEST(ValidateDatabaseTest, GeneratedCorpusIsLargelyClean) {
+  datagen::GeneratorConfig config;
+  config.num_reports = 600;
+  config.num_duplicate_pairs = 40;
+  config.num_drugs = 120;
+  config.num_adrs = 200;
+  auto corpus = datagen::GenerateCorpus(config);
+  std::vector<ReportId> flagged;
+  const auto summary = ValidateDatabase(corpus.db, &flagged);
+  EXPECT_EQ(summary.reports_checked, 600u);
+  EXPECT_EQ(summary.total_errors, 0u);
+  EXPECT_EQ(flagged.size(), summary.reports_with_issues);
+}
+
+TEST(ValidateDatabaseTest, FlagsInjectedDirt) {
+  ReportDatabase db;
+  AdrReport good = CleanReport();
+  db.Add(good);
+  AdrReport bad = CleanReport();
+  bad.Set(FieldId::kCalculatedAge, "oops");
+  db.Add(bad);
+  std::vector<ReportId> flagged;
+  const auto summary = ValidateDatabase(db, &flagged);
+  EXPECT_EQ(summary.reports_with_issues, 1u);
+  EXPECT_EQ(summary.total_errors, 1u);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 1u);
+}
+
+}  // namespace
+}  // namespace adrdedup::report

@@ -1,0 +1,76 @@
+#include "text/text_pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::text {
+namespace {
+
+TEST(ProcessFreeTextTest, FullPipeline) {
+  const auto tokens =
+      ProcessFreeText("The subject experienced headaches and vomiting.");
+  // "the" and "and" are stop words; remaining words are stemmed.
+  EXPECT_EQ(tokens, (std::vector<std::string>{"subject", "experienc",
+                                              "headach", "vomit"}));
+}
+
+TEST(ProcessFreeTextTest, StemmingOff) {
+  TextPipelineOptions options;
+  options.stem = false;
+  const auto tokens = ProcessFreeText("experienced headaches", options);
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"experienced", "headaches"}));
+}
+
+TEST(ProcessFreeTextTest, StopwordsOff) {
+  TextPipelineOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  const auto tokens = ProcessFreeText("the subject", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "subject"}));
+}
+
+TEST(ProcessFreeTextTest, NumberFiltering) {
+  TextPipelineOptions options;
+  options.min_number_length = 4;
+  const auto tokens = ProcessFreeText("dose 80 mg in 2013", options);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"dose", "mg", "2013"}));
+}
+
+TEST(FreeTextJaccardDistanceTest, ParaphraseCloserThanUnrelated) {
+  const char* original =
+      "The 46 year old male patient experienced rhabdomyolysis while on "
+      "atorvastatin for the treatment of unknown indication.";
+  const char* paraphrase =
+      "A 46-year-old male subject on atorvastatin was experiencing "
+      "rhabdomyolysis; the indication for treatment is unknown.";
+  const char* unrelated =
+      "In the afternoon the patient reported uncontrollable cough and "
+      "headache following vaccination with Boostrix.";
+  const double d_para = FreeTextJaccardDistance(original, paraphrase);
+  const double d_unrel = FreeTextJaccardDistance(original, unrelated);
+  EXPECT_LT(d_para, 0.5);
+  EXPECT_GT(d_unrel, 0.7);
+  EXPECT_LT(d_para, d_unrel);
+}
+
+TEST(FreeTextJaccardDistanceTest, IdentityAndRange) {
+  EXPECT_DOUBLE_EQ(FreeTextJaccardDistance("same words here",
+                                           "same words here"),
+                   0.0);
+  const double d = FreeTextJaccardDistance("alpha beta", "gamma delta");
+  EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(FreeTextJaccardDistanceTest, StemmingBridgesInflection) {
+  TextPipelineOptions with_stem;
+  TextPipelineOptions without_stem;
+  without_stem.stem = false;
+  const char* a = "patient experienced headaches";
+  const char* b = "patients experiencing headache";
+  EXPECT_LT(FreeTextJaccardDistance(a, b, with_stem),
+            FreeTextJaccardDistance(a, b, without_stem));
+  EXPECT_DOUBLE_EQ(FreeTextJaccardDistance(a, b, with_stem), 0.0);
+}
+
+}  // namespace
+}  // namespace adrdedup::text

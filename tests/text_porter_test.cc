@@ -1,0 +1,136 @@
+#include "text/porter_stemmer.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::text {
+namespace {
+
+// Reference pairs from Porter's 1980 paper and the canonical test
+// vocabulary.
+class PorterKnownStems
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {
+};
+
+TEST_P(PorterKnownStems, MatchesReference) {
+  const auto& [word, stem] = GetParam();
+  EXPECT_EQ(PorterStem(word), stem) << "input: " << word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Reference, PorterKnownStems,
+    ::testing::Values(
+        // Step 1a
+        std::pair{"caresses", "caress"}, std::pair{"ponies", "poni"},
+        std::pair{"ties", "ti"}, std::pair{"caress", "caress"},
+        std::pair{"cats", "cat"},
+        // Step 1b
+        std::pair{"feed", "feed"}, std::pair{"agreed", "agre"},
+        std::pair{"plastered", "plaster"}, std::pair{"bled", "bled"},
+        std::pair{"motoring", "motor"}, std::pair{"sing", "sing"},
+        std::pair{"conflated", "conflat"}, std::pair{"troubled", "troubl"},
+        std::pair{"sized", "size"}, std::pair{"hopping", "hop"},
+        std::pair{"tanned", "tan"}, std::pair{"falling", "fall"},
+        std::pair{"hissing", "hiss"}, std::pair{"fizzed", "fizz"},
+        std::pair{"failing", "fail"}, std::pair{"filing", "file"},
+        // Step 1c
+        std::pair{"happy", "happi"}, std::pair{"sky", "sky"},
+        // Step 2
+        std::pair{"relational", "relat"}, std::pair{"conditional", "condit"},
+        std::pair{"rational", "ration"}, std::pair{"valenci", "valenc"},
+        std::pair{"hesitanci", "hesit"}, std::pair{"digitizer", "digit"},
+        std::pair{"conformabli", "conform"}, std::pair{"radicalli", "radic"},
+        std::pair{"differentli", "differ"}, std::pair{"vileli", "vile"},
+        std::pair{"analogousli", "analog"},
+        std::pair{"vietnamization", "vietnam"},
+        std::pair{"predication", "predic"}, std::pair{"operator", "oper"},
+        std::pair{"feudalism", "feudal"},
+        std::pair{"decisiveness", "decis"}, std::pair{"hopefulness", "hope"},
+        std::pair{"callousness", "callous"}, std::pair{"formaliti", "formal"},
+        std::pair{"sensitiviti", "sensit"}, std::pair{"sensibiliti", "sensibl"},
+        // Step 3
+        std::pair{"triplicate", "triplic"}, std::pair{"formative", "form"},
+        std::pair{"formalize", "formal"}, std::pair{"electriciti", "electr"},
+        std::pair{"electrical", "electr"}, std::pair{"hopeful", "hope"},
+        std::pair{"goodness", "good"},
+        // Step 4
+        std::pair{"revival", "reviv"}, std::pair{"allowance", "allow"},
+        std::pair{"inference", "infer"}, std::pair{"airliner", "airlin"},
+        std::pair{"gyroscopic", "gyroscop"},
+        std::pair{"adjustable", "adjust"}, std::pair{"defensible", "defens"},
+        std::pair{"irritant", "irrit"}, std::pair{"replacement", "replac"},
+        std::pair{"adjustment", "adjust"}, std::pair{"dependent", "depend"},
+        std::pair{"adoption", "adopt"}, std::pair{"homologou", "homolog"},
+        std::pair{"communism", "commun"}, std::pair{"activate", "activ"},
+        std::pair{"angulariti", "angular"}, std::pair{"homologous", "homolog"},
+        std::pair{"effective", "effect"}, std::pair{"bowdlerize", "bowdler"},
+        // Step 5
+        std::pair{"probate", "probat"}, std::pair{"rate", "rate"},
+        std::pair{"cease", "ceas"}, std::pair{"controll", "control"},
+        std::pair{"roll", "roll"}));
+
+// Medical vocabulary from the ADR domain.
+TEST(PorterStemTest, MedicalVocabulary) {
+  EXPECT_EQ(PorterStem("experienced"), PorterStem("experiencing"));
+  EXPECT_EQ(PorterStem("vaccination"), PorterStem("vaccinated"));
+  EXPECT_EQ(PorterStem("reported"), PorterStem("reporting"));
+  EXPECT_EQ(PorterStem("hospitalisation"), "hospitalis");
+}
+
+TEST(PorterStemTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("on"), "on");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemTest, NonAlphaTokensUnchanged) {
+  EXPECT_EQ(PorterStem("2013"), "2013");
+  EXPECT_EQ(PorterStem("b12"), "b12");
+}
+
+TEST(PorterStemTest, StemmingIsIdempotentOnCommonVocabulary) {
+  // Porter is not idempotent in general (e.g. "decisiveness" -> "decis"
+  // -> "deci"), but on most ordinary vocabulary a second pass is a no-op.
+  const std::vector<std::string> words = {
+      "caresses",  "motoring",  "relational", "vietnamization",
+      "formative", "replacement", "experiencing",
+      "vaccination", "headaches", "subjects"};
+  for (const auto& word : words) {
+    const std::string once = PorterStem(word);
+    EXPECT_EQ(PorterStem(once), once) << word;
+  }
+}
+
+TEST(PorterStemTest, DocumentedNonIdempotenceCase) {
+  // The classic counter-example: the first pass strips -iveness and -ness
+  // machinery to "decis"; a second pass sees a plural-looking final 's'.
+  EXPECT_EQ(PorterStem("decisiveness"), "decis");
+  EXPECT_EQ(PorterStem("decis"), "deci");
+}
+
+TEST(PorterStemAllTest, StemsEveryToken) {
+  EXPECT_EQ(PorterStemAll({"caresses", "motoring"}),
+            (std::vector<std::string>{"caress", "motor"}));
+}
+
+TEST(PorterStemTest, RandomWordsDoNotCrashAndShrink) {
+  util::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::string word;
+    const size_t length = 1 + rng.Uniform(15);
+    for (size_t c = 0; c < length; ++c) {
+      word.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    const std::string stem = PorterStem(word);
+    EXPECT_LE(stem.size(), word.size() + 1) << word;  // at most +1 ("bl"->"ble")
+    EXPECT_FALSE(stem.empty());
+  }
+}
+
+}  // namespace
+}  // namespace adrdedup::text

@@ -1,0 +1,227 @@
+#include "text/similarity.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace adrdedup::text {
+namespace {
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+  EXPECT_EQ(LevenshteinDistance("atorvastatin", "atorvastatin calcium"), 8u);
+}
+
+TEST(LevenshteinTest, SymmetryProperty) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < rng.Uniform(12); ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(4)));
+    }
+    for (size_t i = 0; i < rng.Uniform(12); ++i) {
+      b.push_back(static_cast<char>('a' + rng.Uniform(4)));
+    }
+    EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+  }
+}
+
+TEST(LevenshteinTest, TriangleInequalityProperty) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string s[3];
+    for (auto& str : s) {
+      for (size_t i = 0; i < rng.Uniform(10); ++i) {
+        str.push_back(static_cast<char>('a' + rng.Uniform(3)));
+      }
+    }
+    const size_t ab = LevenshteinDistance(s[0], s[1]);
+    const size_t bc = LevenshteinDistance(s[1], s[2]);
+    const size_t ac = LevenshteinDistance(s[0], s[2]);
+    EXPECT_LE(ac, ab + bc);
+  }
+}
+
+TEST(LevenshteinTest, BoundedByMaxLength) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < rng.Uniform(20); ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    for (size_t i = 0; i < rng.Uniform(20); ++i) {
+      b.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    EXPECT_LE(LevenshteinDistance(a, b), std::max(a.size(), b.size()));
+    EXPECT_GE(LevenshteinDistance(a, b),
+              a.size() > b.size() ? a.size() - b.size()
+                                  : b.size() - a.size());
+  }
+}
+
+TEST(NormalizedLevenshteinTest, UnitRange) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "xyz"), 1.0);
+  EXPECT_NEAR(NormalizedLevenshtein("kitten", "sitting"), 3.0 / 7.0, 1e-12);
+}
+
+TEST(HammingTest, EqualLengthStrings) {
+  EXPECT_EQ(HammingDistance("karolin", "kathrin"), std::optional<size_t>(3));
+  EXPECT_EQ(HammingDistance("", ""), std::optional<size_t>(0));
+  EXPECT_EQ(HammingDistance("abc", "abc"), std::optional<size_t>(0));
+}
+
+TEST(HammingTest, UnequalLengthsUndefined) {
+  EXPECT_EQ(HammingDistance("ab", "abc"), std::nullopt);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"a"}), 1.0);
+}
+
+TEST(JaccardTest, DuplicateTokensIgnored) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"a", "b", "b"}),
+                   1.0);
+}
+
+TEST(JaccardTest, DistanceComplementsSimilarity) {
+  const std::vector<std::string> a = {"x", "y", "z"};
+  const std::vector<std::string> b = {"y", "z", "w"};
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 1.0 - JaccardSimilarity(a, b));
+}
+
+TEST(JaccardTest, RangeAndSymmetryProperty) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> a;
+    std::vector<std::string> b;
+    for (size_t i = 0; i < rng.Uniform(8); ++i) {
+      a.push_back(std::string(1, static_cast<char>('a' + rng.Uniform(5))));
+    }
+    for (size_t i = 0; i < rng.Uniform(8); ++i) {
+      b.push_back(std::string(1, static_cast<char>('a' + rng.Uniform(5))));
+    }
+    const double s = JaccardSimilarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_DOUBLE_EQ(s, JaccardSimilarity(b, a));
+  }
+}
+
+TEST(JaccardCharsTest, CharacterSets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarityChars("abc", "bcd"), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarityChars("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarityChars("aaa", "a"), 1.0);
+}
+
+TEST(CosineTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a"}, {"a"}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a"}, {}), 0.0);
+  // ("a","b") vs ("a"): dot=1, norms sqrt(2) and 1.
+  EXPECT_NEAR(CosineSimilarity({"a", "b"}, {"a"}), 1.0 / std::sqrt(2.0),
+              1e-12);
+}
+
+TEST(CosineTest, TermFrequencyMatters) {
+  // ("a","a","b") = (2,1); ("a","b","b") = (1,2): dot = 4, norms 5.
+  EXPECT_NEAR(CosineSimilarity({"a", "a", "b"}, {"a", "b", "b"}), 4.0 / 5.0,
+              1e-12);
+}
+
+TEST(DiceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a"}, {"a"}), 1.0);
+}
+
+TEST(JaroTest, KnownValues) {
+  // Classic reference pairs.
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, SymmetryAndRangeProperty) {
+  util::Rng rng(10);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < rng.Uniform(12); ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(5)));
+    }
+    for (size_t i = 0; i < rng.Uniform(12); ++i) {
+      b.push_back(static_cast<char>('a' + rng.Uniform(5)));
+    }
+    const double s = JaroSimilarity(a, b);
+    ASSERT_GE(s, 0.0);
+    ASSERT_LE(s, 1.0);
+    ASSERT_DOUBLE_EQ(s, JaroSimilarity(b, a));
+  }
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  // Winkler only boosts: JW >= Jaro, strictly when a prefix is shared.
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+  EXPECT_GT(JaroWinklerSimilarity("atorvastatin", "atorvastatine"),
+            JaroSimilarity("atorvastatin", "atorvastatine"));
+  // No common prefix: no boost.
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("xabc", "yabc"),
+                   JaroSimilarity("xabc", "yabc"));
+}
+
+TEST(JaroWinklerTest, BoundedByOne) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0; i < 1 + rng.Uniform(10); ++i) {
+      a.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    for (size_t i = 0; i < 1 + rng.Uniform(10); ++i) {
+      b.push_back(static_cast<char>('a' + rng.Uniform(3)));
+    }
+    const double jw = JaroWinklerSimilarity(a, b);
+    ASSERT_GE(jw + 1e-12, JaroSimilarity(a, b));
+    ASSERT_LE(jw, 1.0 + 1e-12);
+  }
+}
+
+TEST(MetricRelationsTest, DiceGeJaccard) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::string> a;
+    std::vector<std::string> b;
+    for (size_t i = 0; i < 1 + rng.Uniform(6); ++i) {
+      a.push_back(std::string(1, static_cast<char>('a' + rng.Uniform(4))));
+    }
+    for (size_t i = 0; i < 1 + rng.Uniform(6); ++i) {
+      b.push_back(std::string(1, static_cast<char>('a' + rng.Uniform(4))));
+    }
+    EXPECT_GE(DiceSimilarity(a, b) + 1e-12, JaccardSimilarity(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace adrdedup::text

@@ -1,0 +1,52 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::text {
+namespace {
+
+TEST(StopWordsTest, CommonWordsAreStopWords) {
+  for (const char* word :
+       {"the", "a", "and", "of", "with", "was", "is", "on", "to"}) {
+    EXPECT_TRUE(IsStopWord(word)) << word;
+  }
+}
+
+TEST(StopWordsTest, ContentWordsAreNot) {
+  for (const char* word : {"rhabdomyolysis", "atorvastatin", "headache",
+                           "vaccine", "patient", "hospital"}) {
+    EXPECT_FALSE(IsStopWord(word)) << word;
+  }
+}
+
+TEST(StopWordsTest, CaseSensitiveLowercaseOnly) {
+  // The filter runs after lower-casing tokenization, so only lower-case
+  // membership is defined; upper-case strings are not in the list.
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_FALSE(IsStopWord("The"));
+}
+
+TEST(RemoveStopWordsTest, FiltersInOrder) {
+  EXPECT_EQ(RemoveStopWords({"the", "subject", "was", "recovering"}),
+            (std::vector<std::string>{"subject", "recovering"}));
+}
+
+TEST(RemoveStopWordsTest, AllStopWordsYieldEmpty) {
+  EXPECT_TRUE(RemoveStopWords({"the", "of", "and"}).empty());
+}
+
+TEST(RemoveStopWordsTest, EmptyInput) {
+  EXPECT_TRUE(RemoveStopWords({}).empty());
+}
+
+TEST(StopWordsTest, ListIsSortedForBinarySearch) {
+  // Membership of every entry must hold — fails if the table loses its
+  // sorted order (binary_search precondition).
+  EXPECT_GT(StopWordCount(), 100u);
+  EXPECT_TRUE(IsStopWord("yourselves"));
+  EXPECT_TRUE(IsStopWord("a"));
+  EXPECT_TRUE(IsStopWord("ought"));
+}
+
+}  // namespace
+}  // namespace adrdedup::text

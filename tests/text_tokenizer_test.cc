@@ -1,0 +1,96 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::text {
+namespace {
+
+TEST(TokenizeTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizeTest, DatesSplitIntoComponents) {
+  EXPECT_EQ(Tokenize("02-Oct-2013"),
+            (std::vector<std::string>{"02", "oct", "2013"}));
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizeTest, PreservesDigitsInsideWords) {
+  EXPECT_EQ(Tokenize("B12 deficiency"),
+            (std::vector<std::string>{"b12", "deficiency"}));
+}
+
+TEST(TokenizeTest, ClinicalSentence) {
+  const auto tokens = Tokenize(
+      "The 46-year-old male subject started treatment with atorvastatin "
+      "calcium 80 mg.");
+  EXPECT_EQ(tokens.size(), 13u);
+  EXPECT_EQ(tokens.front(), "the");
+  EXPECT_EQ(tokens[1], "46");
+  EXPECT_EQ(tokens.back(), "mg");
+}
+
+TEST(TokenizeKeepingLongNumbersTest, DropsShortPureNumbers) {
+  const auto tokens =
+      TokenizeKeepingLongNumbers("dose 80 mg on 20131002", 5);
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"dose", "mg", "on", "20131002"}));
+}
+
+TEST(TokenizeKeepingLongNumbersTest, KeepsAlphanumericTokens) {
+  const auto tokens = TokenizeKeepingLongNumbers("b12 x 9", 3);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"b12", "x"}));
+}
+
+TEST(TokenizeKeepingLongNumbersTest, ZeroThresholdKeepsEverything) {
+  EXPECT_EQ(TokenizeKeepingLongNumbers("a 1 2", 0),
+            Tokenize("a 1 2"));
+}
+
+TEST(CharacterShinglesTest, BasicTrigrams) {
+  EXPECT_EQ(CharacterShingles("aspirin", 3),
+            (std::vector<std::string>{"asp", "spi", "pir", "iri", "rin"}));
+}
+
+TEST(CharacterShinglesTest, NormalizesCaseAndGaps) {
+  EXPECT_EQ(CharacterShingles("Ab  Cd", 3),
+            (std::vector<std::string>{"ab_", "b_c", "_cd"}));
+}
+
+TEST(CharacterShinglesTest, ShortInputsYieldWholeString) {
+  EXPECT_EQ(CharacterShingles("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_EQ(CharacterShingles("abc", 3),
+            (std::vector<std::string>{"abc"}));
+  EXPECT_TRUE(CharacterShingles("!!", 3).empty());
+  EXPECT_TRUE(CharacterShingles("", 3).empty());
+}
+
+TEST(CharacterShinglesTest, TypoRobustnessVsWordTokens) {
+  // One substituted character: word tokens disagree entirely; most
+  // shingles still match — the motivation for shingle-based comparison.
+  const auto clean = CharacterShingles("atorvastatin", 3);
+  const auto typo = CharacterShingles("atorvastetin", 3);
+  size_t common = 0;
+  for (const auto& shingle : clean) {
+    for (const auto& other : typo) {
+      if (shingle == other) {
+        ++common;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(common * 10, clean.size() * 6);  // >= 60% shingle overlap
+}
+
+TEST(CharacterShinglesTest, UnigramsEqualCharacters) {
+  EXPECT_EQ(CharacterShingles("abc", 1),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace adrdedup::text

@@ -1,0 +1,157 @@
+#include "util/csv.h"
+
+#include "util/random.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvParseLineTest, SimpleFields) {
+  auto row = CsvParseLine("a,b,c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvParseLineTest, EmptyFields) {
+  auto row = CsvParseLine("a,,c,");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"a", "", "c", ""}));
+}
+
+TEST(CsvParseLineTest, QuotedFieldWithSeparator) {
+  auto row = CsvParseLine("\"a,b\",c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvParseLineTest, DoubledQuotes) {
+  auto row = CsvParseLine("\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"say \"hi\""}));
+}
+
+TEST(CsvParseLineTest, DanglingQuoteFails) {
+  EXPECT_FALSE(CsvParseLine("\"unterminated").ok());
+}
+
+TEST(CsvParseTest, MultipleRows) {
+  auto rows = CsvParse("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows.value()[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto rows = CsvParse("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParseTest, QuotedNewlineSpansLines) {
+  auto rows = CsvParse("a,\"multi\nline\"\nnext,row\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][1], "multi\nline");
+}
+
+TEST(CsvParseTest, MissingTrailingNewlineOk) {
+  auto rows = CsvParse("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteAtEofFails) {
+  EXPECT_FALSE(CsvParse("a,\"open\nstill open").ok());
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("adrdedup_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, RoundTrip) {
+  const std::vector<CsvRow> rows = {
+      {"name", "notes"},
+      {"alpha", "plain"},
+      {"beta", "has,comma"},
+      {"gamma", "has \"quote\""},
+      {"delta", "multi\nline"},
+  };
+  ASSERT_TRUE(CsvWriteFile(path_.string(), rows).ok());
+  auto read = CsvReadFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+}
+
+TEST_F(CsvFileTest, ReadMissingFileFails) {
+  auto read = CsvReadFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvFuzzTest, RandomContentRoundTrips) {
+  // Random fields over a hostile alphabet (separators, quotes, newlines)
+  // must survive format -> parse exactly.
+  util::Rng rng(55);
+  const char alphabet[] = {'a', 'b', ',', '"', '\n', ' ', '1', '\r'};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<CsvRow> rows;
+    const size_t num_rows = 1 + rng.Uniform(5);
+    const size_t num_cols = 1 + rng.Uniform(5);
+    std::string text;
+    for (size_t r = 0; r < num_rows; ++r) {
+      CsvRow row;
+      for (size_t c = 0; c < num_cols; ++c) {
+        std::string field;
+        for (size_t i = 0; i < rng.Uniform(10); ++i) {
+          field.push_back(alphabet[rng.Uniform(std::size(alphabet))]);
+        }
+        row.push_back(std::move(field));
+      }
+      text += CsvFormatRow(row);
+      text += '\n';
+      rows.push_back(std::move(row));
+    }
+    auto parsed = CsvParse(text);
+    ASSERT_TRUE(parsed.ok()) << "trial " << trial;
+    ASSERT_EQ(parsed.value(), rows) << "trial " << trial;
+  }
+}
+
+TEST(CsvFormatRowTest, RoundTripsThroughParse) {
+  const CsvRow original = {"a", "b,c", "d\"e", "f\ng", ""};
+  auto parsed = CsvParseLine(CsvFormatRow(original));
+  // Embedded newline survives only through full CsvParse.
+  auto parsed_full = CsvParse(CsvFormatRow(original) + "\n");
+  ASSERT_TRUE(parsed_full.ok());
+  ASSERT_EQ(parsed_full.value().size(), 1u);
+  EXPECT_EQ(parsed_full.value()[0], original);
+  (void)parsed;
+}
+
+}  // namespace
+}  // namespace adrdedup::util

@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::util {
+namespace {
+
+FlagSet MustParse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  auto parsed = FlagSet::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+TEST(FlagSetTest, ParsesKeyValue) {
+  const auto flags = MustParse({"--out=/tmp/x.csv", "--reports=500"});
+  EXPECT_EQ(flags.GetString("out", ""), "/tmp/x.csv");
+  EXPECT_EQ(flags.GetInt("reports", 0).value(), 500);
+}
+
+TEST(FlagSetTest, BareFlagIsBooleanTrue) {
+  const auto flags = MustParse({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("quiet"));
+}
+
+TEST(FlagSetTest, BooleanFalseSpellings) {
+  const auto flags = MustParse({"--a=false", "--b=0", "--c=yes"});
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+}
+
+TEST(FlagSetTest, DefaultsWhenAbsent) {
+  const auto flags = MustParse({});
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("missing", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 0.5).value(), 0.5);
+  EXPECT_TRUE(flags.GetBool("missing", true));
+}
+
+TEST(FlagSetTest, PositionalArguments) {
+  const auto flags = MustParse({"input.csv", "--k=9", "output.csv"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagSetTest, DoubleDashEndsFlagParsing) {
+  const auto flags = MustParse({"--k=9", "--", "--not-a-flag"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"--not-a-flag"}));
+  EXPECT_FALSE(flags.Has("not-a-flag"));
+}
+
+TEST(FlagSetTest, BadIntegerRejected) {
+  const auto flags = MustParse({"--k=nine"});
+  EXPECT_FALSE(flags.GetInt("k", 0).ok());
+}
+
+TEST(FlagSetTest, BadDoubleRejected) {
+  const auto flags = MustParse({"--theta=half"});
+  EXPECT_FALSE(flags.GetDouble("theta", 0.0).ok());
+}
+
+TEST(FlagSetTest, DoubleParsing) {
+  const auto flags = MustParse({"--theta=-2.5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("theta", 0.0).value(), -2.5);
+}
+
+TEST(FlagSetTest, ExpectOnlyFlagsTypos) {
+  const auto flags = MustParse({"--out=x", "--reprots=5"});
+  EXPECT_TRUE(flags.ExpectOnly({"out", "reports"}).ok() == false);
+  EXPECT_TRUE(flags.ExpectOnly({"out", "reprots"}).ok());
+}
+
+TEST(FlagSetTest, MalformedFlagsRejected) {
+  const char* argv1[] = {"tool", "--=value"};
+  EXPECT_FALSE(FlagSet::Parse(2, argv1).ok());
+}
+
+TEST(FlagSetTest, LastValueWinsOnRepeat) {
+  const auto flags = MustParse({"--k=3", "--k=9"});
+  EXPECT_EQ(flags.GetInt("k", 0).value(), 9);
+}
+
+}  // namespace
+}  // namespace adrdedup::util

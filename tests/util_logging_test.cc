@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::util {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrip) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  ADRDEDUP_CHECK(1 + 1 == 2) << "never printed";
+  ADRDEDUP_CHECK_EQ(4, 4);
+  ADRDEDUP_CHECK_NE(4, 5);
+  ADRDEDUP_CHECK_LT(1, 2);
+  ADRDEDUP_CHECK_LE(2, 2);
+  ADRDEDUP_CHECK_GT(3, 2);
+  ADRDEDUP_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ ADRDEDUP_CHECK(false) << "custom detail"; },
+               "Check failed: false custom detail");
+}
+
+TEST(LoggingDeathTest, CheckEqPrintsBothValues) {
+  const int lhs = 3;
+  const int rhs = 7;
+  EXPECT_DEATH({ ADRDEDUP_CHECK_EQ(lhs, rhs); }, "\\(3 == 7\\)");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ ADRDEDUP_LOG_FATAL << "fatal message"; }, "fatal message");
+}
+
+TEST(LoggingTest, NonFatalLogsDoNotAbort) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kFatal);  // silence output
+  ADRDEDUP_LOG_DEBUG << "debug";
+  ADRDEDUP_LOG_INFO << "info";
+  ADRDEDUP_LOG_WARNING << "warning";
+  ADRDEDUP_LOG_ERROR << "error";
+  SetMinLogSeverity(original);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace adrdedup::util

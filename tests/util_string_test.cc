@@ -1,0 +1,63 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, AdjacentSeparatorsYieldEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(JoinTest, SplitJoinRoundTrip) {
+  const std::string text = "x,y,,z";
+  EXPECT_EQ(Join(Split(text, ','), ","), text);
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC123"), "abc123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(TrimAsciiTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimAscii("  hello  "), "hello");
+  EXPECT_EQ(TrimAscii("\t\nx\r "), "x");
+  EXPECT_EQ(TrimAscii("   "), "");
+  EXPECT_EQ(TrimAscii(""), "");
+  EXPECT_EQ(TrimAscii("no-trim"), "no-trim");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("report_description", "report"));
+  EXPECT_FALSE(StartsWith("rep", "report"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(EndsWithTest, Basics) {
+  EXPECT_TRUE(EndsWith("report.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+  EXPECT_TRUE(EndsWith("anything", ""));
+}
+
+}  // namespace
+}  // namespace adrdedup::util

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBegin) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(0, 64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPoolTest, TasksExecutedCounterGrows) {
+  ThreadPool pool(2);
+  const uint64_t before = pool.tasks_executed();
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(pool.Submit([] {}));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(pool.tasks_executed(), before + 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+    // Destructor must wait for all 50.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesWorkOrderIndependence) {
+  // Result must not depend on thread count.
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(500);
+    pool.ParallelFor(0, 500, [&](size_t i) {
+      out[i] = static_cast<double>(i) * 0.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+}  // namespace
+}  // namespace adrdedup::util

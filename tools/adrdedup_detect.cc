@@ -1,0 +1,218 @@
+// adrdedup_detect — trains a Fast kNN duplicate detector from a report
+// CSV plus a ground-truth duplicate-pair CSV, then audits the newest
+// reports against the database and writes the detections.
+//
+//   adrdedup_detect --reports=reports.csv --truth=truth.csv \
+//       [--audit-tail=500] [--theta=0] [--k=9] [--clusters=32]
+//       [--negatives=100000] [--executors=4] [--out=detections.csv]
+//       [--save-model=model.bin | --load-model=model.bin]
+//       [--use-blocking] [--seed=7]
+//
+// The truth CSV (case_number_a, case_number_b) supplies positive labels;
+// negatives are sampled uniformly from the remaining pair universe.
+#include <algorithm>
+#include <iostream>
+#include <unordered_set>
+
+#include "blocking/blocking.h"
+#include "core/fast_knn.h"
+#include "core/model_io.h"
+#include "distance/pair_dataset.h"
+#include "eval/metrics.h"
+#include "report/report_io.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace adrdedup {
+namespace {
+
+int Fail(const util::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  auto parsed = util::FlagSet::Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status());
+  const util::FlagSet& flags = parsed.value();
+  if (auto status = flags.ExpectOnly(
+          {"reports", "truth", "audit-tail", "theta", "k", "clusters",
+           "negatives", "executors", "out", "save-model", "load-model",
+           "use-blocking", "seed", "help"});
+      !status.ok()) {
+    return Fail(status);
+  }
+  if (flags.GetBool("help", false) || !flags.Has("reports")) {
+    std::cout << "usage: adrdedup_detect --reports=reports.csv "
+                 "--truth=truth.csv [--audit-tail=N] [--theta=X] [--k=N] "
+                 "[--clusters=N] [--negatives=N] [--executors=N] "
+                 "[--out=detections.csv] [--save-model=F|--load-model=F] "
+                 "[--use-blocking] [--seed=N]\n";
+    return flags.GetBool("help", false) ? 0 : 1;
+  }
+
+  // --- Load reports and ground truth. ---
+  auto db_result = report::ReadCsv(flags.GetString("reports", ""));
+  if (!db_result.ok()) return Fail(db_result.status());
+  const report::ReportDatabase& db = db_result.value();
+
+  std::vector<std::pair<uint32_t, uint32_t>> truth;
+  if (flags.Has("truth")) {
+    auto rows = util::CsvReadFile(flags.GetString("truth", ""));
+    if (!rows.ok()) return Fail(rows.status());
+    for (size_t r = 1; r < rows.value().size(); ++r) {
+      const auto& row = rows.value()[r];
+      if (row.size() != 2) {
+        return Fail(util::Status::InvalidArgument(
+            "truth row " + std::to_string(r) + " needs 2 columns"));
+      }
+      auto a = db.FindByCaseNumber(row[0]);
+      auto b = db.FindByCaseNumber(row[1]);
+      if (!a.ok()) return Fail(a.status());
+      if (!b.ok()) return Fail(b.status());
+      truth.emplace_back(std::min(a.value(), b.value()),
+                         std::max(a.value(), b.value()));
+    }
+  }
+
+  auto executors = flags.GetInt("executors", 4);
+  auto theta = flags.GetDouble("theta", 0.0);
+  auto audit_tail = flags.GetInt("audit-tail", 500);
+  auto negatives = flags.GetInt("negatives", 100000);
+  auto k = flags.GetInt("k", 9);
+  auto clusters = flags.GetInt("clusters", 32);
+  auto seed = flags.GetInt("seed", 7);
+  for (const auto* result : {&executors, &audit_tail, &negatives, &k,
+                             &clusters, &seed}) {
+    if (!result->ok()) return Fail(result->status());
+  }
+  if (!theta.ok()) return Fail(theta.status());
+
+  minispark::SparkContext ctx(
+      {.num_executors = static_cast<size_t>(executors.value())});
+  util::ThreadPool& pool = ctx.pool();
+  const auto features = distance::ExtractAllFeatures(db, {}, &pool);
+  std::cerr << "loaded " << db.size() << " reports, " << truth.size()
+            << " ground-truth duplicate pairs\n";
+
+  // --- Obtain a classifier: load, or train from truth + sampled negatives.
+  core::FastKnnOptions options;
+  options.k = static_cast<size_t>(k.value());
+  options.num_clusters = static_cast<size_t>(clusters.value());
+
+  core::FastKnnClassifier classifier(options);
+  if (flags.Has("load-model")) {
+    auto loaded = core::LoadModelFromFile(flags.GetString("load-model", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    classifier = std::move(loaded).value();
+    std::cerr << "loaded model with " << classifier.num_partitions()
+              << " partitions\n";
+  } else {
+    if (truth.empty()) {
+      return Fail(util::Status::InvalidArgument(
+          "--truth is required unless --load-model is given"));
+    }
+    std::unordered_set<uint64_t> truth_keys;
+    std::vector<distance::LabeledPair> train;
+    for (auto [a, b] : truth) {
+      distance::LabeledPair pair;
+      pair.pair = {a, b};
+      pair.label = +1;
+      pair.vector = ComputeDistanceVector(features[a], features[b]);
+      truth_keys.insert(PairKey(pair.pair));
+      train.push_back(pair);
+    }
+    util::Rng rng(static_cast<uint64_t>(seed.value()));
+    const auto n = static_cast<uint32_t>(db.size());
+    while (train.size() <
+           truth.size() + static_cast<size_t>(negatives.value())) {
+      const uint32_t a = static_cast<uint32_t>(rng.Uniform(n));
+      const uint32_t b = static_cast<uint32_t>(rng.Uniform(n));
+      if (a == b) continue;
+      distance::LabeledPair pair;
+      pair.pair = {std::min(a, b), std::max(a, b)};
+      if (!truth_keys.insert(PairKey(pair.pair)).second) continue;
+      pair.label = -1;
+      pair.vector =
+          ComputeDistanceVector(features[pair.pair.a], features[pair.pair.b]);
+      train.push_back(pair);
+    }
+    classifier.Fit(train, &pool);
+    std::cerr << "trained on " << train.size() << " labelled pairs\n";
+  }
+  if (flags.Has("save-model")) {
+    if (auto status = core::SaveModelToFile(
+            classifier, flags.GetString("save-model", ""));
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::cerr << "model saved to " << flags.GetString("save-model", "")
+              << "\n";
+  }
+
+  // --- Candidate pairs for the audited tail. ---
+  const size_t tail =
+      std::min<size_t>(db.size(), static_cast<size_t>(audit_tail.value()));
+  const size_t audit_from = db.size() - tail;
+  std::vector<distance::ReportPair> pairs;
+  if (flags.GetBool("use-blocking", false)) {
+    blocking::BlockingOptions blocking_options;
+    blocking_options.keys = {blocking::BlockingKey::kDrugToken,
+                             blocking::BlockingKey::kAdrToken};
+    auto blocked = GenerateCandidates(features, blocking_options);
+    for (const auto& pair : blocked.pairs) {
+      if (pair.b >= audit_from) pairs.push_back(pair);
+    }
+    std::cerr << "blocking kept " << pairs.size() << " candidate pairs ("
+              << blocked.oversized_blocks_skipped
+              << " oversized blocks skipped)\n";
+  } else {
+    std::vector<report::ReportId> earlier;
+    for (size_t i = 0; i < audit_from; ++i) {
+      earlier.push_back(static_cast<report::ReportId>(i));
+    }
+    std::vector<report::ReportId> audited;
+    for (size_t i = audit_from; i < db.size(); ++i) {
+      audited.push_back(static_cast<report::ReportId>(i));
+    }
+    pairs = distance::PairsForNewReports(earlier, audited);
+    std::cerr << "auditing all " << pairs.size() << " candidate pairs\n";
+  }
+
+  // --- Score and threshold. ---
+  const auto vectors =
+      ComputePairDistancesSpark(&ctx, features, pairs);
+  std::vector<distance::LabeledPair> queries(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    queries[i].pair = pairs[i];
+    queries[i].vector = vectors[i];
+  }
+  const auto scores = classifier.ScoreAllSpark(&ctx, queries);
+
+  std::vector<util::CsvRow> detections;
+  detections.push_back({"case_number_a", "case_number_b", "score"});
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (scores[i] >= theta.value()) {
+      detections.push_back({db.Get(pairs[i].a).case_number(),
+                            db.Get(pairs[i].b).case_number(),
+                            std::to_string(scores[i])});
+    }
+  }
+  const std::string out_path = flags.GetString("out", "detections.csv");
+  if (auto status = util::CsvWriteFile(out_path, detections);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::cout << "flagged " << detections.size() - 1 << " of " << pairs.size()
+            << " candidate pairs at theta=" << theta.value() << " -> "
+            << out_path << "\n";
+  std::cout << "search stats: " << classifier.stats().Snapshot().ToString()
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup
+
+int main(int argc, char** argv) { return adrdedup::Main(argc, argv); }
