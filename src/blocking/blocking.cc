@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "blocking/incremental_index.h"
 #include "util/logging.h"
 
 namespace adrdedup::blocking {
@@ -12,25 +13,6 @@ namespace {
 
 using distance::ReportFeatures;
 using distance::ReportPair;
-
-// Emits the blocking-key strings of one report under `key`.
-std::vector<std::string> KeysOf(const ReportFeatures& features,
-                                BlockingKey key) {
-  switch (key) {
-    case BlockingKey::kDrugToken:
-      return features.drug_tokens;
-    case BlockingKey::kAdrToken:
-      return features.adr_tokens;
-    case BlockingKey::kOnsetDate:
-      if (features.onset_date.empty()) return {};
-      return {features.onset_date};
-    case BlockingKey::kSexAndAgeBand: {
-      if (features.sex.empty() || !features.age.has_value()) return {};
-      return {features.sex + "/" + std::to_string(*features.age / 5)};
-    }
-  }
-  return {};
-}
 
 }  // namespace
 
@@ -59,7 +41,7 @@ BlockingResult GenerateCandidates(
     // Bucket report ids per key string.
     std::unordered_map<std::string, std::vector<uint32_t>> blocks;
     for (size_t i = 0; i < features.size(); ++i) {
-      for (const std::string& value : KeysOf(features[i], key)) {
+      for (const std::string& value : BlockingKeysOf(features[i], key)) {
         blocks[value].push_back(static_cast<uint32_t>(i));
       }
     }

@@ -1,0 +1,80 @@
+#include "blocking/incremental_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adrdedup::blocking {
+
+std::vector<std::string> BlockingKeysOf(
+    const distance::ReportFeatures& features, BlockingKey key) {
+  switch (key) {
+    case BlockingKey::kDrugToken:
+      return features.drug_tokens;
+    case BlockingKey::kAdrToken:
+      return features.adr_tokens;
+    case BlockingKey::kOnsetDate:
+      if (features.onset_date.empty()) return {};
+      return {features.onset_date};
+    case BlockingKey::kSexAndAgeBand: {
+      if (features.sex.empty() || !features.age.has_value()) return {};
+      return {features.sex + "/" + std::to_string(*features.age / 5)};
+    }
+  }
+  return {};
+}
+
+IncrementalBlockingIndex::IncrementalBlockingIndex(
+    const BlockingOptions& options)
+    : options_(options), postings_(options.keys.size()) {
+  ADRDEDUP_CHECK(!options.keys.empty()) << "no blocking keys configured";
+}
+
+void IncrementalBlockingIndex::Add(
+    report::ReportId id, const distance::ReportFeatures& features) {
+  for (size_t k = 0; k < options_.keys.size(); ++k) {
+    for (std::string& value : BlockingKeysOf(features, options_.keys[k])) {
+      postings_[k][std::move(value)].push_back(id);
+    }
+  }
+  ++num_reports_;
+}
+
+std::vector<report::ReportId> IncrementalBlockingIndex::Candidates(
+    const distance::ReportFeatures& features) const {
+  std::vector<report::ReportId> out;
+  for (size_t k = 0; k < options_.keys.size(); ++k) {
+    for (const std::string& value :
+         BlockingKeysOf(features, options_.keys[k])) {
+      const auto it = postings_[k].find(value);
+      if (it == postings_[k].end()) continue;
+      if (options_.max_block_size != 0 &&
+          it->second.size() > options_.max_block_size) {
+        continue;
+      }
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t IncrementalBlockingIndex::num_blocks() const {
+  size_t total = 0;
+  for (const auto& map : postings_) total += map.size();
+  return total;
+}
+
+size_t IncrementalBlockingIndex::oversized_blocks() const {
+  if (options_.max_block_size == 0) return 0;
+  size_t total = 0;
+  for (const auto& map : postings_) {
+    for (const auto& [value, members] : map) {
+      if (members.size() > options_.max_block_size) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace adrdedup::blocking

@@ -1,0 +1,58 @@
+// Incremental blocking index for online screening: the posting lists of
+// GenerateCandidates, kept mutable so each admitted report is inserted
+// once and each incoming report probes only its own blocking keys —
+// O(keys + candidates) per request instead of the O(database) rescan the
+// batch API performs.
+//
+// Semantics match GenerateCandidates over the same key set with one
+// documented difference around max_block_size: the batch API drops an
+// oversized block retroactively (no pair from it at all), while this
+// index stops *probing* a block once its posting list has grown past the
+// cap — pairs emitted while the block was still small are not recalled.
+#ifndef ADRDEDUP_BLOCKING_INCREMENTAL_INDEX_H_
+#define ADRDEDUP_BLOCKING_INCREMENTAL_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/blocking.h"
+#include "distance/report_features.h"
+
+namespace adrdedup::blocking {
+
+// Blocking-key strings of one report under `key` (the bucketing rule of
+// GenerateCandidates, shared with this index).
+std::vector<std::string> BlockingKeysOf(
+    const distance::ReportFeatures& features, BlockingKey key);
+
+class IncrementalBlockingIndex {
+ public:
+  explicit IncrementalBlockingIndex(const BlockingOptions& options = {});
+
+  // Indexes `id` under every blocking key of `features`. Ids must be
+  // inserted at most once; candidate queries return previously inserted
+  // ids only.
+  void Add(report::ReportId id, const distance::ReportFeatures& features);
+
+  // Previously inserted reports sharing at least one non-oversized block
+  // with `features` (sorted ascending, deduplicated). Does not insert.
+  std::vector<report::ReportId> Candidates(
+      const distance::ReportFeatures& features) const;
+
+  size_t size() const { return num_reports_; }
+  size_t num_blocks() const;
+  size_t oversized_blocks() const;
+
+ private:
+  BlockingOptions options_;
+  size_t num_reports_ = 0;
+  // One posting map per configured key (keys of different types may
+  // collide as strings, e.g. a drug token equal to an onset date).
+  std::vector<std::unordered_map<std::string, std::vector<report::ReportId>>>
+      postings_;
+};
+
+}  // namespace adrdedup::blocking
+
+#endif  // ADRDEDUP_BLOCKING_INCREMENTAL_INDEX_H_

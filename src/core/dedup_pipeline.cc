@@ -15,6 +15,7 @@ DedupPipeline::DedupPipeline(minispark::SparkContext* ctx,
       options_(options),
       classifier_(options.knn),
       pruner_(options.pruner),
+      incremental_index_(options.blocking),
       rng_(options.seed) {
   ADRDEDUP_CHECK(ctx != nullptr);
 }
@@ -27,6 +28,11 @@ void DedupPipeline::BootstrapDatabase(
   // Text processing (Fig. 1) happens once per report at ingest.
   features_ = distance::ExtractAllFeatures(db_, options_.features,
                                            &ctx_->pool());
+  if (options_.use_blocking && options_.incremental_blocking) {
+    for (size_t i = 0; i < features_.size(); ++i) {
+      incremental_index_.Add(static_cast<report::ReportId>(i), features_[i]);
+    }
+  }
 }
 
 void DedupPipeline::SeedLabels(const std::vector<LabeledPair>& labeled) {
@@ -55,6 +61,7 @@ void DedupPipeline::Refit() {
     pruner_.Fit(positive_store_);
   }
   models_ready_ = true;
+  ++model_generation_;
 }
 
 DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
@@ -63,11 +70,6 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
 
   // Ingest: the batch joins the database and the feature cache.
   const report::ReportId first_new = static_cast<report::ReportId>(db_.size());
-  std::vector<report::ReportId> existing;
-  existing.reserve(db_.size());
-  for (size_t i = 0; i < db_.size(); ++i) {
-    existing.push_back(static_cast<report::ReportId>(i));
-  }
   std::vector<report::ReportId> fresh;
   fresh.reserve(reports.size());
   for (const report::AdrReport& report : reports) {
@@ -82,13 +84,29 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
   // Candidate pairs for this batch: the full Eq. 3 universe, or the
   // blocking-key subset restricted to pairs touching a new report.
   std::vector<ReportPair> pairs;
-  if (options_.use_blocking) {
+  if (options_.use_blocking && options_.incremental_blocking) {
+    // Probe-then-insert in arrival order: each fresh report pairs with
+    // every earlier report (database or same batch) sharing a block, so
+    // the whole database is never rescanned.
+    for (const report::ReportId id : fresh) {
+      for (const report::ReportId other :
+           incremental_index_.Candidates(features_[id])) {
+        pairs.push_back({other, id});
+      }
+      incremental_index_.Add(id, features_[id]);
+    }
+  } else if (options_.use_blocking) {
     const auto blocked =
         blocking::GenerateCandidates(features_, options_.blocking);
     for (const ReportPair& pair : blocked.pairs) {
       if (pair.b >= first_new) pairs.push_back(pair);
     }
   } else {
+    std::vector<report::ReportId> existing;
+    existing.reserve(first_new);
+    for (report::ReportId i = 0; i < first_new; ++i) {
+      existing.push_back(i);
+    }
     pairs = distance::PairsForNewReports(existing, fresh);
   }
 
@@ -147,9 +165,28 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
       }
     }
   }
-  // Stores changed; models refit lazily on the next batch.
-  models_ready_ = false;
+  // Stores changed; in the batch setting models refit lazily on the next
+  // batch. In the serving setting (auto_refit off) the fitted models are
+  // reused until AdoptClassifier() swaps in a background refit.
+  if (options_.auto_refit) models_ready_ = false;
   return result;
+}
+
+std::vector<LabeledPair> DedupPipeline::SnapshotLabels() const {
+  std::vector<LabeledPair> out;
+  out.reserve(positive_store_.size() + negative_store_.size());
+  out.insert(out.end(), positive_store_.begin(), positive_store_.end());
+  out.insert(out.end(), negative_store_.begin(), negative_store_.end());
+  return out;
+}
+
+void DedupPipeline::AdoptClassifier(FastKnnClassifier classifier) {
+  classifier_ = std::move(classifier);
+  if (options_.f_theta >= 0.0 && !positive_store_.empty()) {
+    pruner_.Fit(positive_store_);
+  }
+  models_ready_ = true;
+  ++model_generation_;
 }
 
 }  // namespace adrdedup::core

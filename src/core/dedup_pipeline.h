@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "blocking/blocking.h"
+#include "blocking/incremental_index.h"
 #include "core/fast_knn.h"
 #include "core/test_set_pruner.h"
 #include "distance/pair_dataset.h"
@@ -45,6 +46,19 @@ struct DedupPipelineOptions {
   // small, measurable recall cost (see bench_extensions E1).
   bool use_blocking = false;
   blocking::BlockingOptions blocking;
+  // With use_blocking, maintain a mutable posting-list index updated at
+  // ingest instead of rebuilding blocks from every feature each batch:
+  // candidate generation becomes O(keys + candidates) per new report.
+  // This is the serving-path setting (serve::ScreeningService); see
+  // blocking/incremental_index.h for the one max_block_size semantic
+  // difference vs. the batch rebuild.
+  bool incremental_blocking = false;
+  // True (the batch setting): every processed batch marks the models
+  // stale, so the next batch refits classifier + pruner from the updated
+  // stores. False (the serving setting): models stay as fitted until
+  // AdoptClassifier() installs a replacement — screening latency never
+  // pays for k-means refits.
+  bool auto_refit = true;
   uint64_t seed = 17;
 };
 
@@ -78,7 +92,27 @@ class DedupPipeline {
   DetectionResult ProcessNewReports(
       const std::vector<report::AdrReport>& reports);
 
+  // --- Serving hooks (serve::ScreeningService) ---
+
+  // Copy of the combined labelled stores (positives then negatives), the
+  // training set a background refit consumes. O(store size).
+  std::vector<distance::LabeledPair> SnapshotLabels() const;
+
+  // Installs an externally fitted classifier (typically trained on a
+  // SnapshotLabels() copy off-thread, or loaded from disk) and refits the
+  // cheap pruner from the current positive store. Marks models ready, so
+  // subsequent batches classify with `classifier` until the next swap.
+  void AdoptClassifier(FastKnnClassifier classifier);
+
+  // Monotone counter bumped whenever a model is installed — by an
+  // internal Refit() or by AdoptClassifier() (model-swap observability).
+  uint64_t model_generation() const { return model_generation_; }
+
   const report::ReportDatabase& db() const { return db_; }
+  // Feature cache aligned with db() ids (valid after Bootstrap/Process).
+  const std::vector<distance::ReportFeatures>& features() const {
+    return features_;
+  }
   size_t num_positive_labels() const { return positive_store_.size(); }
   size_t num_negative_labels() const { return negative_store_.size(); }
   const ComparisonStatsSnapshot LastClassifierStats() const {
@@ -101,6 +135,9 @@ class DedupPipeline {
   FastKnnClassifier classifier_;
   TestSetPruner pruner_;
   bool models_ready_ = false;
+  uint64_t model_generation_ = 0;
+  // Mutable blocking index of every ingested report (incremental mode).
+  blocking::IncrementalBlockingIndex incremental_index_;
   util::Rng rng_;
 };
 

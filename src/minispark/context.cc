@@ -1,19 +1,8 @@
 #include "minispark/context.h"
 
-#include <sstream>
-
 #include "util/logging.h"
 
 namespace adrdedup::minispark {
-
-std::string MetricsSnapshot::ToString() const {
-  std::ostringstream out;
-  out << "tasks=" << tasks_launched << " shuffles=" << shuffles_performed
-      << " shuffle_records=" << shuffle_records_written
-      << " shuffle_bytes=" << shuffle_bytes_written
-      << " recomputed_partitions=" << partitions_recomputed;
-  return out.str();
-}
 
 SparkContext::SparkContext(const Config& config)
     : default_parallelism_(config.default_parallelism != 0

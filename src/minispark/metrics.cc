@@ -1,0 +1,47 @@
+#include "minispark/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace adrdedup::minispark {
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "tasks=" << tasks_launched << " shuffles=" << shuffles_performed
+      << " shuffle_records=" << shuffle_records_written
+      << " shuffle_bytes=" << shuffle_bytes_written
+      << " recomputed_partitions=" << partitions_recomputed;
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson(
+    const std::vector<double>& task_durations, bool pretty) const {
+  util::JsonWriter w(pretty);
+  w.BeginObject();
+  w.Field("tasks_launched", tasks_launched);
+  w.Field("shuffles_performed", shuffles_performed);
+  w.Field("shuffle_records_written", shuffle_records_written);
+  w.Field("shuffle_bytes_written", shuffle_bytes_written);
+  w.Field("partitions_recomputed", partitions_recomputed);
+  if (!task_durations.empty()) {
+    double total = 0.0;
+    double max = 0.0;
+    for (double d : task_durations) {
+      total += d;
+      max = std::max(max, d);
+    }
+    w.Key("task_durations");
+    w.BeginObject();
+    w.Field("count", task_durations.size());
+    w.Field("total_seconds", total);
+    w.Field("mean_seconds", total / static_cast<double>(task_durations.size()));
+    w.Field("max_seconds", max);
+    w.EndObject();
+  }
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+}  // namespace adrdedup::minispark

@@ -21,6 +21,13 @@ struct MetricsSnapshot {
   uint64_t partitions_recomputed = 0;
 
   std::string ToString() const;
+
+  // JSON object with the counters above plus a task-duration summary
+  // (count / total / mean / max seconds) when `task_durations` is given —
+  // the serializer behind adrdedup_detect --metrics-out and the serving
+  // layer's metrics endpoint (serve::ServiceMetrics embeds this object).
+  std::string ToJson(const std::vector<double>& task_durations = {},
+                     bool pretty = false) const;
 };
 
 // Thread-safe metric counters owned by a SparkContext.

@@ -1,0 +1,135 @@
+// Bounded MPSC request queue with adaptive micro-batching: many client
+// threads Push() single items; one dispatcher PopBatch()es them in groups
+// of up to `max_batch`, lingering up to `max_linger` for stragglers so
+// concurrent submissions coalesce into one minispark job. The linger is
+// adaptive: after a batch fills to max_batch (saturation), the next pop
+// skips the linger entirely — under load batches fill on their own and
+// waiting would only add latency; under trickle traffic the linger buys
+// coalescing at a bounded latency cost.
+#ifndef ADRDEDUP_SERVE_MICRO_BATCH_QUEUE_H_
+#define ADRDEDUP_SERVE_MICRO_BATCH_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace adrdedup::serve {
+
+template <typename T>
+class MicroBatchQueue {
+ public:
+  struct Options {
+    // Push() blocks while the queue holds this many items (backpressure).
+    size_t capacity = 1024;
+    // Upper bound on PopBatch() size.
+    size_t max_batch = 32;
+    // How long PopBatch() waits for more items after the queue drains
+    // with a partial batch. Zero disables lingering.
+    std::chrono::microseconds max_linger{2000};
+  };
+
+  explicit MicroBatchQueue(const Options& options) : options_(options) {
+    ADRDEDUP_CHECK(options.capacity > 0 && options.max_batch > 0);
+  }
+
+  MicroBatchQueue(const MicroBatchQueue&) = delete;
+  MicroBatchQueue& operator=(const MicroBatchQueue&) = delete;
+
+  // Enqueues `item`, blocking while the queue is at capacity. Returns
+  // false (item dropped) iff the queue was closed.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] {
+        return queue_.size() < options_.capacity || closed_;
+      });
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+      if (queue_.size() > max_depth_seen_) max_depth_seen_ = queue_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks for the next micro-batch (1..max_batch items). An empty vector
+  // means the queue is closed AND fully drained — every pushed item is
+  // delivered exactly once before that.
+  std::vector<T> PopBatch() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    std::vector<T> batch;
+    if (queue_.empty()) return batch;  // closed and drained
+
+    auto take = [&] {
+      while (!queue_.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    };
+    take();
+    if (batch.size() < options_.max_batch && !last_batch_full_ &&
+        options_.max_linger.count() > 0 && !closed_) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.max_linger;
+      while (batch.size() < options_.max_batch) {
+        if (!not_empty_.wait_until(lock, deadline, [&] {
+              return !queue_.empty() || closed_;
+            })) {
+          break;  // linger expired
+        }
+        if (queue_.empty()) break;  // closed while lingering
+        take();
+      }
+    }
+    last_batch_full_ = batch.size() >= options_.max_batch;
+    lock.unlock();
+    not_full_.notify_all();
+    return batch;
+  }
+
+  // Wakes all waiters; subsequent Push() fails, PopBatch() drains what
+  // remains and then returns empty.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+  // High-water mark; never exceeds capacity (bounded-buffer invariant).
+  size_t max_depth_seen() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_seen_;
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  size_t max_depth_seen_ = 0;
+  bool closed_ = false;
+  // Consumer-side adaptivity state (single consumer; guarded by mutex_).
+  bool last_batch_full_ = false;
+};
+
+}  // namespace adrdedup::serve
+
+#endif  // ADRDEDUP_SERVE_MICRO_BATCH_QUEUE_H_

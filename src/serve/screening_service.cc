@@ -1,0 +1,242 @@
+#include "serve/screening_service.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace adrdedup::serve {
+
+namespace {
+
+core::DedupPipelineOptions ServingPipelineOptions(
+    core::DedupPipelineOptions options) {
+  // Serving path: never refit inline (snapshot-and-swap owns refits), and
+  // maintain the blocking index incrementally so requests only generate
+  // candidates.
+  options.auto_refit = false;
+  if (options.use_blocking) options.incremental_blocking = true;
+  return options;
+}
+
+}  // namespace
+
+ScreeningService::ScreeningService(minispark::SparkContext* ctx,
+                                   const ScreeningServiceOptions& options)
+    : ctx_(ctx),
+      options_(options),
+      pipeline_(std::make_unique<core::DedupPipeline>(
+          ctx, ServingPipelineOptions(options.pipeline))),
+      queue_({.capacity = options.queue_capacity,
+              .max_batch = options.max_batch,
+              .max_linger = std::chrono::microseconds(
+                  std::llround(options.max_linger_ms * 1000.0))}) {
+  ADRDEDUP_CHECK(ctx != nullptr);
+}
+
+ScreeningService::~ScreeningService() { Stop(); }
+
+void ScreeningService::Bootstrap(
+    const std::vector<report::AdrReport>& reports) {
+  ADRDEDUP_CHECK(!started_) << "Bootstrap() must precede Start()";
+  pipeline_->BootstrapDatabase(reports);
+}
+
+void ScreeningService::SeedLabels(
+    const std::vector<distance::LabeledPair>& labeled) {
+  ADRDEDUP_CHECK(!started_) << "SeedLabels() must precede Start()";
+  pipeline_->SeedLabels(labeled);
+}
+
+void ScreeningService::AdoptClassifier(core::FastKnnClassifier classifier) {
+  ADRDEDUP_CHECK(!started_) << "AdoptClassifier() must precede Start()";
+  pipeline_->AdoptClassifier(std::move(classifier));
+}
+
+void ScreeningService::Start() {
+  ADRDEDUP_CHECK(!started_) << "Start() called twice";
+  ADRDEDUP_CHECK(pipeline_->num_positive_labels() +
+                         pipeline_->num_negative_labels() >
+                     0 ||
+                 pipeline_->model_generation() > 0)
+      << "ScreeningService needs SeedLabels() or AdoptClassifier() before "
+         "Start()";
+  started_ = true;
+  // Warm up synchronously (fits classifier + pruner if labels are seeded
+  // and no model was adopted), so the first request never pays a k-means.
+  pipeline_->ProcessNewReports({});
+  running_.store(true, std::memory_order_release);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  refresher_ = std::thread([this] { RefreshLoop(); });
+}
+
+void ScreeningService::Stop() {
+  running_.store(false, std::memory_order_release);
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    refresh_shutdown_ = true;
+  }
+  refresh_cv_.notify_all();
+  if (refresher_.joinable()) refresher_.join();
+}
+
+util::Result<std::future<ScreenResponse>> ScreeningService::Submit(
+    report::AdrReport report) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return util::Status::FailedPrecondition("screening service not running");
+  }
+  metrics_.IncReceived();
+  PendingRequest pending;
+  pending.report = std::move(report);
+  std::future<ScreenResponse> future = pending.promise.get_future();
+  if (!queue_.Push(std::move(pending))) {
+    // Closed between the running check and the push: the request was
+    // never admitted, so it is answered here, via the error.
+    metrics_.IncRejected();
+    return util::Status::FailedPrecondition("screening service stopped");
+  }
+  return future;
+}
+
+util::Result<ScreenResponse> ScreeningService::Screen(
+    report::AdrReport report) {
+  auto submitted = Submit(std::move(report));
+  if (!submitted.ok()) return submitted.status();
+  return submitted.value().get();
+}
+
+void ScreeningService::TriggerRefresh() {
+  {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    refresh_requested_ = true;
+  }
+  refresh_cv_.notify_one();
+}
+
+void ScreeningService::DispatchLoop() {
+  while (true) {
+    std::vector<PendingRequest> batch = queue_.PopBatch();
+    if (batch.empty()) return;  // closed and drained
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void ScreeningService::ProcessBatch(std::vector<PendingRequest> batch) {
+  const size_t n = batch.size();
+  metrics_.RecordBatch(n);
+
+  std::vector<report::AdrReport> reports;
+  reports.reserve(n);
+  std::vector<double> queue_ms(n);
+  for (size_t i = 0; i < n; ++i) {
+    queue_ms[i] = batch[i].enqueued.ElapsedMillis();
+    reports.push_back(std::move(batch[i].report));
+  }
+
+  std::vector<ScreenResponse> responses(n);
+  core::DedupPipeline::DetectionResult result;
+  report::ReportId first_new = 0;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    first_new = static_cast<report::ReportId>(pipeline_->db().size());
+    result = pipeline_->ProcessNewReports(reports);
+    generation = pipeline_->model_generation();
+    for (size_t d = 0; d < result.duplicates.size(); ++d) {
+      const distance::ReportPair& pair = result.duplicates[d];
+      const double score = result.scores[d];
+      const auto attach = [&](report::ReportId mine, report::ReportId other) {
+        if (mine < first_new) return;  // endpoint predates this batch
+        responses[mine - first_new].matches.push_back(
+            {other, pipeline_->db().Get(other).case_number(), score});
+      };
+      attach(pair.a, pair.b);
+      attach(pair.b, pair.a);
+    }
+  }
+
+  metrics_.AddDuplicatesFlagged(result.duplicates.size());
+  metrics_.AddPairsScreened(result.pairs_considered,
+                            result.pairs_after_pruning);
+  for (size_t i = 0; i < n; ++i) {
+    responses[i].assigned_id = first_new + static_cast<report::ReportId>(i);
+    responses[i].batch_size = n;
+    responses[i].model_generation = generation;
+    responses[i].queue_ms = queue_ms[i];
+    responses[i].total_ms = batch[i].enqueued.ElapsedMillis();
+    metrics_.RecordQueueWait(responses[i].queue_ms);
+    metrics_.RecordTotalLatency(responses[i].total_ms);
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+  metrics_.IncCompleted(n);
+
+  if (options_.refresh_every > 0) {
+    admitted_since_refresh_ += n;
+    if (admitted_since_refresh_ >= options_.refresh_every) {
+      admitted_since_refresh_ = 0;
+      TriggerRefresh();
+    }
+  }
+}
+
+void ScreeningService::RefreshLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(refresh_mutex_);
+      refresh_cv_.wait(lock,
+                       [&] { return refresh_requested_ || refresh_shutdown_; });
+      if (refresh_shutdown_) return;
+      refresh_requested_ = false;
+    }
+
+    // Snapshot: copy the labelled stores under the pipeline lock (cheap),
+    // then fit outside it — in-flight screening continues on the old
+    // model while k-means runs here.
+    std::vector<distance::LabeledPair> labels;
+    {
+      std::lock_guard<std::mutex> lock(pipeline_mutex_);
+      labels = pipeline_->SnapshotLabels();
+    }
+    if (labels.empty()) continue;
+
+    core::FastKnnClassifier fresh(options_.pipeline.knn);
+    fresh.Fit(labels, &ctx_->pool());
+
+    // Swap: installation is a move under the lock, between micro-batches.
+    {
+      std::lock_guard<std::mutex> lock(pipeline_mutex_);
+      pipeline_->AdoptClassifier(std::move(fresh));
+    }
+    metrics_.IncModelSwaps();
+  }
+}
+
+std::string ScreeningService::MetricsJson(bool pretty) {
+  metrics_.SetQueueGauges(queue_.depth(), queue_.max_depth_seen(),
+                          options_.queue_capacity);
+  {
+    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    metrics_.SetStoreGauges(
+        pipeline_->db().size(), pipeline_->num_positive_labels(),
+        pipeline_->num_negative_labels(), pipeline_->model_generation());
+  }
+  // Embedded sub-document stays compact so splicing cannot break the
+  // outer pretty indentation.
+  const std::string spark = ctx_->metrics().Snapshot().ToJson(
+      ctx_->metrics().TaskDurations(), /*pretty=*/false);
+  return metrics_.ToJson(spark, pretty);
+}
+
+size_t ScreeningService::db_size() const {
+  std::lock_guard<std::mutex> lock(pipeline_mutex_);
+  return pipeline_->db().size();
+}
+
+uint64_t ScreeningService::model_generation() const {
+  std::lock_guard<std::mutex> lock(pipeline_mutex_);
+  return pipeline_->model_generation();
+}
+
+}  // namespace adrdedup::serve

@@ -1,0 +1,191 @@
+#include "serve/service_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/json.h"
+
+namespace adrdedup::serve {
+
+LatencyRecorder::LatencyRecorder(size_t reservoir_capacity)
+    : capacity_(std::max<size_t>(1, reservoir_capacity)) {
+  reservoir_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void LatencyRecorder::Record(double millis) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  sum_ += millis;
+  max_ = std::max(max_, millis);
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(millis);
+    return;
+  }
+  // Vitter's algorithm R: replace a uniform slot with probability
+  // capacity/count, keeping the reservoir a uniform sample.
+  rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  const uint64_t slot = (rng_state_ >> 17) % count_;
+  if (slot < capacity_) reservoir_[slot] = millis;
+}
+
+LatencyRecorder::Summary LatencyRecorder::Summarize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Summary out;
+  out.count = count_;
+  if (count_ == 0) return out;
+  out.mean_ms = sum_ / static_cast<double>(count_);
+  out.max_ms = max_;
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank percentile over the (possibly sampled) reservoir.
+  auto percentile = [&](double q) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+  };
+  out.p50_ms = percentile(0.50);
+  out.p95_ms = percentile(0.95);
+  out.p99_ms = percentile(0.99);
+  return out;
+}
+
+void LatencyRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reservoir_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+std::array<uint64_t, kBatchHistogramBuckets> BatchHistogramUpperBounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 0};  // 0 = +inf
+}
+
+void ServiceMetrics::RecordBatch(size_t batch_size) {
+  Inc(batches_dispatched_);
+  Add(batch_reports_, batch_size);
+  uint64_t seen = batch_max_.load(std::memory_order_relaxed);
+  while (batch_size > seen &&
+         !batch_max_.compare_exchange_weak(seen, batch_size,
+                                           std::memory_order_relaxed)) {
+  }
+  const auto bounds = BatchHistogramUpperBounds();
+  size_t bucket = kBatchHistogramBuckets - 1;
+  for (size_t i = 0; i + 1 < kBatchHistogramBuckets; ++i) {
+    if (batch_size <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Inc(batch_histogram_[bucket]);
+}
+
+void ServiceMetrics::SetQueueGauges(size_t depth, size_t max_depth,
+                                    size_t capacity) {
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  queue_max_depth_.store(max_depth, std::memory_order_relaxed);
+  queue_capacity_.store(capacity, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::SetStoreGauges(size_t db_size, size_t positive_labels,
+                                    size_t negative_labels,
+                                    uint64_t model_generation) {
+  db_size_.store(db_size, std::memory_order_relaxed);
+  positive_labels_.store(positive_labels, std::memory_order_relaxed);
+  negative_labels_.store(negative_labels, std::memory_order_relaxed);
+  model_generation_.store(model_generation, std::memory_order_relaxed);
+}
+
+namespace {
+
+void WriteLatency(util::JsonWriter& w, std::string_view key,
+                  const LatencyRecorder::Summary& s) {
+  w.Key(key);
+  w.BeginObject();
+  w.Field("count", s.count);
+  w.Field("mean_ms", s.mean_ms);
+  w.Field("p50_ms", s.p50_ms);
+  w.Field("p95_ms", s.p95_ms);
+  w.Field("p99_ms", s.p99_ms);
+  w.Field("max_ms", s.max_ms);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ServiceMetrics::ToJson(std::string_view extra_json,
+                                   bool pretty) const {
+  util::JsonWriter w(pretty);
+  w.BeginObject();
+
+  w.Key("requests");
+  w.BeginObject();
+  w.Field("received", Load(requests_received_));
+  w.Field("completed", Load(requests_completed_));
+  w.Field("rejected", Load(requests_rejected_));
+  w.EndObject();
+
+  w.Key("queue");
+  w.BeginObject();
+  w.Field("depth", Load(queue_depth_));
+  w.Field("max_depth", Load(queue_max_depth_));
+  w.Field("capacity", Load(queue_capacity_));
+  w.EndObject();
+
+  w.Key("batches");
+  w.BeginObject();
+  const uint64_t dispatched = Load(batches_dispatched_);
+  w.Field("dispatched", dispatched);
+  w.Field("mean_size",
+          dispatched == 0 ? 0.0
+                          : static_cast<double>(Load(batch_reports_)) /
+                                static_cast<double>(dispatched));
+  w.Field("max_size", Load(batch_max_));
+  w.Key("size_histogram");
+  w.BeginArray();
+  const auto bounds = BatchHistogramUpperBounds();
+  for (size_t i = 0; i < kBatchHistogramBuckets; ++i) {
+    w.BeginObject();
+    if (bounds[i] == 0) {
+      w.Field("le", "inf");
+    } else {
+      w.Field("le", bounds[i]);
+    }
+    w.Field("count", Load(batch_histogram_[i]));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("screening");
+  w.BeginObject();
+  w.Field("duplicates_flagged", Load(duplicates_flagged_));
+  w.Field("pairs_considered", Load(pairs_considered_));
+  w.Field("pairs_after_pruning", Load(pairs_after_pruning_));
+  w.EndObject();
+
+  w.Key("model");
+  w.BeginObject();
+  w.Field("swaps", Load(model_swaps_));
+  w.Field("generation", Load(model_generation_));
+  w.Field("db_size", Load(db_size_));
+  w.Field("positive_labels", Load(positive_labels_));
+  w.Field("negative_labels", Load(negative_labels_));
+  w.EndObject();
+
+  w.Key("latency");
+  w.BeginObject();
+  WriteLatency(w, "queue_wait", queue_wait_.Summarize());
+  WriteLatency(w, "total", total_latency_.Summarize());
+  w.EndObject();
+
+  if (!extra_json.empty()) {
+    w.Key("minispark");
+    w.RawValue(extra_json);
+  }
+
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+}  // namespace adrdedup::serve

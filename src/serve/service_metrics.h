@@ -1,0 +1,139 @@
+// Thread-safe metrics registry of the online screening service: request
+// counters, queue-depth gauges, a micro-batch size histogram, and
+// reservoir-sampled latency distributions (p50/p95/p99), exported as JSON
+// via the shared util::JsonWriter serializer (the same one behind
+// minispark's MetricsSnapshot::ToJson and the CLI --metrics-out dumps).
+#ifndef ADRDEDUP_SERVE_SERVICE_METRICS_H_
+#define ADRDEDUP_SERVE_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::serve {
+
+// Latency sampler: exact count/mean/max plus a bounded uniform reservoir
+// for percentile estimation (unbiased once the reservoir saturates).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t reservoir_capacity = 1 << 16);
+
+  void Record(double millis);
+
+  struct Summary {
+    uint64_t count = 0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  Summary Summarize() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::vector<double> reservoir_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+};
+
+// Micro-batch size histogram over power-of-two buckets
+// (1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, ≤128, >128).
+inline constexpr size_t kBatchHistogramBuckets = 9;
+std::array<uint64_t, kBatchHistogramBuckets> BatchHistogramUpperBounds();
+
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  // Request lifecycle.
+  void IncReceived() { Inc(requests_received_); }
+  void IncCompleted(uint64_t n = 1) { Add(requests_completed_, n); }
+  void IncRejected() { Inc(requests_rejected_); }
+
+  // Dispatch.
+  void RecordBatch(size_t batch_size);
+  void AddDuplicatesFlagged(uint64_t n) { Add(duplicates_flagged_, n); }
+  void AddPairsScreened(uint64_t considered, uint64_t after_pruning) {
+    Add(pairs_considered_, considered);
+    Add(pairs_after_pruning_, after_pruning);
+  }
+  void IncModelSwaps() { Inc(model_swaps_); }
+
+  // Latency, split into time spent queued and end-to-end.
+  void RecordQueueWait(double ms) { queue_wait_.Record(ms); }
+  void RecordTotalLatency(double ms) { total_latency_.Record(ms); }
+
+  // Gauges sampled by the service at export time.
+  void SetQueueGauges(size_t depth, size_t max_depth, size_t capacity);
+  void SetStoreGauges(size_t db_size, size_t positive_labels,
+                      size_t negative_labels, uint64_t model_generation);
+
+  uint64_t requests_received() const { return Load(requests_received_); }
+  uint64_t requests_completed() const { return Load(requests_completed_); }
+  uint64_t requests_rejected() const { return Load(requests_rejected_); }
+  uint64_t batches_dispatched() const { return Load(batches_dispatched_); }
+  uint64_t duplicates_flagged() const { return Load(duplicates_flagged_); }
+  uint64_t model_swaps() const { return Load(model_swaps_); }
+  uint64_t max_batch_size() const { return Load(batch_max_); }
+  LatencyRecorder::Summary TotalLatency() const {
+    return total_latency_.Summarize();
+  }
+  LatencyRecorder::Summary QueueWait() const {
+    return queue_wait_.Summarize();
+  }
+
+  // Full registry as a JSON object. `extra_json` (e.g. the minispark
+  // MetricsSnapshot::ToJson output) is spliced under "minispark" when
+  // non-empty.
+  std::string ToJson(std::string_view extra_json = {},
+                     bool pretty = false) const;
+
+ private:
+  static void Inc(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void Add(std::atomic<uint64_t>& counter, uint64_t n) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+  static uint64_t Load(const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> requests_received_{0};
+  std::atomic<uint64_t> requests_completed_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> batches_dispatched_{0};
+  std::atomic<uint64_t> batch_reports_{0};
+  std::atomic<uint64_t> batch_max_{0};
+  std::array<std::atomic<uint64_t>, kBatchHistogramBuckets>
+      batch_histogram_{};
+  std::atomic<uint64_t> duplicates_flagged_{0};
+  std::atomic<uint64_t> pairs_considered_{0};
+  std::atomic<uint64_t> pairs_after_pruning_{0};
+  std::atomic<uint64_t> model_swaps_{0};
+  std::atomic<uint64_t> queue_depth_{0};
+  std::atomic<uint64_t> queue_max_depth_{0};
+  std::atomic<uint64_t> queue_capacity_{0};
+  std::atomic<uint64_t> db_size_{0};
+  std::atomic<uint64_t> positive_labels_{0};
+  std::atomic<uint64_t> negative_labels_{0};
+  std::atomic<uint64_t> model_generation_{0};
+  LatencyRecorder queue_wait_;
+  LatencyRecorder total_latency_;
+};
+
+}  // namespace adrdedup::serve
+
+#endif  // ADRDEDUP_SERVE_SERVICE_METRICS_H_

@@ -1,0 +1,148 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace adrdedup::util {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  ADRDEDUP_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+void JsonWriter::Indent() {
+  out_.push_back('\n');
+  out_.append(2 * (has_element_.size() - 1), ' ');
+}
+
+void JsonWriter::Prefix() {
+  if (pending_key_) {
+    // Value completes a key; the separator was written with the key.
+    pending_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_.push_back(',');
+  if (pretty_ && has_element_.size() > 1) Indent();
+  has_element_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  Prefix();
+  out_.push_back('{');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  ADRDEDUP_CHECK(has_element_.size() > 1 && !pending_key_);
+  const bool had_elements = has_element_.back();
+  has_element_.pop_back();
+  if (pretty_ && had_elements) Indent();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  Prefix();
+  out_.push_back('[');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  ADRDEDUP_CHECK(has_element_.size() > 1 && !pending_key_);
+  const bool had_elements = has_element_.back();
+  has_element_.pop_back();
+  if (pretty_ && had_elements) Indent();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  ADRDEDUP_CHECK(!pending_key_);
+  Prefix();
+  out_.push_back('"');
+  out_.append(JsonEscape(key));
+  out_.append(pretty_ ? "\": " : "\":");
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view value) {
+  Prefix();
+  out_.push_back('"');
+  out_.append(JsonEscape(value));
+  out_.push_back('"');
+}
+
+void JsonWriter::Value(bool value) {
+  Prefix();
+  out_.append(value ? "true" : "false");
+}
+
+void JsonWriter::Value(int64_t value) {
+  Prefix();
+  out_.append(std::to_string(value));
+}
+
+void JsonWriter::Value(uint64_t value) {
+  Prefix();
+  out_.append(std::to_string(value));
+}
+
+void JsonWriter::Value(double value) {
+  Prefix();
+  out_.append(JsonNumber(value));
+}
+
+void JsonWriter::Null() {
+  Prefix();
+  out_.append("null");
+}
+
+void JsonWriter::RawValue(std::string_view json) {
+  Prefix();
+  out_.append(json);
+}
+
+}  // namespace adrdedup::util

@@ -1,0 +1,79 @@
+// Streaming JSON writer shared by the serving-layer metrics export
+// (serve::ServiceMetrics), the minispark Metrics snapshot, and the CLI
+// tools' --metrics-out dumps. Produces RFC 8259 output; no parsing, no
+// DOM — callers drive Begin/End/Field and take the final string.
+#ifndef ADRDEDUP_UTIL_JSON_H_
+#define ADRDEDUP_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adrdedup::util {
+
+// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+// Structured writer with automatic comma placement and optional pretty
+// printing. Usage:
+//   JsonWriter w(/*pretty=*/true);
+//   w.BeginObject();
+//   w.Field("requests", uint64_t{12});
+//   w.Key("latency_ms"); w.BeginArray(); w.Value(0.5); w.EndArray();
+//   w.EndObject();
+//   std::string json = std::move(w).TakeString();
+// Misuse (value without key inside an object, unbalanced End) trips a
+// CHECK in debug; the writer is for trusted in-process serialization.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+
+  void Value(std::string_view value);
+  void Value(const char* value) { Value(std::string_view(value)); }
+  void Value(bool value);
+  void Value(int64_t value);
+  void Value(uint64_t value);
+  void Value(int value) { Value(static_cast<int64_t>(value)); }
+  // Non-finite doubles serialize as null (JSON has no NaN/Inf).
+  void Value(double value);
+  void Null();
+  // Splices pre-serialized JSON in value position (composition of
+  // independently produced sub-documents; caller guarantees validity).
+  void RawValue(std::string_view json);
+
+  template <typename T>
+  void Field(std::string_view key, T value) {
+    Key(key);
+    Value(value);
+  }
+
+  std::string TakeString() && { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  // Writes separators/indentation due before the next element.
+  void Prefix();
+  void Indent();
+
+  std::string out_;
+  bool pretty_ = false;
+  // Per-nesting-level flag: has the current container emitted an element?
+  std::vector<bool> has_element_ = {false};
+  bool pending_key_ = false;
+};
+
+// Formats a double the way JsonWriter does (shortest round-trippable
+// representation; "null" for non-finite values).
+std::string JsonNumber(double value);
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_JSON_H_

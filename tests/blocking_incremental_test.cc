@@ -1,0 +1,156 @@
+// The incremental posting-list index must agree with the batch
+// GenerateCandidates sweep when no block-size cap is in play (the one
+// documented divergence), and keep its accounting and ordering
+// guarantees as reports stream in.
+#include "blocking/incremental_index.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/blocking.h"
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+
+namespace adrdedup::blocking {
+namespace {
+
+using distance::PairKey;
+
+struct BlockingFixture {
+  BlockingFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 400;
+    config.num_duplicate_pairs = 30;
+    config.num_drugs = 60;
+    config.num_adrs = 90;
+    corpus = datagen::GenerateCorpus(config);
+    features = distance::ExtractAllFeatures(corpus.db);
+  }
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+};
+
+BlockingFixture& Fixture() {
+  static BlockingFixture& fixture = *new BlockingFixture();
+  return fixture;
+}
+
+// Streams every report through the index (probe-then-insert, the serving
+// order) and returns the emitted pair set.
+std::set<uint64_t> StreamPairs(
+    const std::vector<distance::ReportFeatures>& features,
+    const BlockingOptions& options) {
+  IncrementalBlockingIndex index(options);
+  std::set<uint64_t> pairs;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const auto id = static_cast<report::ReportId>(i);
+    for (report::ReportId other : index.Candidates(features[i])) {
+      pairs.insert(PairKey({std::min(id, other), std::max(id, other)}));
+    }
+    index.Add(id, features[i]);
+  }
+  return pairs;
+}
+
+TEST(IncrementalBlockingIndexTest, MatchesBatchGeneratorWithoutSizeCap) {
+  auto& fixture = Fixture();
+  for (const auto& keys : std::vector<std::vector<BlockingKey>>{
+           {BlockingKey::kDrugToken},
+           {BlockingKey::kAdrToken},
+           {BlockingKey::kDrugToken, BlockingKey::kAdrToken,
+            BlockingKey::kOnsetDate, BlockingKey::kSexAndAgeBand}}) {
+    BlockingOptions options;
+    options.keys = keys;
+    options.max_block_size = 0;  // the regime where semantics coincide
+
+    std::set<uint64_t> batch;
+    for (const auto& pair : GenerateCandidates(fixture.features, options).pairs) {
+      batch.insert(PairKey(pair));
+    }
+    const std::set<uint64_t> streamed = StreamPairs(fixture.features, options);
+    ASSERT_FALSE(batch.empty());
+    EXPECT_EQ(streamed, batch) << "key set size " << keys.size();
+  }
+}
+
+TEST(IncrementalBlockingIndexTest, CandidatesAreSortedAndDeduplicated) {
+  auto& fixture = Fixture();
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken, BlockingKey::kAdrToken};
+  options.max_block_size = 0;
+  IncrementalBlockingIndex index(options);
+  for (size_t i = 0; i + 1 < fixture.features.size(); ++i) {
+    index.Add(static_cast<report::ReportId>(i), fixture.features[i]);
+  }
+  const auto candidates =
+      index.Candidates(fixture.features.back());
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+  EXPECT_EQ(std::adjacent_find(candidates.begin(), candidates.end()),
+            candidates.end());
+  for (report::ReportId id : candidates) {
+    EXPECT_LT(id, fixture.features.size() - 1);  // only inserted ids
+  }
+}
+
+TEST(IncrementalBlockingIndexTest, ProbeDoesNotInsert) {
+  auto& fixture = Fixture();
+  IncrementalBlockingIndex index;
+  index.Add(0, fixture.features[0]);
+  const size_t blocks = index.num_blocks();
+  (void)index.Candidates(fixture.features[1]);
+  (void)index.Candidates(fixture.features[1]);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.num_blocks(), blocks);
+}
+
+TEST(IncrementalBlockingIndexTest, OversizedBlocksStopYieldingCandidates) {
+  // Ten reports sharing one drug token with a cap of 4: once the posting
+  // list passes the cap, later arrivals must not probe it.
+  auto& fixture = Fixture();
+  ASSERT_FALSE(fixture.features[0].drug_tokens.empty());
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken};
+  options.max_block_size = 4;
+  IncrementalBlockingIndex index(options);
+  std::vector<distance::ReportFeatures> clones(10, fixture.features[0]);
+  size_t last_candidates = 0;
+  for (size_t i = 0; i < clones.size(); ++i) {
+    last_candidates = index.Candidates(clones[i]).size();
+    index.Add(static_cast<report::ReportId>(i), clones[i]);
+  }
+  EXPECT_EQ(last_candidates, 0u)
+      << "a block past the cap kept serving candidates";
+  EXPECT_GE(index.oversized_blocks(), 1u);
+
+  // Unrelated keys still work: a fresh report outside the hot block pairs
+  // normally.
+  BlockingOptions uncapped;
+  uncapped.keys = {BlockingKey::kDrugToken};
+  uncapped.max_block_size = 0;
+  IncrementalBlockingIndex open_index(uncapped);
+  for (size_t i = 0; i < clones.size(); ++i) {
+    open_index.Add(static_cast<report::ReportId>(i), clones[i]);
+  }
+  EXPECT_EQ(open_index.Candidates(clones[0]).size(), clones.size());
+  EXPECT_EQ(open_index.oversized_blocks(), 0u);
+}
+
+TEST(IncrementalBlockingIndexTest, AccountingTracksInsertions) {
+  auto& fixture = Fixture();
+  BlockingOptions options;
+  options.keys = {BlockingKey::kDrugToken, BlockingKey::kAdrToken};
+  IncrementalBlockingIndex index(options);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.num_blocks(), 0u);
+  for (size_t i = 0; i < 50; ++i) {
+    index.Add(static_cast<report::ReportId>(i), fixture.features[i]);
+  }
+  EXPECT_EQ(index.size(), 50u);
+  EXPECT_GT(index.num_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace adrdedup::blocking

@@ -1,0 +1,152 @@
+#include "serve/service_metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::serve {
+namespace {
+
+TEST(LatencyRecorderTest, ExactPercentilesBelowReservoirCapacity) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) {
+    recorder.Record(static_cast<double>(i));
+  }
+  const auto summary = recorder.Summarize();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 50.5);
+  EXPECT_DOUBLE_EQ(summary.max_ms, 100.0);
+  // Nearest-rank percentiles over 1..100.
+  EXPECT_DOUBLE_EQ(summary.p50_ms, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95_ms, 95.0);
+  EXPECT_DOUBLE_EQ(summary.p99_ms, 99.0);
+}
+
+TEST(LatencyRecorderTest, EmptySummaryIsZero) {
+  LatencyRecorder recorder;
+  const auto summary = recorder.Summarize();
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max_ms, 0.0);
+}
+
+TEST(LatencyRecorderTest, ReservoirKeepsExactAggregatesPastCapacity) {
+  LatencyRecorder recorder(/*reservoir_capacity=*/64);
+  const size_t n = 10000;
+  for (size_t i = 1; i <= n; ++i) {
+    recorder.Record(static_cast<double>(i));
+  }
+  const auto summary = recorder.Summarize();
+  EXPECT_EQ(summary.count, n);
+  EXPECT_DOUBLE_EQ(summary.max_ms, static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(summary.mean_ms, (n + 1) / 2.0);
+  // Percentiles are estimates from a uniform sample; a loose sanity band
+  // is the contract.
+  EXPECT_GT(summary.p95_ms, summary.p50_ms);
+  EXPECT_GE(summary.p99_ms, summary.p95_ms);
+  EXPECT_GT(summary.p50_ms, 0.0);
+  EXPECT_LE(summary.p99_ms, static_cast<double>(n));
+}
+
+TEST(LatencyRecorderTest, ResetClears) {
+  LatencyRecorder recorder;
+  recorder.Record(5.0);
+  recorder.Reset();
+  EXPECT_EQ(recorder.Summarize().count, 0u);
+}
+
+TEST(BatchHistogramTest, BucketBoundsArePowersOfTwo) {
+  const auto bounds = BatchHistogramUpperBounds();
+  ASSERT_EQ(bounds.size(), kBatchHistogramBuckets);
+  EXPECT_EQ(bounds.front(), 1u);
+  EXPECT_EQ(bounds[bounds.size() - 2], 128u);
+  EXPECT_EQ(bounds.back(), 0u);  // overflow bucket
+}
+
+TEST(ServiceMetricsTest, CountersAccumulate) {
+  ServiceMetrics metrics;
+  metrics.IncReceived();
+  metrics.IncReceived();
+  metrics.IncCompleted(2);
+  metrics.IncRejected();
+  metrics.RecordBatch(1);
+  metrics.RecordBatch(24);
+  metrics.AddDuplicatesFlagged(3);
+  metrics.AddPairsScreened(100, 40);
+  metrics.IncModelSwaps();
+  EXPECT_EQ(metrics.requests_received(), 2u);
+  EXPECT_EQ(metrics.requests_completed(), 2u);
+  EXPECT_EQ(metrics.requests_rejected(), 1u);
+  EXPECT_EQ(metrics.batches_dispatched(), 2u);
+  EXPECT_EQ(metrics.max_batch_size(), 24u);
+  EXPECT_EQ(metrics.duplicates_flagged(), 3u);
+  EXPECT_EQ(metrics.model_swaps(), 1u);
+}
+
+TEST(ServiceMetricsTest, ThreadSafeUnderConcurrentUpdates) {
+  ServiceMetrics metrics;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.IncReceived();
+        metrics.RecordBatch(static_cast<size_t>(i % 64 + 1));
+        metrics.RecordTotalLatency(1.0);
+        metrics.IncCompleted();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  constexpr uint64_t kExpected = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(metrics.requests_received(), kExpected);
+  EXPECT_EQ(metrics.requests_completed(), kExpected);
+  EXPECT_EQ(metrics.TotalLatency().count, kExpected);
+  EXPECT_EQ(metrics.max_batch_size(), 64u);
+}
+
+TEST(ServiceMetricsTest, ToJsonContainsRegistrySections) {
+  ServiceMetrics metrics;
+  metrics.IncReceived();
+  metrics.RecordBatch(4);
+  metrics.RecordTotalLatency(1.25);
+  metrics.SetQueueGauges(2, 5, 128);
+  metrics.SetStoreGauges(1000, 30, 500, 2);
+  const std::string json = metrics.ToJson();
+  for (const char* key :
+       {"\"requests\"", "\"queue\"", "\"batches\"", "\"size_histogram\"",
+        "\"screening\"", "\"model\"", "\"latency\"", "\"queue_wait\"",
+        "\"total\"", "\"p99_ms\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_NE(json.find("\"capacity\":128"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"db_size\":1000"), std::string::npos) << json;
+}
+
+TEST(ServiceMetricsTest, ToJsonSplicesExtraDocument) {
+  ServiceMetrics metrics;
+  const std::string json = metrics.ToJson("{\"tasks_launched\":9}");
+  EXPECT_NE(json.find("\"minispark\":{\"tasks_launched\":9}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ServiceMetricsTest, BalancedJsonBraces) {
+  ServiceMetrics metrics;
+  for (bool pretty : {false, true}) {
+    const std::string json = metrics.ToJson({}, pretty);
+    int depth = 0;
+    for (char c : json) {
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+  }
+}
+
+}  // namespace
+}  // namespace adrdedup::serve

@@ -1,0 +1,421 @@
+// Concurrency tests for the online screening service: queue bounds,
+// exactly-once delivery under many producers, micro-batch coalescing,
+// parity with the batch pipeline, and model swap under load. These carry
+// the `sanitize` ctest label so they also run under ThreadSanitizer.
+#include "serve/screening_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "serve/micro_batch_queue.h"
+#include "util/random.h"
+
+namespace adrdedup::serve {
+namespace {
+
+using distance::LabeledPair;
+using distance::PairKey;
+
+// ---------------------------------------------------------------------------
+// MicroBatchQueue
+
+TEST(MicroBatchQueueTest, DeliversEveryItemExactlyOnce) {
+  MicroBatchQueue<int> queue({.capacity = 8,
+                              .max_batch = 4,
+                              .max_linger = std::chrono::microseconds(500)});
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 50;
+
+  std::vector<int> delivered;
+  std::thread consumer([&] {
+    while (true) {
+      std::vector<int> batch = queue.PopBatch();
+      if (batch.empty()) return;
+      EXPECT_LE(batch.size(), 4u);
+      delivered.insert(delivered.end(), batch.begin(), batch.end());
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * 1000 + i));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  queue.Close();
+  consumer.join();
+
+  ASSERT_EQ(delivered.size(),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_EQ(std::adjacent_find(delivered.begin(), delivered.end()),
+            delivered.end())
+      << "an item was delivered twice";
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      EXPECT_TRUE(std::binary_search(delivered.begin(), delivered.end(),
+                                     p * 1000 + i));
+    }
+  }
+  // Bounded-buffer invariant: backpressure kept the depth at capacity.
+  EXPECT_LE(queue.max_depth_seen(), 8u);
+}
+
+TEST(MicroBatchQueueTest, DepthNeverExceedsCapacityUnderPressure) {
+  MicroBatchQueue<int> queue({.capacity = 4,
+                              .max_batch = 2,
+                              .max_linger = std::chrono::microseconds(0)});
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&queue] {
+      for (int i = 0; i < 32; ++i) (void)queue.Push(i);
+    });
+  }
+  // Slow consumer: drain with small batches so producers keep blocking.
+  size_t total = 0;
+  while (total < 8 * 32) {
+    std::vector<int> batch = queue.PopBatch();
+    ASSERT_FALSE(batch.empty());
+    total += batch.size();
+    EXPECT_LE(queue.max_depth_seen(), 4u);
+  }
+  for (auto& producer : producers) producer.join();
+  queue.Close();
+  EXPECT_TRUE(queue.PopBatch().empty());
+  EXPECT_LE(queue.max_depth_seen(), 4u);
+}
+
+TEST(MicroBatchQueueTest, CloseDrainsThenFailsPush) {
+  MicroBatchQueue<int> queue({.capacity = 8,
+                              .max_batch = 16,
+                              .max_linger = std::chrono::microseconds(0)});
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(4));
+  std::vector<int> batch = queue.PopBatch();
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(queue.PopBatch().empty());
+  EXPECT_TRUE(queue.closed());
+}
+
+// ---------------------------------------------------------------------------
+// ScreeningService
+
+struct ServeFixture {
+  ServeFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 1000;
+    config.num_duplicate_pairs = 70;
+    config.num_drugs = 150;
+    config.num_adrs = 250;
+    corpus = datagen::GenerateCorpus(config);
+    features = distance::ExtractAllFeatures(corpus.db);
+  }
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+};
+
+ServeFixture& Fixture() {
+  static ServeFixture& fixture = *new ServeFixture();
+  return fixture;
+}
+
+core::DedupPipelineOptions PipelineOptions() {
+  core::DedupPipelineOptions options;
+  options.knn.k = 9;
+  options.knn.num_clusters = 12;
+  options.theta = 0.0;
+  options.f_theta = 0.9;
+  options.use_blocking = true;
+  options.blocking.keys = {blocking::BlockingKey::kDrugToken,
+                           blocking::BlockingKey::kAdrToken};
+  return options;
+}
+
+// Ground-truth duplicates within the first `boot` reports plus sampled
+// negatives (same recipe as the core pipeline tests).
+std::vector<LabeledPair> SeedFromTruth(const ServeFixture& fixture,
+                                       size_t boot, size_t negatives) {
+  std::vector<LabeledPair> seed;
+  std::set<uint64_t> dups;
+  for (auto [a, b] : fixture.corpus.duplicate_pairs) {
+    dups.insert(PairKey({std::min(a, b), std::max(a, b)}));
+    if (a >= boot || b >= boot) continue;
+    LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    pair.label = +1;
+    pair.vector =
+        ComputeDistanceVector(fixture.features[a], fixture.features[b]);
+    seed.push_back(pair);
+  }
+  util::Rng rng(21);
+  while (seed.size() < negatives) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(boot));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(boot));
+    if (a == b) continue;
+    distance::ReportPair pair{std::min(a, b), std::max(a, b)};
+    if (dups.contains(PairKey(pair))) continue;
+    LabeledPair labeled;
+    labeled.pair = pair;
+    labeled.label = -1;
+    labeled.vector = ComputeDistanceVector(fixture.features[pair.a],
+                                           fixture.features[pair.b]);
+    seed.push_back(labeled);
+  }
+  return seed;
+}
+
+std::vector<report::AdrReport> Slice(const ServeFixture& fixture,
+                                     size_t begin, size_t end) {
+  std::vector<report::AdrReport> out;
+  for (size_t i = begin; i < end; ++i) {
+    out.push_back(fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  return out;
+}
+
+TEST(ScreeningServiceTest, AllRequestsAnsweredExactlyOnce) {
+  auto& fixture = Fixture();
+  const size_t boot = 904;
+  constexpr size_t kProducers = 8;
+  const size_t stream_size = fixture.corpus.db.size() - boot;  // 96
+  const auto stream = Slice(fixture, boot, fixture.corpus.db.size());
+
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.queue_capacity = 16;  // exercise Push() backpressure
+  options.max_batch = 8;
+  options.max_linger_ms = 1.0;
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 3000));
+  service.Start();
+  ASSERT_TRUE(service.running());
+
+  std::vector<std::vector<std::future<ScreenResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = p; i < stream.size(); i += kProducers) {
+        auto submitted = service.Submit(stream[i]);
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        futures[p].push_back(std::move(submitted).value());
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+
+  // Every future resolves, and the assigned ids are the contiguous range
+  // [boot, boot + stream), each used exactly once.
+  std::set<report::ReportId> assigned;
+  for (auto& per_producer : futures) {
+    for (auto& future : per_producer) {
+      const ScreenResponse response = future.get();
+      EXPECT_TRUE(assigned.insert(response.assigned_id).second)
+          << "id answered twice: " << response.assigned_id;
+      EXPECT_GE(response.batch_size, 1u);
+      EXPECT_GE(response.total_ms, response.queue_ms);
+    }
+  }
+  ASSERT_EQ(assigned.size(), stream_size);
+  EXPECT_EQ(*assigned.begin(), boot);
+  EXPECT_EQ(*assigned.rbegin(), boot + stream_size - 1);
+
+  service.Stop();
+  EXPECT_FALSE(service.running());
+  EXPECT_EQ(service.metrics().requests_received(), stream_size);
+  EXPECT_EQ(service.metrics().requests_completed(), stream_size);
+  EXPECT_EQ(service.metrics().requests_rejected(), 0u);
+  EXPECT_EQ(service.db_size(), boot + stream_size);
+  EXPECT_EQ(service.metrics().TotalLatency().count, stream_size);
+}
+
+TEST(ScreeningServiceTest, ConcurrentSubmissionsCoalesceIntoMicroBatches) {
+  auto& fixture = Fixture();
+  const size_t boot = 920;
+  constexpr size_t kProducers = 8;
+  const auto stream = Slice(fixture, boot, fixture.corpus.db.size());
+
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.max_batch = 8;
+  options.max_linger_ms = 20.0;  // generous: coalescing must not be flaky
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 3000));
+  service.Start();
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = p; i < stream.size(); i += kProducers) {
+        auto response = service.Screen(stream[i]);
+        ASSERT_TRUE(response.ok());
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  service.Stop();
+
+  const uint64_t completed = service.metrics().requests_completed();
+  ASSERT_EQ(completed, stream.size());
+  EXPECT_LT(service.metrics().batches_dispatched(), completed)
+      << "every request ran as its own job; micro-batching never engaged";
+  EXPECT_GT(service.metrics().max_batch_size(), 1u);
+  EXPECT_LE(service.metrics().max_batch_size(), 8u);
+}
+
+TEST(ScreeningServiceTest, MatchesBatchPipelineDetections) {
+  auto& fixture = Fixture();
+  const size_t boot = 960;
+  const auto bootstrap = Slice(fixture, 0, boot);
+  const auto stream = Slice(fixture, boot, fixture.corpus.db.size());
+  const auto seed = SeedFromTruth(fixture, boot, 3000);
+
+  // Exact-parity configuration: no blocking (order-independent candidate
+  // universe) and no pruning (the pruner is the one model feedback could
+  // perturb between the two runs).
+  core::DedupPipelineOptions pipeline_options = PipelineOptions();
+  pipeline_options.use_blocking = false;
+  pipeline_options.f_theta = -1.0;
+
+  // One-shot batch run.
+  std::set<uint64_t> batch_detections;
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    core::DedupPipelineOptions options = pipeline_options;
+    options.auto_refit = false;
+    core::DedupPipeline pipeline(&ctx, options);
+    pipeline.BootstrapDatabase(bootstrap);
+    pipeline.SeedLabels(seed);
+    const auto result = pipeline.ProcessNewReports(stream);
+    for (const auto& pair : result.duplicates) {
+      batch_detections.insert(PairKey(pair));
+    }
+  }
+
+  // Streaming run: one report per request, micro-batching disabled so the
+  // service sees the same arrival order.
+  std::set<uint64_t> serve_detections;
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningServiceOptions options;
+    options.pipeline = pipeline_options;
+    options.max_batch = 1;
+    options.max_linger_ms = 0.0;
+    ScreeningService service(&ctx, options);
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    service.Start();
+    for (const auto& report : stream) {
+      auto response = service.Screen(report);
+      ASSERT_TRUE(response.ok());
+      for (const auto& match : response.value().matches) {
+        const auto a = std::min(response.value().assigned_id, match.other);
+        const auto b = std::max(response.value().assigned_id, match.other);
+        serve_detections.insert(PairKey({a, b}));
+        EXPECT_FALSE(match.other_case_number.empty());
+      }
+    }
+    service.Stop();
+    EXPECT_EQ(service.metrics().duplicates_flagged(),
+              serve_detections.size());
+  }
+
+  ASSERT_FALSE(batch_detections.empty());
+  EXPECT_EQ(serve_detections, batch_detections);
+}
+
+TEST(ScreeningServiceTest, ModelSwapUnderLoad) {
+  auto& fixture = Fixture();
+  const size_t boot = 920;
+  constexpr size_t kProducers = 4;
+  const auto stream = Slice(fixture, boot, fixture.corpus.db.size());
+
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.max_batch = 4;
+  options.max_linger_ms = 1.0;
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 3000));
+  service.Start();
+  const uint64_t generation_before = service.model_generation();
+  ASSERT_GE(generation_before, 1u);  // initial synchronous fit
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = p; i < stream.size(); i += kProducers) {
+        auto response = service.Screen(stream[i]);
+        ASSERT_TRUE(response.ok());
+        EXPECT_GE(response.value().model_generation, generation_before);
+      }
+    });
+  }
+  // Ask for a snapshot-and-swap refresh while traffic is in flight, then
+  // wait for it to land (bounded; the fit runs on the refresher thread).
+  service.TriggerRefresh();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (service.metrics().model_swaps() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (auto& producer : producers) producer.join();
+  service.Stop();
+
+  EXPECT_GE(service.metrics().model_swaps(), 1u);
+  EXPECT_GT(service.model_generation(), generation_before);
+  // The swap lost no traffic.
+  EXPECT_EQ(service.metrics().requests_completed(), stream.size());
+  EXPECT_EQ(service.metrics().requests_rejected(), 0u);
+}
+
+TEST(ScreeningServiceTest, RejectsWhenNotRunning) {
+  auto& fixture = Fixture();
+  const size_t boot = 980;
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 1000));
+
+  const auto report =
+      fixture.corpus.db.Get(static_cast<report::ReportId>(boot));
+  EXPECT_FALSE(service.Submit(report).ok()) << "accepted before Start()";
+
+  service.Start();
+  auto response = service.Screen(report);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().assigned_id, boot);
+  service.Stop();
+
+  EXPECT_FALSE(service.Submit(report).ok()) << "accepted after Stop()";
+  EXPECT_EQ(service.metrics().requests_completed(), 1u);
+
+  // Metrics export still works on a stopped service and reflects gauges.
+  const std::string json = service.MetricsJson();
+  EXPECT_NE(json.find("\"completed\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"minispark\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace adrdedup::serve

@@ -142,6 +142,74 @@ TEST(CsvFuzzTest, RandomContentRoundTrips) {
   }
 }
 
+// RFC 4180 regression coverage: the writer must quote on bare CR (not
+// just LF), preserve whitespace verbatim, and survive quotes at field
+// boundaries; the parser must accept what the writer emits byte-for-byte.
+TEST(CsvRfc4180Test, CarriageReturnAloneForcesQuoting) {
+  EXPECT_EQ(CsvEscape("a\rb"), "\"a\rb\"");
+  auto rows = CsvParse(CsvFormatRow({"a\rb", "c"}) + "\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a\rb", "c"}));
+}
+
+TEST(CsvRfc4180Test, CrLfInsideQuotedFieldIsData) {
+  // A CRLF inside quotes is field content; only the record-terminating
+  // CRLF is a line break.
+  auto rows = CsvParse("a,\"x\r\ny\"\r\nnext,row\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][1], "x\r\ny");
+  EXPECT_EQ(rows.value()[1], (CsvRow{"next", "row"}));
+}
+
+TEST(CsvRfc4180Test, LeadingAndTrailingSpacesArePreserved) {
+  // RFC 4180: "Spaces are considered part of a field and should not be
+  // ignored."
+  EXPECT_EQ(CsvEscape("  padded  "), "  padded  ");
+  auto row = CsvParseLine(" a , b ");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{" a ", " b "}));
+}
+
+TEST(CsvRfc4180Test, QuoteOnlyAndBoundaryQuoteFields) {
+  const CsvRow original = {"\"", "\"\"", "end\"", "\"start", "mid\"dle"};
+  EXPECT_EQ(CsvEscape("\""), "\"\"\"\"");
+  auto parsed = CsvParseLine(CsvFormatRow(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), original);
+}
+
+TEST(CsvRfc4180Test, EmptyRowAndAllEmptyFields) {
+  EXPECT_EQ(CsvFormatRow({""}), "");
+  EXPECT_EQ(CsvFormatRow({"", "", ""}), ",,");
+  auto row = CsvParseLine(",,");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"", "", ""}));
+}
+
+TEST(CsvRfc4180Test, QuoteOpensOnlyAtFieldStart) {
+  // A quote later in an unquoted field is literal data (lenient reading
+  // of the RFC; matches what spreadsheet exports produce).
+  auto row = CsvParseLine("5\"2,x");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (CsvRow{"5\"2", "x"}));
+}
+
+TEST_F(CsvFileTest, HostileFieldsSurviveFileRoundTrip) {
+  const std::vector<CsvRow> rows = {
+      {"case", "narrative"},
+      {"A-1", "fever,\"chills\"\r\nand \"nausea\""},
+      {"A-2", "\r"},
+      {"A-3", ",,,"},
+      {"A-4", "  spaced  "},
+  };
+  ASSERT_TRUE(CsvWriteFile(path_.string(), rows).ok());
+  auto read = CsvReadFile(path_.string());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+}
+
 TEST(CsvFormatRowTest, RoundTripsThroughParse) {
   const CsvRow original = {"a", "b,c", "d\"e", "f\ng", ""};
   auto parsed = CsvParseLine(CsvFormatRow(original));

@@ -1,0 +1,145 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace adrdedup::util {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonEscapeTest, LeavesUtf8BytesAlone) {
+  EXPECT_EQ(JsonEscape("naïve café"), "naïve café");
+}
+
+TEST(JsonNumberTest, FormatsFiniteAndNonFinite) {
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriterTest, CompactObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "adr");
+  w.Field("count", uint64_t{3});
+  w.Field("ok", true);
+  w.EndObject();
+  EXPECT_EQ(std::move(w).TakeString(),
+            "{\"name\":\"adr\",\"count\":3,\"ok\":true}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("xs");
+  w.BeginArray();
+  w.Value(1);
+  w.Value(2);
+  w.BeginObject();
+  w.Field("deep", false);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).TakeString(), "{\"xs\":[1,2,{\"deep\":false}]}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("b");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).TakeString(), "{\"a\":[],\"b\":{}}");
+}
+
+TEST(JsonWriterTest, NegativeAndLargeIntegers) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(int64_t{-42});
+  w.Value(std::numeric_limits<uint64_t>::max());
+  w.EndArray();
+  EXPECT_EQ(std::move(w).TakeString(), "[-42,18446744073709551615]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.Value(-std::numeric_limits<double>::infinity());
+  w.Null();
+  w.EndArray();
+  EXPECT_EQ(std::move(w).TakeString(), "[null,null,null]");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsShortest) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(0.1);
+  w.EndArray();
+  const std::string json = std::move(w).TakeString();
+  EXPECT_EQ(json, "[0.1]");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("we\"ird", "line\nbreak");
+  w.EndObject();
+  EXPECT_EQ(std::move(w).TakeString(),
+            "{\"we\\\"ird\":\"line\\nbreak\"}");
+}
+
+TEST(JsonWriterTest, RawValueSplicesSubDocument) {
+  JsonWriter inner;
+  inner.BeginObject();
+  inner.Field("tasks", 7);
+  inner.EndObject();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("minispark");
+  w.RawValue(inner.str());
+  w.Field("after", 1);
+  w.EndObject();
+  EXPECT_EQ(std::move(w).TakeString(),
+            "{\"minispark\":{\"tasks\":7},\"after\":1}");
+}
+
+TEST(JsonWriterTest, PrettyPrinting) {
+  JsonWriter w(/*pretty=*/true);
+  w.BeginObject();
+  w.Field("a", 1);
+  w.Key("b");
+  w.BeginArray();
+  w.Value(2);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).TakeString(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace adrdedup::util

@@ -2,15 +2,18 @@
 // CSV plus a ground-truth duplicate-pair CSV, then audits the newest
 // reports against the database and writes the detections.
 //
-//   adrdedup_detect --reports=reports.csv --truth=truth.csv \
+//   adrdedup_detect --reports=reports.csv --truth=truth.csv
 //       [--audit-tail=500] [--theta=0] [--k=9] [--clusters=32]
 //       [--negatives=100000] [--executors=4] [--out=detections.csv]
 //       [--save-model=model.bin | --load-model=model.bin]
-//       [--use-blocking] [--seed=7]
+//       [--use-blocking] [--seed=7] [--metrics-out=metrics.json]
 //
 // The truth CSV (case_number_a, case_number_b) supplies positive labels;
 // negatives are sampled uniformly from the remaining pair universe.
+// --metrics-out dumps the minispark scheduler counters and per-stage wall
+// times as JSON (same serializer as the serving layer's metrics export).
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <unordered_set>
 
@@ -22,7 +25,9 @@
 #include "report/report_io.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace adrdedup {
 namespace {
@@ -39,7 +44,7 @@ int Main(int argc, char** argv) {
   if (auto status = flags.ExpectOnly(
           {"reports", "truth", "audit-tail", "theta", "k", "clusters",
            "negatives", "executors", "out", "save-model", "load-model",
-           "use-blocking", "seed", "help"});
+           "use-blocking", "seed", "metrics-out", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -48,9 +53,15 @@ int Main(int argc, char** argv) {
                  "--truth=truth.csv [--audit-tail=N] [--theta=X] [--k=N] "
                  "[--clusters=N] [--negatives=N] [--executors=N] "
                  "[--out=detections.csv] [--save-model=F|--load-model=F] "
-                 "[--use-blocking] [--seed=N]\n";
+                 "[--use-blocking] [--seed=N] [--metrics-out=F]\n";
     return flags.GetBool("help", false) ? 0 : 1;
   }
+  util::Stopwatch total_watch;
+  util::Stopwatch stage_watch;
+  double load_seconds = 0.0;
+  double model_seconds = 0.0;
+  double candidates_seconds = 0.0;
+  double score_seconds = 0.0;
 
   // --- Load reports and ground truth. ---
   auto db_result = report::ReadCsv(flags.GetString("reports", ""));
@@ -88,6 +99,33 @@ int Main(int argc, char** argv) {
     if (!result->ok()) return Fail(result->status());
   }
   if (!theta.ok()) return Fail(theta.status());
+  // Reject values that would otherwise wrap through size_t casts or hit
+  // CHECKs deep inside k-means/kNN with no actionable message.
+  if (k.value() <= 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--k must be a positive neighbourhood size, got " +
+        std::to_string(k.value())));
+  }
+  if (clusters.value() <= 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--clusters must be a positive Voronoi cell count, got " +
+        std::to_string(clusters.value())));
+  }
+  if (executors.value() <= 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--executors must be positive, got " +
+        std::to_string(executors.value())));
+  }
+  if (negatives.value() < 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--negatives must be non-negative, got " +
+        std::to_string(negatives.value())));
+  }
+  if (audit_tail.value() < 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--audit-tail must be non-negative, got " +
+        std::to_string(audit_tail.value())));
+  }
 
   minispark::SparkContext ctx(
       {.num_executors = static_cast<size_t>(executors.value())});
@@ -95,6 +133,8 @@ int Main(int argc, char** argv) {
   const auto features = distance::ExtractAllFeatures(db, {}, &pool);
   std::cerr << "loaded " << db.size() << " reports, " << truth.size()
             << " ground-truth duplicate pairs\n";
+  load_seconds = stage_watch.ElapsedSeconds();
+  stage_watch.Restart();
 
   // --- Obtain a classifier: load, or train from truth + sampled negatives.
   core::FastKnnOptions options;
@@ -125,8 +165,18 @@ int Main(int argc, char** argv) {
     }
     util::Rng rng(static_cast<uint64_t>(seed.value()));
     const auto n = static_cast<uint32_t>(db.size());
-    while (train.size() <
-           truth.size() + static_cast<size_t>(negatives.value())) {
+    // Cap the request at the pair universe, or the rejection sampler
+    // below never terminates on small databases.
+    const uint64_t universe = static_cast<uint64_t>(n) * (n - 1) / 2;
+    const uint64_t available =
+        universe > truth.size() ? universe - truth.size() : 0;
+    uint64_t wanted = static_cast<uint64_t>(negatives.value());
+    if (wanted > available) {
+      std::cerr << "clamping --negatives from " << wanted << " to the "
+                << available << " pairs the database offers\n";
+      wanted = available;
+    }
+    while (train.size() < truth.size() + static_cast<size_t>(wanted)) {
       const uint32_t a = static_cast<uint32_t>(rng.Uniform(n));
       const uint32_t b = static_cast<uint32_t>(rng.Uniform(n));
       if (a == b) continue;
@@ -150,6 +200,8 @@ int Main(int argc, char** argv) {
     std::cerr << "model saved to " << flags.GetString("save-model", "")
               << "\n";
   }
+  model_seconds = stage_watch.ElapsedSeconds();
+  stage_watch.Restart();
 
   // --- Candidate pairs for the audited tail. ---
   const size_t tail =
@@ -179,6 +231,8 @@ int Main(int argc, char** argv) {
     pairs = distance::PairsForNewReports(earlier, audited);
     std::cerr << "auditing all " << pairs.size() << " candidate pairs\n";
   }
+  candidates_seconds = stage_watch.ElapsedSeconds();
+  stage_watch.Restart();
 
   // --- Score and threshold. ---
   const auto vectors =
@@ -189,6 +243,7 @@ int Main(int argc, char** argv) {
     queries[i].vector = vectors[i];
   }
   const auto scores = classifier.ScoreAllSpark(&ctx, queries);
+  score_seconds = stage_watch.ElapsedSeconds();
 
   std::vector<util::CsvRow> detections;
   detections.push_back({"case_number_a", "case_number_b", "score"});
@@ -209,6 +264,38 @@ int Main(int argc, char** argv) {
             << out_path << "\n";
   std::cout << "search stats: " << classifier.stats().Snapshot().ToString()
             << "\n";
+
+  if (flags.Has("metrics-out")) {
+    util::JsonWriter w(/*pretty=*/true);
+    w.BeginObject();
+    w.Field("tool", "adrdedup_detect");
+    w.Field("reports", static_cast<uint64_t>(db.size()));
+    w.Field("truth_pairs", static_cast<uint64_t>(truth.size()));
+    w.Field("audited_tail", static_cast<uint64_t>(tail));
+    w.Field("candidate_pairs", static_cast<uint64_t>(pairs.size()));
+    w.Field("detections", static_cast<uint64_t>(detections.size() - 1));
+    w.Field("theta", theta.value());
+    w.Key("stage_seconds");
+    w.BeginObject();
+    w.Field("load", load_seconds);
+    w.Field("model", model_seconds);
+    w.Field("candidates", candidates_seconds);
+    w.Field("score", score_seconds);
+    w.Field("total", total_watch.ElapsedSeconds());
+    w.EndObject();
+    // Embedded compact so splicing cannot break the outer pretty layout.
+    w.Key("minispark");
+    w.RawValue(ctx.metrics().Snapshot().ToJson(ctx.metrics().TaskDurations(),
+                                               /*pretty=*/false));
+    w.EndObject();
+    const std::string metrics_path = flags.GetString("metrics-out", "");
+    std::ofstream out(metrics_path, std::ios::trunc);
+    out << std::move(w).TakeString() << "\n";
+    if (!out) {
+      return Fail(util::Status::IoError("cannot write " + metrics_path));
+    }
+    std::cerr << "metrics written to " << metrics_path << "\n";
+  }
   return 0;
 }
 

@@ -1,0 +1,413 @@
+// adrdedup_serve — runs the online duplicate-screening service against a
+// report CSV. Two modes:
+//
+//  * Replay (default): bootstrap all but the newest --tail reports, then
+//    stream the tail through --clients concurrent client threads at an
+//    aggregate --qps target, printing a throughput/latency summary.
+//  * --stdin: bootstrap the whole CSV, then read one report per logical
+//    CSV line from stdin (first line = header naming schema columns) and
+//    screen each as it arrives, printing matches to stdout.
+//
+//   adrdedup_serve --reports=reports.csv --truth=truth.csv
+//       [--tail=500] [--qps=0] [--clients=4] [--stdin]
+//       [--theta=0] [--k=9] [--clusters=32] [--negatives=100000]
+//       [--executors=4] [--use-blocking] [--seed=7]
+//       [--max-batch=32] [--linger-ms=2] [--queue-capacity=1024]
+//       [--refresh-every=0] [--load-model=model.bin]
+//       [--out=detections.csv] [--metrics-out=metrics.json]
+//
+// --qps=0 streams as fast as the service admits (throughput mode). The
+// model comes from --load-model, or is fitted at Start() from --truth
+// positives plus sampled negatives over the bootstrapped database.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/model_io.h"
+#include "distance/pair_dataset.h"
+#include "report/report_io.h"
+#include "serve/screening_service.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace adrdedup {
+namespace {
+
+int Fail(const util::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+// Builds the training set the same way adrdedup_detect does: truth pairs
+// as positives, uniformly sampled non-truth pairs as negatives — but only
+// over the bootstrapped prefix, so streamed reports stay unseen.
+util::Result<std::vector<distance::LabeledPair>> BuildLabels(
+    const report::ReportDatabase& db,
+    const std::vector<distance::ReportFeatures>& features,
+    const std::string& truth_path, size_t bootstrap_size, size_t negatives,
+    uint64_t seed) {
+  auto rows = util::CsvReadFile(truth_path);
+  if (!rows.ok()) return rows.status();
+  std::unordered_set<uint64_t> keys;
+  std::vector<distance::LabeledPair> labels;
+  for (size_t r = 1; r < rows.value().size(); ++r) {
+    const auto& row = rows.value()[r];
+    if (row.size() != 2) {
+      return util::Status::InvalidArgument(
+          "truth row " + std::to_string(r) + " needs 2 columns");
+    }
+    auto a = db.FindByCaseNumber(row[0]);
+    auto b = db.FindByCaseNumber(row[1]);
+    if (!a.ok()) return a.status();
+    if (!b.ok()) return b.status();
+    if (a.value() >= bootstrap_size || b.value() >= bootstrap_size) {
+      continue;  // pair touches the streamed tail; not training material
+    }
+    distance::LabeledPair pair;
+    pair.pair = {std::min(a.value(), b.value()),
+                 std::max(a.value(), b.value())};
+    pair.label = +1;
+    pair.vector =
+        ComputeDistanceVector(features[pair.pair.a], features[pair.pair.b]);
+    if (keys.insert(PairKey(pair.pair)).second) labels.push_back(pair);
+  }
+  if (labels.empty()) {
+    return util::Status::InvalidArgument(
+        "no usable truth pairs inside the bootstrapped prefix");
+  }
+  const size_t positives = labels.size();
+  util::Rng rng(seed);
+  const auto n = static_cast<uint32_t>(bootstrap_size);
+  // The rejection sampler below can only ever draw pairs from the
+  // bootstrap universe; asking for more would loop forever on small
+  // databases.
+  const uint64_t universe = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const uint64_t available = universe > positives ? universe - positives : 0;
+  if (negatives > available) {
+    std::cerr << "clamping --negatives from " << negatives << " to the "
+              << available << " pairs the bootstrapped database offers\n";
+    negatives = static_cast<size_t>(available);
+  }
+  while (labels.size() < positives + negatives) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(n));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(n));
+    if (a == b) continue;
+    distance::LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    if (!keys.insert(PairKey(pair.pair)).second) continue;
+    pair.label = -1;
+    pair.vector =
+        ComputeDistanceVector(features[pair.pair.a], features[pair.pair.b]);
+    labels.push_back(pair);
+  }
+  return labels;
+}
+
+void PrintMatches(const report::AdrReport& report,
+                  const serve::ScreenResponse& response, std::ostream& out) {
+  for (const auto& match : response.matches) {
+    out << report.case_number() << "," << match.other_case_number << ","
+        << match.score << "\n";
+  }
+}
+
+// Reads logical CSV rows from `in` one at a time, stitching physical
+// lines while a quoted field is still open (odd count of '"').
+util::Result<std::vector<util::CsvRow>> ReadCsvRow(std::istream& in) {
+  std::string logical;
+  std::string line;
+  size_t quotes = 0;
+  while (std::getline(in, line)) {
+    if (!logical.empty()) logical += "\n";
+    logical += line;
+    quotes += static_cast<size_t>(
+        std::count(line.begin(), line.end(), '"'));
+    if (quotes % 2 == 0) break;
+  }
+  if (logical.empty()) return std::vector<util::CsvRow>{};
+  auto row = util::CsvParseLine(logical);
+  if (!row.ok()) return row.status();
+  return std::vector<util::CsvRow>{std::move(row).value()};
+}
+
+int RunStdin(serve::ScreeningService& service, std::istream& in,
+             std::ostream& out) {
+  auto header = ReadCsvRow(in);
+  if (!header.ok()) return Fail(header.status());
+  if (header.value().empty()) {
+    return Fail(util::Status::InvalidArgument("stdin closed before header"));
+  }
+  std::vector<report::FieldId> columns;
+  for (const std::string& name : header.value().front()) {
+    auto id = report::FieldIdFromName(name);
+    if (!id.has_value()) {
+      return Fail(util::Status::InvalidArgument(
+          "unknown column in stdin header: " + name));
+    }
+    columns.push_back(*id);
+  }
+  out << "case_number_a,case_number_b,score\n";
+  size_t screened = 0;
+  while (true) {
+    auto rows = ReadCsvRow(in);
+    if (!rows.ok()) return Fail(rows.status());
+    if (rows.value().empty()) break;  // EOF
+    const util::CsvRow& row = rows.value().front();
+    if (row.size() != columns.size()) {
+      return Fail(util::Status::InvalidArgument(
+          "stdin row has " + std::to_string(row.size()) + " fields, header " +
+          std::to_string(columns.size())));
+    }
+    report::AdrReport report;
+    for (size_t c = 0; c < row.size(); ++c) report.Set(columns[c], row[c]);
+    auto response = service.Screen(report);
+    if (!response.ok()) return Fail(response.status());
+    PrintMatches(report, response.value(), out);
+    out.flush();
+    ++screened;
+  }
+  std::cerr << "screened " << screened << " reports from stdin\n";
+  return 0;
+}
+
+struct ReplayResult {
+  size_t screened = 0;
+  size_t matches = 0;
+  std::vector<std::string> detections;  // "a,b,score" lines
+};
+
+int RunReplay(serve::ScreeningService& service,
+              const std::vector<report::AdrReport>& tail_reports, double qps,
+              size_t clients, std::vector<std::string>* detections) {
+  clients = std::max<size_t>(1, std::min(clients, tail_reports.size()));
+  std::vector<ReplayResult> per_client(clients);
+  std::atomic<bool> failed{false};
+  util::Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Client c streams reports c, c+clients, c+2*clients, ... so the
+      // interleaving approximates clients independent request sources.
+      const double client_qps = qps / static_cast<double>(clients);
+      util::Stopwatch pace;
+      size_t sent = 0;
+      for (size_t i = c; i < tail_reports.size(); i += clients) {
+        if (qps > 0.0) {
+          const double due = static_cast<double>(sent) / client_qps;
+          const double ahead = due - pace.ElapsedSeconds();
+          if (ahead > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+          }
+        }
+        auto response = service.Screen(tail_reports[i]);
+        if (!response.ok()) {
+          failed.store(true);
+          return;
+        }
+        ++sent;
+        per_client[c].screened += 1;
+        per_client[c].matches += response.value().matches.size();
+        for (const auto& match : response.value().matches) {
+          per_client[c].detections.push_back(
+              tail_reports[i].case_number() + "," + match.other_case_number +
+              "," + std::to_string(match.score));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double seconds = wall.ElapsedSeconds();
+  if (failed.load()) {
+    return Fail(util::Status::FailedPrecondition(
+        "a replay client was rejected by the service"));
+  }
+  size_t screened = 0;
+  size_t matches = 0;
+  for (auto& result : per_client) {
+    screened += result.screened;
+    matches += result.matches;
+    if (detections != nullptr) {
+      detections->insert(detections->end(), result.detections.begin(),
+                         result.detections.end());
+    }
+  }
+  const auto latency = service.metrics().TotalLatency();
+  std::cout << "replayed " << screened << " reports with " << clients
+            << " clients in " << seconds << "s ("
+            << static_cast<double>(screened) / seconds << " req/s), "
+            << matches << " matches\n";
+  std::cout << "latency ms: p50=" << latency.p50_ms
+            << " p95=" << latency.p95_ms << " p99=" << latency.p99_ms
+            << " max=" << latency.max_ms << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto parsed = util::FlagSet::Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status());
+  const util::FlagSet& flags = parsed.value();
+  if (auto status = flags.ExpectOnly(
+          {"reports", "truth", "tail", "qps", "clients", "stdin", "theta",
+           "k", "clusters", "negatives", "executors", "use-blocking", "seed",
+           "max-batch", "linger-ms", "queue-capacity", "refresh-every",
+           "load-model", "out", "metrics-out", "help"});
+      !status.ok()) {
+    return Fail(status);
+  }
+  if (flags.GetBool("help", false) || !flags.Has("reports")) {
+    std::cout << "usage: adrdedup_serve --reports=reports.csv "
+                 "--truth=truth.csv [--tail=N] [--qps=X] [--clients=N] "
+                 "[--stdin] [--theta=X] [--k=N] [--clusters=N] "
+                 "[--negatives=N] [--executors=N] [--use-blocking] "
+                 "[--seed=N] [--max-batch=N] [--linger-ms=X] "
+                 "[--queue-capacity=N] [--refresh-every=N] "
+                 "[--load-model=F] [--out=F] [--metrics-out=F]\n";
+    return flags.GetBool("help", false) ? 0 : 1;
+  }
+
+  auto tail_flag = flags.GetInt("tail", 500);
+  auto qps = flags.GetDouble("qps", 0.0);
+  auto clients = flags.GetInt("clients", 4);
+  auto theta = flags.GetDouble("theta", 0.0);
+  auto k = flags.GetInt("k", 9);
+  auto clusters = flags.GetInt("clusters", 32);
+  auto negatives = flags.GetInt("negatives", 100000);
+  auto executors = flags.GetInt("executors", 4);
+  auto seed = flags.GetInt("seed", 7);
+  auto max_batch = flags.GetInt("max-batch", 32);
+  auto linger_ms = flags.GetDouble("linger-ms", 2.0);
+  auto queue_capacity = flags.GetInt("queue-capacity", 1024);
+  auto refresh_every = flags.GetInt("refresh-every", 0);
+  for (const auto* result :
+       {&tail_flag, &clients, &k, &clusters, &negatives, &executors, &seed,
+        &max_batch, &queue_capacity, &refresh_every}) {
+    if (!result->ok()) return Fail(result->status());
+  }
+  for (const auto* result : {&qps, &theta, &linger_ms}) {
+    if (!result->ok()) return Fail(result->status());
+  }
+  if (k.value() <= 0 || clusters.value() <= 0 || executors.value() <= 0 ||
+      clients.value() <= 0 || max_batch.value() <= 0 ||
+      queue_capacity.value() <= 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--k, --clusters, --executors, --clients, --max-batch and "
+        "--queue-capacity must all be positive"));
+  }
+  if (tail_flag.value() < 0 || negatives.value() < 0 ||
+      refresh_every.value() < 0 || qps.value() < 0.0 ||
+      linger_ms.value() < 0.0) {
+    return Fail(util::Status::InvalidArgument(
+        "--tail, --negatives, --refresh-every, --qps and --linger-ms must "
+        "be non-negative"));
+  }
+
+  auto db_result = report::ReadCsv(flags.GetString("reports", ""));
+  if (!db_result.ok()) return Fail(db_result.status());
+  const report::ReportDatabase& db = db_result.value();
+  if (db.size() == 0) {
+    return Fail(util::Status::InvalidArgument("--reports file is empty"));
+  }
+
+  const bool use_stdin = flags.GetBool("stdin", false);
+  const size_t tail =
+      use_stdin ? 0
+                : std::min<size_t>(db.size() - 1,
+                                   static_cast<size_t>(tail_flag.value()));
+  const size_t bootstrap_size = db.size() - tail;
+
+  minispark::SparkContext ctx(
+      {.num_executors = static_cast<size_t>(executors.value())});
+
+  serve::ScreeningServiceOptions options;
+  options.pipeline.knn.k = static_cast<size_t>(k.value());
+  options.pipeline.knn.num_clusters = static_cast<size_t>(clusters.value());
+  options.pipeline.theta = theta.value();
+  options.pipeline.use_blocking = flags.GetBool("use-blocking", false);
+  options.queue_capacity = static_cast<size_t>(queue_capacity.value());
+  options.max_batch = static_cast<size_t>(max_batch.value());
+  options.max_linger_ms = linger_ms.value();
+  options.refresh_every = static_cast<size_t>(refresh_every.value());
+
+  serve::ScreeningService service(&ctx, options);
+
+  std::vector<report::AdrReport> bootstrap;
+  bootstrap.reserve(bootstrap_size);
+  std::vector<report::AdrReport> tail_reports;
+  tail_reports.reserve(tail);
+  for (size_t i = 0; i < db.size(); ++i) {
+    auto& dest = i < bootstrap_size ? bootstrap : tail_reports;
+    dest.push_back(db.Get(static_cast<report::ReportId>(i)));
+  }
+  service.Bootstrap(bootstrap);
+  std::cerr << "bootstrapped " << bootstrap_size << " reports, streaming "
+            << (use_stdin ? std::string("stdin") : std::to_string(tail))
+            << "\n";
+
+  if (flags.Has("load-model")) {
+    auto loaded = core::LoadModelFromFile(flags.GetString("load-model", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    service.AdoptClassifier(std::move(loaded).value());
+    std::cerr << "adopted pre-trained model\n";
+  } else {
+    if (!flags.Has("truth")) {
+      return Fail(util::Status::InvalidArgument(
+          "--truth is required unless --load-model is given"));
+    }
+    const auto features =
+        distance::ExtractAllFeatures(db, {}, &ctx.pool());
+    auto labels = BuildLabels(db, features, flags.GetString("truth", ""),
+                              bootstrap_size,
+                              static_cast<size_t>(negatives.value()),
+                              static_cast<uint64_t>(seed.value()));
+    if (!labels.ok()) return Fail(labels.status());
+    service.SeedLabels(labels.value());
+    std::cerr << "seeded " << labels.value().size() << " labelled pairs\n";
+  }
+
+  service.Start();
+
+  int rc = 0;
+  if (use_stdin) {
+    rc = RunStdin(service, std::cin, std::cout);
+  } else {
+    std::vector<std::string> detections;
+    const bool want_out = flags.Has("out");
+    rc = RunReplay(service, tail_reports, qps.value(),
+                   static_cast<size_t>(clients.value()),
+                   want_out ? &detections : nullptr);
+    if (rc == 0 && want_out) {
+      const std::string out_path = flags.GetString("out", "detections.csv");
+      std::ofstream out(out_path, std::ios::trunc);
+      out << "case_number_a,case_number_b,score\n";
+      std::sort(detections.begin(), detections.end());
+      for (const auto& line : detections) out << line << "\n";
+      if (!out) return Fail(util::Status::IoError("cannot write " + out_path));
+      std::cerr << "detections written to " << out_path << "\n";
+    }
+  }
+  service.Stop();
+
+  if (flags.Has("metrics-out")) {
+    const std::string metrics_path = flags.GetString("metrics-out", "");
+    std::ofstream out(metrics_path, std::ios::trunc);
+    out << service.MetricsJson(/*pretty=*/true) << "\n";
+    if (!out) {
+      return Fail(util::Status::IoError("cannot write " + metrics_path));
+    }
+    std::cerr << "metrics written to " << metrics_path << "\n";
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace adrdedup
+
+int main(int argc, char** argv) { return adrdedup::Main(argc, argv); }
