@@ -1,0 +1,248 @@
+// Gate bench for the scoring hot path (ISSUE 2 tentpole): single-thread
+// records/sec and mean stage-2 cells searched per query, new path vs the
+// pre-PR path.
+//
+// The "legacy" scorer below reproduces, through the public API, exactly
+// what FastKnnClassifier::Classify did before the overhaul: two index-
+// base vectors rebuilt per call, allocating BruteForceKnn/MergeNeighbors
+// per stage, and a one-shot stage-2 cell selection against the stale
+// stage-1 k-th distance. The gates:
+//   * >= 1.3x single-thread scoring throughput (new ScoreAll vs legacy),
+//   * mean stage-2 cells searched strictly decreases with incremental
+//     k-th tightening (pruning on),
+//   * exact mode (early_exit_all_negative = false) scores identical to
+//     ml::KnnClassifier brute force.
+// The exactness and cells gates fail the process (they are deterministic
+// at any scale); the throughput gate prints PASS/FAIL and fails the
+// process only when ADRDEDUP_BENCH_STRICT=1, so timing noise on tiny
+// smoke runs cannot flake CI.
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "util/stopwatch.h"
+
+namespace adrdedup::bench {
+namespace {
+
+using core::FastKnnClassifier;
+using core::FastKnnOptions;
+using distance::DistanceVector;
+using distance::LabeledPair;
+using ml::Neighbor;
+
+// Pre-PR Classify, bit-for-bit: per-call allocations and the stale-kth
+// one-shot stage-2 selection. Also reports the cells it searched.
+double LegacyScore(const FastKnnClassifier& classifier,
+                   const DistanceVector& query, uint64_t* cells_searched) {
+  const FastKnnOptions& options = classifier.options();
+  const size_t k = options.k;
+  const size_t home = ml::NearestCenter(query, classifier.centers());
+
+  std::vector<uint32_t> bases(classifier.num_partitions(), 0);
+  {
+    uint32_t running = 0;
+    for (size_t p = 0; p < classifier.num_partitions(); ++p) {
+      bases[p] = running;
+      running += static_cast<uint32_t>(classifier.partition(p).size());
+    }
+  }
+  uint32_t positive_base = 0;
+  for (size_t p = 0; p < classifier.num_partitions(); ++p) {
+    positive_base += static_cast<uint32_t>(classifier.partition(p).size());
+  }
+
+  std::vector<Neighbor> merged =
+      ml::BruteForceKnn(query, classifier.partition(home), k);
+  for (Neighbor& n : merged) n.index += bases[home];
+
+  std::vector<Neighbor> positive_neighbors =
+      ml::BruteForceKnn(query, classifier.positives(), k);
+  for (Neighbor& n : positive_neighbors) n.index += positive_base;
+  const double nearest_positive =
+      positive_neighbors.empty() ? std::numeric_limits<double>::infinity()
+                                 : positive_neighbors.front().distance;
+  merged = ml::MergeNeighbors(merged, positive_neighbors, k);
+
+  const double kth = merged.size() < k
+                         ? std::numeric_limits<double>::infinity()
+                         : merged.back().distance;
+
+  const auto score_of = [&](const std::vector<Neighbor>& neighbors) {
+    return options.vote == ml::KnnVote::kInverseDistance
+               ? ml::InverseDistanceScore(neighbors, options.min_distance,
+                                          options.positive_weight)
+               : ml::MajorityVoteScore(neighbors);
+  };
+
+  if (options.early_exit_all_negative && kth <= nearest_positive) {
+    const bool any_positive =
+        std::any_of(merged.begin(), merged.end(),
+                    [](const Neighbor& n) { return n.label > 0; });
+    if (!any_positive) return score_of(merged);
+  }
+
+  std::vector<size_t> extra;
+  if (options.prune_with_hyperplanes) {
+    extra = classifier.SelectAdditionalPartitions(query, home, kth);
+  } else {
+    for (size_t j = 0; j < classifier.num_partitions(); ++j) {
+      if (j != home && !classifier.partition(j).empty()) extra.push_back(j);
+    }
+  }
+  *cells_searched += extra.size();
+  for (size_t j : extra) {
+    std::vector<Neighbor> cell =
+        ml::BruteForceKnn(query, classifier.partition(j), k);
+    for (Neighbor& n : cell) n.index += bases[j];
+    merged = ml::MergeNeighbors(merged, cell, k);
+  }
+  return score_of(merged);
+}
+
+int Run() {
+  PrintBanner("score-hotpath",
+              "ISSUE 2 gate: allocation-free, incrementally-pruned Classify");
+  const bool strict = [] {
+    const char* env = std::getenv("ADRDEDUP_BENCH_STRICT");
+    return env != nullptr && std::string(env) == "1";
+  }();
+
+  const size_t train_pairs = Scaled(60000, 2000);
+  const size_t test_pairs = Scaled(20000, 500);
+  const auto datasets = MakeDatasets(train_pairs, test_pairs);
+
+  FastKnnOptions options;
+  options.num_clusters = 32;
+  FastKnnClassifier classifier(options);
+  classifier.Fit(datasets.train.pairs);
+  std::cout << "train pairs: " << datasets.train.pairs.size()
+            << " (positives: " << classifier.positives().size()
+            << "), queries: " << datasets.test.pairs.size() << "\n";
+
+  const auto& queries = datasets.test.pairs;
+  bool failed = false;
+
+  // --- Gate 1: single-thread throughput, new ScoreAll vs legacy. ---
+  // One warmup pass each, then timed passes over the same queries.
+  (void)classifier.ScoreAll(queries);
+  util::Stopwatch new_watch;
+  const auto new_scores = classifier.ScoreAll(queries);
+  const double new_seconds = new_watch.ElapsedSeconds();
+
+  uint64_t warmup_cells = 0;
+  for (const auto& q : queries) {
+    (void)LegacyScore(classifier, q.vector, &warmup_cells);
+  }
+  uint64_t legacy_cells = 0;
+  util::Stopwatch legacy_watch;
+  std::vector<double> legacy_scores;
+  legacy_scores.reserve(queries.size());
+  for (const auto& q : queries) {
+    legacy_scores.push_back(LegacyScore(classifier, q.vector, &legacy_cells));
+  }
+  const double legacy_seconds = legacy_watch.ElapsedSeconds();
+
+  const double new_rps = static_cast<double>(queries.size()) / new_seconds;
+  const double legacy_rps =
+      static_cast<double>(queries.size()) / legacy_seconds;
+  const double speedup = new_rps / legacy_rps;
+  eval::TablePrinter throughput(&std::cout,
+                                {"path", "records/sec", "speedup"});
+  throughput.set_export_name("score_hotpath_throughput");
+  throughput.AddRow(
+      {"legacy (pre-PR)", eval::TablePrinter::Num(legacy_rps, 0), "1.00"});
+  throughput.AddRow({"scratch + SoA + incremental",
+                     eval::TablePrinter::Num(new_rps, 0),
+                     eval::TablePrinter::Num(speedup, 2)});
+  throughput.Print();
+  const bool throughput_ok = speedup >= 1.3;
+  std::cout << "GATE throughput >= 1.3x: "
+            << (throughput_ok ? "PASS" : "FAIL") << " (" << speedup << "x)"
+            << std::endl;
+  if (!throughput_ok && strict) failed = true;
+
+  // New and legacy paths must score identically (same arithmetic, same
+  // pruning bound — incremental tightening is lossless).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (new_scores[i] != legacy_scores[i]) {
+      std::cout << "GATE legacy parity: FAIL at query " << i << std::endl;
+      failed = true;
+      break;
+    }
+  }
+
+  // --- Gate 2: mean stage-2 cells searched per query, pruning on. ---
+  // Measured in exact mode so every query reaches stage 2.
+  FastKnnOptions exact_options = options;
+  exact_options.early_exit_all_negative = false;
+  FastKnnClassifier exact(exact_options);
+  exact.Fit(datasets.train.pairs);
+  exact.stats().Reset();
+  const auto exact_scores = exact.ScoreAll(queries);
+  const auto stats = exact.stats().Snapshot();
+  uint64_t one_shot_cells = 0;
+  for (const auto& q : queries) {
+    (void)LegacyScore(exact, q.vector, &one_shot_cells);
+  }
+  const double mean_incremental =
+      static_cast<double>(stats.additional_clusters_checked) /
+      static_cast<double>(queries.size());
+  const double mean_one_shot = static_cast<double>(one_shot_cells) /
+                               static_cast<double>(queries.size());
+  eval::TablePrinter cells(&std::cout,
+                           {"selection", "mean stage-2 cells/query"});
+  cells.set_export_name("score_hotpath_cells");
+  cells.AddRow(
+      {"one-shot stale kth", eval::TablePrinter::Num(mean_one_shot, 3)});
+  cells.AddRow({"incremental tightening",
+                eval::TablePrinter::Num(mean_incremental, 3)});
+  cells.Print();
+  const bool cells_ok =
+      stats.additional_clusters_checked < one_shot_cells;
+  std::cout << "GATE cells searched strictly decreases: "
+            << (cells_ok ? "PASS" : "FAIL") << std::endl;
+  if (!cells_ok) failed = true;
+
+  // --- Gate 3: exact mode matches ml::KnnClassifier brute force. ---
+  // The brute-force reference is fitted on the training set reordered to
+  // the classifier's global id space (negatives in partition order, then
+  // positives): the corpus contains duplicate vectors, and at the k-th
+  // boundary ties break by index, so matching the id order is what makes
+  // bit-for-bit score equality the right gate.
+  std::vector<LabeledPair> reordered;
+  reordered.reserve(datasets.train.pairs.size());
+  for (size_t p = 0; p < exact.num_partitions(); ++p) {
+    const auto& cell = exact.partition(p);
+    reordered.insert(reordered.end(), cell.begin(), cell.end());
+  }
+  reordered.insert(reordered.end(), exact.positives().begin(),
+                   exact.positives().end());
+  ml::KnnClassifier brute(ml::KnnOptions{.k = options.k});
+  brute.Fit(reordered);
+  const size_t parity_checks = std::min<size_t>(queries.size(), 500);
+  bool exact_ok = true;
+  for (size_t i = 0; i < parity_checks; ++i) {
+    if (exact_scores[i] != brute.Score(queries[i].vector)) {
+      exact_ok = false;
+      std::cout << "GATE exactness: FAIL at query " << i << std::endl;
+      break;
+    }
+  }
+  std::cout << "GATE exact mode == brute force (" << parity_checks
+            << " queries): " << (exact_ok ? "PASS" : "FAIL") << std::endl;
+  if (!exact_ok) failed = true;
+
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Run(); }

@@ -50,6 +50,11 @@ void FastKnnClassifier::Fit(const std::vector<LabeledPair>& train,
     }
   }
 
+  RebuildDerived();
+  fitted_ = true;
+}
+
+void FastKnnClassifier::RebuildDerived() {
   // Pairwise center distances for Eq. 7.
   const size_t b = centers_.size();
   center_distances_.assign(b * b, 0.0);
@@ -60,7 +65,33 @@ void FastKnnClassifier::Fit(const std::vector<LabeledPair>& train,
       center_distances_[j * b + i] = d;
     }
   }
-  fitted_ = true;
+
+  // Global index bases (negatives in partition order, positives after)
+  // and the dimension-major negative block. Precomputed once here so
+  // Classify never rebuilds per-query index maps.
+  partition_bases_.assign(partitions_.size() + 1, 0);
+  uint32_t running = 0;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    partition_bases_[p] = running;
+    running += static_cast<uint32_t>(partitions_[p].size());
+  }
+  partition_bases_[partitions_.size()] = running;
+  total_negatives_ = running;
+
+  neg_coords_.assign(static_cast<size_t>(total_negatives_) *
+                         distance::kDistanceDims,
+                     0.0);
+  neg_labels_.assign(total_negatives_, -1);
+  size_t column = 0;
+  for (const auto& partition : partitions_) {
+    for (const LabeledPair& pair : partition) {
+      for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+        neg_coords_[d * total_negatives_ + column] = pair.vector[d];
+      }
+      neg_labels_[column] = pair.label;
+      ++column;
+    }
+  }
 }
 
 double FastKnnClassifier::HyperplaneDistance(const DistanceVector& query,
@@ -95,123 +126,133 @@ std::vector<size_t> FastKnnClassifier::SelectAdditionalPartitions(
 
 namespace {
 
-// Offsets partition-local neighbour indices into a classifier-global id
-// space so merged lists stay deduplicated and deterministic.
-void OffsetIndices(std::vector<Neighbor>* neighbors, uint32_t base) {
-  for (Neighbor& n : *neighbors) n.index += base;
-}
-
-double KthDistanceOrInf(const std::vector<Neighbor>& neighbors, size_t k) {
-  if (neighbors.size() < k) return std::numeric_limits<double>::infinity();
-  return neighbors.back().distance;
+// Thread-local working memory for the scratch-less entry points, so
+// steady-state calls through any call site stop allocating.
+FastKnnScratch* ThreadScratch() {
+  static thread_local FastKnnScratch scratch;
+  return &scratch;
 }
 
 }  // namespace
 
-FastKnnResult FastKnnClassifier::Classify(
-    const DistanceVector& query) const {
+double FastKnnClassifier::ClassifyInto(const DistanceVector& query,
+                                       FastKnnScratch* scratch) const {
   ADRDEDUP_CHECK(fitted_) << "Classify() before Fit()";
   stats_->AddQuery();
   const size_t k = options_.k;
+  const double inf = std::numeric_limits<double>::infinity();
 
-  // Global index bases: negatives get [0, total_negatives) in partition
-  // order, positives follow.
-  // (Recomputed per call cheaply; partitions_ is immutable after Fit.)
+  std::vector<Neighbor>& heap = scratch->heap;
+  heap.clear();
+  if (heap.capacity() < k + 1) heap.reserve(k + 1);
+
+  // Stage 1: intra-cluster kNN over the home cell's negatives, swept in
+  // the contiguous SoA block (global ids are the block columns).
   const size_t home = ml::NearestCenter(query, centers_);
-
-  uint32_t home_base = 0;
-  std::vector<uint32_t> bases(partitions_.size(), 0);
-  {
-    uint32_t running = 0;
-    for (size_t p = 0; p < partitions_.size(); ++p) {
-      bases[p] = running;
-      running += static_cast<uint32_t>(partitions_[p].size());
-    }
-    home_base = bases[home];
-  }
-  const uint32_t positive_base = [&] {
-    uint32_t total = 0;
-    for (const auto& partition : partitions_) {
-      total += static_cast<uint32_t>(partition.size());
-    }
-    return total;
-  }();
-
-  // Stage 1: intra-cluster kNN over the home cell's negatives.
-  std::vector<Neighbor> merged =
-      ml::BruteForceKnn(query, partitions_[home], k);
-  OffsetIndices(&merged, home_base);
-  stats_->AddIntra(partitions_[home].size());
+  ml::SoaKnnSweep(query, neg_coords_.data(), total_negatives_,
+                  partition_bases_[home], partition_bases_[home + 1],
+                  neg_labels_.data(), k, &heap);
+  stats_->AddIntra(partition_bases_[home + 1] - partition_bases_[home]);
 
   // Positive sweep (Algorithm 2, lines 9-10): all positives, always.
-  std::vector<Neighbor> positive_neighbors =
-      ml::BruteForceKnn(query, positives_, k);
-  OffsetIndices(&positive_neighbors, positive_base);
+  double nearest_positive = inf;
+  for (size_t i = 0; i < positives_.size(); ++i) {
+    const double d = EuclideanDistance(query, positives_[i].vector);
+    nearest_positive = std::min(nearest_positive, d);
+    ml::PushBoundedNeighbor(
+        &heap,
+        Neighbor{d, positives_[i].label,
+                 total_negatives_ + static_cast<uint32_t>(i)},
+        k);
+  }
   stats_->AddPositive(positives_.size());
-  const double nearest_positive =
-      positive_neighbors.empty()
-          ? std::numeric_limits<double>::infinity()
-          : positive_neighbors.front().distance;
-  merged = ml::MergeNeighbors(merged, positive_neighbors, k);
 
-  double kth = KthDistanceOrInf(merged, k);
+  // heap.front() is the worst keeper = the current k-th neighbour.
+  double kth = heap.size() >= k ? heap.front().distance : inf;
 
   // Early exit (Algorithm 1, lines 2-5): the k nearest so far are all
   // negative and even the nearest positive cannot enter the top k, so s
   // has no positive evidence anywhere in T.
   if (options_.early_exit_all_negative && kth <= nearest_positive) {
     const bool any_positive_in_topk =
-        std::any_of(merged.begin(), merged.end(),
+        std::any_of(heap.begin(), heap.end(),
                     [](const Neighbor& n) { return n.label > 0; });
     if (!any_positive_in_topk) {
       stats_->AddEarlyExit();
-      FastKnnResult result;
-      result.score =
-          options_.vote == ml::KnnVote::kInverseDistance
-              ? ml::InverseDistanceScore(merged, options_.min_distance,
-                                         options_.positive_weight)
-              : ml::MajorityVoteScore(merged);
-      result.neighbors = std::move(merged);
-      return result;
+      std::sort(heap.begin(), heap.end(), ml::NeighborLess);
+      return options_.vote == ml::KnnVote::kInverseDistance
+                 ? ml::InverseDistanceScore(heap, options_.min_distance,
+                                            options_.positive_weight)
+                 : ml::MajorityVoteScore(heap);
     }
   }
 
-  // Stage 2: cross-cluster search over Algorithm-1-selected cells.
-  std::vector<size_t> extra =
-      options_.prune_with_hyperplanes
-          ? SelectAdditionalPartitions(query, home, kth)
-          : [&] {
-              std::vector<size_t> all;
-              for (size_t j = 0; j < partitions_.size(); ++j) {
-                if (j != home && !partitions_[j].empty()) all.push_back(j);
-              }
-              return all;
-            }();
-  stats_->AddAdditionalClusters(extra.size());
-  for (size_t j : extra) {
-    std::vector<Neighbor> cell_neighbors =
-        ml::BruteForceKnn(query, partitions_[j], k);
-    OffsetIndices(&cell_neighbors, bases[j]);
-    stats_->AddCross(partitions_[j].size());
-    merged = ml::MergeNeighbors(merged, cell_neighbors, k);
+  // Stage 2 (Algorithm 1, lines 6-15): candidate cells ordered by
+  // ascending hyperplane distance; a cell is searched only while the
+  // current k-th neighbour is farther than its hyperplane, and the k-th
+  // distance re-tightens after every searched cell. The ordering makes
+  // the first pruned cell final: kth only shrinks, so every later cell
+  // (with an even farther hyperplane) is pruned too.
+  auto& candidates = scratch->candidates;
+  candidates.clear();
+  for (size_t j = 0; j < partitions_.size(); ++j) {
+    if (j == home) continue;
+    if (partition_bases_[j] == partition_bases_[j + 1]) continue;
+    const double h = options_.prune_with_hyperplanes
+                         ? HyperplaneDistance(query, home, j)
+                         : 0.0;
+    candidates.emplace_back(h, static_cast<uint32_t>(j));
   }
+  if (options_.prune_with_hyperplanes) {
+    std::sort(candidates.begin(), candidates.end());
+  }
+  uint64_t cells_searched = 0;
+  for (const auto& [h, j] : candidates) {
+    if (options_.prune_with_hyperplanes && kth <= h) break;
+    ml::SoaKnnSweep(query, neg_coords_.data(), total_negatives_,
+                    partition_bases_[j], partition_bases_[j + 1],
+                    neg_labels_.data(), k, &heap);
+    stats_->AddCross(partition_bases_[j + 1] - partition_bases_[j]);
+    ++cells_searched;
+    if (heap.size() >= k) kth = heap.front().distance;
+  }
+  stats_->AddAdditionalClusters(cells_searched);
 
+  // Sorting the k keepers (k is small) keeps the Eq. 5 summation order —
+  // and therefore the score, bit-for-bit — identical to the pre-scratch
+  // merge-based implementation and to ml::KnnClassifier.
+  std::sort(heap.begin(), heap.end(), ml::NeighborLess);
+  return options_.vote == ml::KnnVote::kInverseDistance
+             ? ml::InverseDistanceScore(heap, options_.min_distance,
+                                        options_.positive_weight)
+             : ml::MajorityVoteScore(heap);
+}
+
+FastKnnResult FastKnnClassifier::Classify(const DistanceVector& query,
+                                          FastKnnScratch* scratch) const {
   FastKnnResult result;
-  result.score =
-      options_.vote == ml::KnnVote::kInverseDistance
-          ? ml::InverseDistanceScore(merged, options_.min_distance,
-                                     options_.positive_weight)
-          : ml::MajorityVoteScore(merged);
-  result.neighbors = std::move(merged);
+  result.score = ClassifyInto(query, scratch);
+  // ClassifyInto leaves the heap sorted ascending on both exits.
+  result.neighbors = scratch->heap;
   return result;
+}
+
+FastKnnResult FastKnnClassifier::Classify(
+    const DistanceVector& query) const {
+  return Classify(query, ThreadScratch());
+}
+
+double FastKnnClassifier::Score(const DistanceVector& query) const {
+  return ClassifyInto(query, ThreadScratch());
 }
 
 std::vector<double> FastKnnClassifier::ScoreAll(
     const std::vector<LabeledPair>& queries) const {
+  FastKnnScratch scratch;
   std::vector<double> scores;
   scores.reserve(queries.size());
   for (const LabeledPair& query : queries) {
-    scores.push_back(Score(query.vector));
+    scores.push_back(ClassifyInto(query.vector, &scratch));
   }
   return scores;
 }
@@ -236,9 +277,19 @@ std::vector<double> FastKnnClassifier::ScoreAllSpark(
                             : ctx->default_parallelism();
   auto rdd = ctx->Parallelize(std::move(indexed),
                               blocks * partitions_.size());
-  auto scored = rdd.Map<std::pair<size_t, double>>(
-      [this](const std::pair<size_t, DistanceVector>& record) {
-        return std::make_pair(record.first, Score(record.second));
+  // Whole-partition tasks: each minispark task scores its block through
+  // one warm scratch instead of re-entering a per-record closure, so the
+  // task does exactly one output allocation.
+  auto scored = rdd.MapPartitionsWithIndex<std::pair<size_t, double>>(
+      [this](size_t /*partition*/,
+             const std::vector<std::pair<size_t, DistanceVector>>& block) {
+        FastKnnScratch scratch;
+        std::vector<std::pair<size_t, double>> out;
+        out.reserve(block.size());
+        for (const auto& [index, vector] : block) {
+          out.emplace_back(index, ClassifyInto(vector, &scratch));
+        }
+        return out;
       });
   std::vector<double> out(queries.size());
   for (const auto& [index, score] : scored.Collect()) {
@@ -285,15 +336,24 @@ void WritePairs(std::ostream& out, const std::vector<LabeledPair>& pairs) {
   }
 }
 
+// A hostile pair count must not drive a giant up-front allocation: the
+// count is bounded, capacity grows with bytes actually read, and a
+// truncated stream fails at the first missing field.
+constexpr uint64_t kMaxModelPairs = 1ull << 31;
+
 bool ReadPairs(std::istream& in, std::vector<LabeledPair>* pairs) {
   uint64_t count = 0;
   if (!ReadPod(in, &count)) return false;
-  pairs->resize(count);
-  for (LabeledPair& pair : *pairs) {
+  if (count > kMaxModelPairs) return false;
+  pairs->clear();
+  pairs->reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+  for (uint64_t i = 0; i < count; ++i) {
+    LabeledPair pair;
     if (!ReadVector(in, &pair.vector)) return false;
     if (!ReadPod(in, &pair.pair.a)) return false;
     if (!ReadPod(in, &pair.pair.b)) return false;
     if (!ReadPod(in, &pair.label)) return false;
+    pairs->push_back(pair);
   }
   return true;
 }
@@ -339,6 +399,22 @@ util::Result<FastKnnClassifier> FastKnnClassifier::Load(std::istream& in) {
       !ReadPod(in, &prune)) {
     return util::Status::InvalidArgument("truncated model header");
   }
+  // Every header field is validated before it can reach a CHECK (the
+  // constructor's preconditions are programmer errors, not input
+  // errors): corrupt input must come back as a Status, never an abort.
+  constexpr uint64_t kMaxModelK = 1u << 20;
+  if (k == 0 || k > kMaxModelK) {
+    return util::Status::InvalidArgument("corrupt model: k out of range");
+  }
+  constexpr uint64_t kMaxModelClusters = 1000000;
+  if (num_clusters == 0 || num_clusters > kMaxModelClusters) {
+    return util::Status::InvalidArgument(
+        "corrupt model: cluster count out of range");
+  }
+  if (vote > static_cast<uint8_t>(ml::KnnVote::kMajority)) {
+    return util::Status::InvalidArgument(
+        "corrupt model: unknown vote kind");
+  }
   options.k = k;
   options.num_clusters = num_clusters;
   options.vote = static_cast<ml::KnnVote>(vote);
@@ -366,18 +442,17 @@ util::Result<FastKnnClassifier> FastKnnClassifier::Load(std::istream& in) {
   if (!ReadPairs(in, &classifier.positives_)) {
     return util::Status::InvalidArgument("truncated model: positives");
   }
-
-  // Rebuild the derived center-distance matrix.
-  const size_t b = classifier.centers_.size();
-  classifier.center_distances_.assign(b * b, 0.0);
-  for (size_t i = 0; i < b; ++i) {
-    for (size_t j = i + 1; j < b; ++j) {
-      const double d = EuclideanDistance(classifier.centers_[i],
-                                         classifier.centers_[j]);
-      classifier.center_distances_[i * b + j] = d;
-      classifier.center_distances_[j * b + i] = d;
-    }
+  // The classifier's global neighbour ids are uint32.
+  uint64_t total_pairs = classifier.positives_.size();
+  for (const auto& partition : classifier.partitions_) {
+    total_pairs += partition.size();
   }
+  if (total_pairs > std::numeric_limits<uint32_t>::max()) {
+    return util::Status::InvalidArgument(
+        "corrupt model: pair count overflows the id space");
+  }
+
+  classifier.RebuildDerived();
   classifier.fitted_ = true;
   return classifier;
 }

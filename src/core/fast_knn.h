@@ -11,10 +11,13 @@
 //     nearest positive is farther than the current k-th neighbour, s
 //     cannot be a duplicate and stage 2 is skipped (Observations 2-3,
 //     Algorithm 1 lines 2-5).
-//   Stage 2 (cross-cluster): Algorithm 1 selects the neighbouring Voronoi
-//     cells whose hyperplane is closer than the current k-th neighbour
-//     (Eq. 7, Observation 4); their negatives are searched and merged
-//     (lines 12-15).
+//   Stage 2 (cross-cluster): Algorithm 1 visits the neighbouring Voronoi
+//     cells in ascending hyperplane distance (Eq. 7, Observation 4) and
+//     searches a cell only while the current k-th neighbour is farther
+//     than its hyperplane (lines 12-15). The k-th distance re-tightens
+//     after every searched cell, so the first cell whose hyperplane is
+//     out of reach ends the loop — strictly fewer cells than selecting
+//     once against the stale stage-1 bound.
 // The score is Eq. 5 (inverse-distance-weighted label sum) and the label
 // is Eq. 6 (threshold theta).
 //
@@ -71,6 +74,14 @@ struct FastKnnResult {
   std::vector<ml::Neighbor> neighbors;
 };
 
+// Reusable per-thread working memory for Classify/Score: the bounded
+// top-k heap and the stage-2 candidate list. A warm scratch makes a
+// query allocation-free; one scratch must not be shared across threads.
+struct FastKnnScratch {
+  std::vector<ml::Neighbor> heap;
+  std::vector<std::pair<double, uint32_t>> candidates;
+};
+
 class FastKnnClassifier {
  public:
   explicit FastKnnClassifier(const FastKnnOptions& options);
@@ -80,15 +91,22 @@ class FastKnnClassifier {
   void Fit(const std::vector<distance::LabeledPair>& train,
            util::ThreadPool* pool = nullptr);
 
-  // Classifies one query (thread-safe after Fit).
+  // Classifies one query (thread-safe after Fit). The no-scratch
+  // overload uses a thread-local scratch, so steady-state calls only
+  // allocate for the returned neighbour list.
   FastKnnResult Classify(const distance::DistanceVector& query) const;
+  FastKnnResult Classify(const distance::DistanceVector& query,
+                         FastKnnScratch* scratch) const;
 
-  // Eq. 5 / Eq. 1 score only.
-  double Score(const distance::DistanceVector& query) const {
-    return Classify(query).score;
+  // Eq. 5 / Eq. 1 score only — allocation-free once the scratch is warm
+  // (the neighbour list stays in the scratch and is never copied out).
+  double Score(const distance::DistanceVector& query) const;
+  double Score(const distance::DistanceVector& query,
+               FastKnnScratch* scratch) const {
+    return ClassifyInto(query, scratch);
   }
 
-  // Scores a batch sequentially.
+  // Scores a batch sequentially through one reused scratch.
   std::vector<double> ScoreAll(
       const std::vector<distance::LabeledPair>& queries) const;
 
@@ -143,6 +161,19 @@ class FastKnnClassifier {
   double HyperplaneDistance(const distance::DistanceVector& query, size_t i,
                             size_t j) const;
 
+  // The full Algorithm 1/2 search. Returns the Eq. 5/Eq. 1 score;
+  // scratch->heap is left holding the top-k sorted ascending (the sort
+  // fixes the Eq. 5 summation order so scores stay bit-identical to the
+  // pre-scratch implementation).
+  double ClassifyInto(const distance::DistanceVector& query,
+                      FastKnnScratch* scratch) const;
+
+  // Rebuilds everything derived from centers_/partitions_/positives_:
+  // the Eq. 7 center-distance matrix, the global index bases, and the
+  // structure-of-arrays negative block the hot path sweeps. Called at
+  // the end of Fit() and Load().
+  void RebuildDerived();
+
   FastKnnOptions options_;
   bool fitted_ = false;
   std::vector<distance::DistanceVector> centers_;
@@ -150,6 +181,17 @@ class FastKnnClassifier {
   std::vector<double> center_distances_;
   std::vector<std::vector<distance::LabeledPair>> partitions_;  // negatives
   std::vector<distance::LabeledPair> positives_;
+  // Derived hot-path layout (RebuildDerived): negatives get global ids
+  // [0, total_negatives_) in partition order — partition p spans columns
+  // [partition_bases_[p], partition_bases_[p + 1]) — positives follow at
+  // total_negatives_. neg_coords_ is the dimension-major (structure of
+  // arrays) copy of the negative vectors, stride total_negatives_, so
+  // stage sweeps read kDistanceDims contiguous streams; neg_labels_
+  // mirrors the stored labels.
+  std::vector<uint32_t> partition_bases_;  // size num_partitions() + 1
+  uint32_t total_negatives_ = 0;
+  std::vector<double> neg_coords_;
+  std::vector<int8_t> neg_labels_;
   // Heap-allocated so the classifier stays movable (ComparisonStats holds
   // atomics); never null.
   std::unique_ptr<ComparisonStats> stats_ =

@@ -1,6 +1,7 @@
 #include "ml/knn.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -15,6 +16,20 @@ bool NeighborLess(const Neighbor& a, const Neighbor& b) {
   return a.index < b.index;
 }
 
+void PushBoundedNeighbor(std::vector<Neighbor>* heap, const Neighbor& cand,
+                         size_t k) {
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return NeighborLess(a, b);  // max-heap on (distance, index)
+  };
+  if (heap->size() == k && !NeighborLess(cand, heap->front())) return;
+  heap->push_back(cand);
+  std::push_heap(heap->begin(), heap->end(), worse);
+  if (heap->size() > k) {
+    std::pop_heap(heap->begin(), heap->end(), worse);
+    heap->pop_back();
+  }
+}
+
 std::vector<Neighbor> BruteForceKnn(const DistanceVector& query,
                                     const std::vector<LabeledPair>& train,
                                     size_t k) {
@@ -22,25 +37,63 @@ std::vector<Neighbor> BruteForceKnn(const DistanceVector& query,
   // Max-heap of the best k so far; heap top is the current worst keeper.
   std::vector<Neighbor> heap;
   heap.reserve(k + 1);
-  auto worse = [](const Neighbor& a, const Neighbor& b) {
-    return NeighborLess(a, b);  // max-heap on (distance, index)
-  };
   for (size_t i = 0; i < train.size(); ++i) {
     const double d = EuclideanDistance(query, train[i].vector);
-    if (heap.size() == k && !NeighborLess(
-            Neighbor{d, train[i].label, static_cast<uint32_t>(i)},
-            heap.front())) {
-      continue;
-    }
-    heap.push_back(Neighbor{d, train[i].label, static_cast<uint32_t>(i)});
-    std::push_heap(heap.begin(), heap.end(), worse);
-    if (heap.size() > k) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.pop_back();
-    }
+    PushBoundedNeighbor(
+        &heap, Neighbor{d, train[i].label, static_cast<uint32_t>(i)}, k);
   }
   std::sort(heap.begin(), heap.end(), NeighborLess);
   return heap;
+}
+
+void SoaKnnSweep(const DistanceVector& query, const double* coords,
+                 size_t stride, size_t begin, size_t end,
+                 const int8_t* labels, size_t k,
+                 std::vector<Neighbor>* heap) {
+  ADRDEDUP_CHECK_GE(k, 1u);
+  double q[distance::kDistanceDims];
+  for (size_t d = 0; d < distance::kDistanceDims; ++d) q[d] = query[d];
+  // Blocked two-pass sweep. Pass 1 accumulates squared distances for a
+  // block of points, one contiguous dimension column at a time — the
+  // whole point of the dimension-major layout; the per-point summation
+  // stays in component order d = 0..6, so each sum is bit-identical to
+  // SquaredEuclideanDistance. Pass 2 discards points that cannot enter
+  // the heap using a squared-space comparison, taking the sqrt only for
+  // survivors (a handful per query once the heap is warm).
+  constexpr size_t kBlock = 16;
+  double sums[kBlock];
+  for (size_t base = begin; base < end; base += kBlock) {
+    const size_t n = std::min(kBlock, end - base);
+    {
+      const double* col = coords + base;
+      for (size_t j = 0; j < n; ++j) {
+        const double diff = q[0] - col[j];
+        sums[j] = diff * diff;
+      }
+    }
+    for (size_t d = 1; d < distance::kDistanceDims; ++d) {
+      const double* col = coords + d * stride + base;
+      for (size_t j = 0; j < n; ++j) {
+        const double diff = q[d] - col[j];
+        sums[j] += diff * diff;
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (heap->size() >= k) {
+        // Skip only when sqrt(sums[j]) > kth is certain. The relative
+        // margin covers the two roundings involved (kth * kth and the
+        // sqrt), so a point whose true distance ties or beats the k-th —
+        // where the index tie-break could still admit it — always falls
+        // through to the exact push below.
+        const double kth = heap->front().distance;
+        if (sums[j] > kth * kth * (1.0 + 1e-14)) continue;
+      }
+      PushBoundedNeighbor(heap,
+                          Neighbor{std::sqrt(sums[j]), labels[base + j],
+                                   static_cast<uint32_t>(base + j)},
+                          k);
+    }
+  }
 }
 
 std::vector<Neighbor> MergeNeighbors(const std::vector<Neighbor>& a,

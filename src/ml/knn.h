@@ -23,11 +23,30 @@ struct Neighbor {
 // Orders by distance, then index (total order for deterministic top-k).
 bool NeighborLess(const Neighbor& a, const Neighbor& b);
 
+// Bounded top-k insertion: `heap` is a max-heap under NeighborLess whose
+// top is the current worst keeper. The candidate is dropped when the heap
+// already holds k entries at least as good. The top-k set under the
+// (distance, index) total order is insertion-order independent, so any
+// sweep order yields the same neighbours as a full sort.
+void PushBoundedNeighbor(std::vector<Neighbor>* heap, const Neighbor& cand,
+                         size_t k);
+
 // The k nearest training pairs to `query`, sorted ascending by distance.
 // O(|train| log k).
 std::vector<Neighbor> BruteForceKnn(
     const distance::DistanceVector& query,
     const std::vector<distance::LabeledPair>& train, size_t k);
+
+// Allocation-free brute-force sweep over a structure-of-arrays block of
+// points: component d of point i lives at coords[d * stride + i]. Points
+// [begin, end) are swept; the neighbour index recorded for point i is i
+// itself (the caller lays points out in its global id space) and every
+// point carries label `labels[i]`. Candidates are pushed into `heap`
+// (reused across calls; may already hold entries from earlier sweeps —
+// the heap then accumulates the top k over all sweeps so far).
+void SoaKnnSweep(const distance::DistanceVector& query, const double* coords,
+                 size_t stride, size_t begin, size_t end,
+                 const int8_t* labels, size_t k, std::vector<Neighbor>* heap);
 
 // Merges two sorted neighbour lists, keeping the k nearest distinct
 // entries (entries are distinct by (distance, index)).

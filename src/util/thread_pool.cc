@@ -54,7 +54,19 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
       for (size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& future : futures) future.get();
+  // Wait for every block before surfacing any exception: unwinding while
+  // later blocks are still queued would leave them running with a
+  // dangling reference to the caller's `fn`. The first captured
+  // exception is rethrown once the whole range has drained.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 uint64_t ThreadPool::tasks_executed() const {

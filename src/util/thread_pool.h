@@ -36,7 +36,9 @@ class ThreadPool {
 
   // Runs fn(i) for i in [begin, end) across the pool and blocks until all
   // iterations finish. Iterations are grouped into contiguous blocks, one
-  // batch per worker, so per-task overhead stays negligible.
+  // batch per worker, so per-task overhead stays negligible. If any
+  // iteration throws, the whole range still drains (fn stays valid for
+  // every queued block) and the first exception is rethrown afterwards.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 

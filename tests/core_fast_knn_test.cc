@@ -294,6 +294,94 @@ TEST(FastKnnTest, ScoreAllSparkMatchesSequential) {
   }
 }
 
+TEST(FastKnnTest, ScoreAllSparkParityOn1kRandomQueries) {
+  // The re-batched minispark path (one scratch per whole-partition task)
+  // must agree bit-for-bit with the sequential scratch path.
+  const auto train = StructuredPairs(3000, 0.03, 21);
+  const auto queries = RandomPairs(1000, 0.03, 22);
+  for (const bool early_exit : {true, false}) {
+    FastKnnOptions options;
+    options.num_clusters = 16;
+    options.early_exit_all_negative = early_exit;
+    FastKnnClassifier classifier(options);
+    classifier.Fit(train);
+
+    const auto sequential = classifier.ScoreAll(queries);
+    minispark::SparkContext ctx({.num_executors = 8});
+    const auto spark = classifier.ScoreAllSpark(&ctx, queries, 7);
+    ASSERT_EQ(sequential.size(), spark.size());
+    for (size_t i = 0; i < sequential.size(); ++i) {
+      ASSERT_EQ(sequential[i], spark[i])
+          << "query " << i << " early_exit=" << early_exit;
+    }
+  }
+}
+
+TEST(FastKnnTest, ExplicitScratchMatchesThreadLocalPath) {
+  const auto train = StructuredPairs(1500, 0.03, 23);
+  const auto queries = StructuredPairs(50, 0.03, 24);
+  FastKnnOptions options;
+  options.num_clusters = 8;
+  options.early_exit_all_negative = false;
+  FastKnnClassifier classifier(options);
+  classifier.Fit(train);
+
+  FastKnnScratch scratch;
+  for (const auto& query : queries) {
+    const FastKnnResult via_scratch = classifier.Classify(query.vector,
+                                                          &scratch);
+    const FastKnnResult plain = classifier.Classify(query.vector);
+    ASSERT_EQ(via_scratch.score, plain.score);
+    ASSERT_EQ(via_scratch.neighbors.size(), plain.neighbors.size());
+    for (size_t i = 0; i < plain.neighbors.size(); ++i) {
+      EXPECT_EQ(via_scratch.neighbors[i].index, plain.neighbors[i].index);
+      EXPECT_EQ(via_scratch.neighbors[i].distance,
+                plain.neighbors[i].distance);
+    }
+    EXPECT_EQ(classifier.Score(query.vector, &scratch), plain.score);
+  }
+}
+
+TEST(FastKnnTest, IncrementalTighteningSearchesFewerCellsThanOneShot) {
+  // Algorithm 1's loop re-tests the pruning condition against the k-th
+  // distance re-tightened after every searched cell. The cells actually
+  // searched must be strictly fewer (in aggregate) than the one-shot
+  // selection against the stale stage-1 bound, and never more for any
+  // single query.
+  const auto train = StructuredPairs(4000, 0.02, 25);
+  const auto queries = StructuredPairs(300, 0.02, 26);
+  FastKnnOptions options;
+  options.num_clusters = 32;
+  options.early_exit_all_negative = false;
+  FastKnnClassifier classifier(options);
+  classifier.Fit(train);
+  const size_t k = options.k;
+
+  uint64_t one_shot_cells = 0;
+  for (const auto& query : queries) {
+    const size_t home = ml::NearestCenter(query.vector,
+                                          classifier.centers());
+    // Reproduce the stale stage-1 bound: k-th distance after the home
+    // cell and the positive sweep only.
+    const auto stage1 =
+        ml::BruteForceKnn(query.vector, classifier.partition(home), k);
+    const auto positive = ml::BruteForceKnn(query.vector,
+                                            classifier.positives(), k);
+    const auto merged = ml::MergeNeighbors(stage1, positive, k);
+    const double stale_kth = merged.size() < k
+                                 ? std::numeric_limits<double>::infinity()
+                                 : merged.back().distance;
+    one_shot_cells +=
+        classifier.SelectAdditionalPartitions(query.vector, home, stale_kth)
+            .size();
+  }
+
+  classifier.stats().Reset();
+  for (const auto& query : queries) classifier.Score(query.vector);
+  const auto stats = classifier.stats().Snapshot();
+  EXPECT_LT(stats.additional_clusters_checked, one_shot_cells);
+}
+
 TEST(FastKnnTest, AllPositiveTrainingSet) {
   auto train = RandomPairs(50, 1.0, 18);
   for (auto& pair : train) pair.label = +1;

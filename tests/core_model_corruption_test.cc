@@ -1,0 +1,192 @@
+// Adversarial model-file coverage: FastKnnClassifier::Load must return a
+// non-OK Status on any corrupt input — truncation at every byte, a bit
+// flip at every byte, hostile section counts, out-of-range header fields
+// — and must never abort the process or make a giant up-front
+// allocation. Runs under the `sanitize` label so the ASan and TSan legs
+// exercise it.
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fast_knn.h"
+#include "util/random.h"
+
+namespace adrdedup::core {
+namespace {
+
+using distance::DistanceVector;
+using distance::kDistanceDims;
+using distance::LabeledPair;
+
+std::vector<LabeledPair> StructuredPairs(size_t n, double positive_rate,
+                                         uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LabeledPair> pairs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = rng.Bernoulli(positive_rate);
+    pairs[i].label = positive ? +1 : -1;
+    pairs[i].pair = {static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1)};
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      pairs[i].vector[d] = positive ? rng.UniformDouble(0.0, 0.4)
+                                    : rng.UniformDouble(0.1, 1.0);
+    }
+  }
+  return pairs;
+}
+
+// Byte offsets of the header fields of the "ADRKNN1" format (magic is 8
+// bytes including the terminator; every field is packed host-endian).
+constexpr size_t kOffsetK = 8;
+constexpr size_t kOffsetNumClusters = 16;
+constexpr size_t kOffsetVote = 24;
+constexpr size_t kOffsetNumCenters = 43;
+constexpr size_t kOffsetFirstPartitionCount =
+    51 + /*centers:*/ 4 * kDistanceDims * sizeof(double);
+
+std::string SavedModelBytes() {
+  FastKnnOptions options;
+  options.k = 5;
+  options.num_clusters = 4;
+  FastKnnClassifier classifier(options);
+  classifier.Fit(StructuredPairs(120, 0.05, 41));
+  std::stringstream stream;
+  EXPECT_TRUE(classifier.Save(stream).ok());
+  return stream.str();
+}
+
+util::Result<FastKnnClassifier> LoadBytes(const std::string& bytes) {
+  std::stringstream stream(bytes);
+  return FastKnnClassifier::Load(stream);
+}
+
+template <typename T>
+void PatchBytes(std::string* bytes, size_t offset, T value) {
+  ASSERT_LE(offset + sizeof(T), bytes->size());
+  std::memcpy(bytes->data() + offset, &value, sizeof(T));
+}
+
+TEST(ModelCorruptionTest, PristineModelLoads) {
+  const std::string bytes = SavedModelBytes();
+  auto loaded = LoadBytes(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Guards the offset constants above against format drift: zeroing the
+  // field each one names must break the load in the expected way.
+  EXPECT_EQ(loaded.value().options().k, 5u);
+  EXPECT_EQ(loaded.value().options().num_clusters, 4u);
+  // kOffsetFirstPartitionCount assumes exactly 4 serialized centers.
+  ASSERT_EQ(loaded.value().num_partitions(), 4u);
+}
+
+TEST(ModelCorruptionTest, TruncationAtEveryByteIsRejected) {
+  const std::string bytes = SavedModelBytes();
+  ASSERT_GT(bytes.size(), 1000u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto loaded = LoadBytes(bytes.substr(0, len));
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+        << "prefix of " << len << " bytes: " << loaded.status().ToString();
+  }
+}
+
+TEST(ModelCorruptionTest, BitFlipAtEveryByteNeverAborts) {
+  const std::string bytes = SavedModelBytes();
+  DistanceVector query;
+  for (size_t d = 0; d < kDistanceDims; ++d) query[d] = 0.3;
+  for (const uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+    for (size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::string flipped = bytes;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ mask);
+      auto loaded = LoadBytes(flipped);
+      // A payload flip may still parse; a structural flip must come back
+      // as a Status. Either way the process survives and an accepted
+      // model stays usable.
+      if (loaded.ok()) {
+        (void)loaded.value().Score(query);
+      } else {
+        EXPECT_EQ(loaded.status().code(),
+                  util::StatusCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+TEST(ModelCorruptionTest, ZeroKRejected) {
+  std::string bytes = SavedModelBytes();
+  PatchBytes(&bytes, kOffsetK, uint64_t{0});
+  auto loaded = LoadBytes(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ModelCorruptionTest, AbsurdKRejected) {
+  std::string bytes = SavedModelBytes();
+  PatchBytes(&bytes, kOffsetK, std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(LoadBytes(bytes).ok());
+}
+
+TEST(ModelCorruptionTest, ZeroClustersRejected) {
+  std::string bytes = SavedModelBytes();
+  PatchBytes(&bytes, kOffsetNumClusters, uint64_t{0});
+  auto loaded = LoadBytes(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ModelCorruptionTest, AbsurdClusterCountRejected) {
+  std::string bytes = SavedModelBytes();
+  PatchBytes(&bytes, kOffsetNumClusters, uint64_t{1} << 40);
+  EXPECT_FALSE(LoadBytes(bytes).ok());
+}
+
+TEST(ModelCorruptionTest, VoteEnumOutOfRangeRejected) {
+  for (const uint8_t vote : {uint8_t{2}, uint8_t{7}, uint8_t{255}}) {
+    std::string bytes = SavedModelBytes();
+    PatchBytes(&bytes, kOffsetVote, vote);
+    auto loaded = LoadBytes(bytes);
+    ASSERT_FALSE(loaded.ok()) << "vote=" << int{vote};
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ModelCorruptionTest, HostileCenterCountRejected) {
+  std::string bytes = SavedModelBytes();
+  PatchBytes(&bytes, kOffsetNumCenters, std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(LoadBytes(bytes).ok());
+}
+
+TEST(ModelCorruptionTest, HostilePairCountRejectedWithoutAllocating) {
+  // A count of 2^62 used to hit pairs->resize(count) — an instant OOM /
+  // bad_alloc abort. Now it must come back as InvalidArgument before any
+  // proportional allocation happens.
+  for (const uint64_t count :
+       {uint64_t{1} << 62, std::numeric_limits<uint64_t>::max(),
+        (uint64_t{1} << 31) + 1}) {
+    std::string bytes = SavedModelBytes();
+    PatchBytes(&bytes, kOffsetFirstPartitionCount, count);
+    auto loaded = LoadBytes(bytes);
+    ASSERT_FALSE(loaded.ok()) << "count=" << count;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ModelCorruptionTest, PlausiblePairCountOnTruncatedBodyRejected) {
+  // A bounded-but-wrong count (claims more pairs than the stream holds)
+  // must fail at the first missing field, with memory growth bounded by
+  // the bytes actually present.
+  std::string bytes = SavedModelBytes();
+  PatchBytes(&bytes, kOffsetFirstPartitionCount, uint64_t{1} << 20);
+  EXPECT_FALSE(LoadBytes(bytes).ok());
+}
+
+TEST(ModelCorruptionTest, EmptyAndMagicOnlyStreamsRejected) {
+  EXPECT_FALSE(LoadBytes("").ok());
+  EXPECT_FALSE(LoadBytes(std::string("ADRKNN1\0", 8)).ok());
+}
+
+}  // namespace
+}  // namespace adrdedup::core

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -86,6 +87,53 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     // Destructor must wait for all 50.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForDrainsAllBlocksBeforeRethrowing) {
+  // Regression: ParallelFor used to unwind on the first future.get() that
+  // threw, while later blocks were still queued holding a reference to
+  // the caller's fn — a use-after-scope once the stack frame died. With
+  // 16 iterations on a 4-thread pool every block holds exactly one
+  // iteration (num_blocks = workers * 4), so "every block drained" is
+  // observable: all 15 non-throwing iterations must have run by the time
+  // the exception surfaces, deterministically.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(0, 16,
+                                [&](size_t i) {
+                                  if (i == 3) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  ++ran;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 15);
+}
+
+TEST(ThreadPoolTest, ParallelForManyThrowingIterationsStillDrains) {
+  // Half the single-iteration blocks throw; ParallelFor must still wait
+  // for all of them (swallowing the extra exceptions) and rethrow one.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(0, 16,
+                                [&](size_t i) {
+                                  ++ran;
+                                  if (i % 2 == 0) {
+                                    throw std::runtime_error("even");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForUsableAfterThrow) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 64, [](size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(0, 64, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 64);
 }
 
 TEST(ThreadPoolTest, ParallelForPropagatesWorkOrderIndependence) {
