@@ -1,0 +1,113 @@
+// Chaos recovery — fault-injection overhead and exactness of recovery:
+// the Fast kNN scoring stage (the pipeline's dominant cost, Fig. 10(a))
+// is run under a seeded per-task fault rate sweep. Failed tasks are
+// retried through lineage, so every chaotic run must reproduce the
+// fault-free scores bit-identically; the bench reports the wall-clock
+// overhead the retries cost and FAILS (exit 1) on any score divergence.
+//
+// The paper's cluster runs inherit this guarantee from Spark's task
+// rescheduling; minispark reproduces it with the task-attempt layer in
+// SparkContext::RunTask (DESIGN.md §5c).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+#include "minispark/context.h"
+#include "minispark/fault_injector.h"
+
+namespace adrdedup::bench {
+namespace {
+
+constexpr double kFaultRates[] = {0.01, 0.05, 0.1, 0.2};
+constexpr size_t kBlocks = 8;
+
+int Main() {
+  PrintBanner("bench_chaos_recovery",
+              "task fault tolerance (retry overhead + exact recovery)");
+  const size_t train = Scaled(1000000, 20000);
+  const size_t test = Scaled(100000, 5000);
+  const auto data = MakeDatasets(train, test, 23);
+
+  core::FastKnnOptions options;
+  options.k = 9;
+  options.num_clusters = 48;
+  core::FastKnnClassifier classifier(options);
+  {
+    minispark::SparkContext fit_ctx({.num_executors = 4});
+    classifier.Fit(data.train.pairs, &fit_ctx.pool());
+  }
+
+  // Fault-free baseline.
+  std::vector<double> baseline;
+  double baseline_seconds = 0.0;
+  {
+    minispark::SparkContext ctx({.num_executors = 4});
+    util::Stopwatch watch;
+    baseline = classifier.ScoreAllSpark(&ctx, data.test.pairs, kBlocks);
+    baseline_seconds = watch.ElapsedSeconds();
+  }
+  std::cout << "\n" << test << " test pairs, " << train
+            << " training pairs; fault-free scoring: " << baseline_seconds
+            << " s\n\n";
+
+  eval::TablePrinter table(
+      &std::cout, {"fault rate", "faults", "retried", "backoff (ms)",
+                   "time (s)", "overhead", "parity"});
+  bool all_exact = true;
+  for (size_t i = 0; i < std::size(kFaultRates); ++i) {
+    const double rate = kFaultRates[i];
+    minispark::FaultInjector injector(
+        {.seed = 17 + i, .failure_probability = rate});
+    // One scripted fault on top of the random draw so even the smallest
+    // smoke scale (few tasks, low rate) exercises at least one retry.
+    injector.FailPartitionOnAttempt(0, 1);
+    // With hundreds of task attempts at a 20% fault rate the default 4
+    // attempts leave a non-negligible chance some task exhausts its
+    // budget (0.2^4 per task); 8 attempts push that below 1e-5.
+    minispark::SparkContext ctx({.num_executors = 4,
+                                 .max_task_failures = 8,
+                                 .fault_injector = &injector});
+    util::Stopwatch watch;
+    const std::vector<double> scores =
+        classifier.ScoreAllSpark(&ctx, data.test.pairs, kBlocks);
+    const double seconds = watch.ElapsedSeconds();
+
+    bool exact = scores.size() == baseline.size();
+    for (size_t j = 0; exact && j < scores.size(); ++j) {
+      exact = scores[j] == baseline[j];
+    }
+    all_exact = all_exact && exact;
+
+    const auto metrics = ctx.metrics().Snapshot();
+    const double overhead =
+        baseline_seconds > 0.0 ? seconds / baseline_seconds - 1.0 : 0.0;
+    table.AddRow({eval::TablePrinter::Num(rate, 2),
+                  std::to_string(injector.faults_injected()),
+                  std::to_string(metrics.tasks_retried),
+                  eval::TablePrinter::Num(metrics.task_backoff_ms, 1),
+                  eval::TablePrinter::Num(seconds, 3),
+                  eval::TablePrinter::Num(100.0 * overhead, 1) + "%",
+                  exact ? "exact" : "DIVERGED"});
+    if (metrics.tasks_retried == 0) {
+      std::cout << "warning: rate " << rate
+                << " run retried no tasks despite the scripted fault\n";
+      all_exact = false;
+    }
+  }
+  table.Print();
+  std::cout << "(retried tasks recompute through lineage: recovery must be "
+               "bit-exact at every fault rate)\n";
+  if (!all_exact) {
+    std::cerr << "FAIL: a chaotic run diverged from the fault-free scores "
+                 "or never retried\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

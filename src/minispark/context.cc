@@ -9,6 +9,9 @@ SparkContext::SparkContext(const Config& config)
                                ? config.default_parallelism
                                : 2 * std::max<size_t>(1,
                                                       config.num_executors)),
+      max_task_failures_(std::max<size_t>(1, config.max_task_failures)),
+      task_backoff_(config.task_backoff),
+      fault_injector_(config.fault_injector),
       pool_(config.num_executors) {
   ADRDEDUP_CHECK_GE(default_parallelism_, 1u);
 }

@@ -9,19 +9,58 @@
 // lost partitions — as an in-process library. An "executor" is a worker
 // thread; "shuffle" is a hash repartitioning whose record/byte volume is
 // metered like Spark's shuffle-write metrics.
+//
+// Every partition materialization runs as a tracked *task attempt*
+// (RunTask): a throwing attempt is retried through lineage up to
+// Config::max_task_failures times with exponential backoff, after which
+// the job fails with a TaskFailedException naming the partition, the
+// attempt count, and the root cause — the in-process analog of Spark's
+// spark.task.maxFailures. Because tasks are pure functions of their
+// lineage, a retried task recomputes the same partition bit-identically.
 #ifndef ADRDEDUP_MINISPARK_CONTEXT_H_
 #define ADRDEDUP_MINISPARK_CONTEXT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "minispark/fault_injector.h"
 #include "minispark/metrics.h"
+#include "util/backoff.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace adrdedup::minispark {
 
 template <typename T>
 class Rdd;  // defined in minispark/rdd.h
+
+// Job-level error raised once a task exhausts its attempt budget. Carries
+// enough context to point at the failing partition without a debugger.
+class TaskFailedException : public std::runtime_error {
+ public:
+  TaskFailedException(size_t partition, size_t attempts,
+                      std::string root_cause)
+      : std::runtime_error(
+            "task for partition " + std::to_string(partition) +
+            " failed after " + std::to_string(attempts) +
+            (attempts == 1 ? " attempt: " : " attempts: ") + root_cause),
+        partition_(partition),
+        attempts_(attempts),
+        root_cause_(std::move(root_cause)) {}
+
+  size_t partition() const { return partition_; }
+  size_t attempts() const { return attempts_; }
+  const std::string& root_cause() const { return root_cause_; }
+
+ private:
+  size_t partition_;
+  size_t attempts_;
+  std::string root_cause_;
+};
 
 class SparkContext {
  public:
@@ -31,6 +70,15 @@ class SparkContext {
     // Default number of partitions for sources and shuffles; 0 means
     // 2 * num_executors (Spark's common guidance).
     size_t default_parallelism = 0;
+    // Attempts allowed per task before the job fails with a
+    // TaskFailedException (Spark's spark.task.maxFailures; at least 1).
+    size_t max_task_failures = 4;
+    // Wait schedule between failed attempts of the same task.
+    util::BackoffOptions task_backoff{
+        /*.base_ms=*/1.0, /*.multiplier=*/2.0, /*.max_ms=*/50.0};
+    // Chaos hook consulted at the start of every task attempt. Not
+    // owned; must outlive the context. Null disables injection.
+    FaultInjector* fault_injector = nullptr;
   };
 
   explicit SparkContext(const Config& config);
@@ -40,9 +88,53 @@ class SparkContext {
 
   size_t num_executors() const { return pool_.num_threads(); }
   size_t default_parallelism() const { return default_parallelism_; }
+  size_t max_task_failures() const { return max_task_failures_; }
 
   util::ThreadPool& pool() { return pool_; }
   Metrics& metrics() { return metrics_; }
+
+  // Test hook: swaps the chaos injector at runtime (null disables).
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
+  // Runs `body` as one task, retrying up to max_task_failures attempts
+  // with backoff. Each attempt counts as a launched task; failures and
+  // retries feed the fault-tolerance metrics. Called from executor
+  // threads inside ParallelFor, which drains all queued tasks before
+  // rethrowing the first TaskFailedException as the job-level error.
+  template <typename Fn>
+  void RunTask(size_t partition, Fn&& body) {
+    std::string root_cause;
+    for (size_t attempt = 1; attempt <= max_task_failures_; ++attempt) {
+      metrics_.AddTask();
+      util::Stopwatch watch;
+      try {
+        if (FaultInjector* injector = fault_injector()) {
+          injector->OnTaskAttempt(partition, attempt);
+        }
+        body();
+        metrics_.AddTaskDuration(watch.ElapsedSeconds());
+        return;
+      } catch (const std::exception& e) {
+        root_cause = e.what();
+      } catch (...) {
+        root_cause = "unknown exception";
+      }
+      metrics_.AddTaskFailure();
+      if (attempt == max_task_failures_) break;
+      // Lineage makes the retry safe: the attempt recomputes its inputs
+      // from the (immutable) parent partitions, so a partially-failed
+      // attempt leaves nothing behind that the next one can observe.
+      const double waited_ms = task_backoff_.SleepFor(attempt);
+      metrics_.AddTaskRetry(waited_ms);
+    }
+    throw TaskFailedException(partition, max_task_failures_,
+                              std::move(root_cause));
+  }
 
   // Distributes `data` over `num_partitions` (0 = default parallelism)
   // contiguous slices. Defined in rdd.h to break the include cycle.
@@ -51,6 +143,9 @@ class SparkContext {
 
  private:
   size_t default_parallelism_;
+  size_t max_task_failures_;
+  util::Backoff task_backoff_;
+  std::atomic<FaultInjector*> fault_injector_;
   Metrics metrics_;
   util::ThreadPool pool_;  // declared last: joins before members die
 };

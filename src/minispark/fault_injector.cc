@@ -1,0 +1,91 @@
+#include "minispark/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adrdedup::minispark {
+namespace {
+
+// (partition, attempt) -> occurrence-counter key. Attempts are tiny
+// (bounded by max_task_failures), partitions fit comfortably in 48 bits.
+uint64_t OccurrenceKey(size_t partition, size_t attempt) {
+  return (static_cast<uint64_t>(partition) << 16) ^
+         static_cast<uint64_t>(attempt);
+}
+
+// Uniform double in [0, 1) from one SplitMix64 step.
+double NextDraw(uint64_t* state) {
+  return static_cast<double>(util::SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(size_t partition, size_t attempt,
+                             const std::string& why)
+    : std::runtime_error("injected fault (" + why + ") in partition " +
+                         std::to_string(partition) + " attempt " +
+                         std::to_string(attempt)),
+      partition_(partition),
+      attempt_(attempt) {}
+
+FaultInjector::FaultInjector(const Options& options) : options_(options) {
+  ADRDEDUP_CHECK_GE(options_.failure_probability, 0.0);
+  ADRDEDUP_CHECK_LT(options_.failure_probability, 1.0);
+  ADRDEDUP_CHECK_GE(options_.delay_probability, 0.0);
+  ADRDEDUP_CHECK_LE(options_.delay_probability, 1.0);
+  ADRDEDUP_CHECK_GE(options_.max_delay_ms, 0.0);
+}
+
+void FaultInjector::FailPartitionOnAttempt(size_t partition, size_t attempt) {
+  ADRDEDUP_CHECK_GE(attempt, 1u);
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripts_.push_back(Script{partition, attempt, /*fired=*/false});
+}
+
+void FaultInjector::OnTaskAttempt(size_t partition, size_t attempt) {
+  uint64_t occurrence = 0;
+  bool scripted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    occurrence = occurrences_[OccurrenceKey(partition, attempt)]++;
+    for (Script& script : scripts_) {
+      if (!script.fired && script.partition == partition &&
+          script.attempt == attempt) {
+        script.fired = true;
+        scripted = true;
+        break;
+      }
+    }
+  }
+  if (scripted) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault(partition, attempt, "scripted");
+  }
+
+  // Decorrelate the three identifiers before drawing so neighbouring
+  // partitions / attempts do not share fates.
+  uint64_t state = options_.seed;
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(partition) + 1);
+  state ^= 0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(attempt) + 1);
+  state ^= 0x94d049bb133111ebULL * (occurrence + 1);
+
+  if (options_.failure_probability > 0.0 &&
+      NextDraw(&state) < options_.failure_probability) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    throw InjectedFault(partition, attempt, "random");
+  }
+  if (options_.delay_probability > 0.0 &&
+      NextDraw(&state) < options_.delay_probability) {
+    delays_injected_.fetch_add(1, std::memory_order_relaxed);
+    const double delay_ms = NextDraw(&state) * options_.max_delay_ms;
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+}
+
+}  // namespace adrdedup::minispark

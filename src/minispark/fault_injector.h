@@ -1,0 +1,99 @@
+// Deterministic chaos-injection harness for the minispark scheduler. A
+// FaultInjector plugged into a SparkContext is consulted at the start of
+// every task attempt and may throw (simulating an executor crash) or
+// sleep (simulating a straggler). Every decision is a pure function of
+// (seed, partition, attempt, occurrence-of-that-attempt), so a chaos run
+// replays bit-for-bit regardless of executor count or thread
+// interleaving — the property the chaos parity tests rely on.
+//
+// This file must stay a leaf header (no minispark includes) so
+// context.h can include it without a cycle.
+#ifndef ADRDEDUP_MINISPARK_FAULT_INJECTOR_H_
+#define ADRDEDUP_MINISPARK_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace adrdedup::minispark {
+
+// Thrown into a task attempt by the injector. The scheduler treats it
+// like any other task failure: retry through lineage, then surface a
+// job-level TaskFailedException once attempts are exhausted.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(size_t partition, size_t attempt, const std::string& why);
+
+  size_t partition() const { return partition_; }
+  size_t attempt() const { return attempt_; }
+
+ private:
+  size_t partition_;
+  size_t attempt_;
+};
+
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Probability that any given task attempt throws InjectedFault.
+    double failure_probability = 0.0;
+    // Probability that a surviving attempt is delayed before running.
+    double delay_probability = 0.0;
+    // Upper bound of the injected delay (uniform in [0, max_delay_ms]).
+    double max_delay_ms = 0.0;
+  };
+
+  explicit FaultInjector(const Options& options);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // One-shot script: the next time partition `partition` runs attempt
+  // number `attempt` (1-based), that attempt throws regardless of
+  // failure_probability. May be called repeatedly to script several
+  // faults.
+  void FailPartitionOnAttempt(size_t partition, size_t attempt);
+
+  // Scheduler hook called at the start of every task attempt, from any
+  // executor thread. Throws InjectedFault or sleeps per the options.
+  void OnTaskAttempt(size_t partition, size_t attempt);
+
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t delays_injected() const {
+    return delays_injected_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Script {
+    size_t partition;
+    size_t attempt;
+    bool fired;
+  };
+
+  const Options options_;
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> delays_injected_{0};
+
+  std::mutex mutex_;
+  std::vector<Script> scripts_;
+  // How many times each (partition, attempt) pair has been seen. A job
+  // runs many stages, so the same pair recurs; folding the occurrence
+  // index into the hash keeps every attempt's draw independent while the
+  // schedule as a whole stays deterministic (stage order is fixed by the
+  // driver's barriers, not by executor interleaving).
+  std::unordered_map<uint64_t, uint64_t> occurrences_;
+};
+
+}  // namespace adrdedup::minispark
+
+#endif  // ADRDEDUP_MINISPARK_FAULT_INJECTOR_H_

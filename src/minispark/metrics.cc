@@ -12,7 +12,10 @@ std::string MetricsSnapshot::ToString() const {
   out << "tasks=" << tasks_launched << " shuffles=" << shuffles_performed
       << " shuffle_records=" << shuffle_records_written
       << " shuffle_bytes=" << shuffle_bytes_written
-      << " recomputed_partitions=" << partitions_recomputed;
+      << " recomputed_partitions=" << partitions_recomputed
+      << " failed_tasks=" << tasks_failed
+      << " retried_tasks=" << tasks_retried
+      << " backoff_ms=" << task_backoff_ms;
   return out.str();
 }
 
@@ -25,6 +28,9 @@ std::string MetricsSnapshot::ToJson(
   w.Field("shuffle_records_written", shuffle_records_written);
   w.Field("shuffle_bytes_written", shuffle_bytes_written);
   w.Field("partitions_recomputed", partitions_recomputed);
+  w.Field("tasks_failed", tasks_failed);
+  w.Field("tasks_retried", tasks_retried);
+  w.Field("task_backoff_ms", task_backoff_ms);
   if (!task_durations.empty()) {
     double total = 0.0;
     double max = 0.0;

@@ -19,6 +19,12 @@ struct MetricsSnapshot {
   uint64_t shuffle_records_written = 0;
   uint64_t shuffle_bytes_written = 0;
   uint64_t partitions_recomputed = 0;
+  // Fault-tolerance counters: every failed attempt bumps tasks_failed;
+  // attempts that were retried (i.e. failures with budget left) bump
+  // tasks_retried; task_backoff_ms totals the scheduler's retry waits.
+  uint64_t tasks_failed = 0;
+  uint64_t tasks_retried = 0;
+  double task_backoff_ms = 0.0;
 
   std::string ToString() const;
 
@@ -58,6 +64,16 @@ class Metrics {
   void AddRecomputedPartition() {
     partitions_recomputed_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddTaskFailure() {
+    tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Records one scheduled retry and the backoff wait that preceded it.
+  void AddTaskRetry(double backoff_ms) {
+    tasks_retried_.fetch_add(1, std::memory_order_relaxed);
+    task_backoff_micros_.fetch_add(
+        static_cast<uint64_t>(backoff_ms * 1000.0),
+        std::memory_order_relaxed);
+  }
 
   MetricsSnapshot Snapshot() const {
     MetricsSnapshot out;
@@ -70,6 +86,12 @@ class Metrics {
         shuffle_bytes_written_.load(std::memory_order_relaxed);
     out.partitions_recomputed =
         partitions_recomputed_.load(std::memory_order_relaxed);
+    out.tasks_failed = tasks_failed_.load(std::memory_order_relaxed);
+    out.tasks_retried = tasks_retried_.load(std::memory_order_relaxed);
+    out.task_backoff_ms =
+        static_cast<double>(
+            task_backoff_micros_.load(std::memory_order_relaxed)) /
+        1000.0;
     return out;
   }
 
@@ -79,6 +101,9 @@ class Metrics {
     shuffle_records_written_ = 0;
     shuffle_bytes_written_ = 0;
     partitions_recomputed_ = 0;
+    tasks_failed_ = 0;
+    tasks_retried_ = 0;
+    task_backoff_micros_ = 0;
     std::lock_guard<std::mutex> lock(durations_mutex_);
     task_durations_.clear();
   }
@@ -91,6 +116,10 @@ class Metrics {
   std::atomic<uint64_t> shuffle_records_written_{0};
   std::atomic<uint64_t> shuffle_bytes_written_{0};
   std::atomic<uint64_t> partitions_recomputed_{0};
+  std::atomic<uint64_t> tasks_failed_{0};
+  std::atomic<uint64_t> tasks_retried_{0};
+  // Accumulated in integer microseconds so fetch_add stays lock-free.
+  std::atomic<uint64_t> task_backoff_micros_{0};
 };
 
 }  // namespace adrdedup::minispark

@@ -57,17 +57,19 @@ class ShuffleByKeyNode final : public RddNode<std::pair<K, V>> {
         parent_parts);
     std::vector<uint64_t> bytes_per_part(parent_parts, 0);
     this->ctx()->pool().ParallelFor(0, parent_parts, [&](size_t p) {
-      this->ctx()->metrics().AddTask();
-      util::Stopwatch watch;
-      const PartitionData<std::pair<K, V>> input = parent_->Compute(p);
-      auto& buckets = local[p];
-      buckets.resize(num_partitions_);
-      const std::hash<K> hasher;
-      for (const auto& record : *input) {
-        bytes_per_part[p] += ByteSizeOf(record);
-        buckets[hasher(record.first) % num_partitions_].push_back(record);
-      }
-      this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+      this->ctx()->RunTask(p, [&] {
+        const PartitionData<std::pair<K, V>> input = parent_->Compute(p);
+        // A retried attempt rebuilds its scatter output from scratch.
+        auto& buckets = local[p];
+        buckets.clear();
+        buckets.resize(num_partitions_);
+        bytes_per_part[p] = 0;
+        const std::hash<K> hasher;
+        for (const auto& record : *input) {
+          bytes_per_part[p] += ByteSizeOf(record);
+          buckets[hasher(record.first) % num_partitions_].push_back(record);
+        }
+      });
     });
     uint64_t records = 0;
     uint64_t bytes = 0;

@@ -381,10 +381,7 @@ class RepartitionNode final : public RddNode<T> {
     const size_t parent_parts = parent_->NumPartitions();
     std::vector<PartitionData<T>> inputs(parent_parts);
     this->ctx()->pool().ParallelFor(0, parent_parts, [&](size_t p) {
-      this->ctx()->metrics().AddTask();
-      util::Stopwatch watch;
-      inputs[p] = parent_->Compute(p);
-      this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+      this->ctx()->RunTask(p, [&] { inputs[p] = parent_->Compute(p); });
     });
     std::vector<std::vector<T>> buckets(num_partitions_);
     uint64_t records = 0;
@@ -446,10 +443,7 @@ class CartesianNode final : public RddNode<std::pair<A, B>> {
       const size_t parts = right_->NumPartitions();
       std::vector<PartitionData<B>> inputs(parts);
       this->ctx()->pool().ParallelFor(0, parts, [&](size_t p) {
-        this->ctx()->metrics().AddTask();
-        util::Stopwatch watch;
-        inputs[p] = right_->Compute(p);
-        this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+        this->ctx()->RunTask(p, [&] { inputs[p] = right_->Compute(p); });
       });
       std::vector<B> all;
       uint64_t bytes = 0;
@@ -577,10 +571,7 @@ class MaterializingNode : public RddNode<Out> {
       const size_t parts = parent_->NumPartitions();
       std::vector<PartitionData<T>> inputs(parts);
       this->ctx()->pool().ParallelFor(0, parts, [&](size_t p) {
-        this->ctx()->metrics().AddTask();
-        util::Stopwatch watch;
-        inputs[p] = parent_->Compute(p);
-        this->ctx()->metrics().AddTaskDuration(watch.ElapsedSeconds());
+        this->ctx()->RunTask(p, [&] { inputs[p] = parent_->Compute(p); });
       });
       std::vector<T> all;
       uint64_t bytes = 0;
@@ -850,13 +841,12 @@ class Rdd {
     const size_t parts = node_->NumPartitions();
     std::vector<U> partials(parts, zero);
     ctx_->pool().ParallelFor(0, parts, [&](size_t p) {
-      ctx_->metrics().AddTask();
-      util::Stopwatch watch;
-      const PartitionData<T> input = node_->Compute(p);
-      U acc = zero;
-      for (const T& record : *input) acc = seq_op(std::move(acc), record);
-      partials[p] = std::move(acc);
-      ctx_->metrics().AddTaskDuration(watch.ElapsedSeconds());
+      ctx_->RunTask(p, [&] {
+        const PartitionData<T> input = node_->Compute(p);
+        U acc = zero;
+        for (const T& record : *input) acc = seq_op(std::move(acc), record);
+        partials[p] = std::move(acc);
+      });
     });
     U result = std::move(zero);
     for (U& partial : partials) {
@@ -906,8 +896,8 @@ class Rdd {
     node_->EnsureReady();
     std::vector<T> out;
     for (size_t p = 0; p < node_->NumPartitions() && out.size() < n; ++p) {
-      ctx_->metrics().AddTask();
-      const PartitionData<T> part = node_->Compute(p);
+      PartitionData<T> part;
+      ctx_->RunTask(p, [&] { part = node_->Compute(p); });
       for (const T& record : *part) {
         if (out.size() >= n) break;
         out.push_back(record);
@@ -937,10 +927,7 @@ class Rdd {
     const size_t parts = node_->NumPartitions();
     std::vector<PartitionData<T>> out(parts);
     ctx_->pool().ParallelFor(0, parts, [&](size_t p) {
-      ctx_->metrics().AddTask();
-      util::Stopwatch watch;
-      out[p] = node_->Compute(p);
-      ctx_->metrics().AddTaskDuration(watch.ElapsedSeconds());
+      ctx_->RunTask(p, [&] { out[p] = node_->Compute(p); });
     });
     return out;
   }

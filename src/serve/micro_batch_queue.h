@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -20,6 +21,13 @@
 #include "util/logging.h"
 
 namespace adrdedup::serve {
+
+// Outcome of a bounded-wait TryPush.
+enum class PushResult {
+  kOk,      // enqueued
+  kShed,    // capacity never freed within the deadline; item dropped
+  kClosed,  // queue closed; item dropped
+};
 
 template <typename T>
 class MicroBatchQueue {
@@ -55,6 +63,28 @@ class MicroBatchQueue {
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  // Bounded-wait Push: enqueues `item` if capacity frees up within
+  // `max_wait`, otherwise sheds it (graceful degradation under overload —
+  // the caller gets a typed result instead of stalling forever). A zero
+  // wait makes this a pure try-push.
+  PushResult TryPush(T item, std::chrono::microseconds max_wait) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + max_wait;
+      if (!not_full_.wait_until(lock, deadline, [&] {
+            return queue_.size() < options_.capacity || closed_;
+          })) {
+        ++sheds_;
+        return PushResult::kShed;
+      }
+      if (closed_) return PushResult::kClosed;
+      queue_.push_back(std::move(item));
+      if (queue_.size() > max_depth_seen_) max_depth_seen_ = queue_.size();
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   // Blocks for the next micro-batch (1..max_batch items). An empty vector
@@ -117,6 +147,11 @@ class MicroBatchQueue {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
   }
+  // Items dropped by TryPush deadline expiry since construction.
+  uint64_t sheds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sheds_;
+  }
 
  private:
   const Options options_;
@@ -125,6 +160,7 @@ class MicroBatchQueue {
   std::condition_variable not_full_;
   std::deque<T> queue_;
   size_t max_depth_seen_ = 0;
+  uint64_t sheds_ = 0;
   bool closed_ = false;
   // Consumer-side adaptivity state (single consumer; guarded by mutex_).
   bool last_batch_full_ = false;

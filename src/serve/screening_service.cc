@@ -91,7 +91,21 @@ util::Result<std::future<ScreenResponse>> ScreeningService::Submit(
   PendingRequest pending;
   pending.report = std::move(report);
   std::future<ScreenResponse> future = pending.promise.get_future();
-  if (!queue_.Push(std::move(pending))) {
+  if (options_.submit_deadline_ms > 0.0) {
+    const PushResult pushed = queue_.TryPush(
+        std::move(pending), std::chrono::microseconds(std::llround(
+                                options_.submit_deadline_ms * 1000.0)));
+    if (pushed == PushResult::kShed) {
+      metrics_.IncShed();
+      return util::Status::Unavailable(
+          "screening queue full: request shed after waiting " +
+          std::to_string(options_.submit_deadline_ms) + "ms");
+    }
+    if (pushed == PushResult::kClosed) {
+      metrics_.IncRejected();
+      return util::Status::FailedPrecondition("screening service stopped");
+    }
+  } else if (!queue_.Push(std::move(pending))) {
     // Closed between the running check and the push: the request was
     // never admitted, so it is answered here, via the error.
     metrics_.IncRejected();
@@ -124,9 +138,35 @@ void ScreeningService::DispatchLoop() {
 }
 
 void ScreeningService::ProcessBatch(std::vector<PendingRequest> batch) {
-  const size_t n = batch.size();
-  metrics_.RecordBatch(n);
+  metrics_.RecordBatch(batch.size());
 
+  // Answer requests whose deadline lapsed while they sat queued without
+  // screening or admitting them — under sustained overload this converts
+  // unbounded tail latency into a bounded, typed degradation.
+  if (options_.request_deadline_ms > 0.0) {
+    std::vector<PendingRequest> live;
+    live.reserve(batch.size());
+    size_t expired = 0;
+    for (PendingRequest& pending : batch) {
+      const double waited_ms = pending.enqueued.ElapsedMillis();
+      if (waited_ms > options_.request_deadline_ms) {
+        ScreenResponse response;
+        response.expired = true;
+        response.batch_size = batch.size();
+        response.queue_ms = waited_ms;
+        response.total_ms = waited_ms;
+        pending.promise.set_value(std::move(response));
+        ++expired;
+      } else {
+        live.push_back(std::move(pending));
+      }
+    }
+    if (expired > 0) metrics_.IncExpired(expired);
+    batch = std::move(live);
+    if (batch.empty()) return;
+  }
+
+  const size_t n = batch.size();
   std::vector<report::AdrReport> reports;
   reports.reserve(n);
   std::vector<double> queue_ms(n);
@@ -182,6 +222,8 @@ void ScreeningService::ProcessBatch(std::vector<PendingRequest> batch) {
 }
 
 void ScreeningService::RefreshLoop() {
+  const util::Backoff backoff(options_.refresh_backoff);
+  size_t consecutive_failures = 0;
   while (true) {
     {
       std::unique_lock<std::mutex> lock(refresh_mutex_);
@@ -201,16 +243,49 @@ void ScreeningService::RefreshLoop() {
     }
     if (labels.empty()) continue;
 
-    core::FastKnnClassifier fresh(options_.pipeline.knn);
-    fresh.Fit(labels, &ctx_->pool());
+    // A refit failure must never take down the service: the dispatcher
+    // keeps screening on the previous snapshot, the failure is counted,
+    // and the refresh is retried after a backoff.
+    try {
+      {
+        std::function<void()> hook;
+        {
+          std::lock_guard<std::mutex> lock(refresh_mutex_);
+          hook = refit_fault_hook_;
+        }
+        if (hook) hook();
+      }
+      core::FastKnnClassifier fresh(options_.pipeline.knn);
+      fresh.Fit(labels, &ctx_->pool());
 
-    // Swap: installation is a move under the lock, between micro-batches.
-    {
-      std::lock_guard<std::mutex> lock(pipeline_mutex_);
-      pipeline_->AdoptClassifier(std::move(fresh));
+      // Swap: installation is a move under the lock, between batches.
+      {
+        std::lock_guard<std::mutex> lock(pipeline_mutex_);
+        pipeline_->AdoptClassifier(std::move(fresh));
+      }
+      metrics_.IncModelSwaps();
+      consecutive_failures = 0;
+    } catch (const std::exception& e) {
+      ++consecutive_failures;
+      metrics_.IncRefreshFailures();
+      const double delay_ms = backoff.DelayMillis(consecutive_failures);
+      ADRDEDUP_LOG_WARNING << "model refresh failed (failure #"
+                           << consecutive_failures << "): " << e.what()
+                           << "; keeping generation " << model_generation()
+                           << ", retrying in " << delay_ms << "ms";
+      std::unique_lock<std::mutex> lock(refresh_mutex_);
+      refresh_cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(delay_ms),
+          [&] { return refresh_shutdown_; });
+      if (refresh_shutdown_) return;
+      refresh_requested_ = true;  // retry on the next loop iteration
     }
-    metrics_.IncModelSwaps();
   }
+}
+
+void ScreeningService::SetRefitFaultHookForTest(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(refresh_mutex_);
+  refit_fault_hook_ = std::move(hook);
 }
 
 std::string ScreeningService::MetricsJson(bool pretty) {

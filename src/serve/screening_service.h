@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,7 @@
 #include "minispark/context.h"
 #include "serve/micro_batch_queue.h"
 #include "serve/service_metrics.h"
+#include "util/backoff.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -61,6 +63,19 @@ struct ScreeningServiceOptions {
   // Automatically request a model refresh every N admitted reports
   // (0 = refresh only on TriggerRefresh()).
   size_t refresh_every = 0;
+  // Graceful degradation under overload: with a positive submit
+  // deadline, Submit() waits at most this long for queue capacity and
+  // then sheds the request (Status::Unavailable) instead of blocking
+  // indefinitely. <= 0 keeps the blocking backpressure behavior.
+  double submit_deadline_ms = 0.0;
+  // Per-request deadline: a request whose queue wait already exceeds
+  // this when its micro-batch is popped is answered expired=true without
+  // being screened or admitted. <= 0 disables.
+  double request_deadline_ms = 0.0;
+  // Wait schedule between failed background refits (the refresher keeps
+  // serving the previous snapshot and retries).
+  util::BackoffOptions refresh_backoff{
+      /*.base_ms=*/50.0, /*.multiplier=*/2.0, /*.max_ms=*/5000.0};
 };
 
 // One detected duplicate for a screened report.
@@ -80,6 +95,10 @@ struct ScreenResponse {
   uint64_t model_generation = 0;
   double queue_ms = 0.0;
   double total_ms = 0.0;
+  // True iff the request's deadline passed while it sat queued; it was
+  // answered without being screened or admitted (matches stays empty and
+  // assigned_id is meaningless).
+  bool expired = false;
 };
 
 class ScreeningService {
@@ -108,8 +127,10 @@ class ScreeningService {
 
   // --- Screening (any thread, after Start) ---
   // Enqueues one report; the future resolves when its micro-batch is
-  // screened. Blocks while the queue is full. Fails only when the
-  // service is not running.
+  // screened. Blocks while the queue is full — unless submit_deadline_ms
+  // is set, in which case an over-deadline wait sheds the request with
+  // Status::Unavailable. Fails with FailedPrecondition when the service
+  // is not running.
   util::Result<std::future<ScreenResponse>> Submit(report::AdrReport report);
   // Submit + wait.
   util::Result<ScreenResponse> Screen(report::AdrReport report);
@@ -117,6 +138,12 @@ class ScreeningService {
   // Requests an asynchronous snapshot-and-swap model refresh (coalesced
   // if one is already pending). Returns immediately.
   void TriggerRefresh();
+
+  // Chaos hook: runs inside the refresher right before each refit; a
+  // throwing hook simulates a refit failure, exercising the degradation
+  // path (keep old model, count refresh_failures, retry with backoff).
+  // Null clears. Sits next to Rdd::DropCachedPartition in spirit.
+  void SetRefitFaultHookForTest(std::function<void()> hook);
 
   // --- Observability ---
   ServiceMetrics& metrics() { return metrics_; }
@@ -156,6 +183,7 @@ class ScreeningService {
   std::condition_variable refresh_cv_;
   bool refresh_requested_ = false;
   bool refresh_shutdown_ = false;
+  std::function<void()> refit_fault_hook_;  // guarded by refresh_mutex_
   std::thread refresher_;
   // Reports admitted since the last automatic refresh request
   // (dispatcher-only state).

@@ -123,6 +123,8 @@ std::string ServiceMetrics::ToJson(std::string_view extra_json,
   w.Field("received", Load(requests_received_));
   w.Field("completed", Load(requests_completed_));
   w.Field("rejected", Load(requests_rejected_));
+  w.Field("shed", Load(requests_shed_));
+  w.Field("expired", Load(requests_expired_));
   w.EndObject();
 
   w.Key("queue");
@@ -167,6 +169,7 @@ std::string ServiceMetrics::ToJson(std::string_view extra_json,
   w.Key("model");
   w.BeginObject();
   w.Field("swaps", Load(model_swaps_));
+  w.Field("refresh_failures", Load(refresh_failures_));
   w.Field("generation", Load(model_generation_));
   w.Field("db_size", Load(db_size_));
   w.Field("positive_labels", Load(positive_labels_));

@@ -57,10 +57,15 @@ class ServiceMetrics {
   ServiceMetrics(const ServiceMetrics&) = delete;
   ServiceMetrics& operator=(const ServiceMetrics&) = delete;
 
-  // Request lifecycle.
+  // Request lifecycle. Shed = dropped by overload load-shedding (the
+  // submit deadline expired with the queue still full); expired = the
+  // request's own deadline passed while it sat queued; rejected = the
+  // service was not running.
   void IncReceived() { Inc(requests_received_); }
   void IncCompleted(uint64_t n = 1) { Add(requests_completed_, n); }
   void IncRejected() { Inc(requests_rejected_); }
+  void IncShed() { Inc(requests_shed_); }
+  void IncExpired(uint64_t n = 1) { Add(requests_expired_, n); }
 
   // Dispatch.
   void RecordBatch(size_t batch_size);
@@ -70,6 +75,8 @@ class ServiceMetrics {
     Add(pairs_after_pruning_, after_pruning);
   }
   void IncModelSwaps() { Inc(model_swaps_); }
+  // A background refit threw; the service kept the previous snapshot.
+  void IncRefreshFailures() { Inc(refresh_failures_); }
 
   // Latency, split into time spent queued and end-to-end.
   void RecordQueueWait(double ms) { queue_wait_.Record(ms); }
@@ -83,6 +90,9 @@ class ServiceMetrics {
   uint64_t requests_received() const { return Load(requests_received_); }
   uint64_t requests_completed() const { return Load(requests_completed_); }
   uint64_t requests_rejected() const { return Load(requests_rejected_); }
+  uint64_t requests_shed() const { return Load(requests_shed_); }
+  uint64_t requests_expired() const { return Load(requests_expired_); }
+  uint64_t refresh_failures() const { return Load(refresh_failures_); }
   uint64_t batches_dispatched() const { return Load(batches_dispatched_); }
   uint64_t duplicates_flagged() const { return Load(duplicates_flagged_); }
   uint64_t model_swaps() const { return Load(model_swaps_); }
@@ -114,6 +124,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> requests_received_{0};
   std::atomic<uint64_t> requests_completed_{0};
   std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> requests_expired_{0};
+  std::atomic<uint64_t> refresh_failures_{0};
   std::atomic<uint64_t> batches_dispatched_{0};
   std::atomic<uint64_t> batch_reports_{0};
   std::atomic<uint64_t> batch_max_{0};

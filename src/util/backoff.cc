@@ -1,0 +1,37 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace adrdedup::util {
+
+Backoff::Backoff(const BackoffOptions& options) : options_(options) {
+  ADRDEDUP_CHECK_GE(options_.base_ms, 0.0);
+  ADRDEDUP_CHECK_GE(options_.multiplier, 1.0);
+  ADRDEDUP_CHECK_GE(options_.max_ms, 0.0);
+}
+
+double Backoff::DelayMillis(size_t retry) const {
+  if (retry == 0) return 0.0;
+  double delay = options_.base_ms;
+  // Multiply iteratively but stop once past the cap so huge retry counts
+  // cannot overflow to inf.
+  for (size_t i = 1; i < retry && delay < options_.max_ms; ++i) {
+    delay *= options_.multiplier;
+  }
+  return std::min(delay, options_.max_ms);
+}
+
+double Backoff::SleepFor(size_t retry) const {
+  const double delay = DelayMillis(retry);
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay));
+  }
+  return delay;
+}
+
+}  // namespace adrdedup::util

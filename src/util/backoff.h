@@ -1,0 +1,43 @@
+// Deterministic exponential backoff schedules for retry loops: the
+// minispark scheduler waits between task attempts and the serving layer's
+// model refresher waits between failed refits. The schedule is a pure
+// function of the retry number — no RNG, no wall clock — so retried work
+// stays reproducible.
+#ifndef ADRDEDUP_UTIL_BACKOFF_H_
+#define ADRDEDUP_UTIL_BACKOFF_H_
+
+#include <cstddef>
+
+namespace adrdedup::util {
+
+struct BackoffOptions {
+  // Delay before the first retry, in milliseconds.
+  double base_ms = 1.0;
+  // Growth factor applied per additional retry (>= 1).
+  double multiplier = 2.0;
+  // Delay ceiling; the schedule saturates here.
+  double max_ms = 100.0;
+};
+
+// Exponential backoff: DelayMillis(r) = min(base * multiplier^(r-1), max).
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options = {});
+
+  // Delay in milliseconds before retry number `retry` (1-based). A value
+  // of 0 means "before the first attempt" and returns no delay.
+  double DelayMillis(size_t retry) const;
+
+  // Sleeps the calling thread for DelayMillis(retry); returns the delay
+  // actually slept, in milliseconds.
+  double SleepFor(size_t retry) const;
+
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+};
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_BACKOFF_H_

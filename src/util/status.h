@@ -21,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kOutOfRange = 5,
   kInternal = 6,
+  // Transient overload: the caller may retry later (load shedding).
+  kUnavailable = 7,
 };
 
 // Returns the canonical name for `code` (e.g. "InvalidArgument").
@@ -56,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

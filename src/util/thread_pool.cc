@@ -45,28 +45,42 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   const size_t num_blocks =
       std::min(count, std::max<size_t>(1, workers_.size() * 4));
   const size_t block = (count + num_blocks - 1) / num_blocks;
+  // Block exceptions are caught on the worker and parked in caller-owned
+  // slots guarded by `errors_mutex` rather than travelling through the
+  // future shared state: exception_ptr's refcounting lives in (typically
+  // uninstrumented) libstdc++, so a worker releasing the shared state
+  // while the caller inspects the rethrown exception reads as a data race
+  // under ThreadSanitizer. With the mutex, every access to the exception
+  // object after capture happens on this thread, properly ordered after
+  // the worker's store. The futures only signal block completion.
+  std::mutex errors_mutex;
+  std::vector<std::exception_ptr> errors(num_blocks);
   std::vector<std::future<void>> futures;
   futures.reserve(num_blocks);
-  for (size_t b = begin; b < end; b += block) {
+  size_t block_index = 0;
+  for (size_t b = begin; b < end; b += block, ++block_index) {
     const size_t lo = b;
     const size_t hi = std::min(end, b + block);
-    futures.push_back(Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+    std::exception_ptr* slot = &errors[block_index];
+    futures.push_back(Submit([lo, hi, slot, &fn, &errors_mutex] {
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errors_mutex);
+        *slot = std::current_exception();
+      }
     }));
   }
   // Wait for every block before surfacing any exception: unwinding while
   // later blocks are still queued would leave them running with a
-  // dangling reference to the caller's `fn`. The first captured
-  // exception is rethrown once the whole range has drained.
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  // dangling reference to the caller's `fn`. Once the whole range has
+  // drained, the first captured exception (in block order, so the lowest
+  // failing index wins deterministically) is rethrown.
+  for (auto& future : futures) future.get();
+  std::lock_guard<std::mutex> lock(errors_mutex);
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
   }
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 uint64_t ThreadPool::tasks_executed() const {

@@ -1,0 +1,307 @@
+// Chaos tests for the minispark task-attempt layer: seeded FaultInjector
+// determinism, retry-through-lineage parity (results bit-identical to a
+// fault-free run), job-level TaskFailedException once attempts are
+// exhausted, and the full Algorithm-2 pipeline under injected faults.
+// Carries the `chaos` and `sanitize` ctest labels.
+#include "minispark/fault_injector.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dedup_pipeline.h"
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "distance/pairwise.h"
+#include "distance/report_features.h"
+#include "minispark/context.h"
+#include "minispark/pair_rdd.h"
+#include "minispark/rdd.h"
+
+namespace adrdedup::minispark {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> data(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) data[static_cast<size_t>(i)] = i;
+  return data;
+}
+
+// The (partition, attempt, occurrence) fault schedule as a string, probed
+// sequentially so the occurrence counters advance identically per run.
+std::string ScheduleOf(FaultInjector& injector, size_t partitions,
+                       size_t attempts, size_t occurrences) {
+  std::string schedule;
+  for (size_t o = 0; o < occurrences; ++o) {
+    for (size_t p = 0; p < partitions; ++p) {
+      for (size_t a = 1; a <= attempts; ++a) {
+        try {
+          injector.OnTaskAttempt(p, a);
+          schedule += '.';
+        } catch (const InjectedFault&) {
+          schedule += 'X';
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+TEST(FaultInjectorTest, SameSeedSameFailureSchedule) {
+  const FaultInjector::Options options{.seed = 99,
+                                       .failure_probability = 0.3};
+  FaultInjector a(options);
+  FaultInjector b(options);
+  const std::string schedule_a = ScheduleOf(a, 9, 3, 3);
+  const std::string schedule_b = ScheduleOf(b, 9, 3, 3);
+  EXPECT_EQ(schedule_a, schedule_b);
+  // At 30% over 81 draws both outcomes must appear.
+  EXPECT_NE(schedule_a.find('X'), std::string::npos);
+  EXPECT_NE(schedule_a.find('.'), std::string::npos);
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a({.seed = 1, .failure_probability = 0.3});
+  FaultInjector b({.seed = 2, .failure_probability = 0.3});
+  EXPECT_NE(ScheduleOf(a, 9, 3, 3), ScheduleOf(b, 9, 3, 3));
+}
+
+TEST(FaultInjectorTest, RepeatOccurrencesDrawIndependently) {
+  // The same (partition, attempt) probed across many stages must not be
+  // doomed to a single fate: at 50% over 64 occurrences of (0, 1) both
+  // outcomes appear.
+  FaultInjector injector({.seed = 7, .failure_probability = 0.5});
+  const std::string schedule = ScheduleOf(injector, 1, 1, 64);
+  EXPECT_NE(schedule.find('X'), std::string::npos);
+  EXPECT_NE(schedule.find('.'), std::string::npos);
+}
+
+TEST(ChaosTest, RetriedTasksProduceIdenticalResults) {
+  std::vector<int> clean;
+  {
+    SparkContext ctx({.num_executors = 4});
+    clean = ctx.Parallelize(Iota(1000), 8)
+                .Map<int>([](const int& x) { return x * 2 + 1; })
+                .Collect();
+  }
+
+  FaultInjector injector({.seed = 42, .failure_probability = 0.4});
+  SparkContext ctx({.num_executors = 4, .fault_injector = &injector});
+  const std::vector<int> chaotic =
+      ctx.Parallelize(Iota(1000), 8)
+          .Map<int>([](const int& x) { return x * 2 + 1; })
+          .Collect();
+
+  EXPECT_EQ(chaotic, clean);
+  const auto metrics = ctx.metrics().Snapshot();
+  EXPECT_GT(injector.faults_injected(), 0u);
+  EXPECT_GT(metrics.tasks_failed, 0u);
+  EXPECT_GT(metrics.tasks_retried, 0u);
+  EXPECT_GT(metrics.task_backoff_ms, 0.0);
+  // Every failure either got a retry or would have failed the job.
+  EXPECT_EQ(metrics.tasks_failed, metrics.tasks_retried);
+}
+
+TEST(ChaosTest, ChaosThroughShuffleMatchesCleanRun) {
+  const auto job = [](SparkContext& ctx) {
+    auto pairs = ctx.Parallelize(Iota(500), 6)
+                     .Map<std::pair<int, int>>([](const int& x) {
+                       return std::make_pair(x % 17, x);
+                     });
+    auto sums = ReduceByKey(pairs, [](int a, int b) { return a + b; });
+    auto out = sums.Collect();
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  std::vector<std::pair<int, int>> clean;
+  {
+    SparkContext ctx({.num_executors = 4});
+    clean = job(ctx);
+  }
+  FaultInjector injector({.seed = 7, .failure_probability = 0.25});
+  SparkContext ctx({.num_executors = 4, .fault_injector = &injector});
+  EXPECT_EQ(job(ctx), clean);
+  EXPECT_GT(injector.faults_injected(), 0u);
+}
+
+TEST(ChaosTest, InjectedDelaysNeverChangeResults) {
+  FaultInjector injector(
+      {.seed = 3, .delay_probability = 0.5, .max_delay_ms = 2.0});
+  SparkContext ctx({.num_executors = 4, .fault_injector = &injector});
+  const std::vector<int> out =
+      ctx.Parallelize(Iota(200), 8)
+          .Filter([](const int& x) { return x % 3 == 0; })
+          .Collect();
+  std::vector<int> expected;
+  for (int i = 0; i < 200; i += 3) expected.push_back(i);
+  EXPECT_EQ(out, expected);
+  EXPECT_GT(injector.delays_injected(), 0u);
+  EXPECT_EQ(injector.faults_injected(), 0u);
+}
+
+TEST(ChaosTest, ScriptedFaultIsRetriedOnceWithIdenticalResult) {
+  FaultInjector injector({.seed = 1});
+  injector.FailPartitionOnAttempt(2, 1);
+  SparkContext ctx({.num_executors = 4, .fault_injector = &injector});
+  const std::vector<int> out = ctx.Parallelize(Iota(100), 8).Collect();
+  EXPECT_EQ(out, Iota(100));
+  EXPECT_EQ(injector.faults_injected(), 1u);
+  const auto metrics = ctx.metrics().Snapshot();
+  EXPECT_EQ(metrics.tasks_failed, 1u);
+  EXPECT_EQ(metrics.tasks_retried, 1u);
+  // 8 partitions, one of which took two attempts.
+  EXPECT_EQ(metrics.tasks_launched, 9u);
+}
+
+TEST(ChaosTest, ExhaustedRetriesSurfaceJobLevelError) {
+  FaultInjector injector({.seed = 1});
+  // Script every attempt partition 3 will ever get.
+  for (size_t attempt = 1; attempt <= 4; ++attempt) {
+    injector.FailPartitionOnAttempt(3, attempt);
+  }
+  SparkContext ctx({.num_executors = 4,
+                    .max_task_failures = 4,
+                    .fault_injector = &injector});
+  auto rdd = ctx.Parallelize(Iota(100), 8);
+  try {
+    rdd.Collect();
+    FAIL() << "expected TaskFailedException";
+  } catch (const TaskFailedException& e) {
+    EXPECT_EQ(e.partition(), 3u);
+    EXPECT_EQ(e.attempts(), 4u);
+    EXPECT_NE(std::string(e.what()).find("partition 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(e.root_cause().find("injected fault"), std::string::npos)
+        << e.root_cause();
+  }
+  EXPECT_EQ(ctx.metrics().Snapshot().tasks_failed, 4u);
+  // The scheduler stays usable after a failed job.
+  EXPECT_EQ(ctx.Parallelize(Iota(10), 2).Count(), 10u);
+}
+
+TEST(ChaosTest, MaxTaskFailuresOneFailsFastWithoutRetry) {
+  FaultInjector injector({.seed = 1});
+  injector.FailPartitionOnAttempt(0, 1);
+  SparkContext ctx({.num_executors = 2,
+                    .max_task_failures = 1,
+                    .fault_injector = &injector});
+  auto rdd = ctx.Parallelize(Iota(50), 4);
+  EXPECT_THROW(rdd.Collect(), TaskFailedException);
+  const auto metrics = ctx.metrics().Snapshot();
+  EXPECT_EQ(metrics.tasks_failed, 1u);
+  EXPECT_EQ(metrics.tasks_retried, 0u);
+}
+
+TEST(ChaosTest, InjectorSwappableAtRuntime) {
+  SparkContext ctx({.num_executors = 2});
+  EXPECT_EQ(ctx.Parallelize(Iota(20), 4).Count(), 20u);
+
+  FaultInjector always({.seed = 1});
+  always.FailPartitionOnAttempt(1, 1);
+  ctx.set_fault_injector(&always);
+  EXPECT_EQ(ctx.Parallelize(Iota(20), 4).Count(), 20u);  // retried
+  EXPECT_EQ(always.faults_injected(), 1u);
+
+  ctx.set_fault_injector(nullptr);
+  const auto before = ctx.metrics().Snapshot().tasks_failed;
+  EXPECT_EQ(ctx.Parallelize(Iota(20), 4).Count(), 20u);
+  EXPECT_EQ(ctx.metrics().Snapshot().tasks_failed, before);
+}
+
+// Full Algorithm-2 integration: the dedup pipeline (blocking, distance
+// vectors via spark, Fast kNN scoring via spark) under a 10% per-task
+// fault rate must produce bit-identical detections to the clean run.
+TEST(ChaosTest, DedupPipelineParityUnderInjectedFaults) {
+  datagen::GeneratorConfig config;
+  config.num_reports = 300;
+  config.num_duplicate_pairs = 30;
+  config.num_drugs = 80;
+  config.num_adrs = 120;
+  const auto corpus = datagen::GenerateCorpus(config);
+  const auto features = distance::ExtractAllFeatures(corpus.db);
+
+  // The generator appends duplicate copies after all originals (270
+  // originals + 30 copies here), so the bootstrap cut must land inside
+  // the copy range for the seed to hold positive labels.
+  const size_t boot = 285;
+  std::vector<report::AdrReport> bootstrap;
+  std::vector<report::AdrReport> stream;
+  for (size_t i = 0; i < corpus.db.size(); ++i) {
+    auto& dest = i < boot ? bootstrap : stream;
+    dest.push_back(corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  std::set<uint64_t> dup_keys;
+  for (auto [a, b] : corpus.duplicate_pairs) {
+    dup_keys.insert(distance::PairKey({std::min(a, b), std::max(a, b)}));
+  }
+  std::vector<distance::LabeledPair> seed;
+  for (auto [a, b] : corpus.duplicate_pairs) {
+    if (a >= boot || b >= boot) continue;
+    distance::LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    pair.label = +1;
+    pair.vector = distance::ComputeDistanceVector(features[a], features[b]);
+    seed.push_back(pair);
+  }
+  util::Rng rng(21);
+  while (seed.size() < 600) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(boot));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(boot));
+    if (a == b) continue;
+    distance::ReportPair pair{std::min(a, b), std::max(a, b)};
+    if (dup_keys.contains(distance::PairKey(pair))) continue;
+    distance::LabeledPair labeled;
+    labeled.pair = pair;
+    labeled.label = -1;
+    labeled.vector =
+        distance::ComputeDistanceVector(features[pair.a], features[pair.b]);
+    seed.push_back(labeled);
+  }
+
+  core::DedupPipelineOptions options;
+  options.knn.k = 5;
+  options.knn.num_clusters = 8;
+  options.theta = 0.0;
+  options.f_theta = -1.0;  // no pruning: keep both runs on one code path
+  options.use_blocking = false;
+  options.auto_refit = false;
+
+  const auto run = [&](SparkContext& ctx) {
+    core::DedupPipeline pipeline(&ctx, options);
+    pipeline.BootstrapDatabase(bootstrap);
+    pipeline.SeedLabels(seed);
+    return pipeline.ProcessNewReports(stream);
+  };
+
+  core::DedupPipeline::DetectionResult clean;
+  {
+    SparkContext ctx({.num_executors = 4});
+    clean = run(ctx);
+  }
+
+  FaultInjector injector({.seed = 2026, .failure_probability = 0.1});
+  SparkContext ctx({.num_executors = 4, .fault_injector = &injector});
+  const auto chaotic = run(ctx);
+
+  ASSERT_FALSE(clean.duplicates.empty());
+  ASSERT_EQ(chaotic.duplicates.size(), clean.duplicates.size());
+  for (size_t i = 0; i < clean.duplicates.size(); ++i) {
+    EXPECT_EQ(chaotic.duplicates[i].a, clean.duplicates[i].a);
+    EXPECT_EQ(chaotic.duplicates[i].b, clean.duplicates[i].b);
+    EXPECT_EQ(chaotic.scores[i], clean.scores[i]) << "score drifted at " << i;
+  }
+  EXPECT_EQ(chaotic.pairs_considered, clean.pairs_considered);
+
+  const auto metrics = ctx.metrics().Snapshot();
+  EXPECT_GT(injector.faults_injected(), 0u);
+  EXPECT_GT(metrics.tasks_retried, 0u)
+      << "chaos run never exercised a retry; raise the corpus size";
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark

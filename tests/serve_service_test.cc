@@ -5,9 +5,11 @@
 #include "serve/screening_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -109,6 +111,82 @@ TEST(MicroBatchQueueTest, CloseDrainsThenFailsPush) {
   EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
   EXPECT_TRUE(queue.PopBatch().empty());
   EXPECT_TRUE(queue.closed());
+}
+
+TEST(MicroBatchQueueTest, TryPushShedsWhenFullAndNoConsumer) {
+  MicroBatchQueue<int> queue({.capacity = 2,
+                              .max_batch = 4,
+                              .max_linger = std::chrono::microseconds(0)});
+  const auto wait = std::chrono::microseconds(2000);
+  EXPECT_EQ(queue.TryPush(1, wait), PushResult::kOk);
+  EXPECT_EQ(queue.TryPush(2, wait), PushResult::kOk);
+  // Full, nobody draining: the bounded wait elapses and the push sheds
+  // instead of blocking forever.
+  EXPECT_EQ(queue.TryPush(3, wait), PushResult::kShed);
+  EXPECT_EQ(queue.sheds(), 1u);
+
+  // Draining restores admission.
+  EXPECT_EQ(queue.PopBatch(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.TryPush(4, wait), PushResult::kOk);
+
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(5, wait), PushResult::kClosed);
+  EXPECT_EQ(queue.sheds(), 1u);  // closed is not a shed
+  EXPECT_EQ(queue.PopBatch(), (std::vector<int>{4}));
+}
+
+TEST(MicroBatchQueueTest, TryPushAdmitsOnceConsumerFreesASlot) {
+  MicroBatchQueue<int> queue({.capacity = 1,
+                              .max_batch = 1,
+                              .max_linger = std::chrono::microseconds(0)});
+  EXPECT_EQ(queue.TryPush(1, std::chrono::microseconds(0)), PushResult::kOk);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(queue.PopBatch(), (std::vector<int>{1}));
+  });
+  // Generous bound: the consumer frees the slot well within one second.
+  EXPECT_EQ(queue.TryPush(2, std::chrono::microseconds(1000000)),
+            PushResult::kOk);
+  consumer.join();
+  EXPECT_EQ(queue.sheds(), 0u);
+  queue.Close();
+}
+
+TEST(MicroBatchQueueTest, CloseWhileFullUnblocksProducers) {
+  MicroBatchQueue<int> queue({.capacity = 1,
+                              .max_batch = 4,
+                              .max_linger = std::chrono::microseconds(0)});
+  EXPECT_TRUE(queue.Push(1));  // fill the queue
+  std::vector<std::thread> producers;
+  std::atomic<int> rejected{0};
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      // Blocks on the full queue until Close(), then must return false.
+      if (!queue.Push(100)) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(rejected.load(), 2);
+  EXPECT_EQ(queue.PopBatch(), (std::vector<int>{1}));
+  EXPECT_TRUE(queue.PopBatch().empty());
+}
+
+TEST(MicroBatchQueueTest, CloseWhileWaitingPopReturnsEmpty) {
+  MicroBatchQueue<int> queue({.capacity = 4,
+                              .max_batch = 4,
+                              .max_linger = std::chrono::microseconds(0)});
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_TRUE(queue.PopBatch().empty());  // blocks on the empty queue
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
 }
 
 // ---------------------------------------------------------------------------
@@ -415,6 +493,142 @@ TEST(ScreeningServiceTest, RejectsWhenNotRunning) {
   const std::string json = service.MetricsJson();
   EXPECT_NE(json.find("\"completed\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"minispark\""), std::string::npos) << json;
+}
+
+// A refit failure must degrade, never crash: the service keeps answering
+// on the previous model generation, counts the failure, and the backoff
+// retry succeeds once the fault clears.
+TEST(ScreeningServiceTest, RefitFailureKeepsServingPreviousModel) {
+  auto& fixture = Fixture();
+  const size_t boot = 960;
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.refresh_backoff = {.base_ms = 1.0, .multiplier = 2.0,
+                             .max_ms = 10.0};  // keep the test fast
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 2000));
+  service.SetRefitFaultHookForTest(
+      [] { throw std::runtime_error("injected refit failure"); });
+  service.Start();
+  const uint64_t generation_before = service.model_generation();
+
+  service.TriggerRefresh();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (service.metrics().refresh_failures() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(service.metrics().refresh_failures(), 1u)
+      << "injected refit failure never surfaced";
+
+  // The old snapshot keeps serving.
+  EXPECT_EQ(service.model_generation(), generation_before);
+  EXPECT_EQ(service.metrics().model_swaps(), 0u);
+  auto response = service.Screen(
+      fixture.corpus.db.Get(static_cast<report::ReportId>(boot)));
+  ASSERT_TRUE(response.ok()) << "service died after a refit failure";
+  EXPECT_EQ(response.value().model_generation, generation_before);
+
+  // Clear the fault: the backoff retry installs a fresh model without a
+  // new TriggerRefresh().
+  service.SetRefitFaultHookForTest(nullptr);
+  while (service.metrics().model_swaps() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  service.Stop();
+  EXPECT_GE(service.metrics().refresh_failures(), 1u);
+  EXPECT_GE(service.metrics().model_swaps(), 1u);
+  EXPECT_GT(service.model_generation(), generation_before);
+}
+
+// A request that out-waits its deadline in the queue is answered with a
+// typed expired response instead of being screened late: the report is
+// never admitted to the database.
+TEST(ScreeningServiceTest, ExpiredRequestsAnsweredWithoutScreening) {
+  auto& fixture = Fixture();
+  const size_t boot = 980;
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.max_batch = 8;
+  // The lone request lingers ~20ms waiting for batch-mates, far past its
+  // 1ms deadline — expiry is deterministic, not a scheduling race.
+  options.max_linger_ms = 20.0;
+  options.request_deadline_ms = 1.0;
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 1000));
+  service.Start();
+
+  auto response = service.Screen(
+      fixture.corpus.db.Get(static_cast<report::ReportId>(boot)));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().expired);
+  EXPECT_TRUE(response.value().matches.empty());
+  EXPECT_GT(response.value().queue_ms, 1.0);
+  service.Stop();
+
+  EXPECT_EQ(service.metrics().requests_expired(), 1u);
+  EXPECT_EQ(service.metrics().requests_completed(), 0u);
+  EXPECT_EQ(service.db_size(), boot);  // never admitted
+}
+
+// Under sustained overload with a submit deadline, excess requests are
+// shed with a typed Unavailable status; every request is accounted for as
+// completed or shed, and the service keeps making progress.
+TEST(ScreeningServiceTest, OverloadShedsInsteadOfBlocking) {
+  auto& fixture = Fixture();
+  const size_t boot = 920;
+  constexpr size_t kProducers = 8;
+  const auto stream = Slice(fixture, boot, fixture.corpus.db.size());
+
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.queue_capacity = 1;   // overload is reached immediately
+  options.max_batch = 1;        // every batch pays a full screening pass
+  options.max_linger_ms = 0.0;
+  options.submit_deadline_ms = 0.5;
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 2000));
+  service.Start();
+
+  std::atomic<size_t> shed{0};
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = p; i < stream.size(); i += kProducers) {
+        auto response = service.Screen(stream[i]);
+        if (response.ok()) {
+          answered.fetch_add(1);
+        } else {
+          ASSERT_EQ(response.status().code(),
+                    util::StatusCode::kUnavailable)
+              << response.status().ToString();
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  service.Stop();
+
+  EXPECT_EQ(answered.load() + shed.load(), stream.size());
+  EXPECT_EQ(service.metrics().requests_received(), stream.size());
+  EXPECT_EQ(service.metrics().requests_completed(), answered.load());
+  EXPECT_EQ(service.metrics().requests_shed(), shed.load());
+  EXPECT_GE(answered.load(), 1u) << "service made no progress";
+  EXPECT_GE(shed.load(), 1u)
+      << "96 one-report screening passes outran 0.5ms submit deadlines";
+  // Shed requests are visible in the exported metrics.
+  const std::string json = service.MetricsJson();
+  EXPECT_NE(json.find("\"shed\":"), std::string::npos) << json;
 }
 
 }  // namespace

@@ -1,0 +1,50 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace adrdedup::util {
+namespace {
+
+TEST(BackoffTest, GrowsExponentiallyThenSaturates) {
+  Backoff backoff({.base_ms = 1.0, .multiplier = 2.0, .max_ms = 10.0});
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(1), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(2), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(3), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(4), 8.0);
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(5), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(6), 10.0);
+}
+
+TEST(BackoffTest, RetryZeroMeansNoDelay) {
+  Backoff backoff({.base_ms = 5.0, .multiplier = 3.0, .max_ms = 100.0});
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(0), 0.0);
+}
+
+TEST(BackoffTest, MultiplierOneIsConstant) {
+  Backoff backoff({.base_ms = 2.5, .multiplier = 1.0, .max_ms = 100.0});
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(1), 2.5);
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(10), 2.5);
+}
+
+TEST(BackoffTest, CapBelowBaseClampsImmediately) {
+  Backoff backoff({.base_ms = 8.0, .multiplier = 2.0, .max_ms = 3.0});
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(1), 3.0);
+}
+
+TEST(BackoffTest, HugeRetryCountDoesNotOverflow) {
+  Backoff backoff({.base_ms = 1.0, .multiplier = 10.0, .max_ms = 50.0});
+  EXPECT_DOUBLE_EQ(backoff.DelayMillis(1000000), 50.0);
+}
+
+TEST(BackoffTest, SleepForWaitsAtLeastTheDelay) {
+  Backoff backoff({.base_ms = 5.0, .multiplier = 2.0, .max_ms = 5.0});
+  Stopwatch watch;
+  EXPECT_DOUBLE_EQ(backoff.SleepFor(1), 5.0);
+  EXPECT_GE(watch.ElapsedMillis(), 4.0);  // scheduler slop tolerated
+  EXPECT_DOUBLE_EQ(backoff.SleepFor(0), 0.0);
+}
+
+}  // namespace
+}  // namespace adrdedup::util

@@ -136,6 +136,48 @@ TEST(ThreadPoolTest, ParallelForUsableAfterThrow) {
   EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPoolTest, ParallelForWithPerIterationRetriesDrainsAndKeepsFirstCause) {
+  // The task-attempt pattern minispark layers on top of ParallelFor: each
+  // iteration retries its body a bounded number of times and rethrows the
+  // last cause once exhausted. ParallelFor must still drain every block
+  // and surface the exception from the lowest block/index — iteration 3,
+  // not iteration 7 — so job-level errors are deterministic.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> attempts_3{0};
+  std::atomic<int> attempts_7{0};
+  const auto attempt_with_retries = [&](size_t i) {
+    constexpr int kMaxAttempts = 3;
+    for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+      try {
+        if (i == 3) {
+          ++attempts_3;
+          throw std::runtime_error("iteration 3 exhausted");
+        }
+        if (i == 7) {
+          ++attempts_7;
+          throw std::runtime_error("iteration 7 exhausted");
+        }
+        ++ran;
+        return;
+      } catch (...) {
+        if (attempt == kMaxAttempts) throw;
+      }
+    }
+  };
+  try {
+    pool.ParallelFor(0, 16, attempt_with_retries);
+    FAIL() << "expected the exhausted retries to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "iteration 3 exhausted");
+  }
+  // Every healthy iteration ran despite two iterations failing, and both
+  // failing iterations used their full retry budget.
+  EXPECT_EQ(ran.load(), 14);
+  EXPECT_EQ(attempts_3.load(), 3);
+  EXPECT_EQ(attempts_7.load(), 3);
+}
+
 TEST(ThreadPoolTest, ParallelForPropagatesWorkOrderIndependence) {
   // Result must not depend on thread count.
   auto run = [](size_t threads) {

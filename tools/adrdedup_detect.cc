@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <unordered_set>
 
 #include "blocking/blocking.h"
+#include "minispark/fault_injector.h"
 #include "core/fast_knn.h"
 #include "core/model_io.h"
 #include "distance/pair_dataset.h"
@@ -44,7 +46,8 @@ int Main(int argc, char** argv) {
   if (auto status = flags.ExpectOnly(
           {"reports", "truth", "audit-tail", "theta", "k", "clusters",
            "negatives", "executors", "out", "save-model", "load-model",
-           "use-blocking", "seed", "metrics-out", "help"});
+           "use-blocking", "seed", "metrics-out", "max-task-failures",
+           "chaos-rate", "chaos-seed", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -53,8 +56,14 @@ int Main(int argc, char** argv) {
                  "--truth=truth.csv [--audit-tail=N] [--theta=X] [--k=N] "
                  "[--clusters=N] [--negatives=N] [--executors=N] "
                  "[--out=detections.csv] [--save-model=F|--load-model=F] "
-                 "[--use-blocking] [--seed=N] [--metrics-out=F]\n";
+                 "[--use-blocking] [--seed=N] [--metrics-out=F] "
+                 "[--max-task-failures=N] [--chaos-rate=P] "
+                 "[--chaos-seed=N]\n";
     return flags.GetBool("help", false) ? 0 : 1;
+  }
+  if (flags.Has("save-model") && flags.Has("load-model")) {
+    return Fail(util::Status::InvalidArgument(
+        "--save-model and --load-model are mutually exclusive"));
   }
   util::Stopwatch total_watch;
   util::Stopwatch stage_watch;
@@ -94,11 +103,16 @@ int Main(int argc, char** argv) {
   auto k = flags.GetInt("k", 9);
   auto clusters = flags.GetInt("clusters", 32);
   auto seed = flags.GetInt("seed", 7);
+  auto max_task_failures = flags.GetInt("max-task-failures", 4);
+  auto chaos_rate = flags.GetDouble("chaos-rate", 0.0);
+  auto chaos_seed = flags.GetInt("chaos-seed", 1234);
   for (const auto* result : {&executors, &audit_tail, &negatives, &k,
-                             &clusters, &seed}) {
+                             &clusters, &seed, &max_task_failures,
+                             &chaos_seed}) {
     if (!result->ok()) return Fail(result->status());
   }
   if (!theta.ok()) return Fail(theta.status());
+  if (!chaos_rate.ok()) return Fail(chaos_rate.status());
   // Reject values that would otherwise wrap through size_t casts or hit
   // CHECKs deep inside k-means/kNN with no actionable message.
   if (k.value() <= 0) {
@@ -126,9 +140,32 @@ int Main(int argc, char** argv) {
         "--audit-tail must be non-negative, got " +
         std::to_string(audit_tail.value())));
   }
+  if (max_task_failures.value() <= 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--max-task-failures must be positive, got " +
+        std::to_string(max_task_failures.value())));
+  }
+  if (chaos_rate.value() < 0.0 || chaos_rate.value() >= 1.0) {
+    return Fail(util::Status::InvalidArgument(
+        "--chaos-rate must be in [0, 1), got " +
+        std::to_string(chaos_rate.value())));
+  }
 
+  // --chaos-rate plugs the deterministic fault injector into the
+  // scheduler so fault-tolerance overhead and parity are reproducible
+  // from the command line (see EXPERIMENTS.md). The injector must
+  // outlive the context.
+  std::unique_ptr<minispark::FaultInjector> chaos;
+  if (chaos_rate.value() > 0.0) {
+    chaos = std::make_unique<minispark::FaultInjector>(
+        minispark::FaultInjector::Options{
+            .seed = static_cast<uint64_t>(chaos_seed.value()),
+            .failure_probability = chaos_rate.value()});
+  }
   minispark::SparkContext ctx(
-      {.num_executors = static_cast<size_t>(executors.value())});
+      {.num_executors = static_cast<size_t>(executors.value()),
+       .max_task_failures = static_cast<size_t>(max_task_failures.value()),
+       .fault_injector = chaos.get()});
   util::ThreadPool& pool = ctx.pool();
   const auto features = distance::ExtractAllFeatures(db, {}, &pool);
   std::cerr << "loaded " << db.size() << " reports, " << truth.size()
@@ -244,6 +281,13 @@ int Main(int argc, char** argv) {
   }
   const auto scores = classifier.ScoreAllSpark(&ctx, queries);
   score_seconds = stage_watch.ElapsedSeconds();
+  if (chaos) {
+    const auto spark = ctx.metrics().Snapshot();
+    std::cerr << "chaos: injected " << chaos->faults_injected()
+              << " faults, tasks_failed=" << spark.tasks_failed
+              << " tasks_retried=" << spark.tasks_retried
+              << " backoff_ms=" << spark.task_backoff_ms << "\n";
+  }
 
   std::vector<util::CsvRow> detections;
   detections.push_back({"case_number_a", "case_number_b", "score"});
@@ -302,4 +346,14 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace adrdedup
 
-int main(int argc, char** argv) { return adrdedup::Main(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return adrdedup::Main(argc, argv);
+  } catch (const std::exception& e) {
+    // Anything that escapes — including a minispark TaskFailedException
+    // once retries are exhausted — becomes a clean one-line failure
+    // instead of std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -169,7 +169,18 @@ int RunStdin(serve::ScreeningService& service, std::istream& in,
     report::AdrReport report;
     for (size_t c = 0; c < row.size(); ++c) report.Set(columns[c], row[c]);
     auto response = service.Screen(report);
-    if (!response.ok()) return Fail(response.status());
+    if (!response.ok()) {
+      // Shedding is per-request degradation, not a service failure.
+      if (response.status().code() == util::StatusCode::kUnavailable) {
+        std::cerr << "shed: " << report.case_number() << "\n";
+        continue;
+      }
+      return Fail(response.status());
+    }
+    if (response.value().expired) {
+      std::cerr << "expired: " << report.case_number() << "\n";
+      continue;
+    }
     PrintMatches(report, response.value(), out);
     out.flush();
     ++screened;
@@ -181,6 +192,8 @@ int RunStdin(serve::ScreeningService& service, std::istream& in,
 struct ReplayResult {
   size_t screened = 0;
   size_t matches = 0;
+  size_t shed = 0;     // dropped by overload load-shedding
+  size_t expired = 0;  // answered past their deadline, unscreened
   std::vector<std::string> detections;  // "a,b,score" lines
 };
 
@@ -209,10 +222,21 @@ int RunReplay(serve::ScreeningService& service,
         }
         auto response = service.Screen(tail_reports[i]);
         if (!response.ok()) {
+          // A shed request is expected degradation under overload with
+          // --submit-deadline-ms set; keep replaying.
+          if (response.status().code() == util::StatusCode::kUnavailable) {
+            ++sent;
+            per_client[c].shed += 1;
+            continue;
+          }
           failed.store(true);
           return;
         }
         ++sent;
+        if (response.value().expired) {
+          per_client[c].expired += 1;
+          continue;
+        }
         per_client[c].screened += 1;
         per_client[c].matches += response.value().matches.size();
         for (const auto& match : response.value().matches) {
@@ -231,9 +255,13 @@ int RunReplay(serve::ScreeningService& service,
   }
   size_t screened = 0;
   size_t matches = 0;
+  size_t shed = 0;
+  size_t expired = 0;
   for (auto& result : per_client) {
     screened += result.screened;
     matches += result.matches;
+    shed += result.shed;
+    expired += result.expired;
     if (detections != nullptr) {
       detections->insert(detections->end(), result.detections.begin(),
                          result.detections.end());
@@ -244,6 +272,10 @@ int RunReplay(serve::ScreeningService& service,
             << " clients in " << seconds << "s ("
             << static_cast<double>(screened) / seconds << " req/s), "
             << matches << " matches\n";
+  if (shed > 0 || expired > 0) {
+    std::cout << "degraded: " << shed << " shed, " << expired
+              << " expired past deadline\n";
+  }
   std::cout << "latency ms: p50=" << latency.p50_ms
             << " p95=" << latency.p95_ms << " p99=" << latency.p99_ms
             << " max=" << latency.max_ms << "\n";
@@ -258,6 +290,7 @@ int Main(int argc, char** argv) {
           {"reports", "truth", "tail", "qps", "clients", "stdin", "theta",
            "k", "clusters", "negatives", "executors", "use-blocking", "seed",
            "max-batch", "linger-ms", "queue-capacity", "refresh-every",
+           "submit-deadline-ms", "request-deadline-ms",
            "load-model", "out", "metrics-out", "help"});
       !status.ok()) {
     return Fail(status);
@@ -269,8 +302,15 @@ int Main(int argc, char** argv) {
                  "[--negatives=N] [--executors=N] [--use-blocking] "
                  "[--seed=N] [--max-batch=N] [--linger-ms=X] "
                  "[--queue-capacity=N] [--refresh-every=N] "
+                 "[--submit-deadline-ms=X] [--request-deadline-ms=X] "
                  "[--load-model=F] [--out=F] [--metrics-out=F]\n";
     return flags.GetBool("help", false) ? 0 : 1;
+  }
+  if (flags.GetBool("stdin", false) &&
+      (flags.Has("qps") || flags.Has("clients") || flags.Has("out"))) {
+    return Fail(util::Status::InvalidArgument(
+        "--stdin is interactive; it cannot be combined with the replay "
+        "flags --qps, --clients or --out"));
   }
 
   auto tail_flag = flags.GetInt("tail", 500);
@@ -286,12 +326,15 @@ int Main(int argc, char** argv) {
   auto linger_ms = flags.GetDouble("linger-ms", 2.0);
   auto queue_capacity = flags.GetInt("queue-capacity", 1024);
   auto refresh_every = flags.GetInt("refresh-every", 0);
+  auto submit_deadline_ms = flags.GetDouble("submit-deadline-ms", 0.0);
+  auto request_deadline_ms = flags.GetDouble("request-deadline-ms", 0.0);
   for (const auto* result :
        {&tail_flag, &clients, &k, &clusters, &negatives, &executors, &seed,
         &max_batch, &queue_capacity, &refresh_every}) {
     if (!result->ok()) return Fail(result->status());
   }
-  for (const auto* result : {&qps, &theta, &linger_ms}) {
+  for (const auto* result :
+       {&qps, &theta, &linger_ms, &submit_deadline_ms, &request_deadline_ms}) {
     if (!result->ok()) return Fail(result->status());
   }
   if (k.value() <= 0 || clusters.value() <= 0 || executors.value() <= 0 ||
@@ -303,10 +346,12 @@ int Main(int argc, char** argv) {
   }
   if (tail_flag.value() < 0 || negatives.value() < 0 ||
       refresh_every.value() < 0 || qps.value() < 0.0 ||
-      linger_ms.value() < 0.0) {
+      linger_ms.value() < 0.0 || submit_deadline_ms.value() < 0.0 ||
+      request_deadline_ms.value() < 0.0) {
     return Fail(util::Status::InvalidArgument(
-        "--tail, --negatives, --refresh-every, --qps and --linger-ms must "
-        "be non-negative"));
+        "--tail, --negatives, --refresh-every, --qps, --linger-ms, "
+        "--submit-deadline-ms and --request-deadline-ms must be "
+        "non-negative"));
   }
 
   auto db_result = report::ReadCsv(flags.GetString("reports", ""));
@@ -335,6 +380,8 @@ int Main(int argc, char** argv) {
   options.max_batch = static_cast<size_t>(max_batch.value());
   options.max_linger_ms = linger_ms.value();
   options.refresh_every = static_cast<size_t>(refresh_every.value());
+  options.submit_deadline_ms = submit_deadline_ms.value();
+  options.request_deadline_ms = request_deadline_ms.value();
 
   serve::ScreeningService service(&ctx, options);
 
@@ -410,4 +457,13 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace adrdedup
 
-int main(int argc, char** argv) { return adrdedup::Main(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return adrdedup::Main(argc, argv);
+  } catch (const std::exception& e) {
+    // Any stray exception becomes a clean one-line failure instead of
+    // std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
