@@ -1,0 +1,166 @@
+// Storage spill — persist/spill parity and overhead under memory
+// pressure: the distance stage is persisted MEMORY_AND_DISK and scored
+// as a second action over the same materialized blocks (DESIGN.md §5d).
+// An unbounded-budget run establishes the baseline detections and the
+// total block bytes; a budget sweep then shrinks the block manager's
+// memory to fractions of that total, forcing LRU eviction to spill
+// blocks to CRC-checked files and read them back on the scoring pass.
+// Every budgeted run must reproduce the unbounded scores bit-identically
+// (spilled bytes round-trip exactly); the bench reports the wall-clock
+// overhead spilling costs and FAILS (exit 1) on any divergence, or if
+// the tightest budget did not spill at least 30% of stored blocks.
+#include <cstdint>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/fast_knn.h"
+#include "distance/pairwise.h"
+#include "minispark/context.h"
+#include "minispark/rdd.h"
+#include "minispark/storage/storage_level.h"
+
+namespace adrdedup::bench {
+namespace {
+
+constexpr double kBudgetFractions[] = {0.5, 0.25, 0.1};
+constexpr size_t kBlocks = 16;
+constexpr double kThreshold = 0.5;
+
+struct RunResult {
+  std::vector<double> scores;
+  size_t detections = 0;
+  double seconds = 0.0;
+  minispark::MetricsSnapshot metrics;
+};
+
+RunResult RunPersistedScoring(const std::vector<distance::ReportFeatures>& features,
+                              const std::vector<distance::ReportPair>& pairs,
+                              const core::FastKnnClassifier& classifier,
+                              uint64_t memory_budget_bytes) {
+  minispark::SparkContext ctx(
+      {.num_executors = 4, .memory_budget_bytes = memory_budget_bytes});
+  util::Stopwatch watch;
+  auto stage = distance::PairDistancesRdd(&ctx, features, pairs, {}, kBlocks)
+                   .Persist(minispark::storage::StorageLevel::kMemoryAndDisk);
+  // Action 1 materializes the distance vectors (the pruning pass of the
+  // pipeline); action 2 re-reads the same blocks to score, so a tight
+  // budget forces the scoring pass through the spill files.
+  const auto vectors = stage.Collect();
+  const core::FastKnnClassifier* clf = &classifier;
+  auto scored =
+      stage
+          .MapPartitionsWithIndex<std::pair<size_t, double>>(
+              [clf](size_t,
+                    const std::vector<std::pair<size_t, distance::DistanceVector>>&
+                        records) {
+                core::FastKnnScratch scratch;
+                std::vector<std::pair<size_t, double>> out;
+                out.reserve(records.size());
+                for (const auto& [index, vector] : records) {
+                  out.emplace_back(index, clf->Score(vector, &scratch));
+                }
+                return out;
+              })
+          .Collect();
+
+  RunResult result;
+  result.scores.resize(pairs.size());
+  for (const auto& [index, score] : scored) result.scores[index] = score;
+  result.seconds = watch.ElapsedSeconds();
+  for (const double score : result.scores) {
+    if (score >= kThreshold) ++result.detections;
+  }
+  result.metrics = ctx.metrics().Snapshot();
+  (void)vectors;
+  return result;
+}
+
+int Main() {
+  PrintBanner("bench_storage_spill",
+              "block-manager spill (bit-identical detections under budget)");
+  const size_t train = Scaled(1000000, 20000);
+  const size_t test = Scaled(100000, 5000);
+  const auto data = MakeDatasets(train, test, 29);
+  const auto& features = SharedWorkload().features;
+
+  std::vector<distance::ReportPair> pairs;
+  pairs.reserve(data.test.pairs.size());
+  for (const auto& labeled : data.test.pairs) pairs.push_back(labeled.pair);
+
+  core::FastKnnOptions options;
+  options.k = 9;
+  options.num_clusters = 48;
+  core::FastKnnClassifier classifier(options);
+  {
+    minispark::SparkContext fit_ctx({.num_executors = 4});
+    classifier.Fit(data.train.pairs, &fit_ctx.pool());
+  }
+
+  // Unbounded baseline: every block stays memory-resident; its
+  // bytes_stored metric sizes the budget sweep.
+  const RunResult baseline =
+      RunPersistedScoring(features, pairs, classifier, /*budget=*/0);
+  const uint64_t total_bytes = baseline.metrics.bytes_stored;
+  std::cout << "\n" << pairs.size() << " pairs in " << kBlocks
+            << " blocks; unbounded persist stored "
+            << baseline.metrics.blocks_stored << " blocks / " << total_bytes
+            << " bytes, scored in " << baseline.seconds << " s ("
+            << baseline.detections << " detections)\n\n";
+
+  eval::TablePrinter table(
+      &std::cout, {"budget", "spilled", "spill frac", "reads", "time (s)",
+                   "overhead", "parity"});
+  bool all_exact = true;
+  double tightest_spill_fraction = 0.0;
+  for (const double fraction : kBudgetFractions) {
+    const uint64_t budget = static_cast<uint64_t>(
+        fraction * static_cast<double>(total_bytes));
+    const RunResult run =
+        RunPersistedScoring(features, pairs, classifier, budget);
+
+    bool exact = run.scores.size() == baseline.scores.size() &&
+                 run.detections == baseline.detections;
+    for (size_t i = 0; exact && i < run.scores.size(); ++i) {
+      exact = run.scores[i] == baseline.scores[i];
+    }
+    all_exact = all_exact && exact;
+
+    const double spill_fraction =
+        run.metrics.blocks_stored > 0
+            ? static_cast<double>(run.metrics.blocks_spilled) /
+                  static_cast<double>(run.metrics.blocks_stored)
+            : 0.0;
+    tightest_spill_fraction = spill_fraction;  // fractions sweep tightward
+    const double overhead =
+        baseline.seconds > 0.0 ? run.seconds / baseline.seconds - 1.0 : 0.0;
+    table.AddRow({eval::TablePrinter::Num(100.0 * fraction, 0) + "%",
+                  std::to_string(run.metrics.blocks_spilled),
+                  eval::TablePrinter::Num(100.0 * spill_fraction, 0) + "%",
+                  std::to_string(run.metrics.spill_blocks_read),
+                  eval::TablePrinter::Num(run.seconds, 3),
+                  eval::TablePrinter::Num(100.0 * overhead, 1) + "%",
+                  exact ? "exact" : "DIVERGED"});
+  }
+  table.Print();
+  std::cout << "(spilled blocks round-trip through CRC-checked files: every "
+               "budgeted run must match the unbounded detections bit-exactly)\n";
+  if (!all_exact) {
+    std::cerr << "FAIL: a budgeted run diverged from the unbounded "
+                 "detections\n";
+    return 1;
+  }
+  if (tightest_spill_fraction < 0.3) {
+    std::cerr << "FAIL: tightest budget spilled only "
+              << 100.0 * tightest_spill_fraction
+              << "% of stored blocks (need >= 30%)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

@@ -117,10 +117,26 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
     return result;
   }
 
-  // Pairwise distances as a minispark job.
-  const std::vector<distance::DistanceVector> vectors =
-      distance::ComputePairDistancesSpark(ctx_, features_, pairs,
-                                          options_.pairwise);
+  // Pairwise distances as a minispark job. With a persist level the
+  // stage becomes a persisted RDD: vectors are materialized once as
+  // BlockManager blocks (spillable under a memory budget), and both the
+  // pruning pass below and the scoring pass later read from those
+  // blocks instead of a driver-side copy.
+  std::vector<distance::DistanceVector> vectors;
+  std::optional<minispark::Rdd<std::pair<size_t, distance::DistanceVector>>>
+      distance_rdd;
+  if (options_.persist_level.has_value()) {
+    distance_rdd =
+        distance::PairDistancesRdd(ctx_, features_, pairs, options_.pairwise)
+            .Persist(*options_.persist_level);
+    vectors.resize(pairs.size());
+    for (auto& [index, vector] : distance_rdd->Collect()) {
+      vectors[index] = vector;
+    }
+  } else {
+    vectors = distance::ComputePairDistancesSpark(ctx_, features_, pairs,
+                                                  options_.pairwise);
+  }
 
   // Testing-set pruning (Section 4.3.4).
   std::vector<size_t> candidate_indices;
@@ -139,8 +155,42 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
     queries[q].vector = vectors[candidate_indices[q]];
     queries[q].pair = pairs[candidate_indices[q]];
   }
-  const std::vector<double> scores =
-      classifier_.ScoreAllSpark(ctx_, queries);
+  std::vector<double> scores;
+  if (distance_rdd.has_value()) {
+    // Second action over the persisted distance stage: each task pulls
+    // its partition's vectors back out of the block store (memory hit,
+    // spill-file read, or lineage recompute — all bit-identical) and
+    // scores the pruning survivors. `query_of` maps an input pair index
+    // to its slot in `queries`; SIZE_MAX = pruned away.
+    std::vector<size_t> query_of(pairs.size(), SIZE_MAX);
+    for (size_t q = 0; q < candidate_indices.size(); ++q) {
+      query_of[candidate_indices[q]] = q;
+    }
+    const FastKnnClassifier* classifier = &classifier_;
+    auto scored =
+        distance_rdd
+            ->MapPartitionsWithIndex<std::pair<size_t, double>>(
+                [classifier, &query_of](
+                    size_t,
+                    const std::vector<std::pair<
+                        size_t, distance::DistanceVector>>& records) {
+                  FastKnnScratch scratch;
+                  std::vector<std::pair<size_t, double>> out;
+                  for (const auto& [index, vector] : records) {
+                    if (query_of[index] == SIZE_MAX) continue;
+                    out.emplace_back(query_of[index],
+                                     classifier->Score(vector, &scratch));
+                  }
+                  return out;
+                })
+            .Persist(*options_.persist_level);
+    scores.resize(candidate_indices.size());
+    for (auto& [q, score] : scored.Collect()) {
+      scores[q] = score;
+    }
+  } else {
+    scores = classifier_.ScoreAllSpark(ctx_, queries);
+  }
 
   // Eq. 6 thresholding plus the Fig. 1 feedback loop: detected duplicates
   // enter the positive store; everything else is a labelled negative,

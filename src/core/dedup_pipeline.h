@@ -14,6 +14,7 @@
 #define ADRDEDUP_CORE_DEDUP_PIPELINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "blocking/blocking.h"
@@ -23,6 +24,7 @@
 #include "distance/pair_dataset.h"
 #include "distance/pairwise.h"
 #include "minispark/context.h"
+#include "minispark/storage/storage_level.h"
 #include "report/report_database.h"
 #include "util/random.h"
 
@@ -59,6 +61,14 @@ struct DedupPipelineOptions {
   // AdoptClassifier() installs a replacement — screening latency never
   // pays for k-means refits.
   bool auto_refit = true;
+  // When set, the distance-vector and scoring stages run as *persisted*
+  // RDDs at this storage level: the distance vectors are materialized
+  // once as blocks in the context's BlockManager, the pruning pass and
+  // the scoring pass are two actions over the same blocks, and a tight
+  // --memory-budget-mb transparently spills the stage to disk instead of
+  // holding every vector in memory. Unset (the default) keeps the
+  // original collect-then-rescatter dataflow.
+  std::optional<minispark::storage::StorageLevel> persist_level;
   uint64_t seed = 17;
 };
 

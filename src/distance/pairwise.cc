@@ -59,7 +59,7 @@ std::vector<DistanceVector> ComputePairDistances(
   return out;
 }
 
-std::vector<DistanceVector> ComputePairDistancesSpark(
+minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRdd(
     minispark::SparkContext* ctx,
     const std::vector<ReportFeatures>& features,
     const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
@@ -73,16 +73,24 @@ std::vector<DistanceVector> ComputePairDistancesSpark(
     indexed.emplace_back(i, pairs[i]);
   }
   auto rdd = ctx->Parallelize(std::move(indexed), num_partitions);
-  // `features` is captured by reference: it outlives the action below and
+  // `features` is captured by reference: it outlives every action and
   // is read-only, mirroring a Spark broadcast variable.
+  return rdd.Map<std::pair<size_t, DistanceVector>>(
+      [&features, options](const std::pair<size_t, ReportPair>& record) {
+        const auto& [index, pair] = record;
+        return std::make_pair(
+            index, ComputeDistanceVector(features[pair.a], features[pair.b],
+                                         options));
+      });
+}
+
+std::vector<DistanceVector> ComputePairDistancesSpark(
+    minispark::SparkContext* ctx,
+    const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
+    size_t num_partitions) {
   auto distances =
-      rdd.Map<std::pair<size_t, DistanceVector>>(
-          [&features, options](const std::pair<size_t, ReportPair>& record) {
-            const auto& [index, pair] = record;
-            return std::make_pair(
-                index, ComputeDistanceVector(features[pair.a],
-                                             features[pair.b], options));
-          });
+      PairDistancesRdd(ctx, features, pairs, options, num_partitions);
   std::vector<DistanceVector> out(pairs.size());
   for (auto& [index, vector] : distances.Collect()) {
     out[index] = vector;

@@ -12,6 +12,7 @@
 #include "distance/distance_vector.h"
 #include "distance/report_features.h"
 #include "minispark/context.h"
+#include "minispark/rdd.h"
 #include "report/report_database.h"
 
 namespace adrdedup::distance {
@@ -69,6 +70,17 @@ std::vector<DistanceVector> ComputePairDistances(
 // in for a Spark broadcast variable). `num_partitions` 0 = context
 // default.
 std::vector<DistanceVector> ComputePairDistancesSpark(
+    minispark::SparkContext* ctx,
+    const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs,
+    const PairwiseOptions& options = {}, size_t num_partitions = 0);
+
+// The lazy RDD behind ComputePairDistancesSpark: (input index, distance
+// vector) records, so callers can Persist()/Checkpoint() the stage and
+// run several actions over it (the pipeline scores from the same
+// materialized vectors it pruned on). `features` is captured by
+// reference and must outlive every action on the returned RDD.
+minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRdd(
     minispark::SparkContext* ctx,
     const std::vector<ReportFeatures>& features,
     const std::vector<ReportPair>& pairs,

@@ -11,6 +11,18 @@
 
 namespace adrdedup::minispark {
 
+// Declare every overload before any definition: the pair and vector
+// overloads recurse into each other, and unqualified lookup inside a
+// template body only sees names declared above it (ADL does not help for
+// std:: argument types).
+template <typename T>
+size_t ByteSizeOf(const T&);
+inline size_t ByteSizeOf(const std::string& s);
+template <typename A, typename B>
+size_t ByteSizeOf(const std::pair<A, B>& p);
+template <typename T>
+size_t ByteSizeOf(const std::vector<T>& v);
+
 template <typename T>
 size_t ByteSizeOf(const T&) {
   return sizeof(T);

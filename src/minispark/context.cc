@@ -12,6 +12,12 @@ SparkContext::SparkContext(const Config& config)
       max_task_failures_(std::max<size_t>(1, config.max_task_failures)),
       task_backoff_(config.task_backoff),
       fault_injector_(config.fault_injector),
+      block_manager_(
+          storage::BlockManager::Options{
+              .memory_budget_bytes = config.memory_budget_bytes,
+              .spill_dir = config.spill_dir,
+              .checkpoint_dir = config.checkpoint_dir},
+          &metrics_),
       pool_(config.num_executors) {
   ADRDEDUP_CHECK_GE(default_parallelism_, 1u);
 }

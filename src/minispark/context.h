@@ -29,6 +29,7 @@
 
 #include "minispark/fault_injector.h"
 #include "minispark/metrics.h"
+#include "minispark/storage/block_manager.h"
 #include "util/backoff.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -79,6 +80,13 @@ class SparkContext {
     // Chaos hook consulted at the start of every task attempt. Not
     // owned; must outlive the context. Null disables injection.
     FaultInjector* fault_injector = nullptr;
+    // Storage layer (block manager): bytes of persisted partition data
+    // held in memory at once (0 = unbounded, the pre-storage default)
+    // and where evicted blocks / checkpoint snapshots live on disk
+    // (empty = per-context temp dirs removed at shutdown).
+    uint64_t memory_budget_bytes = 0;
+    std::string spill_dir = {};
+    std::string checkpoint_dir = {};
   };
 
   explicit SparkContext(const Config& config);
@@ -92,6 +100,13 @@ class SparkContext {
 
   util::ThreadPool& pool() { return pool_; }
   Metrics& metrics() { return metrics_; }
+  storage::BlockManager& block_manager() { return block_manager_; }
+
+  // Unique id for a persisted/checkpointed RDD node: namespaces its
+  // partitions' blocks inside the block manager.
+  uint64_t NextRddId() {
+    return next_rdd_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Test hook: swaps the chaos injector at runtime (null disables).
   void set_fault_injector(FaultInjector* injector) {
@@ -147,6 +162,8 @@ class SparkContext {
   util::Backoff task_backoff_;
   std::atomic<FaultInjector*> fault_injector_;
   Metrics metrics_;
+  std::atomic<uint64_t> next_rdd_id_{1};
+  storage::BlockManager block_manager_;  // after metrics_: it feeds them
   util::ThreadPool pool_;  // declared last: joins before members die
 };
 

@@ -15,7 +15,11 @@ std::string MetricsSnapshot::ToString() const {
       << " recomputed_partitions=" << partitions_recomputed
       << " failed_tasks=" << tasks_failed
       << " retried_tasks=" << tasks_retried
-      << " backoff_ms=" << task_backoff_ms;
+      << " backoff_ms=" << task_backoff_ms
+      << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
+      << " blocks_evicted=" << blocks_evicted
+      << " bytes_spilled=" << bytes_spilled
+      << " bytes_checkpointed=" << checkpoint_bytes_written;
   return out.str();
 }
 
@@ -31,6 +35,23 @@ std::string MetricsSnapshot::ToJson(
   w.Field("tasks_failed", tasks_failed);
   w.Field("tasks_retried", tasks_retried);
   w.Field("task_backoff_ms", task_backoff_ms);
+  // Storage-layer block/spill/checkpoint accounting (one nested object
+  // so dashboards can pick the whole group up at once).
+  w.Key("storage");
+  w.BeginObject();
+  w.Field("cache_hits", cache_hits);
+  w.Field("cache_misses", cache_misses);
+  w.Field("blocks_stored", blocks_stored);
+  w.Field("bytes_stored", bytes_stored);
+  w.Field("blocks_evicted", blocks_evicted);
+  w.Field("blocks_spilled", blocks_spilled);
+  w.Field("bytes_spilled", bytes_spilled);
+  w.Field("spill_blocks_read", spill_blocks_read);
+  w.Field("spill_bytes_read", spill_bytes_read);
+  w.Field("checkpoint_blocks_written", checkpoint_blocks_written);
+  w.Field("checkpoint_bytes_written", checkpoint_bytes_written);
+  w.Field("checkpoint_blocks_read", checkpoint_blocks_read);
+  w.EndObject();
   if (!task_durations.empty()) {
     double total = 0.0;
     double max = 0.0;

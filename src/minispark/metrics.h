@@ -25,6 +25,20 @@ struct MetricsSnapshot {
   uint64_t tasks_failed = 0;
   uint64_t tasks_retried = 0;
   double task_backoff_ms = 0.0;
+  // Storage-layer counters (BlockManager): block cache traffic, LRU
+  // evictions, spill-file volume and checkpoint snapshot volume.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t blocks_stored = 0;
+  uint64_t bytes_stored = 0;
+  uint64_t blocks_evicted = 0;
+  uint64_t blocks_spilled = 0;
+  uint64_t bytes_spilled = 0;
+  uint64_t spill_blocks_read = 0;
+  uint64_t spill_bytes_read = 0;
+  uint64_t checkpoint_blocks_written = 0;
+  uint64_t checkpoint_bytes_written = 0;
+  uint64_t checkpoint_blocks_read = 0;
 
   std::string ToString() const;
 
@@ -75,6 +89,34 @@ class Metrics {
         std::memory_order_relaxed);
   }
 
+  // --- Storage-layer counters (fed by storage::BlockManager) ---
+  void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddBlockStored(uint64_t bytes) {
+    blocks_stored_.fetch_add(1, std::memory_order_relaxed);
+    bytes_stored_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddBlockEvicted() {
+    blocks_evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddBlockSpilled(uint64_t bytes) {
+    blocks_spilled_.fetch_add(1, std::memory_order_relaxed);
+    bytes_spilled_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddSpillRead(uint64_t bytes) {
+    spill_blocks_read_.fetch_add(1, std::memory_order_relaxed);
+    spill_bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddCheckpointWrite(uint64_t bytes) {
+    checkpoint_blocks_written_.fetch_add(1, std::memory_order_relaxed);
+    checkpoint_bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddCheckpointRead() {
+    checkpoint_blocks_read_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   MetricsSnapshot Snapshot() const {
     MetricsSnapshot out;
     out.tasks_launched = tasks_launched_.load(std::memory_order_relaxed);
@@ -92,6 +134,22 @@ class Metrics {
         static_cast<double>(
             task_backoff_micros_.load(std::memory_order_relaxed)) /
         1000.0;
+    out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    out.blocks_stored = blocks_stored_.load(std::memory_order_relaxed);
+    out.bytes_stored = bytes_stored_.load(std::memory_order_relaxed);
+    out.blocks_evicted = blocks_evicted_.load(std::memory_order_relaxed);
+    out.blocks_spilled = blocks_spilled_.load(std::memory_order_relaxed);
+    out.bytes_spilled = bytes_spilled_.load(std::memory_order_relaxed);
+    out.spill_blocks_read =
+        spill_blocks_read_.load(std::memory_order_relaxed);
+    out.spill_bytes_read = spill_bytes_read_.load(std::memory_order_relaxed);
+    out.checkpoint_blocks_written =
+        checkpoint_blocks_written_.load(std::memory_order_relaxed);
+    out.checkpoint_bytes_written =
+        checkpoint_bytes_written_.load(std::memory_order_relaxed);
+    out.checkpoint_blocks_read =
+        checkpoint_blocks_read_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -104,6 +162,18 @@ class Metrics {
     tasks_failed_ = 0;
     tasks_retried_ = 0;
     task_backoff_micros_ = 0;
+    cache_hits_ = 0;
+    cache_misses_ = 0;
+    blocks_stored_ = 0;
+    bytes_stored_ = 0;
+    blocks_evicted_ = 0;
+    blocks_spilled_ = 0;
+    bytes_spilled_ = 0;
+    spill_blocks_read_ = 0;
+    spill_bytes_read_ = 0;
+    checkpoint_blocks_written_ = 0;
+    checkpoint_bytes_written_ = 0;
+    checkpoint_blocks_read_ = 0;
     std::lock_guard<std::mutex> lock(durations_mutex_);
     task_durations_.clear();
   }
@@ -120,6 +190,18 @@ class Metrics {
   std::atomic<uint64_t> tasks_retried_{0};
   // Accumulated in integer microseconds so fetch_add stays lock-free.
   std::atomic<uint64_t> task_backoff_micros_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> blocks_stored_{0};
+  std::atomic<uint64_t> bytes_stored_{0};
+  std::atomic<uint64_t> blocks_evicted_{0};
+  std::atomic<uint64_t> blocks_spilled_{0};
+  std::atomic<uint64_t> bytes_spilled_{0};
+  std::atomic<uint64_t> spill_blocks_read_{0};
+  std::atomic<uint64_t> spill_bytes_read_{0};
+  std::atomic<uint64_t> checkpoint_blocks_written_{0};
+  std::atomic<uint64_t> checkpoint_bytes_written_{0};
+  std::atomic<uint64_t> checkpoint_blocks_read_{0};
 };
 
 }  // namespace adrdedup::minispark

@@ -18,6 +18,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <memory>
@@ -27,6 +29,8 @@
 
 #include "minispark/byte_size.h"
 #include "minispark/context.h"
+#include "minispark/storage/serializer.h"
+#include "minispark/storage/storage_level.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -286,15 +290,23 @@ class UnionNode final : public RddNode<T> {
   std::shared_ptr<RddNode<T>> right_;
 };
 
-// In-memory cache with per-partition lazy fill. Losing a partition (test
-// hook DropPartition) falls back to lineage recomputation, which is the
-// RDD fault-tolerance story.
+// Persisted RDD: every computed partition is registered as a block in
+// the context's BlockManager under this node's unique rdd id, at the
+// requested storage level. MEMORY_ONLY reproduces the old CacheNode
+// semantics (budget eviction or the DropPartition chaos hook lose the
+// block and lineage recomputes it); MEMORY_AND_DISK spills evicted
+// blocks to CRC-checked files and reads them back; DISK_ONLY never
+// holds the block in memory. Element types without a Serializer<>
+// degrade to memory-only behaviour regardless of level.
 template <typename T>
-class CacheNode final : public RddNode<T> {
+class PersistNode final : public RddNode<T> {
  public:
-  explicit CacheNode(std::shared_ptr<RddNode<T>> parent)
+  PersistNode(std::shared_ptr<RddNode<T>> parent,
+              storage::StorageLevel level)
       : RddNode<T>(parent->ctx()),
         parent_(std::move(parent)),
+        level_(level),
+        rdd_id_(this->ctx()->NextRddId()),
         slots_(parent_->NumPartitions()) {}
 
   size_t NumPartitions() const override { return parent_->NumPartitions(); }
@@ -302,36 +314,48 @@ class CacheNode final : public RddNode<T> {
   PartitionData<T> Compute(size_t partition) override {
     ADRDEDUP_CHECK_LT(partition, slots_.size());
     Slot& slot = slots_[partition];
+    // Per-partition lock: concurrent tasks for *different* partitions
+    // proceed in parallel, two for the same partition compute once.
     std::lock_guard<std::mutex> lock(slot.mutex);
-    if (slot.data == nullptr) {
-      if (slot.was_filled) {
-        // The partition was cached and then lost: lineage recovery.
-        this->ctx()->metrics().AddRecomputedPartition();
-      }
-      slot.data = parent_->Compute(partition);
-      slot.was_filled = true;
+    storage::BlockManager& manager = this->ctx()->block_manager();
+    const storage::BlockId id{rdd_id_, partition};
+    if (auto hit = manager.Get(id)) {
+      return std::static_pointer_cast<const std::vector<T>>(hit);
     }
-    return slot.data;
+    if (slot.was_filled) {
+      // The partition was persisted and then lost (chaos drop, LRU
+      // eviction of a MEMORY_ONLY block, unreadable spill file):
+      // lineage recovery.
+      this->ctx()->metrics().AddRecomputedPartition();
+    }
+    PartitionData<T> data = parent_->Compute(partition);
+    slot.was_filled = true;
+    manager.Put(id, data, ByteSizeOf(*data), level_, MakeSerializeFn(),
+                MakeDeserializeFn());
+    return data;
   }
 
   void EnsureReady() override { parent_->EnsureReady(); }
 
-  // Simulates executor loss of one cached partition.
+  // Simulates executor loss of one persisted partition: the block (and
+  // any spill file backing it) is forgotten entirely.
   void DropPartition(size_t partition) {
     ADRDEDUP_CHECK_LT(partition, slots_.size());
-    Slot& slot = slots_[partition];
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    slot.data = nullptr;
+    this->ctx()->block_manager().Drop({rdd_id_, partition});
   }
 
   bool IsPartitionCached(size_t partition) const {
     ADRDEDUP_CHECK_LT(partition, slots_.size());
-    const Slot& slot = slots_[partition];
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    return slot.data != nullptr;
+    return this->ctx()->block_manager().InMemory({rdd_id_, partition});
   }
 
-  std::string DebugLabel() const override { return "Cache"; }
+  std::string DebugLabel() const override {
+    // "Cache" for the default level (the historical label lineage dumps
+    // and tests know), the explicit level otherwise.
+    if (level_ == storage::StorageLevel::kMemoryOnly) return "Cache";
+    return std::string("Persist [") + storage::StorageLevelName(level_) +
+           "]";
+  }
   void AppendLineage(std::string* out, int depth) const override {
     this->AppendLineageLine(out, depth, DebugLabel());
     parent_->AppendLineage(out, depth + 1);
@@ -340,12 +364,122 @@ class CacheNode final : public RddNode<T> {
  private:
   struct Slot {
     mutable std::mutex mutex;
-    PartitionData<T> data;
     bool was_filled = false;
   };
 
+  static storage::BlockManager::SerializeFn MakeSerializeFn() {
+    if constexpr (storage::HasSerializer<std::vector<T>>::value) {
+      return [](const storage::BlockManager::BlockData& data) {
+        return storage::SerializeToString(
+            *std::static_pointer_cast<const std::vector<T>>(data));
+      };
+    } else {
+      return nullptr;
+    }
+  }
+
+  static storage::BlockManager::DeserializeFn MakeDeserializeFn() {
+    if constexpr (storage::HasSerializer<std::vector<T>>::value) {
+      return [](std::string_view payload)
+                 -> storage::BlockManager::BlockData {
+        auto value = std::make_shared<std::vector<T>>();
+        if (!storage::DeserializeFromString(payload, value.get())) {
+          return nullptr;
+        }
+        return std::shared_ptr<const std::vector<T>>(std::move(value));
+      };
+    } else {
+      return nullptr;
+    }
+  }
+
   std::shared_ptr<RddNode<T>> parent_;
+  storage::StorageLevel level_;
+  uint64_t rdd_id_;
   std::vector<Slot> slots_;
+};
+
+// Checkpointed RDD: at the first action the parent is materialized, every
+// partition is serialized into a snapshot file under the context's
+// checkpoint directory, and the lineage edge to the parent is *cut* —
+// afterwards Compute() reads partitions back from the snapshot, and a
+// corrupt/missing snapshot is an error (there is no lineage left to
+// recompute from), surfaced through the task-retry machinery.
+template <typename T>
+class CheckpointNode final : public RddNode<T> {
+  static_assert(storage::HasSerializer<std::vector<T>>::value,
+                "Checkpoint() requires a Serializer<> for the element type");
+
+ public:
+  explicit CheckpointNode(std::shared_ptr<RddNode<T>> parent)
+      : RddNode<T>(parent->ctx()),
+        parent_(std::move(parent)),
+        rdd_id_(this->ctx()->NextRddId()),
+        num_partitions_(parent_->NumPartitions()) {}
+
+  size_t NumPartitions() const override { return num_partitions_; }
+
+  PartitionData<T> Compute(size_t partition) override {
+    ADRDEDUP_CHECK(checkpointed_.load(std::memory_order_acquire))
+        << "EnsureReady() not run before Compute";
+    auto payload =
+        this->ctx()->block_manager().ReadCheckpoint(rdd_id_, partition);
+    if (!payload.ok()) {
+      throw std::runtime_error("checkpoint partition " +
+                               std::to_string(partition) +
+                               " unreadable: " + payload.status().ToString());
+    }
+    auto value = std::make_shared<std::vector<T>>();
+    if (!storage::DeserializeFromString(
+            std::string_view(payload.value()), value.get())) {
+      throw std::runtime_error("checkpoint partition " +
+                               std::to_string(partition) +
+                               " failed to deserialize");
+    }
+    return value;
+  }
+
+  void EnsureReady() override {
+    if (auto parent = parent_) parent->EnsureReady();
+    std::call_once(once_, [this] { Materialize(); });
+  }
+
+  std::string DebugLabel() const override {
+    return checkpointed_.load(std::memory_order_acquire)
+               ? "Checkpoint [lineage truncated]"
+               : "Checkpoint [pending]";
+  }
+  void AppendLineage(std::string* out, int depth) const override {
+    this->AppendLineageLine(out, depth, DebugLabel());
+    // Once materialized the parent edge is gone: the lineage dump stops
+    // here, exactly like Spark's post-checkpoint toDebugString.
+    if (auto parent = parent_) parent->AppendLineage(out, depth + 1);
+  }
+
+ private:
+  void Materialize() {
+    std::vector<PartitionData<T>> inputs(num_partitions_);
+    this->ctx()->pool().ParallelFor(0, num_partitions_, [&](size_t p) {
+      this->ctx()->RunTask(p, [&] {
+        inputs[p] = parent_->Compute(p);
+        const std::string payload = storage::SerializeToString(*inputs[p]);
+        auto status =
+            this->ctx()->block_manager().WriteCheckpoint(rdd_id_, p, payload);
+        if (!status.ok()) {
+          throw std::runtime_error("checkpoint write failed: " +
+                                   status.ToString());
+        }
+      });
+    });
+    parent_.reset();  // lineage truncation: the whole point
+    checkpointed_.store(true, std::memory_order_release);
+  }
+
+  std::shared_ptr<RddNode<T>> parent_;
+  uint64_t rdd_id_;
+  size_t num_partitions_;
+  std::once_flag once_;
+  std::atomic<bool> checkpointed_{false};
 };
 
 // Round-robin repartitioning; a wide dependency, so the records are
@@ -747,8 +881,25 @@ class Rdd {
                             node_, other.node_));
   }
 
+  // Persists computed partitions as blocks in the context's
+  // BlockManager. MEMORY_ONLY = Spark's default cache; MEMORY_AND_DISK
+  // spills evicted blocks to CRC-checked files; DISK_ONLY always
+  // serializes and never occupies the memory budget.
+  Rdd<T> Persist(storage::StorageLevel level) const {
+    return Rdd<T>(ctx_,
+                  std::make_shared<internal::PersistNode<T>>(node_, level));
+  }
+
   Rdd<T> Cache() const {
-    return Rdd<T>(ctx_, std::make_shared<internal::CacheNode<T>>(node_));
+    return Persist(storage::StorageLevel::kMemoryOnly);
+  }
+
+  // Snapshots every partition to the checkpoint directory at the first
+  // action and truncates the lineage: downstream recovery reads the
+  // snapshot instead of recomputing upstream stages. Requires a
+  // Serializer<> for T.
+  Rdd<T> Checkpoint() const {
+    return Rdd<T>(ctx_, std::make_shared<internal::CheckpointNode<T>>(node_));
   }
 
   Rdd<T> Repartition(size_t num_partitions) const {
@@ -906,19 +1057,21 @@ class Rdd {
     return out;
   }
 
-  // ---- Fault-injection hooks (valid only on the result of Cache()) ----
+  // ---- Fault-injection hooks (valid only on the result of
+  // Cache()/Persist()) ----
 
   void DropCachedPartition(size_t partition) const {
-    auto* cache = dynamic_cast<internal::CacheNode<T>*>(node_.get());
-    ADRDEDUP_CHECK(cache != nullptr)
+    auto* persist = dynamic_cast<internal::PersistNode<T>*>(node_.get());
+    ADRDEDUP_CHECK(persist != nullptr)
         << "DropCachedPartition on a non-cached RDD";
-    cache->DropPartition(partition);
+    persist->DropPartition(partition);
   }
 
   bool IsPartitionCached(size_t partition) const {
-    auto* cache = dynamic_cast<internal::CacheNode<T>*>(node_.get());
-    ADRDEDUP_CHECK(cache != nullptr) << "IsPartitionCached on a non-cached RDD";
-    return cache->IsPartitionCached(partition);
+    auto* persist = dynamic_cast<internal::PersistNode<T>*>(node_.get());
+    ADRDEDUP_CHECK(persist != nullptr)
+        << "IsPartitionCached on a non-cached RDD";
+    return persist->IsPartitionCached(partition);
   }
 
  private:

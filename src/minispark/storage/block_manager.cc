@@ -1,0 +1,293 @@
+#include "minispark/storage/block_manager.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "minispark/metrics.h"
+#include "minispark/storage/spill_file.h"
+#include "util/logging.h"
+
+namespace adrdedup::minispark::storage {
+
+namespace fs = std::filesystem;
+
+BlockManager::BlockManager(const Options& options, Metrics* metrics)
+    : options_(options), metrics_(metrics) {
+  ADRDEDUP_CHECK(metrics != nullptr);
+}
+
+BlockManager::~BlockManager() {
+  std::error_code ec;
+  for (const std::string& path : owned_files_) {
+    fs::remove(path, ec);
+  }
+  for (const std::string& dir : owned_dirs_) {
+    fs::remove_all(dir, ec);
+  }
+}
+
+std::string BlockManager::SpillPath(const Key& key) {
+  return spill_dir_ + "/block_" + std::to_string(key.first) + "_" +
+         std::to_string(key.second) + ".blk";
+}
+
+std::string BlockManager::CheckpointPath(uint64_t rdd_id, size_t partition) {
+  return checkpoint_dir_ + "/ckpt_" + std::to_string(rdd_id) + "_" +
+         std::to_string(partition) + ".blk";
+}
+
+const std::string& BlockManager::EnsureDir(std::string* resolved,
+                                           const std::string& configured,
+                                           const char* temp_tag) {
+  if (!resolved->empty()) return *resolved;
+  std::error_code ec;
+  if (!configured.empty()) {
+    fs::create_directories(configured, ec);
+    if (ec) {
+      ADRDEDUP_LOG_WARNING << "cannot create " << temp_tag << " dir "
+                           << configured << ": " << ec.message();
+      return *resolved;
+    }
+    *resolved = configured;
+    return *resolved;
+  }
+  // No directory configured: a per-manager temp dir, removed with us.
+  static std::atomic<uint64_t> counter{0};
+  const fs::path base = fs::temp_directory_path(ec);
+  if (ec) {
+    ADRDEDUP_LOG_WARNING << "no temp directory for " << temp_tag
+                         << " files: " << ec.message();
+    return *resolved;
+  }
+  const fs::path dir =
+      base / (std::string("adrdedup-") + temp_tag + "-" +
+              std::to_string(::getpid()) + "-" +
+              std::to_string(counter.fetch_add(1)));
+  fs::create_directories(dir, ec);
+  if (ec) {
+    ADRDEDUP_LOG_WARNING << "cannot create " << temp_tag << " dir " << dir
+                         << ": " << ec.message();
+    return *resolved;
+  }
+  owned_dirs_.push_back(dir.string());
+  *resolved = dir.string();
+  return *resolved;
+}
+
+bool BlockManager::SpillBlock(const Key& key, Block* block) {
+  if (!block->serialize || block->data == nullptr) return false;
+  const std::string& dir =
+      EnsureDir(&spill_dir_, options_.spill_dir, "spill");
+  if (dir.empty()) return false;
+  const std::string payload = block->serialize(block->data);
+  const std::string path = SpillPath(key);
+  if (auto status = WriteBlockFile(path, payload); !status.ok()) {
+    ADRDEDUP_LOG_WARNING << "spill failed, block will recompute: "
+                         << status.ToString();
+    return false;
+  }
+  if (!block->on_disk) owned_files_.push_back(path);
+  block->on_disk = true;
+  metrics_->AddBlockSpilled(payload.size());
+  return true;
+}
+
+void BlockManager::EnsureBudget(uint64_t incoming_bytes) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (memory_used_ + incoming_bytes > options_.memory_budget_bytes &&
+         !lru_.empty()) {
+    const Key victim_key = lru_.back();
+    Block& victim = blocks_.at(victim_key);
+    if (victim.level == StorageLevel::kMemoryAndDisk && !victim.on_disk) {
+      SpillBlock(victim_key, &victim);
+    }
+    victim.data = nullptr;
+    memory_used_ -= victim.bytes;
+    lru_.pop_back();
+    metrics_->AddBlockEvicted();
+  }
+}
+
+void BlockManager::AdmitToMemory(const Key& key, Block* block,
+                                 BlockData data) {
+  const uint64_t budget = options_.memory_budget_bytes;
+  if (budget != 0 && block->bytes > budget) {
+    // Larger than the whole budget: can never be memory-resident. Spill
+    // straight to disk when the level allows, else rely on lineage.
+    if (block->level == StorageLevel::kMemoryAndDisk && !block->on_disk) {
+      block->data = std::move(data);
+      SpillBlock(key, block);
+      block->data = nullptr;
+    }
+    return;
+  }
+  EnsureBudget(block->bytes);
+  block->data = std::move(data);
+  memory_used_ += block->bytes;
+  lru_.push_front(key);
+  block->lru_pos = lru_.begin();
+}
+
+void BlockManager::Put(const BlockId& id, BlockData data, uint64_t bytes,
+                       StorageLevel level, SerializeFn serialize,
+                       DeserializeFn deserialize) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key = KeyOf(id);
+  Block& block = blocks_[key];
+  if (block.data != nullptr) {
+    memory_used_ -= block.bytes;
+    lru_.erase(block.lru_pos);
+    block.data = nullptr;
+  }
+  block.bytes = bytes;
+  block.level = level;
+  block.serialize = std::move(serialize);
+  block.deserialize = std::move(deserialize);
+  metrics_->AddBlockStored(bytes);
+  if (level == StorageLevel::kDiskOnly) {
+    block.data = std::move(data);
+    SpillBlock(key, &block);
+    block.data = nullptr;
+    return;
+  }
+  AdmitToMemory(key, &block, std::move(data));
+}
+
+BlockManager::BlockData BlockManager::Get(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key = KeyOf(id);
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) {
+    metrics_->AddCacheMiss();
+    return nullptr;
+  }
+  Block& block = it->second;
+  if (block.data != nullptr) {
+    metrics_->AddCacheHit();
+    lru_.erase(block.lru_pos);
+    lru_.push_front(key);
+    block.lru_pos = lru_.begin();
+    return block.data;
+  }
+  if (!block.on_disk) {
+    metrics_->AddCacheMiss();
+    return nullptr;
+  }
+  auto payload = ReadBlockFile(SpillPath(key));
+  BlockData data;
+  if (payload.ok() && block.deserialize) {
+    data = block.deserialize(payload.value());
+  }
+  if (data == nullptr) {
+    // A lost/corrupt spill file is a lost block: recompute via lineage.
+    ADRDEDUP_LOG_WARNING
+        << "spilled block " << id.rdd_id << "/" << id.partition
+        << " unreadable ("
+        << (payload.ok() ? "payload corrupt" : payload.status().ToString())
+        << "); falling back to lineage";
+    block.on_disk = false;
+    metrics_->AddCacheMiss();
+    return nullptr;
+  }
+  metrics_->AddSpillRead(payload.value().size());
+  metrics_->AddCacheHit();
+  if (block.level == StorageLevel::kMemoryAndDisk) {
+    AdmitToMemory(key, &block, data);
+  }
+  return data;
+}
+
+bool BlockManager::InMemory(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(KeyOf(id));
+  return it != blocks_.end() && it->second.data != nullptr;
+}
+
+bool BlockManager::OnDisk(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(KeyOf(id));
+  return it != blocks_.end() && it->second.on_disk;
+}
+
+void BlockManager::Drop(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key = KeyOf(id);
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return;
+  Block& block = it->second;
+  if (block.data != nullptr) {
+    memory_used_ -= block.bytes;
+    lru_.erase(block.lru_pos);
+  }
+  if (block.on_disk) {
+    std::error_code ec;
+    fs::remove(SpillPath(key), ec);
+  }
+  blocks_.erase(it);
+}
+
+util::Status BlockManager::WriteCheckpoint(uint64_t rdd_id, size_t partition,
+                                           std::string_view payload) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string& dir =
+        EnsureDir(&checkpoint_dir_, options_.checkpoint_dir, "checkpoint");
+    if (dir.empty()) {
+      return util::Status::IoError("no usable checkpoint directory");
+    }
+    path = CheckpointPath(rdd_id, partition);
+    owned_files_.push_back(path);
+  }
+  // The write itself runs outside the lock: paths are unique per
+  // (rdd, partition), so concurrent checkpoint tasks never collide.
+  auto status = WriteBlockFile(path, payload);
+  if (status.ok()) metrics_->AddCheckpointWrite(payload.size());
+  return status;
+}
+
+util::Result<std::string> BlockManager::ReadCheckpoint(uint64_t rdd_id,
+                                                       size_t partition) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (checkpoint_dir_.empty()) {
+      return util::Status::NotFound(
+          "no checkpoint was ever written by this context");
+    }
+    path = CheckpointPath(rdd_id, partition);
+  }
+  auto payload = ReadBlockFile(path);
+  if (payload.ok()) metrics_->AddCheckpointRead();
+  return payload;
+}
+
+uint64_t BlockManager::memory_used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_used_;
+}
+
+util::Status BlockManager::EnsureWritableDir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create directory " + dir + ": " +
+                                 ec.message());
+  }
+  const std::string probe = dir + "/.adrdedup-probe";
+  {
+    std::ofstream out(probe, std::ios::trunc);
+    out << "probe";
+    if (!out) {
+      return util::Status::IoError("directory not writable: " + dir);
+    }
+  }
+  fs::remove(probe, ec);
+  return util::Status::OK();
+}
+
+}  // namespace adrdedup::minispark::storage

@@ -1,0 +1,170 @@
+// BlockManager: the storage layer of minispark. Every materialized
+// partition of a persisted RDD is registered as a *block*, accounted in
+// bytes (via the ByteSizeOf traits) against a configurable memory
+// budget. When an insert would exceed the budget, least-recently-used
+// blocks are evicted: MEMORY_AND_DISK blocks are serialized into
+// CRC-checked spill files and transparently read back on the next
+// access; MEMORY_ONLY blocks are simply dropped (their RDD recomputes
+// them through lineage, Spark's semantics). DISK_ONLY blocks never
+// occupy budget.
+//
+// The manager also owns the checkpoint directory: CheckpointNode writes
+// one framed snapshot file per partition through WriteCheckpoint() and
+// recovers through ReadCheckpoint() — the files that let a job truncate
+// its lineage.
+//
+// Blocks are type-erased (shared_ptr<const void> plus caller-supplied
+// serialize/deserialize closures) so one manager, owned by the
+// SparkContext, serves RDDs of every element type. All operations are
+// thread-safe behind one mutex; spill I/O currently happens under it,
+// which is acceptable at task granularity (documented trade-off).
+//
+// A corrupt or truncated spill file is treated as a *lost* block: the
+// access counts as a miss (with a warning) and the caller recomputes
+// through lineage — resilience, not an abort. Corrupt checkpoints, whose
+// lineage is gone, surface as errors from ReadCheckpoint.
+//
+// Lifetime: spill files, checkpoint files and any directory the manager
+// itself created (the lazily-made temp dirs used when a dir option is
+// empty) are removed in the destructor — both directories hold per-run
+// scratch, not durable state.
+#ifndef ADRDEDUP_MINISPARK_STORAGE_BLOCK_MANAGER_H_
+#define ADRDEDUP_MINISPARK_STORAGE_BLOCK_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "minispark/storage/storage_level.h"
+#include "util/status.h"
+
+namespace adrdedup::minispark {
+class Metrics;  // metrics.h
+}  // namespace adrdedup::minispark
+
+namespace adrdedup::minispark::storage {
+
+// Globally unique block name: the owning persisted RDD's id (from
+// SparkContext::NextRddId) plus the partition index.
+struct BlockId {
+  uint64_t rdd_id = 0;
+  size_t partition = 0;
+
+  friend bool operator==(const BlockId&, const BlockId&) = default;
+};
+
+class BlockManager {
+ public:
+  struct Options {
+    // Bytes of partition data held in memory at once; 0 = unbounded
+    // (the pre-storage-layer behaviour).
+    uint64_t memory_budget_bytes = 0;
+    // Spill / checkpoint file locations. Empty = a per-manager temp
+    // directory created lazily on first use and removed on destruction.
+    std::string spill_dir = {};
+    std::string checkpoint_dir = {};
+  };
+
+  using BlockData = std::shared_ptr<const void>;
+  // Flattens the stored value into a spill payload.
+  using SerializeFn = std::function<std::string(const BlockData&)>;
+  // Rebuilds the value from a verified payload; nullptr = corrupt.
+  using DeserializeFn = std::function<BlockData(std::string_view)>;
+
+  // `metrics` (not owned, may not be null) receives the cache/spill/
+  // checkpoint counters.
+  BlockManager(const Options& options, Metrics* metrics);
+  ~BlockManager();
+
+  BlockManager(const BlockManager&) = delete;
+  BlockManager& operator=(const BlockManager&) = delete;
+
+  // Registers `data` (whose in-memory footprint is `bytes`) under `id`.
+  // May evict other blocks to stay under budget; may write a spill file
+  // (DISK_ONLY always does, as does an insert that itself exceeds the
+  // whole budget at MEMORY_AND_DISK). Replaces any previous block with
+  // the same id. The serialize/deserialize closures may be null for
+  // non-serializable element types, which restricts the block to
+  // memory-only behaviour regardless of level.
+  void Put(const BlockId& id, BlockData data, uint64_t bytes,
+           StorageLevel level, SerializeFn serialize,
+           DeserializeFn deserialize);
+
+  // Memory hit, disk hit (deserialized, and re-admitted to memory for
+  // MEMORY_AND_DISK), or nullptr on a miss / lost block. Feeds the
+  // cache_hits / cache_misses metrics and refreshes LRU recency.
+  BlockData Get(const BlockId& id);
+
+  bool InMemory(const BlockId& id) const;
+  bool OnDisk(const BlockId& id) const;
+
+  // Chaos hook (Rdd::DropCachedPartition): forgets the block entirely —
+  // memory slot and any spill file — simulating executor loss.
+  void Drop(const BlockId& id);
+
+  // Checkpoint snapshot files (one per partition of a checkpointed RDD).
+  util::Status WriteCheckpoint(uint64_t rdd_id, size_t partition,
+                               std::string_view payload);
+  util::Result<std::string> ReadCheckpoint(uint64_t rdd_id,
+                                           size_t partition);
+
+  uint64_t memory_used() const;
+  uint64_t memory_budget_bytes() const {
+    return options_.memory_budget_bytes;
+  }
+
+  // Creates `dir` (and parents) if needed and proves it is writable by
+  // round-tripping a probe file. Shared by the CLIs' flag validation.
+  static util::Status EnsureWritableDir(const std::string& dir);
+
+ private:
+  using Key = std::pair<uint64_t, size_t>;
+
+  struct Block {
+    BlockData data;  // null when not memory-resident
+    uint64_t bytes = 0;
+    StorageLevel level = StorageLevel::kMemoryOnly;
+    bool on_disk = false;
+    SerializeFn serialize;
+    DeserializeFn deserialize;
+    std::list<Key>::iterator lru_pos;  // valid iff data != nullptr
+  };
+
+  static Key KeyOf(const BlockId& id) { return {id.rdd_id, id.partition}; }
+
+  // All private helpers require mutex_ held.
+  std::string SpillPath(const Key& key);
+  std::string CheckpointPath(uint64_t rdd_id, size_t partition);
+  const std::string& EnsureDir(std::string* resolved,
+                               const std::string& configured,
+                               const char* temp_tag);
+  void AdmitToMemory(const Key& key, Block* block, BlockData data);
+  void EnsureBudget(uint64_t incoming_bytes);
+  bool SpillBlock(const Key& key, Block* block);
+
+  const Options options_;
+  Metrics* const metrics_;
+
+  mutable std::mutex mutex_;
+  std::map<Key, Block> blocks_;
+  std::list<Key> lru_;  // front = most recently used
+  uint64_t memory_used_ = 0;
+  // Resolved (possibly lazily-created temp) directories; empty until
+  // first needed.
+  std::string spill_dir_;
+  std::string checkpoint_dir_;
+  std::vector<std::string> owned_dirs_;    // dirs this manager created
+  std::vector<std::string> owned_files_;   // files this manager wrote
+};
+
+}  // namespace adrdedup::minispark::storage
+
+#endif  // ADRDEDUP_MINISPARK_STORAGE_BLOCK_MANAGER_H_

@@ -1,0 +1,161 @@
+// Serializer<T>: the binary record-serialization trait layer behind the
+// storage subsystem's disk spill and lineage checkpointing. A partition
+// (std::vector<T>) is flattened into a byte payload that spill_file.h
+// frames with a magic/length/CRC header.
+//
+// Coverage is compositional: any trivially-copyable record (ints,
+// doubles, distance::DistanceVector, distance::ReportPair,
+// distance::LabeledPair, ...) serializes by memcpy; std::string is
+// length-prefixed; std::pair and std::vector recurse on their element
+// serializers. Extend by specializing Serializer<T> for a custom record.
+//
+// Encoding is host-endian: spill and checkpoint files are per-run
+// scratch owned by one BlockManager, not an interchange format (the same
+// contract as core/model_io.h). Every Read is bounds-checked so a
+// truncated or bit-flipped payload fails deserialization instead of
+// reading out of bounds.
+#ifndef ADRDEDUP_MINISPARK_STORAGE_SERIALIZER_H_
+#define ADRDEDUP_MINISPARK_STORAGE_SERIALIZER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace adrdedup::minispark::storage {
+
+namespace internal {
+
+template <typename T>
+struct IsStdPair : std::false_type {};
+template <typename A, typename B>
+struct IsStdPair<std::pair<A, B>> : std::true_type {};
+
+template <typename T>
+struct IsStdVector : std::false_type {};
+template <typename T, typename A>
+struct IsStdVector<std::vector<T, A>> : std::true_type {};
+
+}  // namespace internal
+
+// Primary template is intentionally undefined: HasSerializer<T> (below)
+// reports false for types with no specialization, and Persist() only
+// offers disk-backed levels when the element type is serializable.
+template <typename T, typename Enable = void>
+struct Serializer;
+
+// Trivially-copyable records serialize as raw bytes. std::pair and
+// std::vector are excluded so their structural specializations below are
+// never ambiguous with this one.
+template <typename T>
+struct Serializer<T, std::enable_if_t<std::is_trivially_copyable_v<T> &&
+                                      !internal::IsStdPair<T>::value &&
+                                      !internal::IsStdVector<T>::value>> {
+  static void Write(std::string* out, const T& value) {
+    out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+  static bool Read(const char** cursor, const char* end, T* value) {
+    if (static_cast<size_t>(end - *cursor) < sizeof(T)) return false;
+    std::memcpy(value, *cursor, sizeof(T));
+    *cursor += sizeof(T);
+    return true;
+  }
+};
+
+template <>
+struct Serializer<std::string> {
+  static void Write(std::string* out, const std::string& value) {
+    const uint64_t size = value.size();
+    out->append(reinterpret_cast<const char*>(&size), sizeof(size));
+    out->append(value);
+  }
+  static bool Read(const char** cursor, const char* end, std::string* value) {
+    uint64_t size = 0;
+    if (static_cast<size_t>(end - *cursor) < sizeof(size)) return false;
+    std::memcpy(&size, *cursor, sizeof(size));
+    *cursor += sizeof(size);
+    if (static_cast<uint64_t>(end - *cursor) < size) return false;
+    value->assign(*cursor, static_cast<size_t>(size));
+    *cursor += size;
+    return true;
+  }
+};
+
+// True when Serializer<T>::Write is well-formed, i.e. T (recursively)
+// reduces to trivially-copyable leaves, strings, pairs and vectors.
+template <typename T, typename = void>
+struct HasSerializer : std::false_type {};
+template <typename T>
+struct HasSerializer<
+    T, std::void_t<decltype(Serializer<T>::Write(
+           static_cast<std::string*>(nullptr), std::declval<const T&>()))>>
+    : std::true_type {};
+
+template <typename A, typename B>
+struct Serializer<std::pair<A, B>,
+                  std::enable_if_t<HasSerializer<A>::value &&
+                                   HasSerializer<B>::value>> {
+  static void Write(std::string* out, const std::pair<A, B>& value) {
+    Serializer<A>::Write(out, value.first);
+    Serializer<B>::Write(out, value.second);
+  }
+  static bool Read(const char** cursor, const char* end,
+                   std::pair<A, B>* value) {
+    return Serializer<A>::Read(cursor, end, &value->first) &&
+           Serializer<B>::Read(cursor, end, &value->second);
+  }
+};
+
+template <typename T>
+struct Serializer<std::vector<T>,
+                  std::enable_if_t<HasSerializer<T>::value>> {
+  static void Write(std::string* out, const std::vector<T>& value) {
+    const uint64_t count = value.size();
+    out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const T& item : value) Serializer<T>::Write(out, item);
+  }
+  static bool Read(const char** cursor, const char* end,
+                   std::vector<T>* value) {
+    uint64_t count = 0;
+    if (static_cast<size_t>(end - *cursor) < sizeof(count)) return false;
+    std::memcpy(&count, *cursor, sizeof(count));
+    *cursor += sizeof(count);
+    value->clear();
+    // A corrupted count cannot pre-allocate more than the payload could
+    // possibly hold; bogus counts then fail at the first short read.
+    value->reserve(static_cast<size_t>(
+        std::min<uint64_t>(count, static_cast<uint64_t>(end - *cursor))));
+    for (uint64_t i = 0; i < count; ++i) {
+      T item;
+      if (!Serializer<T>::Read(cursor, end, &item)) return false;
+      value->push_back(std::move(item));
+    }
+    return true;
+  }
+};
+
+// Whole-value helpers used by the block manager and checkpoint nodes.
+template <typename T>
+std::string SerializeToString(const T& value) {
+  std::string out;
+  Serializer<T>::Write(&out, value);
+  return out;
+}
+
+// Requires the payload to be consumed exactly: trailing garbage is
+// rejected like any other corruption.
+template <typename T>
+bool DeserializeFromString(std::string_view payload, T* value) {
+  const char* cursor = payload.data();
+  const char* end = payload.data() + payload.size();
+  return Serializer<T>::Read(&cursor, end, value) && cursor == end;
+}
+
+}  // namespace adrdedup::minispark::storage
+
+#endif  // ADRDEDUP_MINISPARK_STORAGE_SERIALIZER_H_

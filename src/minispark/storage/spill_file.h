@@ -1,0 +1,31 @@
+// Framed on-disk format for spilled and checkpointed partition payloads:
+//
+//   bytes 0..7   magic "ADRBLK1\0"
+//   bytes 8..15  uint64 payload size
+//   bytes 16..19 uint32 CRC-32 of the payload
+//   bytes 20..   payload (Serializer<std::vector<T>> output)
+//
+// ReadBlockFile rejects missing files, bad magic, truncation (header or
+// payload shorter than declared) and CRC mismatches with a typed
+// util::Status — the storage layer never hands corrupt bytes to a
+// deserializer.
+#ifndef ADRDEDUP_MINISPARK_STORAGE_SPILL_FILE_H_
+#define ADRDEDUP_MINISPARK_STORAGE_SPILL_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace adrdedup::minispark::storage {
+
+// Atomically-enough for one writer: truncates and rewrites `path`.
+util::Status WriteBlockFile(const std::string& path,
+                            std::string_view payload);
+
+// Returns the verified payload.
+util::Result<std::string> ReadBlockFile(const std::string& path);
+
+}  // namespace adrdedup::minispark::storage
+
+#endif  // ADRDEDUP_MINISPARK_STORAGE_SPILL_FILE_H_

@@ -1,0 +1,39 @@
+// Storage levels for Rdd::Persist(), mirroring the Spark subset the
+// paper's pipeline uses. The level decides what the BlockManager does
+// with a materialized partition and with blocks evicted under memory
+// pressure:
+//
+//   kMemoryOnly    — keep deserialized in memory; evicted blocks are
+//                    dropped and recomputed through lineage on re-access
+//                    (Spark's MEMORY_ONLY).
+//   kMemoryAndDisk — keep in memory; evicted blocks are serialized to a
+//                    CRC-checked spill file and read back on re-access.
+//   kDiskOnly      — never held by the manager in memory: partitions are
+//                    serialized to disk at Put() and deserialized per
+//                    access.
+#ifndef ADRDEDUP_MINISPARK_STORAGE_STORAGE_LEVEL_H_
+#define ADRDEDUP_MINISPARK_STORAGE_STORAGE_LEVEL_H_
+
+namespace adrdedup::minispark::storage {
+
+enum class StorageLevel {
+  kMemoryOnly,
+  kMemoryAndDisk,
+  kDiskOnly,
+};
+
+inline const char* StorageLevelName(StorageLevel level) {
+  switch (level) {
+    case StorageLevel::kMemoryOnly:
+      return "MEMORY_ONLY";
+    case StorageLevel::kMemoryAndDisk:
+      return "MEMORY_AND_DISK";
+    case StorageLevel::kDiskOnly:
+      return "DISK_ONLY";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace adrdedup::minispark::storage
+
+#endif  // ADRDEDUP_MINISPARK_STORAGE_STORAGE_LEVEL_H_

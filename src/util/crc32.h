@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for integrity-checking the
+// binary block files the minispark storage layer writes. Table-driven,
+// incremental: Update() may be fed a payload in chunks.
+#ifndef ADRDEDUP_UTIL_CRC32_H_
+#define ADRDEDUP_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace adrdedup::util {
+
+// crc = Crc32Update(crc, chunk) folds one chunk into a running checksum
+// seeded with kCrc32Init; finalize with Crc32Finalize.
+inline constexpr uint32_t kCrc32Init = 0xffffffffu;
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32Finalize(uint32_t crc) { return crc ^ 0xffffffffu; }
+
+// One-shot checksum of a whole buffer.
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32Finalize(Crc32Update(kCrc32Init, data.data(), data.size()));
+}
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_CRC32_H_

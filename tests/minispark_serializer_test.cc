@@ -1,0 +1,257 @@
+// Storage serialization layer: Serializer<T> round trips for every
+// record shape the spill/checkpoint path ships, corruption rejection at
+// both the payload (serializer bounds checks) and file (CRC frame)
+// layers, and the ByteSizeOf accounting the block manager budgets with.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "distance/pair_dataset.h"
+#include "distance/pairwise.h"
+#include "minispark/byte_size.h"
+#include "minispark/storage/serializer.h"
+#include "minispark/storage/spill_file.h"
+
+namespace adrdedup::minispark::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+template <typename T>
+void ExpectRoundTrip(const T& value) {
+  const std::string payload = SerializeToString(value);
+  T restored{};
+  ASSERT_TRUE(DeserializeFromString(payload, &restored));
+  EXPECT_EQ(restored, value);
+}
+
+TEST(SerializerTest, TriviallyCopyableScalars) {
+  ExpectRoundTrip<int>(-42);
+  ExpectRoundTrip<uint64_t>(0xdeadbeefcafe1234ULL);
+  ExpectRoundTrip<double>(3.14159265358979);
+}
+
+TEST(SerializerTest, StringsIncludingEmbeddedNulAndEmpty) {
+  ExpectRoundTrip<std::string>("");
+  ExpectRoundTrip<std::string>(std::string("abc\0def", 7));
+  ExpectRoundTrip<std::string>(std::string(10000, 'x'));
+}
+
+TEST(SerializerTest, PairsAndVectors) {
+  ExpectRoundTrip(std::pair<int, double>{7, 2.5});
+  ExpectRoundTrip(std::pair<std::string, uint32_t>{"case-123", 9});
+  ExpectRoundTrip(std::vector<int>{});
+  ExpectRoundTrip(std::vector<double>{1.0, -2.0, 3.5});
+  ExpectRoundTrip(std::vector<std::string>{"a", "", "long string here"});
+}
+
+TEST(SerializerTest, NestedVectorOfPairs) {
+  std::vector<std::pair<std::string, std::vector<int>>> value = {
+      {"alpha", {1, 2, 3}},
+      {"", {}},
+      {"beta", {42}},
+  };
+  ExpectRoundTrip(value);
+}
+
+TEST(SerializerTest, DistanceVectorRecords) {
+  distance::DistanceVector v;
+  for (size_t i = 0; i < distance::kDistanceDims; ++i) {
+    v[i] = 0.1 * static_cast<double>(i + 1);
+  }
+  const std::string payload = SerializeToString(v);
+  EXPECT_EQ(payload.size(), sizeof(distance::DistanceVector));
+  distance::DistanceVector restored;
+  ASSERT_TRUE(DeserializeFromString(payload, &restored));
+  for (size_t i = 0; i < distance::kDistanceDims; ++i) {
+    EXPECT_EQ(restored[i], v[i]);
+  }
+}
+
+TEST(SerializerTest, ReportPairAndLabeledPairRecords) {
+  ExpectRoundTrip(distance::ReportPair{3, 17});
+
+  distance::LabeledPair pair;
+  pair.pair = {5, 9};
+  pair.label = +1;
+  pair.vector[0] = 0.25;
+  const std::string payload = SerializeToString(pair);
+  distance::LabeledPair restored;
+  ASSERT_TRUE(DeserializeFromString(payload, &restored));
+  EXPECT_EQ(restored.pair, pair.pair);
+  EXPECT_EQ(restored.label, pair.label);
+  EXPECT_EQ(restored.vector[0], pair.vector[0]);
+}
+
+TEST(SerializerTest, PartitionShapedPayload) {
+  // The exact record shape PersistNode spills for the distance stage.
+  std::vector<std::pair<size_t, distance::DistanceVector>> partition;
+  for (size_t i = 0; i < 64; ++i) {
+    distance::DistanceVector v;
+    v[0] = static_cast<double>(i);
+    partition.emplace_back(i, v);
+  }
+  const std::string payload = SerializeToString(partition);
+  std::vector<std::pair<size_t, distance::DistanceVector>> restored;
+  ASSERT_TRUE(DeserializeFromString(payload, &restored));
+  ASSERT_EQ(restored.size(), partition.size());
+  for (size_t i = 0; i < partition.size(); ++i) {
+    EXPECT_EQ(restored[i].first, partition[i].first);
+    EXPECT_EQ(restored[i].second[0], partition[i].second[0]);
+  }
+}
+
+TEST(SerializerTest, HasSerializerDetection) {
+  struct NotSerializable {
+    std::string s;  // non-trivially-copyable, no specialization
+  };
+  static_assert(HasSerializer<int>::value);
+  static_assert(HasSerializer<std::string>::value);
+  static_assert(HasSerializer<distance::DistanceVector>::value);
+  static_assert(HasSerializer<distance::LabeledPair>::value);
+  static_assert(
+      HasSerializer<std::vector<std::pair<std::string, int>>>::value);
+  static_assert(!HasSerializer<NotSerializable>::value);
+  static_assert(!HasSerializer<std::vector<NotSerializable>>::value);
+}
+
+TEST(SerializerTest, RejectsTruncatedPayloads) {
+  const std::vector<std::string> value = {"hello", "world"};
+  const std::string payload = SerializeToString(value);
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::string> restored;
+    EXPECT_FALSE(DeserializeFromString(
+        std::string_view(payload.data(), cut), &restored))
+        << "prefix of " << cut << " bytes deserialized";
+  }
+}
+
+TEST(SerializerTest, RejectsTrailingGarbage) {
+  const std::string payload = SerializeToString(std::vector<int>{1, 2}) + "x";
+  std::vector<int> restored;
+  EXPECT_FALSE(DeserializeFromString(payload, &restored));
+}
+
+TEST(SerializerTest, RejectsCorruptVectorCount) {
+  std::string payload = SerializeToString(std::vector<int>{1, 2, 3});
+  // Blow up the element count field; the reader must fail on the short
+  // payload rather than allocate or scan past the end.
+  const uint64_t bogus = ~0ULL;
+  payload.replace(0, sizeof(bogus),
+                  reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  std::vector<int> restored;
+  EXPECT_FALSE(DeserializeFromString(payload, &restored));
+}
+
+class SpillFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("adrdedup-spill-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const char* name) const { return (dir_ / name).string(); }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static void WriteAll(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SpillFileTest, RoundTripsPayload) {
+  const std::string payload = SerializeToString(std::vector<int>{5, 6, 7});
+  ASSERT_TRUE(WriteBlockFile(Path("block.blk"), payload).ok());
+  auto read = ReadBlockFile(Path("block.blk"));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), payload);
+}
+
+TEST_F(SpillFileTest, RoundTripsEmptyPayload) {
+  ASSERT_TRUE(WriteBlockFile(Path("empty.blk"), "").ok());
+  auto read = ReadBlockFile(Path("empty.blk"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().empty());
+}
+
+TEST_F(SpillFileTest, MissingFileIsAnError) {
+  EXPECT_FALSE(ReadBlockFile(Path("nope.blk")).ok());
+}
+
+TEST_F(SpillFileTest, RejectsBadMagic) {
+  ASSERT_TRUE(WriteBlockFile(Path("block.blk"), "payload").ok());
+  std::string bytes = ReadAll(Path("block.blk"));
+  bytes[0] = 'X';
+  WriteAll(Path("block.blk"), bytes);
+  EXPECT_FALSE(ReadBlockFile(Path("block.blk")).ok());
+}
+
+TEST_F(SpillFileTest, RejectsTruncatedFile) {
+  ASSERT_TRUE(
+      WriteBlockFile(Path("block.blk"), std::string(256, 'p')).ok());
+  const std::string bytes = ReadAll(Path("block.blk"));
+  // Cut inside the header and inside the payload.
+  for (const size_t keep : {size_t{4}, size_t{12}, bytes.size() - 1}) {
+    WriteAll(Path("block.blk"), bytes.substr(0, keep));
+    EXPECT_FALSE(ReadBlockFile(Path("block.blk")).ok())
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+}
+
+TEST_F(SpillFileTest, RejectsCorruptPayloadByCrc) {
+  ASSERT_TRUE(
+      WriteBlockFile(Path("block.blk"), std::string(64, 'q')).ok());
+  std::string bytes = ReadAll(Path("block.blk"));
+  bytes[bytes.size() - 1] ^= 0x01;  // single bit flip in the payload
+  WriteAll(Path("block.blk"), bytes);
+  auto read = ReadBlockFile(Path("block.blk"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().ToString().find("CRC"), std::string::npos);
+}
+
+TEST(ByteSizeTest, ScalarAndStringAccounting) {
+  EXPECT_EQ(ByteSizeOf(int{1}), sizeof(int));
+  EXPECT_EQ(ByteSizeOf(std::string("abcd")), sizeof(std::string) + 4);
+}
+
+TEST(ByteSizeTest, NestedVectorOfPairsAccounting) {
+  const std::vector<std::pair<std::string, std::vector<int>>> value = {
+      {"ab", {1, 2, 3}},
+      {"c", {}},
+  };
+  const size_t expected =
+      sizeof(value) +
+      (sizeof(std::string) + 2 + sizeof(std::vector<int>) + 3 * sizeof(int)) +
+      (sizeof(std::string) + 1 + sizeof(std::vector<int>));
+  EXPECT_EQ(ByteSizeOf(value), expected);
+}
+
+TEST(ByteSizeTest, GrowsWithContent) {
+  std::vector<std::string> small = {"a"};
+  std::vector<std::string> large = {"a", std::string(1000, 'b')};
+  EXPECT_GT(ByteSizeOf(large), ByteSizeOf(small) + 1000);
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark::storage

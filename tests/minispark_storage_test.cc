@@ -1,0 +1,409 @@
+// Block-manager storage subsystem: LRU budget eviction, disk spill and
+// read-back, DISK_ONLY blocks, the Persist()/Checkpoint() RDD surface,
+// chaos drops through the block store, and checkpoint-based recovery
+// that provably skips upstream recomputation.
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minispark/byte_size.h"
+#include "minispark/fault_injector.h"
+#include "minispark/rdd.h"
+#include "minispark/storage/block_manager.h"
+#include "minispark/storage/serializer.h"
+
+namespace adrdedup::minispark {
+namespace {
+
+namespace fs = std::filesystem;
+using storage::BlockId;
+using storage::BlockManager;
+using storage::StorageLevel;
+
+BlockManager::BlockData IntBlock(std::vector<int> values) {
+  return std::make_shared<const std::vector<int>>(std::move(values));
+}
+
+std::string IntSerialize(const BlockManager::BlockData& data) {
+  return storage::SerializeToString(
+      *std::static_pointer_cast<const std::vector<int>>(data));
+}
+
+BlockManager::BlockData IntDeserialize(std::string_view payload) {
+  auto value = std::make_shared<std::vector<int>>();
+  if (!storage::DeserializeFromString(payload, value.get())) return nullptr;
+  return std::shared_ptr<const std::vector<int>>(std::move(value));
+}
+
+const std::vector<int>& AsInts(const BlockManager::BlockData& data) {
+  return *std::static_pointer_cast<const std::vector<int>>(data);
+}
+
+// A scratch directory per test, removed on teardown.
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("adrdedup-storage-test-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Dir(const char* sub) const { return (dir_ / sub).string(); }
+
+  // Flips one payload byte in every block file under `dir`.
+  static size_t CorruptAllBlockFiles(const std::string& dir) {
+    size_t corrupted = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      std::string bytes;
+      {
+        std::ifstream in(entry.path(), std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), {});
+      }
+      if (bytes.empty()) continue;
+      bytes.back() ^= 0x01;
+      std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+      out << bytes;
+      ++corrupted;
+    }
+    return corrupted;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StorageTest, PutGetMemoryHit) {
+  Metrics metrics;
+  BlockManager manager({.memory_budget_bytes = 0}, &metrics);
+  manager.Put({1, 0}, IntBlock({1, 2, 3}), 100, StorageLevel::kMemoryOnly,
+              IntSerialize, IntDeserialize);
+  EXPECT_TRUE(manager.InMemory({1, 0}));
+  EXPECT_EQ(manager.memory_used(), 100u);
+  auto hit = manager.Get({1, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(AsInts(hit), (std::vector<int>{1, 2, 3}));
+  const auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.cache_hits, 1u);
+  EXPECT_EQ(snapshot.blocks_stored, 1u);
+  EXPECT_EQ(snapshot.bytes_stored, 100u);
+}
+
+TEST_F(StorageTest, UnknownBlockIsAMiss) {
+  Metrics metrics;
+  BlockManager manager({}, &metrics);
+  EXPECT_EQ(manager.Get({9, 9}), nullptr);
+  EXPECT_EQ(metrics.Snapshot().cache_misses, 1u);
+}
+
+TEST_F(StorageTest, MemoryOnlyEvictionDropsLeastRecentlyUsed) {
+  Metrics metrics;
+  BlockManager manager({.memory_budget_bytes = 250}, &metrics);
+  manager.Put({1, 0}, IntBlock({0}), 100, StorageLevel::kMemoryOnly,
+              IntSerialize, IntDeserialize);
+  manager.Put({1, 1}, IntBlock({1}), 100, StorageLevel::kMemoryOnly,
+              IntSerialize, IntDeserialize);
+  // Touch block 0 so block 1 is the LRU victim.
+  ASSERT_NE(manager.Get({1, 0}), nullptr);
+  manager.Put({1, 2}, IntBlock({2}), 100, StorageLevel::kMemoryOnly,
+              IntSerialize, IntDeserialize);
+  EXPECT_TRUE(manager.InMemory({1, 0}));
+  EXPECT_FALSE(manager.InMemory({1, 1}));
+  EXPECT_TRUE(manager.InMemory({1, 2}));
+  EXPECT_LE(manager.memory_used(), 250u);
+  // A MEMORY_ONLY victim is gone for good: miss, lineage recomputes.
+  EXPECT_EQ(manager.Get({1, 1}), nullptr);
+  const auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.blocks_evicted, 1u);
+  EXPECT_EQ(snapshot.blocks_spilled, 0u);
+}
+
+TEST_F(StorageTest, MemoryAndDiskEvictionSpillsAndReadsBack) {
+  Metrics metrics;
+  BlockManager manager(
+      {.memory_budget_bytes = 150, .spill_dir = Dir("spill")}, &metrics);
+  manager.Put({1, 0}, IntBlock({10, 20}), 100, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  manager.Put({1, 1}, IntBlock({30, 40}), 100, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  EXPECT_FALSE(manager.InMemory({1, 0}));  // evicted to fit block 1
+  EXPECT_TRUE(manager.OnDisk({1, 0}));
+  const auto before = metrics.Snapshot();
+  EXPECT_EQ(before.blocks_evicted, 1u);
+  EXPECT_EQ(before.blocks_spilled, 1u);
+  EXPECT_GT(before.bytes_spilled, 0u);
+  auto hit = manager.Get({1, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(AsInts(hit), (std::vector<int>{10, 20}));
+  // The disk hit was re-admitted to memory, which in turn evicted and
+  // spilled block 1 under the same budget.
+  EXPECT_TRUE(manager.InMemory({1, 0}));
+  const auto after = metrics.Snapshot();
+  EXPECT_EQ(after.spill_blocks_read, 1u);
+  EXPECT_EQ(after.blocks_evicted, 2u);
+  EXPECT_EQ(after.blocks_spilled, 2u);
+}
+
+TEST_F(StorageTest, DiskOnlyNeverOccupiesBudget) {
+  Metrics metrics;
+  BlockManager manager(
+      {.memory_budget_bytes = 1000, .spill_dir = Dir("spill")}, &metrics);
+  manager.Put({2, 0}, IntBlock({7, 8, 9}), 500, StorageLevel::kDiskOnly,
+              IntSerialize, IntDeserialize);
+  EXPECT_FALSE(manager.InMemory({2, 0}));
+  EXPECT_TRUE(manager.OnDisk({2, 0}));
+  EXPECT_EQ(manager.memory_used(), 0u);
+  auto hit = manager.Get({2, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(AsInts(hit), (std::vector<int>{7, 8, 9}));
+  // Still not promoted to memory: DISK_ONLY stays on disk.
+  EXPECT_FALSE(manager.InMemory({2, 0}));
+}
+
+TEST_F(StorageTest, BlockLargerThanWholeBudgetSpillsDirectly) {
+  Metrics metrics;
+  BlockManager manager(
+      {.memory_budget_bytes = 50, .spill_dir = Dir("spill")}, &metrics);
+  manager.Put({3, 0}, IntBlock({1}), 500, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  EXPECT_FALSE(manager.InMemory({3, 0}));
+  EXPECT_TRUE(manager.OnDisk({3, 0}));
+  EXPECT_EQ(manager.memory_used(), 0u);
+  ASSERT_NE(manager.Get({3, 0}), nullptr);
+}
+
+TEST_F(StorageTest, DropForgetsMemoryAndSpillFile) {
+  Metrics metrics;
+  BlockManager manager({.spill_dir = Dir("spill")}, &metrics);
+  manager.Put({4, 0}, IntBlock({1, 2}), 100, StorageLevel::kDiskOnly,
+              IntSerialize, IntDeserialize);
+  EXPECT_TRUE(manager.OnDisk({4, 0}));
+  manager.Drop({4, 0});
+  EXPECT_FALSE(manager.OnDisk({4, 0}));
+  EXPECT_EQ(manager.Get({4, 0}), nullptr);
+  EXPECT_TRUE(fs::is_empty(Dir("spill")));
+}
+
+TEST_F(StorageTest, CorruptSpillFileFallsBackToMiss) {
+  Metrics metrics;
+  BlockManager manager(
+      {.memory_budget_bytes = 100, .spill_dir = Dir("spill")}, &metrics);
+  manager.Put({5, 0}, IntBlock({1, 2, 3}), 80, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  manager.Put({5, 1}, IntBlock({4, 5, 6}), 80, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);  // evicts + spills block 0
+  ASSERT_TRUE(manager.OnDisk({5, 0}));
+  ASSERT_GT(CorruptAllBlockFiles(Dir("spill")), 0u);
+  // The lost block surfaces as a miss, not an error: lineage recomputes.
+  EXPECT_EQ(manager.Get({5, 0}), nullptr);
+  EXPECT_GE(metrics.Snapshot().cache_misses, 1u);
+}
+
+TEST_F(StorageTest, NullSerializerDegradesToMemoryOnly) {
+  Metrics metrics;
+  BlockManager manager(
+      {.memory_budget_bytes = 100, .spill_dir = Dir("spill")}, &metrics);
+  manager.Put({6, 0}, IntBlock({1}), 80, StorageLevel::kMemoryAndDisk,
+              nullptr, nullptr);
+  manager.Put({6, 1}, IntBlock({2}), 80, StorageLevel::kMemoryAndDisk,
+              nullptr, nullptr);
+  // The evicted block could not spill (no serializer): it is simply lost.
+  EXPECT_FALSE(manager.OnDisk({6, 0}));
+  EXPECT_EQ(manager.Get({6, 0}), nullptr);
+}
+
+TEST_F(StorageTest, EnsureWritableDirRejectsUnusablePath) {
+  EXPECT_FALSE(BlockManager::EnsureWritableDir("/dev/null/sub").ok());
+  EXPECT_TRUE(BlockManager::EnsureWritableDir(Dir("fresh/nested")).ok());
+}
+
+// ---- Rdd::Persist / Checkpoint integration ----
+
+TEST_F(StorageTest, PersistMemoryAndDiskIsBitIdenticalUnderTightBudget) {
+  std::vector<int> data(4096);
+  std::iota(data.begin(), data.end(), 0);
+
+  // Unbounded reference run.
+  std::vector<int> reference;
+  {
+    SparkContext ctx({.num_executors = 4});
+    reference = ctx.Parallelize(data, 16)
+                    .Map<int>([](int x) { return x * 31 + 7; })
+                    .Persist(StorageLevel::kMemoryAndDisk)
+                    .Collect();
+  }
+
+  // Budget sized to hold only a fraction of the 16 blocks at once.
+  SparkContext ctx({.num_executors = 4,
+                    .memory_budget_bytes = 4096,
+                    .spill_dir = Dir("spill")});
+  auto persisted = ctx.Parallelize(data, 16)
+                       .Map<int>([](int x) { return x * 31 + 7; })
+                       .Persist(StorageLevel::kMemoryAndDisk);
+  const auto first = persisted.Collect();
+  const auto second = persisted.Collect();
+  EXPECT_EQ(first, reference);
+  EXPECT_EQ(second, reference);
+  const auto snapshot = ctx.metrics().Snapshot();
+  EXPECT_GT(snapshot.blocks_evicted, 0u);
+  EXPECT_GT(snapshot.bytes_spilled, 0u);
+  EXPECT_GT(snapshot.spill_blocks_read, 0u);
+}
+
+TEST_F(StorageTest, PersistDiskOnlyReusesSerializedBlocks) {
+  std::atomic<int> compute_calls{0};
+  SparkContext ctx({.num_executors = 2, .spill_dir = Dir("spill")});
+  auto persisted = ctx.Parallelize(std::vector<int>(64, 1), 4)
+                       .Map<int>([&compute_calls](int x) {
+                         ++compute_calls;
+                         return x + 1;
+                       })
+                       .Persist(StorageLevel::kDiskOnly);
+  EXPECT_EQ(persisted.Count(), 64u);
+  const int after_first = compute_calls.load();
+  EXPECT_EQ(after_first, 64);
+  // The second action is served from spill files, not recomputation.
+  const auto values = persisted.Collect();
+  EXPECT_EQ(compute_calls.load(), after_first);
+  EXPECT_EQ(values, std::vector<int>(64, 2));
+  EXPECT_GT(ctx.metrics().Snapshot().spill_blocks_read, 0u);
+}
+
+TEST_F(StorageTest, ChaosDropOnSpilledPersistRecomputesIdentically) {
+  SparkContext ctx({.num_executors = 2, .spill_dir = Dir("spill")});
+  auto persisted = ctx.Parallelize(std::vector<int>{1, 2, 3, 4, 5, 6}, 3)
+                       .Map<int>([](int x) { return x * x; })
+                       .Persist(StorageLevel::kDiskOnly);
+  const auto before = persisted.Collect();
+  persisted.DropCachedPartition(1);  // removes the spill file too
+  const auto after = persisted.Collect();
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(ctx.metrics().Snapshot().partitions_recomputed, 1u);
+}
+
+TEST_F(StorageTest, CorruptSpillRecoversThroughLineage) {
+  SparkContext ctx({.num_executors = 2, .spill_dir = Dir("spill")});
+  auto persisted = ctx.Parallelize(std::vector<int>{3, 1, 4, 1, 5, 9}, 3)
+                       .Map<int>([](int x) { return x - 1; })
+                       .Persist(StorageLevel::kDiskOnly);
+  const auto before = persisted.Collect();
+  ASSERT_GT(CorruptAllBlockFiles(Dir("spill")), 0u);
+  const auto after = persisted.Collect();
+  EXPECT_EQ(before, after);
+  EXPECT_GT(ctx.metrics().Snapshot().partitions_recomputed, 0u);
+}
+
+TEST_F(StorageTest, CheckpointTruncatesLineage) {
+  SparkContext ctx({.num_executors = 2, .checkpoint_dir = Dir("ckpt")});
+  auto mapped = ctx.Parallelize(std::vector<int>{1, 2, 3, 4}, 2)
+                    .Map<int>([](int x) { return x + 10; });
+  auto checkpointed = mapped.Checkpoint();
+  EXPECT_NE(checkpointed.ToDebugString().find("Parallelize"),
+            std::string::npos);
+  EXPECT_EQ(checkpointed.Collect(), (std::vector<int>{11, 12, 13, 14}));
+  // After the first action the parent edge is cut.
+  const std::string lineage = checkpointed.ToDebugString();
+  EXPECT_EQ(lineage.find("Parallelize"), std::string::npos);
+  EXPECT_NE(lineage.find("lineage truncated"), std::string::npos);
+  const auto snapshot = ctx.metrics().Snapshot();
+  EXPECT_EQ(snapshot.checkpoint_blocks_written, 2u);
+  EXPECT_GT(snapshot.checkpoint_bytes_written, 0u);
+}
+
+TEST_F(StorageTest, CheckpointServesActionsWithoutUpstreamRecompute) {
+  std::atomic<int> compute_calls{0};
+  SparkContext ctx({.num_executors = 2, .checkpoint_dir = Dir("ckpt")});
+  auto checkpointed = ctx.Parallelize(std::vector<int>(32, 5), 4)
+                          .Map<int>([&compute_calls](int x) {
+                            ++compute_calls;
+                            return x;
+                          })
+                          .Checkpoint();
+  checkpointed.Count();
+  const int after_first = compute_calls.load();
+  EXPECT_EQ(after_first, 32);
+  checkpointed.Collect();
+  checkpointed.Count();
+  EXPECT_EQ(compute_calls.load(), after_first);
+  EXPECT_GE(ctx.metrics().Snapshot().checkpoint_blocks_read, 8u);
+}
+
+TEST_F(StorageTest, RetriedTaskRecoversFromCheckpointNotLineage) {
+  // The acceptance scenario: a downstream task fails mid-job; its retry
+  // re-reads the checkpointed input instead of recomputing the upstream
+  // stage, and the result is bit-exact vs the fault-free run.
+  std::vector<int> data(256);
+  std::iota(data.begin(), data.end(), 0);
+
+  std::vector<int> fault_free;
+  std::atomic<int> upstream_calls{0};
+  FaultInjector chaos({.seed = 11});
+  SparkContext ctx({.num_executors = 2, .checkpoint_dir = Dir("ckpt")});
+  auto checkpointed = ctx.Parallelize(data, 4)
+                          .Map<int>([&upstream_calls](int x) {
+                            ++upstream_calls;
+                            return x * 3;
+                          })
+                          .Checkpoint();
+  auto downstream =
+      checkpointed.Map<int>([](int x) { return x + 1; });
+  fault_free = downstream.Collect();
+  const int upstream_after_materialize = upstream_calls.load();
+  const auto before = ctx.metrics().Snapshot();
+
+  // Script one failure into the downstream job, then rerun it.
+  chaos.FailPartitionOnAttempt(2, 1);
+  ctx.set_fault_injector(&chaos);
+  const auto with_fault = downstream.Collect();
+  ctx.set_fault_injector(nullptr);
+
+  EXPECT_EQ(with_fault, fault_free);
+  const auto after = ctx.metrics().Snapshot();
+  EXPECT_EQ(chaos.faults_injected(), 1u);
+  EXPECT_GE(after.tasks_failed, before.tasks_failed + 1);
+  // Recovery came from checkpoint files, not upstream recomputation.
+  EXPECT_GT(after.checkpoint_blocks_read, before.checkpoint_blocks_read);
+  EXPECT_EQ(upstream_calls.load(), upstream_after_materialize);
+  EXPECT_EQ(after.partitions_recomputed, before.partitions_recomputed);
+}
+
+TEST_F(StorageTest, CorruptCheckpointIsATaskErrorNotSilence) {
+  SparkContext ctx({.num_executors = 2,
+                    .max_task_failures = 2,
+                    .checkpoint_dir = Dir("ckpt")});
+  auto checkpointed =
+      ctx.Parallelize(std::vector<int>{1, 2, 3, 4}, 2).Checkpoint();
+  checkpointed.Count();  // materialize snapshots
+  ASSERT_GT(CorruptAllBlockFiles(Dir("ckpt")), 0u);
+  // Lineage is gone, the snapshot is bad: the job must fail loudly.
+  EXPECT_THROW(checkpointed.Collect(), TaskFailedException);
+}
+
+TEST_F(StorageTest, PersistLevelsShowInLineage) {
+  SparkContext ctx({.num_executors = 2, .spill_dir = Dir("spill")});
+  auto rdd = ctx.Parallelize(std::vector<int>{1, 2}, 1);
+  EXPECT_NE(rdd.Cache().ToDebugString().find("Cache"), std::string::npos);
+  EXPECT_NE(rdd.Persist(StorageLevel::kMemoryAndDisk)
+                .ToDebugString()
+                .find("MEMORY_AND_DISK"),
+            std::string::npos);
+  EXPECT_NE(rdd.Persist(StorageLevel::kDiskOnly)
+                .ToDebugString()
+                .find("DISK_ONLY"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace adrdedup::minispark

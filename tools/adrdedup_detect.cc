@@ -7,11 +7,19 @@
 //       [--negatives=100000] [--executors=4] [--out=detections.csv]
 //       [--save-model=model.bin | --load-model=model.bin]
 //       [--use-blocking] [--seed=7] [--metrics-out=metrics.json]
+//       [--memory-budget-mb=N] [--spill-dir=D] [--checkpoint-dir=D]
 //
 // The truth CSV (case_number_a, case_number_b) supplies positive labels;
 // negatives are sampled uniformly from the remaining pair universe.
 // --metrics-out dumps the minispark scheduler counters and per-stage wall
 // times as JSON (same serializer as the serving layer's metrics export).
+//
+// The storage flags bound the minispark block store: with any of them
+// set, the distance-vector stage runs persisted at MEMORY_AND_DISK
+// (checkpointed instead when --checkpoint-dir is given), so a budget
+// smaller than the stage spills blocks to CRC-checked files in
+// --spill-dir rather than holding every vector in memory. Detections
+// are bit-identical either way.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -23,6 +31,9 @@
 #include "core/fast_knn.h"
 #include "core/model_io.h"
 #include "distance/pair_dataset.h"
+#include "distance/pairwise.h"
+#include "minispark/storage/block_manager.h"
+#include "minispark/storage/storage_level.h"
 #include "eval/metrics.h"
 #include "report/report_io.h"
 #include "util/csv.h"
@@ -47,7 +58,8 @@ int Main(int argc, char** argv) {
           {"reports", "truth", "audit-tail", "theta", "k", "clusters",
            "negatives", "executors", "out", "save-model", "load-model",
            "use-blocking", "seed", "metrics-out", "max-task-failures",
-           "chaos-rate", "chaos-seed", "help"});
+           "chaos-rate", "chaos-seed", "memory-budget-mb", "spill-dir",
+           "checkpoint-dir", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -58,13 +70,34 @@ int Main(int argc, char** argv) {
                  "[--out=detections.csv] [--save-model=F|--load-model=F] "
                  "[--use-blocking] [--seed=N] [--metrics-out=F] "
                  "[--max-task-failures=N] [--chaos-rate=P] "
-                 "[--chaos-seed=N]\n";
+                 "[--chaos-seed=N] [--memory-budget-mb=N] [--spill-dir=D] "
+                 "[--checkpoint-dir=D]\n";
     return flags.GetBool("help", false) ? 0 : 1;
   }
   if (flags.Has("save-model") && flags.Has("load-model")) {
     return Fail(util::Status::InvalidArgument(
         "--save-model and --load-model are mutually exclusive"));
   }
+  // Storage flags are validated before any data is read so a bad budget
+  // or an unusable directory fails in milliseconds, not after the load.
+  auto memory_budget_mb = flags.GetInt("memory-budget-mb", 0);
+  if (!memory_budget_mb.ok()) return Fail(memory_budget_mb.status());
+  if (memory_budget_mb.value() < 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--memory-budget-mb must be non-negative, got " +
+        std::to_string(memory_budget_mb.value())));
+  }
+  const std::string spill_dir = flags.GetString("spill-dir", "");
+  const std::string checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  for (const std::string* dir : {&spill_dir, &checkpoint_dir}) {
+    if (dir->empty()) continue;
+    if (auto status = minispark::storage::BlockManager::EnsureWritableDir(*dir);
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  const bool use_storage = memory_budget_mb.value() > 0 ||
+                           !spill_dir.empty() || !checkpoint_dir.empty();
   util::Stopwatch total_watch;
   util::Stopwatch stage_watch;
   double load_seconds = 0.0;
@@ -165,7 +198,11 @@ int Main(int argc, char** argv) {
   minispark::SparkContext ctx(
       {.num_executors = static_cast<size_t>(executors.value()),
        .max_task_failures = static_cast<size_t>(max_task_failures.value()),
-       .fault_injector = chaos.get()});
+       .fault_injector = chaos.get(),
+       .memory_budget_bytes =
+           static_cast<uint64_t>(memory_budget_mb.value()) * 1024 * 1024,
+       .spill_dir = spill_dir,
+       .checkpoint_dir = checkpoint_dir});
   util::ThreadPool& pool = ctx.pool();
   const auto features = distance::ExtractAllFeatures(db, {}, &pool);
   std::cerr << "loaded " << db.size() << " reports, " << truth.size()
@@ -272,14 +309,42 @@ int Main(int argc, char** argv) {
   stage_watch.Restart();
 
   // --- Score and threshold. ---
-  const auto vectors =
-      ComputePairDistancesSpark(&ctx, features, pairs);
-  std::vector<distance::LabeledPair> queries(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    queries[i].pair = pairs[i];
-    queries[i].vector = vectors[i];
+  std::vector<double> scores(pairs.size());
+  if (use_storage) {
+    // Storage-backed dataflow: the distance stage is persisted (or
+    // snapshotted, with --checkpoint-dir) in the block store, and the
+    // scoring pass is a second action over those blocks — under a tight
+    // budget it transparently reads spilled files back.
+    auto stage = distance::PairDistancesRdd(&ctx, features, pairs);
+    if (!checkpoint_dir.empty()) {
+      stage = stage.Checkpoint();
+    } else {
+      stage = stage.Persist(minispark::storage::StorageLevel::kMemoryAndDisk);
+    }
+    const core::FastKnnClassifier* clf = &classifier;
+    auto scored = stage.MapPartitionsWithIndex<std::pair<size_t, double>>(
+        [clf](size_t, const std::vector<
+                  std::pair<size_t, distance::DistanceVector>>& records) {
+          core::FastKnnScratch scratch;
+          std::vector<std::pair<size_t, double>> out;
+          out.reserve(records.size());
+          for (const auto& [index, vector] : records) {
+            out.emplace_back(index, clf->Score(vector, &scratch));
+          }
+          return out;
+        });
+    for (auto& [index, score] : scored.Collect()) {
+      scores[index] = score;
+    }
+  } else {
+    const auto vectors = ComputePairDistancesSpark(&ctx, features, pairs);
+    std::vector<distance::LabeledPair> queries(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      queries[i].pair = pairs[i];
+      queries[i].vector = vectors[i];
+    }
+    scores = classifier.ScoreAllSpark(&ctx, queries);
   }
-  const auto scores = classifier.ScoreAllSpark(&ctx, queries);
   score_seconds = stage_watch.ElapsedSeconds();
   if (chaos) {
     const auto spark = ctx.metrics().Snapshot();

@@ -15,6 +15,7 @@
 //       [--max-batch=32] [--linger-ms=2] [--queue-capacity=1024]
 //       [--refresh-every=0] [--load-model=model.bin]
 //       [--out=detections.csv] [--metrics-out=metrics.json]
+//       [--memory-budget-mb=N] [--spill-dir=D] [--checkpoint-dir=D]
 //
 // --qps=0 streams as fast as the service admits (throughput mode). The
 // model comes from --load-model, or is fitted at Start() from --truth
@@ -31,6 +32,8 @@
 
 #include "core/model_io.h"
 #include "distance/pair_dataset.h"
+#include "minispark/storage/block_manager.h"
+#include "minispark/storage/storage_level.h"
 #include "report/report_io.h"
 #include "serve/screening_service.h"
 #include "util/csv.h"
@@ -291,7 +294,8 @@ int Main(int argc, char** argv) {
            "k", "clusters", "negatives", "executors", "use-blocking", "seed",
            "max-batch", "linger-ms", "queue-capacity", "refresh-every",
            "submit-deadline-ms", "request-deadline-ms",
-           "load-model", "out", "metrics-out", "help"});
+           "load-model", "out", "metrics-out", "memory-budget-mb",
+           "spill-dir", "checkpoint-dir", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -303,8 +307,27 @@ int Main(int argc, char** argv) {
                  "[--seed=N] [--max-batch=N] [--linger-ms=X] "
                  "[--queue-capacity=N] [--refresh-every=N] "
                  "[--submit-deadline-ms=X] [--request-deadline-ms=X] "
-                 "[--load-model=F] [--out=F] [--metrics-out=F]\n";
+                 "[--load-model=F] [--out=F] [--metrics-out=F] "
+                 "[--memory-budget-mb=N] [--spill-dir=D] "
+                 "[--checkpoint-dir=D]\n";
     return flags.GetBool("help", false) ? 0 : 1;
+  }
+  // Storage flags fail fast, before the report CSV is even opened.
+  auto memory_budget_mb = flags.GetInt("memory-budget-mb", 0);
+  if (!memory_budget_mb.ok()) return Fail(memory_budget_mb.status());
+  if (memory_budget_mb.value() < 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--memory-budget-mb must be non-negative, got " +
+        std::to_string(memory_budget_mb.value())));
+  }
+  const std::string spill_dir = flags.GetString("spill-dir", "");
+  const std::string checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  for (const std::string* dir : {&spill_dir, &checkpoint_dir}) {
+    if (dir->empty()) continue;
+    if (auto status = minispark::storage::BlockManager::EnsureWritableDir(*dir);
+        !status.ok()) {
+      return Fail(status);
+    }
   }
   if (flags.GetBool("stdin", false) &&
       (flags.Has("qps") || flags.Has("clients") || flags.Has("out"))) {
@@ -369,13 +392,24 @@ int Main(int argc, char** argv) {
   const size_t bootstrap_size = db.size() - tail;
 
   minispark::SparkContext ctx(
-      {.num_executors = static_cast<size_t>(executors.value())});
+      {.num_executors = static_cast<size_t>(executors.value()),
+       .memory_budget_bytes =
+           static_cast<uint64_t>(memory_budget_mb.value()) * 1024 * 1024,
+       .spill_dir = spill_dir,
+       .checkpoint_dir = checkpoint_dir});
 
   serve::ScreeningServiceOptions options;
   options.pipeline.knn.k = static_cast<size_t>(k.value());
   options.pipeline.knn.num_clusters = static_cast<size_t>(clusters.value());
   options.pipeline.theta = theta.value();
   options.pipeline.use_blocking = flags.GetBool("use-blocking", false);
+  if (memory_budget_mb.value() > 0 || !spill_dir.empty()) {
+    // A bounded serving process keeps its screening stages spillable so
+    // a burst of wide batches degrades to disk instead of growing the
+    // resident set.
+    options.pipeline.persist_level =
+        minispark::storage::StorageLevel::kMemoryAndDisk;
+  }
   options.queue_capacity = static_cast<size_t>(queue_capacity.value());
   options.max_batch = static_cast<size_t>(max_batch.value());
   options.max_linger_ms = linger_ms.value();
