@@ -150,18 +150,14 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
   result.pairs_after_pruning = candidate_indices.size();
 
   // Classification (Algorithm 2) over the surviving pairs.
-  std::vector<LabeledPair> queries(candidate_indices.size());
-  for (size_t q = 0; q < candidate_indices.size(); ++q) {
-    queries[q].vector = vectors[candidate_indices[q]];
-    queries[q].pair = pairs[candidate_indices[q]];
-  }
   std::vector<double> scores;
   if (distance_rdd.has_value()) {
     // Second action over the persisted distance stage: each task pulls
     // its partition's vectors back out of the block store (memory hit,
     // spill-file read, or lineage recompute — all bit-identical) and
     // scores the pruning survivors. `query_of` maps an input pair index
-    // to its slot in `queries`; SIZE_MAX = pruned away.
+    // to its survivor slot; SIZE_MAX = pruned away. The scored RDD is
+    // consumed by this single Collect, so it is not persisted itself.
     std::vector<size_t> query_of(pairs.size(), SIZE_MAX);
     for (size_t q = 0; q < candidate_indices.size(); ++q) {
       query_of[candidate_indices[q]] = q;
@@ -183,20 +179,27 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
                   }
                   return out;
                 })
-            .Persist(*options_.persist_level);
+            .Collect();
     scores.resize(candidate_indices.size());
-    for (auto& [q, score] : scored.Collect()) {
+    for (auto& [q, score] : scored) {
       scores[q] = score;
     }
   } else {
+    std::vector<LabeledPair> queries(candidate_indices.size());
+    for (size_t q = 0; q < candidate_indices.size(); ++q) {
+      queries[q].vector = vectors[candidate_indices[q]];
+      queries[q].pair = pairs[candidate_indices[q]];
+    }
     scores = classifier_.ScoreAllSpark(ctx_, queries);
   }
 
   // Eq. 6 thresholding plus the Fig. 1 feedback loop: detected duplicates
   // enter the positive store; everything else is a labelled negative,
   // reservoir-sampled into the bounded non-duplicate store.
-  for (size_t q = 0; q < queries.size(); ++q) {
-    LabeledPair labeled = queries[q];
+  for (size_t q = 0; q < candidate_indices.size(); ++q) {
+    LabeledPair labeled;
+    labeled.vector = vectors[candidate_indices[q]];
+    labeled.pair = pairs[candidate_indices[q]];
     if (scores[q] >= options_.theta) {
       labeled.label = +1;
       positive_store_.push_back(labeled);

@@ -309,6 +309,17 @@ class PersistNode final : public RddNode<T> {
         rdd_id_(this->ctx()->NextRddId()),
         slots_(parent_->NumPartitions()) {}
 
+  // Unpersist: blocks (and any spill files backing them) are released
+  // when the RDD graph dies, so a long-lived context — e.g. the serve
+  // loop persisting two RDDs per micro-batch — never accumulates
+  // storage from batches whose RDDs are gone.
+  ~PersistNode() override {
+    storage::BlockManager& manager = this->ctx()->block_manager();
+    for (size_t p = 0; p < slots_.size(); ++p) {
+      manager.Drop({rdd_id_, p});
+    }
+  }
+
   size_t NumPartitions() const override { return parent_->NumPartitions(); }
 
   PartitionData<T> Compute(size_t partition) override {
@@ -440,7 +451,9 @@ class CheckpointNode final : public RddNode<T> {
   }
 
   void EnsureReady() override {
-    if (auto parent = parent_) parent->EnsureReady();
+    // Copy the parent edge under the mutex: Materialize() truncates it
+    // concurrently when another thread drives the first action.
+    if (auto parent = ParentSnapshot()) parent->EnsureReady();
     std::call_once(once_, [this] { Materialize(); });
   }
 
@@ -453,10 +466,15 @@ class CheckpointNode final : public RddNode<T> {
     this->AppendLineageLine(out, depth, DebugLabel());
     // Once materialized the parent edge is gone: the lineage dump stops
     // here, exactly like Spark's post-checkpoint toDebugString.
-    if (auto parent = parent_) parent->AppendLineage(out, depth + 1);
+    if (auto parent = ParentSnapshot()) parent->AppendLineage(out, depth + 1);
   }
 
  private:
+  std::shared_ptr<RddNode<T>> ParentSnapshot() const {
+    std::lock_guard<std::mutex> lock(parent_mutex_);
+    return parent_;
+  }
+
   void Materialize() {
     std::vector<PartitionData<T>> inputs(num_partitions_);
     this->ctx()->pool().ParallelFor(0, num_partitions_, [&](size_t p) {
@@ -471,10 +489,14 @@ class CheckpointNode final : public RddNode<T> {
         }
       });
     });
-    parent_.reset();  // lineage truncation: the whole point
+    {
+      std::lock_guard<std::mutex> lock(parent_mutex_);
+      parent_.reset();  // lineage truncation: the whole point
+    }
     checkpointed_.store(true, std::memory_order_release);
   }
 
+  mutable std::mutex parent_mutex_;  // guards parent_ against truncation
   std::shared_ptr<RddNode<T>> parent_;
   uint64_t rdd_id_;
   size_t num_partitions_;

@@ -90,7 +90,7 @@ bool BlockManager::SpillBlock(const Key& key, Block* block) {
                          << status.ToString();
     return false;
   }
-  if (!block->on_disk) owned_files_.push_back(path);
+  owned_files_.insert(path);
   block->on_disk = true;
   metrics_->AddBlockSpilled(payload.size());
   return true;
@@ -143,12 +143,21 @@ void BlockManager::Put(const BlockId& id, BlockData data, uint64_t bytes,
     lru_.erase(block.lru_pos);
     block.data = nullptr;
   }
+  if (block.on_disk) {
+    // A replacement invalidates the previous spill file: leaving the
+    // flag set would skip the next spill and serve the stale payload.
+    RemoveSpillFile(key);
+    block.on_disk = false;
+  }
   block.bytes = bytes;
-  block.level = level;
+  // No serializer = the block can never spill: degrade to memory-only
+  // behaviour whatever level was requested (the documented contract),
+  // rather than silently dropping DISK_ONLY data.
+  block.level = serialize ? level : StorageLevel::kMemoryOnly;
   block.serialize = std::move(serialize);
   block.deserialize = std::move(deserialize);
   metrics_->AddBlockStored(bytes);
-  if (level == StorageLevel::kDiskOnly) {
+  if (block.level == StorageLevel::kDiskOnly) {
     block.data = std::move(data);
     SpillBlock(key, &block);
     block.data = nullptr;
@@ -224,10 +233,16 @@ void BlockManager::Drop(const BlockId& id) {
     lru_.erase(block.lru_pos);
   }
   if (block.on_disk) {
-    std::error_code ec;
-    fs::remove(SpillPath(key), ec);
+    RemoveSpillFile(key);
   }
   blocks_.erase(it);
+}
+
+void BlockManager::RemoveSpillFile(const Key& key) {
+  const std::string path = SpillPath(key);
+  std::error_code ec;
+  fs::remove(path, ec);
+  owned_files_.erase(path);
 }
 
 util::Status BlockManager::WriteCheckpoint(uint64_t rdd_id, size_t partition,
@@ -241,7 +256,7 @@ util::Status BlockManager::WriteCheckpoint(uint64_t rdd_id, size_t partition,
       return util::Status::IoError("no usable checkpoint directory");
     }
     path = CheckpointPath(rdd_id, partition);
-    owned_files_.push_back(path);
+    owned_files_.insert(path);
   }
   // The write itself runs outside the lock: paths are unique per
   // (rdd, partition), so concurrent checkpoint tasks never collide.

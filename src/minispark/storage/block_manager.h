@@ -40,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -149,6 +150,7 @@ class BlockManager {
   void AdmitToMemory(const Key& key, Block* block, BlockData data);
   void EnsureBudget(uint64_t incoming_bytes);
   bool SpillBlock(const Key& key, Block* block);
+  void RemoveSpillFile(const Key& key);
 
   const Options options_;
   Metrics* const metrics_;
@@ -161,8 +163,10 @@ class BlockManager {
   // first needed.
   std::string spill_dir_;
   std::string checkpoint_dir_;
-  std::vector<std::string> owned_dirs_;    // dirs this manager created
-  std::vector<std::string> owned_files_;   // files this manager wrote
+  std::vector<std::string> owned_dirs_;  // dirs this manager created
+  // Files this manager wrote and not yet deleted; a set so Drop() can
+  // release its entry (unbounded otherwise on a long-running server).
+  std::unordered_set<std::string> owned_files_;
 };
 
 }  // namespace adrdedup::minispark::storage

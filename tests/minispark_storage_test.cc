@@ -211,6 +211,41 @@ TEST_F(StorageTest, CorruptSpillFileFallsBackToMiss) {
   EXPECT_GE(metrics.Snapshot().cache_misses, 1u);
 }
 
+TEST_F(StorageTest, PutReplacementInvalidatesStaleSpillFile) {
+  Metrics metrics;
+  BlockManager manager(
+      {.memory_budget_bytes = 100, .spill_dir = Dir("spill")}, &metrics);
+  manager.Put({7, 0}, IntBlock({1, 2, 3}), 80, StorageLevel::kDiskOnly,
+              IntSerialize, IntDeserialize);
+  ASSERT_TRUE(manager.OnDisk({7, 0}));
+  // Replace the block with new data at a memory-resident level: the old
+  // spill file must not survive as the block's disk copy.
+  manager.Put({7, 0}, IntBlock({4, 5, 6}), 80, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  EXPECT_FALSE(manager.OnDisk({7, 0}));
+  // Evict the replacement; the re-spill must write the *new* payload.
+  manager.Put({7, 1}, IntBlock({0}), 80, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  ASSERT_FALSE(manager.InMemory({7, 0}));
+  auto hit = manager.Get({7, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(AsInts(hit), (std::vector<int>{4, 5, 6}));
+}
+
+TEST_F(StorageTest, DiskOnlyWithoutSerializerKeepsDataInMemory) {
+  Metrics metrics;
+  BlockManager manager({.spill_dir = Dir("spill")}, &metrics);
+  // No serializer: DISK_ONLY cannot spill and must degrade to
+  // memory-only behaviour instead of silently discarding the data.
+  manager.Put({8, 0}, IntBlock({6, 7}), 50, StorageLevel::kDiskOnly,
+              nullptr, nullptr);
+  EXPECT_FALSE(manager.OnDisk({8, 0}));
+  EXPECT_TRUE(manager.InMemory({8, 0}));
+  auto hit = manager.Get({8, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(AsInts(hit), (std::vector<int>{6, 7}));
+}
+
 TEST_F(StorageTest, NullSerializerDegradesToMemoryOnly) {
   Metrics metrics;
   BlockManager manager(
@@ -389,6 +424,33 @@ TEST_F(StorageTest, CorruptCheckpointIsATaskErrorNotSilence) {
   ASSERT_GT(CorruptAllBlockFiles(Dir("ckpt")), 0u);
   // Lineage is gone, the snapshot is bad: the job must fail loudly.
   EXPECT_THROW(checkpointed.Collect(), TaskFailedException);
+}
+
+TEST_F(StorageTest, DeadPersistedRddReleasesBlocksAndSpillFiles) {
+  // The serve loop persists fresh RDDs per micro-batch: when a batch's
+  // RDD graph dies, its blocks and spill files must be released, or a
+  // long-running context grows memory and disk without bound.
+  SparkContext ctx({.num_executors = 2, .spill_dir = Dir("spill")});
+  for (int batch = 0; batch < 3; ++batch) {
+    auto persisted = ctx.Parallelize(std::vector<int>(128, batch), 4)
+                         .Map<int>([](int x) { return x + 1; })
+                         .Persist(StorageLevel::kDiskOnly);
+    EXPECT_EQ(persisted.Count(), 128u);
+    EXPECT_FALSE(fs::is_empty(Dir("spill")));
+  }
+  // Every batch's RDD is gone: so are its spill files.
+  EXPECT_TRUE(fs::is_empty(Dir("spill")));
+  EXPECT_EQ(ctx.block_manager().memory_used(), 0u);
+}
+
+TEST_F(StorageTest, DeadMemoryPersistReleasesBudget) {
+  SparkContext ctx({.num_executors = 2, .memory_budget_bytes = 1 << 20});
+  {
+    auto persisted = ctx.Parallelize(std::vector<int>(256, 1), 4).Cache();
+    EXPECT_EQ(persisted.Count(), 256u);
+    EXPECT_GT(ctx.block_manager().memory_used(), 0u);
+  }
+  EXPECT_EQ(ctx.block_manager().memory_used(), 0u);
 }
 
 TEST_F(StorageTest, PersistLevelsShowInLineage) {
