@@ -1,0 +1,193 @@
+// Gate bench for the pairwise distance hot path (ISSUE 5 tentpole): the
+// interned-token engine (dictionary-encoded features, integer Jaccard,
+// signature prefilter, galloping merge — distance/interned.h) against
+// the string-token implementation it replaces.
+//
+// Gates:
+//   * every DistanceVector bit-identical to the string-token path (hard
+//     fail — deterministic at any scale),
+//   * >= 3x single-thread speedup on the distance stage (PASS/FAIL
+//     print; fails the process only under ADRDEDUP_BENCH_STRICT=1, so
+//     timing noise on tiny smoke runs cannot flake CI),
+//   * serve-path interning parity (hard fail): a pipeline that interns
+//     fresh batches against its live dictionary produces encodings —
+//     and therefore screening decisions, which are functions of the
+//     distance vectors alone — identical to a full re-encode of the
+//     grown corpus and to the string path.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dedup_pipeline.h"
+#include "distance/interned.h"
+#include "distance/pairwise.h"
+#include "minispark/context.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace adrdedup::bench {
+namespace {
+
+using distance::DistanceVector;
+using distance::InternedFeatures;
+using distance::ReportFeatures;
+using distance::ReportPair;
+using distance::TokenDictionary;
+
+std::vector<ReportPair> SamplePairs(size_t num_reports, size_t num_pairs,
+                                    uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<ReportPair> pairs;
+  pairs.reserve(num_pairs);
+  while (pairs.size() < num_pairs) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(num_reports));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(num_reports));
+    if (a == b) continue;
+    pairs.push_back({std::min(a, b), std::max(a, b)});
+  }
+  return pairs;
+}
+
+int Run() {
+  PrintBanner("distance-hotpath",
+              "ISSUE 5 gate: interned-token distance engine vs string path");
+  const bool strict = [] {
+    const char* env = std::getenv("ADRDEDUP_BENCH_STRICT");
+    return env != nullptr && std::string(env) == "1";
+  }();
+
+  const auto& workload = SharedWorkload();
+  const auto& features = workload.features;
+
+  // Encode once, as the pipeline does at ingest; report the cost so it
+  // is visible that interning is amortized over every later pair.
+  util::Stopwatch encode_watch;
+  TokenDictionary dict = TokenDictionary::Build(features);
+  const auto interned = distance::InternAllFeatures(features, &dict);
+  const double encode_seconds = encode_watch.ElapsedSeconds();
+  std::cout << "reports: " << features.size()
+            << ", dictionary tokens: " << dict.size()
+            << ", encode time: " << encode_seconds << "s\n";
+
+  const size_t num_pairs = Scaled(2000000, 20000);
+  const auto pairs = SamplePairs(features.size(), num_pairs, 29);
+  std::cout << "distance-stage pairs: " << pairs.size() << "\n";
+
+  bool failed = false;
+
+  // --- Gate 1: single-thread distance stage, string vs interned. ---
+  // One warmup pass each, then the timed pass over the same pairs.
+  (void)distance::ComputePairDistances(features, pairs);
+  util::Stopwatch string_watch;
+  const auto string_vectors = distance::ComputePairDistances(features, pairs);
+  const double string_seconds = string_watch.ElapsedSeconds();
+
+  (void)distance::ComputePairDistances(interned, pairs);
+  util::Stopwatch interned_watch;
+  const auto interned_vectors =
+      distance::ComputePairDistances(interned, pairs);
+  const double interned_seconds = interned_watch.ElapsedSeconds();
+
+  const double string_pps =
+      static_cast<double>(pairs.size()) / string_seconds;
+  const double interned_pps =
+      static_cast<double>(pairs.size()) / interned_seconds;
+  const double speedup = interned_pps / string_pps;
+  eval::TablePrinter throughput(&std::cout, {"path", "pairs/sec", "speedup"});
+  throughput.set_export_name("distance_hotpath_throughput");
+  throughput.AddRow({"string tokens (pre-PR)",
+                     eval::TablePrinter::Num(string_pps, 0), "1.00"});
+  throughput.AddRow({"interned ids + signatures",
+                     eval::TablePrinter::Num(interned_pps, 0),
+                     eval::TablePrinter::Num(speedup, 2)});
+  throughput.Print();
+  const bool throughput_ok = speedup >= 3.0;
+  std::cout << "GATE distance speedup >= 3.0x: "
+            << (throughput_ok ? "PASS" : "FAIL") << " (" << speedup << "x)"
+            << std::endl;
+  if (!throughput_ok && strict) failed = true;
+
+  // --- Gate 2: bit-identical DistanceVectors. ---
+  bool identical = string_vectors.size() == interned_vectors.size();
+  for (size_t i = 0; identical && i < string_vectors.size(); ++i) {
+    identical = string_vectors[i] == interned_vectors[i];
+  }
+  std::cout << "GATE all " << pairs.size()
+            << " DistanceVectors bit-identical: "
+            << (identical ? "PASS" : "FAIL") << std::endl;
+  if (!identical) failed = true;
+
+  // --- Gate 3: serve-path interning parity. ---
+  // A pipeline bootstrapped on a base corpus interns each new batch
+  // against its live dictionary (ids appended, never re-encoded). Its
+  // encodings must match a full re-encode of the grown corpus and the
+  // string path — over the exact pair universe the final batch screens
+  // (Eq. 3), which pins the screening decisions themselves.
+  const size_t base = features.size() * 9 / 10;
+  std::vector<report::AdrReport> base_reports;
+  std::vector<report::AdrReport> batch_reports;
+  for (size_t i = 0; i < workload.corpus.db.size(); ++i) {
+    const auto& report = workload.corpus.db.Get(
+        static_cast<report::ReportId>(i));
+    (i < base ? base_reports : batch_reports).push_back(report);
+  }
+  minispark::SparkContext ctx({.num_executors = 2});
+  core::DedupPipeline pipeline(&ctx, core::DedupPipelineOptions{});
+  pipeline.BootstrapDatabase(base_reports);
+  // Minimal labelled seed so the classifier can fit.
+  std::vector<distance::LabeledPair> seed_labels(2);
+  seed_labels[0].pair = {0, 1};
+  seed_labels[0].label = +1;
+  seed_labels[0].vector = distance::ComputeDistanceVector(
+      pipeline.interned_features()[0], pipeline.interned_features()[1]);
+  seed_labels[1].pair = {0, 2};
+  seed_labels[1].label = -1;
+  seed_labels[1].vector = distance::ComputeDistanceVector(
+      pipeline.interned_features()[0], pipeline.interned_features()[2]);
+  pipeline.SeedLabels(seed_labels);
+  const size_t dict_before = pipeline.token_dictionary().size();
+  (void)pipeline.ProcessNewReports(batch_reports);
+  std::cout << "serve path: dictionary " << dict_before << " -> "
+            << pipeline.token_dictionary().size() << " tokens after batch of "
+            << batch_reports.size() << "\n";
+
+  std::vector<report::ReportId> existing;
+  std::vector<report::ReportId> fresh;
+  for (size_t i = 0; i < pipeline.db().size(); ++i) {
+    (i < base ? existing : fresh).push_back(
+        static_cast<report::ReportId>(i));
+  }
+  const auto serve_pairs = distance::PairsForNewReports(existing, fresh);
+
+  TokenDictionary fresh_dict = TokenDictionary::Build(pipeline.features());
+  const auto reencoded =
+      distance::InternAllFeatures(pipeline.features(), &fresh_dict);
+  const auto live_vectors =
+      distance::ComputePairDistances(pipeline.interned_features(),
+                                     serve_pairs);
+  const auto reencoded_vectors =
+      distance::ComputePairDistances(reencoded, serve_pairs);
+  const auto reference_vectors =
+      distance::ComputePairDistances(pipeline.features(), serve_pairs);
+  bool serve_ok = true;
+  for (size_t i = 0; i < serve_pairs.size(); ++i) {
+    if (live_vectors[i] != reencoded_vectors[i] ||
+        live_vectors[i] != reference_vectors[i]) {
+      serve_ok = false;
+      break;
+    }
+  }
+  std::cout << "GATE serve-path live dictionary == full re-encode == string"
+            << " path (" << serve_pairs.size()
+            << " screening pairs): " << (serve_ok ? "PASS" : "FAIL")
+            << std::endl;
+  if (!serve_ok) failed = true;
+
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Run(); }

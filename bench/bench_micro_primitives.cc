@@ -3,8 +3,13 @@
 // distance vectors, kNN search, k-means iterations, and minispark ops.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "core/fast_knn.h"
+#include "distance/interned.h"
 #include "distance/pairwise.h"
 #include "minispark/pair_rdd.h"
 #include "minispark/rdd.h"
@@ -43,6 +48,68 @@ void BM_JaccardTokens(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JaccardTokens);
+
+// The interned counterpart of BM_JaccardTokens: same token sets, but
+// dictionary-encoded into sorted uint32 ids with 64-bit signatures.
+void BM_JaccardInterned(benchmark::State& state) {
+  auto a_tokens = text::Tokenize(kNarrative);
+  std::sort(a_tokens.begin(), a_tokens.end());
+  a_tokens.erase(std::unique(a_tokens.begin(), a_tokens.end()),
+                 a_tokens.end());
+  auto b_tokens = a_tokens;
+  b_tokens.resize(b_tokens.size() / 2);
+  distance::TokenDictionary dict;
+  const auto a = distance::InternTokenSet(a_tokens, &dict);
+  const auto b = distance::InternTokenSet(b_tokens, &dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::InternedJaccardDistance(a, b));
+  }
+}
+BENCHMARK(BM_JaccardInterned);
+
+// Disjoint sets whose signatures do not overlap: measures the cost of a
+// pair the prefilter short-circuits (no merge runs at all).
+void BM_JaccardSignaturePrefilter(benchmark::State& state) {
+  distance::TokenDictionary dict;
+  std::vector<std::string> a_tokens;
+  std::vector<std::string> b_tokens;
+  for (int i = 0; i < 24; ++i) a_tokens.push_back("left" + std::to_string(i));
+  for (int i = 0; i < 24; ++i) b_tokens.push_back("right" + std::to_string(i));
+  auto a = distance::InternTokenSet(a_tokens, &dict);
+  auto b = distance::InternTokenSet(b_tokens, &dict);
+  // Keep only ids whose signature bits are disjoint from the other side,
+  // so the benchmark measures the (signature & signature) == 0 exit.
+  std::erase_if(b.ids, [&](uint32_t id) {
+    return (distance::TokenSignatureBit(id) & a.signature) != 0;
+  });
+  b.signature = 0;
+  for (uint32_t id : b.ids) b.signature |= distance::TokenSignatureBit(id);
+  if ((a.signature & b.signature) != 0) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::InternedJaccardDistance(a, b));
+  }
+}
+BENCHMARK(BM_JaccardSignaturePrefilter);
+
+// Skewed sizes where the galloping merge beats the linear sweep: one
+// 8-element set intersected with a 4096-element set.
+void BM_JaccardGallop(benchmark::State& state) {
+  distance::TokenDictionary dict;
+  std::vector<std::string> large_tokens;
+  for (int i = 0; i < 4096; ++i) {
+    large_tokens.push_back("tok" + std::to_string(i));
+  }
+  std::vector<std::string> small_tokens;
+  for (int i = 0; i < 8; ++i) {
+    small_tokens.push_back("tok" + std::to_string(i * 512));
+  }
+  const auto large = distance::InternTokenSet(large_tokens, &dict);
+  const auto small = distance::InternTokenSet(small_tokens, &dict);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::InternedJaccardDistance(small, large));
+  }
+}
+BENCHMARK(BM_JaccardGallop);
 
 void BM_PorterStem(benchmark::State& state) {
   for (auto _ : state) {

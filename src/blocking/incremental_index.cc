@@ -1,10 +1,36 @@
 #include "blocking/incremental_index.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/logging.h"
 
 namespace adrdedup::blocking {
+
+namespace {
+
+// Scalar blocking-key string of one report, or nullopt when the report
+// has no key of this type. Token keys (drug/ADR) are handled separately
+// in interned mode — they already carry dictionary ids.
+std::optional<std::string> ScalarKeyOf(
+    const distance::InternedFeatures& features, BlockingKey key) {
+  switch (key) {
+    case BlockingKey::kOnsetDate:
+      if (features.onset_date.empty()) return std::nullopt;
+      return features.onset_date;
+    case BlockingKey::kSexAndAgeBand:
+      if (features.sex.empty() || !features.age.has_value()) {
+        return std::nullopt;
+      }
+      return features.sex + "/" + std::to_string(*features.age / 5);
+    case BlockingKey::kDrugToken:
+    case BlockingKey::kAdrToken:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 std::vector<std::string> BlockingKeysOf(
     const distance::ReportFeatures& features, BlockingKey key) {
@@ -26,12 +52,43 @@ std::vector<std::string> BlockingKeysOf(
 
 IncrementalBlockingIndex::IncrementalBlockingIndex(
     const BlockingOptions& options)
-    : options_(options), postings_(options.keys.size()) {
+    : options_(options),
+      postings_(options.keys.size()),
+      id_postings_(options.keys.size()) {
   ADRDEDUP_CHECK(!options.keys.empty()) << "no blocking keys configured";
+}
+
+void IncrementalBlockingIndex::SetMode(Mode mode) {
+  if (mode_ == Mode::kUnset) mode_ = mode;
+  ADRDEDUP_CHECK(mode_ == mode)
+      << "IncrementalBlockingIndex: string and interned APIs cannot be mixed";
+}
+
+std::vector<uint32_t> IncrementalBlockingIndex::KeyIdsForInsert(
+    const distance::InternedFeatures& features, size_t k) {
+  const BlockingKey key = options_.keys[k];
+  if (key == BlockingKey::kDrugToken) return features.drug.ids;
+  if (key == BlockingKey::kAdrToken) return features.adr.ids;
+  const auto scalar = ScalarKeyOf(features, key);
+  if (!scalar.has_value()) return {};
+  return {scalar_keys_.Intern(*scalar)};
+}
+
+std::vector<uint32_t> IncrementalBlockingIndex::KeyIdsForProbe(
+    const distance::InternedFeatures& features, size_t k) const {
+  const BlockingKey key = options_.keys[k];
+  if (key == BlockingKey::kDrugToken) return features.drug.ids;
+  if (key == BlockingKey::kAdrToken) return features.adr.ids;
+  const auto scalar = ScalarKeyOf(features, key);
+  if (!scalar.has_value()) return {};
+  const auto id = scalar_keys_.Find(*scalar);
+  if (!id.has_value()) return {};
+  return {*id};
 }
 
 void IncrementalBlockingIndex::Add(
     report::ReportId id, const distance::ReportFeatures& features) {
+  SetMode(Mode::kString);
   for (size_t k = 0; k < options_.keys.size(); ++k) {
     for (std::string& value : BlockingKeysOf(features, options_.keys[k])) {
       postings_[k][std::move(value)].push_back(id);
@@ -40,29 +97,68 @@ void IncrementalBlockingIndex::Add(
   ++num_reports_;
 }
 
+void IncrementalBlockingIndex::Add(
+    report::ReportId id, const distance::InternedFeatures& features) {
+  SetMode(Mode::kInterned);
+  for (size_t k = 0; k < options_.keys.size(); ++k) {
+    for (const uint32_t key_id : KeyIdsForInsert(features, k)) {
+      id_postings_[k][key_id].push_back(id);
+    }
+  }
+  ++num_reports_;
+}
+
+namespace {
+
+template <typename Map, typename Key>
+void AppendBlock(const Map& map, const Key& key, size_t max_block_size,
+                 std::vector<report::ReportId>* out) {
+  const auto it = map.find(key);
+  if (it == map.end()) return;
+  if (max_block_size != 0 && it->second.size() > max_block_size) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+void SortUniqueIds(std::vector<report::ReportId>* out) {
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace
+
 std::vector<report::ReportId> IncrementalBlockingIndex::Candidates(
     const distance::ReportFeatures& features) const {
+  ADRDEDUP_CHECK(mode_ != Mode::kInterned)
+      << "IncrementalBlockingIndex: string and interned APIs cannot be mixed";
   std::vector<report::ReportId> out;
   for (size_t k = 0; k < options_.keys.size(); ++k) {
     for (const std::string& value :
          BlockingKeysOf(features, options_.keys[k])) {
-      const auto it = postings_[k].find(value);
-      if (it == postings_[k].end()) continue;
-      if (options_.max_block_size != 0 &&
-          it->second.size() > options_.max_block_size) {
-        continue;
-      }
-      out.insert(out.end(), it->second.begin(), it->second.end());
+      AppendBlock(postings_[k], value, options_.max_block_size, &out);
     }
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  SortUniqueIds(&out);
+  return out;
+}
+
+std::vector<report::ReportId> IncrementalBlockingIndex::Candidates(
+    const distance::InternedFeatures& features) const {
+  ADRDEDUP_CHECK(mode_ != Mode::kString)
+      << "IncrementalBlockingIndex: string and interned APIs cannot be mixed";
+  std::vector<report::ReportId> out;
+  for (size_t k = 0; k < options_.keys.size(); ++k) {
+    for (const uint32_t key_id : KeyIdsForProbe(features, k)) {
+      AppendBlock(id_postings_[k], key_id, options_.max_block_size, &out);
+    }
+  }
+  SortUniqueIds(&out);
   return out;
 }
 
 size_t IncrementalBlockingIndex::num_blocks() const {
   size_t total = 0;
   for (const auto& map : postings_) total += map.size();
+  for (const auto& map : id_postings_) total += map.size();
   return total;
 }
 
@@ -70,6 +166,11 @@ size_t IncrementalBlockingIndex::oversized_blocks() const {
   if (options_.max_block_size == 0) return 0;
   size_t total = 0;
   for (const auto& map : postings_) {
+    for (const auto& [value, members] : map) {
+      if (members.size() > options_.max_block_size) ++total;
+    }
+  }
+  for (const auto& map : id_postings_) {
     for (const auto& [value, members] : map) {
       if (members.size() > options_.max_block_size) ++total;
     }

@@ -9,6 +9,17 @@
 // oversized block retroactively (no pair from it at all), while this
 // index stops *probing* a block once its posting list has grown past the
 // cap — pairs emitted while the block was still small are not recalled.
+//
+// Two storage modes, chosen by the first Add/Candidates call and checked
+// against mixing:
+//  * String mode (the original API): posting maps keyed by the blocking
+//    key strings of BlockingKeysOf.
+//  * Interned mode (the serving hot path): drug/ADR-token keys are the
+//    dictionary ids already carried by InternedFeatures — integer hash
+//    probes, no string hashing per key — and the scalar keys (onset
+//    date, sex/age band) are interned into a small index-private
+//    dictionary. Candidate sets are identical to string mode because
+//    the dictionary is a bijection on key values.
 #ifndef ADRDEDUP_BLOCKING_INCREMENTAL_INDEX_H_
 #define ADRDEDUP_BLOCKING_INCREMENTAL_INDEX_H_
 
@@ -17,6 +28,7 @@
 #include <vector>
 
 #include "blocking/blocking.h"
+#include "distance/interned.h"
 #include "distance/report_features.h"
 
 namespace adrdedup::blocking {
@@ -34,23 +46,46 @@ class IncrementalBlockingIndex {
   // inserted at most once; candidate queries return previously inserted
   // ids only.
   void Add(report::ReportId id, const distance::ReportFeatures& features);
+  void Add(report::ReportId id, const distance::InternedFeatures& features);
 
   // Previously inserted reports sharing at least one non-oversized block
   // with `features` (sorted ascending, deduplicated). Does not insert.
   std::vector<report::ReportId> Candidates(
       const distance::ReportFeatures& features) const;
+  std::vector<report::ReportId> Candidates(
+      const distance::InternedFeatures& features) const;
 
   size_t size() const { return num_reports_; }
   size_t num_blocks() const;
   size_t oversized_blocks() const;
 
  private:
+  enum class Mode { kUnset, kString, kInterned };
+
+  void SetMode(Mode mode);
+
+  // Interned-mode key ids of one report under options_.keys[k]. Scalar
+  // keys go through scalar_keys_: the insert side interns unseen values,
+  // the probe side only looks them up (an unseen scalar key has no
+  // posting list anyway).
+  std::vector<uint32_t> KeyIdsForInsert(
+      const distance::InternedFeatures& features, size_t k);
+  std::vector<uint32_t> KeyIdsForProbe(
+      const distance::InternedFeatures& features, size_t k) const;
+
   BlockingOptions options_;
+  Mode mode_ = Mode::kUnset;
   size_t num_reports_ = 0;
   // One posting map per configured key (keys of different types may
-  // collide as strings, e.g. a drug token equal to an onset date).
+  // collide as strings — or as ids across id spaces — e.g. a drug token
+  // equal to an onset date).
   std::vector<std::unordered_map<std::string, std::vector<report::ReportId>>>
       postings_;
+  std::vector<std::unordered_map<uint32_t, std::vector<report::ReportId>>>
+      id_postings_;
+  // Interned scalar blocking keys (onset date, sex/age band); the token
+  // keys reuse the ids carried by InternedFeatures.
+  distance::TokenDictionary scalar_keys_;
 };
 
 }  // namespace adrdedup::blocking

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -37,49 +36,72 @@ TokenIndexResult DescriptionOverlapCandidates(
   ADRDEDUP_CHECK_LE(options.jaccard_threshold, 1.0);
   TokenIndexResult result;
 
+  // Dictionary-encode the description tokens: a sorted lexicon assigns
+  // each distinct token a dense id in lexicographic order, so the
+  // canonical (frequency, token) ordering below becomes a sort of packed
+  // (frequency, id) integer keys — no string copies and no hash lookups
+  // inside a comparator.
+  std::vector<std::string> lexicon;
+  for (const ReportFeatures& f : features) {
+    lexicon.insert(lexicon.end(), f.description_tokens.begin(),
+                   f.description_tokens.end());
+  }
+  std::sort(lexicon.begin(), lexicon.end());
+  lexicon.erase(std::unique(lexicon.begin(), lexicon.end()), lexicon.end());
+  const auto id_of = [&lexicon](const std::string& token) {
+    return static_cast<uint32_t>(
+        std::lower_bound(lexicon.begin(), lexicon.end(), token) -
+        lexicon.begin());
+  };
+
   // Global token frequencies define the canonical ordering: rare tokens
   // first, so prefixes carry the most selective tokens.
-  std::unordered_map<std::string, uint32_t> frequency;
-  for (const ReportFeatures& f : features) {
-    for (const std::string& token : f.description_tokens) {
-      ++frequency[token];
+  std::vector<uint32_t> frequency(lexicon.size(), 0);
+  std::vector<std::vector<uint32_t>> encoded(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    encoded[i].reserve(features[i].description_tokens.size());
+    for (const std::string& token : features[i].description_tokens) {
+      const uint32_t id = id_of(token);
+      encoded[i].push_back(id);
+      ++frequency[id];
     }
   }
   const auto max_count = static_cast<uint32_t>(
       options.max_token_frequency * static_cast<double>(features.size()));
 
-  // Per report: description tokens sorted by (frequency, token).
-  auto canonical_order = [&](const std::vector<std::string>& tokens) {
-    std::vector<std::string> ordered = tokens;
-    std::sort(ordered.begin(), ordered.end(),
-              [&](const std::string& a, const std::string& b) {
-                const uint32_t fa = frequency.at(a);
-                const uint32_t fb = frequency.at(b);
-                return fa != fb ? fa < fb : a < b;
-              });
-    return ordered;
-  };
-
-  std::unordered_map<std::string, std::vector<uint32_t>> postings;
-  std::unordered_set<std::string> dropped;
+  // Posting lists are dense vectors indexed by token id — direct array
+  // access instead of hashed string keys.
+  std::vector<std::vector<uint32_t>> postings(lexicon.size());
+  std::vector<char> dropped(lexicon.size(), 0);
+  std::vector<uint64_t> order;  // packed (frequency << 32 | id) sort keys
   for (size_t i = 0; i < features.size(); ++i) {
-    const auto ordered = canonical_order(features[i].description_tokens);
+    // Sorting the packed keys reproduces the (frequency, token)
+    // comparator exactly: ties on frequency fall through to the id,
+    // and ids are in lexicographic token order.
+    order.clear();
+    order.reserve(encoded[i].size());
+    for (const uint32_t id : encoded[i]) {
+      order.push_back((static_cast<uint64_t>(frequency[id]) << 32) | id);
+    }
+    std::sort(order.begin(), order.end());
     const size_t prefix =
-        PrefixLength(ordered.size(), options.jaccard_threshold);
+        PrefixLength(order.size(), options.jaccard_threshold);
     for (size_t p = 0; p < prefix; ++p) {
-      if (options.max_token_frequency < 1.0 &&
-          frequency.at(ordered[p]) > max_count) {
-        dropped.insert(ordered[p]);
+      const auto id = static_cast<uint32_t>(order[p] & 0xFFFFFFFFu);
+      if (options.max_token_frequency < 1.0 && frequency[id] > max_count) {
+        dropped[id] = 1;
         continue;
       }
-      postings[ordered[p]].push_back(static_cast<uint32_t>(i));
+      postings[id].push_back(static_cast<uint32_t>(i));
     }
   }
-  result.indexed_tokens = postings.size();
-  result.stop_tokens_dropped = dropped.size();
+  for (size_t id = 0; id < postings.size(); ++id) {
+    if (!postings[id].empty()) ++result.indexed_tokens;
+    if (dropped[id] != 0) ++result.stop_tokens_dropped;
+  }
 
   std::unordered_set<uint64_t> seen;
-  for (const auto& [token, ids] : postings) {
+  for (const auto& ids : postings) {
     for (size_t i = 0; i < ids.size(); ++i) {
       for (size_t j = i + 1; j < ids.size(); ++j) {
         const ReportPair pair{std::min(ids[i], ids[j]),

@@ -25,12 +25,17 @@ void DedupPipeline::BootstrapDatabase(
   for (const report::AdrReport& report : reports) {
     db_.Add(report);
   }
-  // Text processing (Fig. 1) happens once per report at ingest.
+  // Text processing (Fig. 1) happens once per report at ingest; the
+  // token dictionary and interned mirror are built in the same pass, so
+  // every downstream pair comparison runs on integer ids.
   features_ = distance::ExtractAllFeatures(db_, options_.features,
                                            &ctx_->pool());
+  token_dict_ = distance::TokenDictionary::Build(features_);
+  interned_ =
+      distance::InternAllFeatures(features_, &token_dict_, &ctx_->pool());
   if (options_.use_blocking && options_.incremental_blocking) {
-    for (size_t i = 0; i < features_.size(); ++i) {
-      incremental_index_.Add(static_cast<report::ReportId>(i), features_[i]);
+    for (size_t i = 0; i < interned_.size(); ++i) {
+      incremental_index_.Add(static_cast<report::ReportId>(i), interned_[i]);
     }
   }
 }
@@ -80,6 +85,19 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
     features_[i] = distance::ExtractFeatures(
         db_.Get(static_cast<report::ReportId>(i)), options_.features);
   });
+  // Intern the batch against the live dictionary: id assignment is
+  // order-dependent, so unseen tokens are appended serially (cheap — a
+  // hash probe per token), then the per-report encode parallelizes.
+  // Appended ids keep the dictionary a bijection, so every Jaccard stays
+  // bit-identical to the string path without re-encoding the corpus.
+  interned_.resize(db_.size());
+  for (size_t i = first_new; i < db_.size(); ++i) {
+    distance::ExtendDictionary(features_[i], &token_dict_);
+  }
+  const distance::TokenDictionary& frozen_dict = token_dict_;
+  ctx_->pool().ParallelFor(first_new, db_.size(), [&](size_t i) {
+    interned_[i] = distance::InternFeatures(features_[i], frozen_dict);
+  });
 
   // Candidate pairs for this batch: the full Eq. 3 universe, or the
   // blocking-key subset restricted to pairs touching a new report.
@@ -90,10 +108,10 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
     // the whole database is never rescanned.
     for (const report::ReportId id : fresh) {
       for (const report::ReportId other :
-           incremental_index_.Candidates(features_[id])) {
+           incremental_index_.Candidates(interned_[id])) {
         pairs.push_back({other, id});
       }
-      incremental_index_.Add(id, features_[id]);
+      incremental_index_.Add(id, interned_[id]);
     }
   } else if (options_.use_blocking) {
     const auto blocked =
@@ -127,14 +145,14 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
       distance_rdd;
   if (options_.persist_level.has_value()) {
     distance_rdd =
-        distance::PairDistancesRdd(ctx_, features_, pairs, options_.pairwise)
+        distance::PairDistancesRdd(ctx_, interned_, pairs, options_.pairwise)
             .Persist(*options_.persist_level);
     vectors.resize(pairs.size());
     for (auto& [index, vector] : distance_rdd->Collect()) {
-      vectors[index] = vector;
+      vectors[index] = std::move(vector);
     }
   } else {
-    vectors = distance::ComputePairDistancesSpark(ctx_, features_, pairs,
+    vectors = distance::ComputePairDistancesSpark(ctx_, interned_, pairs,
                                                   options_.pairwise);
   }
 

@@ -21,6 +21,7 @@
 #include "blocking/incremental_index.h"
 #include "core/fast_knn.h"
 #include "core/test_set_pruner.h"
+#include "distance/interned.h"
 #include "distance/pair_dataset.h"
 #include "distance/pairwise.h"
 #include "minispark/context.h"
@@ -123,6 +124,16 @@ class DedupPipeline {
   const std::vector<distance::ReportFeatures>& features() const {
     return features_;
   }
+  // Dictionary-encoded mirror of features(), same alignment. The
+  // distance stage and (in incremental mode) the blocking index run on
+  // these; the dictionary extends in place as batches are ingested, so
+  // the corpus is never re-encoded (DESIGN.md §5e).
+  const std::vector<distance::InternedFeatures>& interned_features() const {
+    return interned_;
+  }
+  const distance::TokenDictionary& token_dictionary() const {
+    return token_dict_;
+  }
   size_t num_positive_labels() const { return positive_store_.size(); }
   size_t num_negative_labels() const { return negative_store_.size(); }
   const ComparisonStatsSnapshot LastClassifierStats() const {
@@ -137,6 +148,8 @@ class DedupPipeline {
   DedupPipelineOptions options_;
   report::ReportDatabase db_;
   std::vector<distance::ReportFeatures> features_;
+  distance::TokenDictionary token_dict_;
+  std::vector<distance::InternedFeatures> interned_;
   std::vector<distance::LabeledPair> positive_store_;
   std::vector<distance::LabeledPair> negative_store_;
   // Count of all negatives ever offered to the store (drives reservoir

@@ -1,0 +1,213 @@
+#include "distance/interned.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adrdedup::distance {
+
+namespace {
+
+// Skew ratio above which the intersection sweep switches from the linear
+// two-pointer merge to galloping search of the larger side.
+constexpr size_t kGallopRatio = 16;
+
+size_t GallopIntersectionSize(const std::vector<uint32_t>& small,
+                              const std::vector<uint32_t>& large) {
+  size_t count = 0;
+  size_t pos = 0;
+  for (const uint32_t x : small) {
+    if (pos >= large.size()) break;
+    if (large[pos] < x) {
+      // Exponential probe from the current frontier, then binary search
+      // inside the bracketing window.
+      size_t step = 1;
+      while (pos + step < large.size() && large[pos + step] < x) {
+        step <<= 1;
+      }
+      const size_t hi = std::min(pos + step + 1, large.size());
+      pos = static_cast<size_t>(
+          std::lower_bound(large.begin() + static_cast<ptrdiff_t>(pos),
+                           large.begin() + static_cast<ptrdiff_t>(hi), x) -
+          large.begin());
+      if (pos >= large.size()) break;
+    }
+    if (large[pos] == x) {
+      ++count;
+      ++pos;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+TokenDictionary TokenDictionary::Build(
+    const std::vector<ReportFeatures>& features) {
+  std::vector<std::string> all;
+  size_t total = 0;
+  for (const ReportFeatures& f : features) {
+    total += f.drug_tokens.size() + f.adr_tokens.size() +
+             f.description_tokens.size();
+  }
+  all.reserve(total);
+  for (const ReportFeatures& f : features) {
+    all.insert(all.end(), f.drug_tokens.begin(), f.drug_tokens.end());
+    all.insert(all.end(), f.adr_tokens.begin(), f.adr_tokens.end());
+    all.insert(all.end(), f.description_tokens.begin(),
+               f.description_tokens.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  TokenDictionary dict;
+  dict.tokens_ = std::move(all);
+  dict.ids_.reserve(dict.tokens_.size());
+  for (uint32_t id = 0; id < dict.tokens_.size(); ++id) {
+    dict.ids_.emplace(dict.tokens_[id], id);
+  }
+  return dict;
+}
+
+std::optional<uint32_t> TokenDictionary::Find(std::string_view token) const {
+  const auto it = ids_.find(token);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t TokenDictionary::Intern(const std::string& token) {
+  const auto it = ids_.find(std::string_view(token));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<uint32_t>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+const std::string& TokenDictionary::TokenOf(uint32_t id) const {
+  ADRDEDUP_CHECK_LT(id, tokens_.size());
+  return tokens_[id];
+}
+
+namespace {
+
+template <typename IdOf>
+InternedTokenSet InternTokenSetImpl(const std::vector<std::string>& tokens,
+                                    IdOf&& id_of) {
+  InternedTokenSet set;
+  set.ids.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    set.ids.push_back(id_of(token));
+  }
+  // Inputs are unique tokens and the dictionary is injective, so the ids
+  // are unique too; only the order changes.
+  std::sort(set.ids.begin(), set.ids.end());
+  for (const uint32_t id : set.ids) {
+    set.signature |= TokenSignatureBit(id);
+  }
+  return set;
+}
+
+}  // namespace
+
+InternedTokenSet InternTokenSet(const std::vector<std::string>& tokens,
+                                TokenDictionary* dict) {
+  ADRDEDUP_CHECK(dict != nullptr);
+  return InternTokenSetImpl(
+      tokens, [dict](const std::string& token) { return dict->Intern(token); });
+}
+
+InternedTokenSet InternTokenSet(const std::vector<std::string>& tokens,
+                                const TokenDictionary& dict) {
+  return InternTokenSetImpl(tokens, [&dict](const std::string& token) {
+    const auto id = dict.Find(token);
+    ADRDEDUP_CHECK(id.has_value()) << "token not in dictionary: " << token;
+    return *id;
+  });
+}
+
+void ExtendDictionary(const ReportFeatures& features, TokenDictionary* dict) {
+  ADRDEDUP_CHECK(dict != nullptr);
+  for (const std::string& t : features.drug_tokens) dict->Intern(t);
+  for (const std::string& t : features.adr_tokens) dict->Intern(t);
+  for (const std::string& t : features.description_tokens) dict->Intern(t);
+}
+
+namespace {
+
+template <typename Dict>
+InternedFeatures InternFeaturesImpl(const ReportFeatures& features,
+                                    Dict&& dict) {
+  InternedFeatures out;
+  out.age = features.age;
+  out.sex = features.sex;
+  out.state = features.state;
+  out.onset_date = features.onset_date;
+  out.drug = InternTokenSet(features.drug_tokens, dict);
+  out.adr = InternTokenSet(features.adr_tokens, dict);
+  out.description = InternTokenSet(features.description_tokens, dict);
+  return out;
+}
+
+}  // namespace
+
+InternedFeatures InternFeatures(const ReportFeatures& features,
+                                TokenDictionary* dict) {
+  return InternFeaturesImpl(features, dict);
+}
+
+InternedFeatures InternFeatures(const ReportFeatures& features,
+                                const TokenDictionary& dict) {
+  return InternFeaturesImpl(features, dict);
+}
+
+std::vector<InternedFeatures> InternAllFeatures(
+    const std::vector<ReportFeatures>& features, TokenDictionary* dict,
+    util::ThreadPool* pool) {
+  ADRDEDUP_CHECK(dict != nullptr);
+  // Id assignment is order-dependent, so the dictionary extension runs
+  // serially; the per-report encode afterwards is read-only and
+  // parallelizes freely.
+  for (const ReportFeatures& f : features) {
+    ExtendDictionary(f, dict);
+  }
+  std::vector<InternedFeatures> out(features.size());
+  const TokenDictionary& frozen = *dict;
+  auto encode = [&](size_t i) { out[i] = InternFeatures(features[i], frozen); };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, features.size(), encode);
+  } else {
+    for (size_t i = 0; i < features.size(); ++i) encode(i);
+  }
+  return out;
+}
+
+size_t SortedIdIntersectionSize(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  if (a.size() > b.size()) return SortedIdIntersectionSize(b, a);
+  if (a.empty()) return 0;
+  if (b.size() >= a.size() * kGallopRatio) {
+    return GallopIntersectionSize(a, b);
+  }
+  // Branchless two-pointer sweep: which pointer advances depends on the
+  // data, so an if/else merge mispredicts on almost every step for
+  // uncorrelated id streams. Advancing by comparison results instead
+  // keeps the loop a straight line of cmp/setcc/add.
+  const uint32_t* pa = a.data();
+  const uint32_t* pb = b.data();
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < na && j < nb) {
+    const uint32_t x = pa[i];
+    const uint32_t y = pb[j];
+    count += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return count;
+}
+
+}  // namespace adrdedup::distance

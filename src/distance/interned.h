@@ -1,0 +1,158 @@
+// Interned-token feature representation for the pairwise hot path
+// (DESIGN.md §5e). The distance-vector stage compares three string-token
+// sets per candidate pair; over millions of pairs the std::string
+// comparisons and per-token pointer chasing dominate pipeline wall-clock
+// (cf. the hashed/encoded token representations of the clinical-note
+// deduplication literature). Interning maps every corpus token to a
+// dense uint32_t id once, so each pair comparison becomes an integer
+// two-pointer sweep over contiguous memory — with a 64-bit signature
+// prefilter that proves many intersections empty without any sweep, and
+// a galloping merge when set sizes are badly skewed.
+//
+// Bit-identical guarantee: Jaccard only consumes the intersection and
+// union *cardinalities*, and the dictionary is a bijection between
+// distinct tokens and distinct ids, so the integer sweep counts exactly
+// the same intersection as the string sweep and the final
+// 1 - |I| / |U| division is performed on identical operands. This holds
+// for incrementally appended ids too (the serve path), even though those
+// break the lexicographic id order established at build time.
+#ifndef ADRDEDUP_DISTANCE_INTERNED_H_
+#define ADRDEDUP_DISTANCE_INTERNED_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "distance/report_features.h"
+#include "util/thread_pool.h"
+
+namespace adrdedup::distance {
+
+// Stable token -> dense uint32_t id map. Build() assigns ids in
+// lexicographic token order (id comparisons then agree with string
+// comparisons, which the blocking prefix index exploits); Intern()
+// appends fresh tokens at the end, so a live dictionary extends under
+// serving traffic without re-encoding the corpus.
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+
+  // Dictionary over every drug/ADR/description token of `features`, ids
+  // in lexicographic token order starting at 0.
+  static TokenDictionary Build(const std::vector<ReportFeatures>& features);
+
+  // Id of `token`, or nullopt when the token was never interned.
+  std::optional<uint32_t> Find(std::string_view token) const;
+
+  // Id of `token`, inserting it (next free id) when absent.
+  uint32_t Intern(const std::string& token);
+
+  const std::string& TokenOf(uint32_t id) const;
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t, TransparentHash, std::equal_to<>>
+      ids_;
+  std::vector<std::string> tokens_;  // id -> token
+};
+
+// Bit of the 64-bit set signature contributed by token id `id` (ids are
+// dense, so they are mixed before bucketing into 64 bits).
+inline uint64_t TokenSignatureBit(uint32_t id) {
+  uint64_t x = (static_cast<uint64_t>(id) + 1) * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 29;
+  return uint64_t{1} << (x & 63);
+}
+
+// One interned token set: sorted unique ids plus the OR of their
+// signature bits. (signature_a & signature_b) == 0 proves the
+// intersection empty — any common id would set the same bit on both
+// sides — which pins the Jaccard distance to exactly 1.0 with no sweep.
+struct InternedTokenSet {
+  std::vector<uint32_t> ids;
+  uint64_t signature = 0;
+};
+
+// Interned mirror of ReportFeatures: scalar fields carried through
+// verbatim (their comparisons are already cheap equality checks), token
+// sets dictionary-encoded.
+struct InternedFeatures {
+  std::optional<int> age;
+  std::string sex;
+  std::string state;
+  std::string onset_date;
+  InternedTokenSet drug;
+  InternedTokenSet adr;
+  InternedTokenSet description;
+};
+
+// Interns one sorted unique token vector. The mutating overload extends
+// `dict` with unseen tokens (serve path); the const overload requires
+// every token to be present already (corpus encode after Build).
+InternedTokenSet InternTokenSet(const std::vector<std::string>& tokens,
+                                TokenDictionary* dict);
+InternedTokenSet InternTokenSet(const std::vector<std::string>& tokens,
+                                const TokenDictionary& dict);
+
+// Ensures every token of `features` has an id (cheap no-op for already
+// interned tokens). Split out so a batch can extend the dictionary
+// serially — id assignment is order-dependent — and then encode in
+// parallel with the const overloads below.
+void ExtendDictionary(const ReportFeatures& features, TokenDictionary* dict);
+
+InternedFeatures InternFeatures(const ReportFeatures& features,
+                                TokenDictionary* dict);
+InternedFeatures InternFeatures(const ReportFeatures& features,
+                                const TokenDictionary& dict);
+
+// Interns every feature record, extending `dict` first (serially, in
+// input order) and then encoding with `pool` when provided.
+std::vector<InternedFeatures> InternAllFeatures(
+    const std::vector<ReportFeatures>& features, TokenDictionary* dict,
+    util::ThreadPool* pool = nullptr);
+
+// |a ∩ b| for sorted unique id vectors. Linear two-pointer sweep, or a
+// galloping (exponential-search) merge when one side is much larger —
+// O(|small| log |large|) instead of O(|small| + |large|) for the long
+// descriptions vs. short drug lists skew.
+size_t SortedIdIntersectionSize(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b);
+
+// Jaccard distance over interned sets; bit-identical to
+// SortedJaccardDistance over the token vectors the sets were interned
+// from (see the file comment for why). Inline so the empty-set and
+// signature early exits — which resolve most drug/ADR comparisons —
+// cost no function call; only pairs that must be swept reach
+// SortedIdIntersectionSize.
+inline double InternedJaccardDistance(const InternedTokenSet& a,
+                                      const InternedTokenSet& b) {
+  const size_t na = a.ids.size();
+  const size_t nb = b.ids.size();
+  if (na == 0 && nb == 0) return 0.0;
+  // One side empty: intersection 0, union > 0 — distance exactly 1.0,
+  // matching 1.0 - 0.0 / union on the string path.
+  if (na == 0 || nb == 0) return 1.0;
+  // Signature prefilter: disjoint signatures prove an empty
+  // intersection (popcount(a & b) == 0), pinning the result without a
+  // sweep. The converse does not hold, so a non-zero overlap falls
+  // through to the exact count.
+  if ((a.signature & b.signature) == 0) return 1.0;
+  const size_t intersection = SortedIdIntersectionSize(a.ids, b.ids);
+  const size_t union_size = na + nb - intersection;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+}  // namespace adrdedup::distance
+
+#endif  // ADRDEDUP_DISTANCE_INTERNED_H_

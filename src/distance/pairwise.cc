@@ -1,18 +1,115 @@
 #include "distance/pairwise.h"
 
+#include <type_traits>
+
 #include "minispark/rdd.h"
 #include "util/logging.h"
 
 namespace adrdedup::distance {
 
-double AgeDistance(const ReportFeatures& x, const ReportFeatures& y,
-                   const PairwiseOptions& options) {
+namespace {
+
+// Age and categorical comparisons read the same scalar fields from both
+// feature representations; the token-set comparison is the only part
+// that differs (string sweep vs. interned integer sweep).
+template <typename Features>
+double AgeDistanceImpl(const Features& x, const Features& y,
+                       const PairwiseOptions& options) {
   if (!x.age.has_value() || !y.age.has_value()) {
     if (options.missing_policy == MissingPolicy::kNeutral) return 0.5;
     // Literal comparison: two missing ages look the same on the form.
     return (x.age.has_value() == y.age.has_value()) ? 0.0 : 1.0;
   }
   return (*x.age == *y.age) ? 0.0 : 1.0;
+}
+
+template <typename Features>
+DistanceVector ComputeDistanceVectorImpl(const Features& x, const Features& y,
+                                         const PairwiseOptions& options) {
+  DistanceVector d;
+  d.at(Component::kAge) = AgeDistanceImpl(x, y, options);
+  d.at(Component::kSex) = CategoricalDistance(x.sex, y.sex, options);
+  d.at(Component::kState) = CategoricalDistance(x.state, y.state, options);
+  d.at(Component::kOnsetDate) =
+      CategoricalDistance(x.onset_date, y.onset_date, options);
+  if constexpr (std::is_same_v<Features, InternedFeatures>) {
+    d.at(Component::kDrugName) = InternedJaccardDistance(x.drug, y.drug);
+    d.at(Component::kAdrName) = InternedJaccardDistance(x.adr, y.adr);
+    d.at(Component::kDescription) =
+        InternedJaccardDistance(x.description, y.description);
+  } else {
+    d.at(Component::kDrugName) =
+        SortedJaccardDistance(x.drug_tokens, y.drug_tokens);
+    d.at(Component::kAdrName) =
+        SortedJaccardDistance(x.adr_tokens, y.adr_tokens);
+    d.at(Component::kDescription) =
+        SortedJaccardDistance(x.description_tokens, y.description_tokens);
+  }
+  for (size_t i = 0; i < kDistanceDims; ++i) {
+    d[i] *= options.field_weights[i];
+  }
+  return d;
+}
+
+template <typename Features>
+std::vector<DistanceVector> ComputePairDistancesImpl(
+    const std::vector<Features>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options) {
+  std::vector<DistanceVector> out;
+  out.reserve(pairs.size());
+  for (const ReportPair& pair : pairs) {
+    ADRDEDUP_DCHECK_LT(pair.a, features.size());
+    ADRDEDUP_DCHECK_LT(pair.b, features.size());
+    out.push_back(ComputeDistanceVectorImpl(features[pair.a],
+                                            features[pair.b], options));
+  }
+  return out;
+}
+
+template <typename Features>
+minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRddImpl(
+    minispark::SparkContext* ctx, const std::vector<Features>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
+    size_t num_partitions) {
+  ADRDEDUP_CHECK(ctx != nullptr);
+  // Ship (index, pair) records so the collected vectors can be put back
+  // in input order regardless of partitioning.
+  std::vector<std::pair<size_t, ReportPair>> indexed;
+  indexed.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    indexed.emplace_back(i, pairs[i]);
+  }
+  auto rdd = ctx->Parallelize(std::move(indexed), num_partitions);
+  // `features` is captured by reference: it outlives every action and
+  // is read-only, mirroring a Spark broadcast variable.
+  return rdd.template Map<std::pair<size_t, DistanceVector>>(
+      [&features, options](const std::pair<size_t, ReportPair>& record) {
+        const auto& [index, pair] = record;
+        return std::make_pair(
+            index, ComputeDistanceVectorImpl(features[pair.a],
+                                             features[pair.b], options));
+      });
+}
+
+template <typename Features>
+std::vector<DistanceVector> ComputePairDistancesSparkImpl(
+    minispark::SparkContext* ctx, const std::vector<Features>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
+    size_t num_partitions) {
+  auto distances =
+      PairDistancesRddImpl(ctx, features, pairs, options, num_partitions);
+  std::vector<DistanceVector> out(pairs.size());
+  for (auto& [index, vector] : distances.Collect()) {
+    out[index] = std::move(vector);
+  }
+  return out;
+}
+
+}  // namespace
+
+double AgeDistance(const ReportFeatures& x, const ReportFeatures& y,
+                   const PairwiseOptions& options) {
+  return AgeDistanceImpl(x, y, options);
 }
 
 double CategoricalDistance(const std::string& x, const std::string& y,
@@ -27,36 +124,25 @@ double CategoricalDistance(const std::string& x, const std::string& y,
 DistanceVector ComputeDistanceVector(const ReportFeatures& x,
                                      const ReportFeatures& y,
                                      const PairwiseOptions& options) {
-  DistanceVector d;
-  d.at(Component::kAge) = AgeDistance(x, y, options);
-  d.at(Component::kSex) = CategoricalDistance(x.sex, y.sex, options);
-  d.at(Component::kState) = CategoricalDistance(x.state, y.state, options);
-  d.at(Component::kOnsetDate) =
-      CategoricalDistance(x.onset_date, y.onset_date, options);
-  d.at(Component::kDrugName) =
-      SortedJaccardDistance(x.drug_tokens, y.drug_tokens);
-  d.at(Component::kAdrName) =
-      SortedJaccardDistance(x.adr_tokens, y.adr_tokens);
-  d.at(Component::kDescription) =
-      SortedJaccardDistance(x.description_tokens, y.description_tokens);
-  for (size_t i = 0; i < kDistanceDims; ++i) {
-    d[i] *= options.field_weights[i];
-  }
-  return d;
+  return ComputeDistanceVectorImpl(x, y, options);
+}
+
+DistanceVector ComputeDistanceVector(const InternedFeatures& x,
+                                     const InternedFeatures& y,
+                                     const PairwiseOptions& options) {
+  return ComputeDistanceVectorImpl(x, y, options);
 }
 
 std::vector<DistanceVector> ComputePairDistances(
     const std::vector<ReportFeatures>& features,
     const std::vector<ReportPair>& pairs, const PairwiseOptions& options) {
-  std::vector<DistanceVector> out;
-  out.reserve(pairs.size());
-  for (const ReportPair& pair : pairs) {
-    ADRDEDUP_DCHECK_LT(pair.a, features.size());
-    ADRDEDUP_DCHECK_LT(pair.b, features.size());
-    out.push_back(
-        ComputeDistanceVector(features[pair.a], features[pair.b], options));
-  }
-  return out;
+  return ComputePairDistancesImpl(features, pairs, options);
+}
+
+std::vector<DistanceVector> ComputePairDistances(
+    const std::vector<InternedFeatures>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options) {
+  return ComputePairDistancesImpl(features, pairs, options);
 }
 
 minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRdd(
@@ -64,24 +150,15 @@ minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRdd(
     const std::vector<ReportFeatures>& features,
     const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
     size_t num_partitions) {
-  ADRDEDUP_CHECK(ctx != nullptr);
-  // Ship (index, pair) records so the collected vectors can be put back
-  // in input order regardless of partitioning.
-  std::vector<std::pair<size_t, ReportPair>> indexed;
-  indexed.reserve(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    indexed.emplace_back(i, pairs[i]);
-  }
-  auto rdd = ctx->Parallelize(std::move(indexed), num_partitions);
-  // `features` is captured by reference: it outlives every action and
-  // is read-only, mirroring a Spark broadcast variable.
-  return rdd.Map<std::pair<size_t, DistanceVector>>(
-      [&features, options](const std::pair<size_t, ReportPair>& record) {
-        const auto& [index, pair] = record;
-        return std::make_pair(
-            index, ComputeDistanceVector(features[pair.a], features[pair.b],
-                                         options));
-      });
+  return PairDistancesRddImpl(ctx, features, pairs, options, num_partitions);
+}
+
+minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRdd(
+    minispark::SparkContext* ctx,
+    const std::vector<InternedFeatures>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
+    size_t num_partitions) {
+  return PairDistancesRddImpl(ctx, features, pairs, options, num_partitions);
 }
 
 std::vector<DistanceVector> ComputePairDistancesSpark(
@@ -89,13 +166,17 @@ std::vector<DistanceVector> ComputePairDistancesSpark(
     const std::vector<ReportFeatures>& features,
     const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
     size_t num_partitions) {
-  auto distances =
-      PairDistancesRdd(ctx, features, pairs, options, num_partitions);
-  std::vector<DistanceVector> out(pairs.size());
-  for (auto& [index, vector] : distances.Collect()) {
-    out[index] = vector;
-  }
-  return out;
+  return ComputePairDistancesSparkImpl(ctx, features, pairs, options,
+                                       num_partitions);
+}
+
+std::vector<DistanceVector> ComputePairDistancesSpark(
+    minispark::SparkContext* ctx,
+    const std::vector<InternedFeatures>& features,
+    const std::vector<ReportPair>& pairs, const PairwiseOptions& options,
+    size_t num_partitions) {
+  return ComputePairDistancesSparkImpl(ctx, features, pairs, options,
+                                       num_partitions);
 }
 
 std::vector<ReportPair> PairsForNewReports(

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "distance/distance_vector.h"
+#include "distance/interned.h"
 #include "distance/report_features.h"
 #include "minispark/context.h"
 #include "minispark/rdd.h"
@@ -54,14 +55,25 @@ double AgeDistance(const ReportFeatures& x, const ReportFeatures& y,
 double CategoricalDistance(const std::string& x, const std::string& y,
                            const PairwiseOptions& options);
 
-// Full 7-component distance vector between two reports.
+// Full 7-component distance vector between two reports. The
+// InternedFeatures overload is the hot path (integer Jaccard with
+// signature prefilter; see distance/interned.h) and is bit-identical to
+// the string overload when both records were interned through the same
+// dictionary.
 DistanceVector ComputeDistanceVector(const ReportFeatures& x,
                                      const ReportFeatures& y,
+                                     const PairwiseOptions& options = {});
+DistanceVector ComputeDistanceVector(const InternedFeatures& x,
+                                     const InternedFeatures& y,
                                      const PairwiseOptions& options = {});
 
 // Distance vectors for a list of pairs, sequential.
 std::vector<DistanceVector> ComputePairDistances(
     const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs,
+    const PairwiseOptions& options = {});
+std::vector<DistanceVector> ComputePairDistances(
+    const std::vector<InternedFeatures>& features,
     const std::vector<ReportPair>& pairs,
     const PairwiseOptions& options = {});
 
@@ -74,6 +86,11 @@ std::vector<DistanceVector> ComputePairDistancesSpark(
     const std::vector<ReportFeatures>& features,
     const std::vector<ReportPair>& pairs,
     const PairwiseOptions& options = {}, size_t num_partitions = 0);
+std::vector<DistanceVector> ComputePairDistancesSpark(
+    minispark::SparkContext* ctx,
+    const std::vector<InternedFeatures>& features,
+    const std::vector<ReportPair>& pairs,
+    const PairwiseOptions& options = {}, size_t num_partitions = 0);
 
 // The lazy RDD behind ComputePairDistancesSpark: (input index, distance
 // vector) records, so callers can Persist()/Checkpoint() the stage and
@@ -83,6 +100,11 @@ std::vector<DistanceVector> ComputePairDistancesSpark(
 minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRdd(
     minispark::SparkContext* ctx,
     const std::vector<ReportFeatures>& features,
+    const std::vector<ReportPair>& pairs,
+    const PairwiseOptions& options = {}, size_t num_partitions = 0);
+minispark::Rdd<std::pair<size_t, DistanceVector>> PairDistancesRdd(
+    minispark::SparkContext* ctx,
+    const std::vector<InternedFeatures>& features,
     const std::vector<ReportPair>& pairs,
     const PairwiseOptions& options = {}, size_t num_partitions = 0);
 

@@ -295,7 +295,8 @@ std::string ScreeningService::MetricsJson(bool pretty) {
     std::lock_guard<std::mutex> lock(pipeline_mutex_);
     metrics_.SetStoreGauges(
         pipeline_->db().size(), pipeline_->num_positive_labels(),
-        pipeline_->num_negative_labels(), pipeline_->model_generation());
+        pipeline_->num_negative_labels(), pipeline_->model_generation(),
+        pipeline_->token_dictionary().size());
   }
   // Embedded sub-document stays compact so splicing cannot break the
   // outer pretty indentation.

@@ -89,11 +89,13 @@ void ServiceMetrics::SetQueueGauges(size_t depth, size_t max_depth,
 
 void ServiceMetrics::SetStoreGauges(size_t db_size, size_t positive_labels,
                                     size_t negative_labels,
-                                    uint64_t model_generation) {
+                                    uint64_t model_generation,
+                                    size_t dictionary_tokens) {
   db_size_.store(db_size, std::memory_order_relaxed);
   positive_labels_.store(positive_labels, std::memory_order_relaxed);
   negative_labels_.store(negative_labels, std::memory_order_relaxed);
   model_generation_.store(model_generation, std::memory_order_relaxed);
+  dictionary_tokens_.store(dictionary_tokens, std::memory_order_relaxed);
 }
 
 namespace {
@@ -174,6 +176,7 @@ std::string ServiceMetrics::ToJson(std::string_view extra_json,
   w.Field("db_size", Load(db_size_));
   w.Field("positive_labels", Load(positive_labels_));
   w.Field("negative_labels", Load(negative_labels_));
+  w.Field("dictionary_tokens", Load(dictionary_tokens_));
   w.EndObject();
 
   w.Key("latency");

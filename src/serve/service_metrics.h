@@ -84,8 +84,12 @@ class ServiceMetrics {
 
   // Gauges sampled by the service at export time.
   void SetQueueGauges(size_t depth, size_t max_depth, size_t capacity);
+  // `dictionary_tokens` tracks the live token-dictionary size of the
+  // interned distance engine (grows as the serve path interns fresh
+  // reports; see distance/interned.h).
   void SetStoreGauges(size_t db_size, size_t positive_labels,
-                      size_t negative_labels, uint64_t model_generation);
+                      size_t negative_labels, uint64_t model_generation,
+                      size_t dictionary_tokens = 0);
 
   uint64_t requests_received() const { return Load(requests_received_); }
   uint64_t requests_completed() const { return Load(requests_completed_); }
@@ -143,6 +147,7 @@ class ServiceMetrics {
   std::atomic<uint64_t> positive_labels_{0};
   std::atomic<uint64_t> negative_labels_{0};
   std::atomic<uint64_t> model_generation_{0};
+  std::atomic<uint64_t> dictionary_tokens_{0};
   LatencyRecorder queue_wait_;
   LatencyRecorder total_latency_;
 };

@@ -1,0 +1,347 @@
+// The interned-token distance engine (DESIGN.md §5e) promises
+// bit-identical DistanceVectors to the string-token implementation: the
+// dictionary is a bijection, so the integer sweep counts the same
+// intersections and the final division runs on the same operands. These
+// tests pin that equivalence — randomized token sets, full feature
+// records across missing-field policies and shingle settings, the
+// galloping merge, and the serve-path incremental dictionary extension —
+// plus the interned mode of the incremental blocking index.
+#include "distance/interned.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/incremental_index.h"
+#include "datagen/generator.h"
+#include "distance/pairwise.h"
+#include "distance/report_features.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace adrdedup::distance {
+namespace {
+
+std::vector<std::string> SortedUnique(std::vector<std::string> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+// Random sorted-unique token vector drawn from a pool of `vocabulary`
+// synthetic tokens, so independent draws overlap partially.
+std::vector<std::string> RandomTokenSet(util::Rng* rng, size_t max_size,
+                                        size_t vocabulary) {
+  const size_t size = rng->Uniform(max_size + 1);
+  std::vector<std::string> tokens;
+  tokens.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    tokens.push_back("tok" + std::to_string(rng->Uniform(vocabulary)));
+  }
+  return SortedUnique(tokens);
+}
+
+ReportFeatures FeaturesFromTokens(std::vector<std::string> tokens) {
+  ReportFeatures f;
+  f.description_tokens = std::move(tokens);
+  return f;
+}
+
+TEST(TokenDictionaryTest, BuildAssignsLexicographicIds) {
+  std::vector<ReportFeatures> features(2);
+  features[0].drug_tokens = {"aspirin", "ibuprofen"};
+  features[0].adr_tokens = {"nausea"};
+  features[0].description_tokens = {"headache", "severe"};
+  features[1].drug_tokens = {"aspirin"};
+  features[1].description_tokens = {"dizzy"};
+
+  const TokenDictionary dict = TokenDictionary::Build(features);
+  ASSERT_EQ(dict.size(), 6u);
+  // Ids follow lexicographic token order across all three field sets.
+  std::vector<std::string> expected = {"aspirin", "dizzy",    "headache",
+                                       "ibuprofen", "nausea", "severe"};
+  for (uint32_t id = 0; id < expected.size(); ++id) {
+    EXPECT_EQ(dict.TokenOf(id), expected[id]);
+    EXPECT_EQ(dict.Find(expected[id]), id);
+  }
+  EXPECT_FALSE(dict.Find("absent").has_value());
+}
+
+TEST(TokenDictionaryTest, InternAppendsWithoutDisturbingExistingIds) {
+  std::vector<ReportFeatures> features(1);
+  features[0].description_tokens = {"alpha", "beta"};
+  TokenDictionary dict = TokenDictionary::Build(features);
+  ASSERT_EQ(dict.size(), 2u);
+
+  // Serve path: fresh tokens append at the end — even tokens that sort
+  // lexicographically before existing entries.
+  EXPECT_EQ(dict.Intern("aardvark"), 2u);
+  EXPECT_EQ(dict.Intern("zeta"), 3u);
+  // Idempotent for both built and appended tokens.
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("aardvark"), 2u);
+  EXPECT_EQ(dict.size(), 4u);
+  EXPECT_EQ(dict.TokenOf(2), "aardvark");
+}
+
+TEST(InternedJaccardTest, EdgeCasesMatchStringPath) {
+  TokenDictionary dict;
+  const std::vector<std::string> empty;
+  const std::vector<std::string> some = {"a", "b", "c"};
+  const std::vector<std::string> other = {"x", "y"};
+
+  const auto e = InternTokenSet(empty, &dict);
+  const auto s = InternTokenSet(some, &dict);
+  const auto o = InternTokenSet(other, &dict);
+
+  EXPECT_EQ(InternedJaccardDistance(e, e), SortedJaccardDistance(empty, empty));
+  EXPECT_EQ(InternedJaccardDistance(e, s), SortedJaccardDistance(empty, some));
+  EXPECT_EQ(InternedJaccardDistance(s, e), SortedJaccardDistance(some, empty));
+  EXPECT_EQ(InternedJaccardDistance(s, s), SortedJaccardDistance(some, some));
+  EXPECT_EQ(InternedJaccardDistance(s, o), SortedJaccardDistance(some, other));
+  EXPECT_EQ(InternedJaccardDistance(s, s), 0.0);
+  EXPECT_EQ(InternedJaccardDistance(s, o), 1.0);
+}
+
+TEST(InternedJaccardTest, RandomizedEquivalenceWithStringPath) {
+  util::Rng rng(20260806);
+  TokenDictionary dict;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = RandomTokenSet(&rng, 40, 60);
+    const auto b = RandomTokenSet(&rng, 40, 60);
+    const auto ia = InternTokenSet(a, &dict);
+    const auto ib = InternTokenSet(b, &dict);
+    // Exact double equality — same operands, same division.
+    ASSERT_EQ(InternedJaccardDistance(ia, ib), SortedJaccardDistance(a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(InternedJaccardTest, GallopingMergeMatchesLinearSweep) {
+  util::Rng rng(99);
+  TokenDictionary dict;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Badly skewed sizes force the galloping path (small vs. large).
+    auto small = RandomTokenSet(&rng, 4, 2000);
+    auto large = RandomTokenSet(&rng, 600, 2000);
+    const auto is = InternTokenSet(small, &dict);
+    const auto il = InternTokenSet(large, &dict);
+    ASSERT_EQ(InternedJaccardDistance(is, il),
+              SortedJaccardDistance(small, large))
+        << "trial " << trial;
+    ASSERT_EQ(InternedJaccardDistance(il, is),
+              SortedJaccardDistance(large, small))
+        << "trial " << trial;
+  }
+}
+
+TEST(SortedIdIntersectionTest, CountsExactly) {
+  EXPECT_EQ(SortedIdIntersectionSize({}, {}), 0u);
+  EXPECT_EQ(SortedIdIntersectionSize({1, 2, 3}, {}), 0u);
+  EXPECT_EQ(SortedIdIntersectionSize({1, 2, 3}, {2, 3, 4}), 2u);
+  // Skewed enough for galloping: every small element present.
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 1000; ++i) large.push_back(i * 3);
+  EXPECT_EQ(SortedIdIntersectionSize({3, 300, 2997}, large), 3u);
+  // None present.
+  EXPECT_EQ(SortedIdIntersectionSize({1, 301, 2998}, large), 0u);
+}
+
+struct InternedFixture {
+  InternedFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 300;
+    config.num_duplicate_pairs = 40;
+    corpus = datagen::GenerateCorpus(config);
+  }
+  datagen::GeneratedCorpus corpus;
+};
+
+InternedFixture& Fixture() {
+  static InternedFixture& fixture = *new InternedFixture();
+  return fixture;
+}
+
+// The full ComputeDistanceVector must agree across missing-field
+// policies and shingle settings — the satellite equivalence matrix.
+TEST(InternedDistanceVectorTest, EquivalentAcrossPoliciesAndShingles) {
+  auto& fixture = Fixture();
+  util::Rng rng(7);
+  for (const size_t shingles : {size_t{0}, size_t{3}}) {
+    FeatureOptions feature_options;
+    feature_options.string_field_shingles = shingles;
+    const auto features =
+        ExtractAllFeatures(fixture.corpus.db, feature_options);
+    TokenDictionary dict = TokenDictionary::Build(features);
+    const auto interned = InternAllFeatures(features, &dict);
+    for (const MissingPolicy policy :
+         {MissingPolicy::kCompareLiterally, MissingPolicy::kNeutral}) {
+      PairwiseOptions options;
+      options.missing_policy = policy;
+      for (int trial = 0; trial < 400; ++trial) {
+        const size_t a = rng.Uniform(features.size());
+        const size_t b = rng.Uniform(features.size());
+        ASSERT_EQ(ComputeDistanceVector(features[a], features[b], options),
+                  ComputeDistanceVector(interned[a], interned[b], options))
+            << "shingles=" << shingles << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(InternedDistanceVectorTest, FieldWeightsApplyIdentically) {
+  auto& fixture = Fixture();
+  const auto features = ExtractAllFeatures(fixture.corpus.db);
+  TokenDictionary dict = TokenDictionary::Build(features);
+  const auto interned = InternAllFeatures(features, &dict);
+  PairwiseOptions options;
+  options.field_weights = {0.5, 2.0, 0.0, 1.0, 3.0, 0.25, 1.5};
+  for (size_t i = 0; i + 1 < features.size(); i += 7) {
+    ASSERT_EQ(ComputeDistanceVector(features[i], features[i + 1], options),
+              ComputeDistanceVector(interned[i], interned[i + 1], options));
+  }
+}
+
+// Serve path: interning a fresh batch against the live dictionary (ids
+// appended out of lexicographic order) must produce the same distance
+// vectors as rebuilding the dictionary over the grown corpus.
+TEST(InternedDistanceVectorTest, IncrementalExtensionMatchesFullReencode) {
+  auto& fixture = Fixture();
+  const auto features = ExtractAllFeatures(fixture.corpus.db);
+  const size_t base = features.size() * 3 / 4;
+  const std::vector<ReportFeatures> base_features(features.begin(),
+                                                  features.begin() + base);
+
+  // Incremental: dictionary built on the base corpus, batch interned
+  // one report at a time against the live dictionary.
+  TokenDictionary live = TokenDictionary::Build(base_features);
+  const size_t base_tokens = live.size();
+  std::vector<InternedFeatures> interned =
+      InternAllFeatures(base_features, &live);
+  for (size_t i = base; i < features.size(); ++i) {
+    interned.push_back(InternFeatures(features[i], &live));
+  }
+  EXPECT_GE(live.size(), base_tokens);
+
+  // Reference: one dictionary over everything.
+  TokenDictionary full = TokenDictionary::Build(features);
+  const auto reencoded = InternAllFeatures(features, &full);
+
+  util::Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t a = rng.Uniform(features.size());
+    const size_t b = base + rng.Uniform(features.size() - base);
+    ASSERT_EQ(ComputeDistanceVector(interned[a], interned[b]),
+              ComputeDistanceVector(reencoded[a], reencoded[b]))
+        << "trial " << trial;
+    ASSERT_EQ(ComputeDistanceVector(interned[a], interned[b]),
+              ComputeDistanceVector(features[a], features[b]))
+        << "trial " << trial;
+  }
+}
+
+TEST(InternAllFeaturesTest, ParallelEncodeMatchesSerial) {
+  auto& fixture = Fixture();
+  const auto features = ExtractAllFeatures(fixture.corpus.db);
+  TokenDictionary serial_dict;
+  const auto serial = InternAllFeatures(features, &serial_dict);
+  util::ThreadPool pool(4);
+  TokenDictionary parallel_dict;
+  const auto parallel = InternAllFeatures(features, &parallel_dict, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial_dict.size(), parallel_dict.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].drug.ids, parallel[i].drug.ids);
+    ASSERT_EQ(serial[i].adr.ids, parallel[i].adr.ids);
+    ASSERT_EQ(serial[i].description.ids, parallel[i].description.ids);
+    ASSERT_EQ(serial[i].description.signature,
+              parallel[i].description.signature);
+  }
+}
+
+TEST(InternedPairDistancesTest, BatchHelpersMatchStringPath) {
+  auto& fixture = Fixture();
+  const auto features = ExtractAllFeatures(fixture.corpus.db);
+  TokenDictionary dict = TokenDictionary::Build(features);
+  const auto interned = InternAllFeatures(features, &dict);
+  util::Rng rng(5);
+  std::vector<ReportPair> pairs;
+  for (int i = 0; i < 300; ++i) {
+    auto a = static_cast<report::ReportId>(rng.Uniform(features.size()));
+    auto b = static_cast<report::ReportId>(rng.Uniform(features.size()));
+    if (a == b) continue;
+    pairs.push_back({std::min(a, b), std::max(a, b)});
+  }
+  EXPECT_EQ(ComputePairDistances(interned, pairs),
+            ComputePairDistances(features, pairs));
+}
+
+// The interned mode of the incremental blocking index must emit exactly
+// the candidates of the string mode over the same insertion stream.
+TEST(IncrementalIndexInternedTest, CandidatesMatchStringMode) {
+  auto& fixture = Fixture();
+  const auto features = ExtractAllFeatures(fixture.corpus.db);
+  TokenDictionary dict = TokenDictionary::Build(features);
+  const auto interned = InternAllFeatures(features, &dict);
+
+  for (const auto& keys : std::vector<std::vector<blocking::BlockingKey>>{
+           {blocking::BlockingKey::kDrugToken},
+           {blocking::BlockingKey::kAdrToken,
+            blocking::BlockingKey::kOnsetDate},
+           {blocking::BlockingKey::kDrugToken,
+            blocking::BlockingKey::kSexAndAgeBand}}) {
+    blocking::BlockingOptions options;
+    options.keys = keys;
+    options.max_block_size = 50;
+    blocking::IncrementalBlockingIndex by_string(options);
+    blocking::IncrementalBlockingIndex by_id(options);
+    for (size_t i = 0; i < features.size(); ++i) {
+      const auto id = static_cast<report::ReportId>(i);
+      ASSERT_EQ(by_string.Candidates(features[i]),
+                by_id.Candidates(interned[i]))
+          << "report " << i;
+      by_string.Add(id, features[i]);
+      by_id.Add(id, interned[i]);
+    }
+    EXPECT_EQ(by_string.size(), by_id.size());
+    EXPECT_EQ(by_string.num_blocks(), by_id.num_blocks());
+    EXPECT_EQ(by_string.oversized_blocks(), by_id.oversized_blocks());
+  }
+}
+
+TEST(SignatureTest, DisjointSetsWithSharedBitsStillExact) {
+  // Force signature-bit collisions: many ids all but guarantee every
+  // bit is set on both sides, so the prefilter cannot fire and the
+  // exact sweep must still agree with the string path.
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (int i = 0; i < 300; ++i) {
+    const std::string suffix = std::to_string(1000 + i);
+    a.push_back(std::string("a").append(suffix));
+    b.push_back(std::string("b").append(suffix));
+  }
+  a = SortedUnique(std::move(a));
+  b = SortedUnique(std::move(b));
+  TokenDictionary dict;
+  const auto ia = InternTokenSet(a, &dict);
+  const auto ib = InternTokenSet(b, &dict);
+  EXPECT_NE(ia.signature & ib.signature, 0u);  // collisions present
+  EXPECT_EQ(InternedJaccardDistance(ia, ib), 1.0);
+  EXPECT_EQ(SortedJaccardDistance(a, b), 1.0);
+}
+
+TEST(FeaturesFromTokensTest, InternedSetSignatureCoversAllIds) {
+  TokenDictionary dict;
+  const auto set =
+      InternTokenSet(FeaturesFromTokens({"x", "y", "z"}).description_tokens,
+                     &dict);
+  uint64_t expected = 0;
+  for (const uint32_t id : set.ids) expected |= TokenSignatureBit(id);
+  EXPECT_EQ(set.signature, expected);
+}
+
+}  // namespace
+}  // namespace adrdedup::distance
