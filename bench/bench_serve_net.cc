@@ -1,0 +1,843 @@
+// Socket front-end load test: the epoll NetServer against direct
+// in-process Screen() calls, with an open-loop (Poisson-arrival) load
+// generator over many concurrent loopback connections.
+//
+// Four measured configurations over the Table-3 corpus stream:
+//
+//  * "direct seq": sequential Screen() calls on an in-process service —
+//    the parity baseline; every response is rendered to the stdin
+//    path's CSV lines (serve::FormatMatchesCsv).
+//  * "net seq": the same stream over one binary-protocol connection to
+//    an identically bootstrapped service behind the NetServer. The
+//    parity gate requires the detection lines rebuilt from the socket
+//    responses to be byte-identical to the direct run's (the binary
+//    protocol carries raw doubles, so scores must match bit-exactly).
+//  * "open loop": Poisson arrivals at ~2x the sequential service rate,
+//    spread over Scaled(1000) concurrent connections (clamped to
+//    RLIMIT_NOFILE; every 8th connection speaks HTTP/JSON instead of
+//    the binary protocol). Open-loop latency is measured from each
+//    request's *scheduled* arrival, so queueing delay is charged even
+//    when a sender falls behind (no coordinated omission).
+//  * "overload burst": every connection fires its whole share at t=0
+//    against the same bounded queue — the queue must fill, and every
+//    overflow request must be answered 503/kShed immediately (never
+//    hung, never dropped), with the observed shed responses exactly
+//    matching the service's requests_shed counter.
+//
+// Acceptance: parity bytes identical; every open-loop and overload
+// request answered (no hangs, no protocol errors); the overload burst
+// sheds, with client-observed sheds == the requests_shed delta.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "eval/table_printer.h"
+#include "report/field.h"
+#include "serve/net/frame.h"
+#include "serve/net/server.h"
+#include "serve/request_codec.h"
+#include "serve/screening_service.h"
+#include "util/json.h"
+#include "util/random.h"
+
+namespace adrdedup::bench {
+namespace {
+
+using serve::net::DecodeFrame;
+using serve::net::DecodeScreenResponse;
+using serve::net::DecodeStatus;
+using serve::net::EncodeScreenRequest;
+using serve::net::Frame;
+using serve::net::FrameType;
+using serve::net::NetServer;
+using serve::net::NetServerOptions;
+using serve::net::ScreenRequestBody;
+using serve::net::ScreenResponseBody;
+using serve::net::ScreenStatus;
+
+constexpr size_t kMaxBatch = 32;
+constexpr size_t kQueueCapacity = 256;
+// Every 8th open-loop connection speaks HTTP/JSON instead of binary.
+constexpr size_t kHttpStride = 8;
+
+core::DedupPipelineOptions PipelineOptions() {
+  core::DedupPipelineOptions options;
+  options.use_blocking = true;
+  options.blocking.keys = {blocking::BlockingKey::kDrugToken,
+                           blocking::BlockingKey::kAdrToken};
+  options.blocking.max_block_size = 64;
+  // Eq. 6 threshold at 0 (the serving-test recipe): the parity gate
+  // needs actual detection lines to compare, not two empty documents.
+  options.theta = 0.0;
+  options.f_theta = 0.9;
+  return options;
+}
+
+// Parity depends on the direct and socket services being configured and
+// bootstrapped identically; both sides call exactly this.
+std::unique_ptr<serve::ScreeningService> MakeService(
+    minispark::SparkContext* ctx,
+    const std::vector<distance::LabeledPair>& labels,
+    const std::vector<report::AdrReport>& bootstrap) {
+  serve::ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.queue_capacity = kQueueCapacity;
+  options.max_batch = kMaxBatch;
+  options.max_linger_ms = 2.0;
+  auto service = std::make_unique<serve::ScreeningService>(ctx, options);
+  service->Bootstrap(bootstrap);
+  service->SeedLabels(labels);
+  service->Start();
+  return service;
+}
+
+ScreenRequestBody ToFields(const report::AdrReport& report) {
+  ScreenRequestBody fields;
+  for (const auto& spec : report::Schema()) {
+    const std::string& value = report.Get(spec.id);
+    if (!value.empty()) fields.emplace_back(std::string(spec.name), value);
+  }
+  return fields;
+}
+
+std::string BinaryScreenRequest(const report::AdrReport& report) {
+  std::string bytes;
+  AppendFrame(&bytes, FrameType::kScreenRequest,
+              EncodeScreenRequest(ToFields(report)));
+  return bytes;
+}
+
+std::string HttpScreenRequest(const report::AdrReport& report) {
+  std::string body = "{";
+  bool first = true;
+  for (const auto& [name, value] : ToFields(report)) {
+    if (!first) body += ',';
+    first = false;
+    body += '"' + util::JsonEscape(name) + "\":\"" + util::JsonEscape(value) +
+            '"';
+  }
+  body += '}';
+  return "POST /screen HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking loopback client (parity phase + health probes)
+
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval timeout{/*.tv_sec=*/60, /*.tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool RecvFrameBlocking(int fd, std::string* buffer, Frame* frame) {
+  while (true) {
+    size_t consumed = 0;
+    std::string error;
+    switch (DecodeFrame(*buffer, 64u << 20, frame, &consumed, &error)) {
+      case DecodeStatus::kFrame:
+        buffer->erase(0, consumed);
+        return true;
+      case DecodeStatus::kProtocolError:
+        return false;
+      case DecodeStatus::kNeedMore:
+        break;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string RecvHttpBlocking(int fd, std::string* buffer) {
+  while (true) {
+    const size_t head_end = buffer->find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      size_t content_length = 0;
+      const size_t marker = buffer->find("Content-Length: ");
+      if (marker != std::string::npos && marker < head_end) {
+        content_length =
+            static_cast<size_t>(std::atoll(buffer->c_str() + marker + 16));
+      }
+      const size_t total = head_end + 4 + content_length;
+      if (buffer->size() >= total) {
+        std::string response = buffer->substr(0, total);
+        buffer->erase(0, total);
+        return response;
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return "";
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop load generator
+
+struct LoadResult {
+  size_t sent = 0;
+  size_t answered = 0;
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t expired = 0;
+  size_t invalid = 0;
+  size_t client_errors = 0;  // socket failures / malformed server bytes
+  bool timed_out = false;
+  double wall_seconds = 0.0;
+  // kOk responses only, measured from the scheduled arrival time.
+  std::vector<double> latencies_ms;
+
+  void Merge(const LoadResult& other) {
+    sent += other.sent;
+    answered += other.answered;
+    ok += other.ok;
+    shed += other.shed;
+    expired += other.expired;
+    invalid += other.invalid;
+    client_errors += other.client_errors;
+    timed_out = timed_out || other.timed_out;
+    latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
+                        other.latencies_ms.end());
+  }
+};
+
+struct Client {
+  int fd = -1;
+  bool http = false;
+  bool dead = false;
+  std::string rx;
+  std::string tx;
+  std::deque<double> scheduled_ms;  // arrival times of in-flight requests
+};
+
+struct Arrival {
+  double at_ms = 0.0;
+  size_t client = 0;  // worker-local index
+  size_t request = 0;  // index into the request-bytes vectors
+};
+
+// One worker: owns `clients` exclusively, replays `arrivals` (sorted by
+// time) against them, and drains responses until everything in flight is
+// answered or `deadline_ms` passes.
+LoadResult RunWorker(std::vector<Client> clients,
+                     const std::vector<Arrival>& arrivals,
+                     const std::vector<std::string>& binary_requests,
+                     const std::vector<std::string>& http_requests,
+                     std::chrono::steady_clock::time_point start,
+                     double deadline_ms) {
+  LoadResult result;
+  const auto now_ms = [start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  const auto flush = [&](Client* client) {
+    while (!client->dead && !client->tx.empty()) {
+      const ssize_t n = ::send(client->fd, client->tx.data(),
+                               client->tx.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        client->tx.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      client->dead = true;
+      ++result.client_errors;
+    }
+  };
+
+  const auto record = [&](Client* client, ScreenStatus status) {
+    ++result.answered;
+    switch (status) {
+      case ScreenStatus::kOk:
+        ++result.ok;
+        result.latencies_ms.push_back(now_ms() - client->scheduled_ms.front());
+        break;
+      case ScreenStatus::kShed:
+        ++result.shed;
+        break;
+      case ScreenStatus::kExpired:
+        ++result.expired;
+        break;
+      case ScreenStatus::kInvalid:
+        ++result.invalid;
+        break;
+    }
+    client->scheduled_ms.pop_front();
+  };
+
+  // Parses every complete response buffered in client->rx. Responses
+  // arrive in request order per connection (the server's ordered response
+  // slots), so each one pairs with the oldest scheduled arrival.
+  const auto parse = [&](Client* client) {
+    while (!client->dead) {
+      if (client->http) {
+        const size_t head_end = client->rx.find("\r\n\r\n");
+        if (head_end == std::string::npos) return;
+        size_t content_length = 0;
+        const size_t marker = client->rx.find("Content-Length: ");
+        if (marker != std::string::npos && marker < head_end) {
+          content_length = static_cast<size_t>(
+              std::atoll(client->rx.c_str() + marker + 16));
+        }
+        const size_t total = head_end + 4 + content_length;
+        if (client->rx.size() < total) return;
+        const int code = std::atoi(client->rx.c_str() + 9);
+        client->rx.erase(0, total);
+        if (client->scheduled_ms.empty()) {
+          client->dead = true;
+          ++result.client_errors;
+          return;
+        }
+        record(client, code == 200   ? ScreenStatus::kOk
+                       : code == 503 ? ScreenStatus::kShed
+                       : code == 504 ? ScreenStatus::kExpired
+                                     : ScreenStatus::kInvalid);
+      } else {
+        Frame frame;
+        size_t consumed = 0;
+        std::string error;
+        switch (DecodeFrame(client->rx, 64u << 20, &frame, &consumed,
+                            &error)) {
+          case DecodeStatus::kNeedMore:
+            return;
+          case DecodeStatus::kProtocolError:
+            client->dead = true;
+            ++result.client_errors;
+            return;
+          case DecodeStatus::kFrame:
+            break;
+        }
+        client->rx.erase(0, consumed);
+        ScreenResponseBody body;
+        if (frame.type != FrameType::kScreenResponse ||
+            !DecodeScreenResponse(frame.payload, &body) ||
+            client->scheduled_ms.empty()) {
+          client->dead = true;
+          ++result.client_errors;
+          return;
+        }
+        record(client, body.status);
+      }
+    }
+  };
+
+  const auto drain = [&](Client* client) {
+    while (!client->dead) {
+      char chunk[16384];
+      const ssize_t n = ::recv(client->fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        client->rx.append(chunk, static_cast<size_t>(n));
+        parse(client);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF (or a hard error) with requests still in flight.
+      client->dead = true;
+      if (!client->scheduled_ms.empty()) ++result.client_errors;
+      return;
+    }
+  };
+
+  size_t next = 0;
+  while (true) {
+    const double now = now_ms();
+    while (next < arrivals.size() && arrivals[next].at_ms <= now) {
+      const Arrival& arrival = arrivals[next++];
+      Client* client = &clients[arrival.client];
+      if (client->dead) {
+        ++result.client_errors;
+        continue;
+      }
+      client->tx += client->http ? http_requests[arrival.request]
+                                 : binary_requests[arrival.request];
+      client->scheduled_ms.push_back(arrival.at_ms);
+      ++result.sent;
+      flush(client);
+    }
+    bool outstanding = false;
+    for (Client& client : clients) {
+      flush(&client);
+      drain(&client);
+      outstanding = outstanding ||
+                    (!client.dead && !client.scheduled_ms.empty());
+    }
+    if (next >= arrivals.size() && !outstanding) break;
+    if (now > deadline_ms) {
+      result.timed_out = true;
+      break;
+    }
+    double sleep_ms = 0.5;
+    if (next < arrivals.size() && !outstanding) {
+      sleep_ms = std::min(50.0, std::max(0.0, arrivals[next].at_ms - now));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  for (Client& client : clients) ::close(client.fd);
+  return result;
+}
+
+// Replays `arrival_ms` (sorted offsets; request i goes to connection
+// i % conns) against the server, `workers` threads each owning a
+// disjoint slice of the connections.
+LoadResult RunOpenLoop(uint16_t port, size_t conns, size_t http_stride,
+                       const std::vector<double>& arrival_ms,
+                       const std::vector<std::string>& binary_requests,
+                       const std::vector<std::string>& http_requests,
+                       double drain_grace_ms) {
+  const size_t workers = std::max<size_t>(1, std::min<size_t>(conns, 16));
+  std::vector<std::vector<Client>> worker_clients(workers);
+  std::vector<std::vector<size_t>> local_index(workers);
+  LoadResult failed;
+  for (size_t c = 0; c < conns; ++c) {
+    Client client;
+    client.fd = ConnectTo(port);
+    if (client.fd < 0) {
+      ++failed.client_errors;
+      continue;
+    }
+    const int flags = ::fcntl(client.fd, F_GETFL, 0);
+    ::fcntl(client.fd, F_SETFL, flags | O_NONBLOCK);
+    client.http = http_stride > 0 && c % http_stride == http_stride - 1;
+    const size_t w = c % workers;
+    local_index[w].push_back(c);
+    worker_clients[w].push_back(std::move(client));
+  }
+  if (failed.client_errors > 0) {
+    for (auto& clients : worker_clients) {
+      for (Client& client : clients) ::close(client.fd);
+    }
+    failed.timed_out = true;
+    return failed;
+  }
+
+  std::vector<std::vector<Arrival>> worker_arrivals(workers);
+  for (size_t i = 0; i < arrival_ms.size(); ++i) {
+    const size_t c = i % conns;
+    const size_t w = c % workers;
+    const auto slot = std::find(local_index[w].begin(), local_index[w].end(),
+                                c) -
+                      local_index[w].begin();
+    worker_arrivals[w].push_back(
+        {arrival_ms[i], static_cast<size_t>(slot),
+         i % binary_requests.size()});
+  }
+
+  const double deadline_ms =
+      (arrival_ms.empty() ? 0.0 : arrival_ms.back()) + drain_grace_ms;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<LoadResult> results(workers);
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      results[w] = RunWorker(std::move(worker_clients[w]), worker_arrivals[w],
+                             binary_requests, http_requests, start,
+                             deadline_ms);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  LoadResult total;
+  for (const LoadResult& result : results) total.Merge(result);
+  total.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  return total;
+}
+
+serve::LatencyRecorder::Summary Summarize(const std::vector<double>& ms) {
+  serve::LatencyRecorder recorder;
+  for (double m : ms) recorder.Record(m);
+  return recorder.Summarize();
+}
+
+// Raises the fd soft limit toward the hard limit and returns how many
+// loopback connections fit: each one costs two fds (client + server end
+// live in this process), plus slack for the services and epoll plumbing.
+size_t MaxConnectionsByRlimit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 64;
+  if (limit.rlim_cur < limit.rlim_max) {
+    rlimit raised = limit;
+    raised.rlim_cur = limit.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) limit = raised;
+  }
+  if (limit.rlim_cur <= 128) return 4;
+  return static_cast<size_t>((limit.rlim_cur - 128) / 2);
+}
+
+int Main() {
+  PrintBanner("bench_serve_net",
+              "socket front end: parity, open-loop load, overload shedding");
+  const auto& workload = SharedWorkload();
+  const size_t corpus_size = workload.corpus.db.size();
+
+  // The generator appends every duplicate copy after all originals, so a
+  // plain "newest reports" stream would leave the bootstrap without a
+  // single positive training pair (and the detector blind). Hold out the
+  // newer half of the copy region as the stream — their partners stay
+  // bootstrapped, so screening them must produce detections — and pad
+  // the stream with the originals just below the copy region.
+  const size_t dup_copies = workload.corpus.duplicate_pairs.size();
+  const size_t held_out = dup_copies / 2;
+  const size_t copy_begin = corpus_size - dup_copies;
+  const size_t stream_target = Scaled(2000, 320);
+  const size_t extra =
+      stream_target > held_out
+          ? std::min(stream_target - held_out, copy_begin)
+          : 0;
+  std::vector<bool> in_bootstrap(corpus_size, true);
+  std::vector<size_t> stream_ids;
+  for (size_t i = copy_begin - extra; i < copy_begin; ++i) {
+    stream_ids.push_back(i);
+  }
+  for (size_t i = corpus_size - held_out; i < corpus_size; ++i) {
+    stream_ids.push_back(i);
+  }
+  for (size_t i : stream_ids) in_bootstrap[i] = false;
+
+  std::vector<report::AdrReport> bootstrap;
+  std::vector<size_t> bootstrap_ids;
+  std::vector<report::AdrReport> stream;
+  for (size_t i = 0; i < corpus_size; ++i) {
+    if (!in_bootstrap[i]) continue;
+    bootstrap_ids.push_back(i);
+    bootstrap.push_back(workload.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  for (size_t i : stream_ids) {
+    stream.push_back(workload.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  const size_t bootstrap_size = bootstrap.size();
+  const size_t stream_size = stream.size();
+
+  // Training set: the adrdedup_detect recipe — ground-truth duplicate
+  // pairs fully inside the bootstrap, plus sampled negatives.
+  std::vector<distance::LabeledPair> labels;
+  std::unordered_set<uint64_t> keys;
+  size_t positives = 0;
+  for (auto [a, b] : workload.corpus.duplicate_pairs) {
+    if (!in_bootstrap[a] || !in_bootstrap[b]) continue;
+    distance::LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    pair.label = +1;
+    pair.vector = ComputeDistanceVector(workload.features[pair.pair.a],
+                                        workload.features[pair.pair.b]);
+    if (keys.insert(PairKey(pair.pair)).second) {
+      labels.push_back(pair);
+      ++positives;
+    }
+  }
+  const size_t negatives = Scaled(20000, 2000);
+  util::Rng rng(7);
+  const auto n = static_cast<uint32_t>(bootstrap_ids.size());
+  while (labels.size() < positives + negatives) {
+    const auto a =
+        static_cast<report::ReportId>(bootstrap_ids[rng.Uniform(n)]);
+    const auto b =
+        static_cast<report::ReportId>(bootstrap_ids[rng.Uniform(n)]);
+    if (a == b) continue;
+    distance::LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    if (!keys.insert(PairKey(pair.pair)).second) continue;
+    pair.label = -1;
+    pair.vector = ComputeDistanceVector(workload.features[pair.pair.a],
+                                        workload.features[pair.pair.b]);
+    labels.push_back(pair);
+  }
+
+  size_t conns = Scaled(1000, 8);
+  const size_t conn_budget = MaxConnectionsByRlimit();
+  if (conns > conn_budget) {
+    std::cout << "clamping connections " << conns << " -> " << conn_budget
+              << " (RLIMIT_NOFILE)\n";
+    conns = conn_budget;
+  }
+  const size_t parity_n = std::min(stream.size(), Scaled(320, 64));
+  const size_t open_loop_requests = Scaled(6000, 192);
+  std::cout << "bootstrap=" << bootstrap_size << " stream=" << stream_size
+            << " parity=" << parity_n << " connections=" << conns
+            << " open-loop requests=" << open_loop_requests
+            << " labels=" << labels.size() << " (" << positives
+            << " positive)\n\n";
+
+  bool all_ok = true;
+  eval::TablePrinter table(
+      &std::cout, {"phase", "conns", "requests", "QPS", "p50 ms", "p95 ms",
+                   "p99 ms", "shed %"});
+
+  // Parity order: stream reports whose ground-truth duplicate partner is
+  // already bootstrapped go first, so the byte comparison exercises real
+  // detection lines (an all-clean slice would compare "" against "").
+  std::vector<size_t> parity_order;
+  {
+    std::vector<size_t> stream_pos(corpus_size, corpus_size);
+    for (size_t i = 0; i < stream_ids.size(); ++i) {
+      stream_pos[stream_ids[i]] = i;
+    }
+    std::unordered_set<size_t> chosen;
+    for (auto [a, b] : workload.corpus.duplicate_pairs) {
+      for (auto [mine, partner] : {std::pair{a, b}, std::pair{b, a}}) {
+        if (stream_pos[mine] == corpus_size || !in_bootstrap[partner]) {
+          continue;
+        }
+        if (chosen.insert(stream_pos[mine]).second) {
+          parity_order.push_back(stream_pos[mine]);
+        }
+      }
+    }
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (!chosen.contains(i)) parity_order.push_back(i);
+    }
+    parity_order.resize(parity_n);
+  }
+
+  // --- Phase 1a: direct sequential baseline (canonical stdin bytes) ---
+  minispark::SparkContext direct_ctx({.num_executors = 4});
+  auto direct = MakeService(&direct_ctx, labels, bootstrap);
+  std::string direct_lines;
+  serve::LatencyRecorder direct_latency;
+  util::Stopwatch direct_wall;
+  for (size_t i = 0; i < parity_n; ++i) {
+    util::Stopwatch request;
+    auto response = direct->Screen(stream[parity_order[i]]);
+    if (!response.ok()) {
+      std::cout << "direct Screen failed: " << response.status().ToString()
+                << "\n";
+      return 1;
+    }
+    direct_latency.Record(request.ElapsedMillis());
+    direct_lines +=
+        serve::FormatMatchesCsv(stream[parity_order[i]], response.value());
+  }
+  const double direct_seconds = direct_wall.ElapsedSeconds();
+  const double direct_qps = static_cast<double>(parity_n) / direct_seconds;
+  direct->Stop();
+  const auto direct_summary = direct_latency.Summarize();
+  table.AddRow({"direct seq", "-", std::to_string(parity_n),
+                eval::TablePrinter::Num(direct_qps, 1),
+                eval::TablePrinter::Num(direct_summary.p50_ms, 3),
+                eval::TablePrinter::Num(direct_summary.p95_ms, 3),
+                eval::TablePrinter::Num(direct_summary.p99_ms, 3), "0.0"});
+
+  // --- Phase 1b: identical service behind the NetServer, binary path ---
+  minispark::SparkContext net_ctx({.num_executors = 4});
+  auto service = MakeService(&net_ctx, labels, bootstrap);
+  NetServerOptions net_options;
+  net_options.max_connections = conns + 16;
+  net_options.idle_timeout_ms = 0.0;  // a paced open loop can look idle
+  NetServer server(service.get(), net_options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::cout << "NetServer::Start failed: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  {
+    const int fd = ConnectTo(server.port());
+    if (fd < 0) {
+      std::cout << "parity connect failed\n";
+      return 1;
+    }
+    std::string rx;
+    std::string net_lines;
+    serve::LatencyRecorder net_latency;
+    util::Stopwatch net_wall;
+    bool net_ok = true;
+    for (size_t i = 0; i < parity_n && net_ok; ++i) {
+      util::Stopwatch request;
+      Frame frame;
+      ScreenResponseBody body;
+      net_ok = SendAll(fd, BinaryScreenRequest(stream[parity_order[i]])) &&
+               RecvFrameBlocking(fd, &rx, &frame) &&
+               frame.type == FrameType::kScreenResponse &&
+               DecodeScreenResponse(frame.payload, &body) &&
+               body.status == ScreenStatus::kOk;
+      if (!net_ok) break;
+      net_latency.Record(request.ElapsedMillis());
+      for (const auto& [case_number, score] : body.matches) {
+        net_lines += stream[parity_order[i]].case_number() + "," +
+                     case_number + "," +
+                     std::to_string(score) + "\n";
+      }
+    }
+    const double net_qps =
+        static_cast<double>(parity_n) / net_wall.ElapsedSeconds();
+    ::close(fd);
+    const bool parity = net_ok && net_lines == direct_lines;
+    std::cout << "parity gate: " << (parity ? "PASS" : "FAIL") << " ("
+              << parity_n << " requests, " << direct_lines.size()
+              << " canonical bytes"
+              << (net_ok ? "" : ", socket round trip failed") << ")\n";
+    all_ok = all_ok && parity;
+    const auto net_summary = net_latency.Summarize();
+    table.AddRow({"net seq", "1", std::to_string(parity_n),
+                  eval::TablePrinter::Num(net_qps, 1),
+                  eval::TablePrinter::Num(net_summary.p50_ms, 3),
+                  eval::TablePrinter::Num(net_summary.p95_ms, 3),
+                  eval::TablePrinter::Num(net_summary.p99_ms, 3), "0.0"});
+  }
+
+  // Requests for the load phases, pre-encoded in both protocols.
+  std::vector<std::string> binary_requests(stream.size());
+  std::vector<std::string> http_requests(stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    binary_requests[i] = BinaryScreenRequest(stream[i]);
+    http_requests[i] = HttpScreenRequest(stream[i]);
+  }
+
+  // --- Phase 2: open-loop Poisson arrivals at ~2x the sequential rate ---
+  const double offered_qps = std::max(25.0, 2.0 * direct_qps);
+  std::vector<double> arrival_ms(open_loop_requests);
+  {
+    util::Rng arrivals_rng(11);
+    double t = 0.0;
+    for (size_t i = 0; i < open_loop_requests; ++i) {
+      t += -std::log(1.0 - arrivals_rng.UniformDouble()) / offered_qps *
+           1000.0;
+      arrival_ms[i] = t;
+    }
+  }
+  const LoadResult load =
+      RunOpenLoop(server.port(), conns, kHttpStride, arrival_ms,
+                  binary_requests, http_requests,
+                  /*drain_grace_ms=*/180000.0);
+  const bool load_ok = !load.timed_out && load.client_errors == 0 &&
+                       load.invalid == 0 && load.answered == load.sent &&
+                       load.sent == open_loop_requests;
+  const auto load_summary = Summarize(load.latencies_ms);
+  const double load_shed_pct =
+      100.0 * static_cast<double>(load.shed) /
+      static_cast<double>(std::max<size_t>(1, load.sent));
+  table.AddRow({"open loop", std::to_string(conns),
+                std::to_string(load.sent),
+                eval::TablePrinter::Num(
+                    static_cast<double>(load.answered) / load.wall_seconds,
+                    1),
+                eval::TablePrinter::Num(load_summary.p50_ms, 3),
+                eval::TablePrinter::Num(load_summary.p95_ms, 3),
+                eval::TablePrinter::Num(load_summary.p99_ms, 3),
+                eval::TablePrinter::Num(load_shed_pct, 2)});
+  std::cout << "open-loop gate: " << (load_ok ? "PASS" : "FAIL")
+            << " (offered " << eval::TablePrinter::Num(offered_qps, 1)
+            << " qps, answered " << load.answered << "/" << load.sent
+            << ", shed " << load.shed << ", errors " << load.client_errors
+            << (load.timed_out ? ", TIMED OUT" : "") << ")\n";
+  all_ok = all_ok && load_ok;
+
+  // --- Phase 3: overload burst — everything at t=0 against the queue ---
+  const size_t burst_conns = std::min<size_t>(conns, 8);
+  const size_t burst_requests = kQueueCapacity * 2;
+  const uint64_t shed_before_burst = service->metrics().requests_shed();
+  const LoadResult burst = RunOpenLoop(
+      server.port(), burst_conns, /*http_stride=*/4,
+      std::vector<double>(burst_requests, 0.0), binary_requests,
+      http_requests, /*drain_grace_ms=*/180000.0);
+  const uint64_t shed_counter_delta =
+      service->metrics().requests_shed() - shed_before_burst;
+  const bool burst_ok =
+      !burst.timed_out && burst.client_errors == 0 && burst.invalid == 0 &&
+      burst.answered == burst.sent && burst.ok >= 1 && burst.shed >= 1 &&
+      shed_counter_delta == burst.shed;
+  const auto burst_summary = Summarize(burst.latencies_ms);
+  const double burst_shed_pct =
+      100.0 * static_cast<double>(burst.shed) /
+      static_cast<double>(std::max<size_t>(1, burst.sent));
+  table.AddRow({"overload burst", std::to_string(burst_conns),
+                std::to_string(burst.sent),
+                eval::TablePrinter::Num(
+                    static_cast<double>(burst.answered) / burst.wall_seconds,
+                    1),
+                eval::TablePrinter::Num(burst_summary.p50_ms, 3),
+                eval::TablePrinter::Num(burst_summary.p95_ms, 3),
+                eval::TablePrinter::Num(burst_summary.p99_ms, 3),
+                eval::TablePrinter::Num(burst_shed_pct, 2)});
+  std::cout << "overload gate: " << (burst_ok ? "PASS" : "FAIL")
+            << " (answered " << burst.answered << "/" << burst.sent
+            << ", ok " << burst.ok << ", shed " << burst.shed
+            << ", requests_shed delta " << shed_counter_delta
+            << (burst.timed_out ? ", TIMED OUT" : "") << ")\n";
+  all_ok = all_ok && burst_ok;
+
+  // --- Health + metrics probes over HTTP ---
+  {
+    bool probes_ok = false;
+    const int fd = ConnectTo(server.port());
+    if (fd >= 0) {
+      std::string rx;
+      std::string health;
+      std::string metrics;
+      if (SendAll(fd, "GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")) {
+        health = RecvHttpBlocking(fd, &rx);
+      }
+      if (SendAll(fd, "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")) {
+        metrics = RecvHttpBlocking(fd, &rx);
+      }
+      probes_ok = health.find("200") != std::string::npos &&
+                  health.find("\"ok\"") != std::string::npos &&
+                  metrics.find("200") != std::string::npos &&
+                  metrics.find("\"net\"") != std::string::npos;
+      ::close(fd);
+    }
+    std::cout << "health/metrics probe: " << (probes_ok ? "PASS" : "FAIL")
+              << "\n\n";
+    all_ok = all_ok && probes_ok;
+  }
+
+  table.Print();
+  std::cout << "\n(latency percentiles are over kOk answers, measured from "
+               "each request's scheduled arrival — open-loop accounting, so "
+               "queue delay under overload is charged to the request)\n"
+            << "\noverall: " << (all_ok ? "PASS" : "FAIL") << "\n";
+
+  server.Stop();
+  service->Stop();
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

@@ -1,0 +1,110 @@
+#include "serve/net/frame.h"
+
+#include <cstring>
+
+#include "minispark/storage/serializer.h"
+#include "util/crc32.h"
+
+namespace adrdedup::serve::net {
+
+namespace storage = minispark::storage;
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  const uint32_t magic = kFrameMagic;
+  out->append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out->push_back(static_cast<char>(type));
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  out->append(reinterpret_cast<const char*>(&size), sizeof(size));
+  out->append(payload);
+  const uint32_t crc = util::Crc32(payload);
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+}
+
+DecodeStatus DecodeFrame(std::string_view buffer, size_t max_payload_bytes,
+                         Frame* frame, size_t* consumed, std::string* error) {
+  if (buffer.size() < sizeof(uint32_t)) {
+    // Not enough for the magic yet; still reject a prefix that can no
+    // longer match so garbage fails fast instead of buffering forever.
+    const auto magic_bytes = std::string_view(
+        reinterpret_cast<const char*>(&kFrameMagic), sizeof(kFrameMagic));
+    if (buffer != magic_bytes.substr(0, buffer.size())) {
+      *error = "bad frame magic";
+      return DecodeStatus::kProtocolError;
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, buffer.data(), sizeof(magic));
+  if (magic != kFrameMagic) {
+    *error = "bad frame magic";
+    return DecodeStatus::kProtocolError;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  const uint8_t type = static_cast<uint8_t>(buffer[4]);
+  if (type < static_cast<uint8_t>(FrameType::kScreenRequest) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    *error = "unknown frame type " + std::to_string(type);
+    return DecodeStatus::kProtocolError;
+  }
+  uint32_t payload_size = 0;
+  std::memcpy(&payload_size, buffer.data() + 5, sizeof(payload_size));
+  if (payload_size > max_payload_bytes) {
+    *error = "frame payload of " + std::to_string(payload_size) +
+             " bytes exceeds the " + std::to_string(max_payload_bytes) +
+             "-byte cap";
+    return DecodeStatus::kProtocolError;
+  }
+  const size_t total =
+      kFrameHeaderBytes + static_cast<size_t>(payload_size) +
+      kFrameTrailerBytes;
+  if (buffer.size() < total) return DecodeStatus::kNeedMore;
+  const std::string_view payload = buffer.substr(kFrameHeaderBytes,
+                                                 payload_size);
+  uint32_t crc = 0;
+  std::memcpy(&crc, buffer.data() + kFrameHeaderBytes + payload_size,
+              sizeof(crc));
+  if (crc != util::Crc32(payload)) {
+    *error = "frame CRC mismatch";
+    return DecodeStatus::kProtocolError;
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->payload.assign(payload);
+  *consumed = total;
+  return DecodeStatus::kFrame;
+}
+
+std::string EncodeScreenRequest(const ScreenRequestBody& fields) {
+  return storage::SerializeToString(fields);
+}
+
+bool DecodeScreenRequest(std::string_view payload, ScreenRequestBody* fields) {
+  return storage::DeserializeFromString(payload, fields);
+}
+
+std::string EncodeScreenResponse(const ScreenResponseBody& body) {
+  std::string out;
+  storage::Serializer<uint32_t>::Write(&out,
+                                       static_cast<uint32_t>(body.status));
+  storage::Serializer<std::string>::Write(&out, body.message);
+  storage::Serializer<std::vector<std::pair<std::string, double>>>::Write(
+      &out, body.matches);
+  return out;
+}
+
+bool DecodeScreenResponse(std::string_view payload, ScreenResponseBody* body) {
+  const char* cursor = payload.data();
+  const char* end = payload.data() + payload.size();
+  uint32_t status = 0;
+  if (!storage::Serializer<uint32_t>::Read(&cursor, end, &status)) {
+    return false;
+  }
+  if (status > static_cast<uint32_t>(ScreenStatus::kInvalid)) return false;
+  body->status = static_cast<ScreenStatus>(status);
+  return storage::Serializer<std::string>::Read(&cursor, end,
+                                                &body->message) &&
+         storage::Serializer<std::vector<std::pair<std::string, double>>>::
+             Read(&cursor, end, &body->matches) &&
+         cursor == end;
+}
+
+}  // namespace adrdedup::serve::net

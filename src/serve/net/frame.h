@@ -1,0 +1,102 @@
+// Length-prefixed binary request/response protocol of the screening
+// service's socket front end. One frame:
+//
+//   bytes 0..3   uint32 magic "ADRN"
+//   byte  4      uint8  FrameType
+//   bytes 5..8   uint32 payload size
+//   bytes 9..    payload (storage Serializer<T> encoding)
+//   last 4       uint32 CRC-32 of the payload (util::Crc32)
+//
+// The payload encoding reuses the storage layer's Serializer<T> trait
+// (minispark/storage/serializer.h) — the same compositional
+// string/pair/vector codecs that frame spilled partitions — and the
+// CRC-32 trailer gives the same corruption detection the spill files
+// get from their header CRC. Encoding is host-endian like the storage
+// format: both peers are expected to be the same build on the same
+// architecture (a loopback/rack protocol, not an interchange format).
+//
+// DecodeFrame is incremental: feed it the connection's receive buffer
+// and it reports kNeedMore until a whole frame is buffered, so a
+// level-triggered event loop can call it after every read.
+#ifndef ADRDEDUP_SERVE_NET_FRAME_H_
+#define ADRDEDUP_SERVE_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adrdedup::serve::net {
+
+// Little-endian bytes 'A' 'D' 'R' 'N'; chosen so the first byte of a
+// binary connection can never be confused with an HTTP method token
+// (GET/POST/... start with other letters), which is how the server
+// sniffs the protocol per connection.
+inline constexpr uint32_t kFrameMagic = 0x4e524441u;
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+inline constexpr size_t kFrameTrailerBytes = 4;
+
+enum class FrameType : uint8_t {
+  kScreenRequest = 1,
+  kScreenResponse = 2,
+  kMetricsRequest = 3,
+  kMetricsResponse = 4,  // payload: ServiceMetrics JSON document
+  kHealthRequest = 5,
+  kHealthResponse = 6,  // payload: "ok"
+  kError = 7,           // payload: human-readable reason; peer closes
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// Appends one encoded frame to *out.
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
+enum class DecodeStatus {
+  kNeedMore,       // buffer holds a frame prefix; read more bytes
+  kFrame,          // *frame and *consumed filled
+  kProtocolError,  // bad magic / unknown type / oversized / CRC mismatch
+};
+
+// Decodes the frame at the front of `buffer`. `max_payload_bytes` bounds
+// the declared payload size — an oversized declaration is a protocol
+// error immediately, before any buffering of the payload. On
+// kProtocolError, *error names the violation.
+DecodeStatus DecodeFrame(std::string_view buffer, size_t max_payload_bytes,
+                         Frame* frame, size_t* consumed, std::string* error);
+
+// --- Screen request/response payloads --------------------------------------
+
+// A request is the report as (field name, value) pairs; the server binds
+// them through serve::FieldsToReport, exactly like a JSON body.
+using ScreenRequestBody = std::vector<std::pair<std::string, std::string>>;
+
+std::string EncodeScreenRequest(const ScreenRequestBody& fields);
+bool DecodeScreenRequest(std::string_view payload, ScreenRequestBody* fields);
+
+// Response status mirrors the service's typed degradation outcomes.
+enum class ScreenStatus : uint32_t {
+  kOk = 0,
+  kShed = 1,     // queue full: the Unavailable/503 outcome
+  kExpired = 2,  // request out-waited its deadline in the queue
+  kInvalid = 3,  // request did not bind to the report schema
+};
+
+struct ScreenResponseBody {
+  ScreenStatus status = ScreenStatus::kOk;
+  std::string message;  // detail when status != kOk
+  // (case number, score) per detected duplicate; scores are transported
+  // as raw doubles, so the binary path is bit-exact.
+  std::vector<std::pair<std::string, double>> matches;
+};
+
+std::string EncodeScreenResponse(const ScreenResponseBody& body);
+bool DecodeScreenResponse(std::string_view payload, ScreenResponseBody* body);
+
+}  // namespace adrdedup::serve::net
+
+#endif  // ADRDEDUP_SERVE_NET_FRAME_H_

@@ -1,0 +1,172 @@
+#include "serve/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace adrdedup::serve::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Lines end in "\r\n"; a bare "\n" is tolerated (robustness for
+// hand-typed test clients).
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+HttpParseStatus ParseHttpRequest(std::string_view buffer, size_t max_bytes,
+                                 HttpRequest* request, size_t* consumed,
+                                 std::string* error) {
+  const size_t head_end = buffer.find("\n\r\n") != std::string_view::npos
+                              ? buffer.find("\n\r\n") + 3
+                              : (buffer.find("\n\n") != std::string_view::npos
+                                     ? buffer.find("\n\n") + 2
+                                     : std::string_view::npos);
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > max_bytes) {
+      *error = "request head exceeds the " + std::to_string(max_bytes) +
+               "-byte cap";
+      return HttpParseStatus::kError;
+    }
+    return HttpParseStatus::kNeedMore;
+  }
+
+  HttpRequest parsed;
+  std::string_view head = buffer.substr(0, head_end);
+  // Request line.
+  const size_t line_end = head.find('\n');
+  std::string_view request_line = StripCr(head.substr(0, line_end));
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    *error = "malformed request line";
+    return HttpParseStatus::kError;
+  }
+  parsed.method = std::string(request_line.substr(0, sp1));
+  parsed.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  parsed.version = std::string(request_line.substr(sp2 + 1));
+  if (parsed.method.empty() || parsed.target.empty() ||
+      (parsed.version != "HTTP/1.1" && parsed.version != "HTTP/1.0")) {
+    *error = "malformed request line";
+    return HttpParseStatus::kError;
+  }
+
+  // Header fields.
+  std::string_view rest = head.substr(line_end + 1);
+  while (!rest.empty()) {
+    const size_t eol = rest.find('\n');
+    std::string_view line = StripCr(rest.substr(0, eol));
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 1);
+    if (line.empty()) break;  // end of headers
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      *error = "malformed header line";
+      return HttpParseStatus::kError;
+    }
+    parsed.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                                std::string(Trim(line.substr(colon + 1))));
+  }
+
+  // Body, delimited by Content-Length (chunked encoding unsupported).
+  size_t content_length = 0;
+  if (const std::string_view value = parsed.Header("content-length");
+      !value.empty()) {
+    for (const char c : value) {
+      if (c < '0' || c > '9') {
+        *error = "malformed Content-Length";
+        return HttpParseStatus::kError;
+      }
+      content_length = content_length * 10 + static_cast<size_t>(c - '0');
+      if (content_length > max_bytes) break;
+    }
+  }
+  if (ToLower(parsed.Header("transfer-encoding")).find("chunked") !=
+      std::string::npos) {
+    *error = "chunked transfer encoding unsupported";
+    return HttpParseStatus::kError;
+  }
+  if (head_end + content_length > max_bytes) {
+    *error = "request exceeds the " + std::to_string(max_bytes) +
+             "-byte cap";
+    return HttpParseStatus::kError;
+  }
+  if (buffer.size() < head_end + content_length) {
+    return HttpParseStatus::kNeedMore;
+  }
+  parsed.body = std::string(buffer.substr(head_end, content_length));
+
+  const std::string connection = ToLower(parsed.Header("connection"));
+  if (parsed.version == "HTTP/1.0") {
+    parsed.keep_alive = connection == "keep-alive";
+  } else {
+    parsed.keep_alive = connection != "close";
+  }
+
+  *request = std::move(parsed);
+  *consumed = head_end + content_length;
+  return HttpParseStatus::kRequest;
+}
+
+std::string_view HttpReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string FormatHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out += HttpReason(status);
+  out += "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  if (status == 503) out += "Retry-After: 1\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace adrdedup::serve::net

@@ -1,0 +1,56 @@
+// Minimal HTTP/1.1 request parser and response formatter for the
+// screening service's JSON adapter. Deliberately small: request line +
+// headers + Content-Length-delimited body, keep-alive semantics, no
+// chunked encoding, no continuations — enough for curl/load-balancer
+// health checks and POST /screen traffic over the same epoll connection
+// layer as the binary protocol.
+#ifndef ADRDEDUP_SERVE_NET_HTTP_H_
+#define ADRDEDUP_SERVE_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adrdedup::serve::net {
+
+struct HttpRequest {
+  std::string method;   // as sent (e.g. "GET", "POST")
+  std::string target;   // request target (e.g. "/screen")
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  // Header names lower-cased, values trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  // HTTP/1.1 defaults to keep-alive; "Connection: close" (or HTTP/1.0
+  // without "Connection: keep-alive") clears it.
+  bool keep_alive = true;
+
+  // First value of `name` (already lower-cased), or empty.
+  std::string_view Header(std::string_view name) const;
+};
+
+enum class HttpParseStatus {
+  kNeedMore,  // incomplete request; read more bytes
+  kRequest,   // *request and *consumed filled
+  kError,     // malformed request line/headers or over the size cap
+};
+
+// Parses the request at the front of `buffer`. `max_bytes` caps the
+// whole request (head + body); exceeding it — including via a declared
+// Content-Length — is an error before the body is buffered.
+HttpParseStatus ParseHttpRequest(std::string_view buffer, size_t max_bytes,
+                                 HttpRequest* request, size_t* consumed,
+                                 std::string* error);
+
+// Formats a complete response with Content-Length and Connection
+// headers. `content_type` may be empty for bodyless statuses.
+std::string FormatHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool keep_alive);
+
+// Canonical reason phrase ("OK", "Service Unavailable", ...).
+std::string_view HttpReason(int status);
+
+}  // namespace adrdedup::serve::net
+
+#endif  // ADRDEDUP_SERVE_NET_HTTP_H_

@@ -1,0 +1,757 @@
+#include "serve/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "serve/net/frame.h"
+#include "serve/net/http.h"
+#include "serve/request_codec.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace adrdedup::serve::net {
+
+namespace {
+
+// epoll user-data ids of the two non-connection descriptors; connection
+// ids start above them and never repeat (so a completion for a closed
+// connection can never alias a reused fd).
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+// Defensive slack over max_request_bytes for the binary frame header /
+// HTTP head while a request streams in.
+constexpr size_t kReadSlack = 8192;
+
+util::Result<uint16_t> ParsePort(std::string_view text) {
+  if (text.empty() || text.size() > 5) {
+    return util::Status::InvalidArgument("listen port must be 0..65535");
+  }
+  uint32_t port = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return util::Status::InvalidArgument("listen port must be numeric, got " +
+                                           std::string(text));
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+  }
+  if (port > 65535) {
+    return util::Status::InvalidArgument("listen port must be 0..65535, got " +
+                                         std::string(text));
+  }
+  return static_cast<uint16_t>(port);
+}
+
+}  // namespace
+
+util::Result<std::pair<std::string, uint16_t>> ParseListenAddress(
+    std::string_view spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos) {
+    return util::Status::InvalidArgument(
+        "--listen expects host:port, got " + std::string(spec));
+  }
+  std::string host(spec.substr(0, colon));
+  if (host.empty()) host = "0.0.0.0";
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, host.c_str(), &parsed) != 1) {
+    return util::Status::InvalidArgument(
+        "listen host must be a numeric IPv4 address, got " + host);
+  }
+  auto port = ParsePort(spec.substr(colon + 1));
+  if (!port.ok()) return port.status();
+  return std::make_pair(std::move(host), port.value());
+}
+
+NetServer::NetServer(ScreeningService* service,
+                     const NetServerOptions& options)
+    : service_(service), options_(options) {
+  ADRDEDUP_CHECK(service != nullptr);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+util::Status NetServer::Start() {
+  ADRDEDUP_CHECK(!started_) << "NetServer::Start() called twice";
+  if (options_.max_connections == 0) {
+    return util::Status::InvalidArgument("max_connections must be positive");
+  }
+  if (options_.max_request_bytes == 0 ||
+      options_.max_write_buffer_bytes == 0) {
+    return util::Status::InvalidArgument(
+        "read/write buffer caps must be positive");
+  }
+  if (options_.idle_timeout_ms < 0.0) {
+    return util::Status::InvalidArgument(
+        "idle_timeout_ms must be non-negative");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument(
+        "listen host must be a numeric IPv4 address, got " + options_.host);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = std::string("bind ") + options_.host + ":" +
+                                std::to_string(options_.port) + ": " +
+                                std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(message);
+  }
+  if (::listen(listen_fd_, 511) != 0) {
+    const std::string message = std::string("listen: ") +
+                                std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const std::string message = std::string("epoll/eventfd: ") +
+                                std::strerror(errno);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return util::Status::IoError(message);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+  completion_drained_.store(false, std::memory_order_release);
+  loop_ = std::thread([this] { LoopThread(); });
+  completion_ = std::thread([this] { CompletionThread(); });
+  return util::Status();
+}
+
+void NetServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  pending_cv_.notify_all();
+  WakeLoop();
+  // The completion thread drains every pending future first (the service
+  // answers all accepted requests, even across its own Stop()), so the
+  // loop can flush final responses before tearing connections down.
+  if (completion_.joinable()) completion_.join();
+  completion_drained_.store(true, std::memory_order_release);
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  started_ = false;
+}
+
+void NetServer::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+NetServer::CompletedResponse NetServer::RenderAnswer(PendingResponse entry) {
+  // The dispatcher answers every accepted request (including during
+  // service Stop), so this wait always terminates; submission order
+  // equals answer order, so FIFO waiting adds no latency.
+  ScreenResponse response = entry.future.get();
+
+  CompletedResponse done;
+  done.conn_id = entry.conn_id;
+  done.seq = entry.seq;
+  if (entry.http) {
+    report::AdrReport stub;
+    stub.Set(report::FieldId::kCaseNumber, entry.case_number);
+    const std::string body = ScreenResponseJson(stub, response);
+    done.bytes = FormatHttpResponse(response.expired ? 504 : 200,
+                                    "application/json", body,
+                                    entry.keep_alive);
+    done.close_after = !entry.keep_alive;
+  } else {
+    ScreenResponseBody body;
+    if (response.expired) {
+      body.status = ScreenStatus::kExpired;
+      body.message = "request out-waited its deadline in the queue";
+    }
+    for (const auto& match : response.matches) {
+      body.matches.emplace_back(match.other_case_number, match.score);
+    }
+    AppendFrame(&done.bytes, FrameType::kScreenResponse,
+                EncodeScreenResponse(body));
+  }
+  return done;
+}
+
+void NetServer::CompletionThread() {
+  while (true) {
+    PendingResponse entry;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending_cv_.wait(lock, [&] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // stopping and fully drained
+      entry = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    CompletedResponse done = RenderAnswer(std::move(entry));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      completed_.push_back(std::move(done));
+    }
+    WakeLoop();
+  }
+}
+
+namespace {
+
+// One response slot of a connection: filled immediately for synchronous
+// answers (metrics, health, shed, errors) or later by the completion
+// thread; flushed strictly in sequence order.
+struct Slot {
+  bool ready = false;
+  std::string bytes;
+  bool close_after = false;
+};
+
+struct Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  enum class Mode { kUnknown, kBinary, kHttp } mode = Mode::kUnknown;
+  std::string rx;
+  std::string tx;
+  std::chrono::steady_clock::time_point last_active;
+  bool read_closed = false;       // peer EOF or fatal input error
+  bool close_after_flush = false; // close once tx and slots drain
+  uint32_t armed_events = 0;      // current epoll interest set
+  uint64_t next_seq = 0;
+  uint64_t flush_seq = 0;
+  std::map<uint64_t, Slot> slots;
+
+  bool Draining() const { return tx.empty() && slots.empty(); }
+};
+
+}  // namespace
+
+void NetServer::LoopThread() {
+  ServiceMetrics& metrics = service_->metrics();
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+  uint64_t next_conn_id = kFirstConnId;
+  bool listener_open = true;
+
+  auto update_events = [&](Connection& conn) {
+    const uint32_t events =
+        (conn.read_closed ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+        (conn.tx.empty() ? 0u : static_cast<uint32_t>(EPOLLOUT));
+    if (events == conn.armed_events) return;
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.armed_events = events;
+  };
+
+  auto close_conn = [&](uint64_t id) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    conns.erase(it);
+    metrics.SetConnectionsActive(conns.size());
+  };
+
+  // Flushes ready slots (in order) into tx, then writes what the socket
+  // will take. Returns false when the connection was closed.
+  auto flush = [&](Connection& conn) -> bool {
+    while (true) {
+      auto it = conn.slots.find(conn.flush_seq);
+      if (it == conn.slots.end() || !it->second.ready) break;
+      conn.tx += it->second.bytes;
+      if (it->second.close_after) conn.close_after_flush = true;
+      conn.slots.erase(it);
+      ++conn.flush_seq;
+    }
+    if (conn.tx.size() > options_.max_write_buffer_bytes) {
+      // Slow reader: responses are piling up faster than the peer
+      // drains them; disconnecting bounds server-side memory.
+      close_conn(conn.id);
+      return false;
+    }
+    while (!conn.tx.empty()) {
+      const ssize_t n = ::send(conn.fd, conn.tx.data(), conn.tx.size(),
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        metrics.AddBytesTx(static_cast<uint64_t>(n));
+        conn.tx.erase(0, static_cast<size_t>(n));
+        conn.last_active = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_conn(conn.id);
+      return false;
+    }
+    if (conn.close_after_flush && conn.Draining()) {
+      close_conn(conn.id);
+      return false;
+    }
+    update_events(conn);
+    return true;
+  };
+
+  auto add_sync_slot = [&](Connection& conn, std::string bytes,
+                           bool close_after) {
+    Slot& slot = conn.slots[conn.next_seq++];
+    slot.ready = true;
+    slot.bytes = std::move(bytes);
+    slot.close_after = close_after;
+  };
+
+  // Protocol violation: answer (error frame / HTTP status), stop reading
+  // from the peer, and close once the answer flushes.
+  auto protocol_error = [&](Connection& conn, const std::string& reason) {
+    metrics.IncProtocolErrors();
+    std::string bytes;
+    if (conn.mode == Connection::Mode::kHttp) {
+      const int status = reason.find("cap") != std::string::npos ? 413 : 400;
+      bytes = FormatHttpResponse(status, "application/json",
+                                 "{\"error\":\"" + util::JsonEscape(reason) +
+                                     "\"}",
+                                 /*keep_alive=*/false);
+    } else {
+      AppendFrame(&bytes, FrameType::kError, reason);
+    }
+    conn.rx.clear();
+    conn.read_closed = true;
+    add_sync_slot(conn, std::move(bytes), /*close_after=*/true);
+  };
+
+  // One parsed screening request (either protocol): submit without ever
+  // blocking the loop; a full queue is an immediate shed answer.
+  auto submit_screen = [&](Connection& conn, report::AdrReport report,
+                           bool http, bool keep_alive) {
+    const std::string case_number = report.case_number();
+    auto submitted = service_->TrySubmit(std::move(report), 0.0);
+    if (submitted.ok()) {
+      const uint64_t seq = conn.next_seq++;
+      conn.slots[seq];  // placeholder, filled by the completion thread
+      PendingResponse pending;
+      pending.conn_id = conn.id;
+      pending.seq = seq;
+      pending.http = http;
+      pending.keep_alive = keep_alive;
+      pending.case_number = case_number;
+      pending.future = std::move(submitted).value();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.push_back(std::move(pending));
+      }
+      pending_cv_.notify_one();
+      return;
+    }
+    const bool shed =
+        submitted.status().code() == util::StatusCode::kUnavailable;
+    std::string bytes;
+    if (http) {
+      bytes = FormatHttpResponse(
+          shed ? 503 : 500, "application/json",
+          "{\"error\":\"" + util::JsonEscape(submitted.status().message()) +
+              "\"}",
+          keep_alive && shed);
+    } else {
+      ScreenResponseBody body;
+      body.status = shed ? ScreenStatus::kShed : ScreenStatus::kInvalid;
+      body.message = submitted.status().message();
+      AppendFrame(&bytes, FrameType::kScreenResponse,
+                  EncodeScreenResponse(body));
+    }
+    // A shed keeps the connection: the client is expected to retry.
+    add_sync_slot(conn, std::move(bytes),
+                  /*close_after=*/http ? !(keep_alive && shed) : !shed);
+  };
+
+  auto handle_frame = [&](Connection& conn, Frame frame) {
+    switch (frame.type) {
+      case FrameType::kScreenRequest: {
+        ScreenRequestBody fields;
+        if (!DecodeScreenRequest(frame.payload, &fields)) {
+          protocol_error(conn, "malformed screen request payload");
+          return;
+        }
+        auto report = FieldsToReport(fields);
+        if (!report.ok()) {
+          ScreenResponseBody body;
+          body.status = ScreenStatus::kInvalid;
+          body.message = report.status().message();
+          std::string bytes;
+          AppendFrame(&bytes, FrameType::kScreenResponse,
+                      EncodeScreenResponse(body));
+          add_sync_slot(conn, std::move(bytes), /*close_after=*/false);
+          return;
+        }
+        submit_screen(conn, std::move(report).value(), /*http=*/false,
+                      /*keep_alive=*/true);
+        return;
+      }
+      case FrameType::kMetricsRequest: {
+        std::string bytes;
+        AppendFrame(&bytes, FrameType::kMetricsResponse,
+                    service_->MetricsJson(/*pretty=*/false));
+        add_sync_slot(conn, std::move(bytes), /*close_after=*/false);
+        return;
+      }
+      case FrameType::kHealthRequest: {
+        std::string bytes;
+        AppendFrame(&bytes, FrameType::kHealthResponse, "ok");
+        add_sync_slot(conn, std::move(bytes), /*close_after=*/false);
+        return;
+      }
+      default:
+        protocol_error(conn, "unexpected frame type from client");
+        return;
+    }
+  };
+
+  auto handle_http = [&](Connection& conn, HttpRequest request) {
+    if (request.method == "POST" && request.target == "/screen") {
+      auto fields = ParseFlatJsonObject(request.body);
+      util::Result<report::AdrReport> report =
+          fields.ok() ? FieldsToReport(fields.value())
+                      : util::Result<report::AdrReport>(fields.status());
+      if (!report.ok()) {
+        add_sync_slot(conn,
+                      FormatHttpResponse(
+                          400, "application/json",
+                          "{\"error\":\"" +
+                              util::JsonEscape(report.status().message()) +
+                              "\"}",
+                          request.keep_alive),
+                      !request.keep_alive);
+        return;
+      }
+      submit_screen(conn, std::move(report).value(), /*http=*/true,
+                    request.keep_alive);
+      return;
+    }
+    if (request.method == "GET" && request.target == "/metrics") {
+      add_sync_slot(conn,
+                    FormatHttpResponse(200, "application/json",
+                                       service_->MetricsJson(false),
+                                       request.keep_alive),
+                    !request.keep_alive);
+      return;
+    }
+    if (request.method == "GET" && request.target == "/healthz") {
+      add_sync_slot(conn,
+                    FormatHttpResponse(200, "application/json",
+                                       "{\"status\":\"ok\"}",
+                                       request.keep_alive),
+                    !request.keep_alive);
+      return;
+    }
+    const bool known_target =
+        request.target == "/screen" || request.target == "/metrics" ||
+        request.target == "/healthz";
+    add_sync_slot(
+        conn,
+        FormatHttpResponse(known_target ? 405 : 404, "application/json",
+                           known_target ? "{\"error\":\"method not allowed\"}"
+                                        : "{\"error\":\"not found\"}",
+                           request.keep_alive),
+        !request.keep_alive);
+  };
+
+  auto process_buffer = [&](Connection& conn) {
+    while (!conn.read_closed) {
+      if (conn.mode == Connection::Mode::kUnknown) {
+        if (conn.rx.empty()) return;
+        const auto magic = std::string_view(
+            reinterpret_cast<const char*>(&kFrameMagic), sizeof(kFrameMagic));
+        const size_t probe = std::min(conn.rx.size(), magic.size());
+        if (std::string_view(conn.rx).substr(0, probe) !=
+            magic.substr(0, probe)) {
+          conn.mode = Connection::Mode::kHttp;
+        } else if (conn.rx.size() >= magic.size()) {
+          conn.mode = Connection::Mode::kBinary;
+        } else {
+          return;  // prefix of the magic; wait for more bytes
+        }
+      }
+      if (conn.mode == Connection::Mode::kBinary) {
+        Frame frame;
+        size_t consumed = 0;
+        std::string error;
+        switch (DecodeFrame(conn.rx, options_.max_request_bytes, &frame,
+                            &consumed, &error)) {
+          case DecodeStatus::kNeedMore:
+            return;
+          case DecodeStatus::kProtocolError:
+            protocol_error(conn, error);
+            return;
+          case DecodeStatus::kFrame:
+            conn.rx.erase(0, consumed);
+            handle_frame(conn, std::move(frame));
+            continue;
+        }
+      }
+      HttpRequest request;
+      size_t consumed = 0;
+      std::string error;
+      switch (ParseHttpRequest(conn.rx, options_.max_request_bytes, &request,
+                               &consumed, &error)) {
+        case HttpParseStatus::kNeedMore:
+          return;
+        case HttpParseStatus::kError:
+          protocol_error(conn, error);
+          return;
+        case HttpParseStatus::kRequest:
+          conn.rx.erase(0, consumed);
+          handle_http(conn, std::move(request));
+          continue;
+      }
+    }
+  };
+
+  auto handle_readable = [&](Connection& conn) -> bool {
+    char buf[65536];
+    // Peer EOF is noted but only acted on AFTER the buffer is parsed —
+    // a request followed immediately by shutdown(WR) is still a valid
+    // request. (conn.read_closed is the parser's stop flag, set by
+    // protocol errors.)
+    bool peer_eof = false;
+    while (true) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        metrics.AddBytesRx(static_cast<uint64_t>(n));
+        conn.rx.append(buf, static_cast<size_t>(n));
+        conn.last_active = std::chrono::steady_clock::now();
+        if (conn.rx.size() > options_.max_request_bytes + kReadSlack) {
+          protocol_error(conn, "request exceeds the read-buffer cap");
+          return flush(conn);
+        }
+        continue;
+      }
+      if (n == 0) {
+        peer_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn.id);
+      return false;
+    }
+    process_buffer(conn);
+    if (peer_eof && !conn.read_closed) {
+      conn.read_closed = true;
+      if (!conn.rx.empty() && conn.mode != Connection::Mode::kUnknown) {
+        // EOF mid-frame / mid-request: a truncated message.
+        metrics.IncProtocolErrors();
+        conn.rx.clear();
+      }
+      if (conn.Draining()) {
+        close_conn(conn.id);
+        return false;
+      }
+      conn.close_after_flush = true;
+    }
+    return flush(conn);
+  };
+
+  auto accept_all = [&] {
+    while (true) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient accept failure
+      }
+      if (conns.size() >= options_.max_connections) {
+        metrics.IncConnectionsRejected();
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      conn->last_active = std::chrono::steady_clock::now();
+      conn->armed_events = EPOLLIN;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = conn->id;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+      conns.emplace(conn->id, std::move(conn));
+      metrics.IncConnectionsAccepted();
+      metrics.SetConnectionsActive(conns.size());
+    }
+  };
+
+  auto drain_completed = [&] {
+    std::deque<CompletedResponse> done;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done.swap(completed_);
+    }
+    for (CompletedResponse& response : done) {
+      auto it = conns.find(response.conn_id);
+      if (it == conns.end()) continue;  // connection died while screening
+      Connection& conn = *it->second;
+      auto slot = conn.slots.find(response.seq);
+      if (slot == conn.slots.end()) continue;
+      slot->second.ready = true;
+      slot->second.bytes = std::move(response.bytes);
+      slot->second.close_after = response.close_after;
+      flush(conn);
+    }
+  };
+
+  const int sweep_ms =
+      options_.idle_timeout_ms > 0.0
+          ? std::max(1, static_cast<int>(
+                            std::min(1000.0, options_.idle_timeout_ms / 2.0)))
+          : 1000;
+
+  epoll_event events[128];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, 128, sweep_ms);
+    if (n < 0 && errno != EINTR) break;
+
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && listener_open) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      listener_open = false;
+      // Freeze the read side of every connection: nothing new is parsed
+      // or submitted from here on, so the in-flight set only shrinks and
+      // shutdown is guaranteed to converge.
+      for (auto& [id, conn] : conns) {
+        conn->read_closed = true;
+        update_events(*conn);
+      }
+    }
+
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        if (listener_open) accept_all();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &counter, sizeof(counter));
+        continue;
+      }
+      auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      Connection& conn = *it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        // Half-close with responses still owed is fine (EPOLLHUP means
+        // both directions are gone); drop the connection.
+        close_conn(id);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) && !conn.read_closed) {
+        if (!handle_readable(conn)) continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        if (conns.find(id) == conns.end()) continue;
+        flush(conn);
+      }
+    }
+
+    drain_completed();
+
+    // Idle sweep: reap connections with no traffic and nothing in
+    // flight. A connection awaiting a screening answer is not idle.
+    if (options_.idle_timeout_ms > 0.0 && !stopping) {
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<uint64_t> idle;
+      for (const auto& [id, conn] : conns) {
+        const double idle_ms =
+            std::chrono::duration<double, std::milli>(now - conn->last_active)
+                .count();
+        if (idle_ms > options_.idle_timeout_ms && conn->Draining()) {
+          idle.push_back(id);
+        }
+      }
+      for (const uint64_t id : idle) {
+        metrics.IncIdleCloses();
+        close_conn(id);
+      }
+    }
+
+    if (stopping && completion_drained_.load(std::memory_order_acquire)) {
+      // Requests submitted in the window between the completion thread
+      // draining out and the read freeze above are stranded in pending_;
+      // render them inline (their futures resolve — the service answers
+      // every accepted request) so no client is left without an answer.
+      std::deque<PendingResponse> stranded;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stranded.swap(pending_);
+      }
+      for (PendingResponse& entry : stranded) {
+        CompletedResponse done = RenderAnswer(std::move(entry));
+        std::lock_guard<std::mutex> lock(mutex_);
+        completed_.push_back(std::move(done));
+      }
+      drain_completed();
+      // Best-effort final flush, then tear down. (flush may close and
+      // erase a connection, so iterate over a snapshot of the ids.)
+      std::vector<uint64_t> ids;
+      ids.reserve(conns.size());
+      for (const auto& [id, conn] : conns) ids.push_back(id);
+      for (const uint64_t id : ids) {
+        auto it = conns.find(id);
+        if (it != conns.end()) flush(*it->second);
+      }
+      ids.clear();
+      for (const auto& [id, conn] : conns) ids.push_back(id);
+      for (const uint64_t id : ids) close_conn(id);
+      metrics.SetConnectionsActive(0);
+      return;
+    }
+  }
+}
+
+}  // namespace adrdedup::serve::net

@@ -1,0 +1,147 @@
+// Network front end of the screening service: a non-blocking,
+// level-triggered epoll event loop serving two protocols over the same
+// connection layer —
+//
+//  * the length-prefixed binary protocol (serve/net/frame.h), and
+//  * a minimal HTTP/1.1 + JSON adapter (POST /screen, GET /metrics,
+//    GET /healthz; serve/net/http.h),
+//
+// sniffed per connection from the first bytes (the binary magic cannot
+// collide with an HTTP method token). Both dispatch into the existing
+// ScreeningService/MicroBatchQueue, so micro-batching, backpressure,
+// shed and deadline semantics are exactly the stdin path's.
+//
+// Architecture (three threads total, no locks on the I/O path):
+//
+//  * The event-loop thread owns every connection exclusively: accepts
+//    (rejecting over the connection limit), reads, parses, and submits
+//    requests via ScreeningService::TrySubmit with a zero wait — a full
+//    queue answers 503/`ScreenStatus::kShed` immediately instead of
+//    ever blocking the loop, wired to the same `requests_shed` counter
+//    as deadline shedding.
+//  * A completion thread waits on the screening futures in submission
+//    order (the dispatcher answers FIFO, so in-order waiting adds no
+//    latency), renders each response to bytes, and hands them back to
+//    the loop through an eventfd-signalled queue.
+//  * Responses flush strictly in per-connection request order through
+//    ordered slots, so pipelined clients (both protocols) always see
+//    answers in the order they asked — even when a synchronous answer
+//    (metrics, health, shed) lands between two async screening answers.
+//
+// Enforced limits: connection cap (accept-then-close, counted
+// rejected), per-connection read cap (oversized frames/requests are
+// protocol errors before buffering), write-buffer cap (slow readers are
+// disconnected), and an idle timeout. All surfaced through the `net`
+// section of ServiceMetrics JSON.
+#ifndef ADRDEDUP_SERVE_NET_SERVER_H_
+#define ADRDEDUP_SERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "serve/screening_service.h"
+#include "util/status.h"
+
+namespace adrdedup::serve::net {
+
+struct NetServerOptions {
+  // Numeric IPv4 listen address; "0.0.0.0" for all interfaces.
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port (tests/bench); read it back via port().
+  uint16_t port = 0;
+  // Accepts beyond this are closed immediately (connections_rejected).
+  size_t max_connections = 1024;
+  // Per-connection read-side cap: one binary payload or one HTTP
+  // request (head + body) may not exceed this.
+  size_t max_request_bytes = 1 << 20;
+  // Per-connection write-buffer cap: a peer that stops reading while
+  // responses accumulate past this is disconnected.
+  size_t max_write_buffer_bytes = 4u << 20;
+  // Connections idle (no traffic, nothing in flight) longer than this
+  // are closed (idle_closes). 0 disables.
+  double idle_timeout_ms = 30000.0;
+};
+
+// Parses "host:port" (numeric IPv4, port 0..65535). InvalidArgument on
+// malformed input — used by the CLI to validate --listen before binding.
+util::Result<std::pair<std::string, uint16_t>> ParseListenAddress(
+    std::string_view spec);
+
+class NetServer {
+ public:
+  // `service` must outlive the server and be Start()ed by the caller.
+  NetServer(ScreeningService* service, const NetServerOptions& options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Validates options, binds and listens, then spawns the event-loop
+  // and completion threads. Fails without side effects.
+  util::Status Start();
+  // Closes the listener, answers what it can, closes every connection
+  // and joins both threads. Idempotent.
+  void Stop();
+
+  // Bound port (after Start) — resolves port 0 to the ephemeral choice.
+  uint16_t port() const { return bound_port_; }
+
+ private:
+  // A screening answer the completion thread is waiting on, tied to an
+  // ordered response slot of one connection.
+  struct PendingResponse {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    bool http = false;
+    bool keep_alive = true;
+    std::string case_number;
+    std::future<ScreenResponse> future;
+  };
+  // Rendered response bytes travelling back to the event loop.
+  struct CompletedResponse {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    std::string bytes;
+    bool close_after = false;
+  };
+
+  void LoopThread();
+  void CompletionThread();
+  void WakeLoop();
+  // Waits `entry`'s future and renders the answer to protocol bytes.
+  // Called by the completion thread, and by the loop at shutdown for
+  // entries submitted after the completion thread drained out.
+  CompletedResponse RenderAnswer(PendingResponse entry);
+
+  ScreeningService* service_;
+  NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t bound_port_ = 0;
+
+  std::thread loop_;
+  std::thread completion_;
+
+  std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<PendingResponse> pending_;     // loop -> completion
+  std::deque<CompletedResponse> completed_;  // completion -> loop
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> completion_drained_{false};
+  bool started_ = false;
+};
+
+}  // namespace adrdedup::serve::net
+
+#endif  // ADRDEDUP_SERVE_NET_SERVER_H_

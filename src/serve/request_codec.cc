@@ -1,0 +1,264 @@
+#include "serve/request_codec.h"
+
+#include <algorithm>
+#include <istream>
+#include <unordered_set>
+
+#include "util/json.h"
+
+namespace adrdedup::serve {
+
+util::Result<std::vector<report::FieldId>> ParseColumns(
+    const util::CsvRow& header) {
+  std::vector<report::FieldId> columns;
+  columns.reserve(header.size());
+  std::unordered_set<size_t> seen;
+  for (const std::string& name : header) {
+    auto id = report::FieldIdFromName(name);
+    if (!id.has_value()) {
+      return util::Status::InvalidArgument("unknown column in header: " +
+                                           name);
+    }
+    if (!seen.insert(static_cast<size_t>(*id)).second) {
+      return util::Status::InvalidArgument("duplicate column in header: " +
+                                           name);
+    }
+    columns.push_back(*id);
+  }
+  return columns;
+}
+
+util::Result<report::AdrReport> RowToReport(
+    const std::vector<report::FieldId>& columns, const util::CsvRow& row) {
+  if (row.size() != columns.size()) {
+    return util::Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " fields, header " +
+        std::to_string(columns.size()));
+  }
+  report::AdrReport report;
+  for (size_t c = 0; c < row.size(); ++c) report.Set(columns[c], row[c]);
+  return report;
+}
+
+util::Result<report::AdrReport> FieldsToReport(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  report::AdrReport report;
+  std::unordered_set<size_t> seen;
+  for (const auto& [name, value] : fields) {
+    auto id = report::FieldIdFromName(name);
+    if (!id.has_value()) {
+      return util::Status::InvalidArgument("unknown field: " + name);
+    }
+    if (!seen.insert(static_cast<size_t>(*id)).second) {
+      return util::Status::InvalidArgument("repeated field: " + name);
+    }
+    report.Set(*id, value);
+  }
+  return report;
+}
+
+util::Result<bool> ReadLogicalCsvRow(std::istream& in, util::CsvRow* row) {
+  std::string logical;
+  std::string line;
+  size_t quotes = 0;
+  while (std::getline(in, line)) {
+    if (!logical.empty()) logical += "\n";
+    logical += line;
+    quotes +=
+        static_cast<size_t>(std::count(line.begin(), line.end(), '"'));
+    if (quotes % 2 == 0) break;
+  }
+  if (logical.empty()) return false;
+  auto parsed = util::CsvParseLine(logical);
+  if (!parsed.ok()) return parsed.status();
+  *row = std::move(parsed).value();
+  return true;
+}
+
+namespace {
+
+// JSON lexing helpers for ParseFlatJsonObject. `p` walks [begin, end).
+void SkipWhitespace(const char** p, const char* end) {
+  while (*p < end &&
+         (**p == ' ' || **p == '\t' || **p == '\n' || **p == '\r')) {
+    ++*p;
+  }
+}
+
+bool ParseHex4(const char** p, const char* end, unsigned* out) {
+  if (end - *p < 4) return false;
+  unsigned value = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char c = (*p)[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *p += 4;
+  *out = value;
+  return true;
+}
+
+util::Status ParseJsonString(const char** p, const char* end,
+                             std::string* out) {
+  if (*p >= end || **p != '"') {
+    return util::Status::InvalidArgument("expected JSON string");
+  }
+  ++*p;
+  out->clear();
+  while (*p < end) {
+    const char c = **p;
+    if (c == '"') {
+      ++*p;
+      return util::Status();
+    }
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return util::Status::InvalidArgument(
+          "unescaped control character in JSON string");
+    }
+    if (c != '\\') {
+      out->push_back(c);
+      ++*p;
+      continue;
+    }
+    ++*p;
+    if (*p >= end) break;
+    const char esc = **p;
+    ++*p;
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        unsigned code = 0;
+        if (!ParseHex4(p, end, &code)) {
+          return util::Status::InvalidArgument("bad \\u escape");
+        }
+        if (code >= 0xd800 && code <= 0xdfff) {
+          return util::Status::InvalidArgument(
+              "surrogate \\u escapes are not supported");
+        }
+        // UTF-8 encode the BMP code point.
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+          out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+        break;
+      }
+      default:
+        return util::Status::InvalidArgument("bad escape in JSON string");
+    }
+  }
+  return util::Status::InvalidArgument("unterminated JSON string");
+}
+
+}  // namespace
+
+util::Result<std::vector<std::pair<std::string, std::string>>>
+ParseFlatJsonObject(std::string_view json) {
+  const char* p = json.data();
+  const char* end = json.data() + json.size();
+  SkipWhitespace(&p, end);
+  if (p >= end || *p != '{') {
+    return util::Status::InvalidArgument("request body must be a JSON object");
+  }
+  ++p;
+  std::vector<std::pair<std::string, std::string>> fields;
+  SkipWhitespace(&p, end);
+  if (p < end && *p == '}') {
+    ++p;
+  } else {
+    while (true) {
+      SkipWhitespace(&p, end);
+      std::string key;
+      if (auto status = ParseJsonString(&p, end, &key); !status.ok()) {
+        return status;
+      }
+      SkipWhitespace(&p, end);
+      if (p >= end || *p != ':') {
+        return util::Status::InvalidArgument("expected ':' after key \"" +
+                                             key + "\"");
+      }
+      ++p;
+      SkipWhitespace(&p, end);
+      std::string value;
+      if (auto status = ParseJsonString(&p, end, &value); !status.ok()) {
+        return util::Status::InvalidArgument(
+            "value of \"" + key + "\" must be a JSON string");
+      }
+      fields.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace(&p, end);
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        break;
+      }
+      return util::Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+  SkipWhitespace(&p, end);
+  if (p != end) {
+    return util::Status::InvalidArgument("trailing garbage after object");
+  }
+  return fields;
+}
+
+std::string FormatMatchesCsv(const report::AdrReport& report,
+                             const ScreenResponse& response) {
+  std::string out;
+  for (const auto& match : response.matches) {
+    out += report.case_number();
+    out += ',';
+    out += match.other_case_number;
+    out += ',';
+    out += std::to_string(match.score);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ScreenResponseJson(const report::AdrReport& report,
+                               const ScreenResponse& response) {
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Field("case_number", std::string_view(report.case_number()));
+  w.Field("expired", response.expired);
+  w.Key("matches");
+  w.BeginArray();
+  for (const auto& match : response.matches) {
+    w.BeginObject();
+    w.Field("case_number", std::string_view(match.other_case_number));
+    w.Field("score", match.score);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Field("batch_size", static_cast<uint64_t>(response.batch_size));
+  w.Field("model_generation", response.model_generation);
+  w.Field("queue_ms", response.queue_ms);
+  w.Field("total_ms", response.total_ms);
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+}  // namespace adrdedup::serve

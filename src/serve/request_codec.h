@@ -1,0 +1,75 @@
+// Request-parsing / response-formatting codec shared by every front end
+// of the screening service: the stdin CSV stream, the binary socket
+// protocol and the HTTP/JSON adapter (serve/net/) all funnel through
+// these helpers, so a report parses and a response prints identically no
+// matter which transport carried it — and one test suite covers all
+// three paths.
+//
+// Requests arrive either as CSV rows against a header-declared column
+// schema (stdin) or as (field name, value) pairs (binary frames, JSON
+// bodies). Responses leave either as detection CSV lines
+// ("case_number_a,case_number_b,score", the --out format) or as a JSON
+// document.
+#ifndef ADRDEDUP_SERVE_REQUEST_CODEC_H_
+#define ADRDEDUP_SERVE_REQUEST_CODEC_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "report/field.h"
+#include "report/report.h"
+#include "serve/screening_service.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace adrdedup::serve {
+
+// --- Request side ----------------------------------------------------------
+
+// Maps a CSV header row to schema columns. Unknown column names are
+// InvalidArgument; duplicates are too (a row could not bind them).
+util::Result<std::vector<report::FieldId>> ParseColumns(
+    const util::CsvRow& header);
+
+// Binds one CSV row against a parsed column schema.
+util::Result<report::AdrReport> RowToReport(
+    const std::vector<report::FieldId>& columns, const util::CsvRow& row);
+
+// Binds (field name, value) pairs — the binary-frame and JSON request
+// shapes. Unknown and repeated field names are InvalidArgument.
+util::Result<report::AdrReport> FieldsToReport(
+    const std::vector<std::pair<std::string, std::string>>& fields);
+
+// Reads one logical CSV row from `in`, stitching physical lines while a
+// quoted field is still open (odd count of '"'). Returns false on clean
+// EOF, true with *row filled otherwise.
+util::Result<bool> ReadLogicalCsvRow(std::istream& in, util::CsvRow* row);
+
+// Minimal flat-JSON-object parser for POST /screen bodies:
+// {"field_name": "value", ...} — string values only (the report schema
+// is all strings), standard escapes including \uXXXX (BMP). Anything
+// else (arrays, nesting, numbers, trailing garbage) is InvalidArgument.
+util::Result<std::vector<std::pair<std::string, std::string>>>
+ParseFlatJsonObject(std::string_view json);
+
+// --- Response side ---------------------------------------------------------
+
+inline constexpr std::string_view kDetectionsCsvHeader =
+    "case_number_a,case_number_b,score";
+
+// One "case_number_a,case_number_b,score\n" line per match — the stdin
+// and --out detection format.
+std::string FormatMatchesCsv(const report::AdrReport& report,
+                             const ScreenResponse& response);
+
+// Full response as a JSON document: case number, match list, batch and
+// latency metadata, expired flag. Used verbatim by the HTTP adapter.
+std::string ScreenResponseJson(const report::AdrReport& report,
+                               const ScreenResponse& response);
+
+}  // namespace adrdedup::serve
+
+#endif  // ADRDEDUP_SERVE_REQUEST_CODEC_H_

@@ -1,5 +1,6 @@
 #include "serve/screening_service.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -84,6 +85,9 @@ void ScreeningService::Stop() {
 
 util::Result<std::future<ScreenResponse>> ScreeningService::Submit(
     report::AdrReport report) {
+  if (options_.submit_deadline_ms > 0.0) {
+    return TrySubmit(std::move(report), options_.submit_deadline_ms);
+  }
   if (!running_.load(std::memory_order_acquire)) {
     return util::Status::FailedPrecondition("screening service not running");
   }
@@ -91,23 +95,35 @@ util::Result<std::future<ScreenResponse>> ScreeningService::Submit(
   PendingRequest pending;
   pending.report = std::move(report);
   std::future<ScreenResponse> future = pending.promise.get_future();
-  if (options_.submit_deadline_ms > 0.0) {
-    const PushResult pushed = queue_.TryPush(
-        std::move(pending), std::chrono::microseconds(std::llround(
-                                options_.submit_deadline_ms * 1000.0)));
-    if (pushed == PushResult::kShed) {
-      metrics_.IncShed();
-      return util::Status::Unavailable(
-          "screening queue full: request shed after waiting " +
-          std::to_string(options_.submit_deadline_ms) + "ms");
-    }
-    if (pushed == PushResult::kClosed) {
-      metrics_.IncRejected();
-      return util::Status::FailedPrecondition("screening service stopped");
-    }
-  } else if (!queue_.Push(std::move(pending))) {
+  if (!queue_.Push(std::move(pending))) {
     // Closed between the running check and the push: the request was
     // never admitted, so it is answered here, via the error.
+    metrics_.IncRejected();
+    return util::Status::FailedPrecondition("screening service stopped");
+  }
+  return future;
+}
+
+util::Result<std::future<ScreenResponse>> ScreeningService::TrySubmit(
+    report::AdrReport report, double max_wait_ms) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return util::Status::FailedPrecondition("screening service not running");
+  }
+  metrics_.IncReceived();
+  PendingRequest pending;
+  pending.report = std::move(report);
+  std::future<ScreenResponse> future = pending.promise.get_future();
+  const PushResult pushed = queue_.TryPush(
+      std::move(pending),
+      std::chrono::microseconds(std::llround(std::max(0.0, max_wait_ms) *
+                                             1000.0)));
+  if (pushed == PushResult::kShed) {
+    metrics_.IncShed();
+    return util::Status::Unavailable(
+        "screening queue full: request shed after waiting " +
+        std::to_string(max_wait_ms) + "ms");
+  }
+  if (pushed == PushResult::kClosed) {
     metrics_.IncRejected();
     return util::Status::FailedPrecondition("screening service stopped");
   }

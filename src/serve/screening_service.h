@@ -132,6 +132,14 @@ class ScreeningService {
   // Status::Unavailable. Fails with FailedPrecondition when the service
   // is not running.
   util::Result<std::future<ScreenResponse>> Submit(report::AdrReport report);
+  // Bounded-wait Submit for non-blocking front ends (the socket layer's
+  // event loop must never stall on a full queue): waits at most
+  // max_wait_ms for capacity — 0 is a pure try — and sheds with
+  // Status::Unavailable on expiry, regardless of the configured
+  // submit_deadline_ms. Sheds count toward the same degradation
+  // counters as deadline-based shedding.
+  util::Result<std::future<ScreenResponse>> TrySubmit(report::AdrReport report,
+                                                      double max_wait_ms);
   // Submit + wait.
   util::Result<ScreenResponse> Screen(report::AdrReport report);
 

@@ -179,6 +179,20 @@ std::string ServiceMetrics::ToJson(std::string_view extra_json,
   w.Field("dictionary_tokens", Load(dictionary_tokens_));
   w.EndObject();
 
+  w.Key("net");
+  w.BeginObject();
+  w.Key("connections");
+  w.BeginObject();
+  w.Field("accepted", Load(net_connections_accepted_));
+  w.Field("active", Load(net_connections_active_));
+  w.Field("rejected", Load(net_connections_rejected_));
+  w.EndObject();
+  w.Field("bytes_rx", Load(net_bytes_rx_));
+  w.Field("bytes_tx", Load(net_bytes_tx_));
+  w.Field("protocol_errors", Load(net_protocol_errors_));
+  w.Field("idle_closes", Load(net_idle_closes_));
+  w.EndObject();
+
   w.Key("latency");
   w.BeginObject();
   WriteLatency(w, "queue_wait", queue_wait_.Summarize());

@@ -82,6 +82,20 @@ class ServiceMetrics {
   void RecordQueueWait(double ms) { queue_wait_.Record(ms); }
   void RecordTotalLatency(double ms) { total_latency_.Record(ms); }
 
+  // Network front end (serve/net/server.h). Accepted/rejected track the
+  // listener (rejected = over the connection limit); protocol errors are
+  // malformed frames, corrupt CRCs, oversized or truncated requests;
+  // idle closes are connections reaped by the idle timeout.
+  void IncConnectionsAccepted() { Inc(net_connections_accepted_); }
+  void IncConnectionsRejected() { Inc(net_connections_rejected_); }
+  void SetConnectionsActive(size_t n) {
+    net_connections_active_.store(n, std::memory_order_relaxed);
+  }
+  void AddBytesRx(uint64_t n) { Add(net_bytes_rx_, n); }
+  void AddBytesTx(uint64_t n) { Add(net_bytes_tx_, n); }
+  void IncProtocolErrors() { Inc(net_protocol_errors_); }
+  void IncIdleCloses() { Inc(net_idle_closes_); }
+
   // Gauges sampled by the service at export time.
   void SetQueueGauges(size_t depth, size_t max_depth, size_t capacity);
   // `dictionary_tokens` tracks the live token-dictionary size of the
@@ -90,6 +104,20 @@ class ServiceMetrics {
   void SetStoreGauges(size_t db_size, size_t positive_labels,
                       size_t negative_labels, uint64_t model_generation,
                       size_t dictionary_tokens = 0);
+
+  uint64_t connections_accepted() const {
+    return Load(net_connections_accepted_);
+  }
+  uint64_t connections_rejected() const {
+    return Load(net_connections_rejected_);
+  }
+  uint64_t connections_active() const {
+    return Load(net_connections_active_);
+  }
+  uint64_t bytes_rx() const { return Load(net_bytes_rx_); }
+  uint64_t bytes_tx() const { return Load(net_bytes_tx_); }
+  uint64_t protocol_errors() const { return Load(net_protocol_errors_); }
+  uint64_t idle_closes() const { return Load(net_idle_closes_); }
 
   uint64_t requests_received() const { return Load(requests_received_); }
   uint64_t requests_completed() const { return Load(requests_completed_); }
@@ -148,6 +176,13 @@ class ServiceMetrics {
   std::atomic<uint64_t> negative_labels_{0};
   std::atomic<uint64_t> model_generation_{0};
   std::atomic<uint64_t> dictionary_tokens_{0};
+  std::atomic<uint64_t> net_connections_accepted_{0};
+  std::atomic<uint64_t> net_connections_rejected_{0};
+  std::atomic<uint64_t> net_connections_active_{0};
+  std::atomic<uint64_t> net_bytes_rx_{0};
+  std::atomic<uint64_t> net_bytes_tx_{0};
+  std::atomic<uint64_t> net_protocol_errors_{0};
+  std::atomic<uint64_t> net_idle_closes_{0};
   LatencyRecorder queue_wait_;
   LatencyRecorder total_latency_;
 };

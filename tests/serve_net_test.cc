@@ -1,0 +1,710 @@
+// Loopback-socket tests for the net serving subsystem: binary-protocol
+// round trips with parity against direct Screen() calls, HTTP round
+// trips, protocol-error handling (oversized frames, CRC corruption,
+// truncation), idle timeouts, connection limits, and queue-full
+// shedding. These carry the `sanitize` ctest label so the whole layer
+// also runs under ThreadSanitizer / AddressSanitizer.
+//
+// NOTE: the parity test must run first (declaration order) — it
+// compares two identically-bootstrapped services screening the same
+// stream, so the socket-side service must not have admitted anything
+// yet.
+#include "serve/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "report/field.h"
+#include "serve/net/frame.h"
+#include "serve/net/http.h"
+#include "serve/request_codec.h"
+#include "serve/screening_service.h"
+#include "util/random.h"
+
+namespace adrdedup::serve::net {
+namespace {
+
+using distance::LabeledPair;
+using distance::PairKey;
+
+// ---------------------------------------------------------------------------
+// ParseListenAddress
+
+TEST(ParseListenAddressTest, AcceptsHostPort) {
+  auto parsed = ParseListenAddress("127.0.0.1:8080");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().first, "127.0.0.1");
+  EXPECT_EQ(parsed.value().second, 8080);
+}
+
+TEST(ParseListenAddressTest, EmptyHostMeansAllInterfaces) {
+  auto parsed = ParseListenAddress(":0");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().first, "0.0.0.0");
+  EXPECT_EQ(parsed.value().second, 0);
+}
+
+TEST(ParseListenAddressTest, RejectsMalformedSpecs) {
+  for (const std::string_view bad :
+       {"127.0.0.1", "localhost:80", "127.0.0.1:http", "127.0.0.1:70000",
+        "127.0.0.1:-1", "999.1.1.1:80", ""}) {
+    EXPECT_FALSE(ParseListenAddress(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback client helpers
+
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  timeval timeout{/*.tv_sec=*/30, /*.tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void SendAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+}
+
+// Reads frames until `buffer` yields one; false on EOF/timeout.
+bool RecvFrame(int fd, std::string* buffer, Frame* frame) {
+  while (true) {
+    size_t consumed = 0;
+    std::string error;
+    switch (DecodeFrame(*buffer, 64u << 20, frame, &consumed, &error)) {
+      case DecodeStatus::kFrame:
+        buffer->erase(0, consumed);
+        return true;
+      case DecodeStatus::kProtocolError:
+        ADD_FAILURE() << "server sent a malformed frame: " << error;
+        return false;
+      case DecodeStatus::kNeedMore:
+        break;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+// Reads one "head + Content-Length body" HTTP response; empty on EOF.
+std::string RecvHttpResponse(int fd, std::string* buffer) {
+  while (true) {
+    const size_t head_end = buffer->find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      size_t content_length = 0;
+      const std::string head = buffer->substr(0, head_end);
+      const size_t marker = head.find("Content-Length: ");
+      if (marker != std::string::npos) {
+        content_length = static_cast<size_t>(
+            std::stoul(head.substr(marker + 16)));
+      }
+      const size_t total = head_end + 4 + content_length;
+      if (buffer->size() >= total) {
+        std::string response = buffer->substr(0, total);
+        buffer->erase(0, total);
+        return response;
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return "";
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+// True once `condition` holds, polling for up to ~5s (the loop applies
+// completions asynchronously, so counters lag the client-visible bytes).
+template <typename Condition>
+bool Eventually(Condition condition) {
+  for (int i = 0; i < 500; ++i) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return condition();
+}
+
+// ---------------------------------------------------------------------------
+// Shared service fixture (same recipe as serve_service_test)
+
+core::DedupPipelineOptions PipelineOptions() {
+  core::DedupPipelineOptions options;
+  options.knn.k = 9;
+  options.knn.num_clusters = 12;
+  options.theta = 0.0;
+  options.f_theta = 0.9;
+  options.use_blocking = true;
+  options.blocking.keys = {blocking::BlockingKey::kDrugToken,
+                           blocking::BlockingKey::kAdrToken};
+  return options;
+}
+
+struct NetFixture {
+  static constexpr size_t kBoot = 380;
+
+  NetFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 400;
+    config.num_duplicate_pairs = 30;
+    config.num_drugs = 150;
+    config.num_adrs = 250;
+    corpus = datagen::GenerateCorpus(config);
+    features = distance::ExtractAllFeatures(corpus.db);
+  }
+
+  std::vector<LabeledPair> Seed(size_t negatives) const {
+    std::vector<LabeledPair> seed;
+    std::set<uint64_t> dups;
+    for (auto [a, b] : corpus.duplicate_pairs) {
+      dups.insert(PairKey({std::min(a, b), std::max(a, b)}));
+      if (a >= kBoot || b >= kBoot) continue;
+      LabeledPair pair;
+      pair.pair = {std::min(a, b), std::max(a, b)};
+      pair.label = +1;
+      pair.vector = ComputeDistanceVector(features[a], features[b]);
+      seed.push_back(pair);
+    }
+    util::Rng rng(21);
+    while (seed.size() < negatives) {
+      const auto a = static_cast<report::ReportId>(rng.Uniform(kBoot));
+      const auto b = static_cast<report::ReportId>(rng.Uniform(kBoot));
+      if (a == b) continue;
+      distance::ReportPair pair{std::min(a, b), std::max(a, b)};
+      if (dups.contains(PairKey(pair))) continue;
+      LabeledPair labeled;
+      labeled.pair = pair;
+      labeled.label = -1;
+      labeled.vector = ComputeDistanceVector(features[pair.a],
+                                             features[pair.b]);
+      seed.push_back(labeled);
+    }
+    return seed;
+  }
+
+  std::vector<report::AdrReport> Slice(size_t begin, size_t end) const {
+    std::vector<report::AdrReport> out;
+    for (size_t i = begin; i < end; ++i) {
+      out.push_back(corpus.db.Get(static_cast<report::ReportId>(i)));
+    }
+    return out;
+  }
+
+  // Bootstraps + seeds + starts a fresh service over the first kBoot
+  // reports, identical between calls (parity depends on it).
+  std::unique_ptr<ScreeningService> MakeService(
+      minispark::SparkContext* ctx, size_t queue_capacity = 64,
+      size_t max_batch = 8) {
+    ScreeningServiceOptions options;
+    options.pipeline = PipelineOptions();
+    options.queue_capacity = queue_capacity;
+    options.max_batch = max_batch;
+    options.max_linger_ms = 0.5;
+    auto service = std::make_unique<ScreeningService>(ctx, options);
+    service->Bootstrap(Slice(0, kBoot));
+    service->SeedLabels(Seed(1200));
+    service->Start();
+    return service;
+  }
+
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+};
+
+NetFixture& Fixture() {
+  static NetFixture& fixture = *new NetFixture();
+  return fixture;
+}
+
+// The shared socket-side service + server most tests talk to. The
+// matching direct-side service lives in the parity test.
+struct SharedServer {
+  SharedServer() : ctx({.num_executors = 2}) {
+    service = Fixture().MakeService(&ctx);
+    NetServerOptions options;
+    options.max_request_bytes = 1 << 20;
+    options.idle_timeout_ms = 0.0;  // idle behavior gets its own server
+    server = std::make_unique<NetServer>(service.get(), options);
+    auto status = server->Start();
+    ADRDEDUP_CHECK(status.ok()) << status.ToString();
+  }
+  minispark::SparkContext ctx;
+  std::unique_ptr<ScreeningService> service;
+  std::unique_ptr<NetServer> server;
+};
+
+SharedServer& Shared() {
+  static SharedServer& shared = *new SharedServer();
+  return shared;
+}
+
+// Encodes `report` as the (field name, value) pairs of its non-empty
+// fields — the binary request shape.
+ScreenRequestBody ToFields(const report::AdrReport& report) {
+  ScreenRequestBody fields;
+  for (const auto& spec : report::Schema()) {
+    const std::string& value = report.Get(spec.id);
+    if (!value.empty()) fields.emplace_back(std::string(spec.name), value);
+  }
+  return fields;
+}
+
+// ---------------------------------------------------------------------------
+// Parity: the socket path answers byte-identically to direct Screen()
+
+TEST(ServeNetTest, BinaryScreenMatchesDirectScreen) {
+  auto& fixture = Fixture();
+  minispark::SparkContext direct_ctx({.num_executors = 2});
+  auto direct = fixture.MakeService(&direct_ctx);
+  auto& shared = Shared();
+
+  const auto stream = fixture.Slice(NetFixture::kBoot, NetFixture::kBoot + 8);
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+  for (const auto& report : stream) {
+    auto expected = direct->Screen(report);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    std::string frame_bytes;
+    AppendFrame(&frame_bytes, FrameType::kScreenRequest,
+                EncodeScreenRequest(ToFields(report)));
+    SendAll(fd, frame_bytes);
+    Frame frame;
+    ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
+    ASSERT_EQ(frame.type, FrameType::kScreenResponse);
+    ScreenResponseBody body;
+    ASSERT_TRUE(DecodeScreenResponse(frame.payload, &body));
+    EXPECT_EQ(body.status, ScreenStatus::kOk) << body.message;
+
+    // Same matches, same scores, bit-exact (same order too: both sides
+    // admit the stream sequentially from identical bootstrapped state).
+    ASSERT_EQ(body.matches.size(), expected.value().matches.size());
+    for (size_t m = 0; m < body.matches.size(); ++m) {
+      EXPECT_EQ(body.matches[m].first,
+                expected.value().matches[m].other_case_number);
+      EXPECT_EQ(body.matches[m].second, expected.value().matches[m].score);
+    }
+  }
+  ::close(fd);
+  direct->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Binary protocol round trips
+
+TEST(ServeNetTest, BinaryMetricsAndHealthRoundTrip) {
+  auto& shared = Shared();
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+
+  std::string bytes;
+  AppendFrame(&bytes, FrameType::kHealthRequest, "");
+  AppendFrame(&bytes, FrameType::kMetricsRequest, "");  // pipelined
+  SendAll(fd, bytes);
+
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
+  EXPECT_EQ(frame.type, FrameType::kHealthResponse);
+  EXPECT_EQ(frame.payload, "ok");
+  ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
+  EXPECT_EQ(frame.type, FrameType::kMetricsResponse);
+  EXPECT_NE(frame.payload.find("\"net\""), std::string::npos);
+  EXPECT_NE(frame.payload.find("\"connections\""), std::string::npos);
+  ::close(fd);
+}
+
+TEST(ServeNetTest, BinaryUnbindableRequestAnswersInvalidWithoutClosing) {
+  auto& shared = Shared();
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+
+  std::string bytes;
+  AppendFrame(&bytes, FrameType::kScreenRequest,
+              EncodeScreenRequest({{"no_such_field", "x"}}));
+  SendAll(fd, bytes);
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
+  ASSERT_EQ(frame.type, FrameType::kScreenResponse);
+  ScreenResponseBody body;
+  ASSERT_TRUE(DecodeScreenResponse(frame.payload, &body));
+  EXPECT_EQ(body.status, ScreenStatus::kInvalid);
+
+  // The connection survives an invalid request.
+  bytes.clear();
+  AppendFrame(&bytes, FrameType::kHealthRequest, "");
+  SendAll(fd, bytes);
+  ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
+  EXPECT_EQ(frame.type, FrameType::kHealthResponse);
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP round trips
+
+TEST(ServeNetTest, HttpScreenMetricsHealthRoundTrip) {
+  auto& shared = Shared();
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+
+  const std::string body = "{\"case_number\": \"HTTP-1\"}";
+  SendAll(fd,
+          "POST /screen HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+              std::to_string(body.size()) + "\r\n\r\n" + body);
+  std::string response = RecvHttpResponse(fd, &rx);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"case_number\":\"HTTP-1\""), std::string::npos)
+      << response;
+
+  SendAll(fd, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  response = RecvHttpResponse(fd, &rx);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"net\""), std::string::npos);
+
+  SendAll(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  response = RecvHttpResponse(fd, &rx);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("{\"status\":\"ok\"}"), std::string::npos);
+  ::close(fd);
+}
+
+TEST(ServeNetTest, HttpErrorsUnknownTargetBadBodyWrongMethod) {
+  auto& shared = Shared();
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+
+  SendAll(fd, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(RecvHttpResponse(fd, &rx).find("HTTP/1.1 404"),
+            std::string::npos);
+
+  SendAll(fd, "POST /screen HTTP/1.1\r\nHost: x\r\nContent-Length: "
+              "7\r\n\r\nnotjson");
+  EXPECT_NE(RecvHttpResponse(fd, &rx).find("HTTP/1.1 400"),
+            std::string::npos);
+
+  SendAll(fd, "DELETE /screen HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(RecvHttpResponse(fd, &rx).find("HTTP/1.1 405"),
+            std::string::npos);
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol errors
+
+TEST(ServeNetTest, OversizedFrameDeclarationIsRejectedBeforeBuffering) {
+  auto& shared = Shared();
+  const uint64_t errors_before = shared.service->metrics().protocol_errors();
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+
+  // Header declaring a payload far over max_request_bytes; no payload
+  // bytes follow — the server must reject on the declaration alone.
+  std::string bytes;
+  const uint32_t magic = kFrameMagic;
+  bytes.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  bytes.push_back(static_cast<char>(FrameType::kScreenRequest));
+  const uint32_t huge = 64u << 20;
+  bytes.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  SendAll(fd, bytes);
+
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_NE(frame.payload.find("cap"), std::string::npos) << frame.payload;
+  // ...and the server closes the connection after the error frame.
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  EXPECT_TRUE(Eventually([&] {
+    return shared.service->metrics().protocol_errors() > errors_before;
+  }));
+  ::close(fd);
+}
+
+TEST(ServeNetTest, CorruptedCrcIsProtocolError) {
+  auto& shared = Shared();
+  const uint64_t errors_before = shared.service->metrics().protocol_errors();
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+
+  std::string bytes;
+  AppendFrame(&bytes, FrameType::kHealthRequest, "payload");
+  bytes.back() = static_cast<char>(bytes.back() + 1);  // corrupt the CRC
+  SendAll(fd, bytes);
+
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_NE(frame.payload.find("CRC"), std::string::npos) << frame.payload;
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  EXPECT_TRUE(Eventually([&] {
+    return shared.service->metrics().protocol_errors() > errors_before;
+  }));
+  ::close(fd);
+}
+
+TEST(ServeNetTest, TruncatedFrameAtEofIsProtocolError) {
+  auto& shared = Shared();
+  const uint64_t errors_before = shared.service->metrics().protocol_errors();
+  const int fd = ConnectTo(shared.server->port());
+
+  // A valid prefix (magic + type + size claiming 100 bytes) then EOF.
+  std::string bytes;
+  const uint32_t magic = kFrameMagic;
+  bytes.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  bytes.push_back(static_cast<char>(FrameType::kScreenRequest));
+  const uint32_t size = 100;
+  bytes.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  SendAll(fd, bytes);
+  ::shutdown(fd, SHUT_WR);
+
+  // The server counts the truncation and closes without a response.
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  EXPECT_TRUE(Eventually([&] {
+    return shared.service->metrics().protocol_errors() > errors_before;
+  }));
+  ::close(fd);
+}
+
+TEST(ServeNetTest, GarbageFirstBytesSpeakingNeitherProtocolAreRejected) {
+  auto& shared = Shared();
+  const uint64_t errors_before = shared.service->metrics().protocol_errors();
+  const int fd = ConnectTo(shared.server->port());
+  std::string rx;
+  // Starts with 'A' but diverges from the frame magic before byte 4, so
+  // the sniffer falls through to HTTP — whose parser rejects it with a
+  // 400 and a close.
+  SendAll(fd, "AXYZ garbage that is neither protocol\r\n\r\n");
+  const std::string response = RecvHttpResponse(fd, &rx);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  EXPECT_TRUE(Eventually([&] {
+    return shared.service->metrics().protocol_errors() > errors_before;
+  }));
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Limits: idle timeout, connection cap, queue-full shedding
+
+TEST(ServeNetTest, IdleConnectionsAreClosed) {
+  auto& shared = Shared();
+  const uint64_t idle_before = shared.service->metrics().idle_closes();
+  NetServerOptions options;
+  options.idle_timeout_ms = 100.0;
+  NetServer server(shared.service.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectTo(server.port());
+  // The server reaps the idle connection; recv sees a clean EOF.
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  EXPECT_GT(shared.service->metrics().idle_closes(), idle_before);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(ServeNetTest, ConnectionLimitRejectsExtraClients) {
+  auto& shared = Shared();
+  const uint64_t rejected_before =
+      shared.service->metrics().connections_rejected();
+  NetServerOptions options;
+  options.max_connections = 1;
+  options.idle_timeout_ms = 0.0;
+  NetServer server(shared.service.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int keeper = ConnectTo(server.port());
+  // A round trip guarantees the first connection is registered before
+  // the second arrives.
+  std::string rx;
+  std::string bytes;
+  AppendFrame(&bytes, FrameType::kHealthRequest, "");
+  SendAll(keeper, bytes);
+  Frame frame;
+  ASSERT_TRUE(RecvFrame(keeper, &rx, &frame));
+
+  const int extra = ConnectTo(server.port());
+  char byte = 0;
+  EXPECT_EQ(::recv(extra, &byte, 1, 0), 0) << "over-limit accept not closed";
+  EXPECT_TRUE(Eventually([&] {
+    return shared.service->metrics().connections_rejected() > rejected_before;
+  }));
+  ::close(extra);
+  ::close(keeper);
+  server.Stop();
+}
+
+TEST(ServeNetTest, QueueFullShedsWith503AndShedStatus) {
+  // A dedicated tiny service: capacity 1, batch 1 — a pipelined burst
+  // must overflow the queue and be shed, never block the event loop or
+  // hang the client.
+  auto& fixture = Fixture();
+  minispark::SparkContext ctx({.num_executors = 2});
+  auto service = fixture.MakeService(&ctx, /*queue_capacity=*/1,
+                                     /*max_batch=*/1);
+  const uint64_t shed_before = service->metrics().requests_shed();
+  NetServerOptions options;
+  NetServer server(service.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kBurst = 64;
+  const auto report = fixture.corpus.db.Get(0);
+
+  // Whether one particular burst sheds is a race between the loop's
+  // parse rate and the dispatcher's pop latency (a fast dispatcher can
+  // legitimately drain every submit), so each protocol retries bursts
+  // until a shed is observed; the answered-in-full invariant holds
+  // every round.
+  constexpr int kMaxRounds = 10;
+
+  // Binary bursts: every request is answered, in order, as kOk or kShed.
+  {
+    const int fd = ConnectTo(server.port());
+    std::string bytes;
+    for (size_t i = 0; i < kBurst; ++i) {
+      AppendFrame(&bytes, FrameType::kScreenRequest,
+                  EncodeScreenRequest(ToFields(report)));
+    }
+    std::string rx;
+    size_t ok = 0;
+    size_t shed = 0;
+    for (int round = 0; round < kMaxRounds && shed == 0; ++round) {
+      SendAll(fd, bytes);
+      for (size_t i = 0; i < kBurst; ++i) {
+        Frame frame;
+        ASSERT_TRUE(RecvFrame(fd, &rx, &frame))
+            << "response " << i << " lost";
+        ASSERT_EQ(frame.type, FrameType::kScreenResponse);
+        ScreenResponseBody body;
+        ASSERT_TRUE(DecodeScreenResponse(frame.payload, &body));
+        if (body.status == ScreenStatus::kOk) {
+          ++ok;
+        } else {
+          ASSERT_EQ(body.status, ScreenStatus::kShed) << body.message;
+          ++shed;
+        }
+      }
+      EXPECT_EQ(ok + shed, (round + 1) * kBurst);
+    }
+    EXPECT_GE(ok, 1u);
+    EXPECT_GE(shed, 1u) << "64-bursts against capacity 1 must shed";
+    ::close(fd);
+  }
+
+  // HTTP bursts: sheds surface as 503 with Retry-After, keep-alive held.
+  {
+    const int fd = ConnectTo(server.port());
+    const std::string body = "{\"case_number\": \"B-1\"}";
+    std::string bytes;
+    for (size_t i = 0; i < kBurst; ++i) {
+      bytes += "POST /screen HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n\r\n" + body;
+    }
+    std::string rx;
+    size_t ok = 0;
+    size_t shed = 0;
+    for (int round = 0; round < kMaxRounds && shed == 0; ++round) {
+      SendAll(fd, bytes);
+      for (size_t i = 0; i < kBurst; ++i) {
+        const std::string response = RecvHttpResponse(fd, &rx);
+        ASSERT_FALSE(response.empty()) << "response " << i << " lost";
+        if (response.find("HTTP/1.1 200") != std::string::npos) {
+          ++ok;
+        } else {
+          ASSERT_NE(response.find("HTTP/1.1 503"), std::string::npos)
+              << response;
+          EXPECT_NE(response.find("Retry-After: 1"), std::string::npos);
+          ++shed;
+        }
+      }
+      EXPECT_EQ(ok + shed, (round + 1) * kBurst);
+    }
+    EXPECT_GE(shed, 1u);
+    ::close(fd);
+  }
+
+  // Socket sheds feed the same degradation counter the stdin path uses.
+  EXPECT_GT(service->metrics().requests_shed(), shed_before);
+  server.Stop();
+  service->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+TEST(ServeNetTest, StopAnswersInFlightRequestsBeforeClosing) {
+  auto& fixture = Fixture();
+  minispark::SparkContext ctx({.num_executors = 2});
+  auto service = fixture.MakeService(&ctx);
+  NetServer server(service.get(), NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectTo(server.port());
+  std::string bytes;
+  for (size_t i = 0; i < 4; ++i) {
+    AppendFrame(&bytes, FrameType::kScreenRequest,
+                EncodeScreenRequest(ToFields(fixture.corpus.db.Get(
+                    static_cast<report::ReportId>(i)))));
+  }
+  SendAll(fd, bytes);
+  // Let the loop parse and submit the burst (Stop freezes reads, so a
+  // request it has not seen yet would be legitimately dropped — this
+  // test is about requests already in flight).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Stop the server while the burst may still be screening: every
+  // admitted request must still be answered before the close.
+  std::thread stopper([&] { server.Stop(); });
+  std::string rx;
+  size_t answered = 0;
+  Frame frame;
+  while (RecvFrame(fd, &rx, &frame)) {
+    if (frame.type == FrameType::kScreenResponse) ++answered;
+  }
+  stopper.join();
+  EXPECT_EQ(answered, 4u) << "Stop() dropped an in-flight response";
+  ::close(fd);
+  service->Stop();
+}
+
+TEST(ServeNetTest, StartFailsCleanlyOnUnbindableAddress) {
+  auto& shared = Shared();
+  NetServerOptions options;
+  options.host = "203.0.113.1";  // TEST-NET; not a local interface
+  options.port = 1;
+  NetServer server(shared.service.get(), options);
+  auto status = server.Start();
+  EXPECT_FALSE(status.ok());
+  server.Stop();  // must be a safe no-op after a failed Start
+}
+
+}  // namespace
+}  // namespace adrdedup::serve::net

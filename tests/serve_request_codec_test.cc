@@ -1,0 +1,207 @@
+// Unit tests for the request/response codec every screening front end
+// shares (stdin CSV, binary frames, HTTP/JSON): column binding, field
+// binding, logical CSV row stitching, the flat JSON object parser, and
+// the two response formats.
+#include "serve/request_codec.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "report/field.h"
+#include "report/report.h"
+#include "serve/screening_service.h"
+
+namespace adrdedup::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseColumns / RowToReport
+
+TEST(ParseColumnsTest, BindsKnownColumns) {
+  auto columns = ParseColumns({"case_number", "sex", "onset_date"});
+  ASSERT_TRUE(columns.ok()) << columns.status().ToString();
+  EXPECT_EQ(columns.value(),
+            (std::vector<report::FieldId>{report::FieldId::kCaseNumber,
+                                          report::FieldId::kSex,
+                                          report::FieldId::kOnsetDate}));
+}
+
+TEST(ParseColumnsTest, RejectsUnknownColumn) {
+  auto columns = ParseColumns({"case_number", "no_such_column"});
+  ASSERT_FALSE(columns.ok());
+  EXPECT_EQ(columns.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ParseColumnsTest, RejectsDuplicateColumn) {
+  auto columns = ParseColumns({"case_number", "sex", "case_number"});
+  ASSERT_FALSE(columns.ok());
+  EXPECT_EQ(columns.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RowToReportTest, BindsValuesByColumn) {
+  auto columns = ParseColumns({"case_number", "sex"});
+  ASSERT_TRUE(columns.ok());
+  auto report = RowToReport(columns.value(), {"C42", "Female"});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().case_number(), "C42");
+  EXPECT_EQ(report.value().sex(), "Female");
+}
+
+TEST(RowToReportTest, RejectsArityMismatch) {
+  auto columns = ParseColumns({"case_number", "sex"});
+  ASSERT_TRUE(columns.ok());
+  auto report = RowToReport(columns.value(), {"C42"});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// FieldsToReport
+
+TEST(FieldsToReportTest, BindsNamedFields) {
+  auto report = FieldsToReport({{"case_number", "C7"},
+                                {"generic_name_description", "ibuprofen"}});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().case_number(), "C7");
+  EXPECT_EQ(report.value().drug_name(), "ibuprofen");
+}
+
+TEST(FieldsToReportTest, RejectsUnknownAndRepeatedFields) {
+  EXPECT_EQ(FieldsToReport({{"bogus", "x"}}).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      FieldsToReport({{"sex", "Male"}, {"sex", "Female"}}).status().code(),
+      util::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// ReadLogicalCsvRow
+
+TEST(ReadLogicalCsvRowTest, StitchesQuotedNewlines) {
+  std::istringstream in("a,\"line one\nline two\",c\nnext,row,here\n");
+  util::CsvRow row;
+  auto got = ReadLogicalCsvRow(in, &row);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(got.value());
+  EXPECT_EQ(row, (util::CsvRow{"a", "line one\nline two", "c"}));
+  got = ReadLogicalCsvRow(in, &row);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got.value());
+  EXPECT_EQ(row, (util::CsvRow{"next", "row", "here"}));
+  got = ReadLogicalCsvRow(in, &row);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got.value()) << "expected clean EOF";
+}
+
+TEST(ReadLogicalCsvRowTest, EmptyStreamIsCleanEof) {
+  std::istringstream in("");
+  util::CsvRow row;
+  auto got = ReadLogicalCsvRow(in, &row);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got.value());
+}
+
+// ---------------------------------------------------------------------------
+// ParseFlatJsonObject
+
+TEST(ParseFlatJsonObjectTest, ParsesStringFields) {
+  auto fields = ParseFlatJsonObject(
+      "  {\"case_number\": \"C1\", \"sex\": \"Female\"} ");
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  EXPECT_EQ(fields.value(),
+            (std::vector<std::pair<std::string, std::string>>{
+                {"case_number", "C1"}, {"sex", "Female"}}));
+}
+
+TEST(ParseFlatJsonObjectTest, ParsesEmptyObject) {
+  auto fields = ParseFlatJsonObject("{}");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_TRUE(fields.value().empty());
+}
+
+TEST(ParseFlatJsonObjectTest, DecodesEscapes) {
+  auto fields = ParseFlatJsonObject(
+      R"({"report_description": "say \"hi\"\n\t\\ \u00e9"})");
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  ASSERT_EQ(fields.value().size(), 1u);
+  EXPECT_EQ(fields.value()[0].second, "say \"hi\"\n\t\\ \xc3\xa9");
+}
+
+TEST(ParseFlatJsonObjectTest, RejectsMalformedInput) {
+  for (const std::string_view bad : {
+           std::string_view("not json"),
+           std::string_view("[\"a\"]"),
+           std::string_view("{\"a\": 1}"),          // non-string value
+           std::string_view("{\"a\": \"b\"} tail"),  // trailing garbage
+           std::string_view("{\"a\": \"b\""),        // unterminated
+           std::string_view("{\"a\" \"b\"}"),        // missing colon
+           std::string_view("{\"a\": \"\\ud800\"}"),  // surrogate escape
+           std::string_view(""),
+       }) {
+    auto fields = ParseFlatJsonObject(bad);
+    EXPECT_FALSE(fields.ok()) << "accepted: " << bad;
+    EXPECT_EQ(fields.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Response formatting
+
+ScreenResponse SampleResponse() {
+  ScreenResponse response;
+  ScreenMatch match;
+  match.other = 3;
+  match.other_case_number = "C3";
+  match.score = 1.5;
+  response.matches.push_back(match);
+  match.other = 9;
+  match.other_case_number = "C9";
+  match.score = 0.25;
+  response.matches.push_back(match);
+  response.batch_size = 2;
+  response.model_generation = 4;
+  return response;
+}
+
+TEST(FormatMatchesCsvTest, OneLinePerMatch) {
+  report::AdrReport report;
+  report.Set(report::FieldId::kCaseNumber, "C1");
+  const std::string csv = FormatMatchesCsv(report, SampleResponse());
+  EXPECT_EQ(csv, "C1,C3," + std::to_string(1.5) + "\nC1,C9," +
+                     std::to_string(0.25) + "\n");
+}
+
+TEST(FormatMatchesCsvTest, NoMatchesIsEmpty) {
+  report::AdrReport report;
+  report.Set(report::FieldId::kCaseNumber, "C1");
+  EXPECT_EQ(FormatMatchesCsv(report, ScreenResponse{}), "");
+}
+
+TEST(ScreenResponseJsonTest, RoundTripsThroughOwnJsonParser) {
+  report::AdrReport report;
+  report.Set(report::FieldId::kCaseNumber, "C1");
+  const std::string json = ScreenResponseJson(report, SampleResponse());
+  EXPECT_NE(json.find("\"case_number\":\"C1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"expired\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"C3\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"C9\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"batch_size\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"model_generation\":4"), std::string::npos) << json;
+}
+
+TEST(ScreenResponseJsonTest, MarksExpired) {
+  report::AdrReport report;
+  report.Set(report::FieldId::kCaseNumber, "C1");
+  ScreenResponse response;
+  response.expired = true;
+  const std::string json = ScreenResponseJson(report, response);
+  EXPECT_NE(json.find("\"expired\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"matches\":[]"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace adrdedup::serve

@@ -152,6 +152,70 @@ TEST(MicroBatchQueueTest, TryPushAdmitsOnceConsumerFreesASlot) {
   queue.Close();
 }
 
+TEST(MicroBatchQueueTest, TryPushConcurrentProducersShedCountIsExact) {
+  // No consumer: with zero-wait pushes racing from many threads, exactly
+  // `capacity` items can ever be admitted, and every other attempt must
+  // be counted as a shed — no lost or double-counted drops.
+  constexpr size_t kCapacity = 4;
+  constexpr size_t kProducers = 8;
+  constexpr size_t kPerProducer = 50;
+  MicroBatchQueue<int> queue({.capacity = kCapacity,
+                              .max_batch = 4,
+                              .max_linger = std::chrono::microseconds(0)});
+  std::atomic<size_t> admitted{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        if (queue.TryPush(1, std::chrono::microseconds(0)) ==
+            PushResult::kOk) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(admitted.load(), kCapacity);
+  EXPECT_EQ(queue.depth(), kCapacity);
+  EXPECT_EQ(queue.sheds(), kProducers * kPerProducer - kCapacity);
+  queue.Close();
+}
+
+TEST(MicroBatchQueueTest, TryPushAtCapacityBoundaryLosesNoWakeups) {
+  // A draining consumer frees one slot at a time while many producers
+  // wait at the capacity boundary with a generous deadline: every push
+  // must eventually be admitted — a lost wakeup would strand a producer
+  // until its deadline and show up as a shed.
+  constexpr size_t kProducers = 8;
+  constexpr size_t kPerProducer = 40;
+  MicroBatchQueue<int> queue({.capacity = 2,
+                              .max_batch = 1,
+                              .max_linger = std::chrono::microseconds(0)});
+  size_t delivered = 0;
+  std::thread consumer([&] {
+    while (true) {
+      std::vector<int> batch = queue.PopBatch();
+      if (batch.empty()) return;
+      delivered += batch.size();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        EXPECT_EQ(queue.TryPush(1, std::chrono::microseconds(10000000)),
+                  PushResult::kOk);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(delivered, kProducers * kPerProducer);
+  EXPECT_EQ(queue.sheds(), 0u);
+  EXPECT_LE(queue.max_depth_seen(), 2u);
+}
+
 TEST(MicroBatchQueueTest, CloseWhileFullUnblocksProducers) {
   MicroBatchQueue<int> queue({.capacity = 1,
                               .max_batch = 4,

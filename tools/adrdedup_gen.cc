@@ -1,7 +1,7 @@
 // adrdedup_gen — generates a synthetic ADR report corpus as CSV, plus a
 // ground-truth duplicate-pair CSV keyed by case number.
 //
-//   adrdedup_gen --out=reports.csv --truth=truth.csv \
+//   adrdedup_gen --out=reports.csv --truth=truth.csv
 //       [--reports=10382] [--duplicates=286] [--drugs=1366]
 //       [--adrs=2351] [--seed=42]
 //

@@ -1,5 +1,5 @@
 // adrdedup_serve — runs the online duplicate-screening service against a
-// report CSV. Two modes:
+// report CSV. Three modes:
 //
 //  * Replay (default): bootstrap all but the newest --tail reports, then
 //    stream the tail through --clients concurrent client threads at an
@@ -7,9 +7,15 @@
 //  * --stdin: bootstrap the whole CSV, then read one report per logical
 //    CSV line from stdin (first line = header naming schema columns) and
 //    screen each as it arrives, printing matches to stdout.
+//  * --listen=HOST:PORT: bootstrap the whole CSV, then serve the binary
+//    frame protocol and the HTTP/JSON adapter (POST /screen,
+//    GET /metrics, GET /healthz) on a socket until SIGINT/SIGTERM.
 //
 //   adrdedup_serve --reports=reports.csv --truth=truth.csv
 //       [--tail=500] [--qps=0] [--clients=4] [--stdin]
+//       [--listen=HOST:PORT] [--max-connections=1024]
+//       [--max-request-bytes=1048576] [--max-write-buffer-bytes=4194304]
+//       [--idle-timeout-ms=30000]
 //       [--theta=0] [--k=9] [--clusters=32] [--negatives=100000]
 //       [--executors=4] [--use-blocking] [--seed=7]
 //       [--max-batch=32] [--linger-ms=2] [--queue-capacity=1024]
@@ -20,6 +26,8 @@
 // --qps=0 streams as fast as the service admits (throughput mode). The
 // model comes from --load-model, or is fitted at Start() from --truth
 // positives plus sampled negatives over the bootstrapped database.
+#include <csignal>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -35,6 +43,8 @@
 #include "minispark/storage/block_manager.h"
 #include "minispark/storage/storage_level.h"
 #include "report/report_io.h"
+#include "serve/net/server.h"
+#include "serve/request_codec.h"
 #include "serve/screening_service.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -114,81 +124,61 @@ util::Result<std::vector<distance::LabeledPair>> BuildLabels(
   return labels;
 }
 
-void PrintMatches(const report::AdrReport& report,
-                  const serve::ScreenResponse& response, std::ostream& out) {
-  for (const auto& match : response.matches) {
-    out << report.case_number() << "," << match.other_case_number << ","
-        << match.score << "\n";
-  }
-}
-
-// Reads logical CSV rows from `in` one at a time, stitching physical
-// lines while a quoted field is still open (odd count of '"').
-util::Result<std::vector<util::CsvRow>> ReadCsvRow(std::istream& in) {
-  std::string logical;
-  std::string line;
-  size_t quotes = 0;
-  while (std::getline(in, line)) {
-    if (!logical.empty()) logical += "\n";
-    logical += line;
-    quotes += static_cast<size_t>(
-        std::count(line.begin(), line.end(), '"'));
-    if (quotes % 2 == 0) break;
-  }
-  if (logical.empty()) return std::vector<util::CsvRow>{};
-  auto row = util::CsvParseLine(logical);
-  if (!row.ok()) return row.status();
-  return std::vector<util::CsvRow>{std::move(row).value()};
-}
-
 int RunStdin(serve::ScreeningService& service, std::istream& in,
              std::ostream& out) {
-  auto header = ReadCsvRow(in);
-  if (!header.ok()) return Fail(header.status());
-  if (header.value().empty()) {
+  util::CsvRow header;
+  auto got_header = serve::ReadLogicalCsvRow(in, &header);
+  if (!got_header.ok()) return Fail(got_header.status());
+  if (!got_header.value()) {
     return Fail(util::Status::InvalidArgument("stdin closed before header"));
   }
-  std::vector<report::FieldId> columns;
-  for (const std::string& name : header.value().front()) {
-    auto id = report::FieldIdFromName(name);
-    if (!id.has_value()) {
-      return Fail(util::Status::InvalidArgument(
-          "unknown column in stdin header: " + name));
-    }
-    columns.push_back(*id);
-  }
-  out << "case_number_a,case_number_b,score\n";
+  auto columns = serve::ParseColumns(header);
+  if (!columns.ok()) return Fail(columns.status());
+  out << serve::kDetectionsCsvHeader << "\n";
   size_t screened = 0;
   while (true) {
-    auto rows = ReadCsvRow(in);
-    if (!rows.ok()) return Fail(rows.status());
-    if (rows.value().empty()) break;  // EOF
-    const util::CsvRow& row = rows.value().front();
-    if (row.size() != columns.size()) {
-      return Fail(util::Status::InvalidArgument(
-          "stdin row has " + std::to_string(row.size()) + " fields, header " +
-          std::to_string(columns.size())));
-    }
-    report::AdrReport report;
-    for (size_t c = 0; c < row.size(); ++c) report.Set(columns[c], row[c]);
-    auto response = service.Screen(report);
+    util::CsvRow row;
+    auto got_row = serve::ReadLogicalCsvRow(in, &row);
+    if (!got_row.ok()) return Fail(got_row.status());
+    if (!got_row.value()) break;  // EOF
+    auto report = serve::RowToReport(columns.value(), row);
+    if (!report.ok()) return Fail(report.status());
+    auto response = service.Screen(report.value());
     if (!response.ok()) {
       // Shedding is per-request degradation, not a service failure.
       if (response.status().code() == util::StatusCode::kUnavailable) {
-        std::cerr << "shed: " << report.case_number() << "\n";
+        std::cerr << "shed: " << report.value().case_number() << "\n";
         continue;
       }
       return Fail(response.status());
     }
     if (response.value().expired) {
-      std::cerr << "expired: " << report.case_number() << "\n";
+      std::cerr << "expired: " << report.value().case_number() << "\n";
       continue;
     }
-    PrintMatches(report, response.value(), out);
+    out << serve::FormatMatchesCsv(report.value(), response.value());
     out.flush();
     ++screened;
   }
   std::cerr << "screened " << screened << " reports from stdin\n";
+  return 0;
+}
+
+// Serves the socket front end until SIGINT/SIGTERM arrives (both must
+// already be blocked on every thread — Main masks them before the
+// service spawns its workers, so sigwait here is the only consumer).
+int RunListen(serve::ScreeningService& service,
+              const serve::net::NetServerOptions& net_options,
+              const sigset_t& signals) {
+  serve::net::NetServer server(&service, net_options);
+  if (auto status = server.Start(); !status.ok()) return Fail(status);
+  std::cerr << "listening on " << net_options.host << ":" << server.port()
+            << " (binary frame protocol + HTTP/1.1)\n";
+  int signal_number = 0;
+  while (sigwait(&signals, &signal_number) != 0) {
+  }
+  std::cerr << "caught signal " << signal_number << ", shutting down\n";
+  server.Stop();
   return 0;
 }
 
@@ -290,7 +280,9 @@ int Main(int argc, char** argv) {
   if (!parsed.ok()) return Fail(parsed.status());
   const util::FlagSet& flags = parsed.value();
   if (auto status = flags.ExpectOnly(
-          {"reports", "truth", "tail", "qps", "clients", "stdin", "theta",
+          {"reports", "truth", "tail", "qps", "clients", "stdin", "listen",
+           "max-connections", "max-request-bytes", "max-write-buffer-bytes",
+           "idle-timeout-ms", "theta",
            "k", "clusters", "negatives", "executors", "use-blocking", "seed",
            "max-batch", "linger-ms", "queue-capacity", "refresh-every",
            "submit-deadline-ms", "request-deadline-ms",
@@ -302,7 +294,10 @@ int Main(int argc, char** argv) {
   if (flags.GetBool("help", false) || !flags.Has("reports")) {
     std::cout << "usage: adrdedup_serve --reports=reports.csv "
                  "--truth=truth.csv [--tail=N] [--qps=X] [--clients=N] "
-                 "[--stdin] [--theta=X] [--k=N] [--clusters=N] "
+                 "[--stdin] [--listen=HOST:PORT] [--max-connections=N] "
+                 "[--max-request-bytes=N] [--max-write-buffer-bytes=N] "
+                 "[--idle-timeout-ms=X] "
+                 "[--theta=X] [--k=N] [--clusters=N] "
                  "[--negatives=N] [--executors=N] [--use-blocking] "
                  "[--seed=N] [--max-batch=N] [--linger-ms=X] "
                  "[--queue-capacity=N] [--refresh-every=N] "
@@ -334,6 +329,65 @@ int Main(int argc, char** argv) {
     return Fail(util::Status::InvalidArgument(
         "--stdin is interactive; it cannot be combined with the replay "
         "flags --qps, --clients or --out"));
+  }
+  // Net flags fail fast too — before binding and before the report CSV
+  // is opened.
+  const bool use_listen = flags.Has("listen");
+  serve::net::NetServerOptions net_options;
+  if (use_listen) {
+    if (flags.GetBool("stdin", false)) {
+      return Fail(util::Status::InvalidArgument(
+          "--listen and --stdin are mutually exclusive front ends"));
+    }
+    if (flags.Has("qps") || flags.Has("clients") || flags.Has("out")) {
+      return Fail(util::Status::InvalidArgument(
+          "--listen serves sockets; it cannot be combined with the replay "
+          "flags --qps, --clients or --out"));
+    }
+    auto address = serve::net::ParseListenAddress(
+        flags.GetString("listen", ""));
+    if (!address.ok()) return Fail(address.status());
+    net_options.host = address.value().first;
+    net_options.port = address.value().second;
+    auto max_connections = flags.GetInt("max-connections", 1024);
+    auto max_request_bytes = flags.GetInt("max-request-bytes", 1 << 20);
+    auto max_write_buffer_bytes =
+        flags.GetInt("max-write-buffer-bytes", 4 << 20);
+    auto idle_timeout_ms = flags.GetDouble("idle-timeout-ms", 30000.0);
+    for (const auto* result :
+         {&max_connections, &max_request_bytes, &max_write_buffer_bytes}) {
+      if (!result->ok()) return Fail(result->status());
+    }
+    if (!idle_timeout_ms.ok()) return Fail(idle_timeout_ms.status());
+    if (max_connections.value() <= 0) {
+      return Fail(util::Status::InvalidArgument(
+          "--max-connections must be positive, got " +
+          std::to_string(max_connections.value())));
+    }
+    if (max_request_bytes.value() <= 0 ||
+        max_write_buffer_bytes.value() <= 0) {
+      return Fail(util::Status::InvalidArgument(
+          "--max-request-bytes and --max-write-buffer-bytes must be "
+          "positive"));
+    }
+    if (idle_timeout_ms.value() < 0.0) {
+      return Fail(util::Status::InvalidArgument(
+          "--idle-timeout-ms must be non-negative, got " +
+          std::to_string(idle_timeout_ms.value())));
+    }
+    net_options.max_connections =
+        static_cast<size_t>(max_connections.value());
+    net_options.max_request_bytes =
+        static_cast<size_t>(max_request_bytes.value());
+    net_options.max_write_buffer_bytes =
+        static_cast<size_t>(max_write_buffer_bytes.value());
+    net_options.idle_timeout_ms = idle_timeout_ms.value();
+  } else if (flags.Has("max-connections") || flags.Has("max-request-bytes") ||
+             flags.Has("max-write-buffer-bytes") ||
+             flags.Has("idle-timeout-ms")) {
+    return Fail(util::Status::InvalidArgument(
+        "--max-connections, --max-request-bytes, --max-write-buffer-bytes "
+        "and --idle-timeout-ms require --listen"));
   }
 
   auto tail_flag = flags.GetInt("tail", 500);
@@ -385,10 +439,13 @@ int Main(int argc, char** argv) {
   }
 
   const bool use_stdin = flags.GetBool("stdin", false);
+  // Interactive front ends (stdin, socket) bootstrap the whole CSV; only
+  // replay holds a tail back to stream.
   const size_t tail =
-      use_stdin ? 0
-                : std::min<size_t>(db.size() - 1,
-                                   static_cast<size_t>(tail_flag.value()));
+      (use_stdin || use_listen)
+          ? 0
+          : std::min<size_t>(db.size() - 1,
+                             static_cast<size_t>(tail_flag.value()));
   const size_t bootstrap_size = db.size() - tail;
 
   minispark::SparkContext ctx(
@@ -417,6 +474,16 @@ int Main(int argc, char** argv) {
   options.submit_deadline_ms = submit_deadline_ms.value();
   options.request_deadline_ms = request_deadline_ms.value();
 
+  // Mask the shutdown signals before any worker thread exists so they
+  // are delivered to RunListen's sigwait and nowhere else.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  if (use_listen) {
+    sigaddset(&shutdown_signals, SIGINT);
+    sigaddset(&shutdown_signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+  }
+
   serve::ScreeningService service(&ctx, options);
 
   std::vector<report::AdrReport> bootstrap;
@@ -429,7 +496,9 @@ int Main(int argc, char** argv) {
   }
   service.Bootstrap(bootstrap);
   std::cerr << "bootstrapped " << bootstrap_size << " reports, streaming "
-            << (use_stdin ? std::string("stdin") : std::to_string(tail))
+            << (use_listen ? std::string("sockets")
+                           : use_stdin ? std::string("stdin")
+                                       : std::to_string(tail))
             << "\n";
 
   if (flags.Has("load-model")) {
@@ -456,7 +525,9 @@ int Main(int argc, char** argv) {
   service.Start();
 
   int rc = 0;
-  if (use_stdin) {
+  if (use_listen) {
+    rc = RunListen(service, net_options, shutdown_signals);
+  } else if (use_stdin) {
     rc = RunStdin(service, std::cin, std::cout);
   } else {
     std::vector<std::string> detections;
