@@ -22,6 +22,8 @@
 #include "core/dedup_pipeline.h"
 #include "distance/interned.h"
 #include "distance/pairwise.h"
+#include "distance/simd/dispatch.h"
+#include "distance/simd/intersect_avx2.h"
 #include "minispark/context.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -183,6 +185,104 @@ int Run() {
             << " screening pairs): " << (serve_ok ? "PASS" : "FAIL")
             << std::endl;
   if (!serve_ok) failed = true;
+
+  // --- Gate 4: SIMD dispatch parity (hard). ---
+  // The whole distance stage re-run under forced-scalar and forced-AVX2
+  // dispatch must produce bit-identical DistanceVectors — the kernels
+  // are drop-in replacements, so any detection decision downstream is
+  // identical by construction. Deterministic, so a failure is a real
+  // kernel bug, never noise.
+  namespace simd = distance::simd;
+  {
+    std::vector<DistanceVector> forced_scalar;
+    {
+      simd::ScopedSimdOverride level(simd::Level::kScalar);
+      forced_scalar = distance::ComputePairDistances(interned, pairs);
+    }
+    bool parity = true;
+    if (simd::CpuHasAvx2Fma()) {
+      std::vector<DistanceVector> forced_simd;
+      {
+        simd::ScopedSimdOverride level(simd::Level::kAvx2Fma);
+        forced_simd = distance::ComputePairDistances(interned, pairs);
+      }
+      parity = forced_scalar.size() == forced_simd.size();
+      for (size_t i = 0; parity && i < forced_scalar.size(); ++i) {
+        parity = forced_scalar[i] == forced_simd[i];
+      }
+      std::cout << "GATE scalar vs avx2+fma dispatch bit-identical over "
+                << pairs.size()
+                << " pairs: " << (parity ? "PASS" : "FAIL") << std::endl;
+    } else {
+      std::cout << "GATE scalar vs avx2+fma dispatch: SKIP (CPU lacks "
+                   "AVX2/FMA; scalar oracle is the only path)"
+                << std::endl;
+    }
+    if (!parity) failed = true;
+  }
+
+  // --- Gate 5: AVX2 intersection kernel >= 1.5x scalar (strict-only
+  // timing; the embedded checksum comparison stays a hard gate). ---
+  if (simd::CpuHasAvx2Fma()) {
+    util::Rng rng(71);
+    constexpr size_t kPool = 256;
+    std::vector<std::vector<uint32_t>> pool(kPool);
+    for (auto& ids : pool) {
+      // Description-sized sets, below the galloping skew, dense enough
+      // that blocks overlap — the regime the block kernel exists for.
+      const size_t size = 32 + rng.Uniform(96);
+      ids.reserve(size);
+      for (size_t i = 0; i < size; ++i) {
+        ids.push_back(static_cast<uint32_t>(rng.Uniform(size * 4)));
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    }
+    const size_t iters = Scaled(2000000, 40000);
+    const auto run = [&](auto&& kernel) {
+      size_t checksum = 0;
+      util::Stopwatch watch;
+      for (size_t it = 0; it < iters; ++it) {
+        const auto& a = pool[it % kPool];
+        const auto& b = pool[(it * 7 + 13) % kPool];
+        checksum += kernel(a.data(), a.size(), b.data(), b.size());
+      }
+      return std::make_pair(watch.ElapsedSeconds(), checksum);
+    };
+    (void)run(distance::ScalarSortedIdIntersectionSize);  // warmup
+    const auto [scalar_seconds, scalar_sum] =
+        run(distance::ScalarSortedIdIntersectionSize);
+    (void)run(simd::Avx2SortedIntersectionSize);  // warmup
+    const auto [simd_seconds, simd_sum] =
+        run(simd::Avx2SortedIntersectionSize);
+    if (scalar_sum != simd_sum) {
+      std::cout << "GATE intersection checksum parity: FAIL (scalar "
+                << scalar_sum << " vs avx2 " << simd_sum << ")" << std::endl;
+      failed = true;
+    }
+    const double kernel_speedup = scalar_seconds / simd_seconds;
+    eval::TablePrinter kernels(&std::cout,
+                               {"kernel", "intersections/sec", "speedup"});
+    kernels.set_export_name("distance_hotpath_intersect_kernels");
+    kernels.AddRow({"scalar branchless",
+                    eval::TablePrinter::Num(
+                        static_cast<double>(iters) / scalar_seconds, 0),
+                    "1.00"});
+    kernels.AddRow({"avx2 8x8 shuffle",
+                    eval::TablePrinter::Num(
+                        static_cast<double>(iters) / simd_seconds, 0),
+                    eval::TablePrinter::Num(kernel_speedup, 2)});
+    kernels.Print();
+    const bool kernel_ok = kernel_speedup >= 1.5;
+    std::cout << "GATE avx2 intersection >= 1.5x scalar: "
+              << (kernel_ok ? "PASS" : "FAIL") << " (" << kernel_speedup
+              << "x)" << std::endl;
+    if (!kernel_ok && strict) failed = true;
+  } else {
+    std::cout << "GATE avx2 intersection >= 1.5x scalar: SKIP (CPU lacks "
+                 "AVX2/FMA)"
+              << std::endl;
+  }
 
   return failed ? 1 : 0;
 }

@@ -11,6 +11,8 @@
 #include "core/fast_knn.h"
 #include "distance/interned.h"
 #include "distance/pairwise.h"
+#include "distance/simd/dispatch.h"
+#include "distance/simd/intersect_avx2.h"
 #include "minispark/pair_rdd.h"
 #include "minispark/rdd.h"
 #include "ml/kmeans.h"
@@ -194,6 +196,118 @@ void BM_FastKnnQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FastKnnQuery);
+
+// Sorted-id intersection kernels head to head: the always-compiled
+// scalar oracle vs the AVX2 8x8 shuffle block kernel, on
+// description-sized sets with moderate overlap.
+std::vector<std::vector<uint32_t>> MicroIdPool(size_t count) {
+  util::Rng rng(17);
+  std::vector<std::vector<uint32_t>> pool(count);
+  for (auto& ids : pool) {
+    const size_t size = 32 + rng.Uniform(96);
+    for (size_t i = 0; i < size; ++i) {
+      ids.push_back(static_cast<uint32_t>(rng.Uniform(size * 4)));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  return pool;
+}
+
+void BM_IntersectScalar(benchmark::State& state) {
+  const auto pool = MicroIdPool(64);
+  size_t it = 0;
+  for (auto _ : state) {
+    const auto& a = pool[it % pool.size()];
+    const auto& b = pool[(it * 7 + 13) % pool.size()];
+    benchmark::DoNotOptimize(distance::ScalarSortedIdIntersectionSize(
+        a.data(), a.size(), b.data(), b.size()));
+    ++it;
+  }
+}
+BENCHMARK(BM_IntersectScalar);
+
+void BM_IntersectAvx2(benchmark::State& state) {
+  if (!distance::simd::CpuHasAvx2Fma()) {
+    state.SkipWithError("CPU lacks AVX2/FMA");
+    return;
+  }
+  const auto pool = MicroIdPool(64);
+  size_t it = 0;
+  for (auto _ : state) {
+    const auto& a = pool[it % pool.size()];
+    const auto& b = pool[(it * 7 + 13) % pool.size()];
+    benchmark::DoNotOptimize(distance::simd::Avx2SortedIntersectionSize(
+        a.data(), a.size(), b.data(), b.size()));
+    ++it;
+  }
+}
+BENCHMARK(BM_IntersectAvx2);
+
+// The stage-1 kernel behind ScoreBatch: 8 queries swept over one SoA
+// block, as 8 scalar single-query sweeps vs 1 batched sweep.
+void BM_SoaSweepSingle8(benchmark::State& state) {
+  const auto train = MicroTrainingSet(static_cast<size_t>(state.range(0)));
+  const size_t n = train.size();
+  std::vector<double> coords(distance::kDistanceDims * n);
+  std::vector<int8_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = train[i].label;
+    for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+      coords[d * n + i] = train[i].vector[d];
+    }
+  }
+  util::Rng rng(23);
+  distance::DistanceVector queries[ml::kSoaBatchMaxQueries];
+  for (auto& q : queries) {
+    for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+      q[d] = rng.UniformDouble();
+    }
+  }
+  std::vector<ml::Neighbor> heap;
+  for (auto _ : state) {
+    for (const auto& q : queries) {
+      heap.clear();
+      ml::SoaKnnSweep(q, coords.data(), n, 0, n, labels.data(), 9, &heap);
+      benchmark::DoNotOptimize(heap.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * ml::kSoaBatchMaxQueries);
+}
+BENCHMARK(BM_SoaSweepSingle8)->Arg(4096)->Arg(65536);
+
+void BM_SoaSweepBatch8(benchmark::State& state) {
+  const auto train = MicroTrainingSet(static_cast<size_t>(state.range(0)));
+  const size_t n = train.size();
+  std::vector<double> coords(distance::kDistanceDims * n);
+  std::vector<int8_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = train[i].label;
+    for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+      coords[d * n + i] = train[i].vector[d];
+    }
+  }
+  util::Rng rng(23);
+  distance::DistanceVector queries[ml::kSoaBatchMaxQueries];
+  const distance::DistanceVector* query_ptrs[ml::kSoaBatchMaxQueries];
+  std::vector<ml::Neighbor> heaps[ml::kSoaBatchMaxQueries];
+  std::vector<ml::Neighbor>* heap_ptrs[ml::kSoaBatchMaxQueries];
+  for (size_t q = 0; q < ml::kSoaBatchMaxQueries; ++q) {
+    for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+      queries[q][d] = rng.UniformDouble();
+    }
+    query_ptrs[q] = &queries[q];
+    heap_ptrs[q] = &heaps[q];
+  }
+  for (auto _ : state) {
+    for (auto& heap : heaps) heap.clear();
+    ml::SoaKnnSweepBatch(query_ptrs, ml::kSoaBatchMaxQueries, coords.data(),
+                         n, 0, n, labels.data(), 9, heap_ptrs);
+    benchmark::DoNotOptimize(heaps[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * ml::kSoaBatchMaxQueries);
+}
+BENCHMARK(BM_SoaSweepBatch8)->Arg(4096)->Arg(65536);
 
 void BM_KMeansIteration(benchmark::State& state) {
   std::vector<distance::DistanceVector> points;

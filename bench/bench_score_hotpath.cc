@@ -24,6 +24,7 @@
 
 #include "bench/bench_common.h"
 #include "core/fast_knn.h"
+#include "distance/simd/dispatch.h"
 #include "ml/kmeans.h"
 #include "ml/knn.h"
 #include "util/stopwatch.h"
@@ -238,6 +239,132 @@ int Run() {
   std::cout << "GATE exact mode == brute force (" << parity_checks
             << " queries): " << (exact_ok ? "PASS" : "FAIL") << std::endl;
   if (!exact_ok) failed = true;
+
+  // --- Gate 4: SIMD dispatch parity over the full scoring path (hard).
+  // ScoreAll re-run under forced-scalar and forced-AVX2 dispatch must
+  // produce bit-identical scores — and therefore identical Eq. 6
+  // detections — because the batched kernel re-verifies every prefilter
+  // survivor with the exact scalar arithmetic. Deterministic at any
+  // scale.
+  namespace simd = distance::simd;
+  {
+    std::vector<double> forced_scalar;
+    {
+      simd::ScopedSimdOverride level(simd::Level::kScalar);
+      forced_scalar = classifier.ScoreAll(queries);
+    }
+    bool parity = true;
+    if (simd::CpuHasAvx2Fma()) {
+      std::vector<double> forced_simd;
+      {
+        simd::ScopedSimdOverride level(simd::Level::kAvx2Fma);
+        forced_simd = classifier.ScoreAll(queries);
+      }
+      parity = forced_scalar.size() == forced_simd.size();
+      for (size_t i = 0; parity && i < forced_scalar.size(); ++i) {
+        parity = forced_scalar[i] == forced_simd[i];
+      }
+      std::cout << "GATE scalar vs avx2+fma ScoreAll bit-identical ("
+                << queries.size()
+                << " queries): " << (parity ? "PASS" : "FAIL") << std::endl;
+    } else {
+      std::cout << "GATE scalar vs avx2+fma ScoreAll: SKIP (CPU lacks "
+                   "AVX2/FMA; scalar oracle is the only path)"
+                << std::endl;
+    }
+    if (!parity) failed = true;
+  }
+
+  // --- Gate 5: batched sweep vs 8 single-query sweeps (strict-only
+  // timing; heap parity stays a hard gate). ---
+  // The raw kernel comparison behind ScoreBatch: one SoaKnnSweepBatch
+  // pass with 8 queries over a SoA block, against 8 SoaKnnSweep passes.
+  // The batch amortizes every column load across the queries (and runs
+  // the AVX2 prefilter), so it must be strictly faster.
+  if (simd::CpuHasAvx2Fma()) {
+    const size_t n = datasets.train.pairs.size();
+    std::vector<double> coords(distance::kDistanceDims * n);
+    std::vector<int8_t> labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& pair = datasets.train.pairs[i];
+      labels[i] = pair.label;
+      for (size_t d = 0; d < distance::kDistanceDims; ++d) {
+        coords[d * n + i] = pair.vector[d];
+      }
+    }
+    constexpr size_t kBatch = ml::kSoaBatchMaxQueries;
+    const DistanceVector* batch_queries[kBatch];
+    for (size_t q = 0; q < kBatch; ++q) {
+      batch_queries[q] = &queries[q % queries.size()].vector;
+    }
+    const size_t k = options.k;
+    const size_t reps = Scaled(200, 10);
+    std::vector<Neighbor> single_heaps[kBatch];
+    std::vector<Neighbor> batch_heaps[kBatch];
+    std::vector<Neighbor>* heap_ptrs[kBatch];
+    for (size_t q = 0; q < kBatch; ++q) heap_ptrs[q] = &batch_heaps[q];
+
+    const auto run_single = [&] {
+      for (size_t q = 0; q < kBatch; ++q) {
+        single_heaps[q].clear();
+        ml::SoaKnnSweep(*batch_queries[q], coords.data(), n, 0, n,
+                        labels.data(), k, &single_heaps[q]);
+      }
+    };
+    const auto run_batch = [&] {
+      for (size_t q = 0; q < kBatch; ++q) batch_heaps[q].clear();
+      ml::SoaKnnSweepBatch(batch_queries, kBatch, coords.data(), n, 0, n,
+                           labels.data(), k, heap_ptrs);
+    };
+
+    simd::ScopedSimdOverride level(simd::Level::kAvx2Fma);
+    run_single();  // warmup
+    util::Stopwatch single_watch;
+    for (size_t rep = 0; rep < reps; ++rep) run_single();
+    const double single_seconds = single_watch.ElapsedSeconds();
+    run_batch();  // warmup
+    util::Stopwatch batch_watch;
+    for (size_t rep = 0; rep < reps; ++rep) run_batch();
+    const double batch_seconds = batch_watch.ElapsedSeconds();
+
+    bool heap_parity = true;
+    for (size_t q = 0; heap_parity && q < kBatch; ++q) {
+      std::sort(single_heaps[q].begin(), single_heaps[q].end(),
+                ml::NeighborLess);
+      std::sort(batch_heaps[q].begin(), batch_heaps[q].end(),
+                ml::NeighborLess);
+      heap_parity = single_heaps[q].size() == batch_heaps[q].size();
+      for (size_t i = 0; heap_parity && i < single_heaps[q].size(); ++i) {
+        heap_parity = single_heaps[q][i].distance ==
+                          batch_heaps[q][i].distance &&
+                      single_heaps[q][i].index == batch_heaps[q][i].index &&
+                      single_heaps[q][i].label == batch_heaps[q][i].label;
+      }
+    }
+    if (!heap_parity) {
+      std::cout << "GATE batched sweep heap parity: FAIL" << std::endl;
+      failed = true;
+    }
+
+    const double sweep_speedup = single_seconds / batch_seconds;
+    eval::TablePrinter sweeps(&std::cout, {"sweep", "secs/rep", "speedup"});
+    sweeps.set_export_name("score_hotpath_batched_sweep");
+    sweeps.AddRow({"8 single-query sweeps",
+                   eval::TablePrinter::Num(single_seconds / reps, 6), "1.00"});
+    sweeps.AddRow({"1 batched 8-query sweep",
+                   eval::TablePrinter::Num(batch_seconds / reps, 6),
+                   eval::TablePrinter::Num(sweep_speedup, 2)});
+    sweeps.Print();
+    const bool batch_ok = batch_seconds < single_seconds;
+    std::cout << "GATE batched sweep strictly faster than 8 singles: "
+              << (batch_ok ? "PASS" : "FAIL") << " (" << sweep_speedup
+              << "x)" << std::endl;
+    if (!batch_ok && strict) failed = true;
+  } else {
+    std::cout << "GATE batched sweep vs 8 singles: SKIP (CPU lacks "
+                 "AVX2/FMA)"
+              << std::endl;
+  }
 
   return failed ? 1 : 0;
 }

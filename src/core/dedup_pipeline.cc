@@ -188,12 +188,26 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
                     size_t,
                     const std::vector<std::pair<
                         size_t, distance::DistanceVector>>& records) {
+                  // Batched scoring: gather the partition's survivors and
+                  // score them through one ScoreBatch call, so co-homed
+                  // queries share their stage-1 sweeps.
                   FastKnnScratch scratch;
-                  std::vector<std::pair<size_t, double>> out;
+                  std::vector<const distance::DistanceVector*> pointers;
+                  std::vector<size_t> slots;
+                  pointers.reserve(records.size());
+                  slots.reserve(records.size());
                   for (const auto& [index, vector] : records) {
                     if (query_of[index] == SIZE_MAX) continue;
-                    out.emplace_back(query_of[index],
-                                     classifier->Score(vector, &scratch));
+                    pointers.push_back(&vector);
+                    slots.push_back(query_of[index]);
+                  }
+                  std::vector<double> batch_scores(pointers.size(), 0.0);
+                  classifier->ScoreBatch(pointers.data(), pointers.size(),
+                                         &scratch, batch_scores.data());
+                  std::vector<std::pair<size_t, double>> out;
+                  out.reserve(pointers.size());
+                  for (size_t i = 0; i < pointers.size(); ++i) {
+                    out.emplace_back(slots[i], batch_scores[i]);
                   }
                   return out;
                 })

@@ -140,19 +140,32 @@ double FastKnnClassifier::ClassifyInto(const DistanceVector& query,
   ADRDEDUP_CHECK(fitted_) << "Classify() before Fit()";
   stats_->AddQuery();
   const size_t k = options_.k;
-  const double inf = std::numeric_limits<double>::infinity();
 
   std::vector<Neighbor>& heap = scratch->heap;
   heap.clear();
   if (heap.capacity() < k + 1) heap.reserve(k + 1);
 
   // Stage 1: intra-cluster kNN over the home cell's negatives, swept in
-  // the contiguous SoA block (global ids are the block columns).
+  // the contiguous SoA block (global ids are the block columns). Routed
+  // through the batched sweep with one query so the single-query path
+  // runs the same dispatched kernel as ScoreBatch.
   const size_t home = ml::NearestCenter(query, centers_);
-  ml::SoaKnnSweep(query, neg_coords_.data(), total_negatives_,
-                  partition_bases_[home], partition_bases_[home + 1],
-                  neg_labels_.data(), k, &heap);
+  const DistanceVector* query_ptr = &query;
+  std::vector<Neighbor>* heap_ptr = &heap;
+  ml::SoaKnnSweepBatch(&query_ptr, 1, neg_coords_.data(), total_negatives_,
+                       partition_bases_[home], partition_bases_[home + 1],
+                       neg_labels_.data(), k, &heap_ptr);
   stats_->AddIntra(partition_bases_[home + 1] - partition_bases_[home]);
+
+  return FinishQuery(query, home, scratch);
+}
+
+double FastKnnClassifier::FinishQuery(const DistanceVector& query,
+                                      size_t home,
+                                      FastKnnScratch* scratch) const {
+  const size_t k = options_.k;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Neighbor>& heap = scratch->heap;
 
   // Positive sweep (Algorithm 2, lines 9-10): all positives, always.
   double nearest_positive = inf;
@@ -207,11 +220,13 @@ double FastKnnClassifier::ClassifyInto(const DistanceVector& query,
     std::sort(candidates.begin(), candidates.end());
   }
   uint64_t cells_searched = 0;
+  const DistanceVector* query_ptr = &query;
+  std::vector<Neighbor>* heap_ptr = &heap;
   for (const auto& [h, j] : candidates) {
     if (options_.prune_with_hyperplanes && kth <= h) break;
-    ml::SoaKnnSweep(query, neg_coords_.data(), total_negatives_,
-                    partition_bases_[j], partition_bases_[j + 1],
-                    neg_labels_.data(), k, &heap);
+    ml::SoaKnnSweepBatch(&query_ptr, 1, neg_coords_.data(), total_negatives_,
+                         partition_bases_[j], partition_bases_[j + 1],
+                         neg_labels_.data(), k, &heap_ptr);
     stats_->AddCross(partition_bases_[j + 1] - partition_bases_[j]);
     ++cells_searched;
     if (heap.size() >= k) kth = heap.front().distance;
@@ -246,14 +261,77 @@ double FastKnnClassifier::Score(const DistanceVector& query) const {
   return ClassifyInto(query, ThreadScratch());
 }
 
+void FastKnnClassifier::ScoreBatch(const DistanceVector* const* queries,
+                                   size_t count, FastKnnScratch* scratch,
+                                   double* out) const {
+  ADRDEDUP_CHECK(fitted_) << "ScoreBatch() before Fit()";
+  if (count == 0) return;
+  const size_t k = options_.k;
+
+  // Group queries by home Voronoi cell (stable, so co-homed queries keep
+  // their relative order): only queries sharing a home cell can share a
+  // stage-1 sweep, and the grouping also makes each cell's SoA block hot
+  // in cache for every query that needs it.
+  std::vector<uint32_t>& homes = scratch->homes;
+  std::vector<uint32_t>& order = scratch->order;
+  homes.resize(count);
+  order.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    homes[i] = static_cast<uint32_t>(ml::NearestCenter(*queries[i], centers_));
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&homes](uint32_t a, uint32_t b) {
+                     return homes[a] < homes[b];
+                   });
+
+  size_t pos = 0;
+  while (pos < count) {
+    const uint32_t home = homes[order[pos]];
+    size_t run_end = pos;
+    while (run_end < count && homes[order[run_end]] == home) ++run_end;
+    for (size_t chunk = pos; chunk < run_end;
+         chunk += ml::kSoaBatchMaxQueries) {
+      const size_t nq = std::min(ml::kSoaBatchMaxQueries, run_end - chunk);
+      const DistanceVector* batch_queries[ml::kSoaBatchMaxQueries];
+      std::vector<Neighbor>* batch_heaps[ml::kSoaBatchMaxQueries];
+      for (size_t s = 0; s < nq; ++s) {
+        batch_queries[s] = queries[order[chunk + s]];
+        std::vector<Neighbor>& heap = scratch->batch_heaps[s];
+        heap.clear();
+        if (heap.capacity() < k + 1) heap.reserve(k + 1);
+        batch_heaps[s] = &heap;
+      }
+      // Shared stage 1: one batched sweep over the home cell for up to 8
+      // queries at once.
+      ml::SoaKnnSweepBatch(batch_queries, nq, neg_coords_.data(),
+                           total_negatives_, partition_bases_[home],
+                           partition_bases_[home + 1], neg_labels_.data(), k,
+                           batch_heaps);
+      // Per-query remainder: swap each slot's stage-1 heap into the main
+      // scratch heap and run the shared FinishQuery, exactly as the
+      // sequential path would after its own stage-1 sweep.
+      for (size_t s = 0; s < nq; ++s) {
+        stats_->AddQuery();
+        stats_->AddIntra(partition_bases_[home + 1] - partition_bases_[home]);
+        std::swap(scratch->heap, scratch->batch_heaps[s]);
+        out[order[chunk + s]] = FinishQuery(*batch_queries[s], home, scratch);
+      }
+    }
+    pos = run_end;
+  }
+}
+
 std::vector<double> FastKnnClassifier::ScoreAll(
     const std::vector<LabeledPair>& queries) const {
   FastKnnScratch scratch;
-  std::vector<double> scores;
-  scores.reserve(queries.size());
+  std::vector<const DistanceVector*> pointers;
+  pointers.reserve(queries.size());
   for (const LabeledPair& query : queries) {
-    scores.push_back(ClassifyInto(query.vector, &scratch));
+    pointers.push_back(&query.vector);
   }
+  std::vector<double> scores(queries.size(), 0.0);
+  ScoreBatch(pointers.data(), pointers.size(), &scratch, scores.data());
   return scores;
 }
 
@@ -278,16 +356,22 @@ std::vector<double> FastKnnClassifier::ScoreAllSpark(
   auto rdd = ctx->Parallelize(std::move(indexed),
                               blocks * partitions_.size());
   // Whole-partition tasks: each minispark task scores its block through
-  // one warm scratch instead of re-entering a per-record closure, so the
-  // task does exactly one output allocation.
+  // one warm scratch and the batched ScoreBatch kernel, so co-homed
+  // queries inside the block share their stage-1 sweeps and the task does
+  // exactly one output allocation.
   auto scored = rdd.MapPartitionsWithIndex<std::pair<size_t, double>>(
       [this](size_t /*partition*/,
              const std::vector<std::pair<size_t, DistanceVector>>& block) {
         FastKnnScratch scratch;
+        std::vector<const DistanceVector*> pointers;
+        pointers.reserve(block.size());
+        for (const auto& [index, vector] : block) pointers.push_back(&vector);
+        std::vector<double> scores(block.size(), 0.0);
+        ScoreBatch(pointers.data(), pointers.size(), &scratch, scores.data());
         std::vector<std::pair<size_t, double>> out;
         out.reserve(block.size());
-        for (const auto& [index, vector] : block) {
-          out.emplace_back(index, ClassifyInto(vector, &scratch));
+        for (size_t i = 0; i < block.size(); ++i) {
+          out.emplace_back(block[i].first, scores[i]);
         }
         return out;
       });

@@ -29,6 +29,7 @@
 #ifndef ADRDEDUP_CORE_FAST_KNN_H_
 #define ADRDEDUP_CORE_FAST_KNN_H_
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -75,11 +76,18 @@ struct FastKnnResult {
 };
 
 // Reusable per-thread working memory for Classify/Score: the bounded
-// top-k heap and the stage-2 candidate list. A warm scratch makes a
-// query allocation-free; one scratch must not be shared across threads.
+// top-k heap and the stage-2 candidate list, plus the per-slot stage-1
+// heaps and home-cluster grouping buffers ScoreBatch uses. A warm
+// scratch makes a query allocation-free; one scratch must not be shared
+// across threads.
 struct FastKnnScratch {
   std::vector<ml::Neighbor> heap;
   std::vector<std::pair<double, uint32_t>> candidates;
+  // Batched scoring (ScoreBatch): one stage-1 heap per batch slot and
+  // the query order grouped by home cluster.
+  std::array<std::vector<ml::Neighbor>, ml::kSoaBatchMaxQueries> batch_heaps;
+  std::vector<uint32_t> homes;
+  std::vector<uint32_t> order;
 };
 
 class FastKnnClassifier {
@@ -109,6 +117,17 @@ class FastKnnClassifier {
   // Scores a batch sequentially through one reused scratch.
   std::vector<double> ScoreAll(
       const std::vector<distance::LabeledPair>& queries) const;
+
+  // Scores `count` queries into out[0..count) — bit-identical to `count`
+  // Score() calls, but queries are grouped by home Voronoi cell and
+  // stage 1 runs through the batched multi-query sweep
+  // (ml::SoaKnnSweepBatch), so up to 8 co-homed queries share every pass
+  // over the home cell's SoA block. The positive sweep, early exit, and
+  // stage-2 search stay per-query (their control flow is query
+  // dependent). This is the kernel entry point behind ScoreAll,
+  // ScoreAllSpark, and the serve path.
+  void ScoreBatch(const distance::DistanceVector* const* queries,
+                  size_t count, FastKnnScratch* scratch, double* out) const;
 
   // Algorithm 2 as a minispark job: the testing set is split into
   // `num_test_blocks` blocks (parameter c; 0 = context default
@@ -167,6 +186,16 @@ class FastKnnClassifier {
   // pre-scratch implementation).
   double ClassifyInto(const distance::DistanceVector& query,
                       FastKnnScratch* scratch) const;
+
+  // Everything after the stage-1 home-cell sweep: the positive sweep,
+  // the all-negative early exit, the stage-2 cross-cluster search, and
+  // the final sort + Eq. 5/Eq. 1 score. Expects scratch->heap to hold
+  // the stage-1 results for `query` (assigned to `home`). Split out so
+  // ClassifyInto and ScoreBatch share one definition — which is what
+  // makes "batched == sequential" a structural identity rather than a
+  // re-derived property.
+  double FinishQuery(const distance::DistanceVector& query, size_t home,
+                     FastKnnScratch* scratch) const;
 
   // Rebuilds everything derived from centers_/partitions_/positives_:
   // the Eq. 7 center-distance matrix, the global index bases, and the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "distance/simd/dispatch.h"
+#include "distance/simd/intersect_avx2.h"
 #include "util/logging.h"
 
 namespace adrdedup::distance {
@@ -11,6 +13,10 @@ namespace {
 // Skew ratio above which the intersection sweep switches from the linear
 // two-pointer merge to galloping search of the larger side.
 constexpr size_t kGallopRatio = 16;
+
+// Minimum size of the *smaller* side before the AVX2 block kernel is
+// worth its setup: below one full 8-id block the scalar sweep wins.
+constexpr size_t kSimdMinSize = 8;
 
 size_t GallopIntersectionSize(const std::vector<uint32_t>& small,
                               const std::vector<uint32_t>& large) {
@@ -189,20 +195,26 @@ size_t SortedIdIntersectionSize(const std::vector<uint32_t>& a,
   if (b.size() >= a.size() * kGallopRatio) {
     return GallopIntersectionSize(a, b);
   }
+  if (a.size() >= kSimdMinSize && simd::UseAvx2()) {
+    return simd::Avx2SortedIntersectionSize(a.data(), a.size(), b.data(),
+                                            b.size());
+  }
+  return ScalarSortedIdIntersectionSize(a.data(), a.size(), b.data(),
+                                        b.size());
+}
+
+size_t ScalarSortedIdIntersectionSize(const uint32_t* a, size_t na,
+                                      const uint32_t* b, size_t nb) {
   // Branchless two-pointer sweep: which pointer advances depends on the
   // data, so an if/else merge mispredicts on almost every step for
   // uncorrelated id streams. Advancing by comparison results instead
   // keeps the loop a straight line of cmp/setcc/add.
-  const uint32_t* pa = a.data();
-  const uint32_t* pb = b.data();
-  const size_t na = a.size();
-  const size_t nb = b.size();
   size_t count = 0;
   size_t i = 0;
   size_t j = 0;
   while (i < na && j < nb) {
-    const uint32_t x = pa[i];
-    const uint32_t y = pb[j];
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
     count += static_cast<size_t>(x == y);
     i += static_cast<size_t>(x <= y);
     j += static_cast<size_t>(y <= x);

@@ -121,12 +121,22 @@ std::vector<InternedFeatures> InternAllFeatures(
     const std::vector<ReportFeatures>& features, TokenDictionary* dict,
     util::ThreadPool* pool = nullptr);
 
-// |a ∩ b| for sorted unique id vectors. Linear two-pointer sweep, or a
-// galloping (exponential-search) merge when one side is much larger —
-// O(|small| log |large|) instead of O(|small| + |large|) for the long
-// descriptions vs. short drug lists skew.
+// |a ∩ b| for sorted unique id vectors. Dispatches between three exact
+// kernels: a galloping (exponential-search) merge when one side is much
+// larger — O(|small| log |large|) for the long descriptions vs. short
+// drug lists skew — the AVX2 8×8 shuffle kernel (simd/intersect_avx2.h)
+// when the CPU supports it and both sides hold at least one full block,
+// and the scalar branchless two-pointer sweep otherwise. All three count
+// identically (tested property).
 size_t SortedIdIntersectionSize(const std::vector<uint32_t>& a,
                                 const std::vector<uint32_t>& b);
+
+// The scalar branchless two-pointer merge over raw id arrays — the
+// always-compiled bit-exactness oracle every SIMD intersection kernel is
+// tested against (DESIGN.md §5g). No galloping, no vector code: pure
+// cmp/setcc/add, correct for any pair of sorted unique arrays.
+size_t ScalarSortedIdIntersectionSize(const uint32_t* a, size_t na,
+                                      const uint32_t* b, size_t nb);
 
 // Jaccard distance over interned sets; bit-identical to
 // SortedJaccardDistance over the token vectors the sets were interned

@@ -1,0 +1,69 @@
+#include "distance/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace adrdedup::distance::simd {
+
+namespace {
+
+// -1 = no override; otherwise the forced Level. Relaxed ordering is
+// enough: the override only flips on the test main thread / at CLI
+// startup, before kernel-bearing work is submitted.
+std::atomic<int> g_override{-1};
+
+bool EnvDisablesSimd() {
+  const char* env = std::getenv("ADRDEDUP_NO_SIMD");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+Level DetectStartupLevel() {
+  if (EnvDisablesSimd()) return Level::kScalar;
+  return CpuHasAvx2Fma() ? Level::kAvx2Fma : Level::kScalar;
+}
+
+}  // namespace
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level ActiveLevel() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  // Selected once; the static initializer runs at the first un-overridden
+  // query and the answer never changes afterwards.
+  static const Level startup = DetectStartupLevel();
+  return startup;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2Fma:
+      return "avx2+fma";
+  }
+  return "unknown";
+}
+
+void DisableSimd() {
+  g_override.store(static_cast<int>(Level::kScalar),
+                   std::memory_order_relaxed);
+}
+
+ScopedSimdOverride::ScopedSimdOverride(Level level)
+    : previous_(g_override.load(std::memory_order_relaxed)) {
+  g_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+ScopedSimdOverride::~ScopedSimdOverride() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace adrdedup::distance::simd

@@ -1,0 +1,66 @@
+// Runtime CPU dispatch for the SIMD kernel layer (DESIGN.md §5g). The
+// AVX2/FMA kernels under src/distance/simd/ are compiled into every
+// binary (their translation units alone carry -mavx2/-mfma), so the
+// binary still loads and runs on plain x86-64 — every kernel call site
+// consults ActiveLevel() before entering vector code. The level is
+// resolved once, at the first query: kAvx2Fma when the running CPU
+// reports both AVX2 and FMA and neither the ADRDEDUP_NO_SIMD environment
+// variable nor DisableSimd() (the --no-simd CLI flag) forced the scalar
+// path.
+//
+// Testing contract: every SIMD kernel has an always-compiled scalar
+// oracle (the pre-existing branchless/galloping code paths) and a
+// randomized equivalence suite that runs both dispatch levels in one
+// process via ScopedSimdOverride. Results must be bit-identical — the
+// kernels are drop-in replacements, never approximations.
+#ifndef ADRDEDUP_DISTANCE_SIMD_DISPATCH_H_
+#define ADRDEDUP_DISTANCE_SIMD_DISPATCH_H_
+
+namespace adrdedup::distance::simd {
+
+enum class Level {
+  kScalar = 0,
+  kAvx2Fma = 1,
+};
+
+// Raw capability check: the running CPU supports AVX2 and FMA. Ignores
+// the environment override — tests use this to decide whether the AVX2
+// side of an equivalence check can execute at all.
+bool CpuHasAvx2Fma();
+
+// The dispatch level kernel call sites consult. Selected once at the
+// first call (and stable afterwards) unless a ScopedSimdOverride or
+// DisableSimd() is active.
+Level ActiveLevel();
+
+inline bool UseAvx2() { return ActiveLevel() == Level::kAvx2Fma; }
+
+// Human-readable level name for logs and bench banners.
+const char* LevelName(Level level);
+
+// Permanently forces scalar dispatch (the --no-simd CLI flag). Call
+// before any work is submitted; later calls to ActiveLevel() return
+// kScalar.
+void DisableSimd();
+
+// Test/bench hook: pins ActiveLevel() to `level` for the lifetime of the
+// object, restoring the previous state on destruction. This exists so
+// one process can run both dispatch paths against each other
+// (equivalence tests, parity gates); production code never constructs
+// one. Not thread-safe against concurrent overrides — use from the test
+// main thread only.
+class ScopedSimdOverride {
+ public:
+  explicit ScopedSimdOverride(Level level);
+  ~ScopedSimdOverride();
+
+  ScopedSimdOverride(const ScopedSimdOverride&) = delete;
+  ScopedSimdOverride& operator=(const ScopedSimdOverride&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace adrdedup::distance::simd
+
+#endif  // ADRDEDUP_DISTANCE_SIMD_DISPATCH_H_

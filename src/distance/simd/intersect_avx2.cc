@@ -1,0 +1,93 @@
+#include "distance/simd/intersect_avx2.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace adrdedup::distance::simd {
+
+namespace {
+
+// Scalar branchless two-pointer merge resuming from (i, j) — finishes
+// the ragged tails the 8-wide block loop cannot cover. Mirrors the
+// scalar oracle in distance/interned.cc.
+size_t ScalarTail(const uint32_t* a, size_t i, size_t na, const uint32_t* b,
+                  size_t j, size_t nb) {
+  size_t count = 0;
+  while (i < na && j < nb) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    count += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return count;
+}
+
+}  // namespace
+
+#if defined(__AVX2__)
+
+size_t Avx2SortedIntersectionSize(const uint32_t* a, size_t na,
+                                  const uint32_t* b, size_t nb) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  if (na >= 8 && nb >= 8) {
+    // Rotate-by-one lane permutation; applying it r times yields the
+    // r-th cyclic rotation, so 7 permutes + 8 compares cover all 64
+    // (a_lane, b_lane) combinations of the two blocks.
+    const __m256i kRotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    while (true) {
+      __m256i match = _mm256_cmpeq_epi32(va, vb);
+      __m256i rotated = vb;
+      for (int r = 1; r < 8; ++r) {
+        rotated = _mm256_permutevar8x32_epi32(rotated, kRotate1);
+        match = _mm256_or_si256(match, _mm256_cmpeq_epi32(va, rotated));
+      }
+      // One mask bit per a-lane that matched any b-lane; ids are unique
+      // within a set, so an a-lane matches at most one b-lane and the
+      // popcount is the exact block contribution.
+      count += static_cast<size_t>(__builtin_popcount(
+          _mm256_movemask_ps(_mm256_castsi256_ps(match))));
+      // Advance the block(s) whose maximum is exhausted: everything
+      // still ahead on the other side is strictly larger, so no match
+      // against the advanced block can be missed. On equal maxima both
+      // advance (the shared maximum was already counted; uniqueness
+      // forbids it reappearing).
+      const uint32_t a_max = a[i + 7];
+      const uint32_t b_max = b[j + 7];
+      const bool advance_a = a_max <= b_max;
+      const bool advance_b = b_max <= a_max;
+      if (advance_a) {
+        i += 8;
+        if (i + 8 > na) break;
+        va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      }
+      if (advance_b) {
+        j += 8;
+        if (j + 8 > nb) break;
+        vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      }
+    }
+  }
+  // The tail restarts from the first unconsumed block boundaries; any
+  // block elements it re-examines sit strictly below the other side's
+  // remaining ids, so nothing is double counted.
+  return count + ScalarTail(a, i, na, b, j, nb);
+}
+
+#else  // !defined(__AVX2__)
+
+// Non-x86 (or AVX2-less) build: the kernel is never selected by
+// dispatch, but keep a correct definition so the symbol always links.
+size_t Avx2SortedIntersectionSize(const uint32_t* a, size_t na,
+                                  const uint32_t* b, size_t nb) {
+  return ScalarTail(a, 0, na, b, 0, nb);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace adrdedup::distance::simd

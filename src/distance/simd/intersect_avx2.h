@@ -1,0 +1,30 @@
+// AVX2 shuffle-based sorted-set intersection (DESIGN.md §5g). The
+// interned-token Jaccard hot path reduces to |a ∩ b| over two sorted
+// unique uint32 id arrays; this kernel compares 8×8 id blocks at a time
+// — one _mm256_cmpeq_epi32 per cyclic rotation of the other block, the
+// rotations produced with _mm256_permutevar8x32_epi32 — and advances
+// whichever block exhausted its maximum, falling back to the scalar
+// branchless merge for the ragged tails. The count is an exact integer,
+// identical to the scalar oracle ScalarSortedIdIntersectionSize by
+// construction (every (a_i, b_j) lane combination is compared exactly
+// once per block round, ids are unique, so each match contributes one
+// bit to the OR-reduced equality mask) — and tested as a property.
+//
+// Only reachable through dispatch (simd::UseAvx2()); the translation
+// unit alone is compiled with -mavx2, so calling this on a CPU without
+// AVX2 is undefined — call sites must check first.
+#ifndef ADRDEDUP_DISTANCE_SIMD_INTERSECT_AVX2_H_
+#define ADRDEDUP_DISTANCE_SIMD_INTERSECT_AVX2_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adrdedup::distance::simd {
+
+// |a ∩ b| for sorted unique id arrays.
+size_t Avx2SortedIntersectionSize(const uint32_t* a, size_t na,
+                                  const uint32_t* b, size_t nb);
+
+}  // namespace adrdedup::distance::simd
+
+#endif  // ADRDEDUP_DISTANCE_SIMD_INTERSECT_AVX2_H_

@@ -1,0 +1,68 @@
+#include "distance/simd/knn_block_avx2.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace adrdedup::distance::simd {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+void Avx2KnnFilterBlock(const double* qcoords, size_t nq, size_t dims,
+                        const double* coords, size_t stride, size_t base,
+                        size_t n, const double* bounds_sq, uint32_t* masks) {
+  // Broadcast every query component once per call; the chunk loop then
+  // reads broadcasts from this L1-resident table instead of re-shuffling
+  // per chunk.
+  __m256d qb[kKnnBatchMaxQueries * kKnnBatchMaxDims];
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t d = 0; d < dims; ++d) {
+      qb[q * dims + d] = _mm256_set1_pd(qcoords[q * dims + d]);
+    }
+  }
+  for (size_t q = 0; q < nq; ++q) masks[q] = 0;
+
+  size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    __m256d acc[kKnnBatchMaxQueries];
+    for (size_t q = 0; q < nq; ++q) acc[q] = _mm256_setzero_pd();
+    for (size_t d = 0; d < dims; ++d) {
+      // The one column load all nq queries share — the batching win.
+      const __m256d col = _mm256_loadu_pd(coords + d * stride + base + c);
+      for (size_t q = 0; q < nq; ++q) {
+        const __m256d diff = _mm256_sub_pd(qb[q * dims + d], col);
+        acc[q] = _mm256_fmadd_pd(diff, diff, acc[q]);
+      }
+    }
+    for (size_t q = 0; q < nq; ++q) {
+      // Ordered compare: sums are finite, bounds finite or +inf (which
+      // admits every point, covering the heap-not-yet-full phase).
+      const int lanes = _mm256_movemask_pd(
+          _mm256_cmp_pd(acc[q], _mm256_set1_pd(bounds_sq[q]), _CMP_LE_OQ));
+      masks[q] |= static_cast<uint32_t>(lanes) << c;
+    }
+  }
+  if (c < n) {
+    // Ragged tail: always candidates; the caller's exact path decides.
+    const uint32_t tail =
+        ((n - c) >= 32 ? ~uint32_t{0} : ((uint32_t{1} << (n - c)) - 1)) << c;
+    for (size_t q = 0; q < nq; ++q) masks[q] |= tail;
+  }
+}
+
+#else  // !(defined(__AVX2__) && defined(__FMA__))
+
+// Dispatch never selects this kernel without AVX2+FMA; keep a correct
+// (everything-is-a-candidate) definition so the symbol always links.
+void Avx2KnnFilterBlock(const double* /*qcoords*/, size_t nq, size_t /*dims*/,
+                        const double* /*coords*/, size_t /*stride*/,
+                        size_t /*base*/, size_t n, const double* /*bounds_sq*/,
+                        uint32_t* masks) {
+  const uint32_t all =
+      n >= 32 ? ~uint32_t{0} : ((uint32_t{1} << n) - 1);
+  for (size_t q = 0; q < nq; ++q) masks[q] = all;
+}
+
+#endif  // defined(__AVX2__) && defined(__FMA__)
+
+}  // namespace adrdedup::distance::simd

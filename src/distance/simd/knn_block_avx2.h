@@ -1,0 +1,51 @@
+// Batched multi-query squared-distance filter kernel (DESIGN.md §5g) —
+// the vector half of ml::SoaKnnSweepBatch. For one block of points from
+// a dimension-major (structure-of-arrays) coordinate matrix, it
+// accumulates the squared Euclidean distance of every (query, point)
+// combination with 4-wide FMA — each column load shared by all queries,
+// which is the reason to batch — and reports, per query, a bitmask of
+// the points whose FMA-accumulated sum is within that query's squared
+// bound.
+//
+// The kernel is a *prefilter*, not the final arithmetic: FMA contracts
+// the multiply-add, so its sums differ from the scalar mul-then-add
+// chain by a few ulps. Callers pass bounds inflated by
+// ml::kSoaBatchFilterMargin and re-verify every reported candidate with
+// the exact scalar arithmetic; a cleared mask bit is a *proof of
+// rejection* under that margin, which is what keeps the overall sweep
+// bit-identical to the scalar path (derivation at the margin constant).
+//
+// Layer note: this lives in distance/simd (not ml/) because it is pure
+// dense-vector arithmetic with no knowledge of neighbours, heaps, or
+// labels — ml::SoaKnnSweepBatch owns all tie-breaking and heap logic.
+#ifndef ADRDEDUP_DISTANCE_SIMD_KNN_BLOCK_AVX2_H_
+#define ADRDEDUP_DISTANCE_SIMD_KNN_BLOCK_AVX2_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adrdedup::distance::simd {
+
+// Upper bounds baked into the kernel's stack buffers.
+inline constexpr size_t kKnnBatchMaxQueries = 8;
+inline constexpr size_t kKnnBatchMaxDims = 8;
+// Points filtered per call: 32 mask bits per query, 8 chunks of 4
+// doubles per ymm column load.
+inline constexpr size_t kKnnFilterBlockPoints = 32;
+
+// Points [base, base + n) of the dimension-major block (component d of
+// point p at coords[d * stride + p]) are tested against `nq` queries.
+// qcoords is nq rows of `dims` doubles; bounds_sq[q] is query q's
+// squared admission bound (+inf admits everything). On return, bit
+// (p - base) of masks[q] is set iff point p is a candidate for query q
+// and must be re-verified exactly. Ragged tail points (n % 4) are always
+// marked candidates — the exact path decides for them.
+// Requires nq <= kKnnBatchMaxQueries, dims <= kKnnBatchMaxDims,
+// n <= kKnnFilterBlockPoints, and AVX2+FMA dispatch.
+void Avx2KnnFilterBlock(const double* qcoords, size_t nq, size_t dims,
+                        const double* coords, size_t stride, size_t base,
+                        size_t n, const double* bounds_sq, uint32_t* masks);
+
+}  // namespace adrdedup::distance::simd
+
+#endif  // ADRDEDUP_DISTANCE_SIMD_KNN_BLOCK_AVX2_H_

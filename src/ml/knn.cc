@@ -1,8 +1,12 @@
 #include "ml/knn.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
+#include "distance/simd/dispatch.h"
+#include "distance/simd/knn_block_avx2.h"
 #include "util/logging.h"
 
 namespace adrdedup::ml {
@@ -84,14 +88,107 @@ void SoaKnnSweep(const DistanceVector& query, const double* coords,
         // margin covers the two roundings involved (kth * kth and the
         // sqrt), so a point whose true distance ties or beats the k-th —
         // where the index tie-break could still admit it — always falls
-        // through to the exact push below.
+        // through to the exact push below. (Soundness derivation at the
+        // constant's definition in knn.h; fuzz-tested at the boundary.)
         const double kth = heap->front().distance;
-        if (sums[j] > kth * kth * (1.0 + 1e-14)) continue;
+        if (sums[j] > kth * kth * (1.0 + kSoaSkipMargin)) continue;
       }
       PushBoundedNeighbor(heap,
                           Neighbor{std::sqrt(sums[j]), labels[base + j],
                                    static_cast<uint32_t>(base + j)},
                           k);
+    }
+  }
+}
+
+namespace {
+
+// Exact squared distance of one point, accumulated in component order
+// d = 0..kDistanceDims-1 with the same mul-then-add chain as
+// SoaKnnSweep's blocked pass (per-point summation chains there are
+// independent, so the blocked loop performs exactly this sequence per
+// point). A prefilter survivor re-verified here therefore pushes exactly
+// the value the scalar sweep would have pushed. Compiled without
+// -mffast-math/-mfma, so the compiler cannot contract the chain.
+inline double ExactSquaredSum(const double* q, const double* coords,
+                              size_t stride, size_t point) {
+  double diff = q[0] - coords[point];
+  double sum = diff * diff;
+  for (size_t d = 1; d < distance::kDistanceDims; ++d) {
+    diff = q[d] - coords[d * stride + point];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+void SoaKnnSweepBatch(const DistanceVector* const* queries,
+                      size_t num_queries, const double* coords, size_t stride,
+                      size_t begin, size_t end, const int8_t* labels,
+                      size_t k, std::vector<Neighbor>* const* heaps) {
+  ADRDEDUP_CHECK_GE(k, 1u);
+  ADRDEDUP_CHECK_LE(num_queries, kSoaBatchMaxQueries);
+  if (num_queries == 0 || begin >= end) return;
+  namespace simd = distance::simd;
+  if (!simd::UseAvx2()) {
+    // Scalar dispatch: the batch is definitionally num_queries
+    // single-query sweeps — the oracle the AVX2 path below is tested
+    // against.
+    for (size_t q = 0; q < num_queries; ++q) {
+      SoaKnnSweep(*queries[q], coords, stride, begin, end, labels, k,
+                  heaps[q]);
+    }
+    return;
+  }
+
+  static_assert(distance::kDistanceDims <= simd::kKnnBatchMaxDims);
+  static_assert(kSoaBatchMaxQueries <= simd::kKnnBatchMaxQueries);
+  constexpr size_t kDims = distance::kDistanceDims;
+  const double inf = std::numeric_limits<double>::infinity();
+  double qbuf[kSoaBatchMaxQueries * kDims];
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (size_t d = 0; d < kDims; ++d) {
+      qbuf[q * kDims + d] = (*queries[q])[d];
+    }
+  }
+  double bounds[kSoaBatchMaxQueries];
+  uint32_t masks[kSoaBatchMaxQueries];
+  for (size_t base = begin; base < end; base += simd::kKnnFilterBlockPoints) {
+    const size_t n = std::min(simd::kKnnFilterBlockPoints, end - base);
+    for (size_t q = 0; q < num_queries; ++q) {
+      // Block-start bound. The true k-th distance only shrinks while the
+      // block is processed, so filtering against the block-start value
+      // admits a superset of what the exact per-point check admits —
+      // conservative, never lossy.
+      bounds[q] = heaps[q]->size() >= k
+                      ? heaps[q]->front().distance *
+                            heaps[q]->front().distance *
+                            (1.0 + kSoaBatchFilterMargin)
+                      : inf;
+    }
+    simd::Avx2KnnFilterBlock(qbuf, num_queries, kDims, coords, stride, base,
+                             n, bounds, masks);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qrow = qbuf + q * kDims;
+      std::vector<Neighbor>* heap = heaps[q];
+      uint32_t m = masks[q];
+      // Survivors in ascending point order (countr_zero walks the mask
+      // low bit first), so pushes happen in the same sequence as the
+      // scalar sweep's pass 2.
+      while (m != 0) {
+        const size_t point = base + static_cast<size_t>(std::countr_zero(m));
+        m &= m - 1;
+        const double sum = ExactSquaredSum(qrow, coords, stride, point);
+        if (heap->size() >= k) {
+          const double kth = heap->front().distance;
+          if (sum > kth * kth * (1.0 + kSoaSkipMargin)) continue;
+        }
+        PushBoundedNeighbor(heap,
+                            Neighbor{std::sqrt(sum), labels[point],
+                                     static_cast<uint32_t>(point)},
+                            k);
+      }
     }
   }
 }

@@ -37,6 +37,34 @@ std::vector<Neighbor> BruteForceKnn(
     const distance::DistanceVector& query,
     const std::vector<distance::LabeledPair>& train, size_t k);
 
+// Relative margin of the squared-space skip inside SoaKnnSweep: a point
+// is discarded without a sqrt only when its exact squared sum exceeds
+// kth * kth * (1 + kSoaSkipMargin). Soundness (why no admissible point —
+// including distance ties resolved by the index tie-break — is ever
+// skipped): a point can enter the heap only when fl(sqrt(s)) <= kth.
+// sqrt is correctly rounded, so that requires s < (kth + ulp(kth)/2)^2
+// <= kth^2 * (1 + 2^-51); and fl(kth * kth) >= kth^2 * (1 - 2^-53). The
+// margin therefore only needs to cover ~3 * 2^-52 ≈ 7e-16 of combined
+// rounding slack; 1e-14 covers it with ~14x headroom (fuzz-tested with
+// distances at the k-th boundary ± a few ulps).
+inline constexpr double kSoaSkipMargin = 1e-14;
+
+// Relative margin of the batched FMA prefilter in SoaKnnSweepBatch: the
+// AVX2 kernel rejects a point outright only when its FMA-accumulated sum
+// exceeds kth * kth * (1 + kSoaBatchFilterMargin). The FMA sum and the
+// exact mul-then-add sum each approximate the true squared distance
+// within (1 ± d * 2^-53) for d = 7 summands, so they differ from each
+// other by at most ~2e-15 relatively. Rejection here must imply the
+// exact-path skip above: s_fma > kth^2 (1 + 1e-12) forces
+// s_exact > kth^2 (1 + 1e-12)(1 - 2e-15) > kth^2 (1 + kSoaSkipMargin),
+// with ~500x headroom. Survivors of the prefilter are always re-verified
+// with the exact scalar arithmetic, which is what keeps batched results
+// bit-identical to SoaKnnSweep.
+inline constexpr double kSoaBatchFilterMargin = 1e-12;
+
+// Queries per batched sweep pass (one FMA accumulator register each).
+inline constexpr size_t kSoaBatchMaxQueries = 8;
+
 // Allocation-free brute-force sweep over a structure-of-arrays block of
 // points: component d of point i lives at coords[d * stride + i]. Points
 // [begin, end) are swept; the neighbour index recorded for point i is i
@@ -48,8 +76,34 @@ void SoaKnnSweep(const distance::DistanceVector& query, const double* coords,
                  size_t stride, size_t begin, size_t end,
                  const int8_t* labels, size_t k, std::vector<Neighbor>* heap);
 
+// Batched multi-query sweep over the same SoA block: bit-identical to
+// calling SoaKnnSweep once per query (in slot order), but all
+// num_queries queries (<= kSoaBatchMaxQueries) share each dimension
+// column load. Under AVX2/FMA dispatch the distances are accumulated
+// 4 points x 8 queries at a time with FMA and a shared squared-space
+// prefilter (distance/simd/knn_block_avx2.h); prefilter survivors are
+// re-verified with the exact scalar arithmetic, so heap contents —
+// distances, labels, indices, tie-breaks — match the scalar path bit
+// for bit (tested property). Under scalar dispatch it *is* the
+// per-query loop. heaps[q] accumulates query q's top k, same reuse
+// semantics as SoaKnnSweep.
+void SoaKnnSweepBatch(const distance::DistanceVector* const* queries,
+                      size_t num_queries, const double* coords, size_t stride,
+                      size_t begin, size_t end, const int8_t* labels,
+                      size_t k, std::vector<Neighbor>* const* heaps);
+
 // Merges two sorted neighbour lists, keeping the k nearest distinct
 // entries (entries are distinct by (distance, index)).
+//
+// Tie handling at the k-th boundary (audited against
+// PushBoundedNeighbor): NeighborLess is a *total* order — distance,
+// then index — both inputs are sorted under it, and std::merge emits a
+// fully sorted sequence under the same comparator, so truncating to k
+// keeps exactly the k smallest (distance, index) entries. That is the
+// same set PushBoundedNeighbor retains, whatever order candidates
+// arrive in: equal distances straddling the k-th slot resolve by the
+// index tie-break on both paths. Regression-tested with deliberately
+// tied distances split across partitions.
 std::vector<Neighbor> MergeNeighbors(const std::vector<Neighbor>& a,
                                      const std::vector<Neighbor>& b,
                                      size_t k);

@@ -333,6 +333,49 @@ TEST(SignatureTest, DisjointSetsWithSharedBitsStillExact) {
   EXPECT_EQ(SortedJaccardDistance(a, b), 1.0);
 }
 
+TEST(SignatureTest, AdversarialIdsClusteredMod64NeverFalselyDisjoint) {
+  // Adversarial layout for a naive `id & 63` signature bucketing: the
+  // dictionary holds more tokens than signature bits (192 > 64) and each
+  // probed pair of sets uses ids congruent mod 64, which a naive scheme
+  // would collapse onto a single bit. The prefilter may only ever claim
+  // *disjoint* sets disjoint: for every residue class, sets sharing a
+  // token must keep a non-zero signature overlap (the shared id sets the
+  // same bit on both sides) and the exact 1 - |I|/|U| result.
+  std::vector<std::string> vocabulary;
+  for (int i = 0; i < 192; ++i) {
+    std::string name = std::to_string(i);
+    name.insert(0, 3 - name.size(), '0');
+    vocabulary.push_back("t" + name);  // zero-padded: id == rank
+  }
+  ReportFeatures seed;
+  seed.description_tokens = vocabulary;
+  const TokenDictionary dict = TokenDictionary::Build({seed});
+  ASSERT_EQ(dict.size(), 192u);
+  ASSERT_EQ(dict.Find("t000"), std::optional<uint32_t>(0u));
+  ASSERT_EQ(dict.Find("t191"), std::optional<uint32_t>(191u));
+
+  for (uint32_t r = 0; r < 64; ++r) {
+    const std::vector<std::string> a = {vocabulary[r], vocabulary[r + 64]};
+    const std::vector<std::string> b = {vocabulary[r + 64],
+                                        vocabulary[r + 128]};
+    const InternedTokenSet ia = InternTokenSet(a, dict);
+    const InternedTokenSet ib = InternTokenSet(b, dict);
+    // Shared id r + 64 => shared signature bit => the prefilter cannot
+    // fire, no matter how the other ids alias.
+    ASSERT_NE(ia.signature & ib.signature, 0u) << "residue " << r;
+    const double expected = 1.0 - 1.0 / 3.0;
+    ASSERT_EQ(InternedJaccardDistance(ia, ib), expected) << "residue " << r;
+    ASSERT_EQ(SortedJaccardDistance(a, b), expected) << "residue " << r;
+
+    // Genuinely disjoint sets in the same residue class must still be
+    // exact (1.0) whether or not their signatures alias.
+    const InternedTokenSet lone = InternTokenSet({vocabulary[r]}, dict);
+    const InternedTokenSet rest =
+        InternTokenSet({vocabulary[r + 64], vocabulary[r + 128]}, dict);
+    ASSERT_EQ(InternedJaccardDistance(lone, rest), 1.0) << "residue " << r;
+  }
+}
+
 TEST(FeaturesFromTokensTest, InternedSetSignatureCoversAllIds) {
   TokenDictionary dict;
   const auto set =

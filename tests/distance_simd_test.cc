@@ -1,0 +1,285 @@
+// Scalar-vs-SIMD equivalence suite for the kernel layer (DESIGN.md §5g).
+// Every SIMD kernel must be a drop-in replacement for its always-compiled
+// scalar oracle — bit-identical counts, distances, indices, and
+// tie-breaks — on both dispatch levels, exercised in one process via
+// ScopedSimdOverride. Corpora are seeded and deliberately include the
+// shapes that break block kernels: empty and singleton sets, skew past
+// the galloping threshold, all-overlap, zero-overlap, duplicate points
+// forcing index tie-breaks, and pre-warmed heaps.
+#include "distance/simd/dispatch.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "distance/interned.h"
+#include "distance/pair_dataset.h"
+#include "distance/simd/intersect_avx2.h"
+#include "ml/knn.h"
+#include "util/random.h"
+
+namespace adrdedup::distance {
+namespace {
+
+using simd::Level;
+using simd::ScopedSimdOverride;
+
+// The AVX2 kernels are compiled with -mavx2/-mfma, so they may only
+// execute on a CPU that reports both features; tests that enter vector
+// code skip elsewhere.
+bool Avx2Available() { return simd::CpuHasAvx2Fma(); }
+
+std::vector<uint32_t> RandomSortedIds(util::Rng* rng, size_t size,
+                                      uint32_t universe) {
+  std::vector<uint32_t> ids;
+  ids.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng->Uniform(universe)));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+InternedTokenSet MakeSet(std::vector<uint32_t> ids) {
+  InternedTokenSet set;
+  set.ids = std::move(ids);
+  for (const uint32_t id : set.ids) set.signature |= TokenSignatureBit(id);
+  return set;
+}
+
+TEST(SimdDispatchTest, OverridePinsAndRestores) {
+  const Level ambient = simd::ActiveLevel();
+  {
+    ScopedSimdOverride scalar(Level::kScalar);
+    EXPECT_EQ(simd::ActiveLevel(), Level::kScalar);
+    EXPECT_FALSE(simd::UseAvx2());
+  }
+  EXPECT_EQ(simd::ActiveLevel(), ambient);
+  if (Avx2Available()) {
+    ScopedSimdOverride vec(Level::kAvx2Fma);
+    EXPECT_EQ(simd::ActiveLevel(), Level::kAvx2Fma);
+    EXPECT_TRUE(simd::UseAvx2());
+  }
+  EXPECT_EQ(simd::ActiveLevel(), ambient);
+}
+
+TEST(SimdDispatchTest, DisableSimdForcesScalar) {
+  // Runs in its own ctest process (gtest_discover_tests), so the
+  // permanent override cannot leak into other tests.
+  simd::DisableSimd();
+  EXPECT_EQ(simd::ActiveLevel(), Level::kScalar);
+  EXPECT_FALSE(simd::UseAvx2());
+}
+
+TEST(SimdDispatchTest, LevelNamesAreStable) {
+  EXPECT_STREQ(simd::LevelName(Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::LevelName(Level::kAvx2Fma), "avx2+fma");
+}
+
+TEST(Avx2IntersectTest, RandomizedMatchesScalarOracle) {
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 400; ++trial) {
+    // Sizes sweep across the 8-id block boundary and well past it;
+    // a small universe forces heavy overlap, a large one sparse overlap.
+    const uint32_t universe = trial % 2 == 0 ? 64 : 4096;
+    const auto a = RandomSortedIds(&rng, rng.Uniform(200), universe);
+    const auto b = RandomSortedIds(&rng, rng.Uniform(200), universe);
+    const size_t expected =
+        ScalarSortedIdIntersectionSize(a.data(), a.size(), b.data(), b.size());
+    EXPECT_EQ(simd::Avx2SortedIntersectionSize(a.data(), a.size(), b.data(),
+                                               b.size()),
+              expected)
+        << "trial=" << trial << " |a|=" << a.size() << " |b|=" << b.size();
+  }
+}
+
+TEST(Avx2IntersectTest, EdgeCases) {
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  const auto count = [](const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+    const size_t vec = simd::Avx2SortedIntersectionSize(a.data(), a.size(),
+                                                        b.data(), b.size());
+    const size_t scalar =
+        ScalarSortedIdIntersectionSize(a.data(), a.size(), b.data(), b.size());
+    EXPECT_EQ(vec, scalar);
+    return vec;
+  };
+  EXPECT_EQ(count({}, {}), 0u);
+  EXPECT_EQ(count({}, {1, 2, 3}), 0u);
+  EXPECT_EQ(count({7}, {7}), 1u);
+  EXPECT_EQ(count({7}, {8}), 0u);
+  // All-overlap at sizes straddling every block/tail split.
+  for (size_t n : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 64u, 70u}) {
+    std::vector<uint32_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(3 * i);
+    EXPECT_EQ(count(ids, ids), n) << "n=" << n;
+  }
+  // Zero overlap with fully interleaved values (evens vs odds) — the
+  // worst case for the block-advance heuristic.
+  std::vector<uint32_t> evens, odds;
+  for (uint32_t i = 0; i < 50; ++i) {
+    evens.push_back(2 * i);
+    odds.push_back(2 * i + 1);
+  }
+  EXPECT_EQ(count(evens, odds), 0u);
+  // Disjoint ranges: one side entirely below the other.
+  std::vector<uint32_t> low(20), high(20);
+  for (uint32_t i = 0; i < 20; ++i) {
+    low[i] = i;
+    high[i] = 1000 + i;
+  }
+  EXPECT_EQ(count(low, high), 0u);
+  EXPECT_EQ(count(high, low), 0u);
+}
+
+TEST(Avx2IntersectTest, SkewCrossingGallopThreshold) {
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  // 16x+ size skew: full-dispatch SortedIdIntersectionSize routes these
+  // to the galloping merge, while the direct kernel call still runs the
+  // block code — all three must agree, on both dispatch levels.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto small = RandomSortedIds(&rng, 4 + rng.Uniform(8), 1 << 16);
+    auto large = RandomSortedIds(&rng, small.size() * 20 + 64, 1 << 16);
+    // Guarantee some hits despite the sparse universe.
+    large.insert(large.end(), small.begin(), small.end());
+    std::sort(large.begin(), large.end());
+    large.erase(std::unique(large.begin(), large.end()), large.end());
+    ASSERT_GE(large.size(), small.size() * 16);
+
+    const size_t oracle = ScalarSortedIdIntersectionSize(
+        small.data(), small.size(), large.data(), large.size());
+    EXPECT_EQ(simd::Avx2SortedIntersectionSize(small.data(), small.size(),
+                                               large.data(), large.size()),
+              oracle);
+    size_t scalar_dispatch = 0;
+    size_t vector_dispatch = 0;
+    {
+      ScopedSimdOverride o(Level::kScalar);
+      scalar_dispatch = SortedIdIntersectionSize(small, large);
+    }
+    {
+      ScopedSimdOverride o(Level::kAvx2Fma);
+      vector_dispatch = SortedIdIntersectionSize(small, large);
+    }
+    EXPECT_EQ(scalar_dispatch, oracle);
+    EXPECT_EQ(vector_dispatch, oracle);
+  }
+}
+
+TEST(InternedJaccardDispatchTest, BothLevelsBitIdentical) {
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  util::Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto ia = MakeSet(RandomSortedIds(&rng, rng.Uniform(64), 256));
+    const auto ib = MakeSet(RandomSortedIds(&rng, rng.Uniform(64), 256));
+    double scalar = 0.0;
+    double vec = 0.0;
+    {
+      ScopedSimdOverride o(Level::kScalar);
+      scalar = InternedJaccardDistance(ia, ib);
+    }
+    {
+      ScopedSimdOverride o(Level::kAvx2Fma);
+      vec = InternedJaccardDistance(ia, ib);
+    }
+    EXPECT_EQ(scalar, vec) << "trial=" << trial;
+  }
+}
+
+TEST(SoaKnnSweepBatchTest, DispatchEquivalenceWithPrewarmedHeaps) {
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2/FMA";
+  util::Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 64 + rng.Uniform(400);
+    const size_t nq = 1 + rng.Uniform(ml::kSoaBatchMaxQueries);
+    const size_t k = 1 + rng.Uniform(12);
+    std::vector<double> coords(distance::kDistanceDims * n);
+    std::vector<int8_t> labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = rng.Bernoulli(0.3) ? +1 : -1;
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        coords[d * n + i] = rng.UniformDouble();
+      }
+    }
+    // Duplicate a handful of points so equal distances force the index
+    // tie-break through both kernels.
+    for (size_t i = 8; i < std::min<size_t>(n, 24); i += 4) {
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        coords[d * n + i] = coords[d * n + i - 1];
+      }
+    }
+    std::vector<DistanceVector> queries(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      for (size_t d = 0; d < kDistanceDims; ++d) {
+        queries[q][d] = rng.UniformDouble();
+      }
+    }
+
+    // Pre-warm each heap over the first third with the plain scalar
+    // sweep (dispatch-free, identical in both runs), then continue with
+    // the batched sweep over the remainder — the heap-reuse contract.
+    const size_t warm = n / 3;
+    const auto run = [&](Level level) {
+      ScopedSimdOverride override_level(level);
+      std::vector<std::vector<ml::Neighbor>> heaps(nq);
+      const DistanceVector* query_ptrs[ml::kSoaBatchMaxQueries];
+      std::vector<ml::Neighbor>* heap_ptrs[ml::kSoaBatchMaxQueries];
+      for (size_t q = 0; q < nq; ++q) {
+        ml::SoaKnnSweep(queries[q], coords.data(), n, 0, warm, labels.data(),
+                        k, &heaps[q]);
+        query_ptrs[q] = &queries[q];
+        heap_ptrs[q] = &heaps[q];
+      }
+      ml::SoaKnnSweepBatch(query_ptrs, nq, coords.data(), n, warm, n,
+                           labels.data(), k, heap_ptrs);
+      for (auto& heap : heaps) {
+        std::sort(heap.begin(), heap.end(), ml::NeighborLess);
+      }
+      return heaps;
+    };
+    const auto scalar = run(Level::kScalar);
+    const auto vec = run(Level::kAvx2Fma);
+
+    // Per-query oracle: the plain scalar sweep over the full range.
+    for (size_t q = 0; q < nq; ++q) {
+      std::vector<ml::Neighbor> oracle;
+      ml::SoaKnnSweep(queries[q], coords.data(), n, 0, n, labels.data(), k,
+                      &oracle);
+      std::sort(oracle.begin(), oracle.end(), ml::NeighborLess);
+      ASSERT_EQ(scalar[q].size(), oracle.size());
+      ASSERT_EQ(vec[q].size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        // Bit-identical across all three: distance, label, index.
+        ASSERT_EQ(scalar[q][i].distance, oracle[i].distance)
+            << "trial=" << trial << " q=" << q << " i=" << i;
+        ASSERT_EQ(vec[q][i].distance, oracle[i].distance)
+            << "trial=" << trial << " q=" << q << " i=" << i;
+        ASSERT_EQ(scalar[q][i].index, oracle[i].index);
+        ASSERT_EQ(vec[q][i].index, oracle[i].index);
+        ASSERT_EQ(scalar[q][i].label, oracle[i].label);
+        ASSERT_EQ(vec[q][i].label, oracle[i].label);
+      }
+    }
+  }
+}
+
+TEST(SoaKnnSweepBatchTest, EmptyRangeAndEmptyBatchAreNoOps) {
+  std::vector<double> coords(kDistanceDims * 4, 0.5);
+  std::vector<int8_t> labels(4, -1);
+  DistanceVector query;
+  const DistanceVector* qp = &query;
+  std::vector<ml::Neighbor> heap;
+  std::vector<ml::Neighbor>* hp = &heap;
+  ml::SoaKnnSweepBatch(&qp, 1, coords.data(), 4, 2, 2, labels.data(), 3, &hp);
+  EXPECT_TRUE(heap.empty());
+  ml::SoaKnnSweepBatch(&qp, 0, coords.data(), 4, 0, 4, labels.data(), 3, &hp);
+  EXPECT_TRUE(heap.empty());
+}
+
+}  // namespace
+}  // namespace adrdedup::distance

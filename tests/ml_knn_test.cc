@@ -1,6 +1,7 @@
 #include "ml/knn.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -112,6 +113,129 @@ TEST(MergeNeighborsTest, KeepsGlobalTopK) {
   const auto merged = MergeNeighbors(a, b, 9);
   const auto reference = NaiveKnn(query, train, 9);
   EXPECT_TRUE(SameNeighbors(merged, reference));
+}
+
+TEST(MergeNeighborsTest, TiedDistancesAtKthBoundaryAcrossPartitions) {
+  // Regression for the k-th boundary tie-break audit: six candidates
+  // share one exactly-representable distance, k = 4 cuts through the tie
+  // group, and the ties are split across the two partitions being
+  // merged. The (distance, index) total order must keep the lowest
+  // indices — the same set PushBoundedNeighbor keeps under *every*
+  // arrival order, checked exhaustively below.
+  const double d = 0.125;
+  const std::vector<Neighbor> a = {
+      {0.1, -1, 2}, {d, +1, 11}, {d, -1, 12}, {d, +1, 15}};
+  const std::vector<Neighbor> b = {{d, -1, 10}, {d, +1, 13}, {d, -1, 14}};
+  const size_t k = 4;
+
+  const auto merged = MergeNeighbors(a, b, k);
+  ASSERT_EQ(merged.size(), k);
+  EXPECT_EQ(merged[0].index, 2u);
+  EXPECT_EQ(merged[1].index, 10u);
+  EXPECT_EQ(merged[2].index, 11u);
+  EXPECT_EQ(merged[3].index, 12u);
+
+  // Oracle: push all seven candidates through PushBoundedNeighbor in
+  // every one of the 7! arrival orders; each must retain exactly the
+  // merged set.
+  std::vector<size_t> perm = {0, 1, 2, 3, 4, 5, 6};
+  std::vector<Neighbor> all(a);
+  all.insert(all.end(), b.begin(), b.end());
+  do {
+    std::vector<Neighbor> heap;
+    for (const size_t i : perm) PushBoundedNeighbor(&heap, all[i], k);
+    std::sort(heap.begin(), heap.end(), NeighborLess);
+    ASSERT_TRUE(SameNeighbors(heap, merged));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+// Reference sweep with NO squared-space prefilter: every point's exact
+// component-order sum is sqrted and pushed. Any point SoaKnnSweep's
+// prefilter wrongly skips shows up as a heap mismatch against this.
+std::vector<Neighbor> NoPrefilterSweep(const DistanceVector& query,
+                                       const double* coords, size_t stride,
+                                       size_t n, const int8_t* labels,
+                                       size_t k) {
+  std::vector<Neighbor> heap;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = query[0] - coords[i];
+    double sum = diff * diff;
+    for (size_t d = 1; d < kDistanceDims; ++d) {
+      diff = query[d] - coords[d * stride + i];
+      sum += diff * diff;
+    }
+    PushBoundedNeighbor(
+        &heap, Neighbor{std::sqrt(sum), labels[i], static_cast<uint32_t>(i)},
+        k);
+  }
+  std::sort(heap.begin(), heap.end(), NeighborLess);
+  return heap;
+}
+
+TEST(SoaKnnSweepTest, PrefilterBoundaryFuzz) {
+  // Hammer the kSoaSkipMargin prefilter exactly where it could go wrong:
+  // nearly every point sits within a few ulps of the k-th distance, so
+  // admission/rejection is decided entirely inside the margin's rounding
+  // slack, and equal distances force the index tie-break through the
+  // skip check. A single wrongly-skipped point breaks SameNeighbors.
+  util::Rng rng(99);
+  constexpr size_t n = 64;
+  constexpr size_t k = 5;
+  for (int trial = 0; trial < 200; ++trial) {
+    DistanceVector query;
+    for (size_t d = 0; d < kDistanceDims; ++d) {
+      query[d] = rng.UniformDouble();
+    }
+    const double r = 0.25 + 0.5 * rng.UniformDouble();
+    std::vector<double> coords(kDistanceDims * n, 0.0);
+    std::vector<int8_t> labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = rng.Bernoulli(0.5) ? +1 : -1;
+      // Distance r nudged by -4..+4 ulps, realized along dimension 0
+      // only so the true distance is exactly the nudged value's |.|
+      // modulo one subtraction rounding — dense ties at the boundary.
+      double dist = r;
+      const int nudge =
+          static_cast<int>(rng.UniformDouble() * 9.0) - 4;  // -4..4
+      const double toward = nudge < 0 ? 0.0 : 2.0;
+      for (int u = 0; u < std::abs(nudge); ++u) {
+        dist = std::nextafter(dist, toward);
+      }
+      coords[i] = query[0] + dist;
+      for (size_t d = 1; d < kDistanceDims; ++d) {
+        coords[d * n + i] = query[d];
+      }
+    }
+    // A few clearly-closer points so the heap warms up and the prefilter
+    // actually rejects (otherwise every point survives trivially).
+    for (size_t i = 0; i < 3; ++i) {
+      coords[i] = query[0] + r * 0.5;
+    }
+
+    std::vector<Neighbor> swept;
+    SoaKnnSweep(query, coords.data(), n, 0, n, labels.data(), k, &swept);
+    std::sort(swept.begin(), swept.end(), NeighborLess);
+    const auto reference =
+        NoPrefilterSweep(query, coords.data(), n, n, labels.data(), k);
+    ASSERT_TRUE(SameNeighbors(swept, reference)) << "trial=" << trial;
+
+    // The batched sweep must land on the identical heap for every slot
+    // when all slots carry this query (whatever kernel is dispatched).
+    const DistanceVector* queries[kSoaBatchMaxQueries];
+    std::vector<Neighbor> batch_heaps[kSoaBatchMaxQueries];
+    std::vector<Neighbor>* heap_ptrs[kSoaBatchMaxQueries];
+    for (size_t q = 0; q < kSoaBatchMaxQueries; ++q) {
+      queries[q] = &query;
+      heap_ptrs[q] = &batch_heaps[q];
+    }
+    SoaKnnSweepBatch(queries, kSoaBatchMaxQueries, coords.data(), n, 0, n,
+                     labels.data(), k, heap_ptrs);
+    for (size_t q = 0; q < kSoaBatchMaxQueries; ++q) {
+      std::sort(batch_heaps[q].begin(), batch_heaps[q].end(), NeighborLess);
+      ASSERT_TRUE(SameNeighbors(batch_heaps[q], reference))
+          << "trial=" << trial << " slot=" << q;
+    }
+  }
 }
 
 TEST(MergeNeighborsTest, EmptySides) {

@@ -34,6 +34,7 @@
 #include "distance/pairwise.h"
 #include "minispark/storage/block_manager.h"
 #include "minispark/storage/storage_level.h"
+#include "distance/simd/dispatch.h"
 #include "eval/metrics.h"
 #include "report/report_io.h"
 #include "util/csv.h"
@@ -59,7 +60,7 @@ int Main(int argc, char** argv) {
            "negatives", "executors", "out", "save-model", "load-model",
            "use-blocking", "seed", "metrics-out", "max-task-failures",
            "chaos-rate", "chaos-seed", "memory-budget-mb", "spill-dir",
-           "checkpoint-dir", "help"});
+           "checkpoint-dir", "no-simd", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -71,8 +72,13 @@ int Main(int argc, char** argv) {
                  "[--use-blocking] [--seed=N] [--metrics-out=F] "
                  "[--max-task-failures=N] [--chaos-rate=P] "
                  "[--chaos-seed=N] [--memory-budget-mb=N] [--spill-dir=D] "
-                 "[--checkpoint-dir=D]\n";
+                 "[--checkpoint-dir=D] [--no-simd]\n";
     return flags.GetBool("help", false) ? 0 : 1;
+  }
+  if (flags.GetBool("no-simd", false)) {
+    // Force the scalar kernel dispatch (DESIGN.md §5g) before any work
+    // is submitted; equivalent to ADRDEDUP_NO_SIMD=1 in the environment.
+    distance::simd::DisableSimd();
   }
   if (flags.Has("save-model") && flags.Has("load-model")) {
     return Fail(util::Status::InvalidArgument(

@@ -42,6 +42,7 @@
 #include "distance/pair_dataset.h"
 #include "minispark/storage/block_manager.h"
 #include "minispark/storage/storage_level.h"
+#include "distance/simd/dispatch.h"
 #include "report/report_io.h"
 #include "serve/net/server.h"
 #include "serve/request_codec.h"
@@ -287,7 +288,7 @@ int Main(int argc, char** argv) {
            "max-batch", "linger-ms", "queue-capacity", "refresh-every",
            "submit-deadline-ms", "request-deadline-ms",
            "load-model", "out", "metrics-out", "memory-budget-mb",
-           "spill-dir", "checkpoint-dir", "help"});
+           "spill-dir", "checkpoint-dir", "no-simd", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -304,8 +305,13 @@ int Main(int argc, char** argv) {
                  "[--submit-deadline-ms=X] [--request-deadline-ms=X] "
                  "[--load-model=F] [--out=F] [--metrics-out=F] "
                  "[--memory-budget-mb=N] [--spill-dir=D] "
-                 "[--checkpoint-dir=D]\n";
+                 "[--checkpoint-dir=D] [--no-simd]\n";
     return flags.GetBool("help", false) ? 0 : 1;
+  }
+  if (flags.GetBool("no-simd", false)) {
+    // Force the scalar kernel dispatch (DESIGN.md §5g) before any work
+    // is submitted; equivalent to ADRDEDUP_NO_SIMD=1 in the environment.
+    distance::simd::DisableSimd();
   }
   // Storage flags fail fast, before the report CSV is even opened.
   auto memory_budget_mb = flags.GetInt("memory-budget-mb", 0);
