@@ -1,0 +1,417 @@
+// Crash recovery — the durability acceptance gate (DESIGN.md §5h):
+//
+//   * kill-and-restart matrix (hard fail): a forked screening service is
+//     killed by the FaultFs crash script at >= 10 distinct seeded points
+//     mid-journal-append (an effective SIGKILL — the process _exit()s
+//     inside write(2) with a torn record on disk). Each restart must
+//     replay the journal prefix and screen the remaining stream
+//     bit-identically to an uninterrupted control run, ending with an
+//     identical serving-state fingerprint.
+//   * faulted-pipeline parity (hard fail): the batch detection pipeline
+//     runs its persisted stages through spill + checkpoint files while a
+//     fault script injects short writes, ENOSPC, EIO and read bit-flips
+//     at up to a 10% op rate on those classes. CRC framing turns every
+//     flip into a detected error, lineage / task retries recompute, and
+//     the detections must match the fault-free run bit-exactly.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dedup_pipeline.h"
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "minispark/context.h"
+#include "serve/journal.h"
+#include "serve/screening_service.h"
+#include "util/fault_fs.h"
+#include "util/random.h"
+
+namespace adrdedup::bench {
+namespace {
+
+namespace fs = std::filesystem;
+using distance::LabeledPair;
+using distance::PairKey;
+
+constexpr size_t kCrashPoints = 10;
+constexpr double kFaultRates[] = {0.02, 0.05, 0.10};
+
+struct Corpus {
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+  size_t boot = 0;
+};
+
+Corpus MakeCorpus() {
+  Corpus out;
+  datagen::GeneratorConfig config;
+  const size_t reports = Scaled(3000, 400);
+  config.num_reports = reports;
+  // The generator appends every duplicate copy after all originals, so
+  // the copy region must extend well below the bootstrap/stream split:
+  // copies inside the bootstrap become positive training pairs, and
+  // every streamed copy has its partner bootstrapped (detectable).
+  config.num_duplicate_pairs = reports / 5;
+  config.num_drugs = 120;
+  config.num_adrs = 200;
+  out.corpus = datagen::GenerateCorpus(config);
+  out.features = distance::ExtractAllFeatures(out.corpus.db);
+  out.boot = reports - Scaled(300, 60);  // the rest arrives as a stream
+  return out;
+}
+
+std::vector<LabeledPair> SeedFromTruth(const Corpus& data, size_t total) {
+  std::vector<LabeledPair> seed;
+  std::set<uint64_t> dups;
+  for (auto [a, b] : data.corpus.duplicate_pairs) {
+    dups.insert(PairKey({std::min(a, b), std::max(a, b)}));
+    if (a >= data.boot || b >= data.boot) continue;
+    LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    pair.label = +1;
+    pair.vector =
+        ComputeDistanceVector(data.features[a], data.features[b]);
+    seed.push_back(pair);
+  }
+  util::Rng rng(29);
+  while (seed.size() < total) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(data.boot));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(data.boot));
+    if (a == b) continue;
+    distance::ReportPair pair{std::min(a, b), std::max(a, b)};
+    if (dups.contains(PairKey(pair))) continue;
+    LabeledPair labeled;
+    labeled.pair = pair;
+    labeled.label = -1;
+    labeled.vector =
+        ComputeDistanceVector(data.features[pair.a], data.features[pair.b]);
+    seed.push_back(labeled);
+  }
+  return seed;
+}
+
+std::vector<report::AdrReport> Slice(const Corpus& data, size_t begin,
+                                     size_t end) {
+  std::vector<report::AdrReport> out;
+  for (size_t i = begin; i < end; ++i) {
+    out.push_back(data.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  return out;
+}
+
+core::DedupPipelineOptions PipelineOptions() {
+  core::DedupPipelineOptions options;
+  options.knn.k = 7;
+  options.knn.num_clusters = 10;
+  options.theta = 0.0;
+  options.f_theta = 0.9;
+  options.use_blocking = true;
+  options.blocking.keys = {blocking::BlockingKey::kDrugToken,
+                           blocking::BlockingKey::kAdrToken};
+  return options;
+}
+
+// One request per micro-batch, fsync on every append, no background
+// refreshes: the child's journal prefix defines exactly which screened
+// reports were durable when the crash script killed it.
+serve::ScreeningServiceOptions DurableOptions(const std::string& dir) {
+  serve::ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.max_batch = 1;
+  options.max_linger_ms = 0.0;
+  options.refresh_every = 0;
+  options.journal_dir = dir;
+  options.fsync_policy = serve::FsyncPolicy::kAlways;
+  return options;
+}
+
+struct Decision {
+  report::ReportId assigned_id = 0;
+  std::vector<serve::ScreenMatch> matches;
+};
+
+bool SameDecision(const Decision& a, const Decision& b) {
+  if (a.assigned_id != b.assigned_id) return false;
+  if (a.matches.size() != b.matches.size()) return false;
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    if (a.matches[i].other != b.matches[i].other) return false;
+    if (a.matches[i].other_case_number != b.matches[i].other_case_number) {
+      return false;
+    }
+    if (a.matches[i].score != b.matches[i].score) return false;
+  }
+  return true;
+}
+
+Decision ScreenOne(serve::ScreeningService& service,
+                   const report::AdrReport& report) {
+  auto response = service.Screen(report);
+  Decision decision;
+  if (!response.ok()) {
+    std::cerr << "screen failed: " << response.status().ToString() << "\n";
+    return decision;
+  }
+  decision.assigned_id = response.value().assigned_id;
+  decision.matches = response.value().matches;
+  return decision;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: kill-and-restart matrix over the screening service.
+
+bool RunCrashMatrix(const Corpus& data, const fs::path& root) {
+  const auto bootstrap = Slice(data, 0, data.boot);
+  const auto stream = Slice(data, data.boot, data.corpus.db.size());
+  const auto seed = SeedFromTruth(data, Scaled(4000, 1500));
+
+  std::cout << "\nphase 1: kill-and-restart matrix (" << bootstrap.size()
+            << " bootstrapped, " << stream.size() << " streamed, "
+            << kCrashPoints << " seeded crash points)\n\n";
+
+  // Uninterrupted control: the decisions every recovery must reproduce.
+  std::vector<Decision> control;
+  uint64_t control_fingerprint = 0;
+  {
+    fs::create_directories(root / "control");
+    minispark::SparkContext ctx({.num_executors = 2});
+    serve::ScreeningService service(&ctx,
+                                    DurableOptions((root / "control").string()));
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    auto started = service.Start();
+    if (!started.ok()) {
+      std::cerr << "FAIL: control run did not start: " << started.ToString()
+                << "\n";
+      return false;
+    }
+    for (const auto& report : stream) {
+      control.push_back(ScreenOne(service, report));
+    }
+    service.Stop();
+    control_fingerprint = service.metrics().state_fingerprint();
+  }
+
+  // Journal ops under fsync=always: Create costs 2 (header + fsync) and
+  // each append 2 more, so crash points in (2, 2 + 2*|stream|) land
+  // mid-stream. Spread kCrashPoints of them across that window.
+  const uint64_t first_op = 3;
+  const uint64_t last_op = 2 + 2 * (stream.size() - 1);
+  eval::TablePrinter table(&std::cout,
+                           {"crash op", "exit", "survived", "replayed",
+                            "decisions", "fingerprint"});
+  bool all_ok = true;
+  for (size_t point = 0; point < kCrashPoints; ++point) {
+    const uint64_t crash_op =
+        first_op + point * (last_op - first_op) / (kCrashPoints - 1);
+    const fs::path dir = root / ("crash-" + std::to_string(point));
+    fs::create_directories(dir);
+
+    // Flush before forking: with stdout on a pipe the child would
+    // inherit (and eventually re-emit) the parent's buffered output.
+    std::cout.flush();
+    ::fflush(nullptr);
+    const pid_t child = fork();
+    if (child < 0) {
+      std::cerr << "FAIL: fork: " << std::strerror(errno) << "\n";
+      return false;
+    }
+    if (child == 0) {
+      util::FaultScript script;
+      script.seed = 40 + point;
+      script.crash_after_ops = crash_op;
+      script.class_mask = util::FileClassBit(util::FileClass::kJournal);
+      util::FaultFs::Instance().SetScript(script);
+      minispark::SparkContext ctx({.num_executors = 2});
+      serve::ScreeningService service(&ctx, DurableOptions(dir.string()));
+      service.Bootstrap(bootstrap);
+      service.SeedLabels(seed);
+      if (!service.Start().ok()) _exit(42);
+      for (const auto& report : stream) {
+        if (!service.Screen(report).ok()) _exit(43);
+      }
+      _exit(44);  // the crash script should have killed us mid-stream
+    }
+    int wait_status = 0;
+    waitpid(child, &wait_status, 0);
+    const bool killed =
+        WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 137;
+
+    // Restart over the crash dir and resume from where the journal ends.
+    size_t survived = 0;
+    uint64_t replayed = 0;
+    bool decisions_ok = killed;
+    bool fingerprint_ok = killed;
+    if (killed) {
+      minispark::SparkContext ctx({.num_executors = 2});
+      serve::ScreeningService service(&ctx, DurableOptions(dir.string()));
+      service.Bootstrap(bootstrap);
+      service.SeedLabels(seed);
+      auto started = service.Start();
+      if (!started.ok()) {
+        std::cerr << "FAIL: restart after crash op " << crash_op << ": "
+                  << started.ToString() << "\n";
+        decisions_ok = fingerprint_ok = false;
+      } else {
+        survived = service.db_size() - bootstrap.size();
+        replayed = service.metrics().recovery_replayed_records();
+        if (survived >= stream.size()) decisions_ok = false;
+        for (size_t i = survived; i < stream.size(); ++i) {
+          if (!SameDecision(ScreenOne(service, stream[i]), control[i])) {
+            decisions_ok = false;
+          }
+        }
+        service.Stop();
+        fingerprint_ok =
+            service.metrics().state_fingerprint() == control_fingerprint;
+      }
+    }
+    table.AddRow({std::to_string(crash_op), killed ? "137" : "BAD",
+                  std::to_string(survived), std::to_string(replayed),
+                  decisions_ok ? "exact" : "DIVERGED",
+                  fingerprint_ok ? "equal" : "DIFFERS"});
+    all_ok = all_ok && killed && decisions_ok && fingerprint_ok;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+  table.Print();
+  std::cout << "(every restart must resume the control run's decision "
+               "stream byte-for-byte)\n";
+  return all_ok;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: batch detections under spill/checkpoint I/O faults.
+
+struct DetectionTrace {
+  std::vector<uint64_t> keys;
+  std::vector<double> scores;
+  std::vector<double> checkpoint_echo;
+  size_t pairs_considered = 0;
+  minispark::MetricsSnapshot metrics;
+};
+
+DetectionTrace RunPipeline(const Corpus& data, const fs::path& io_dir,
+                           size_t batch) {
+  minispark::SparkContext ctx({.num_executors = 4,
+                               .max_task_failures = 8,
+                               .memory_budget_bytes = 1 << 18,
+                               .spill_dir = (io_dir / "spill").string(),
+                               .checkpoint_dir =
+                                   (io_dir / "checkpoint").string()});
+  core::DedupPipelineOptions options = PipelineOptions();
+  options.persist_level = minispark::storage::StorageLevel::kDiskOnly;
+  core::DedupPipeline pipeline(&ctx, options);
+  pipeline.BootstrapDatabase(Slice(data, 0, data.boot));
+  pipeline.SeedLabels(SeedFromTruth(data, Scaled(4000, 1500)));
+
+  DetectionTrace trace;
+  for (size_t from = data.boot; from < data.corpus.db.size(); from += batch) {
+    const size_t to = std::min(from + batch, data.corpus.db.size());
+    const auto result = pipeline.ProcessNewReports(Slice(data, from, to));
+    trace.pairs_considered += result.pairs_considered;
+    for (size_t i = 0; i < result.duplicates.size(); ++i) {
+      trace.keys.push_back(PairKey(result.duplicates[i]));
+      trace.scores.push_back(result.scores[i]);
+    }
+  }
+  // A checkpointed RDD round-trip so the kCheckpoint class sees real
+  // write AND read-back traffic under the fault script (the pipeline's
+  // persisted stages only exercise the spill class).
+  trace.checkpoint_echo = ctx.Parallelize(trace.scores, 4)
+                              .Checkpoint()
+                              .Map<double>([](const double& s) { return s; })
+                              .Collect();
+  trace.metrics = ctx.metrics().Snapshot();
+  return trace;
+}
+
+bool RunFaultedPipelineParity(const Corpus& data, const fs::path& root) {
+  const size_t batch = std::max<size_t>(Scaled(100, 20), 1);
+  std::cout << "\nphase 2: detection parity under spill/checkpoint faults\n\n";
+
+  const DetectionTrace baseline = RunPipeline(data, root / "io-clean", batch);
+  std::cout << baseline.pairs_considered << " candidate pairs, "
+            << baseline.keys.size()
+            << " fault-free detections; fault classes: spill+checkpoint\n\n";
+
+  eval::TablePrinter table(&std::cout,
+                           {"op rate", "faulted ops", "degraded spills",
+                            "retried", "recomputed", "parity"});
+  bool all_ok = true;
+  for (size_t i = 0; i < std::size(kFaultRates); ++i) {
+    const double rate = kFaultRates[i];
+    util::FaultScript script;
+    script.seed = 60 + i;
+    // Split the op rate across the four fault kinds so the *total*
+    // chance an op misbehaves is `rate`.
+    script.short_write_rate = rate / 4;
+    script.enospc_rate = rate / 4;
+    script.eio_rate = rate / 4;
+    script.read_flip_rate = rate / 4;
+    script.class_mask = util::FileClassBit(util::FileClass::kSpill) |
+                        util::FileClassBit(util::FileClass::kCheckpoint);
+    util::FaultFs::Instance().SetScript(script);
+
+    const DetectionTrace faulted =
+        RunPipeline(data, root / ("io-fault-" + std::to_string(i)), batch);
+    const uint64_t injected = util::FaultFs::Instance().faults_injected();
+    util::FaultFs::Instance().ClearScript();
+
+    const bool exact = faulted.keys == baseline.keys &&
+                       faulted.scores == baseline.scores &&
+                       faulted.checkpoint_echo == baseline.checkpoint_echo;
+    all_ok = all_ok && exact;
+    table.AddRow({eval::TablePrinter::Num(rate, 2), std::to_string(injected),
+                  std::to_string(faulted.metrics.spill_write_failures),
+                  std::to_string(faulted.metrics.tasks_retried),
+                  std::to_string(faulted.metrics.partitions_recomputed),
+                  exact ? "exact" : "DIVERGED"});
+    if (injected == 0) {
+      std::cout << "warning: rate " << rate << " injected no faults\n";
+      all_ok = false;
+    }
+  }
+  table.Print();
+  std::cout << "(CRC framing + lineage/task retries must absorb every "
+               "injected fault without changing a detection)\n";
+  return all_ok;
+}
+
+int Main() {
+  PrintBanner("bench_crash_recovery",
+              "crash-safe serving: WAL replay + faulted-I/O detection parity");
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("adrdedup-bench-crash-" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const Corpus data = MakeCorpus();
+
+  const bool crash_ok = RunCrashMatrix(data, root);
+  const bool fault_ok = RunFaultedPipelineParity(data, root);
+
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  if (!crash_ok) {
+    std::cerr << "FAIL: a crash-restart run diverged from the control\n";
+  }
+  if (!fault_ok) {
+    std::cerr << "FAIL: detections diverged under injected I/O faults\n";
+  }
+  return crash_ok && fault_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Main(); }

@@ -38,8 +38,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -94,16 +96,25 @@ core::DedupPipelineOptions PipelineOptions() {
 std::unique_ptr<serve::ScreeningService> MakeService(
     minispark::SparkContext* ctx,
     const std::vector<distance::LabeledPair>& labels,
-    const std::vector<report::AdrReport>& bootstrap) {
+    const std::vector<report::AdrReport>& bootstrap,
+    const std::string& journal_dir = {}) {
   serve::ScreeningServiceOptions options;
   options.pipeline = PipelineOptions();
   options.queue_capacity = kQueueCapacity;
   options.max_batch = kMaxBatch;
   options.max_linger_ms = 2.0;
+  if (!journal_dir.empty()) {
+    options.journal_dir = journal_dir;
+    options.fsync_policy = serve::FsyncPolicy::kBatch;
+  }
   auto service = std::make_unique<serve::ScreeningService>(ctx, options);
   service->Bootstrap(bootstrap);
   service->SeedLabels(labels);
-  service->Start();
+  if (auto status = service->Start(); !status.ok()) {
+    std::cout << "ScreeningService::Start failed: " << status.ToString()
+              << "\n";
+    return nullptr;
+  }
   return service;
 }
 
@@ -638,6 +649,7 @@ int Main() {
   // --- Phase 1a: direct sequential baseline (canonical stdin bytes) ---
   minispark::SparkContext direct_ctx({.num_executors = 4});
   auto direct = MakeService(&direct_ctx, labels, bootstrap);
+  if (!direct) return 1;
   std::string direct_lines;
   serve::LatencyRecorder direct_latency;
   util::Stopwatch direct_wall;
@@ -666,6 +678,7 @@ int Main() {
   // --- Phase 1b: identical service behind the NetServer, binary path ---
   minispark::SparkContext net_ctx({.num_executors = 4});
   auto service = MakeService(&net_ctx, labels, bootstrap);
+  if (!service) return 1;
   NetServerOptions net_options;
   net_options.max_connections = conns + 16;
   net_options.idle_timeout_ms = 0.0;  // a paced open loop can look idle
@@ -675,6 +688,7 @@ int Main() {
     return 1;
   }
 
+  double net_seq_p95 = 0.0;
   {
     const int fd = ConnectTo(server.port());
     if (fd < 0) {
@@ -713,11 +727,104 @@ int Main() {
               << (net_ok ? "" : ", socket round trip failed") << ")\n";
     all_ok = all_ok && parity;
     const auto net_summary = net_latency.Summarize();
+    net_seq_p95 = net_summary.p95_ms;
     table.AddRow({"net seq", "1", std::to_string(parity_n),
                   eval::TablePrinter::Num(net_qps, 1),
                   eval::TablePrinter::Num(net_summary.p50_ms, 3),
                   eval::TablePrinter::Num(net_summary.p95_ms, 3),
                   eval::TablePrinter::Num(net_summary.p99_ms, 3), "0.0"});
+  }
+
+  // --- Phase 1c: same service with a write-ahead journal (fsync=batch) ---
+  // Screening decisions must stay bit-identical to the journal-less
+  // direct run (hard gate), and the durability tax at the default batch
+  // fsync policy must stay within 5% of the net-seq p95 — a timing gate,
+  // so like the hotpath benches it prints always but fails the process
+  // only under ADRDEDUP_BENCH_STRICT=1 (smoke scales are too noisy).
+  {
+    namespace fs = std::filesystem;
+    const fs::path wal_dir =
+        fs::temp_directory_path() /
+        ("adrdedup-bench-net-wal-" + std::to_string(::getpid()));
+    fs::remove_all(wal_dir);
+    fs::create_directories(wal_dir);
+    minispark::SparkContext wal_ctx({.num_executors = 4});
+    auto wal_service = MakeService(&wal_ctx, labels, bootstrap,
+                                   wal_dir.string());
+    if (!wal_service) return 1;
+    NetServer wal_server(wal_service.get(), net_options);
+    if (auto status = wal_server.Start(); !status.ok()) {
+      std::cout << "NetServer::Start (journaled) failed: "
+                << status.ToString() << "\n";
+      return 1;
+    }
+    const int fd = ConnectTo(wal_server.port());
+    if (fd < 0) {
+      std::cout << "journaled parity connect failed\n";
+      return 1;
+    }
+    std::string rx;
+    std::string wal_lines;
+    serve::LatencyRecorder wal_latency;
+    bool wal_net_ok = true;
+    for (size_t i = 0; i < parity_n && wal_net_ok; ++i) {
+      util::Stopwatch request;
+      Frame frame;
+      ScreenResponseBody body;
+      wal_net_ok =
+          SendAll(fd, BinaryScreenRequest(stream[parity_order[i]])) &&
+          RecvFrameBlocking(fd, &rx, &frame) &&
+          frame.type == FrameType::kScreenResponse &&
+          DecodeScreenResponse(frame.payload, &body) &&
+          body.status == ScreenStatus::kOk;
+      if (!wal_net_ok) break;
+      wal_latency.Record(request.ElapsedMillis());
+      for (const auto& [case_number, score] : body.matches) {
+        wal_lines += stream[parity_order[i]].case_number() + "," +
+                     case_number + "," + std::to_string(score) + "\n";
+      }
+    }
+    ::close(fd);
+    const uint64_t appends = wal_service->metrics().journal_appends();
+    const uint64_t fsyncs = wal_service->metrics().journal_fsyncs();
+    wal_server.Stop();
+    wal_service->Stop();
+    std::error_code ec;
+    fs::remove_all(wal_dir, ec);
+
+    const bool wal_parity = wal_net_ok && wal_lines == direct_lines;
+    std::cout << "journaled parity gate: " << (wal_parity ? "PASS" : "FAIL")
+              << " (" << appends << " WAL appends, " << fsyncs
+              << " batched fsyncs"
+              << (wal_net_ok ? "" : ", socket round trip failed") << ")\n";
+    all_ok = all_ok && wal_parity;
+
+    const auto wal_summary = wal_latency.Summarize();
+    table.AddRow({"net seq +wal", "1", std::to_string(parity_n),
+                  "-",
+                  eval::TablePrinter::Num(wal_summary.p50_ms, 3),
+                  eval::TablePrinter::Num(wal_summary.p95_ms, 3),
+                  eval::TablePrinter::Num(wal_summary.p99_ms, 3), "0.0"});
+    // 0.25 ms of absolute slack keeps the relative gate meaningful when
+    // the smoke-scale p95 is itself a fraction of a millisecond.
+    const bool overhead_ok =
+        wal_summary.p95_ms <= net_seq_p95 * 1.05 + 0.25;
+    const double overhead_pct =
+        net_seq_p95 > 0.0
+            ? 100.0 * (wal_summary.p95_ms / net_seq_p95 - 1.0)
+            : 0.0;
+    std::cout << "journal overhead gate (p95 +"
+              << eval::TablePrinter::Num(overhead_pct, 1)
+              << "% vs net seq, budget 5%): "
+              << (overhead_ok ? "PASS" : "FAIL");
+    const char* strict = std::getenv("ADRDEDUP_BENCH_STRICT");
+    if (strict != nullptr && std::string(strict) == "1") {
+      all_ok = all_ok && overhead_ok;
+      std::cout << " [strict]";
+    } else if (!overhead_ok) {
+      std::cout << " (advisory outside ADRDEDUP_BENCH_STRICT=1)";
+    }
+    std::cout << "\n";
   }
 
   // Requests for the load phases, pre-encoded in both protocols.
@@ -816,7 +923,7 @@ int Main() {
         metrics = RecvHttpBlocking(fd, &rx);
       }
       probes_ok = health.find("200") != std::string::npos &&
-                  health.find("\"ok\"") != std::string::npos &&
+                  health.find("\"healthy\"") != std::string::npos &&
                   metrics.find("200") != std::string::npos &&
                   metrics.find("\"net\"") != std::string::npos;
       ::close(fd);

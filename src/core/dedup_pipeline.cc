@@ -1,6 +1,8 @@
 #include "core/dedup_pipeline.h"
 
 #include <algorithm>
+#include <cstring>
+#include <ostream>
 
 #include "util/logging.h"
 
@@ -64,16 +66,14 @@ void DedupPipeline::Refit() {
   classifier_.Fit(train, &ctx_->pool());
   if (options_.f_theta >= 0.0 && !positive_store_.empty()) {
     pruner_.Fit(positive_store_);
+    pruner_fit_positives_ = positive_store_.size();
   }
   models_ready_ = true;
   ++model_generation_;
 }
 
-DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
+std::vector<report::ReportId> DedupPipeline::IngestBatch(
     const std::vector<report::AdrReport>& reports) {
-  if (!models_ready_) Refit();
-
-  // Ingest: the batch joins the database and the feature cache.
   const report::ReportId first_new = static_cast<report::ReportId>(db_.size());
   std::vector<report::ReportId> fresh;
   fresh.reserve(reports.size());
@@ -98,6 +98,16 @@ DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
   ctx_->pool().ParallelFor(first_new, db_.size(), [&](size_t i) {
     interned_[i] = distance::InternFeatures(features_[i], frozen_dict);
   });
+  return fresh;
+}
+
+DedupPipeline::DetectionResult DedupPipeline::ProcessNewReports(
+    const std::vector<report::AdrReport>& reports) {
+  if (!models_ready_) Refit();
+
+  // Ingest: the batch joins the database and the feature cache.
+  const report::ReportId first_new = static_cast<report::ReportId>(db_.size());
+  const std::vector<report::ReportId> fresh = IngestBatch(reports);
 
   // Candidate pairs for this batch: the full Eq. 3 universe, or the
   // blocking-key subset restricted to pairs touching a new report.
@@ -269,9 +279,136 @@ void DedupPipeline::AdoptClassifier(FastKnnClassifier classifier) {
   classifier_ = std::move(classifier);
   if (options_.f_theta >= 0.0 && !positive_store_.empty()) {
     pruner_.Fit(positive_store_);
+    pruner_fit_positives_ = positive_store_.size();
   }
   models_ready_ = true;
   ++model_generation_;
+}
+
+PipelineServingState DedupPipeline::ExportServingState() const {
+  PipelineServingState state;
+  state.positive_store = positive_store_;
+  state.negative_store = negative_store_;
+  state.negatives_seen = negatives_seen_;
+  state.model_generation = model_generation_;
+  state.pruner_fit_positives = pruner_fit_positives_;
+  state.rng = rng_.SaveState();
+  return state;
+}
+
+util::Status DedupPipeline::SaveModel(std::ostream& out) const {
+  if (!models_ready_) {
+    return util::Status::FailedPrecondition(
+        "no fitted model to save: pipeline has not refit yet");
+  }
+  return classifier_.Save(out);
+}
+
+void DedupPipeline::ReingestForRecovery(
+    const std::vector<report::AdrReport>& reports) {
+  const std::vector<report::ReportId> fresh = IngestBatch(reports);
+  if (options_.use_blocking && options_.incremental_blocking) {
+    // Insert-only: Candidates() is const, so skipping the probe half of
+    // the probe-then-insert loop leaves an identical index.
+    for (const report::ReportId id : fresh) {
+      incremental_index_.Add(id, interned_[id]);
+    }
+  }
+}
+
+void DedupPipeline::RestoreServingState(PipelineServingState state,
+                                        FastKnnClassifier classifier) {
+  classifier_ = std::move(classifier);
+  positive_store_ = std::move(state.positive_store);
+  negative_store_ = std::move(state.negative_store);
+  negatives_seen_ = state.negatives_seen;
+  pruner_fit_positives_ = state.pruner_fit_positives;
+  if (options_.f_theta >= 0.0 && pruner_fit_positives_ > 0) {
+    ADRDEDUP_CHECK_LE(pruner_fit_positives_, positive_store_.size());
+    pruner_.Fit(std::vector<LabeledPair>(
+        positive_store_.begin(),
+        positive_store_.begin() +
+            static_cast<ptrdiff_t>(pruner_fit_positives_)));
+  }
+  rng_.RestoreState(state.rng);
+  models_ready_ = true;
+  model_generation_ = state.model_generation;
+}
+
+namespace {
+
+// FNV-1a over raw bytes; all fingerprints fold through this.
+inline uint64_t FnvMix(uint64_t h, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t FnvMixU64(uint64_t h, uint64_t value) {
+  return FnvMix(h, &value, sizeof(value));
+}
+
+inline uint64_t FnvMixString(uint64_t h, const std::string& s) {
+  h = FnvMixU64(h, s.size());
+  return FnvMix(h, s.data(), s.size());
+}
+
+inline uint64_t FnvMixIds(uint64_t h, const std::vector<uint32_t>& ids) {
+  h = FnvMixU64(h, ids.size());
+  return FnvMix(h, ids.data(), ids.size() * sizeof(uint32_t));
+}
+
+// Field-wise — LabeledPair has tail padding after the int8 label, so the
+// struct's raw bytes are not deterministic across processes.
+inline uint64_t FnvMixPair(uint64_t h, const LabeledPair& pair) {
+  h = FnvMix(h, pair.vector.v.data(), pair.vector.v.size() * sizeof(double));
+  h = FnvMixU64(h, pair.pair.a);
+  h = FnvMixU64(h, pair.pair.b);
+  return FnvMixU64(h, static_cast<uint64_t>(static_cast<int64_t>(pair.label)));
+}
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+
+}  // namespace
+
+uint64_t DedupPipeline::CorpusFingerprint() const {
+  uint64_t h = kFnvBasis;
+  h = FnvMixU64(h, db_.size());
+  h = FnvMixU64(h, token_dict_.size());
+  for (const distance::InternedFeatures& f : interned_) {
+    h = FnvMixU64(h, f.age.has_value()
+                         ? static_cast<uint64_t>(
+                               static_cast<int64_t>(*f.age))
+                         : 0xffffffffffffffffull);
+    h = FnvMixString(h, f.sex);
+    h = FnvMixString(h, f.state);
+    h = FnvMixString(h, f.onset_date);
+    h = FnvMixIds(h, f.drug.ids);
+    h = FnvMixIds(h, f.adr.ids);
+    h = FnvMixIds(h, f.description.ids);
+  }
+  return h;
+}
+
+uint64_t DedupPipeline::ServingStateFingerprint() const {
+  uint64_t h = kFnvBasis;
+  h = FnvMixU64(h, positive_store_.size());
+  for (const LabeledPair& pair : positive_store_) h = FnvMixPair(h, pair);
+  h = FnvMixU64(h, negative_store_.size());
+  for (const LabeledPair& pair : negative_store_) h = FnvMixPair(h, pair);
+  h = FnvMixU64(h, negatives_seen_);
+  h = FnvMixU64(h, model_generation_);
+  h = FnvMixU64(h, pruner_fit_positives_);
+  const util::RngState rng = rng_.SaveState();
+  for (uint64_t word : rng.s) h = FnvMixU64(h, word);
+  uint64_t gaussian_bits = 0;
+  std::memcpy(&gaussian_bits, &rng.cached_gaussian, sizeof(gaussian_bits));
+  h = FnvMixU64(h, gaussian_bits);
+  h = FnvMixU64(h, rng.has_cached_gaussian);
+  return h;
 }
 
 }  // namespace adrdedup::core

@@ -73,6 +73,25 @@ struct DedupPipelineOptions {
   uint64_t seed = 17;
 };
 
+// Snapshot of the pipeline's mutable serving state — everything that
+// cannot be rebuilt by re-ingesting the corpus: the labelled stores, the
+// reservoir counter + RNG stream, and the model bookkeeping. The fitted
+// classifier is exported separately via SaveModel() (its own binary
+// format). Together with the corpus (bootstrap CSV + admitted reports) a
+// restored pipeline screens bit-identically to the original process.
+struct PipelineServingState {
+  std::vector<distance::LabeledPair> positive_store;
+  std::vector<distance::LabeledPair> negative_store;
+  uint64_t negatives_seen = 0;
+  uint64_t model_generation = 0;
+  // Prefix of positive_store the pruner was last fit on (0 = never
+  // fit). The positive store is append-only, so the prefix at restore
+  // time is bit-identical to the fit-time store and the refit pruner
+  // matches the original process exactly.
+  uint64_t pruner_fit_positives = 0;
+  util::RngState rng;
+};
+
 class DedupPipeline {
  public:
   DedupPipeline(minispark::SparkContext* ctx,
@@ -140,9 +159,49 @@ class DedupPipeline {
     return classifier_.stats().Snapshot();
   }
 
+  // --- Durability hooks (serve::SnapshotStore / journal recovery) ---
+
+  bool models_ready() const { return models_ready_; }
+
+  // Copy of the mutable serving state for the snapshot protocol.
+  PipelineServingState ExportServingState() const;
+
+  // Serializes the fitted classifier; FailedPrecondition before the
+  // first fit.
+  util::Status SaveModel(std::ostream& out) const;
+
+  // Ingest-only pass: adds reports to the database, feature caches,
+  // token dictionary and incremental blocking index without candidate
+  // generation, scoring or store updates. Recovery replays the
+  // already-snapshotted corpus through this; dictionary extension is
+  // per-report in order, so batch boundaries need not be preserved.
+  void ReingestForRecovery(const std::vector<report::AdrReport>& reports);
+
+  // Installs `classifier` and the state exported by ExportServingState().
+  // The pruner is refit from the recorded append-only positive-store
+  // prefix, so post-restore screening is bit-identical to the original.
+  void RestoreServingState(PipelineServingState state,
+                           FastKnnClassifier classifier);
+
+  // FNV-1a fingerprint of the ingested corpus (database fields, token
+  // dictionary size, interned token ids). Recovery fails closed when the
+  // rebuilt corpus does not match the snapshot's recorded fingerprint.
+  uint64_t CorpusFingerprint() const;
+
+  // Field-wise fingerprint of the mutable serving state (stores,
+  // reservoir counter, RNG stream, model generation). Field-wise — never
+  // raw-struct bytes — because LabeledPair has padding.
+  uint64_t ServingStateFingerprint() const;
+
  private:
   // Rebuilds classifier and pruner from the current labelled stores.
   void Refit();
+
+  // Shared ingest stage: database + features + dictionary + interned
+  // mirror (not the blocking index — ProcessNewReports interleaves index
+  // insertion with candidate probes). Returns the fresh report ids.
+  std::vector<report::ReportId> IngestBatch(
+      const std::vector<report::AdrReport>& reports);
 
   minispark::SparkContext* ctx_;
   DedupPipelineOptions options_;
@@ -159,6 +218,7 @@ class DedupPipeline {
   TestSetPruner pruner_;
   bool models_ready_ = false;
   uint64_t model_generation_ = 0;
+  uint64_t pruner_fit_positives_ = 0;
   // Mutable blocking index of every ingested report (incremental mode).
   blocking::IncrementalBlockingIndex incremental_index_;
   util::Rng rng_;

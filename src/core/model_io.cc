@@ -1,16 +1,24 @@
 #include "core/model_io.h"
 
 #include <fstream>
+#include <sstream>
+
+#include "util/fault_fs.h"
 
 namespace adrdedup::core {
 
 util::Status SaveModelToFile(const FastKnnClassifier& classifier,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  // Serialize to memory, then publish crash-atomically (temp + fsync +
+  // rename): `path` never holds a torn model a restart could load.
+  std::ostringstream out(std::ios::binary);
   ADRDEDUP_RETURN_NOT_OK(classifier.Save(out));
-  out.flush();
-  if (!out) return util::Status::IoError("write failed: " + path);
+  util::Status status = util::FaultFs::Instance().WriteFileAtomic(
+      path, out.str(), util::FileClass::kSnapshot);
+  if (!status.ok()) {
+    return util::Status::IoError("cannot write model " + path + ": " +
+                                 status.message());
+  }
   return util::Status::OK();
 }
 

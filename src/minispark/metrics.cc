@@ -19,7 +19,8 @@ std::string MetricsSnapshot::ToString() const {
       << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
       << " blocks_evicted=" << blocks_evicted
       << " bytes_spilled=" << bytes_spilled
-      << " bytes_checkpointed=" << checkpoint_bytes_written;
+      << " bytes_checkpointed=" << checkpoint_bytes_written
+      << " spill_write_failures=" << spill_write_failures;
   return out.str();
 }
 
@@ -51,6 +52,7 @@ std::string MetricsSnapshot::ToJson(
   w.Field("checkpoint_blocks_written", checkpoint_blocks_written);
   w.Field("checkpoint_bytes_written", checkpoint_bytes_written);
   w.Field("checkpoint_blocks_read", checkpoint_blocks_read);
+  w.Field("spill_write_failures", spill_write_failures);
   w.EndObject();
   if (!task_durations.empty()) {
     double total = 0.0;

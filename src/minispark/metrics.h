@@ -39,6 +39,9 @@ struct MetricsSnapshot {
   uint64_t checkpoint_blocks_written = 0;
   uint64_t checkpoint_bytes_written = 0;
   uint64_t checkpoint_blocks_read = 0;
+  // Spill writes that failed (ENOSPC/EIO/short write) and were degraded
+  // to memory-only residency instead of propagating a task error.
+  uint64_t spill_write_failures = 0;
 
   std::string ToString() const;
 
@@ -116,6 +119,9 @@ class Metrics {
   void AddCheckpointRead() {
     checkpoint_blocks_read_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddSpillWriteFailure() {
+    spill_write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   MetricsSnapshot Snapshot() const {
     MetricsSnapshot out;
@@ -150,6 +156,8 @@ class Metrics {
         checkpoint_bytes_written_.load(std::memory_order_relaxed);
     out.checkpoint_blocks_read =
         checkpoint_blocks_read_.load(std::memory_order_relaxed);
+    out.spill_write_failures =
+        spill_write_failures_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -174,6 +182,7 @@ class Metrics {
     checkpoint_blocks_written_ = 0;
     checkpoint_bytes_written_ = 0;
     checkpoint_blocks_read_ = 0;
+    spill_write_failures_ = 0;
     std::lock_guard<std::mutex> lock(durations_mutex_);
     task_durations_.clear();
   }
@@ -202,6 +211,7 @@ class Metrics {
   std::atomic<uint64_t> checkpoint_blocks_written_{0};
   std::atomic<uint64_t> checkpoint_bytes_written_{0};
   std::atomic<uint64_t> checkpoint_blocks_read_{0};
+  std::atomic<uint64_t> spill_write_failures_{0};
 };
 
 }  // namespace adrdedup::minispark

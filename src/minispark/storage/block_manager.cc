@@ -88,6 +88,7 @@ bool BlockManager::SpillBlock(const Key& key, Block* block) {
   if (auto status = WriteBlockFile(path, payload); !status.ok()) {
     ADRDEDUP_LOG_WARNING << "spill failed, block will recompute: "
                          << status.ToString();
+    metrics_->AddSpillWriteFailure();
     return false;
   }
   owned_files_.insert(path);
@@ -159,7 +160,16 @@ void BlockManager::Put(const BlockId& id, BlockData data, uint64_t bytes,
   metrics_->AddBlockStored(bytes);
   if (block.level == StorageLevel::kDiskOnly) {
     block.data = std::move(data);
-    SpillBlock(key, &block);
+    if (!SpillBlock(key, &block)) {
+      // Write-path failure (ENOSPC/EIO/short write/no dir): degrade to
+      // memory-only residency so the block stays servable instead of
+      // being dropped on the floor and recomputed through lineage.
+      BlockData retained = std::move(block.data);
+      block.data = nullptr;
+      block.level = StorageLevel::kMemoryOnly;
+      AdmitToMemory(key, &block, std::move(retained));
+      return;
+    }
     block.data = nullptr;
     return;
   }
@@ -259,8 +269,10 @@ util::Status BlockManager::WriteCheckpoint(uint64_t rdd_id, size_t partition,
     owned_files_.insert(path);
   }
   // The write itself runs outside the lock: paths are unique per
-  // (rdd, partition), so concurrent checkpoint tasks never collide.
-  auto status = WriteBlockFile(path, payload);
+  // (rdd, partition), so concurrent checkpoint tasks never collide. The
+  // atomic variant means a crash mid-checkpoint leaves no partial file a
+  // later restart could mistake for a complete snapshot.
+  auto status = WriteBlockFileAtomic(path, payload, util::FileClass::kCheckpoint);
   if (status.ok()) metrics_->AddCheckpointWrite(payload.size());
   return status;
 }
@@ -276,7 +288,7 @@ util::Result<std::string> BlockManager::ReadCheckpoint(uint64_t rdd_id,
     }
     path = CheckpointPath(rdd_id, partition);
   }
-  auto payload = ReadBlockFile(path);
+  auto payload = ReadBlockFile(path, util::FileClass::kCheckpoint);
   if (payload.ok()) metrics_->AddCheckpointRead();
   return payload;
 }

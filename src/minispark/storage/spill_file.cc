@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 
 #include "util/crc32.h"
 
@@ -14,59 +13,66 @@ constexpr char kMagic[8] = {'A', 'D', 'R', 'B', 'L', 'K', '1', '\0'};
 constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t) +
                                sizeof(uint32_t);
 
-}  // namespace
-
-util::Status WriteBlockFile(const std::string& path,
-                            std::string_view payload) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return util::Status::IoError("cannot open block file for write: " + path);
-  }
+std::string FrameBlock(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  frame.append(kMagic, sizeof(kMagic));
   const uint64_t size = payload.size();
   const uint32_t crc = util::Crc32(payload);
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out.flush();
-  if (!out) {
-    return util::Status::IoError("short write to block file: " + path);
+  frame.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+}  // namespace
+
+util::Status WriteBlockFile(const std::string& path, std::string_view payload,
+                            util::FileClass cls) {
+  util::Status status =
+      util::FaultFs::Instance().WriteFile(path, FrameBlock(payload), cls);
+  if (!status.ok()) {
+    return util::Status::IoError("short write to block file: " + path +
+                                 " (" + status.message() + ")");
   }
   return util::Status::OK();
 }
 
-util::Result<std::string> ReadBlockFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+util::Status WriteBlockFileAtomic(const std::string& path,
+                                  std::string_view payload,
+                                  util::FileClass cls) {
+  util::Status status = util::FaultFs::Instance().WriteFileAtomic(
+      path, FrameBlock(payload), cls);
+  if (!status.ok()) {
+    return util::Status::IoError("cannot publish block file: " + path + " (" +
+                                 status.message() + ")");
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::string> ReadBlockFile(const std::string& path,
+                                        util::FileClass cls) {
+  auto file = util::FaultFs::Instance().ReadFile(path, cls);
+  if (!file.ok()) {
     return util::Status::IoError("cannot open block file: " + path);
   }
-  char header[kHeaderSize];
-  in.read(header, static_cast<std::streamsize>(kHeaderSize));
-  if (in.gcount() != static_cast<std::streamsize>(kHeaderSize)) {
+  const std::string& bytes = file.value();
+  if (bytes.size() < kHeaderSize) {
     return util::Status::IoError("truncated block header: " + path);
   }
-  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return util::Status::IoError("bad block magic: " + path);
   }
   uint64_t size = 0;
   uint32_t crc = 0;
-  std::memcpy(&size, header + sizeof(kMagic), sizeof(size));
-  std::memcpy(&crc, header + sizeof(kMagic) + sizeof(size), sizeof(crc));
+  std::memcpy(&size, bytes.data() + sizeof(kMagic), sizeof(size));
+  std::memcpy(&crc, bytes.data() + sizeof(kMagic) + sizeof(size), sizeof(crc));
   // Bound the declared size by what the file actually holds, so a
   // corrupted length field cannot drive a huge allocation.
-  const auto data_pos = in.tellg();
-  in.seekg(0, std::ios::end);
-  const auto end_pos = in.tellg();
-  in.seekg(data_pos);
-  if (data_pos < 0 || end_pos < data_pos ||
-      static_cast<uint64_t>(end_pos - data_pos) < size) {
+  if (bytes.size() - kHeaderSize < size) {
     return util::Status::IoError("truncated block payload: " + path);
   }
-  std::string payload(static_cast<size_t>(size), '\0');
-  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (in.gcount() != static_cast<std::streamsize>(payload.size())) {
-    return util::Status::IoError("truncated block payload: " + path);
-  }
+  std::string payload = bytes.substr(kHeaderSize, static_cast<size_t>(size));
   if (util::Crc32(payload) != crc) {
     return util::Status::IoError("block CRC mismatch: " + path);
   }

@@ -8,23 +8,35 @@
 // ReadBlockFile rejects missing files, bad magic, truncation (header or
 // payload shorter than declared) and CRC mismatches with a typed
 // util::Status — the storage layer never hands corrupt bytes to a
-// deserializer.
+// deserializer. All I/O is routed through util::FaultFs so the chaos
+// scripts can inject ENOSPC/EIO/short writes and read bit-flips on the
+// spill and checkpoint paths deterministically.
 #ifndef ADRDEDUP_MINISPARK_STORAGE_SPILL_FILE_H_
 #define ADRDEDUP_MINISPARK_STORAGE_SPILL_FILE_H_
 
 #include <string>
 #include <string_view>
 
+#include "util/fault_fs.h"
 #include "util/status.h"
 
 namespace adrdedup::minispark::storage {
 
-// Atomically-enough for one writer: truncates and rewrites `path`.
-util::Status WriteBlockFile(const std::string& path,
-                            std::string_view payload);
+// Atomically-enough for one writer: truncates and rewrites `path`. A torn
+// write leaves a file the reader rejects (CRC/truncation), which the
+// block manager treats as a recompute-from-lineage miss.
+util::Status WriteBlockFile(const std::string& path, std::string_view payload,
+                            util::FileClass cls = util::FileClass::kSpill);
+
+// Crash-atomic variant: frames the payload, then temp-file + fsync +
+// rename + directory fsync, so `path` only ever holds a complete frame.
+util::Status WriteBlockFileAtomic(
+    const std::string& path, std::string_view payload,
+    util::FileClass cls = util::FileClass::kCheckpoint);
 
 // Returns the verified payload.
-util::Result<std::string> ReadBlockFile(const std::string& path);
+util::Result<std::string> ReadBlockFile(
+    const std::string& path, util::FileClass cls = util::FileClass::kSpill);
 
 }  // namespace adrdedup::minispark::storage
 

@@ -1,0 +1,299 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "minispark/storage/serializer.h"
+#include "serve/report_serializer.h"
+#include "util/crc32.h"
+#include "util/fault_fs.h"
+#include "util/logging.h"
+
+namespace adrdedup::serve {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'A', 'D', 'R', 'W', 'A', 'L', '1', '\0'};
+constexpr size_t kWalHeaderSize = sizeof(kWalMagic) + sizeof(uint64_t);
+constexpr uint32_t kRecordMagic = 0x4a524441u;  // "ADRJ" little-endian
+constexpr size_t kRecordHeaderSize = 3 * sizeof(uint32_t);
+
+std::string EncodeHeader(uint64_t generation) {
+  std::string header;
+  header.reserve(kWalHeaderSize);
+  header.append(kWalMagic, sizeof(kWalMagic));
+  header.append(reinterpret_cast<const char*>(&generation),
+                sizeof(generation));
+  return header;
+}
+
+std::string EncodeRecord(const std::vector<report::AdrReport>& batch) {
+  std::string payload = minispark::storage::SerializeToString(batch);
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = util::Crc32(payload);
+  record.append(reinterpret_cast<const char*>(&kRecordMagic),
+                sizeof(kRecordMagic));
+  record.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  record.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  record.append(payload);
+  return record;
+}
+
+}  // namespace
+
+util::Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "batch") return FsyncPolicy::kBatch;
+  if (text == "never") return FsyncPolicy::kNever;
+  return util::Status::InvalidArgument(
+      "bad fsync policy '" + text + "' (expected always, batch or never)");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+util::Result<JournalReplay> ReadJournal(const std::string& path,
+                                        uint64_t expected_generation) {
+  JournalReplay replay;
+  replay.generation = expected_generation;
+  auto file =
+      util::FaultFs::Instance().ReadFile(path, util::FileClass::kJournal);
+  if (!file.ok()) {
+    if (file.status().code() == util::StatusCode::kNotFound) {
+      // Crash landed between snapshot publish and journal creation:
+      // nothing was accepted under this generation yet.
+      return replay;
+    }
+    return file.status();
+  }
+  const std::string& bytes = file.value();
+  if (bytes.size() < kWalHeaderSize) {
+    // Torn create: the header never hit the disk, so no record can have
+    // been appended either (appends follow a durable Create).
+    replay.truncated_tail = !bytes.empty();
+    return replay;
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return util::Status::IoError("bad journal magic: " + path);
+  }
+  uint64_t generation = 0;
+  std::memcpy(&generation, bytes.data() + sizeof(kWalMagic),
+              sizeof(generation));
+  if (generation != expected_generation) {
+    return util::Status::IoError(
+        "journal generation mismatch: " + path + " holds generation " +
+        std::to_string(generation) + " but the current snapshot is " +
+        std::to_string(expected_generation) +
+        " (stale or foreign journal; refusing to replay)");
+  }
+  size_t cursor = kWalHeaderSize;
+  replay.valid_bytes = cursor;
+  while (cursor < bytes.size()) {
+    const size_t remaining = bytes.size() - cursor;
+    if (remaining < kRecordHeaderSize) {
+      // Torn tail: a crash mid-append left a partial record header.
+      replay.truncated_tail = true;
+      break;
+    }
+    uint32_t magic = 0;
+    uint32_t size = 0;
+    uint32_t crc = 0;
+    std::memcpy(&magic, bytes.data() + cursor, sizeof(magic));
+    std::memcpy(&size, bytes.data() + cursor + sizeof(magic), sizeof(size));
+    std::memcpy(&crc, bytes.data() + cursor + 2 * sizeof(uint32_t),
+                sizeof(crc));
+    if (magic != kRecordMagic) {
+      // Appends are sequential, so a torn tail always starts with an
+      // intact magic; a wrong magic here is real mid-file corruption.
+      return util::Status::IoError(
+          "journal record " + std::to_string(replay.batches.size()) +
+          " has bad magic in " + path + " (corrupt journal; refusing to " +
+          "replay — restore from the snapshot or delete the journal to " +
+          "accept losing its batches)");
+    }
+    if (remaining - kRecordHeaderSize < size) {
+      // Declared payload extends past EOF: torn final record.
+      replay.truncated_tail = true;
+      break;
+    }
+    std::string_view payload(bytes.data() + cursor + kRecordHeaderSize,
+                             size);
+    if (util::Crc32(payload) != crc) {
+      return util::Status::IoError(
+          "journal record " + std::to_string(replay.batches.size()) +
+          " CRC mismatch in " + path + " (corrupt journal; refusing to " +
+          "replay — restore from the snapshot or delete the journal to " +
+          "accept losing its batches)");
+    }
+    std::vector<report::AdrReport> batch;
+    if (!minispark::storage::DeserializeFromString(payload, &batch)) {
+      return util::Status::IoError(
+          "journal record " + std::to_string(replay.batches.size()) +
+          " fails to decode in " + path + " despite a valid CRC");
+    }
+    replay.batches.push_back(std::move(batch));
+    cursor += kRecordHeaderSize + size;
+    replay.valid_bytes = cursor;
+  }
+  return replay;
+}
+
+Journal::Journal(int fd, std::string path, uint64_t generation,
+                 FsyncPolicy policy, uint64_t size)
+    : fd_(fd),
+      path_(std::move(path)),
+      generation_(generation),
+      policy_(policy),
+      size_(size) {}
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      generation_(other.generation_),
+      policy_(other.policy_),
+      size_(other.size_),
+      appended_records_(other.appended_records_),
+      appended_bytes_(other.appended_bytes_),
+      fsyncs_(other.fsyncs_),
+      unsynced_appends_(other.unsynced_appends_) {
+  other.fd_ = -1;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    generation_ = other.generation_;
+    policy_ = other.policy_;
+    size_ = other.size_;
+    appended_records_ = other.appended_records_;
+    appended_bytes_ = other.appended_bytes_;
+    fsyncs_ = other.fsyncs_;
+    unsynced_appends_ = other.unsynced_appends_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    // Best-effort durability on clean destruction; crash paths rely on
+    // the policy's sync points instead.
+    if (policy_ != FsyncPolicy::kNever) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+util::Result<Journal> Journal::Create(const std::string& path,
+                                      uint64_t generation,
+                                      FsyncPolicy policy) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::Status::IoError("cannot create journal " + path + ": " +
+                                 std::strerror(errno));
+  }
+  util::FaultFs& fs = util::FaultFs::Instance();
+  const std::string header = EncodeHeader(generation);
+  util::Status status =
+      fs.Append(fd, header, util::FileClass::kJournal);
+  // The header (and the file's existence) must be durable before the
+  // manifest that references this generation is published.
+  if (status.ok()) status = fs.Fsync(fd, util::FileClass::kJournal);
+  if (!status.ok()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return status;
+  }
+  return Journal(fd, path, generation, policy, header.size());
+}
+
+util::Result<Journal> Journal::Resume(const std::string& path,
+                                      uint64_t generation, FsyncPolicy policy,
+                                      uint64_t valid_bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) {
+    return util::Status::IoError("cannot reopen journal " + path + ": " +
+                                 std::strerror(errno));
+  }
+  if (valid_bytes < kWalHeaderSize) {
+    // Header never made it to disk: rebuild the file from scratch.
+    ::close(fd);
+    return Create(path, generation, policy);
+  }
+  // Drop any torn tail so the next append lands on a record boundary.
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return util::Status::IoError("cannot truncate journal " + path + ": " +
+                                 std::strerror(saved));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    int saved = errno;
+    ::close(fd);
+    return util::Status::IoError("cannot seek journal " + path + ": " +
+                                 std::strerror(saved));
+  }
+  return Journal(fd, path, generation, policy, valid_bytes);
+}
+
+util::Status Journal::Append(const std::vector<report::AdrReport>& batch) {
+  ADRDEDUP_CHECK_GE(fd_, 0);
+  const std::string record = EncodeRecord(batch);
+  util::FaultFs& fs = util::FaultFs::Instance();
+  util::Status status = fs.Append(fd_, record, util::FileClass::kJournal);
+  if (!status.ok()) {
+    // Roll back to the last record boundary so the stream never holds a
+    // mid-file torn record (ftruncate is a recovery action, unfaulted).
+    if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+      ADRDEDUP_LOG_WARNING << "journal rollback truncate failed: "
+                           << std::strerror(errno);
+    }
+    ::lseek(fd_, 0, SEEK_END);
+    return status;
+  }
+  size_ += record.size();
+  ++appended_records_;
+  appended_bytes_ += record.size();
+  switch (policy_) {
+    case FsyncPolicy::kAlways:
+      return Sync();
+    case FsyncPolicy::kBatch:
+      if (++unsynced_appends_ >= kBatchSyncInterval) return Sync();
+      return util::Status::OK();
+    case FsyncPolicy::kNever:
+      return util::Status::OK();
+  }
+  return util::Status::OK();
+}
+
+util::Status Journal::Sync() {
+  ADRDEDUP_CHECK_GE(fd_, 0);
+  if (unsynced_appends_ == 0 && fsyncs_ > 0 &&
+      policy_ == FsyncPolicy::kBatch) {
+    return util::Status::OK();
+  }
+  util::Status status =
+      util::FaultFs::Instance().Fsync(fd_, util::FileClass::kJournal);
+  if (status.ok()) {
+    ++fsyncs_;
+    unsynced_appends_ = 0;
+  }
+  return status;
+}
+
+}  // namespace adrdedup::serve

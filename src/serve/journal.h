@@ -1,0 +1,124 @@
+// Append-only, CRC-framed write-ahead journal of accepted screening
+// inserts (DESIGN.md §5h). One record per admitted micro-batch, so
+// replay re-runs the exact batch sequence the live service processed and
+// reconstructs bit-identical screening state.
+//
+// File layout:
+//   header: magic "ADRWAL1\0" (8) + uint64 generation
+//   record: uint32 magic 'ADRJ' + uint32 payload size + uint32 CRC-32 +
+//           payload (Serializer<std::vector<report::AdrReport>>)
+//
+// Recovery semantics (the crash matrix in DESIGN.md §5h):
+//   - missing file            -> empty replay (crash between snapshot
+//                                publish and journal creation)
+//   - truncated header        -> empty replay (torn create)
+//   - torn final record       -> recover the complete prefix
+//   - bad header/record magic -> fail closed (real corruption)
+//   - CRC mismatch on a
+//     complete record         -> fail closed with the record index
+//   - generation mismatch     -> fail closed (journal belongs to a
+//                                different snapshot generation)
+//
+// All writes go through util::FaultFs (class kJournal) so chaos scripts
+// can tear or fail them deterministically. A failed append truncates the
+// file back to the last record boundary; the journal never leaves a torn
+// record in the middle of the stream.
+#ifndef ADRDEDUP_SERVE_JOURNAL_H_
+#define ADRDEDUP_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/report.h"
+#include "util/status.h"
+
+namespace adrdedup::serve {
+
+// When journal appends reach the platter.
+//   kAlways: fsync before every append returns (every acked insert is
+//            durable; the crash-recovery gate runs in this mode).
+//   kBatch:  group commit — fsync once every kBatchSyncInterval appends
+//            and at snapshot/close (bounded loss window, ~raw-write
+//            latency; the ≤5% p95 overhead gate runs in this mode).
+//   kNever:  rely on OS writeback (testing / throwaway state).
+enum class FsyncPolicy { kAlways, kBatch, kNever };
+
+inline constexpr uint64_t kBatchSyncInterval = 8;
+
+// Parses "always" / "batch" / "never" (the --fsync-policy CLI values).
+util::Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+// Result of scanning a journal file.
+struct JournalReplay {
+  uint64_t generation = 0;
+  // Accepted micro-batches in append order.
+  std::vector<std::vector<report::AdrReport>> batches;
+  // True when a torn tail was dropped (the complete prefix is returned).
+  bool truncated_tail = false;
+  // Byte length of the valid prefix (header + complete records); Resume
+  // truncates the file here before appending.
+  uint64_t valid_bytes = 0;
+};
+
+// Scans `path`, validating frames against `expected_generation`. A
+// missing or header-torn file is an empty replay, not an error; mid-file
+// corruption and generation mismatches fail closed (see file comment).
+util::Result<JournalReplay> ReadJournal(const std::string& path,
+                                        uint64_t expected_generation);
+
+class Journal {
+ public:
+  // Creates/truncates `path` with a fresh generation header, made
+  // durable before returning (the snapshot protocol publishes the
+  // manifest only after the journal file exists).
+  static util::Result<Journal> Create(const std::string& path,
+                                      uint64_t generation,
+                                      FsyncPolicy policy);
+
+  // Reopens an existing journal for appending after replay, truncating
+  // any torn tail back to `valid_bytes` (from ReadJournal).
+  static util::Result<Journal> Resume(const std::string& path,
+                                      uint64_t generation, FsyncPolicy policy,
+                                      uint64_t valid_bytes);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  // Appends one accepted micro-batch, fsyncing per policy. On failure
+  // the file is truncated back to the previous record boundary and the
+  // batch is NOT durable (the caller counts the failure and keeps
+  // serving — availability over durability, documented in §5h).
+  util::Status Append(const std::vector<report::AdrReport>& batch);
+
+  // Forces an fsync regardless of policy (snapshot barrier / shutdown).
+  util::Status Sync();
+
+  uint64_t generation() const { return generation_; }
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+
+ private:
+  Journal(int fd, std::string path, uint64_t generation, FsyncPolicy policy,
+          uint64_t size);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t generation_ = 0;
+  FsyncPolicy policy_ = FsyncPolicy::kAlways;
+  // Current valid file length; appends that fail roll back to this.
+  uint64_t size_ = 0;
+  uint64_t appended_records_ = 0;
+  uint64_t appended_bytes_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t unsynced_appends_ = 0;
+};
+
+}  // namespace adrdedup::serve
+
+#endif  // ADRDEDUP_SERVE_JOURNAL_H_

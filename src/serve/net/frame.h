@@ -44,7 +44,7 @@ enum class FrameType : uint8_t {
   kMetricsRequest = 3,
   kMetricsResponse = 4,  // payload: ServiceMetrics JSON document
   kHealthRequest = 5,
-  kHealthResponse = 6,  // payload: "ok"
+  kHealthResponse = 6,  // payload: HealthStateName (e.g. "healthy")
   kError = 7,           // payload: human-readable reason; peer closes
 };
 

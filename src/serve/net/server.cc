@@ -441,7 +441,8 @@ void NetServer::LoopThread() {
       }
       case FrameType::kHealthRequest: {
         std::string bytes;
-        AppendFrame(&bytes, FrameType::kHealthResponse, "ok");
+        AppendFrame(&bytes, FrameType::kHealthResponse,
+                    HealthStateName(service_->health()));
         add_sync_slot(conn, std::move(bytes), /*close_after=*/false);
         return;
       }
@@ -481,10 +482,16 @@ void NetServer::LoopThread() {
       return;
     }
     if (request.method == "GET" && request.target == "/healthz") {
+      // Recovering (or stopped) serves 503 so load balancers hold
+      // traffic until journal replay finishes and health flips.
+      const HealthState health = service_->health();
+      const bool ready = health == HealthState::kHealthy;
       add_sync_slot(conn,
-                    FormatHttpResponse(200, "application/json",
-                                       "{\"status\":\"ok\"}",
-                                       request.keep_alive),
+                    FormatHttpResponse(
+                        ready ? 200 : 503, "application/json",
+                        std::string("{\"status\":\"") +
+                            HealthStateName(health) + "\"}",
+                        request.keep_alive),
                     !request.keep_alive);
       return;
     }

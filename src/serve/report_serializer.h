@@ -1,0 +1,39 @@
+// Serializer<report::AdrReport> — lets the storage trait layer
+// (minispark/storage/serializer.h) encode report batches, which is what
+// the serve write-ahead journal and snapshot files persist. AdrReport
+// keeps its 37 schema strings private, so the specialization loops the
+// FieldId range through Get/Set; Serializer<std::vector<AdrReport>> then
+// composes for free via the vector recursion.
+#ifndef ADRDEDUP_SERVE_REPORT_SERIALIZER_H_
+#define ADRDEDUP_SERVE_REPORT_SERIALIZER_H_
+
+#include <string>
+
+#include "minispark/storage/serializer.h"
+#include "report/field.h"
+#include "report/report.h"
+
+namespace adrdedup::minispark::storage {
+
+template <>
+struct Serializer<report::AdrReport> {
+  static void Write(std::string* out, const report::AdrReport& value) {
+    for (size_t i = 0; i < report::kNumFields; ++i) {
+      Serializer<std::string>::Write(
+          out, value.Get(static_cast<report::FieldId>(i)));
+    }
+  }
+  static bool Read(const char** cursor, const char* end,
+                   report::AdrReport* value) {
+    for (size_t i = 0; i < report::kNumFields; ++i) {
+      std::string field;
+      if (!Serializer<std::string>::Read(cursor, end, &field)) return false;
+      value->Set(static_cast<report::FieldId>(i), std::move(field));
+    }
+    return true;
+  }
+};
+
+}  // namespace adrdedup::minispark::storage
+
+#endif  // ADRDEDUP_SERVE_REPORT_SERIALIZER_H_

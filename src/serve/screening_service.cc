@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "util/logging.h"
@@ -41,6 +42,7 @@ void ScreeningService::Bootstrap(
     const std::vector<report::AdrReport>& reports) {
   ADRDEDUP_CHECK(!started_) << "Bootstrap() must precede Start()";
   pipeline_->BootstrapDatabase(reports);
+  bootstrap_size_ = pipeline_->db().size();
 }
 
 void ScreeningService::SeedLabels(
@@ -54,7 +56,7 @@ void ScreeningService::AdoptClassifier(core::FastKnnClassifier classifier) {
   pipeline_->AdoptClassifier(std::move(classifier));
 }
 
-void ScreeningService::Start() {
+util::Status ScreeningService::Start() {
   ADRDEDUP_CHECK(!started_) << "Start() called twice";
   ADRDEDUP_CHECK(pipeline_->num_positive_labels() +
                          pipeline_->num_negative_labels() >
@@ -63,16 +65,148 @@ void ScreeningService::Start() {
       << "ScreeningService needs SeedLabels() or AdoptClassifier() before "
          "Start()";
   started_ = true;
-  // Warm up synchronously (fits classifier + pruner if labels are seeded
-  // and no model was adopted), so the first request never pays a k-means.
-  pipeline_->ProcessNewReports({});
+  metrics_.SetHealth(HealthState::kRecovering);
+  if (recovery_observer_) recovery_observer_();
+  util::Status recovered = RecoverOrInitialize();
+  if (!recovered.ok()) {
+    // Fail closed: never serve from state recovery could not vouch for.
+    metrics_.SetHealth(HealthState::kStopped);
+    return recovered;
+  }
+  metrics_.SetHealth(HealthState::kHealthy);
   running_.store(true, std::memory_order_release);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
   refresher_ = std::thread([this] { RefreshLoop(); });
+  return util::Status::OK();
+}
+
+util::Status ScreeningService::RecoverOrInitialize() {
+  if (options_.journal_dir.empty()) {
+    // No durability: just warm up synchronously (fits classifier +
+    // pruner if labels are seeded and no model was adopted), so the
+    // first request never pays a k-means.
+    pipeline_->ProcessNewReports({});
+    return util::Status::OK();
+  }
+  snapshot_store_ = std::make_unique<SnapshotStore>(options_.journal_dir);
+  auto loaded = snapshot_store_->Load();
+  if (!loaded.ok() &&
+      loaded.status().code() != util::StatusCode::kNotFound) {
+    return loaded.status();
+  }
+  if (!loaded.ok()) {
+    // Fresh journal dir: warm up, then publish generation 1 so the very
+    // first accepted batch already has a journal to land in.
+    pipeline_->ProcessNewReports({});
+    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    return TakeSnapshotLocked();
+  }
+
+  SnapshotStore::LoadedSnapshot snap = std::move(loaded).value();
+  if (pipeline_->db().size() != snap.state.bootstrap_size) {
+    return util::Status::IoError(
+        "snapshot " + std::to_string(snap.generation) + " in " +
+        options_.journal_dir + " was taken against a bootstrap corpus of " +
+        std::to_string(snap.state.bootstrap_size) +
+        " reports but this process bootstrapped " +
+        std::to_string(pipeline_->db().size()) +
+        "; restart with the same bootstrap CSV");
+  }
+  // Rebuild the derived corpus structures (features, dictionary,
+  // blocking index) by re-ingesting the admitted reports in admission
+  // order, then prove the rebuild matches the snapshot byte-for-byte.
+  pipeline_->ReingestForRecovery(snap.state.admitted);
+  if (pipeline_->CorpusFingerprint() != snap.state.corpus_fingerprint) {
+    return util::Status::IoError(
+        "corpus fingerprint mismatch after re-ingest of snapshot " +
+        std::to_string(snap.generation) + " in " + options_.journal_dir +
+        " (the bootstrap CSV differs from the one the snapshot was taken "
+        "against); refusing to recover");
+  }
+  std::istringstream model_in(snap.model_bytes);
+  auto classifier = core::FastKnnClassifier::Load(model_in);
+  if (!classifier.ok()) {
+    return util::Status::IoError(
+        "snapshot model fails to load despite a valid manifest CRC: " +
+        classifier.status().ToString());
+  }
+  admitted_ = std::move(snap.state.admitted);
+  pipeline_->RestoreServingState(std::move(snap.state.pipeline),
+                                 std::move(classifier).value());
+  generation_ = snap.generation;
+
+  auto replay = ReadJournal(snapshot_store_->JournalPath(snap.generation),
+                            snap.generation);
+  if (!replay.ok()) return replay.status();
+  uint64_t replayed_records = 0;
+  for (const std::vector<report::AdrReport>& batch :
+       replay.value().batches) {
+    replayed_records += batch.size();
+    // Replay re-runs the exact accepted batch sequence through the same
+    // entry point the live dispatcher used, so every store update, RNG
+    // draw and index insertion happens in the original order.
+    pipeline_->ProcessNewReports(batch);
+    admitted_.insert(admitted_.end(), batch.begin(), batch.end());
+  }
+  metrics_.AddRecoveryReplay(replay.value().batches.size(),
+                             replayed_records);
+  if (replay.value().truncated_tail) {
+    ADRDEDUP_LOG_WARNING << "journal for generation " << snap.generation
+                         << " had a torn tail; recovered the complete "
+                         << "prefix (" << replay.value().batches.size()
+                         << " batches)";
+  }
+  ADRDEDUP_LOG_INFO << "recovered snapshot generation " << snap.generation
+                    << " + " << replay.value().batches.size()
+                    << " journaled batches (" << replayed_records
+                    << " reports) from " << options_.journal_dir;
+  // Fold the replayed batches into a fresh generation so the journal
+  // shrinks back to empty and a crash loop cannot grow it unboundedly.
+  std::lock_guard<std::mutex> lock(pipeline_mutex_);
+  return TakeSnapshotLocked();
+}
+
+util::Status ScreeningService::TakeSnapshotLocked() {
+  const uint64_t next = generation_ + 1;
+  ServingState state;
+  state.bootstrap_size = bootstrap_size_;
+  state.admitted = admitted_;
+  state.pipeline = pipeline_->ExportServingState();
+  state.corpus_fingerprint = pipeline_->CorpusFingerprint();
+  std::ostringstream model_out;
+  ADRDEDUP_RETURN_NOT_OK(pipeline_->SaveModel(model_out));
+  ADRDEDUP_RETURN_NOT_OK(
+      snapshot_store_->WriteSnapshotFiles(next, state, model_out.str()));
+  // The journal must exist durably before the manifest points at its
+  // generation (snapshot.h publish order).
+  auto journal = Journal::Create(snapshot_store_->JournalPath(next), next,
+                                 options_.fsync_policy);
+  if (!journal.ok()) {
+    snapshot_store_->RemoveGeneration(next);
+    return journal.status();
+  }
+  util::Status published = snapshot_store_->PublishGeneration(next);
+  if (!published.ok()) {
+    // CURRENT still names the previous generation; keep appending to its
+    // journal and discard the unpublished files.
+    snapshot_store_->RemoveGeneration(next);
+    return published;
+  }
+  const uint64_t previous = generation_;
+  journal_ = std::move(journal).value();  // old journal fsyncs + closes
+  generation_ = next;
+  last_snapshot_model_generation_ = pipeline_->model_generation();
+  admitted_since_snapshot_ = 0;
+  if (previous > 0) snapshot_store_->RemoveGeneration(previous);
+  metrics_.IncSnapshotsWritten();
+  metrics_.SetSnapshotGeneration(next);
+  metrics_.SetStateFingerprint(pipeline_->ServingStateFingerprint());
+  return util::Status::OK();
 }
 
 void ScreeningService::Stop() {
-  running_.store(false, std::memory_order_release);
+  const bool was_running =
+      running_.exchange(false, std::memory_order_acq_rel);
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
   {
@@ -81,6 +215,26 @@ void ScreeningService::Stop() {
   }
   refresh_cv_.notify_all();
   if (refresher_.joinable()) refresher_.join();
+  if (!was_running) return;
+  if (journal_.has_value()) {
+    // Final snapshot: a clean restart replays zero journal records. If
+    // it fails (e.g. disk full), at least force the journal down so
+    // every acked batch survives.
+    std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    util::Status final_snapshot = TakeSnapshotLocked();
+    if (!final_snapshot.ok()) {
+      metrics_.IncSnapshotFailures();
+      ADRDEDUP_LOG_WARNING << "shutdown snapshot failed ("
+                           << final_snapshot.message()
+                           << "); syncing journal instead";
+      util::Status synced = journal_->Sync();
+      if (!synced.ok()) {
+        ADRDEDUP_LOG_WARNING << "shutdown journal sync failed: "
+                             << synced.message();
+      }
+    }
+  }
+  metrics_.SetHealth(HealthState::kStopped);
 }
 
 util::Result<std::future<ScreenResponse>> ScreeningService::Submit(
@@ -197,6 +351,20 @@ void ScreeningService::ProcessBatch(std::vector<PendingRequest> batch) {
   uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(pipeline_mutex_);
+    // A model swap since the last snapshot must be snapshotted BEFORE
+    // this batch is scored: journal replay re-scores batches against the
+    // snapshot's model, so every journaled batch must have been scored
+    // by exactly that model in the live run.
+    if (journal_.has_value() &&
+        pipeline_->model_generation() != last_snapshot_model_generation_) {
+      util::Status snapshot = TakeSnapshotLocked();
+      if (!snapshot.ok()) {
+        metrics_.IncSnapshotFailures();
+        ADRDEDUP_LOG_WARNING << "post-swap snapshot failed ("
+                             << snapshot.message()
+                             << "); keeping generation " << generation_;
+      }
+    }
     first_new = static_cast<report::ReportId>(pipeline_->db().size());
     result = pipeline_->ProcessNewReports(reports);
     generation = pipeline_->model_generation();
@@ -210,6 +378,34 @@ void ScreeningService::ProcessBatch(std::vector<PendingRequest> batch) {
       };
       attach(pair.a, pair.b);
       attach(pair.b, pair.a);
+    }
+    if (journal_.has_value()) {
+      const uint64_t bytes_before = journal_->appended_bytes();
+      util::Status logged = journal_->Append(reports);
+      if (!logged.ok()) {
+        // Availability over durability: the batch was answered but is
+        // not on disk; count it so operators can see the loss window.
+        metrics_.IncJournalWriteFailures();
+        ADRDEDUP_LOG_WARNING << "journal append failed — batch of " << n
+                             << " accepted reports is NOT durable: "
+                             << logged.message();
+      } else {
+        metrics_.IncJournalAppends();
+        metrics_.AddJournalBytes(journal_->appended_bytes() - bytes_before);
+      }
+      metrics_.SetJournalFsyncs(journal_->fsyncs());
+      admitted_.insert(admitted_.end(), reports.begin(), reports.end());
+      admitted_since_snapshot_ += n;
+      if (options_.snapshot_every > 0 &&
+          admitted_since_snapshot_ >= options_.snapshot_every) {
+        util::Status snapshot = TakeSnapshotLocked();
+        if (!snapshot.ok()) {
+          metrics_.IncSnapshotFailures();
+          ADRDEDUP_LOG_WARNING << "periodic snapshot failed ("
+                               << snapshot.message()
+                               << "); keeping generation " << generation_;
+        }
+      }
     }
   }
 
@@ -302,6 +498,12 @@ void ScreeningService::RefreshLoop() {
 void ScreeningService::SetRefitFaultHookForTest(std::function<void()> hook) {
   std::lock_guard<std::mutex> lock(refresh_mutex_);
   refit_fault_hook_ = std::move(hook);
+}
+
+void ScreeningService::SetRecoveryObserverForTest(
+    std::function<void()> observer) {
+  ADRDEDUP_CHECK(!started_) << "recovery observer must precede Start()";
+  recovery_observer_ = std::move(observer);
 }
 
 std::string ScreeningService::MetricsJson(bool pretty) {

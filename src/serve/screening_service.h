@@ -33,14 +33,17 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/dedup_pipeline.h"
 #include "minispark/context.h"
+#include "serve/journal.h"
 #include "serve/micro_batch_queue.h"
 #include "serve/service_metrics.h"
+#include "serve/snapshot.h"
 #include "util/backoff.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -76,6 +79,18 @@ struct ScreeningServiceOptions {
   // serving the previous snapshot and retries).
   util::BackoffOptions refresh_backoff{
       /*.base_ms=*/50.0, /*.multiplier=*/2.0, /*.max_ms=*/5000.0};
+  // --- Durability (DESIGN.md §5h) ---
+  // Directory holding the write-ahead journal and atomic snapshots.
+  // Empty disables durability (purely in-memory serving). When set,
+  // Start() recovers the published snapshot generation + journal before
+  // accepting traffic and every accepted micro-batch is journaled.
+  std::string journal_dir;
+  // When journal appends reach the disk (see serve/journal.h).
+  FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
+  // Take a fresh snapshot (truncating the journal) every N admitted
+  // reports, in addition to the snapshots at model swap and Stop().
+  // 0 = swap/shutdown snapshots only.
+  size_t snapshot_every = 0;
 };
 
 // One detected duplicate for a screened report.
@@ -120,9 +135,15 @@ class ScreeningService {
 
   // Spawns the dispatcher and refresher threads. Fits the initial model
   // synchronously if labels are seeded and no classifier was adopted.
-  void Start();
+  // With journal_dir set, first runs crash recovery (health() reads
+  // kRecovering): restores the published snapshot generation, replays
+  // the journal, then publishes a fresh generation. Fails closed —
+  // returns the error and never starts serving — on any corruption the
+  // crash matrix (journal.h) does not tolerate.
+  util::Status Start();
   // Closes the queue, drains and answers every accepted request, then
-  // joins both threads. Idempotent.
+  // joins both threads. With durability on, writes a final snapshot (or
+  // at least syncs the journal) before reporting kStopped. Idempotent.
   void Stop();
 
   // --- Screening (any thread, after Start) ---
@@ -153,6 +174,12 @@ class ScreeningService {
   // Null clears. Sits next to Rdd::DropCachedPartition in spirit.
   void SetRefitFaultHookForTest(std::function<void()> hook);
 
+  // Test hook: runs inside Start() while health() == kRecovering (before
+  // snapshot restore / journal replay), so a test can observe the
+  // recovering state from another thread (e.g. via a pre-started
+  // NetServer's /healthz). Set before Start(); not thread-safe.
+  void SetRecoveryObserverForTest(std::function<void()> observer);
+
   // --- Observability ---
   ServiceMetrics& metrics() { return metrics_; }
   // Full metrics registry as JSON, gauges freshly sampled, with the
@@ -161,6 +188,14 @@ class ScreeningService {
   size_t db_size() const;
   uint64_t model_generation() const;
   bool running() const { return running_.load(std::memory_order_acquire); }
+  // Lifecycle state for /healthz (also exported under metrics
+  // "durability.health"). kRecovering until Start() finishes recovery.
+  HealthState health() const { return metrics_.health(); }
+  // Snapshot generation currently published in journal_dir (0 when
+  // durability is disabled or no snapshot exists yet).
+  uint64_t snapshot_generation() const {
+    return metrics_.snapshot_generation();
+  }
 
  private:
   struct PendingRequest {
@@ -172,6 +207,16 @@ class ScreeningService {
   void DispatchLoop();
   void RefreshLoop();
   void ProcessBatch(std::vector<PendingRequest> batch);
+
+  // Start()-time recovery: restore the published snapshot + replay the
+  // journal (or warm up + publish generation 1 on a fresh journal dir).
+  // No-op without journal_dir. Single-threaded (runs before the workers
+  // spawn).
+  util::Status RecoverOrInitialize();
+  // Publishes generation generation_+1 (state + model + fresh journal +
+  // manifest + CURRENT swap) and retires the previous one. Requires
+  // pipeline_mutex_ held (or pre-thread single-threading in Start).
+  util::Status TakeSnapshotLocked();
 
   minispark::SparkContext* ctx_;
   ScreeningServiceOptions options_;
@@ -199,6 +244,25 @@ class ScreeningService {
 
   std::atomic<bool> running_{false};
   bool started_ = false;  // Start() called at least once
+
+  // --- Durability state (journal_dir set) ---
+  // db().size() after Bootstrap(); recorded in every snapshot so
+  // recovery can verify the restart used the same bootstrap corpus.
+  uint64_t bootstrap_size_ = 0;
+  // Every report admitted after bootstrap, in admission order; the
+  // snapshot's corpus payload. Guarded by pipeline_mutex_ alongside the
+  // pipeline whose database it mirrors.
+  std::vector<report::AdrReport> admitted_;
+  std::unique_ptr<SnapshotStore> snapshot_store_;
+  std::optional<Journal> journal_;  // guarded by pipeline_mutex_
+  // Currently published snapshot generation.
+  uint64_t generation_ = 0;
+  // Pipeline model generation captured by the last snapshot; a batch
+  // arriving after a model swap snapshots first, so journal replay never
+  // re-scores a batch with a different model than the live run used.
+  uint64_t last_snapshot_model_generation_ = 0;
+  size_t admitted_since_snapshot_ = 0;  // dispatcher-only state
+  std::function<void()> recovery_observer_;  // test hook (pre-Start)
 };
 
 }  // namespace adrdedup::serve

@@ -7,6 +7,20 @@
 
 namespace adrdedup::serve {
 
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kIdle:
+      return "idle";
+    case HealthState::kRecovering:
+      return "recovering";
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
 LatencyRecorder::LatencyRecorder(size_t reservoir_capacity)
     : capacity_(std::max<size_t>(1, reservoir_capacity)) {
   reservoir_.reserve(std::min<size_t>(capacity_, 4096));
@@ -191,6 +205,30 @@ std::string ServiceMetrics::ToJson(std::string_view extra_json,
   w.Field("bytes_tx", Load(net_bytes_tx_));
   w.Field("protocol_errors", Load(net_protocol_errors_));
   w.Field("idle_closes", Load(net_idle_closes_));
+  w.EndObject();
+
+  w.Key("durability");
+  w.BeginObject();
+  w.Field("health", HealthStateName(health()));
+  w.Field("snapshot_generation", Load(snapshot_generation_));
+  w.Field("state_fingerprint", Load(state_fingerprint_));
+  w.Key("journal");
+  w.BeginObject();
+  w.Field("appends", Load(journal_appends_));
+  w.Field("bytes", Load(journal_bytes_));
+  w.Field("fsyncs", Load(journal_fsyncs_));
+  w.Field("write_failures", Load(journal_write_failures_));
+  w.EndObject();
+  w.Key("snapshots");
+  w.BeginObject();
+  w.Field("written", Load(snapshots_written_));
+  w.Field("failures", Load(snapshot_failures_));
+  w.EndObject();
+  w.Key("recovery");
+  w.BeginObject();
+  w.Field("replayed_batches", Load(recovery_replayed_batches_));
+  w.Field("replayed_records", Load(recovery_replayed_records_));
+  w.EndObject();
   w.EndObject();
 
   w.Key("latency");

@@ -16,6 +16,19 @@
 
 namespace adrdedup::serve {
 
+// Lifecycle of the screening service as reported by /healthz. The
+// service is kRecovering from Start() until snapshot restore + journal
+// replay finish; the front end answers 503 until kHealthy. (Lives here,
+// not in screening_service.h, so the net layer can name states without
+// pulling in the service headers.)
+enum class HealthState : uint64_t {
+  kIdle = 0,        // constructed, Start() not called yet
+  kRecovering = 1,  // replaying snapshot + journal
+  kHealthy = 2,     // serving
+  kStopped = 3,     // Stop() completed
+};
+const char* HealthStateName(HealthState state);
+
 // Latency sampler: exact count/mean/max plus a bounded uniform reservoir
 // for percentile estimation (unbiased once the reservoir saturates).
 class LatencyRecorder {
@@ -96,6 +109,35 @@ class ServiceMetrics {
   void IncProtocolErrors() { Inc(net_protocol_errors_); }
   void IncIdleCloses() { Inc(net_idle_closes_); }
 
+  // Durability (serve/journal.h + serve/snapshot.h). Journal write
+  // failures mean an accepted batch is NOT on disk (availability over
+  // durability); snapshot failures mean the previous generation stayed
+  // live.
+  void IncJournalAppends() { Inc(journal_appends_); }
+  void AddJournalBytes(uint64_t n) { Add(journal_bytes_, n); }
+  void SetJournalFsyncs(uint64_t n) {
+    journal_fsyncs_.store(n, std::memory_order_relaxed);
+  }
+  void IncJournalWriteFailures() { Inc(journal_write_failures_); }
+  void IncSnapshotsWritten() { Inc(snapshots_written_); }
+  void IncSnapshotFailures() { Inc(snapshot_failures_); }
+  void AddRecoveryReplay(uint64_t batches, uint64_t records) {
+    Add(recovery_replayed_batches_, batches);
+    Add(recovery_replayed_records_, records);
+  }
+  void SetSnapshotGeneration(uint64_t g) {
+    snapshot_generation_.store(g, std::memory_order_relaxed);
+  }
+  void SetStateFingerprint(uint64_t fp) {
+    state_fingerprint_.store(fp, std::memory_order_relaxed);
+  }
+  void SetHealth(HealthState state) {
+    health_.store(static_cast<uint64_t>(state), std::memory_order_release);
+  }
+  HealthState health() const {
+    return static_cast<HealthState>(health_.load(std::memory_order_acquire));
+  }
+
   // Gauges sampled by the service at export time.
   void SetQueueGauges(size_t depth, size_t max_depth, size_t capacity);
   // `dictionary_tokens` tracks the live token-dictionary size of the
@@ -129,6 +171,22 @@ class ServiceMetrics {
   uint64_t duplicates_flagged() const { return Load(duplicates_flagged_); }
   uint64_t model_swaps() const { return Load(model_swaps_); }
   uint64_t max_batch_size() const { return Load(batch_max_); }
+  uint64_t journal_appends() const { return Load(journal_appends_); }
+  uint64_t journal_bytes() const { return Load(journal_bytes_); }
+  uint64_t journal_fsyncs() const { return Load(journal_fsyncs_); }
+  uint64_t journal_write_failures() const {
+    return Load(journal_write_failures_);
+  }
+  uint64_t snapshots_written() const { return Load(snapshots_written_); }
+  uint64_t snapshot_failures() const { return Load(snapshot_failures_); }
+  uint64_t recovery_replayed_batches() const {
+    return Load(recovery_replayed_batches_);
+  }
+  uint64_t recovery_replayed_records() const {
+    return Load(recovery_replayed_records_);
+  }
+  uint64_t snapshot_generation() const { return Load(snapshot_generation_); }
+  uint64_t state_fingerprint() const { return Load(state_fingerprint_); }
   LatencyRecorder::Summary TotalLatency() const {
     return total_latency_.Summarize();
   }
@@ -183,6 +241,17 @@ class ServiceMetrics {
   std::atomic<uint64_t> net_bytes_tx_{0};
   std::atomic<uint64_t> net_protocol_errors_{0};
   std::atomic<uint64_t> net_idle_closes_{0};
+  std::atomic<uint64_t> journal_appends_{0};
+  std::atomic<uint64_t> journal_bytes_{0};
+  std::atomic<uint64_t> journal_fsyncs_{0};
+  std::atomic<uint64_t> journal_write_failures_{0};
+  std::atomic<uint64_t> snapshots_written_{0};
+  std::atomic<uint64_t> snapshot_failures_{0};
+  std::atomic<uint64_t> recovery_replayed_batches_{0};
+  std::atomic<uint64_t> recovery_replayed_records_{0};
+  std::atomic<uint64_t> snapshot_generation_{0};
+  std::atomic<uint64_t> state_fingerprint_{0};
+  std::atomic<uint64_t> health_{static_cast<uint64_t>(HealthState::kIdle)};
   LatencyRecorder queue_wait_;
   LatencyRecorder total_latency_;
 };

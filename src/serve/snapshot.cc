@@ -1,0 +1,264 @@
+#include "serve/snapshot.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "minispark/storage/serializer.h"
+#include "serve/report_serializer.h"
+#include "util/crc32.h"
+#include "util/fault_fs.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace adrdedup::serve {
+
+namespace {
+
+namespace storage = minispark::storage;
+
+constexpr char kStateMagic[8] = {'A', 'D', 'R', 'S', 'T', 'A', '1', '\0'};
+constexpr char kManifestMagic[8] = {'A', 'D', 'R', 'M', 'A', 'N', '1', '\0'};
+
+template <typename T>
+void WriteField(std::string* out, const T& value) {
+  storage::Serializer<T>::Write(out, value);
+}
+
+template <typename T>
+bool ReadField(const char** cursor, const char* end, T* value) {
+  return storage::Serializer<T>::Read(cursor, end, value);
+}
+
+}  // namespace
+
+std::string EncodeServingState(const ServingState& state) {
+  std::string out;
+  out.append(kStateMagic, sizeof(kStateMagic));
+  WriteField(&out, state.bootstrap_size);
+  WriteField(&out, state.admitted);
+  WriteField(&out, state.pipeline.positive_store);
+  WriteField(&out, state.pipeline.negative_store);
+  WriteField(&out, state.pipeline.negatives_seen);
+  WriteField(&out, state.pipeline.model_generation);
+  WriteField(&out, state.pipeline.pruner_fit_positives);
+  WriteField(&out, state.pipeline.rng);
+  WriteField(&out, state.corpus_fingerprint);
+  return out;
+}
+
+util::Status DecodeServingState(std::string_view bytes, ServingState* state) {
+  if (bytes.size() < sizeof(kStateMagic) ||
+      std::memcmp(bytes.data(), kStateMagic, sizeof(kStateMagic)) != 0) {
+    return util::Status::IoError("bad serving-state magic");
+  }
+  const char* cursor = bytes.data() + sizeof(kStateMagic);
+  const char* end = bytes.data() + bytes.size();
+  if (!ReadField(&cursor, end, &state->bootstrap_size) ||
+      !ReadField(&cursor, end, &state->admitted) ||
+      !ReadField(&cursor, end, &state->pipeline.positive_store) ||
+      !ReadField(&cursor, end, &state->pipeline.negative_store) ||
+      !ReadField(&cursor, end, &state->pipeline.negatives_seen) ||
+      !ReadField(&cursor, end, &state->pipeline.model_generation) ||
+      !ReadField(&cursor, end, &state->pipeline.pruner_fit_positives) ||
+      !ReadField(&cursor, end, &state->pipeline.rng) ||
+      !ReadField(&cursor, end, &state->corpus_fingerprint)) {
+    return util::Status::IoError("truncated serving-state payload");
+  }
+  if (cursor != end) {
+    return util::Status::IoError("trailing bytes after serving state");
+  }
+  return util::Status::OK();
+}
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string SnapshotStore::StatePath(uint64_t generation) const {
+  return dir_ + "/snapshot-" + std::to_string(generation) + ".state";
+}
+
+std::string SnapshotStore::ModelPath(uint64_t generation) const {
+  return dir_ + "/snapshot-" + std::to_string(generation) + ".model";
+}
+
+std::string SnapshotStore::ManifestPath(uint64_t generation) const {
+  return dir_ + "/MANIFEST-" + std::to_string(generation);
+}
+
+std::string SnapshotStore::JournalPath(uint64_t generation) const {
+  return dir_ + "/journal-" + std::to_string(generation) + ".wal";
+}
+
+util::Result<SnapshotStore::LoadedSnapshot> SnapshotStore::Load() const {
+  util::FaultFs& fs = util::FaultFs::Instance();
+  auto current = fs.ReadFile(dir_ + "/CURRENT", util::FileClass::kSnapshot);
+  if (!current.ok()) {
+    if (current.status().code() == util::StatusCode::kNotFound) {
+      return util::Status::NotFound("no snapshot published in " + dir_);
+    }
+    return current.status();
+  }
+  std::string_view pointer = util::TrimAscii(current.value());
+  constexpr std::string_view kPrefix = "MANIFEST-";
+  if (!util::StartsWith(pointer, kPrefix)) {
+    return util::Status::IoError("corrupt CURRENT pointer in " + dir_ +
+                                 ": '" + std::string(pointer) + "'");
+  }
+  uint64_t generation = 0;
+  try {
+    size_t used = 0;
+    std::string digits(pointer.substr(kPrefix.size()));
+    generation = std::stoull(digits, &used);
+    if (used != digits.size()) throw std::invalid_argument(digits);
+  } catch (const std::exception&) {
+    return util::Status::IoError("corrupt CURRENT pointer in " + dir_ +
+                                 ": '" + std::string(pointer) + "'");
+  }
+
+  auto manifest =
+      fs.ReadFile(ManifestPath(generation), util::FileClass::kSnapshot);
+  if (!manifest.ok()) {
+    return util::Status::IoError(
+        "CURRENT names generation " + std::to_string(generation) +
+        " but its manifest is unreadable: " +
+        manifest.status().ToString());
+  }
+  const std::string& m = manifest.value();
+  constexpr size_t kManifestSize = sizeof(kManifestMagic) + sizeof(uint64_t) +
+                                   2 * (sizeof(uint64_t) + sizeof(uint32_t)) +
+                                   sizeof(uint32_t);
+  if (m.size() != kManifestSize ||
+      std::memcmp(m.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return util::Status::IoError("corrupt manifest " +
+                                 ManifestPath(generation));
+  }
+  uint32_t manifest_crc = 0;
+  std::memcpy(&manifest_crc, m.data() + m.size() - sizeof(manifest_crc),
+              sizeof(manifest_crc));
+  if (util::Crc32(std::string_view(m.data(),
+                                   m.size() - sizeof(manifest_crc))) !=
+      manifest_crc) {
+    return util::Status::IoError("manifest CRC mismatch: " +
+                                 ManifestPath(generation));
+  }
+  const char* cursor = m.data() + sizeof(kManifestMagic);
+  uint64_t recorded_generation = 0;
+  uint64_t state_size = 0;
+  uint32_t state_crc = 0;
+  uint64_t model_size = 0;
+  uint32_t model_crc = 0;
+  std::memcpy(&recorded_generation, cursor, sizeof(recorded_generation));
+  cursor += sizeof(recorded_generation);
+  std::memcpy(&state_size, cursor, sizeof(state_size));
+  cursor += sizeof(state_size);
+  std::memcpy(&state_crc, cursor, sizeof(state_crc));
+  cursor += sizeof(state_crc);
+  std::memcpy(&model_size, cursor, sizeof(model_size));
+  cursor += sizeof(model_size);
+  std::memcpy(&model_crc, cursor, sizeof(model_crc));
+  if (recorded_generation != generation) {
+    return util::Status::IoError(
+        "manifest " + ManifestPath(generation) + " records generation " +
+        std::to_string(recorded_generation));
+  }
+
+  LoadedSnapshot loaded;
+  loaded.generation = generation;
+
+  auto state_bytes =
+      fs.ReadFile(StatePath(generation), util::FileClass::kSnapshot);
+  if (!state_bytes.ok()) {
+    return util::Status::IoError("cannot read snapshot state: " +
+                                 state_bytes.status().ToString());
+  }
+  if (state_bytes.value().size() != state_size ||
+      util::Crc32(state_bytes.value()) != state_crc) {
+    return util::Status::IoError(
+        "snapshot state " + StatePath(generation) +
+        " does not match its manifest (size/CRC); refusing to recover");
+  }
+  util::Status decoded =
+      DecodeServingState(state_bytes.value(), &loaded.state);
+  if (!decoded.ok()) {
+    return util::Status::IoError("snapshot state " + StatePath(generation) +
+                                 " fails to decode: " + decoded.message());
+  }
+
+  auto model_bytes =
+      fs.ReadFile(ModelPath(generation), util::FileClass::kSnapshot);
+  if (!model_bytes.ok()) {
+    return util::Status::IoError("cannot read snapshot model: " +
+                                 model_bytes.status().ToString());
+  }
+  if (model_bytes.value().size() != model_size ||
+      util::Crc32(model_bytes.value()) != model_crc) {
+    return util::Status::IoError(
+        "snapshot model " + ModelPath(generation) +
+        " does not match its manifest (size/CRC); refusing to recover");
+  }
+  loaded.model_bytes = std::move(model_bytes).value();
+  return loaded;
+}
+
+util::Status SnapshotStore::WriteSnapshotFiles(uint64_t generation,
+                                               const ServingState& state,
+                                               std::string_view model_bytes) {
+  util::FaultFs& fs = util::FaultFs::Instance();
+  has_pending_ = false;
+  const std::string state_bytes = EncodeServingState(state);
+  ADRDEDUP_RETURN_NOT_OK(fs.WriteFileAtomic(StatePath(generation), state_bytes,
+                                            util::FileClass::kSnapshot));
+  ADRDEDUP_RETURN_NOT_OK(fs.WriteFileAtomic(ModelPath(generation), model_bytes,
+                                            util::FileClass::kSnapshot));
+  pending_generation_ = generation;
+  pending_state_size_ = state_bytes.size();
+  pending_state_crc_ = util::Crc32(state_bytes);
+  pending_model_size_ = model_bytes.size();
+  pending_model_crc_ = util::Crc32(model_bytes);
+  has_pending_ = true;
+  return util::Status::OK();
+}
+
+util::Status SnapshotStore::PublishGeneration(uint64_t generation) {
+  if (!has_pending_ || pending_generation_ != generation) {
+    return util::Status::FailedPrecondition(
+        "PublishGeneration without a matching WriteSnapshotFiles");
+  }
+  std::string manifest;
+  manifest.append(kManifestMagic, sizeof(kManifestMagic));
+  manifest.append(reinterpret_cast<const char*>(&generation),
+                  sizeof(generation));
+  manifest.append(reinterpret_cast<const char*>(&pending_state_size_),
+                  sizeof(pending_state_size_));
+  manifest.append(reinterpret_cast<const char*>(&pending_state_crc_),
+                  sizeof(pending_state_crc_));
+  manifest.append(reinterpret_cast<const char*>(&pending_model_size_),
+                  sizeof(pending_model_size_));
+  manifest.append(reinterpret_cast<const char*>(&pending_model_crc_),
+                  sizeof(pending_model_crc_));
+  const uint32_t crc = util::Crc32(manifest);
+  manifest.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  util::FaultFs& fs = util::FaultFs::Instance();
+  ADRDEDUP_RETURN_NOT_OK(fs.WriteFileAtomic(
+      ManifestPath(generation), manifest, util::FileClass::kSnapshot));
+  // The commit point: once CURRENT's rename lands, generation g is live.
+  ADRDEDUP_RETURN_NOT_OK(fs.WriteFileAtomic(
+      dir_ + "/CURRENT", "MANIFEST-" + std::to_string(generation) + "\n",
+      util::FileClass::kSnapshot));
+  has_pending_ = false;
+  return util::Status::OK();
+}
+
+void SnapshotStore::RemoveGeneration(uint64_t generation) const {
+  std::error_code ec;
+  std::filesystem::remove(ManifestPath(generation), ec);
+  std::filesystem::remove(StatePath(generation), ec);
+  std::filesystem::remove(ModelPath(generation), ec);
+  std::filesystem::remove(JournalPath(generation), ec);
+}
+
+}  // namespace adrdedup::serve

@@ -1,0 +1,102 @@
+// Atomic snapshot protocol for the screening service (DESIGN.md §5h).
+//
+// A snapshot *generation* g consists of four files in the journal dir:
+//   snapshot-<g>.state  — ServingState (admitted corpus + mutable
+//                         pipeline state), written temp+fsync+rename
+//   snapshot-<g>.model  — FastKnnClassifier::Save bytes, same protocol
+//   journal-<g>.wal     — the WAL of batches accepted after g
+//   MANIFEST-<g>        — CRC'd manifest recording the size + CRC-32 of
+//                         the state and model files
+// plus the generation pointer:
+//   CURRENT             — "MANIFEST-<g>\n", swapped by atomic rename
+//
+// Publish order (each step durable before the next): state + model
+// files -> journal-<g>.wal created -> MANIFEST-<g> -> CURRENT rename ->
+// best-effort removal of generation g-1. A crash at any point leaves
+// CURRENT pointing at a complete generation; recovery never reads a file
+// the manifest does not vouch for byte-by-byte.
+#ifndef ADRDEDUP_SERVE_SNAPSHOT_H_
+#define ADRDEDUP_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dedup_pipeline.h"
+#include "report/report.h"
+#include "util/status.h"
+
+namespace adrdedup::serve {
+
+// Everything a restarted service needs (besides the bootstrap CSV and
+// the model file) to rebuild bit-identical screening state: the
+// post-bootstrap corpus in admission order, the pipeline's mutable
+// state, and a fingerprint of the corpus the state was exported against.
+struct ServingState {
+  // db().size() at Bootstrap time; recovery checks the restart's
+  // bootstrap corpus has the same size before re-ingesting.
+  uint64_t bootstrap_size = 0;
+  // Reports admitted after bootstrap, in admission order (union of all
+  // snapshotted journal batches). Replayed through ReingestForRecovery.
+  std::vector<report::AdrReport> admitted;
+  core::PipelineServingState pipeline;
+  // DedupPipeline::CorpusFingerprint() at export time; recovery fails
+  // closed when the rebuilt corpus disagrees.
+  uint64_t corpus_fingerprint = 0;
+};
+
+// Binary codec for ServingState ("ADRSTA1\0"-tagged, storage-Serializer
+// encoded). Decode fails on bad magic, truncation or trailing bytes.
+std::string EncodeServingState(const ServingState& state);
+util::Status DecodeServingState(std::string_view bytes, ServingState* state);
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  std::string StatePath(uint64_t generation) const;
+  std::string ModelPath(uint64_t generation) const;
+  std::string ManifestPath(uint64_t generation) const;
+  std::string JournalPath(uint64_t generation) const;
+
+  struct LoadedSnapshot {
+    uint64_t generation = 0;
+    ServingState state;
+    std::string model_bytes;
+  };
+
+  // Reads CURRENT -> manifest -> state + model, verifying every size and
+  // CRC against the manifest. NotFound when no snapshot was ever
+  // published; IoError (fail closed, actionable) on any corruption.
+  util::Result<LoadedSnapshot> Load() const;
+
+  // Step 1 of publishing generation g: write the state and model files
+  // crash-atomically and remember their sizes/CRCs for the manifest.
+  util::Status WriteSnapshotFiles(uint64_t generation,
+                                  const ServingState& state,
+                                  std::string_view model_bytes);
+
+  // Step 2, after journal-<g>.wal exists durably: write MANIFEST-<g> and
+  // swap CURRENT. Requires a preceding WriteSnapshotFiles(g, ...).
+  util::Status PublishGeneration(uint64_t generation);
+
+  // Best-effort removal of a superseded generation's files.
+  void RemoveGeneration(uint64_t generation) const;
+
+ private:
+  std::string dir_;
+  // Pending manifest payload recorded by WriteSnapshotFiles.
+  uint64_t pending_generation_ = 0;
+  uint64_t pending_state_size_ = 0;
+  uint32_t pending_state_crc_ = 0;
+  uint64_t pending_model_size_ = 0;
+  uint32_t pending_model_crc_ = 0;
+  bool has_pending_ = false;
+};
+
+}  // namespace adrdedup::serve
+
+#endif  // ADRDEDUP_SERVE_SNAPSHOT_H_

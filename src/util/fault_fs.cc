@@ -1,0 +1,475 @@
+#include "util/fault_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace adrdedup::util {
+namespace {
+
+// SplitMix64 — the same mixer the minispark FaultInjector uses: cheap,
+// stateless, and well distributed for per-op hash draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double ToUnitDouble(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// Parent directory of `path` ("" if none).
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Result<uint32_t> ParseClassList(std::string_view text) {
+  uint32_t mask = 0;
+  for (const std::string& piece : Split(text, '+')) {
+    std::string name = ToLowerAscii(TrimAscii(piece));
+    if (name == "all") {
+      mask |= kAllFileClasses;
+    } else if (name == "other") {
+      mask |= FileClassBit(FileClass::kOther);
+    } else if (name == "spill") {
+      mask |= FileClassBit(FileClass::kSpill);
+    } else if (name == "checkpoint") {
+      mask |= FileClassBit(FileClass::kCheckpoint);
+    } else if (name == "snapshot") {
+      mask |= FileClassBit(FileClass::kSnapshot);
+    } else if (name == "journal") {
+      mask |= FileClassBit(FileClass::kJournal);
+    } else {
+      return Status::InvalidArgument("unknown fault file class: " + name);
+    }
+  }
+  if (mask == 0) {
+    return Status::InvalidArgument("fault class list selects nothing");
+  }
+  return mask;
+}
+
+Result<double> ParseRate(const std::string& key, std::string_view value) {
+  try {
+    size_t used = 0;
+    std::string text(value);
+    double rate = std::stod(text, &used);
+    if (used != text.size() || rate < 0.0 || rate > 1.0) {
+      return Status::InvalidArgument("fault rate out of [0,1] for " + key +
+                                     ": " + text);
+    }
+    return rate;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed fault rate for " + key + ": " +
+                                   std::string(value));
+  }
+}
+
+Result<uint64_t> ParseCount(const std::string& key, std::string_view value) {
+  try {
+    size_t used = 0;
+    std::string text(value);
+    unsigned long long count = std::stoull(text, &used);
+    if (used != text.size()) {
+      return Status::InvalidArgument("malformed count for " + key + ": " +
+                                     text);
+    }
+    return static_cast<uint64_t>(count);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed count for " + key + ": " +
+                                   std::string(value));
+  }
+}
+
+}  // namespace
+
+const char* FileClassName(FileClass cls) {
+  switch (cls) {
+    case FileClass::kOther:
+      return "other";
+    case FileClass::kSpill:
+      return "spill";
+    case FileClass::kCheckpoint:
+      return "checkpoint";
+    case FileClass::kSnapshot:
+      return "snapshot";
+    case FileClass::kJournal:
+      return "journal";
+  }
+  return "unknown";
+}
+
+Result<FaultScript> ParseFaultScript(const std::string& text) {
+  FaultScript script;
+  std::string_view trimmed = TrimAscii(text);
+  if (trimmed.empty()) return script;
+  for (const std::string& piece : Split(trimmed, ',')) {
+    std::string_view entry = TrimAscii(piece);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault script entry missing '=': " +
+                                     std::string(entry));
+    }
+    std::string key = ToLowerAscii(TrimAscii(entry.substr(0, eq)));
+    std::string_view value = TrimAscii(entry.substr(eq + 1));
+    if (key == "seed") {
+      auto parsed = ParseCount(key, value);
+      ADRDEDUP_RETURN_NOT_OK(parsed.status());
+      script.seed = parsed.value();
+    } else if (key == "short_write" || key == "short_write_rate") {
+      auto parsed = ParseRate(key, value);
+      ADRDEDUP_RETURN_NOT_OK(parsed.status());
+      script.short_write_rate = parsed.value();
+    } else if (key == "enospc" || key == "enospc_rate") {
+      auto parsed = ParseRate(key, value);
+      ADRDEDUP_RETURN_NOT_OK(parsed.status());
+      script.enospc_rate = parsed.value();
+    } else if (key == "eio" || key == "eio_rate") {
+      auto parsed = ParseRate(key, value);
+      ADRDEDUP_RETURN_NOT_OK(parsed.status());
+      script.eio_rate = parsed.value();
+    } else if (key == "read_flip" || key == "read_flip_rate") {
+      auto parsed = ParseRate(key, value);
+      ADRDEDUP_RETURN_NOT_OK(parsed.status());
+      script.read_flip_rate = parsed.value();
+    } else if (key == "crash_after" || key == "crash_after_ops") {
+      auto parsed = ParseCount(key, value);
+      ADRDEDUP_RETURN_NOT_OK(parsed.status());
+      script.crash_after_ops = parsed.value();
+    } else if (key == "classes") {
+      auto parsed = ParseClassList(value);
+      ADRDEDUP_RETURN_NOT_OK(parsed.status());
+      script.class_mask = parsed.value();
+    } else {
+      return Status::InvalidArgument("unknown fault script key: " + key);
+    }
+  }
+  return script;
+}
+
+std::string FormatFaultScript(const FaultScript& script) {
+  std::ostringstream out;
+  out << "seed=" << script.seed;
+  if (script.short_write_rate > 0.0) {
+    out << ",short_write=" << script.short_write_rate;
+  }
+  if (script.enospc_rate > 0.0) out << ",enospc=" << script.enospc_rate;
+  if (script.eio_rate > 0.0) out << ",eio=" << script.eio_rate;
+  if (script.read_flip_rate > 0.0) {
+    out << ",read_flip=" << script.read_flip_rate;
+  }
+  if (script.crash_after_ops > 0) {
+    out << ",crash_after=" << script.crash_after_ops;
+  }
+  if (script.class_mask != kAllFileClasses) {
+    out << ",classes=";
+    bool first = true;
+    for (int i = 0; i < kNumFileClasses; ++i) {
+      FileClass cls = static_cast<FileClass>(i);
+      if ((script.class_mask & FileClassBit(cls)) == 0) continue;
+      if (!first) out << "+";
+      out << FileClassName(cls);
+      first = false;
+    }
+  }
+  return out.str();
+}
+
+FaultFs& FaultFs::Instance() {
+  static FaultFs* instance = new FaultFs();
+  return *instance;
+}
+
+FaultFs::FaultFs() {
+  const char* env = std::getenv("ADRDEDUP_IO_FAULTS");
+  if (env == nullptr || env[0] == '\0') return;
+  auto parsed = ParseFaultScript(env);
+  ADRDEDUP_CHECK(parsed.ok()) << "bad ADRDEDUP_IO_FAULTS: "
+                              << parsed.status().ToString();
+  script_ = parsed.value();
+}
+
+void FaultFs::SetScript(const FaultScript& script) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  script_ = script;
+  op_counter_.store(0, std::memory_order_relaxed);
+  fault_counter_.store(0, std::memory_order_relaxed);
+}
+
+void FaultFs::ClearScript() { SetScript(FaultScript{}); }
+
+FaultScript FaultFs::script() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return script_;
+}
+
+uint64_t FaultFs::op_count() const {
+  return op_counter_.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultFs::faults_injected() const {
+  return fault_counter_.load(std::memory_order_relaxed);
+}
+
+FaultFs::FaultDecision FaultFs::NextDecision(OpKind kind, FileClass cls) {
+  FaultDecision decision;
+  FaultScript script;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    script = script_;
+  }
+  if (!script.Enabled() || !script.AppliesTo(cls)) return decision;
+  uint64_t op = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (script.crash_after_ops > 0 && op >= script.crash_after_ops) {
+    decision.crash = true;
+    fault_counter_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  uint64_t h = Mix64(script.seed ^ Mix64(op));
+  double u = ToUnitDouble(h);
+  decision.flip_entropy = Mix64(h);
+  switch (kind) {
+    case OpKind::kWrite: {
+      double cut = script.enospc_rate;
+      if (u < cut) {
+        decision.enospc = true;
+        break;
+      }
+      cut += script.eio_rate;
+      if (u < cut) {
+        decision.eio = true;
+        break;
+      }
+      cut += script.short_write_rate;
+      if (u < cut) decision.short_write = true;
+      break;
+    }
+    case OpKind::kFsync: {
+      double cut = script.enospc_rate;
+      if (u < cut) {
+        decision.enospc = true;
+        break;
+      }
+      cut += script.eio_rate;
+      if (u < cut) decision.eio = true;
+      break;
+    }
+    case OpKind::kRename:
+      if (u < script.eio_rate) decision.eio = true;
+      break;
+    case OpKind::kRead:
+      if (u < script.read_flip_rate) decision.read_flip = true;
+      break;
+  }
+  if (decision.enospc || decision.eio || decision.short_write ||
+      decision.read_flip) {
+    fault_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+namespace {
+
+// Writes all of [data, data+size) to fd, looping over genuine short
+// writes from the kernel. Returns an errno-style Status on failure.
+Status RawWriteAll(int fd, const char* data, size_t size,
+                   const std::string& what) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(what + ": " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultFs::Append(int fd, std::string_view data, FileClass cls) {
+  FaultDecision decision = NextDecision(OpKind::kWrite, cls);
+  if (decision.crash) {
+    // Persist a torn prefix, then die: the on-disk state a power cut
+    // mid-write leaves behind.
+    if (!data.empty()) {
+      RawWriteAll(fd, data.data(), data.size() / 2, "torn crash write");
+    }
+    ::fsync(fd);
+    ADRDEDUP_LOG_WARNING << "FaultFs: injected crash (op "
+                          << op_count() << ")";
+    ::_exit(137);
+  }
+  if (decision.enospc) {
+    return Status::IoError("injected ENOSPC writing " +
+                           std::string(FileClassName(cls)) + " file");
+  }
+  if (decision.eio) {
+    return Status::IoError("injected EIO writing " +
+                           std::string(FileClassName(cls)) + " file");
+  }
+  if (decision.short_write) {
+    // Persist half the payload, then report failure — a torn write the
+    // caller must clean up (or a tmp file the atomic path discards).
+    if (!data.empty()) {
+      RawWriteAll(fd, data.data(), data.size() / 2, "injected short write");
+    }
+    return Status::IoError("injected short write on " +
+                           std::string(FileClassName(cls)) + " file");
+  }
+  return RawWriteAll(fd, data.data(), data.size(), "write failed");
+}
+
+Status FaultFs::Fsync(int fd, FileClass cls) {
+  FaultDecision decision = NextDecision(OpKind::kFsync, cls);
+  if (decision.crash) {
+    ADRDEDUP_LOG_WARNING << "FaultFs: injected crash (op "
+                          << op_count() << ")";
+    ::_exit(137);
+  }
+  if (decision.enospc || decision.eio) {
+    return Status::IoError(std::string("injected ") +
+                           (decision.enospc ? "ENOSPC" : "EIO") +
+                           " on fsync of " + FileClassName(cls) + " file");
+  }
+  if (::fsync(fd) != 0) {
+    return Status::IoError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to,
+                       FileClass cls) {
+  FaultDecision decision = NextDecision(OpKind::kRename, cls);
+  if (decision.crash) {
+    ADRDEDUP_LOG_WARNING << "FaultFs: injected crash (op "
+                          << op_count() << ")";
+    ::_exit(137);
+  }
+  if (decision.eio) {
+    return Status::IoError("injected EIO renaming " + from + " -> " + to);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename failed:", from + " -> " + to));
+  }
+  return Status::OK();
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open directory", dir));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Status::IoError(ErrnoMessage("cannot fsync directory", dir));
+  }
+  return Status::OK();
+}
+
+Result<int> FaultFs::OpenAppend(const std::string& path, FileClass cls) {
+  (void)cls;
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open for append", path));
+  }
+  return fd;
+}
+
+void FaultFs::CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+Status FaultFs::WriteFile(const std::string& path, std::string_view payload,
+                          FileClass cls) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open for write", path));
+  }
+  Status status = Append(fd, payload, cls);
+  ::close(fd);
+  return status;
+}
+
+Status FaultFs::WriteFileAtomic(const std::string& path,
+                                std::string_view payload, FileClass cls) {
+  std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open temp file", tmp));
+  }
+  Status status = Append(fd, payload, cls);
+  if (status.ok()) status = Fsync(fd, cls);
+  ::close(fd);
+  if (status.ok()) status = Rename(tmp, path, cls);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Make the rename itself durable. A failure here is surfaced: callers
+  // treat the snapshot as not-yet-published.
+  return SyncDir(DirName(path));
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path,
+                                      FileClass cls) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(ErrnoMessage("cannot open", path));
+    }
+    return Status::IoError(ErrnoMessage("cannot open", path));
+  }
+  std::string data;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return Status::IoError(ErrnoMessage("read failed", path));
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  FaultDecision decision = NextDecision(OpKind::kRead, cls);
+  if (decision.crash) {
+    ADRDEDUP_LOG_WARNING << "FaultFs: injected crash (op "
+                          << op_count() << ")";
+    ::_exit(137);
+  }
+  if (decision.read_flip && !data.empty()) {
+    uint64_t bit = decision.flip_entropy % (data.size() * 8);
+    data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+  return data;
+}
+
+}  // namespace adrdedup::util

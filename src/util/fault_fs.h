@@ -1,0 +1,161 @@
+// Injectable file-I/O shim with a seeded deterministic fault script.
+//
+// Every durability-sensitive file operation in the system (spill blocks,
+// checkpoints, model snapshots, the serve write-ahead journal) is routed
+// through FaultFs::Instance() so a single seeded script can inject short
+// writes, ENOSPC, EIO, bit-flips-on-read and crash-after-N-ops at
+// deterministic points — the storage-layer analogue of the minispark
+// FaultInjector (DESIGN.md §5c). With no script installed every call is a
+// thin wrapper over POSIX I/O.
+//
+// Determinism contract: whether op number k faults is a pure function of
+// (script seed, k, op kind), independent of thread interleaving; the op
+// counter is a process-global atomic so a given single-threaded call
+// sequence always faults at the same points.
+#ifndef ADRDEDUP_UTIL_FAULT_FS_H_
+#define ADRDEDUP_UTIL_FAULT_FS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace adrdedup::util {
+
+// Which durability subsystem a file belongs to. Fault scripts can scope
+// injection to a subset of classes (e.g. faults on spill + checkpoint
+// only, leaving the journal clean).
+enum class FileClass : uint32_t {
+  kOther = 0,
+  kSpill = 1,
+  kCheckpoint = 2,
+  kSnapshot = 3,
+  kJournal = 4,
+};
+
+inline constexpr int kNumFileClasses = 5;
+
+// Canonical lower-case name ("spill", "journal", ...).
+const char* FileClassName(FileClass cls);
+
+inline constexpr uint32_t FileClassBit(FileClass cls) {
+  return 1u << static_cast<uint32_t>(cls);
+}
+
+inline constexpr uint32_t kAllFileClasses =
+    (1u << kNumFileClasses) - 1;
+
+// A deterministic fault script. Rates are per-operation probabilities in
+// [0, 1]; the draw for op k is a pure function of (seed, k). A script
+// with all rates zero and crash_after_ops == 0 injects nothing.
+struct FaultScript {
+  uint64_t seed = 0;
+  // Probability a write persists only a prefix and reports an error.
+  double short_write_rate = 0.0;
+  // Probability a write/fsync fails with a simulated ENOSPC.
+  double enospc_rate = 0.0;
+  // Probability a write/fsync/rename fails with a simulated EIO.
+  double eio_rate = 0.0;
+  // Probability a whole-file read has one deterministic bit flipped.
+  double read_flip_rate = 0.0;
+  // If non-zero, the process _exit(137)s at faultable op number N
+  // (1-based), after persisting a torn prefix when the op is a write.
+  uint64_t crash_after_ops = 0;
+  // Bitmask of FileClassBit() values the script applies to.
+  uint32_t class_mask = kAllFileClasses;
+
+  bool Enabled() const {
+    return short_write_rate > 0.0 || enospc_rate > 0.0 || eio_rate > 0.0 ||
+           read_flip_rate > 0.0 || crash_after_ops > 0;
+  }
+  bool AppliesTo(FileClass cls) const {
+    return (class_mask & FileClassBit(cls)) != 0;
+  }
+};
+
+// Parses "seed=7,short_write=0.1,enospc=0.05,eio=0.02,read_flip=0.1,
+// crash_after=40,classes=spill+checkpoint". Unknown keys, malformed
+// numbers, rates outside [0,1] and unknown class names are
+// InvalidArgument. `classes=all` (the default) selects every class.
+Result<FaultScript> ParseFaultScript(const std::string& text);
+
+// Round-trippable textual form of `script`.
+std::string FormatFaultScript(const FaultScript& script);
+
+class FaultFs {
+ public:
+  // Process-wide instance. On first use, picks up a script from the
+  // ADRDEDUP_IO_FAULTS environment variable if set (so forked/exec'd
+  // children inherit the chaos configuration); a malformed env script
+  // aborts rather than silently running fault-free.
+  static FaultFs& Instance();
+
+  // Installs `script` and resets the op counter.
+  void SetScript(const FaultScript& script);
+  // Removes any script; subsequent calls are plain POSIX I/O.
+  void ClearScript();
+  FaultScript script() const;
+  // Faultable operations issued since the last SetScript/ClearScript.
+  uint64_t op_count() const;
+  // How many of those ops actually faulted (any injected failure or
+  // bit-flip; the crash op counts too, for what little that is worth).
+  uint64_t faults_injected() const;
+
+  // --- Whole-file helpers -------------------------------------------------
+  // Write-in-place (no durability guarantee; the atomic variant below is
+  // what snapshot/manifest writers use).
+  Status WriteFile(const std::string& path, std::string_view payload,
+                   FileClass cls);
+  // Crash-atomic publish: write `path`.tmp.<pid>, fsync it, rename over
+  // `path`, fsync the parent directory. On any failure the tmp file is
+  // unlinked and `path` is untouched.
+  Status WriteFileAtomic(const std::string& path, std::string_view payload,
+                         FileClass cls);
+  // Reads the whole file. Subject to read_flip_rate bit corruption.
+  Result<std::string> ReadFile(const std::string& path, FileClass cls);
+
+  // --- fd-level surface (journal append path) -----------------------------
+  // Opens for appending (O_WRONLY|O_CREAT|O_APPEND). Not fault-injected:
+  // open failures are environmental, not scripted.
+  Result<int> OpenAppend(const std::string& path, FileClass cls);
+  // Appends all of `data` (subject to short-write/ENOSPC/EIO faults). On
+  // a fault a torn prefix may remain in the file; callers that need a
+  // clean tail must truncate back themselves (see serve::Journal).
+  Status Append(int fd, std::string_view data, FileClass cls);
+  Status Fsync(int fd, FileClass cls);
+  Status Rename(const std::string& from, const std::string& to,
+                FileClass cls);
+  // fsyncs a directory so a completed rename survives power loss.
+  Status SyncDir(const std::string& dir);
+  static void CloseFd(int fd);
+
+ private:
+  FaultFs();
+
+  enum class OpKind : uint32_t { kWrite = 1, kFsync = 2, kRename = 3, kRead = 4 };
+
+  struct FaultDecision {
+    bool crash = false;       // _exit after persisting a torn prefix
+    bool enospc = false;
+    bool eio = false;
+    bool short_write = false;
+    bool read_flip = false;
+    uint64_t flip_entropy = 0;  // picks the flipped bit for reads
+  };
+
+  // Draws the deterministic decision for the next op of `kind` on class
+  // `cls`; advances the op counter iff the script applies to `cls`.
+  FaultDecision NextDecision(OpKind kind, FileClass cls);
+
+  mutable std::mutex mutex_;
+  FaultScript script_;
+  std::atomic<uint64_t> op_counter_{0};
+  std::atomic<uint64_t> fault_counter_{0};
+};
+
+}  // namespace adrdedup::util
+
+#endif  // ADRDEDUP_UTIL_FAULT_FS_H_

@@ -107,4 +107,18 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.cached_gaussian = cached_gaussian_;
+  state.has_cached_gaussian = has_cached_gaussian_ ? 1 : 0;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_gaussian_ = state.cached_gaussian;
+  has_cached_gaussian_ = state.has_cached_gaussian != 0;
+}
+
 }  // namespace adrdedup::util

@@ -17,6 +17,21 @@ namespace adrdedup::util {
 // Used for seeding and as a cheap standalone mixer.
 uint64_t SplitMix64(uint64_t* state);
 
+// Snapshot of an Rng's complete internal state, with padding-free layout
+// so its bytes serialize deterministically (the serve-side snapshot
+// protocol persists one of these per pipeline).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double cached_gaussian = 0.0;
+  uint64_t has_cached_gaussian = 0;  // bool widened to kill padding
+};
+
+inline bool operator==(const RngState& a, const RngState& b) {
+  return a.s[0] == b.s[0] && a.s[1] == b.s[1] && a.s[2] == b.s[2] &&
+         a.s[3] == b.s[3] && a.cached_gaussian == b.cached_gaussian &&
+         a.has_cached_gaussian == b.has_cached_gaussian;
+}
+
 // xoshiro256** generator with convenience samplers. Not thread-safe; give
 // each thread its own instance (Fork() derives independent streams).
 class Rng {
@@ -67,6 +82,11 @@ class Rng {
   // Derives an independent generator; the two streams do not overlap in
   // practice because the child is re-seeded through SplitMix64.
   Rng Fork();
+
+  // Full-state save/restore: RestoreState(SaveState()) makes the stream
+  // continue bit-identically, including any cached Box-Muller output.
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t s_[4];

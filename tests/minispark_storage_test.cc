@@ -17,6 +17,7 @@
 #include "minispark/rdd.h"
 #include "minispark/storage/block_manager.h"
 #include "minispark/storage/serializer.h"
+#include "util/fault_fs.h"
 
 namespace adrdedup::minispark {
 namespace {
@@ -262,6 +263,54 @@ TEST_F(StorageTest, NullSerializerDegradesToMemoryOnly) {
 TEST_F(StorageTest, EnsureWritableDirRejectsUnusablePath) {
   EXPECT_FALSE(BlockManager::EnsureWritableDir("/dev/null/sub").ok());
   EXPECT_TRUE(BlockManager::EnsureWritableDir(Dir("fresh/nested")).ok());
+}
+
+TEST_F(StorageTest, SpillWriteFaultDegradesToMemoryResidency) {
+  Metrics metrics;
+  BlockManager manager({.spill_dir = Dir("spill")}, &metrics);
+  // Every spill-class write fails with ENOSPC: a DISK_ONLY put must
+  // degrade to memory-only residency and stay servable, never vanish.
+  util::FaultScript script;
+  script.seed = 31;
+  script.enospc_rate = 1.0;
+  script.class_mask = util::FileClassBit(util::FileClass::kSpill);
+  util::FaultFs::Instance().SetScript(script);
+  manager.Put({9, 0}, IntBlock({4, 5, 6}), 80, StorageLevel::kDiskOnly,
+              IntSerialize, IntDeserialize);
+  util::FaultFs::Instance().ClearScript();
+  EXPECT_FALSE(manager.OnDisk({9, 0}));
+  EXPECT_TRUE(manager.InMemory({9, 0}));
+  auto hit = manager.Get({9, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(AsInts(hit), (std::vector<int>{4, 5, 6}));
+  EXPECT_GE(metrics.Snapshot().spill_write_failures, 1u);
+  // With the disk healthy again, spills resume and the counter holds.
+  const uint64_t failures = metrics.Snapshot().spill_write_failures;
+  manager.Put({9, 1}, IntBlock({7}), 80, StorageLevel::kDiskOnly,
+              IntSerialize, IntDeserialize);
+  EXPECT_TRUE(manager.OnDisk({9, 1}));
+  EXPECT_EQ(metrics.Snapshot().spill_write_failures, failures);
+}
+
+TEST_F(StorageTest, EvictionSpillFaultCountsTheFailure) {
+  Metrics metrics;
+  BlockManager manager(
+      {.memory_budget_bytes = 100, .spill_dir = Dir("spill")}, &metrics);
+  manager.Put({10, 0}, IntBlock({1, 2}), 80, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  util::FaultScript script;
+  script.seed = 37;
+  script.eio_rate = 1.0;
+  script.class_mask = util::FileClassBit(util::FileClass::kSpill);
+  util::FaultFs::Instance().SetScript(script);
+  // Evicting block 0 tries to spill it; the injected EIO means the
+  // eviction loses the block (lineage recomputes) but must be counted.
+  manager.Put({10, 1}, IntBlock({3, 4}), 80, StorageLevel::kMemoryAndDisk,
+              IntSerialize, IntDeserialize);
+  util::FaultFs::Instance().ClearScript();
+  EXPECT_FALSE(manager.OnDisk({10, 0}));
+  EXPECT_EQ(manager.Get({10, 0}), nullptr);
+  EXPECT_GE(metrics.Snapshot().spill_write_failures, 1u);
 }
 
 // ---- Rdd::Persist / Checkpoint integration ----

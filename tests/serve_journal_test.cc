@@ -1,0 +1,309 @@
+// Write-ahead journal: frame round trips, the crash matrix from
+// DESIGN.md §5h (missing file, torn create, torn tail, corrupt record,
+// generation mismatch), fsync policy accounting, and the failed-append
+// rollback under injected I/O faults.
+#include "serve/journal.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "report/field.h"
+#include "report/report.h"
+#include "util/fault_fs.h"
+
+namespace adrdedup::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using report::AdrReport;
+using report::FieldId;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultFs::Instance().ClearScript();
+    dir_ = fs::temp_directory_path() /
+           ("adrdedup-journal-test-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "journal-1.wal").string();
+  }
+  void TearDown() override {
+    util::FaultFs::Instance().ClearScript();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static AdrReport MakeReport(int i) {
+    AdrReport report;
+    report.Set(FieldId::kCaseNumber, "CASE-" + std::to_string(i));
+    report.Set(FieldId::kSex, i % 2 == 0 ? "Male" : "Female");
+    report.Set(FieldId::kResidentialState, "NSW");
+    report.Set(FieldId::kOnsetDate, "2016-03-0" + std::to_string(i % 9 + 1));
+    report.Set(FieldId::kGenericNameDescription,
+               "ibuprofen dose " + std::to_string(i));
+    report.Set(FieldId::kMeddraPtCode, "nausea");
+    report.Set(FieldId::kReportDescription,
+               "patient " + std::to_string(i) + " reported nausea");
+    return report;
+  }
+
+  static std::vector<AdrReport> MakeBatch(int base, int count) {
+    std::vector<AdrReport> batch;
+    for (int i = 0; i < count; ++i) batch.push_back(MakeReport(base + i));
+    return batch;
+  }
+
+  uint64_t FileSize() const { return fs::file_size(path_); }
+
+  void TruncateTo(uint64_t size) const {
+    fs::resize_file(path_, size);
+  }
+
+  // Flips one byte at `offset`.
+  void CorruptByte(uint64_t offset) const {
+    std::fstream file(path_, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, AppendAndReplayRoundTripsBatches) {
+  auto created = Journal::Create(path_, 1, FsyncPolicy::kAlways);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  Journal journal = std::move(created).value();
+  const auto first = MakeBatch(0, 3);
+  const auto second = MakeBatch(3, 1);
+  const auto third = MakeBatch(4, 5);
+  ASSERT_TRUE(journal.Append(first).ok());
+  ASSERT_TRUE(journal.Append(second).ok());
+  ASSERT_TRUE(journal.Append(third).ok());
+  EXPECT_EQ(journal.appended_records(), 3u);
+
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay.value().generation, 1u);
+  EXPECT_FALSE(replay.value().truncated_tail);
+  EXPECT_EQ(replay.value().valid_bytes, FileSize());
+  ASSERT_EQ(replay.value().batches.size(), 3u);
+  EXPECT_EQ(replay.value().batches[0], first);
+  EXPECT_EQ(replay.value().batches[1], second);
+  EXPECT_EQ(replay.value().batches[2], third);
+  // Field-level fidelity, not just count parity.
+  EXPECT_EQ(replay.value().batches[2][4].case_number(), "CASE-8");
+  EXPECT_EQ(replay.value().batches[2][4].description(),
+            "patient 8 reported nausea");
+}
+
+TEST_F(JournalTest, MissingFileIsEmptyReplay) {
+  auto replay = ReadJournal(path_, 7);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.value().batches.empty());
+  EXPECT_EQ(replay.value().valid_bytes, 0u);
+}
+
+TEST_F(JournalTest, TornHeaderIsEmptyReplay) {
+  // Crash during Create: fewer bytes than the 16-byte header.
+  std::ofstream(path_, std::ios::binary) << "ADRWAL1";
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.value().batches.empty());
+  EXPECT_TRUE(replay.value().truncated_tail);
+}
+
+TEST_F(JournalTest, EmptyJournalReplaysNothing) {
+  ASSERT_TRUE(Journal::Create(path_, 1, FsyncPolicy::kNever).ok());
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay.value().generation, 1u);
+  EXPECT_TRUE(replay.value().batches.empty());
+  EXPECT_FALSE(replay.value().truncated_tail);
+  EXPECT_EQ(replay.value().valid_bytes, FileSize());
+}
+
+TEST_F(JournalTest, TornFinalRecordRecoversPrefixAndResumes) {
+  {
+    auto journal = Journal::Create(path_, 1, FsyncPolicy::kAlways);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(0, 2)).ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(2, 2)).ok());
+  }
+  const uint64_t full = FileSize();
+  // Tear the final record mid-payload — the crash state a power cut
+  // during the second append leaves behind.
+  TruncateTo(full - 5);
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay.value().batches.size(), 1u);
+  EXPECT_EQ(replay.value().batches[0], MakeBatch(0, 2));
+  EXPECT_TRUE(replay.value().truncated_tail);
+  EXPECT_LT(replay.value().valid_bytes, full - 5);
+
+  // Resume truncates the torn tail and appending continues cleanly.
+  auto resumed = Journal::Resume(path_, 1, FsyncPolicy::kAlways,
+                                 replay.value().valid_bytes);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_TRUE(resumed.value().Append(MakeBatch(9, 1)).ok());
+  auto after = ReadJournal(path_, 1);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after.value().batches.size(), 2u);
+  EXPECT_EQ(after.value().batches[1], MakeBatch(9, 1));
+  EXPECT_FALSE(after.value().truncated_tail);
+}
+
+TEST_F(JournalTest, TornRecordHeaderRecoversPrefix) {
+  {
+    auto journal = Journal::Create(path_, 1, FsyncPolicy::kAlways);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(0, 1)).ok());
+  }
+  const uint64_t with_one = FileSize();
+  // A torn tail that is only part of the next record's 12-byte header.
+  std::ofstream(path_, std::ios::binary | std::ios::app) << "ADRJ\x01";
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay.value().batches.size(), 1u);
+  EXPECT_TRUE(replay.value().truncated_tail);
+  EXPECT_EQ(replay.value().valid_bytes, with_one);
+}
+
+TEST_F(JournalTest, CorruptMidRecordFailsClosed) {
+  {
+    auto journal = Journal::Create(path_, 1, FsyncPolicy::kAlways);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(0, 2)).ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(2, 2)).ok());
+  }
+  // Flip a payload byte inside the FIRST record: a complete record whose
+  // CRC no longer matches is corruption, not a torn tail.
+  CorruptByte(16 + 12 + 4);
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().message().find("CRC"), std::string::npos)
+      << replay.status().ToString();
+  EXPECT_NE(replay.status().message().find("record 0"), std::string::npos)
+      << replay.status().ToString();
+}
+
+TEST_F(JournalTest, BadRecordMagicFailsClosed) {
+  {
+    auto journal = Journal::Create(path_, 1, FsyncPolicy::kAlways);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(0, 1)).ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(1, 1)).ok());
+  }
+  CorruptByte(16);  // first byte of the first record's magic
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().message().find("bad magic"), std::string::npos)
+      << replay.status().ToString();
+}
+
+TEST_F(JournalTest, BadHeaderMagicFailsClosed) {
+  ASSERT_TRUE(Journal::Create(path_, 1, FsyncPolicy::kNever).ok());
+  CorruptByte(0);
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().message().find("bad journal magic"),
+            std::string::npos)
+      << replay.status().ToString();
+}
+
+TEST_F(JournalTest, GenerationMismatchFailsClosed) {
+  {
+    auto journal = Journal::Create(path_, 3, FsyncPolicy::kNever);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal.value().Append(MakeBatch(0, 1)).ok());
+  }
+  auto replay = ReadJournal(path_, 4);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().message().find("generation mismatch"),
+            std::string::npos)
+      << replay.status().ToString();
+  EXPECT_TRUE(ReadJournal(path_, 3).ok());
+}
+
+TEST_F(JournalTest, FsyncPolicyAlwaysSyncsEveryAppend) {
+  auto journal = Journal::Create(path_, 1, FsyncPolicy::kAlways);
+  ASSERT_TRUE(journal.ok());
+  const uint64_t after_create = journal.value().fsyncs();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(journal.value().Append(MakeBatch(i, 1)).ok());
+  }
+  EXPECT_EQ(journal.value().fsyncs(), after_create + 5);
+}
+
+TEST_F(JournalTest, FsyncPolicyBatchGroupCommits) {
+  auto journal = Journal::Create(path_, 1, FsyncPolicy::kBatch);
+  ASSERT_TRUE(journal.ok());
+  const uint64_t after_create = journal.value().fsyncs();
+  for (uint64_t i = 0; i < kBatchSyncInterval - 1; ++i) {
+    ASSERT_TRUE(
+        journal.value().Append(MakeBatch(static_cast<int>(i), 1)).ok());
+  }
+  EXPECT_EQ(journal.value().fsyncs(), after_create)
+      << "group commit must not sync before the interval fills";
+  ASSERT_TRUE(journal.value().Append(MakeBatch(99, 1)).ok());
+  EXPECT_EQ(journal.value().fsyncs(), after_create + 1);
+  // Sync() forces a flush regardless of the interval position.
+  ASSERT_TRUE(journal.value().Append(MakeBatch(100, 1)).ok());
+  ASSERT_TRUE(journal.value().Sync().ok());
+  EXPECT_EQ(journal.value().fsyncs(), after_create + 2);
+}
+
+TEST_F(JournalTest, FailedAppendRollsBackToRecordBoundary) {
+  auto created = Journal::Create(path_, 1, FsyncPolicy::kAlways);
+  ASSERT_TRUE(created.ok());
+  Journal journal = std::move(created).value();
+  ASSERT_TRUE(journal.Append(MakeBatch(0, 2)).ok());
+  const uint64_t boundary = FileSize();
+
+  // Every journal write faults: the append must fail and leave the file
+  // exactly at the previous record boundary (no torn record mid-stream).
+  util::FaultScript script;
+  script.seed = 41;
+  script.eio_rate = 1.0;
+  script.class_mask = util::FileClassBit(util::FileClass::kJournal);
+  util::FaultFs::Instance().SetScript(script);
+  EXPECT_FALSE(journal.Append(MakeBatch(2, 2)).ok());
+  util::FaultFs::Instance().ClearScript();
+  EXPECT_EQ(FileSize(), boundary);
+
+  // The journal stays usable after the fault clears.
+  ASSERT_TRUE(journal.Append(MakeBatch(4, 1)).ok());
+  auto replay = ReadJournal(path_, 1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay.value().batches.size(), 2u);
+  EXPECT_EQ(replay.value().batches[0], MakeBatch(0, 2));
+  EXPECT_EQ(replay.value().batches[1], MakeBatch(4, 1));
+  EXPECT_FALSE(replay.value().truncated_tail);
+}
+
+TEST_F(JournalTest, ParseFsyncPolicyNamesRoundTrip) {
+  for (auto policy :
+       {FsyncPolicy::kAlways, FsyncPolicy::kBatch, FsyncPolicy::kNever}) {
+    auto parsed = ParseFsyncPolicy(FsyncPolicyName(policy));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value(), policy);
+  }
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+  EXPECT_FALSE(ParseFsyncPolicy("").ok());
+}
+
+}  // namespace
+}  // namespace adrdedup::serve

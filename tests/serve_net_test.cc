@@ -331,7 +331,7 @@ TEST(ServeNetTest, BinaryMetricsAndHealthRoundTrip) {
   Frame frame;
   ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
   EXPECT_EQ(frame.type, FrameType::kHealthResponse);
-  EXPECT_EQ(frame.payload, "ok");
+  EXPECT_EQ(frame.payload, "healthy");
   ASSERT_TRUE(RecvFrame(fd, &rx, &frame));
   EXPECT_EQ(frame.type, FrameType::kMetricsResponse);
   EXPECT_NE(frame.payload.find("\"net\""), std::string::npos);
@@ -389,7 +389,7 @@ TEST(ServeNetTest, HttpScreenMetricsHealthRoundTrip) {
   SendAll(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
   response = RecvHttpResponse(fd, &rx);
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
-  EXPECT_NE(response.find("{\"status\":\"ok\"}"), std::string::npos);
+  EXPECT_NE(response.find("{\"status\":\"healthy\"}"), std::string::npos);
   ::close(fd);
 }
 
@@ -509,6 +509,123 @@ TEST(ServeNetTest, GarbageFirstBytesSpeakingNeitherProtocolAreRejected) {
     return shared.service->metrics().protocol_errors() > errors_before;
   }));
   ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded frame-parser fuzz: no byte blob may crash the server or
+// disturb neighboring connections
+
+// Fuzz blobs may hit a connection the server already error-closed;
+// unlike SendAll, a send failure here is an acceptable outcome.
+void SendBestEffort(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+}
+
+// Drains until the server closes; true on EOF or reset.
+bool DrainToEof(int fd) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return true;
+    if (n < 0) return errno == ECONNRESET;
+  }
+}
+
+TEST(ServeNetTest, FuzzedFramesQuarantineOnlyTheirOwnConnection) {
+  auto& shared = Shared();
+  const uint64_t errors_before = shared.service->metrics().protocol_errors();
+
+  // A healthy connection held open across the whole fuzz run: the blobs
+  // must not perturb it.
+  const int healthy = ConnectTo(shared.server->port());
+  std::string healthy_rx;
+  auto probe_healthy = [&] {
+    std::string bytes;
+    AppendFrame(&bytes, FrameType::kHealthRequest, "");
+    SendAll(healthy, bytes);
+    Frame frame;
+    ASSERT_TRUE(RecvFrame(healthy, &healthy_rx, &frame));
+    EXPECT_EQ(frame.type, FrameType::kHealthResponse);
+    EXPECT_EQ(frame.payload, "healthy");
+  };
+
+  // SplitMix64 stream: rerunning the test replays the exact same blobs.
+  uint64_t state = 0xadde4a11u;
+  auto next = [&state] {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+
+  std::string valid;
+  AppendFrame(&valid, FrameType::kHealthRequest, "ping");
+
+  for (int round = 0; round < 48; ++round) {
+    std::string blob;
+    switch (round % 5) {
+      case 0:  // truncated header or payload: a prefix of a valid frame
+        blob = valid.substr(0, 1 + next() % (valid.size() - 1));
+        break;
+      case 1: {  // payload declaration far over max_request_bytes
+        const uint32_t magic = kFrameMagic;
+        blob.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+        blob.push_back(static_cast<char>(next() % 256));
+        const uint32_t huge =
+            (2u << 20) + static_cast<uint32_t>(next() % 4096);
+        blob.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+        break;
+      }
+      case 2:  // one corrupted byte in an otherwise valid frame: breaks
+               // the magic, the type, the size, the payload or the CRC
+               // depending on where the flip lands
+        blob = valid;
+        blob[next() % blob.size()] ^=
+            static_cast<char>(1 + next() % 255);
+        break;
+      case 3: {  // correctly framed garbage: random type, random
+                 // payload, random trailer
+        const uint32_t magic = kFrameMagic;
+        blob.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+        blob.push_back(static_cast<char>(next() % 256));
+        const uint32_t size = static_cast<uint32_t>(next() % 32);
+        blob.append(reinterpret_cast<const char*>(&size), sizeof(size));
+        for (uint32_t i = 0; i < size + 4; ++i) {
+          blob.push_back(static_cast<char>(next() % 256));
+        }
+        break;
+      }
+      case 4: {  // raw random bytes speaking neither protocol
+        const size_t size = 1 + next() % 64;
+        for (size_t i = 0; i < size; ++i) {
+          blob.push_back(static_cast<char>(next() % 256));
+        }
+        break;
+      }
+    }
+    const int fd = ConnectTo(shared.server->port());
+    SendBestEffort(fd, blob);
+    ::shutdown(fd, SHUT_WR);
+    // Whatever the blob decoded to, the server must answer and/or close
+    // this connection — never wedge it, never crash.
+    EXPECT_TRUE(DrainToEof(fd)) << "fuzz round " << round << " wedged";
+    ::close(fd);
+    // The neighbor keeps serving while the fuzz runs.
+    if (round % 12 == 5) probe_healthy();
+  }
+
+  // Rounds 0 and 1 alone (20 of 48) are guaranteed protocol errors.
+  EXPECT_TRUE(Eventually([&] {
+    return shared.service->metrics().protocol_errors() >=
+           errors_before + 20;
+  })) << "protocol errors: "
+      << shared.service->metrics().protocol_errors() - errors_before;
+  probe_healthy();
+  ::close(healthy);
 }
 
 // ---------------------------------------------------------------------------

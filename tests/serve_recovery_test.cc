@@ -1,0 +1,592 @@
+// Crash recovery for the screening service (DESIGN.md §5h): the
+// serving-state codec, the atomic snapshot store's fail-closed loading,
+// graceful-restart and kill-and-restart bit-identical recovery, the
+// /healthz lifecycle, and the mismatched-bootstrap guards. Carries the
+// `sanitize` label (service threads) and rides in `ctest -L durability`.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "distance/pair_dataset.h"
+#include "serve/journal.h"
+#include "serve/screening_service.h"
+#include "serve/snapshot.h"
+#include "util/fault_fs.h"
+#include "util/random.h"
+
+// TSan does not support spawning fresh threads in a forked child, so the
+// kill-and-restart test skips itself there (ASan/UBSan run it fine).
+#if defined(__SANITIZE_THREAD__)
+#define ADRDEDUP_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ADRDEDUP_TSAN_BUILD 1
+#endif
+#endif
+
+namespace adrdedup::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using distance::LabeledPair;
+using distance::PairKey;
+
+// ---------------------------------------------------------------------------
+// Shared corpus (generated once; every test screens slices of it)
+
+struct RecoveryFixture {
+  RecoveryFixture() {
+    datagen::GeneratorConfig config;
+    config.num_reports = 400;
+    config.num_duplicate_pairs = 30;
+    config.num_drugs = 80;
+    config.num_adrs = 120;
+    corpus = datagen::GenerateCorpus(config);
+    features = distance::ExtractAllFeatures(corpus.db);
+  }
+  datagen::GeneratedCorpus corpus;
+  std::vector<distance::ReportFeatures> features;
+};
+
+RecoveryFixture& Fixture() {
+  static RecoveryFixture& fixture = *new RecoveryFixture();
+  return fixture;
+}
+
+core::DedupPipelineOptions PipelineOptions() {
+  core::DedupPipelineOptions options;
+  options.knn.k = 7;
+  options.knn.num_clusters = 10;
+  options.theta = 0.0;
+  options.f_theta = 0.9;
+  options.use_blocking = true;
+  options.blocking.keys = {blocking::BlockingKey::kDrugToken,
+                           blocking::BlockingKey::kAdrToken};
+  return options;
+}
+
+std::vector<LabeledPair> SeedFromTruth(const RecoveryFixture& fixture,
+                                       size_t boot, size_t negatives) {
+  std::vector<LabeledPair> seed;
+  std::set<uint64_t> dups;
+  for (auto [a, b] : fixture.corpus.duplicate_pairs) {
+    dups.insert(PairKey({std::min(a, b), std::max(a, b)}));
+    if (a >= boot || b >= boot) continue;
+    LabeledPair pair;
+    pair.pair = {std::min(a, b), std::max(a, b)};
+    pair.label = +1;
+    pair.vector =
+        ComputeDistanceVector(fixture.features[a], fixture.features[b]);
+    seed.push_back(pair);
+  }
+  util::Rng rng(21);
+  while (seed.size() < negatives) {
+    const auto a = static_cast<report::ReportId>(rng.Uniform(boot));
+    const auto b = static_cast<report::ReportId>(rng.Uniform(boot));
+    if (a == b) continue;
+    distance::ReportPair pair{std::min(a, b), std::max(a, b)};
+    if (dups.contains(PairKey(pair))) continue;
+    LabeledPair labeled;
+    labeled.pair = pair;
+    labeled.label = -1;
+    labeled.vector = ComputeDistanceVector(fixture.features[pair.a],
+                                           fixture.features[pair.b]);
+    seed.push_back(labeled);
+  }
+  return seed;
+}
+
+std::vector<report::AdrReport> Slice(const RecoveryFixture& fixture,
+                                     size_t begin, size_t end) {
+  std::vector<report::AdrReport> out;
+  for (size_t i = begin; i < end; ++i) {
+    out.push_back(fixture.corpus.db.Get(static_cast<report::ReportId>(i)));
+  }
+  return out;
+}
+
+// Deterministic durable serving: one request per micro-batch and no
+// background refreshes, so two runs over the same stream take the same
+// batch sequence — the precondition for bit-identical comparison.
+ScreeningServiceOptions DurableOptions(const std::string& journal_dir) {
+  ScreeningServiceOptions options;
+  options.pipeline = PipelineOptions();
+  options.max_batch = 1;
+  options.max_linger_ms = 0.0;
+  options.refresh_every = 0;
+  options.journal_dir = journal_dir;
+  options.fsync_policy = FsyncPolicy::kAlways;
+  return options;
+}
+
+// One screened report's decision, compared field-for-field (scores must
+// be bit-equal — recovery promises bit-identical state, not "close").
+struct Decision {
+  report::ReportId assigned_id = 0;
+  std::vector<ScreenMatch> matches;
+};
+
+bool SameDecision(const Decision& a, const Decision& b) {
+  if (a.assigned_id != b.assigned_id) return false;
+  if (a.matches.size() != b.matches.size()) return false;
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    if (a.matches[i].other != b.matches[i].other) return false;
+    if (a.matches[i].other_case_number != b.matches[i].other_case_number) {
+      return false;
+    }
+    if (a.matches[i].score != b.matches[i].score) return false;
+  }
+  return true;
+}
+
+Decision ScreenOne(ScreeningService& service,
+                   const report::AdrReport& report) {
+  auto response = service.Screen(report);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  Decision decision;
+  decision.assigned_id = response.value().assigned_id;
+  decision.matches = response.value().matches;
+  return decision;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::FaultFs::Instance().ClearScript();
+    dir_ = fs::temp_directory_path() /
+           ("adrdedup-recovery-test-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FaultFs::Instance().ClearScript();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Dir(const char* name) const {
+    fs::create_directories(dir_ / name);
+    return (dir_ / name).string();
+  }
+
+  static void CorruptByte(const std::string& path, uint64_t offset) {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// ServingState codec
+
+ServingState MakeState(const RecoveryFixture& fixture) {
+  ServingState state;
+  state.bootstrap_size = 7;
+  state.admitted = Slice(fixture, 0, 3);
+  state.pipeline.negatives_seen = 42;
+  state.pipeline.model_generation = 3;
+  state.pipeline.pruner_fit_positives = 2;
+  LabeledPair pair;
+  pair.pair = {1, 2};
+  pair.label = +1;
+  pair.vector = ComputeDistanceVector(fixture.features[1],
+                                      fixture.features[2]);
+  state.pipeline.positive_store = {pair};
+  state.corpus_fingerprint = 0xfeedfacecafebeefULL;
+  return state;
+}
+
+TEST_F(RecoveryTest, ServingStateCodecRoundTrips) {
+  const ServingState state = MakeState(Fixture());
+  const std::string bytes = EncodeServingState(state);
+  ServingState decoded;
+  auto status = DecodeServingState(bytes, &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(decoded.bootstrap_size, state.bootstrap_size);
+  EXPECT_EQ(decoded.admitted, state.admitted);
+  EXPECT_EQ(decoded.corpus_fingerprint, state.corpus_fingerprint);
+  EXPECT_EQ(decoded.pipeline.negatives_seen, 42u);
+  EXPECT_EQ(decoded.pipeline.model_generation, 3u);
+  EXPECT_EQ(decoded.pipeline.pruner_fit_positives, 2u);
+  ASSERT_EQ(decoded.pipeline.positive_store.size(), 1u);
+  EXPECT_EQ(decoded.pipeline.positive_store[0].vector,
+            state.pipeline.positive_store[0].vector);
+}
+
+TEST_F(RecoveryTest, ServingStateCodecFailsClosed) {
+  const std::string bytes = EncodeServingState(MakeState(Fixture()));
+  ServingState decoded;
+  // Truncation at any point must fail, never partially decode.
+  for (size_t keep : {size_t{0}, size_t{4}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    EXPECT_FALSE(
+        DecodeServingState(std::string_view(bytes).substr(0, keep), &decoded)
+            .ok())
+        << "decoded a " << keep << "-byte prefix";
+  }
+  EXPECT_FALSE(DecodeServingState(bytes + "x", &decoded).ok())
+      << "accepted trailing bytes";
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0x40;
+  EXPECT_FALSE(DecodeServingState(bad_magic, &decoded).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore
+
+TEST_F(RecoveryTest, SnapshotStorePublishLoadRoundTrips) {
+  SnapshotStore store(Dir("wal"));
+  const ServingState state = MakeState(Fixture());
+  const std::string model_bytes = "not-a-real-model-but-crc-checked";
+  ASSERT_TRUE(store.WriteSnapshotFiles(1, state, model_bytes).ok());
+  ASSERT_TRUE(Journal::Create(store.JournalPath(1), 1,
+                              FsyncPolicy::kNever)
+                  .ok());
+  ASSERT_TRUE(store.PublishGeneration(1).ok());
+
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().generation, 1u);
+  EXPECT_EQ(loaded.value().model_bytes, model_bytes);
+  EXPECT_EQ(loaded.value().state.bootstrap_size, state.bootstrap_size);
+  EXPECT_EQ(loaded.value().state.admitted, state.admitted);
+  EXPECT_EQ(loaded.value().state.corpus_fingerprint,
+            state.corpus_fingerprint);
+
+  // Publishing generation 2 then retiring 1 leaves CURRENT at 2.
+  ASSERT_TRUE(store.WriteSnapshotFiles(2, state, model_bytes).ok());
+  ASSERT_TRUE(Journal::Create(store.JournalPath(2), 2,
+                              FsyncPolicy::kNever)
+                  .ok());
+  ASSERT_TRUE(store.PublishGeneration(2).ok());
+  store.RemoveGeneration(1);
+  auto reloaded = store.Load();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().generation, 2u);
+  EXPECT_FALSE(fs::exists(store.StatePath(1)));
+  EXPECT_FALSE(fs::exists(store.ManifestPath(1)));
+}
+
+TEST_F(RecoveryTest, SnapshotStoreMissingSnapshotIsNotFound) {
+  SnapshotStore store(Dir("empty"));
+  auto loaded = store.Load();
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(RecoveryTest, SnapshotStoreFailsClosedOnCorruption) {
+  const ServingState state = MakeState(Fixture());
+  auto publish = [&](const std::string& dir) {
+    SnapshotStore store(dir);
+    EXPECT_TRUE(store.WriteSnapshotFiles(1, state, "model").ok());
+    EXPECT_TRUE(
+        Journal::Create(store.JournalPath(1), 1, FsyncPolicy::kNever).ok());
+    EXPECT_TRUE(store.PublishGeneration(1).ok());
+    return store;
+  };
+
+  {
+    SnapshotStore store = publish(Dir("bad-state"));
+    // Flip a byte deep in the state payload: the manifest CRC no longer
+    // vouches for the file.
+    CorruptByte(store.StatePath(1), fs::file_size(store.StatePath(1)) / 2);
+    auto loaded = store.Load();
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("does not match its manifest"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  {
+    SnapshotStore store = publish(Dir("bad-manifest"));
+    CorruptByte(store.ManifestPath(1), 12);
+    auto loaded = store.Load();
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("manifest"), std::string::npos)
+        << loaded.status().ToString();
+  }
+  {
+    SnapshotStore store = publish(Dir("bad-current"));
+    std::ofstream((fs::path(store.dir()) / "CURRENT").string(),
+                  std::ios::binary)
+        << "MANIFEST-notanumber\n";
+    auto loaded = store.Load();
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("CURRENT"), std::string::npos)
+        << loaded.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end recovery
+
+TEST_F(RecoveryTest, GracefulRestartScreensBitIdentically) {
+  auto& fixture = Fixture();
+  const size_t boot = 340;
+  const size_t split = 370;
+  const auto bootstrap = Slice(fixture, 0, boot);
+  const auto seed = SeedFromTruth(fixture, boot, 1500);
+  const auto stream1 = Slice(fixture, boot, split);
+  const auto stream2 = Slice(fixture, split, fixture.corpus.db.size());
+
+  // Control: one uninterrupted process screens both streams.
+  std::vector<Decision> control;
+  uint64_t control_fingerprint = 0;
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(Dir("control")));
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    auto started = service.Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    for (const auto& report : stream1) ScreenOne(service, report);
+    for (const auto& report : stream2) {
+      control.push_back(ScreenOne(service, report));
+    }
+    service.Stop();
+    control_fingerprint = service.metrics().state_fingerprint();
+  }
+
+  // Run A screens only the first stream, then shuts down cleanly.
+  uint64_t generation_a = 0;
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(Dir("wal")));
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    auto started = service.Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    EXPECT_GE(service.snapshot_generation(), 1u);
+    for (const auto& report : stream1) ScreenOne(service, report);
+    service.Stop();
+    generation_a = service.snapshot_generation();
+    EXPECT_EQ(service.health(), HealthState::kStopped);
+  }
+
+  // Run B restarts over A's journal dir and must continue exactly where
+  // A left off: same ids, same matches, same scores, same final state.
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(Dir("wal")));
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    auto started = service.Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    EXPECT_GT(service.snapshot_generation(), generation_a);
+    ASSERT_EQ(service.db_size(), split)
+        << "recovery lost or duplicated admitted reports";
+    // A stopped cleanly, so its final snapshot already folded every
+    // batch in: nothing is left in the journal to replay.
+    EXPECT_EQ(service.metrics().recovery_replayed_records(), 0u);
+    std::vector<Decision> recovered;
+    for (const auto& report : stream2) {
+      recovered.push_back(ScreenOne(service, report));
+    }
+    service.Stop();
+    ASSERT_EQ(recovered.size(), control.size());
+    for (size_t i = 0; i < control.size(); ++i) {
+      EXPECT_TRUE(SameDecision(recovered[i], control[i]))
+          << "decision diverged at stream index " << i;
+    }
+    EXPECT_EQ(service.metrics().state_fingerprint(), control_fingerprint)
+        << "recovered serving state is not bit-identical to the "
+           "uninterrupted run";
+  }
+}
+
+TEST_F(RecoveryTest, KilledServerRecoversBitIdentically) {
+#ifdef ADRDEDUP_TSAN_BUILD
+  GTEST_SKIP() << "fork + fresh threads is unsupported under TSan";
+#endif
+  auto& fixture = Fixture();
+  const size_t boot = 340;
+  const auto bootstrap = Slice(fixture, 0, boot);
+  const auto seed = SeedFromTruth(fixture, boot, 1500);
+  const auto stream = Slice(fixture, boot, fixture.corpus.db.size());
+
+  // Control: uninterrupted run over the whole stream.
+  std::vector<Decision> control;
+  uint64_t control_fingerprint = 0;
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(Dir("control")));
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    auto started = service.Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    for (const auto& report : stream) {
+      control.push_back(ScreenOne(service, report));
+    }
+    service.Stop();
+    control_fingerprint = service.metrics().state_fingerprint();
+  }
+
+  // Child process: same run over the crash dir, but a fault script
+  // _exit(137)s it mid-journal-append — an effective SIGKILL at a
+  // deterministic, seeded point. fsync=always means every answered
+  // request is durable, so the journal prefix defines exactly which
+  // reports survived.
+  const std::string crash_dir = Dir("crash");
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    util::FaultScript script;
+    script.seed = 9;
+    // Journal ops only: Create costs 2 (header write + fsync), each
+    // append costs 2 more — op 23 dies inside the ~11th append, well
+    // inside the 60-report stream.
+    script.crash_after_ops = 23;
+    script.class_mask = util::FileClassBit(util::FileClass::kJournal);
+    util::FaultFs::Instance().SetScript(script);
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(crash_dir));
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    if (!service.Start().ok()) _exit(42);
+    for (const auto& report : stream) {
+      if (!service.Screen(report).ok()) _exit(43);
+    }
+    _exit(44);  // the fault script should have killed us long before
+  }
+  int wait_status = 0;
+  ASSERT_EQ(waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFEXITED(wait_status));
+  ASSERT_EQ(WEXITSTATUS(wait_status), 137)
+      << "child did not die at the scripted crash point";
+
+  // Restart over the crash dir: recovery replays the journal prefix and
+  // the survivor count is read off db_size. Every decision from there on
+  // must be bit-identical to the uninterrupted control run.
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(crash_dir));
+    service.Bootstrap(bootstrap);
+    service.SeedLabels(seed);
+    auto started = service.Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    ASSERT_GE(service.db_size(), boot);
+    const size_t survived = service.db_size() - boot;
+    ASSERT_GT(survived, 0u) << "crash landed before any append";
+    ASSERT_LT(survived, stream.size()) << "child never crashed mid-stream";
+    EXPECT_GT(service.metrics().recovery_replayed_records(), 0u);
+    std::vector<Decision> resumed;
+    for (size_t i = survived; i < stream.size(); ++i) {
+      resumed.push_back(ScreenOne(service, stream[i]));
+    }
+    service.Stop();
+    for (size_t i = 0; i < resumed.size(); ++i) {
+      EXPECT_TRUE(SameDecision(resumed[i], control[survived + i]))
+          << "post-recovery decision diverged at stream index "
+          << survived + i;
+    }
+    EXPECT_EQ(service.metrics().state_fingerprint(), control_fingerprint)
+        << "state after crash recovery + resumed stream differs from the "
+           "uninterrupted run";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle + fail-closed guards
+
+TEST_F(RecoveryTest, HealthReportsRecoveringThenHealthyThenStopped) {
+  auto& fixture = Fixture();
+  const size_t boot = 120;
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningService service(&ctx, DurableOptions(Dir("wal")));
+  EXPECT_EQ(service.health(), HealthState::kIdle);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 400));
+  HealthState observed = HealthState::kIdle;
+  service.SetRecoveryObserverForTest(
+      [&] { observed = service.health(); });
+  auto started = service.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  EXPECT_EQ(observed, HealthState::kRecovering);
+  EXPECT_EQ(service.health(), HealthState::kHealthy);
+  service.Stop();
+  EXPECT_EQ(service.health(), HealthState::kStopped);
+}
+
+TEST_F(RecoveryTest, MismatchedBootstrapFailsClosed) {
+  auto& fixture = Fixture();
+  const size_t boot = 120;
+  const auto seed = SeedFromTruth(fixture, boot, 400);
+  const std::string dir = Dir("wal");
+  {
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(dir));
+    service.Bootstrap(Slice(fixture, 0, boot));
+    service.SeedLabels(seed);
+    ASSERT_TRUE(service.Start().ok());
+    ScreenOne(service, fixture.corpus.db.Get(
+                           static_cast<report::ReportId>(boot)));
+    service.Stop();
+  }
+  {
+    // Wrong corpus size: fewer bootstrap reports than the snapshot's.
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(dir));
+    service.Bootstrap(Slice(fixture, 0, boot - 5));
+    service.SeedLabels(SeedFromTruth(fixture, boot - 5, 400));
+    auto started = service.Start();
+    ASSERT_FALSE(started.ok());
+    EXPECT_NE(started.message().find("bootstrap"), std::string::npos)
+        << started.ToString();
+    EXPECT_EQ(service.health(), HealthState::kStopped);
+    EXPECT_FALSE(service.running());
+  }
+  {
+    // Right size, different reports: the corpus fingerprint catches it.
+    minispark::SparkContext ctx({.num_executors = 2});
+    ScreeningService service(&ctx, DurableOptions(dir));
+    service.Bootstrap(Slice(fixture, 5, boot + 5));
+    service.SeedLabels(seed);
+    auto started = service.Start();
+    ASSERT_FALSE(started.ok());
+    EXPECT_NE(started.message().find("fingerprint"), std::string::npos)
+        << started.ToString();
+    EXPECT_EQ(service.health(), HealthState::kStopped);
+  }
+}
+
+TEST_F(RecoveryTest, PeriodicSnapshotsAdvanceTheGeneration) {
+  auto& fixture = Fixture();
+  const size_t boot = 120;
+  minispark::SparkContext ctx({.num_executors = 2});
+  ScreeningServiceOptions options = DurableOptions(Dir("wal"));
+  options.snapshot_every = 4;
+  ScreeningService service(&ctx, options);
+  service.Bootstrap(Slice(fixture, 0, boot));
+  service.SeedLabels(SeedFromTruth(fixture, boot, 400));
+  ASSERT_TRUE(service.Start().ok());
+  const uint64_t initial = service.snapshot_generation();
+  for (size_t i = 0; i < 9; ++i) {
+    ScreenOne(service, fixture.corpus.db.Get(
+                           static_cast<report::ReportId>(boot + i)));
+  }
+  service.Stop();
+  // 9 admitted reports at snapshot_every=4 → at least two periodic
+  // snapshots plus the shutdown snapshot.
+  EXPECT_GE(service.snapshot_generation(), initial + 3);
+  EXPECT_GE(service.metrics().snapshots_written(), initial + 3);
+}
+
+}  // namespace
+}  // namespace adrdedup::serve

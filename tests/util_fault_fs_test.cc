@@ -1,0 +1,228 @@
+// FaultFs: deterministic I/O fault injection (DESIGN.md §5h). Checks
+// the script parser, the seeded determinism contract (op k faults as a
+// pure function of seed + k), class scoping, the crash-atomic
+// WriteFileAtomic protocol, and the bit-flip-on-read fault.
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fault_fs.h"
+
+namespace adrdedup::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A scratch directory per test, removed on teardown. Every test clears
+// the process-wide script afterwards so suites cannot bleed faults.
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultFs::Instance().ClearScript();
+    dir_ = fs::temp_directory_path() /
+           ("adrdedup-fault-fs-test-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultFs::Instance().ClearScript();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const char* name) const { return (dir_ / name).string(); }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FaultFsTest, ParseRoundTripsEveryKey) {
+  auto parsed = ParseFaultScript(
+      "seed=7,short_write=0.1,enospc=0.05,eio=0.02,read_flip=0.1,"
+      "crash_after=40,classes=spill+checkpoint");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FaultScript& script = parsed.value();
+  EXPECT_EQ(script.seed, 7u);
+  EXPECT_DOUBLE_EQ(script.short_write_rate, 0.1);
+  EXPECT_DOUBLE_EQ(script.enospc_rate, 0.05);
+  EXPECT_DOUBLE_EQ(script.eio_rate, 0.02);
+  EXPECT_DOUBLE_EQ(script.read_flip_rate, 0.1);
+  EXPECT_EQ(script.crash_after_ops, 40u);
+  EXPECT_EQ(script.class_mask, FileClassBit(FileClass::kSpill) |
+                                   FileClassBit(FileClass::kCheckpoint));
+  // The formatted form parses back to the same script.
+  auto reparsed = ParseFaultScript(FormatFaultScript(script));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(FormatFaultScript(reparsed.value()), FormatFaultScript(script));
+}
+
+TEST_F(FaultFsTest, ParseAcceptsLongAliasesAndAllClasses) {
+  auto parsed = ParseFaultScript(
+      "short_write_rate=0.5,enospc_rate=0.25,classes=all");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed.value().short_write_rate, 0.5);
+  EXPECT_EQ(parsed.value().class_mask, kAllFileClasses);
+}
+
+TEST_F(FaultFsTest, ParseRejectsMalformedScripts) {
+  for (const char* bad :
+       {"short_write=2.0", "enospc=-0.5", "eio=banana", "seed=",
+        "crash_after=x", "classes=bogus", "no_such_key=1", "seed"}) {
+    EXPECT_FALSE(ParseFaultScript(bad).ok()) << "accepted: " << bad;
+  }
+  EXPECT_TRUE(ParseFaultScript("").ok());
+}
+
+TEST_F(FaultFsTest, NoScriptIsPlainPosix) {
+  FaultFs& fault_fs = FaultFs::Instance();
+  const std::string path = Path("plain.bin");
+  ASSERT_TRUE(fault_fs.WriteFile(path, "payload", FileClass::kSpill).ok());
+  auto read = fault_fs.ReadFile(path, FileClass::kSpill);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "payload");
+  EXPECT_EQ(fault_fs.op_count(), 0u)
+      << "no installed script must not count ops";
+}
+
+TEST_F(FaultFsTest, MissingFileIsNotFound) {
+  auto read =
+      FaultFs::Instance().ReadFile(Path("missing.bin"), FileClass::kOther);
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FaultFsTest, FaultSequenceIsDeterministicPerSeed) {
+  FaultFs& fault_fs = FaultFs::Instance();
+  const std::string path = Path("det.bin");
+  // Run the same op sequence twice under the same seed: the pass/fail
+  // pattern must be identical. A different seed must (for this rate)
+  // produce a different pattern.
+  auto run = [&](uint64_t seed) {
+    FaultScript script;
+    script.seed = seed;
+    script.enospc_rate = 0.5;
+    fault_fs.SetScript(script);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(fault_fs.WriteFile(path, "x", FileClass::kSpill).ok());
+    }
+    return outcomes;
+  };
+  const auto first = run(17);
+  const auto second = run(17);
+  const auto other_seed = run(18);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other_seed);
+  // Rate 0.5 over 64 draws faults at least once in practice (and the
+  // fixed seeds above are chosen so it does).
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+}
+
+TEST_F(FaultFsTest, ClassMaskScopesInjection) {
+  FaultFs& fault_fs = FaultFs::Instance();
+  FaultScript script;
+  script.seed = 3;
+  script.eio_rate = 1.0;  // every applicable op faults
+  script.class_mask = FileClassBit(FileClass::kSpill);
+  fault_fs.SetScript(script);
+  EXPECT_FALSE(
+      fault_fs.WriteFile(Path("spill.bin"), "x", FileClass::kSpill).ok());
+  // Journal ops are out of scope: untouched AND not counted.
+  const uint64_t ops_before = fault_fs.op_count();
+  EXPECT_TRUE(
+      fault_fs.WriteFile(Path("wal.bin"), "x", FileClass::kJournal).ok());
+  EXPECT_EQ(fault_fs.op_count(), ops_before);
+}
+
+TEST_F(FaultFsTest, ShortWriteLeavesTornPrefix) {
+  FaultFs& fault_fs = FaultFs::Instance();
+  FaultScript script;
+  script.seed = 5;
+  script.short_write_rate = 1.0;
+  fault_fs.SetScript(script);
+  const std::string path = Path("torn.bin");
+  auto status = fault_fs.WriteFile(path, "0123456789", FileClass::kSpill);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("short write"), std::string::npos)
+      << status.ToString();
+  // Half the payload persisted — the state a power cut leaves behind.
+  EXPECT_EQ(Slurp(path), "01234");
+}
+
+TEST_F(FaultFsTest, WriteFileAtomicNeverExposesTornState) {
+  FaultFs& fault_fs = FaultFs::Instance();
+  const std::string path = Path("atomic.bin");
+  ASSERT_TRUE(
+      fault_fs.WriteFileAtomic(path, "generation-1", FileClass::kSnapshot)
+          .ok());
+  // Every op faults: the tmp file write fails, the published file must
+  // keep its old contents and no tmp litter may remain.
+  FaultScript script;
+  script.seed = 11;
+  script.short_write_rate = 1.0;
+  fault_fs.SetScript(script);
+  EXPECT_FALSE(
+      fault_fs.WriteFileAtomic(path, "generation-2", FileClass::kSnapshot)
+          .ok());
+  fault_fs.ClearScript();
+  EXPECT_EQ(Slurp(path), "generation-1");
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "tmp file must be unlinked on failure";
+}
+
+TEST_F(FaultFsTest, ReadFlipCorruptsExactlyOneBit) {
+  FaultFs& fault_fs = FaultFs::Instance();
+  const std::string path = Path("flip.bin");
+  const std::string payload(256, '\0');
+  ASSERT_TRUE(fault_fs.WriteFile(path, payload, FileClass::kCheckpoint).ok());
+  FaultScript script;
+  script.seed = 23;
+  script.read_flip_rate = 1.0;
+  fault_fs.SetScript(script);
+  auto read = fault_fs.ReadFile(path, FileClass::kCheckpoint);
+  ASSERT_TRUE(read.ok());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    unsigned char delta = static_cast<unsigned char>(read.value()[i]) ^
+                          static_cast<unsigned char>(payload[i]);
+    while (delta != 0) {
+      flipped_bits += delta & 1;
+      delta >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  // Same seed, same op index -> same bit.
+  fault_fs.SetScript(script);
+  auto again = fault_fs.ReadFile(path, FileClass::kCheckpoint);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(read.value(), again.value());
+}
+
+TEST_F(FaultFsTest, AppendSurfaceRoundTrips) {
+  FaultFs& fault_fs = FaultFs::Instance();
+  const std::string path = Path("appended.bin");
+  auto fd = fault_fs.OpenAppend(path, FileClass::kJournal);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  EXPECT_TRUE(fault_fs.Append(fd.value(), "abc", FileClass::kJournal).ok());
+  EXPECT_TRUE(fault_fs.Append(fd.value(), "def", FileClass::kJournal).ok());
+  EXPECT_TRUE(fault_fs.Fsync(fd.value(), FileClass::kJournal).ok());
+  FaultFs::CloseFd(fd.value());
+  EXPECT_EQ(Slurp(path), "abcdef");
+}
+
+}  // namespace
+}  // namespace adrdedup::util

@@ -38,6 +38,7 @@
 #include "eval/metrics.h"
 #include "report/report_io.h"
 #include "util/csv.h"
+#include "util/fault_fs.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/random.h"
@@ -60,7 +61,7 @@ int Main(int argc, char** argv) {
            "negatives", "executors", "out", "save-model", "load-model",
            "use-blocking", "seed", "metrics-out", "max-task-failures",
            "chaos-rate", "chaos-seed", "memory-budget-mb", "spill-dir",
-           "checkpoint-dir", "no-simd", "help"});
+           "checkpoint-dir", "io-fault-script", "no-simd", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -72,7 +73,7 @@ int Main(int argc, char** argv) {
                  "[--use-blocking] [--seed=N] [--metrics-out=F] "
                  "[--max-task-failures=N] [--chaos-rate=P] "
                  "[--chaos-seed=N] [--memory-budget-mb=N] [--spill-dir=D] "
-                 "[--checkpoint-dir=D] [--no-simd]\n";
+                 "[--checkpoint-dir=D] [--io-fault-script=S] [--no-simd]\n";
     return flags.GetBool("help", false) ? 0 : 1;
   }
   if (flags.GetBool("no-simd", false)) {
@@ -101,6 +102,17 @@ int Main(int argc, char** argv) {
         !status.ok()) {
       return Fail(status);
     }
+  }
+  if (flags.Has("io-fault-script")) {
+    // Deterministic I/O fault injection on the spill/checkpoint write
+    // paths (see util/fault_fs.h for the script grammar), e.g.
+    // "seed=7,short_write=0.1,enospc=0.05,classes=spill+checkpoint".
+    auto script =
+        util::ParseFaultScript(flags.GetString("io-fault-script", ""));
+    if (!script.ok()) return Fail(script.status());
+    util::FaultFs::Instance().SetScript(script.value());
+    std::cerr << "I/O fault injection active: "
+              << util::FormatFaultScript(script.value()) << "\n";
   }
   const bool use_storage = memory_budget_mb.value() > 0 ||
                            !spill_dir.empty() || !checkpoint_dir.empty();

@@ -44,10 +44,12 @@
 #include "minispark/storage/storage_level.h"
 #include "distance/simd/dispatch.h"
 #include "report/report_io.h"
+#include "serve/journal.h"
 #include "serve/net/server.h"
 #include "serve/request_codec.h"
 #include "serve/screening_service.h"
 #include "util/csv.h"
+#include "util/fault_fs.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -288,7 +290,8 @@ int Main(int argc, char** argv) {
            "max-batch", "linger-ms", "queue-capacity", "refresh-every",
            "submit-deadline-ms", "request-deadline-ms",
            "load-model", "out", "metrics-out", "memory-budget-mb",
-           "spill-dir", "checkpoint-dir", "no-simd", "help"});
+           "spill-dir", "checkpoint-dir", "journal-dir", "fsync-policy",
+           "snapshot-every", "io-fault-script", "no-simd", "help"});
       !status.ok()) {
     return Fail(status);
   }
@@ -305,7 +308,9 @@ int Main(int argc, char** argv) {
                  "[--submit-deadline-ms=X] [--request-deadline-ms=X] "
                  "[--load-model=F] [--out=F] [--metrics-out=F] "
                  "[--memory-budget-mb=N] [--spill-dir=D] "
-                 "[--checkpoint-dir=D] [--no-simd]\n";
+                 "[--checkpoint-dir=D] [--journal-dir=D] "
+                 "[--fsync-policy=always|batch|never] [--snapshot-every=N] "
+                 "[--io-fault-script=S] [--no-simd]\n";
     return flags.GetBool("help", false) ? 0 : 1;
   }
   if (flags.GetBool("no-simd", false)) {
@@ -329,6 +334,41 @@ int Main(int argc, char** argv) {
         !status.ok()) {
       return Fail(status);
     }
+  }
+  // Durability flags fail fast too — a bad journal dir or policy string
+  // must be rejected before the listener binds or the CSV is read.
+  const std::string journal_dir = flags.GetString("journal-dir", "");
+  serve::FsyncPolicy fsync_policy = serve::FsyncPolicy::kBatch;
+  auto snapshot_every = flags.GetInt("snapshot-every", 0);
+  if (!snapshot_every.ok()) return Fail(snapshot_every.status());
+  if (snapshot_every.value() < 0) {
+    return Fail(util::Status::InvalidArgument(
+        "--snapshot-every must be non-negative, got " +
+        std::to_string(snapshot_every.value())));
+  }
+  if (flags.Has("fsync-policy")) {
+    auto policy =
+        serve::ParseFsyncPolicy(flags.GetString("fsync-policy", ""));
+    if (!policy.ok()) return Fail(policy.status());
+    fsync_policy = policy.value();
+  }
+  if (!journal_dir.empty()) {
+    if (auto status =
+            minispark::storage::BlockManager::EnsureWritableDir(journal_dir);
+        !status.ok()) {
+      return Fail(status);
+    }
+  } else if (flags.Has("fsync-policy") || flags.Has("snapshot-every")) {
+    return Fail(util::Status::InvalidArgument(
+        "--fsync-policy and --snapshot-every require --journal-dir"));
+  }
+  if (flags.Has("io-fault-script")) {
+    auto script =
+        util::ParseFaultScript(flags.GetString("io-fault-script", ""));
+    if (!script.ok()) return Fail(script.status());
+    util::FaultFs::Instance().SetScript(script.value());
+    std::cerr << "I/O fault injection active: "
+              << util::FormatFaultScript(script.value()) << "\n";
   }
   if (flags.GetBool("stdin", false) &&
       (flags.Has("qps") || flags.Has("clients") || flags.Has("out"))) {
@@ -479,6 +519,9 @@ int Main(int argc, char** argv) {
   options.refresh_every = static_cast<size_t>(refresh_every.value());
   options.submit_deadline_ms = submit_deadline_ms.value();
   options.request_deadline_ms = request_deadline_ms.value();
+  options.journal_dir = journal_dir;
+  options.fsync_policy = fsync_policy;
+  options.snapshot_every = static_cast<size_t>(snapshot_every.value());
 
   // Mask the shutdown signals before any worker thread exists so they
   // are delivered to RunListen's sigwait and nowhere else.
@@ -528,7 +571,13 @@ int Main(int argc, char** argv) {
     std::cerr << "seeded " << labels.value().size() << " labelled pairs\n";
   }
 
-  service.Start();
+  if (auto status = service.Start(); !status.ok()) return Fail(status);
+  if (!journal_dir.empty()) {
+    std::cerr << "durable serving: journal dir " << journal_dir
+              << ", fsync policy " << serve::FsyncPolicyName(fsync_policy)
+              << ", snapshot generation " << service.snapshot_generation()
+              << "\n";
+  }
 
   int rc = 0;
   if (use_listen) {
