@@ -1,0 +1,435 @@
+// Gate bench for the roaring-style bitmap posting layer (ISSUE 10
+// tentpole): candidate-set algebra (blocking/postings.h) against the
+// flat sorted-vector blocking paths it replaces.
+//
+// Gates:
+//   * batch GenerateCandidates bit-identical to a bench-local
+//     reimplementation of the pre-PR algorithm (per-block pair sweep +
+//     global seen-set + final PairKey sort) across key configurations
+//     (hard fail — deterministic at any scale),
+//   * incremental stream parity (hard): an interleaved add/probe stream
+//     over the corpus produces candidate sets identical to a flat
+//     append+sort+unique reference index, in string mode and in interned
+//     mode,
+//   * SIMD dispatch parity (hard): forced-scalar and forced-AVX2 runs of
+//     the same union workload produce bit-identical candidate sets,
+//   * >= 2x union throughput vs the flat append+sort+unique accumulator
+//     (PASS/FAIL print; fails the process only under
+//     ADRDEDUP_BENCH_STRICT=1, so timing noise on tiny smoke runs cannot
+//     flake CI),
+//   * posting memory below the flat sorted-vector bytes on the same
+//     lists (strict-only, measured and printed at any scale).
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "blocking/blocking.h"
+#include "blocking/incremental_index.h"
+#include "blocking/postings.h"
+#include "distance/interned.h"
+#include "distance/simd/dispatch.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace adrdedup::bench {
+namespace {
+
+using blocking::BlockingKey;
+using blocking::BlockingOptions;
+using blocking::PostingSet;
+using distance::ReportFeatures;
+using distance::ReportPair;
+
+// The pre-PR batch algorithm, kept verbatim as the parity reference:
+// bucket ids per key string, sweep each non-oversized block pairwise,
+// deduplicate through a global seen-set, sort by PairKey at the end.
+blocking::BlockingResult ReferenceGenerateCandidates(
+    const std::vector<ReportFeatures>& features,
+    const BlockingOptions& options) {
+  blocking::BlockingResult result;
+  std::unordered_set<uint64_t> seen;
+  for (BlockingKey key : options.keys) {
+    std::unordered_map<std::string, std::vector<uint32_t>> blocks;
+    for (size_t i = 0; i < features.size(); ++i) {
+      for (const std::string& value : BlockingKeysOf(features[i], key)) {
+        blocks[value].push_back(static_cast<uint32_t>(i));
+      }
+    }
+    result.total_blocks += blocks.size();
+    for (const auto& [value, members] : blocks) {
+      if (options.max_block_size != 0 &&
+          members.size() > options.max_block_size) {
+        ++result.oversized_blocks_skipped;
+        continue;
+      }
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          const ReportPair pair{std::min(members[i], members[j]),
+                                std::max(members[i], members[j])};
+          if (seen.insert(PairKey(pair)).second) {
+            result.pairs.push_back(pair);
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const ReportPair& a, const ReportPair& b) {
+              return PairKey(a) < PairKey(b);
+            });
+  return result;
+}
+
+// The pre-PR incremental index, kept as the stream-parity reference:
+// flat posting vectors, probe-time append + sort + unique, blocks past
+// max_block_size skipped at probe time (the incremental semantic).
+class ReferenceIncrementalIndex {
+ public:
+  explicit ReferenceIncrementalIndex(const BlockingOptions& options)
+      : options_(options), postings_(options.keys.size()) {}
+
+  void Add(uint32_t id, const ReportFeatures& features) {
+    for (size_t k = 0; k < options_.keys.size(); ++k) {
+      for (const std::string& value :
+           BlockingKeysOf(features, options_.keys[k])) {
+        postings_[k][value].push_back(id);
+      }
+    }
+  }
+
+  std::vector<uint32_t> Candidates(const ReportFeatures& features) const {
+    std::vector<uint32_t> ids;
+    for (size_t k = 0; k < options_.keys.size(); ++k) {
+      for (const std::string& value :
+           BlockingKeysOf(features, options_.keys[k])) {
+        const auto it = postings_[k].find(value);
+        if (it == postings_[k].end()) continue;
+        if (options_.max_block_size != 0 &&
+            it->second.size() > options_.max_block_size) {
+          continue;
+        }
+        ids.insert(ids.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  }
+
+ private:
+  BlockingOptions options_;
+  std::vector<std::unordered_map<std::string, std::vector<uint32_t>>>
+      postings_;
+};
+
+bool PairListsEqual(const blocking::BlockingResult& a,
+                    const blocking::BlockingResult& b) {
+  return a.pairs == b.pairs && a.total_blocks == b.total_blocks &&
+         a.oversized_blocks_skipped == b.oversized_blocks_skipped;
+}
+
+// Synthetic posting lists with the density mix the serving index sees:
+// mostly sparse array containers plus a dense tier that promotes to
+// bitsets. Ids span `id_space` reports.
+std::vector<std::vector<uint32_t>> SyntheticPostings(size_t num_lists,
+                                                     size_t id_space,
+                                                     uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<uint32_t>> lists(num_lists);
+  for (size_t l = 0; l < num_lists; ++l) {
+    size_t target;
+    if (l % 3 == 0) {
+      target = 16 + rng.Uniform(96);  // sparse: small array containers
+    } else if (l % 3 == 1) {
+      target = 512 + rng.Uniform(1024);  // medium arrays
+    } else {
+      target = id_space / 2 + rng.Uniform(id_space / 4);  // dense: bitsets
+    }
+    auto& ids = lists[l];
+    ids.reserve(target);
+    for (size_t i = 0; i < target; ++i) {
+      ids.push_back(static_cast<uint32_t>(rng.Uniform(id_space)));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    ids.shrink_to_fit();
+  }
+  return lists;
+}
+
+// One union-accumulation sweep over the probe schedule with the flat
+// append+sort+unique accumulator. Returns (seconds, checksum).
+std::pair<double, uint64_t> RunFlatUnions(
+    const std::vector<std::vector<uint32_t>>& lists,
+    const std::vector<std::vector<uint32_t>>& probes) {
+  uint64_t checksum = 0;
+  std::vector<uint32_t> acc;
+  util::Stopwatch watch;
+  for (const auto& probe : probes) {
+    acc.clear();
+    for (const uint32_t list : probe) {
+      acc.insert(acc.end(), lists[list].begin(), lists[list].end());
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    checksum += acc.size();
+    if (!acc.empty()) checksum ^= acc.front() + 31u * acc.back();
+  }
+  return {watch.ElapsedSeconds(), checksum};
+}
+
+std::pair<double, uint64_t> RunPostingUnions(
+    const std::vector<PostingSet>& lists,
+    const std::vector<std::vector<uint32_t>>& probes) {
+  uint64_t checksum = 0;
+  PostingSet acc;
+  util::Stopwatch watch;
+  for (const auto& probe : probes) {
+    acc.Clear();
+    for (const uint32_t list : probe) acc.UnionWith(lists[list]);
+    checksum += acc.cardinality();
+    if (!acc.empty()) {
+      uint32_t first = 0;
+      uint32_t last = 0;
+      bool have_first = false;
+      acc.ForEach([&](uint32_t id) {
+        if (!have_first) {
+          first = id;
+          have_first = true;
+        }
+        last = id;
+      });
+      checksum ^= first + 31u * last;
+    }
+  }
+  return {watch.ElapsedSeconds(), checksum};
+}
+
+int Run() {
+  PrintBanner("blocking-postings",
+              "ISSUE 10 gate: roaring bitmap postings vs flat sorted "
+              "vectors in the blocking layer");
+  const bool strict = [] {
+    const char* env = std::getenv("ADRDEDUP_BENCH_STRICT");
+    return env != nullptr && std::string(env) == "1";
+  }();
+  namespace simd = distance::simd;
+
+  const auto& workload = SharedWorkload();
+  const auto& features = workload.features;
+  bool failed = false;
+
+  // --- Gate 1: batch GenerateCandidates parity (hard). ---
+  // Every key configuration the CLI exposes, plus a tight block-size cap
+  // so the oversized-skip path is exercised.
+  {
+    std::vector<std::pair<std::string, BlockingOptions>> configs;
+    BlockingOptions drug;
+    drug.keys = {BlockingKey::kDrugToken};
+    configs.emplace_back("drug", drug);
+    BlockingOptions multi;
+    multi.keys = {BlockingKey::kDrugToken, BlockingKey::kAdrToken,
+                  BlockingKey::kSexAndAgeBand};
+    configs.emplace_back("drug+adr+sex/age", multi);
+    BlockingOptions capped = multi;
+    capped.max_block_size = 50;
+    configs.emplace_back("drug+adr+sex/age cap=50", capped);
+    BlockingOptions uncapped = multi;
+    uncapped.max_block_size = 0;
+    configs.emplace_back("drug+adr+sex/age uncapped", uncapped);
+
+    bool parity = true;
+    for (const auto& [name, options] : configs) {
+      const auto bitmap = blocking::GenerateCandidates(features, options);
+      const auto reference = ReferenceGenerateCandidates(features, options);
+      const bool ok = PairListsEqual(bitmap, reference);
+      std::cout << "  batch config '" << name << "': " << bitmap.pairs.size()
+                << " pairs, " << bitmap.total_blocks << " blocks -> "
+                << (ok ? "match" : "MISMATCH") << "\n";
+      parity = parity && ok;
+    }
+    std::cout << "GATE batch candidate pairs bit-identical to pre-PR "
+                 "algorithm: "
+              << (parity ? "PASS" : "FAIL") << std::endl;
+    if (!parity) failed = true;
+  }
+
+  // --- Gate 2: incremental stream parity (hard). ---
+  // Interleaved add/probe over the corpus: every probe's candidate set
+  // must match the flat reference, in string mode and interned mode.
+  {
+    BlockingOptions options;
+    options.keys = {BlockingKey::kDrugToken, BlockingKey::kAdrToken,
+                    BlockingKey::kSexAndAgeBand};
+    const size_t stream = std::min(features.size(), Scaled(10382, 800));
+    blocking::IncrementalBlockingIndex string_index(options);
+    blocking::IncrementalBlockingIndex interned_index(options);
+    ReferenceIncrementalIndex reference(options);
+    distance::TokenDictionary dict = distance::TokenDictionary::Build(
+        features);
+    const auto interned = distance::InternAllFeatures(features, &dict);
+    bool parity = true;
+    size_t candidates_seen = 0;
+    for (size_t i = 0; i < stream && parity; ++i) {
+      const auto got_string = string_index.Candidates(features[i]);
+      const auto got_interned = interned_index.Candidates(interned[i]);
+      const auto expected = reference.Candidates(features[i]);
+      parity = got_string == expected && got_interned == expected;
+      candidates_seen += expected.size();
+      const auto id = static_cast<report::ReportId>(i);
+      string_index.Add(id, features[i]);
+      interned_index.Add(id, interned[i]);
+      reference.Add(id, features[i]);
+    }
+    std::cout << "  stream of " << stream << " reports, " << candidates_seen
+              << " candidates returned\n";
+    const auto stats = string_index.Stats();
+    std::cout << "  string index: " << stats.posting_containers
+              << " containers (" << stats.bitset_containers << " bitset), "
+              << stats.posting_bytes << " posting bytes, "
+              << stats.candidate_unions << " block unions\n";
+    std::cout << "GATE incremental candidates (string + interned modes) == "
+                 "flat reference: "
+              << (parity ? "PASS" : "FAIL") << std::endl;
+    if (!parity) failed = true;
+  }
+
+  // --- Union-algebra workload (gates 3-5). ---
+  // Posting lists with the serving density mix over a scaled id space;
+  // each probe unions a handful of lists, as a candidate probe does.
+  const size_t id_space = Scaled(100000, 20000);
+  const size_t num_lists = 192;
+  const auto flat_lists = SyntheticPostings(num_lists, id_space, 83);
+  std::vector<PostingSet> posting_lists(num_lists);
+  size_t bitset_lists = 0;
+  for (size_t l = 0; l < num_lists; ++l) {
+    for (const uint32_t id : flat_lists[l]) posting_lists[l].Add(id);
+    bitset_lists +=
+        static_cast<size_t>(posting_lists[l].num_bitset_containers() > 0);
+  }
+  const size_t num_probes = Scaled(20000, 400);
+  util::Rng probe_rng(97);
+  std::vector<std::vector<uint32_t>> probes(num_probes);
+  for (auto& probe : probes) {
+    const size_t fan = 3 + probe_rng.Uniform(5);
+    for (size_t p = 0; p < fan; ++p) {
+      probe.push_back(static_cast<uint32_t>(probe_rng.Uniform(num_lists)));
+    }
+  }
+  std::cout << "union workload: " << num_lists << " lists (" << bitset_lists
+            << " with bitset containers) over " << id_space
+            << " ids, " << num_probes << " probes\n";
+
+  // --- Gate 3: SIMD dispatch parity (hard). ---
+  // The same probe schedule under both dispatch levels, result sets
+  // compared element-wise (and checksums across the timed runs below).
+  {
+    bool parity = true;
+    if (simd::CpuHasAvx2Fma()) {
+      for (size_t sample = 0; sample < probes.size() && parity;
+           sample += 37) {
+        std::vector<uint32_t> scalar_ids;
+        std::vector<uint32_t> simd_ids;
+        {
+          simd::ScopedSimdOverride level(simd::Level::kScalar);
+          PostingSet acc;
+          for (const uint32_t list : probes[sample]) {
+            acc.UnionWith(posting_lists[list]);
+          }
+          scalar_ids = acc.ToVector();
+        }
+        {
+          simd::ScopedSimdOverride level(simd::Level::kAvx2Fma);
+          PostingSet acc;
+          for (const uint32_t list : probes[sample]) {
+            acc.UnionWith(posting_lists[list]);
+          }
+          simd_ids = acc.ToVector();
+        }
+        parity = scalar_ids == simd_ids;
+      }
+      std::cout << "GATE scalar vs avx2 dispatch: candidate sets "
+                   "bit-identical: "
+                << (parity ? "PASS" : "FAIL") << std::endl;
+    } else {
+      std::cout << "GATE scalar vs avx2 dispatch: SKIP (CPU lacks "
+                   "AVX2/FMA; scalar oracle is the only path)"
+                << std::endl;
+    }
+    if (!parity) failed = true;
+  }
+
+  // --- Gate 4: union throughput (strict-only timing; checksum parity
+  // stays a hard gate). ---
+  {
+    (void)RunFlatUnions(flat_lists, probes);  // warmup
+    const auto [flat_seconds, flat_sum] = RunFlatUnions(flat_lists, probes);
+    (void)RunPostingUnions(posting_lists, probes);  // warmup
+    const auto [posting_seconds, posting_sum] =
+        RunPostingUnions(posting_lists, probes);
+    if (flat_sum != posting_sum) {
+      std::cout << "GATE union checksum parity: FAIL (flat " << flat_sum
+                << " vs postings " << posting_sum << ")" << std::endl;
+      failed = true;
+    }
+    const double speedup = flat_seconds / posting_seconds;
+    eval::TablePrinter throughput(&std::cout,
+                                  {"accumulator", "probes/sec", "speedup"});
+    throughput.set_export_name("blocking_postings_union_throughput");
+    throughput.AddRow(
+        {"flat append+sort+unique (pre-PR)",
+         eval::TablePrinter::Num(
+             static_cast<double>(num_probes) / flat_seconds, 0),
+         "1.00"});
+    throughput.AddRow(
+        {"roaring bitmap union",
+         eval::TablePrinter::Num(
+             static_cast<double>(num_probes) / posting_seconds, 0),
+         eval::TablePrinter::Num(speedup, 2)});
+    throughput.Print();
+    const bool throughput_ok = speedup >= 2.0;
+    std::cout << "GATE bitmap union >= 2.0x flat accumulator: "
+              << (throughput_ok ? "PASS" : "FAIL") << " (" << speedup << "x)"
+              << std::endl;
+    if (!throughput_ok && strict) failed = true;
+  }
+
+  // --- Gate 5: posting memory (strict-only). ---
+  {
+    size_t flat_bytes = 0;
+    for (const auto& ids : flat_lists) {
+      flat_bytes += sizeof(std::vector<uint32_t>) +
+                    ids.capacity() * sizeof(uint32_t);
+    }
+    size_t posting_bytes = 0;
+    for (const auto& set : posting_lists) posting_bytes += ByteSizeOf(set);
+    const double reduction = 1.0 - static_cast<double>(posting_bytes) /
+                                       static_cast<double>(flat_bytes);
+    eval::TablePrinter memory(&std::cout, {"representation", "bytes"});
+    memory.set_export_name("blocking_postings_memory");
+    memory.AddRow({"flat sorted uint32 vectors (pre-PR)",
+                   eval::TablePrinter::Num(
+                       static_cast<double>(flat_bytes), 0)});
+    memory.AddRow({"roaring containers",
+                   eval::TablePrinter::Num(
+                       static_cast<double>(posting_bytes), 0)});
+    memory.Print();
+    const bool memory_ok = posting_bytes < flat_bytes;
+    std::cout << "GATE posting memory below flat vectors: "
+              << (memory_ok ? "PASS" : "FAIL") << " ("
+              << eval::TablePrinter::Num(reduction * 100.0, 1)
+              << "% reduction)" << std::endl;
+    if (!memory_ok && strict) failed = true;
+  }
+
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace adrdedup::bench
+
+int main() { return adrdedup::bench::Run(); }

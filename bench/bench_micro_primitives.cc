@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "blocking/postings.h"
 #include "core/fast_knn.h"
 #include "distance/interned.h"
 #include "distance/pairwise.h"
+#include "distance/simd/bitset_avx2.h"
 #include "distance/simd/dispatch.h"
 #include "distance/simd/intersect_avx2.h"
 #include "minispark/pair_rdd.h"
@@ -243,6 +245,151 @@ void BM_IntersectAvx2(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntersectAvx2);
+
+// Bitset-container kernels of the blocking posting layer: OR / AND /
+// popcount over one 64K-id chunk (1024 words), scalar oracle vs the
+// AVX2 kernels reached through dispatch.
+std::vector<uint64_t> MicroBitsetWords(uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<uint64_t> words(blocking::kPostingBitsetWords);
+  for (auto& w : words) {
+    w = (static_cast<uint64_t>(rng.Uniform(1u << 31)) << 33) ^
+        (static_cast<uint64_t>(rng.Uniform(1u << 31)) << 2) ^
+        rng.Uniform(4);
+  }
+  return words;
+}
+
+void BM_BitsetOrScalar(benchmark::State& state) {
+  const auto src = MicroBitsetWords(41);
+  auto dst = MicroBitsetWords(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocking::ScalarBitsetOrPopcount(
+        dst.data(), src.data(), dst.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * dst.size() * 8);
+}
+BENCHMARK(BM_BitsetOrScalar);
+
+void BM_BitsetOrAvx2(benchmark::State& state) {
+  if (!distance::simd::CpuHasAvx2Fma()) {
+    state.SkipWithError("CPU lacks AVX2/FMA");
+    return;
+  }
+  const auto src = MicroBitsetWords(41);
+  auto dst = MicroBitsetWords(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::simd::Avx2BitsetOrPopcount(
+        dst.data(), src.data(), dst.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * dst.size() * 8);
+}
+BENCHMARK(BM_BitsetOrAvx2);
+
+void BM_BitsetAndScalar(benchmark::State& state) {
+  const auto src = MicroBitsetWords(41);
+  auto dst = MicroBitsetWords(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocking::ScalarBitsetAndPopcount(
+        dst.data(), src.data(), dst.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * dst.size() * 8);
+}
+BENCHMARK(BM_BitsetAndScalar);
+
+void BM_BitsetAndAvx2(benchmark::State& state) {
+  if (!distance::simd::CpuHasAvx2Fma()) {
+    state.SkipWithError("CPU lacks AVX2/FMA");
+    return;
+  }
+  const auto src = MicroBitsetWords(41);
+  auto dst = MicroBitsetWords(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::simd::Avx2BitsetAndPopcount(
+        dst.data(), src.data(), dst.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * dst.size() * 8);
+}
+BENCHMARK(BM_BitsetAndAvx2);
+
+void BM_BitsetPopcountScalar(benchmark::State& state) {
+  const auto words = MicroBitsetWords(47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        blocking::ScalarBitsetPopcount(words.data(), words.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * words.size() * 8);
+}
+BENCHMARK(BM_BitsetPopcountScalar);
+
+void BM_BitsetPopcountAvx2(benchmark::State& state) {
+  if (!distance::simd::CpuHasAvx2Fma()) {
+    state.SkipWithError("CPU lacks AVX2/FMA");
+    return;
+  }
+  const auto words = MicroBitsetWords(47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distance::simd::Avx2BitsetPopcount(words.data(), words.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * words.size() * 8);
+}
+BENCHMARK(BM_BitsetPopcountAvx2);
+
+// PostingSet union at the container-algebra level: array-heavy vs
+// bitset-heavy accumulation, at both dispatch levels (arg 0 = scalar,
+// arg 1 = avx2).
+std::vector<blocking::PostingSet> MicroPostingPool(size_t count,
+                                                   size_t list_size,
+                                                   size_t id_space) {
+  util::Rng rng(53);
+  std::vector<blocking::PostingSet> pool(count);
+  for (auto& set : pool) {
+    for (size_t i = 0; i < list_size; ++i) {
+      set.Add(static_cast<uint32_t>(rng.Uniform(id_space)));
+    }
+  }
+  return pool;
+}
+
+void RunPostingUnionBench(benchmark::State& state,
+                          const std::vector<blocking::PostingSet>& pool) {
+  namespace simd = distance::simd;
+  if (state.range(0) == 1 && !simd::CpuHasAvx2Fma()) {
+    state.SkipWithError("CPU lacks AVX2/FMA");
+    return;
+  }
+  simd::ScopedSimdOverride level(state.range(0) == 1
+                                     ? simd::Level::kAvx2Fma
+                                     : simd::Level::kScalar);
+  blocking::PostingSet acc;
+  size_t it = 0;
+  for (auto _ : state) {
+    acc.Clear();
+    acc.UnionWith(pool[it % pool.size()]);
+    acc.UnionWith(pool[(it * 7 + 13) % pool.size()]);
+    acc.UnionWith(pool[(it * 31 + 5) % pool.size()]);
+    benchmark::DoNotOptimize(acc.cardinality());
+    ++it;
+  }
+}
+
+void BM_PostingUnionArrays(benchmark::State& state) {
+  // 256-id lists over 64K ids: sparse array containers only.
+  static const auto& pool =
+      *new std::vector<blocking::PostingSet>(MicroPostingPool(64, 256, 65536));
+  RunPostingUnionBench(state, pool);
+}
+BENCHMARK(BM_PostingUnionArrays)->Arg(0)->Arg(1);
+
+void BM_PostingUnionBitsets(benchmark::State& state) {
+  // 12K-id lists over 32K ids: dense bitset containers, the OR-kernel
+  // regime.
+  static const auto& pool = *new std::vector<blocking::PostingSet>(
+      MicroPostingPool(64, 12288, 32768));
+  RunPostingUnionBench(state, pool);
+}
+BENCHMARK(BM_PostingUnionBitsets)->Arg(0)->Arg(1);
 
 // The stage-1 kernel behind ScoreBatch: 8 queries swept over one SoA
 // block, as 8 scalar single-query sweeps vs 1 batched sweep.

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "blocking/incremental_index.h"
+#include "blocking/postings.h"
 #include "util/logging.h"
 
 namespace adrdedup::blocking {
@@ -35,38 +36,55 @@ BlockingResult GenerateCandidates(
     const BlockingOptions& options) {
   ADRDEDUP_CHECK(!options.keys.empty()) << "no blocking keys configured";
   BlockingResult result;
-  std::unordered_set<uint64_t> seen;
 
-  for (BlockingKey key : options.keys) {
-    // Bucket report ids per key string.
-    std::unordered_map<std::string, std::vector<uint32_t>> blocks;
+  // Bucket report ids per key value into roaring-style postings
+  // (blocking/postings.h): ids arrive in ascending order, so each Add is
+  // a container append.
+  std::vector<std::unordered_map<std::string, PostingSet>> maps(
+      options.keys.size());
+  for (size_t k = 0; k < options.keys.size(); ++k) {
     for (size_t i = 0; i < features.size(); ++i) {
-      for (const std::string& value : BlockingKeysOf(features[i], key)) {
-        blocks[value].push_back(static_cast<uint32_t>(i));
+      for (const std::string& value :
+           BlockingKeysOf(features[i], options.keys[k])) {
+        maps[k][value].Add(static_cast<uint32_t>(i));
       }
     }
-    result.total_blocks += blocks.size();
-    for (const auto& [value, members] : blocks) {
+    result.total_blocks += maps[k].size();
+    for (const auto& [value, members] : maps[k]) {
       if (options.max_block_size != 0 &&
-          members.size() > options.max_block_size) {
+          members.cardinality() > options.max_block_size) {
         ++result.oversized_blocks_skipped;
-        continue;
-      }
-      for (size_t i = 0; i < members.size(); ++i) {
-        for (size_t j = i + 1; j < members.size(); ++j) {
-          const ReportPair pair{std::min(members[i], members[j]),
-                                std::max(members[i], members[j])};
-          if (seen.insert(PairKey(pair)).second) {
-            result.pairs.push_back(pair);
-          }
-        }
       }
     }
   }
-  std::sort(result.pairs.begin(), result.pairs.end(),
-            [](const ReportPair& a, const ReportPair& b) {
-              return PairKey(a) < PairKey(b);
-            });
+
+  // Candidate-set algebra replaces the per-block pair sweep + global
+  // seen-set: for each report i, union its (non-oversized) blocks across
+  // all keys and emit (i, j) for every union member j > i. Every
+  // unordered candidate pair {i, j} shares a block, so it surfaces
+  // exactly once — while processing min(i, j) — and i-ascending /
+  // j-ascending emission IS PairKey order, so the output matches the
+  // sorted deduplicated pair list of the flat path bit for bit.
+  PostingSet acc;
+  for (size_t i = 0; i < features.size(); ++i) {
+    acc.Clear();
+    for (size_t k = 0; k < options.keys.size(); ++k) {
+      for (const std::string& value :
+           BlockingKeysOf(features[i], options.keys[k])) {
+        const auto it = maps[k].find(value);
+        if (it == maps[k].end()) continue;
+        if (options.max_block_size != 0 &&
+            it->second.cardinality() > options.max_block_size) {
+          continue;
+        }
+        acc.UnionWith(it->second);
+      }
+    }
+    const auto self = static_cast<uint32_t>(i);
+    acc.ForEachFrom(self + 1, [&result, self](uint32_t j) {
+      result.pairs.push_back(ReportPair{self, j});
+    });
+  }
   return result;
 }
 

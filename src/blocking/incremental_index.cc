@@ -91,7 +91,7 @@ void IncrementalBlockingIndex::Add(
   SetMode(Mode::kString);
   for (size_t k = 0; k < options_.keys.size(); ++k) {
     for (std::string& value : BlockingKeysOf(features, options_.keys[k])) {
-      postings_[k][std::move(value)].push_back(id);
+      postings_[k][std::move(value)].Add(id);
     }
   }
   ++num_reports_;
@@ -102,7 +102,7 @@ void IncrementalBlockingIndex::Add(
   SetMode(Mode::kInterned);
   for (size_t k = 0; k < options_.keys.size(); ++k) {
     for (const uint32_t key_id : KeyIdsForInsert(features, k)) {
-      id_postings_[k][key_id].push_back(id);
+      id_postings_[k][key_id].Add(id);
     }
   }
   ++num_reports_;
@@ -110,18 +110,21 @@ void IncrementalBlockingIndex::Add(
 
 namespace {
 
+// Candidate accumulation is container algebra: union the probed block
+// into the accumulator. Union of sets == sort+unique of concatenated
+// postings, so ToVector() of the accumulator is bit-identical to the
+// flat-vector path this replaces (the PostingSet ordered-iterator
+// equivalence, DESIGN.md §5i).
 template <typename Map, typename Key>
-void AppendBlock(const Map& map, const Key& key, size_t max_block_size,
-                 std::vector<report::ReportId>* out) {
+bool UnionBlock(const Map& map, const Key& key, size_t max_block_size,
+                PostingSet* acc) {
   const auto it = map.find(key);
-  if (it == map.end()) return;
-  if (max_block_size != 0 && it->second.size() > max_block_size) return;
-  out->insert(out->end(), it->second.begin(), it->second.end());
-}
-
-void SortUniqueIds(std::vector<report::ReportId>* out) {
-  std::sort(out->begin(), out->end());
-  out->erase(std::unique(out->begin(), out->end()), out->end());
+  if (it == map.end()) return false;
+  if (max_block_size != 0 && it->second.cardinality() > max_block_size) {
+    return false;
+  }
+  acc->UnionWith(it->second);
+  return true;
 }
 
 }  // namespace
@@ -130,29 +133,33 @@ std::vector<report::ReportId> IncrementalBlockingIndex::Candidates(
     const distance::ReportFeatures& features) const {
   ADRDEDUP_CHECK(mode_ != Mode::kInterned)
       << "IncrementalBlockingIndex: string and interned APIs cannot be mixed";
-  std::vector<report::ReportId> out;
+  PostingSet acc;
+  uint64_t unions = 0;
   for (size_t k = 0; k < options_.keys.size(); ++k) {
     for (const std::string& value :
          BlockingKeysOf(features, options_.keys[k])) {
-      AppendBlock(postings_[k], value, options_.max_block_size, &out);
+      unions += static_cast<uint64_t>(
+          UnionBlock(postings_[k], value, options_.max_block_size, &acc));
     }
   }
-  SortUniqueIds(&out);
-  return out;
+  candidate_unions_.fetch_add(unions, std::memory_order_relaxed);
+  return acc.ToVector();
 }
 
 std::vector<report::ReportId> IncrementalBlockingIndex::Candidates(
     const distance::InternedFeatures& features) const {
   ADRDEDUP_CHECK(mode_ != Mode::kString)
       << "IncrementalBlockingIndex: string and interned APIs cannot be mixed";
-  std::vector<report::ReportId> out;
+  PostingSet acc;
+  uint64_t unions = 0;
   for (size_t k = 0; k < options_.keys.size(); ++k) {
     for (const uint32_t key_id : KeyIdsForProbe(features, k)) {
-      AppendBlock(id_postings_[k], key_id, options_.max_block_size, &out);
+      unions += static_cast<uint64_t>(
+          UnionBlock(id_postings_[k], key_id, options_.max_block_size, &acc));
     }
   }
-  SortUniqueIds(&out);
-  return out;
+  candidate_unions_.fetch_add(unions, std::memory_order_relaxed);
+  return acc.ToVector();
 }
 
 size_t IncrementalBlockingIndex::num_blocks() const {
@@ -167,15 +174,32 @@ size_t IncrementalBlockingIndex::oversized_blocks() const {
   size_t total = 0;
   for (const auto& map : postings_) {
     for (const auto& [value, members] : map) {
-      if (members.size() > options_.max_block_size) ++total;
+      if (members.cardinality() > options_.max_block_size) ++total;
     }
   }
   for (const auto& map : id_postings_) {
     for (const auto& [value, members] : map) {
-      if (members.size() > options_.max_block_size) ++total;
+      if (members.cardinality() > options_.max_block_size) ++total;
     }
   }
   return total;
+}
+
+PostingIndexStats IncrementalBlockingIndex::Stats() const {
+  PostingIndexStats stats;
+  const auto account = [&stats](const PostingSet& set) {
+    stats.posting_containers += set.num_containers();
+    stats.bitset_containers += set.num_bitset_containers();
+    stats.posting_bytes += set.MemoryBytes();
+  };
+  for (const auto& map : postings_) {
+    for (const auto& [value, members] : map) account(members);
+  }
+  for (const auto& map : id_postings_) {
+    for (const auto& [value, members] : map) account(members);
+  }
+  stats.candidate_unions = candidate_unions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace adrdedup::blocking

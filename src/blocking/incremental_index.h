@@ -23,11 +23,14 @@
 #ifndef ADRDEDUP_BLOCKING_INCREMENTAL_INDEX_H_
 #define ADRDEDUP_BLOCKING_INCREMENTAL_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "blocking/blocking.h"
+#include "blocking/postings.h"
 #include "distance/interned.h"
 #include "distance/report_features.h"
 
@@ -37,6 +40,16 @@ namespace adrdedup::blocking {
 // GenerateCandidates, shared with this index).
 std::vector<std::string> BlockingKeysOf(
     const distance::ReportFeatures& features, BlockingKey key);
+
+// Aggregate posting-layer accounting of one index, exported by the
+// serve ServiceMetrics (the promotion/demotion counters are the
+// process-wide blocking::PostingCounters, reported alongside).
+struct PostingIndexStats {
+  uint64_t posting_containers = 0;  // roaring containers across all blocks
+  uint64_t bitset_containers = 0;   // ... of which are dense bitsets
+  uint64_t posting_bytes = 0;       // PostingSet::MemoryBytes sum
+  uint64_t candidate_unions = 0;    // probe-time block unions performed
+};
 
 class IncrementalBlockingIndex {
  public:
@@ -59,6 +72,10 @@ class IncrementalBlockingIndex {
   size_t num_blocks() const;
   size_t oversized_blocks() const;
 
+  // O(#blocks) sweep over the posting maps plus the running
+  // candidate-union counter; called at metrics-export time.
+  PostingIndexStats Stats() const;
+
  private:
   enum class Mode { kUnset, kString, kInterned };
 
@@ -78,11 +95,14 @@ class IncrementalBlockingIndex {
   size_t num_reports_ = 0;
   // One posting map per configured key (keys of different types may
   // collide as strings — or as ids across id spaces — e.g. a drug token
-  // equal to an onset date).
-  std::vector<std::unordered_map<std::string, std::vector<report::ReportId>>>
-      postings_;
-  std::vector<std::unordered_map<uint32_t, std::vector<report::ReportId>>>
-      id_postings_;
+  // equal to an onset date). Values are roaring-style containers: probe
+  // -time candidate accumulation is a PostingSet union instead of an
+  // append + sort + unique sweep (DESIGN.md §5i).
+  std::vector<std::unordered_map<std::string, PostingSet>> postings_;
+  std::vector<std::unordered_map<uint32_t, PostingSet>> id_postings_;
+  // Probe-time block unions performed (metrics; relaxed — Candidates is
+  // const and may run under the caller's lock from any thread).
+  mutable std::atomic<uint64_t> candidate_unions_{0};
   // Interned scalar blocking keys (onset date, sex/age band); the token
   // keys reuse the ids carried by InternedFeatures.
   distance::TokenDictionary scalar_keys_;

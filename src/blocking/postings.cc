@@ -1,0 +1,395 @@
+#include "blocking/postings.h"
+
+#include <atomic>
+
+#include "distance/simd/bitset_avx2.h"
+#include "distance/simd/dispatch.h"
+
+namespace adrdedup::blocking {
+
+namespace {
+
+std::atomic<uint64_t> g_promotions{0};
+std::atomic<uint64_t> g_demotions{0};
+
+// Dispatch points: one process-wide level (distance/simd/dispatch.h),
+// scalar word loops as the always-compiled oracle.
+size_t BitsetOrPopcount(uint64_t* dst, const uint64_t* src, size_t words) {
+  if (distance::simd::UseAvx2()) {
+    return distance::simd::Avx2BitsetOrPopcount(dst, src, words);
+  }
+  return ScalarBitsetOrPopcount(dst, src, words);
+}
+
+size_t BitsetAndPopcount(uint64_t* dst, const uint64_t* src, size_t words) {
+  if (distance::simd::UseAvx2()) {
+    return distance::simd::Avx2BitsetAndPopcount(dst, src, words);
+  }
+  return ScalarBitsetAndPopcount(dst, src, words);
+}
+
+size_t BitsetPopcount(const uint64_t* words, size_t n) {
+  if (distance::simd::UseAvx2()) {
+    return distance::simd::Avx2BitsetPopcount(words, n);
+  }
+  return ScalarBitsetPopcount(words, n);
+}
+
+}  // namespace
+
+size_t ScalarBitsetOrPopcount(uint64_t* dst, const uint64_t* src,
+                              size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    dst[w] |= src[w];
+    count += static_cast<size_t>(__builtin_popcountll(dst[w]));
+  }
+  return count;
+}
+
+size_t ScalarBitsetAndPopcount(uint64_t* dst, const uint64_t* src,
+                               size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    dst[w] &= src[w];
+    count += static_cast<size_t>(__builtin_popcountll(dst[w]));
+  }
+  return count;
+}
+
+size_t ScalarBitsetPopcount(const uint64_t* words, size_t n) {
+  size_t count = 0;
+  for (size_t w = 0; w < n; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(words[w]));
+  }
+  return count;
+}
+
+PostingCounterSnapshot PostingCounters() {
+  return {g_promotions.load(std::memory_order_relaxed),
+          g_demotions.load(std::memory_order_relaxed)};
+}
+
+void PostingSet::Promote(Container* c) {
+  std::vector<uint64_t> bits(kPostingBitsetWords, 0);
+  for (const uint16_t lo : c->array) {
+    bits[lo >> 6] |= 1ull << (lo & 63);
+  }
+  c->bits = std::move(bits);
+  std::vector<uint16_t>().swap(c->array);
+  c->is_bitset = true;
+  g_promotions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PostingSet::Add(uint32_t id) {
+  const auto key = static_cast<uint16_t>(id >> 16);
+  const auto lo = static_cast<uint16_t>(id & 0xFFFFu);
+  Container* c;
+  if (!containers_.empty() && containers_.back().key == key) {
+    // Monotone-insert fast path: the incremental index appends ids in
+    // ascending report order, which lands in the last chunk.
+    c = &containers_.back();
+  } else {
+    auto it = std::lower_bound(
+        containers_.begin(), containers_.end(), key,
+        [](const Container& lhs, uint16_t k) { return lhs.key < k; });
+    if (it == containers_.end() || it->key != key) {
+      Container fresh;
+      fresh.key = key;
+      it = containers_.insert(it, std::move(fresh));
+    }
+    c = &*it;
+  }
+  if (c->is_bitset) {
+    uint64_t& word = c->bits[lo >> 6];
+    const uint64_t bit = 1ull << (lo & 63);
+    if ((word & bit) != 0) return;
+    word |= bit;
+    ++c->count;
+    ++cardinality_;
+    return;
+  }
+  if (c->array.empty() || c->array.back() < lo) {
+    c->array.push_back(lo);
+  } else {
+    const auto pos = std::lower_bound(c->array.begin(), c->array.end(), lo);
+    if (pos != c->array.end() && *pos == lo) return;
+    c->array.insert(pos, lo);
+  }
+  ++c->count;
+  ++cardinality_;
+  if (c->count > kPostingArrayLimit) Promote(c);
+}
+
+bool PostingSet::Contains(uint32_t id) const {
+  const auto key = static_cast<uint16_t>(id >> 16);
+  const auto lo = static_cast<uint16_t>(id & 0xFFFFu);
+  const auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& lhs, uint16_t k) { return lhs.key < k; });
+  if (it == containers_.end() || it->key != key) return false;
+  if (it->is_bitset) {
+    return (it->bits[lo >> 6] & (1ull << (lo & 63))) != 0;
+  }
+  return std::binary_search(it->array.begin(), it->array.end(), lo);
+}
+
+PostingSet::Container PostingSet::UnionContainers(Container mine,
+                                                  const Container& theirs) {
+  if (mine.is_bitset && theirs.is_bitset) {
+    mine.count = static_cast<uint32_t>(BitsetOrPopcount(
+        mine.bits.data(), theirs.bits.data(), kPostingBitsetWords));
+    return mine;
+  }
+  if (mine.is_bitset) {  // bitset | array
+    for (const uint16_t lo : theirs.array) {
+      uint64_t& word = mine.bits[lo >> 6];
+      const uint64_t bit = 1ull << (lo & 63);
+      mine.count += static_cast<uint32_t>((word & bit) == 0);
+      word |= bit;
+    }
+    return mine;
+  }
+  if (theirs.is_bitset) {  // array | bitset: the array side promotes
+    Container out;
+    out.key = mine.key;
+    out.is_bitset = true;
+    out.bits = theirs.bits;
+    out.count = theirs.count;
+    for (const uint16_t lo : mine.array) {
+      uint64_t& word = out.bits[lo >> 6];
+      const uint64_t bit = 1ull << (lo & 63);
+      out.count += static_cast<uint32_t>((word & bit) == 0);
+      word |= bit;
+    }
+    g_promotions.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+  // array | array: sorted merge; promote past the crossover.
+  std::vector<uint16_t> merged;
+  merged.reserve(mine.array.size() + theirs.array.size());
+  std::set_union(mine.array.begin(), mine.array.end(), theirs.array.begin(),
+                 theirs.array.end(), std::back_inserter(merged));
+  mine.array = std::move(merged);
+  mine.count = static_cast<uint32_t>(mine.array.size());
+  if (mine.count > kPostingArrayLimit) Promote(&mine);
+  return mine;
+}
+
+void PostingSet::UnionWith(const PostingSet& other) {
+  if (other.containers_.empty()) return;
+  if (containers_.empty()) {
+    containers_ = other.containers_;
+    cardinality_ = other.cardinality_;
+    return;
+  }
+  std::vector<Container> merged;
+  merged.reserve(containers_.size() + other.containers_.size());
+  size_t card = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < containers_.size() || j < other.containers_.size()) {
+    if (j == other.containers_.size() ||
+        (i < containers_.size() &&
+         containers_[i].key < other.containers_[j].key)) {
+      merged.push_back(std::move(containers_[i++]));
+    } else if (i == containers_.size() ||
+               other.containers_[j].key < containers_[i].key) {
+      merged.push_back(other.containers_[j++]);
+    } else {
+      merged.push_back(
+          UnionContainers(std::move(containers_[i++]), other.containers_[j++]));
+    }
+    card += merged.back().count;
+  }
+  containers_ = std::move(merged);
+  cardinality_ = card;
+}
+
+PostingSet::Container PostingSet::IntersectContainers(
+    Container mine, const Container& theirs) {
+  if (mine.is_bitset && theirs.is_bitset) {
+    mine.count = static_cast<uint32_t>(BitsetAndPopcount(
+        mine.bits.data(), theirs.bits.data(), kPostingBitsetWords));
+    if (mine.count <= kPostingArrayLimit) {  // demote (possibly to empty)
+      std::vector<uint16_t> array;
+      array.reserve(mine.count);
+      for (size_t w = 0; w < kPostingBitsetWords; ++w) {
+        uint64_t word = mine.bits[w];
+        while (word != 0) {
+          array.push_back(
+              static_cast<uint16_t>((w << 6) | __builtin_ctzll(word)));
+          word &= word - 1;
+        }
+      }
+      mine.array = std::move(array);
+      std::vector<uint64_t>().swap(mine.bits);
+      mine.is_bitset = false;
+      g_demotions.fetch_add(1, std::memory_order_relaxed);
+    }
+    return mine;
+  }
+  if (mine.is_bitset) {  // bitset & array -> array (demotion)
+    std::vector<uint16_t> kept;
+    for (const uint16_t lo : theirs.array) {
+      if ((mine.bits[lo >> 6] & (1ull << (lo & 63))) != 0) {
+        kept.push_back(lo);
+      }
+    }
+    mine.array = std::move(kept);
+    std::vector<uint64_t>().swap(mine.bits);
+    mine.is_bitset = false;
+    mine.count = static_cast<uint32_t>(mine.array.size());
+    g_demotions.fetch_add(1, std::memory_order_relaxed);
+    return mine;
+  }
+  if (theirs.is_bitset) {  // array & bitset -> array
+    std::vector<uint16_t> kept;
+    for (const uint16_t lo : mine.array) {
+      if ((theirs.bits[lo >> 6] & (1ull << (lo & 63))) != 0) {
+        kept.push_back(lo);
+      }
+    }
+    mine.array = std::move(kept);
+    mine.count = static_cast<uint32_t>(mine.array.size());
+    return mine;
+  }
+  std::vector<uint16_t> kept;
+  std::set_intersection(mine.array.begin(), mine.array.end(),
+                        theirs.array.begin(), theirs.array.end(),
+                        std::back_inserter(kept));
+  mine.array = std::move(kept);
+  mine.count = static_cast<uint32_t>(mine.array.size());
+  return mine;
+}
+
+void PostingSet::IntersectWith(const PostingSet& other) {
+  if (containers_.empty()) return;
+  if (other.containers_.empty()) {
+    Clear();
+    return;
+  }
+  std::vector<Container> kept;
+  size_t card = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < containers_.size() && j < other.containers_.size()) {
+    if (containers_[i].key < other.containers_[j].key) {
+      ++i;
+    } else if (other.containers_[j].key < containers_[i].key) {
+      ++j;
+    } else {
+      Container out = IntersectContainers(std::move(containers_[i++]),
+                                          other.containers_[j++]);
+      if (out.count != 0) {
+        card += out.count;
+        kept.push_back(std::move(out));
+      }
+    }
+  }
+  containers_ = std::move(kept);
+  cardinality_ = card;
+}
+
+void PostingSet::Clear() {
+  containers_.clear();
+  cardinality_ = 0;
+}
+
+size_t PostingSet::num_bitset_containers() const {
+  size_t n = 0;
+  for (const Container& c : containers_) n += static_cast<size_t>(c.is_bitset);
+  return n;
+}
+
+size_t PostingSet::MemoryBytes() const {
+  size_t bytes =
+      sizeof(PostingSet) + containers_.capacity() * sizeof(Container);
+  for (const Container& c : containers_) {
+    bytes += c.array.capacity() * sizeof(uint16_t) +
+             c.bits.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+std::vector<uint32_t> PostingSet::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(cardinality_);
+  ForEach([&out](uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+bool operator==(const PostingSet& a, const PostingSet& b) {
+  return a.cardinality_ == b.cardinality_ && a.containers_ == b.containers_;
+}
+
+void PostingSet::SerializeTo(std::string* out) const {
+  namespace storage = minispark::storage;
+  storage::Serializer<uint32_t>::Write(
+      out, static_cast<uint32_t>(containers_.size()));
+  for (const Container& c : containers_) {
+    storage::Serializer<uint16_t>::Write(out, c.key);
+    storage::Serializer<uint8_t>::Write(
+        out, static_cast<uint8_t>(c.is_bitset ? 1 : 0));
+    if (c.is_bitset) {
+      storage::Serializer<std::vector<uint64_t>>::Write(out, c.bits);
+    } else {
+      storage::Serializer<std::vector<uint16_t>>::Write(out, c.array);
+    }
+  }
+}
+
+bool PostingSet::DeserializeFrom(const char** cursor, const char* end) {
+  namespace storage = minispark::storage;
+  Clear();
+  uint32_t num_containers = 0;
+  if (!storage::Serializer<uint32_t>::Read(cursor, end, &num_containers)) {
+    return false;
+  }
+  containers_.reserve(std::min<size_t>(
+      num_containers, static_cast<size_t>(end - *cursor) / sizeof(uint16_t)));
+  int64_t prev_key = -1;
+  for (uint32_t n = 0; n < num_containers; ++n) {
+    Container c;
+    uint8_t is_bitset = 0;
+    if (!storage::Serializer<uint16_t>::Read(cursor, end, &c.key) ||
+        !storage::Serializer<uint8_t>::Read(cursor, end, &is_bitset)) {
+      return false;
+    }
+    // Fail closed on anything that breaks the class invariant: chunk
+    // keys strictly ascending, type tag 0/1, arrays sorted unique and
+    // within the crossover, bitsets exactly sized and above it.
+    if (is_bitset > 1 || static_cast<int64_t>(c.key) <= prev_key) {
+      return false;
+    }
+    prev_key = c.key;
+    c.is_bitset = is_bitset != 0;
+    if (c.is_bitset) {
+      if (!storage::Serializer<std::vector<uint64_t>>::Read(cursor, end,
+                                                            &c.bits)) {
+        return false;
+      }
+      if (c.bits.size() != kPostingBitsetWords) return false;
+      c.count = static_cast<uint32_t>(
+          BitsetPopcount(c.bits.data(), kPostingBitsetWords));
+      if (c.count <= kPostingArrayLimit) return false;
+    } else {
+      if (!storage::Serializer<std::vector<uint16_t>>::Read(cursor, end,
+                                                            &c.array)) {
+        return false;
+      }
+      if (c.array.empty() || c.array.size() > kPostingArrayLimit) {
+        return false;
+      }
+      for (size_t k = 1; k < c.array.size(); ++k) {
+        if (c.array[k - 1] >= c.array[k]) return false;
+      }
+      c.count = static_cast<uint32_t>(c.array.size());
+    }
+    cardinality_ += c.count;
+    containers_.push_back(std::move(c));
+  }
+  return true;
+}
+
+}  // namespace adrdedup::blocking

@@ -1,0 +1,198 @@
+// Roaring-style compressed posting container for the blocking layer
+// (DESIGN.md §5i). A PostingSet holds a set of report ids (uint32) as a
+// sorted run of 64K-id chunks; each chunk is either an *array container*
+// (sorted unique uint16 low halves — compact while sparse) or a *bitset
+// container* (1024 uint64 words — compact and O(words) for set algebra
+// once dense). Containers promote to bitsets when they outgrow
+// kPostingArrayLimit elements and demote back when an intersection
+// shrinks them to the crossover or below, so a container is never larger
+// than the flat sorted-uint32 posting it replaces once past a handful of
+// ids (2 bytes/id sparse, 8 KiB/64K-chunk dense vs 4 bytes/id flat).
+//
+// Candidate-set algebra replaces the sort-and-dedup merges of the
+// blocking layer: probe-time candidate accumulation is UnionWith over
+// the probed blocks, and the bitset|bitset / bitset&bitset inner loops
+// dispatch to the AVX2 kernels of distance/simd/bitset_avx2.h (per-TU
+// -mavx2, runtime dispatch via distance/simd/dispatch.h) with the
+// Scalar* word loops below as always-compiled oracles.
+//
+// Bit-identity contract: the ordered iterator (ForEach / ToVector,
+// ascending unique ids) defines equivalence with the flat-vector path it
+// replaces — union of sets is exactly sort+unique of concatenated
+// postings, and every kernel computes exact integer word ops, so
+// candidate sets are bit-identical by construction and tested as a
+// property (tests/blocking_postings_test.cc, bench_blocking_postings).
+#ifndef ADRDEDUP_BLOCKING_POSTINGS_H_
+#define ADRDEDUP_BLOCKING_POSTINGS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "minispark/storage/serializer.h"
+
+namespace adrdedup::blocking {
+
+// Ids are chunked on their high 16 bits; a chunk spans 65536 ids.
+inline constexpr uint32_t kPostingChunkSize = 1u << 16;
+// Array/bitset crossover: an array of 4096 uint16 occupies exactly the
+// 8 KiB a bitset container does, so arrays are strictly smaller below
+// the limit and bitsets at or above it never lose.
+inline constexpr size_t kPostingArrayLimit = 4096;
+// Words in one bitset container (65536 bits / 64).
+inline constexpr size_t kPostingBitsetWords = kPostingChunkSize / 64;
+
+// Scalar word-loop kernels: the always-compiled oracles of the AVX2
+// bitset kernels (distance/simd/bitset_avx2.h). dst |= src (resp. &=)
+// over `words` words, returning the exact popcount of the result.
+size_t ScalarBitsetOrPopcount(uint64_t* dst, const uint64_t* src,
+                              size_t words);
+size_t ScalarBitsetAndPopcount(uint64_t* dst, const uint64_t* src,
+                               size_t words);
+size_t ScalarBitsetPopcount(const uint64_t* words, size_t n);
+
+// Process-wide container promotion/demotion counters (relaxed atomics),
+// exported by the serve ServiceMetrics. Promotions count array->bitset
+// conversions (insert overflow or union growth past the crossover);
+// demotions count bitset->array conversions (intersections shrinking a
+// container to the crossover or below).
+struct PostingCounterSnapshot {
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+};
+PostingCounterSnapshot PostingCounters();
+
+class PostingSet {
+ public:
+  PostingSet() = default;
+
+  // Inserts `id` (idempotent).
+  void Add(uint32_t id);
+
+  bool Contains(uint32_t id) const;
+
+  // this = this | other. Union never demotes: cardinality only grows.
+  void UnionWith(const PostingSet& other);
+
+  // this = this & other. Bitset containers shrinking to the crossover
+  // or below demote back to arrays; emptied containers are dropped.
+  void IntersectWith(const PostingSet& other);
+
+  size_t cardinality() const { return cardinality_; }
+  bool empty() const { return cardinality_ == 0; }
+  void Clear();
+
+  size_t num_containers() const { return containers_.size(); }
+  size_t num_bitset_containers() const;
+
+  // Actual bytes held (object + container bookkeeping + payload
+  // capacities) — the number the memory-reduction gate compares against
+  // ByteSizeOf of the flat sorted-vector posting it replaces.
+  size_t MemoryBytes() const;
+
+  // Ordered iteration, ascending unique ids — the equivalence oracle.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachFrom(0, static_cast<Fn&&>(fn));
+  }
+
+  // Ordered iteration over ids >= min_id only (chunks below min_id's
+  // chunk are skipped without touching their payloads).
+  template <typename Fn>
+  void ForEachFrom(uint32_t min_id, Fn&& fn) const {
+    const uint16_t min_key = static_cast<uint16_t>(min_id >> 16);
+    const uint16_t min_lo = static_cast<uint16_t>(min_id & 0xFFFFu);
+    for (const Container& c : containers_) {
+      if (c.key < min_key) continue;
+      const uint32_t base = static_cast<uint32_t>(c.key) << 16;
+      const uint16_t lo_floor = (c.key == min_key) ? min_lo : 0;
+      if (c.is_bitset) {
+        size_t w = lo_floor >> 6;
+        uint64_t word = c.bits[w] & (~0ull << (lo_floor & 63));
+        while (true) {
+          while (word != 0) {
+            const int bit = __builtin_ctzll(word);
+            fn(base | static_cast<uint32_t>((w << 6) | bit));
+            word &= word - 1;
+          }
+          if (++w >= kPostingBitsetWords) break;
+          word = c.bits[w];
+        }
+      } else {
+        auto it = c.array.begin();
+        if (lo_floor != 0) {
+          it = std::lower_bound(c.array.begin(), c.array.end(), lo_floor);
+        }
+        for (; it != c.array.end(); ++it) fn(base | *it);
+      }
+    }
+  }
+
+  // Ascending unique ids — identical to sort+unique over the flat
+  // postings this set was built from.
+  std::vector<uint32_t> ToVector() const;
+
+  // Structural equality. Representations are canonical (array iff
+  // cardinality <= kPostingArrayLimit, see the class invariant), so
+  // structural equality is set equality.
+  friend bool operator==(const PostingSet& a, const PostingSet& b);
+
+  // Binary serialization (minispark storage framing; see
+  // Serializer<PostingSet> below). Deserialization is fail-closed: it
+  // validates chunk ordering, array sortedness and the container-type
+  // invariant, and recomputes cardinalities from the payload.
+  void SerializeTo(std::string* out) const;
+  bool DeserializeFrom(const char** cursor, const char* end);
+
+ private:
+  // Invariant: containers_ is sorted by strictly ascending key; an array
+  // container holds 1..kPostingArrayLimit sorted unique uint16s; a
+  // bitset container holds exactly kPostingBitsetWords words with
+  // popcount > kPostingArrayLimit. `count` is always the container's
+  // exact cardinality.
+  struct Container {
+    uint16_t key = 0;
+    bool is_bitset = false;
+    uint32_t count = 0;
+    std::vector<uint16_t> array;  // sorted unique; empty when is_bitset
+    std::vector<uint64_t> bits;   // kPostingBitsetWords when is_bitset
+
+    friend bool operator==(const Container& a, const Container& b) {
+      return a.key == b.key && a.is_bitset == b.is_bitset &&
+             a.count == b.count && a.array == b.array && a.bits == b.bits;
+    }
+  };
+
+  static void Promote(Container* c);
+  static Container UnionContainers(Container mine, const Container& theirs);
+  static Container IntersectContainers(Container mine,
+                                       const Container& theirs);
+
+  std::vector<Container> containers_;
+  size_t cardinality_ = 0;
+};
+
+// BlockManager accounting (minispark/byte_size.h finds this via ADL).
+inline size_t ByteSizeOf(const PostingSet& set) { return set.MemoryBytes(); }
+
+}  // namespace adrdedup::blocking
+
+namespace adrdedup::minispark::storage {
+
+// Spillable postings: PostingSet partitions flow through the PR 4
+// BlockManager (spill files, checkpoints) like any other record type.
+template <>
+struct Serializer<blocking::PostingSet> {
+  static void Write(std::string* out, const blocking::PostingSet& value) {
+    value.SerializeTo(out);
+  }
+  static bool Read(const char** cursor, const char* end,
+                   blocking::PostingSet* value) {
+    return value->DeserializeFrom(cursor, end);
+  }
+};
+
+}  // namespace adrdedup::minispark::storage
+
+#endif  // ADRDEDUP_BLOCKING_POSTINGS_H_

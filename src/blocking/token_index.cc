@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
+#include "blocking/postings.h"
 #include "util/logging.h"
 
 namespace adrdedup::blocking {
@@ -69,9 +69,11 @@ TokenIndexResult DescriptionOverlapCandidates(
   const auto max_count = static_cast<uint32_t>(
       options.max_token_frequency * static_cast<double>(features.size()));
 
-  // Posting lists are dense vectors indexed by token id — direct array
-  // access instead of hashed string keys.
-  std::vector<std::vector<uint32_t>> postings(lexicon.size());
+  // Posting lists are dense arrays of roaring-style containers indexed
+  // by token id — direct array access instead of hashed string keys,
+  // with ascending report ids appended container-at-a-time.
+  std::vector<PostingSet> postings(lexicon.size());
+  std::vector<std::vector<uint32_t>> indexed_ids(features.size());
   std::vector<char> dropped(lexicon.size(), 0);
   std::vector<uint64_t> order;  // packed (frequency << 32 | id) sort keys
   for (size_t i = 0; i < features.size(); ++i) {
@@ -92,7 +94,8 @@ TokenIndexResult DescriptionOverlapCandidates(
         dropped[id] = 1;
         continue;
       }
-      postings[id].push_back(static_cast<uint32_t>(i));
+      postings[id].Add(static_cast<uint32_t>(i));
+      indexed_ids[i].push_back(id);
     }
   }
   for (size_t id = 0; id < postings.size(); ++id) {
@@ -100,22 +103,22 @@ TokenIndexResult DescriptionOverlapCandidates(
     if (dropped[id] != 0) ++result.stop_tokens_dropped;
   }
 
-  std::unordered_set<uint64_t> seen;
-  for (const auto& ids : postings) {
-    for (size_t i = 0; i < ids.size(); ++i) {
-      for (size_t j = i + 1; j < ids.size(); ++j) {
-        const ReportPair pair{std::min(ids[i], ids[j]),
-                              std::max(ids[i], ids[j])};
-        if (seen.insert(PairKey(pair)).second) {
-          result.pairs.push_back(pair);
-        }
-      }
+  // Candidate-set algebra: a pair {i, j} shares an indexed prefix token
+  // iff j appears in the union of i's token postings, so unioning and
+  // emitting j > i with i ascending yields exactly the deduplicated
+  // PairKey-sorted pair list of the per-posting sweep + seen-set this
+  // replaces (see src/blocking/blocking.cc for the ordering argument).
+  PostingSet acc;
+  for (size_t i = 0; i < features.size(); ++i) {
+    acc.Clear();
+    for (const uint32_t id : indexed_ids[i]) {
+      acc.UnionWith(postings[id]);
     }
+    const auto self = static_cast<uint32_t>(i);
+    acc.ForEachFrom(self + 1, [&result, self](uint32_t j) {
+      result.pairs.push_back(ReportPair{self, j});
+    });
   }
-  std::sort(result.pairs.begin(), result.pairs.end(),
-            [](const ReportPair& a, const ReportPair& b) {
-              return PairKey(a) < PairKey(b);
-            });
   return result;
 }
 

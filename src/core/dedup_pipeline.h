@@ -153,6 +153,12 @@ class DedupPipeline {
   const distance::TokenDictionary& token_dictionary() const {
     return token_dict_;
   }
+  // Posting-layer view of the incremental blocking index (Stats() feeds
+  // the serve ServiceMetrics "blocking" gauges). Empty unless
+  // incremental_blocking is on.
+  const blocking::IncrementalBlockingIndex& incremental_index() const {
+    return incremental_index_;
+  }
   size_t num_positive_labels() const { return positive_store_.size(); }
   size_t num_negative_labels() const { return negative_store_.size(); }
   const ComparisonStatsSnapshot LastClassifierStats() const {

@@ -1,0 +1,137 @@
+#include "distance/simd/bitset_avx2.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace adrdedup::distance::simd {
+
+namespace {
+
+// Scalar word loops for the ragged tails (words % 4) and for the
+// AVX2-less build of this TU. Mirror the oracles in blocking/postings.cc.
+size_t ScalarOrTail(uint64_t* dst, const uint64_t* src, size_t from,
+                    size_t words) {
+  size_t count = 0;
+  for (size_t w = from; w < words; ++w) {
+    dst[w] |= src[w];
+    count += static_cast<size_t>(__builtin_popcountll(dst[w]));
+  }
+  return count;
+}
+
+size_t ScalarAndTail(uint64_t* dst, const uint64_t* src, size_t from,
+                     size_t words) {
+  size_t count = 0;
+  for (size_t w = from; w < words; ++w) {
+    dst[w] &= src[w];
+    count += static_cast<size_t>(__builtin_popcountll(dst[w]));
+  }
+  return count;
+}
+
+size_t ScalarPopcountTail(const uint64_t* words, size_t from, size_t n) {
+  size_t count = 0;
+  for (size_t w = from; w < n; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(words[w]));
+  }
+  return count;
+}
+
+#if defined(__AVX2__)
+
+// Per-64-bit-lane popcount of one 256-bit vector: vpshufb looks each
+// nibble up in a 16-entry count table, vpsadbw sums the 8 byte counts of
+// every 64-bit lane into that lane. Exact for every bit pattern.
+inline __m256i PopcountEpi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline size_t HorizontalSumEpi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<size_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<size_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum)));
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace
+
+#if defined(__AVX2__)
+
+size_t Avx2BitsetOrPopcount(uint64_t* dst, const uint64_t* src,
+                            size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const __m256i merged = _mm256_or_si256(a, b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), merged);
+    acc = _mm256_add_epi64(acc, PopcountEpi64(merged));
+  }
+  return HorizontalSumEpi64(acc) + ScalarOrTail(dst, src, w, words);
+}
+
+size_t Avx2BitsetAndPopcount(uint64_t* dst, const uint64_t* src,
+                             size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const __m256i merged = _mm256_and_si256(a, b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), merged);
+    acc = _mm256_add_epi64(acc, PopcountEpi64(merged));
+  }
+  return HorizontalSumEpi64(acc) + ScalarAndTail(dst, src, w, words);
+}
+
+size_t Avx2BitsetPopcount(const uint64_t* words, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    acc = _mm256_add_epi64(acc, PopcountEpi64(v));
+  }
+  return HorizontalSumEpi64(acc) + ScalarPopcountTail(words, w, n);
+}
+
+#else  // !defined(__AVX2__)
+
+// Non-x86 (or AVX2-less) build: the kernels are never selected by
+// dispatch, but keep correct definitions so the symbols always link.
+size_t Avx2BitsetOrPopcount(uint64_t* dst, const uint64_t* src,
+                            size_t words) {
+  return ScalarOrTail(dst, src, 0, words);
+}
+
+size_t Avx2BitsetAndPopcount(uint64_t* dst, const uint64_t* src,
+                             size_t words) {
+  return ScalarAndTail(dst, src, 0, words);
+}
+
+size_t Avx2BitsetPopcount(const uint64_t* words, size_t n) {
+  return ScalarPopcountTail(words, 0, n);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace adrdedup::distance::simd

@@ -1,0 +1,32 @@
+// AVX2 bitset-container kernels for the roaring-style posting layer
+// (blocking/postings.h, DESIGN.md §5i): dst |= src / dst &= src over
+// 256-bit lanes plus the positional-popcount of the result, computed
+// with the vpshufb nibble-lookup popcount and a vpsadbw horizontal
+// reduction. The counts are exact integers — each word's popcount is
+// summed exactly once — so the kernels are bit-identical to the scalar
+// word-loop oracles in blocking/postings.cc (Scalar*Popcount) and are
+// tested as a property at both dispatch levels.
+//
+// Only reachable through dispatch (simd::UseAvx2()); the translation
+// unit alone is compiled with -mavx2, so calling these on a CPU without
+// AVX2 is undefined — call sites must check first.
+#ifndef ADRDEDUP_DISTANCE_SIMD_BITSET_AVX2_H_
+#define ADRDEDUP_DISTANCE_SIMD_BITSET_AVX2_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adrdedup::distance::simd {
+
+// dst[w] |= src[w] for w < words; returns popcount of the updated dst.
+size_t Avx2BitsetOrPopcount(uint64_t* dst, const uint64_t* src, size_t words);
+
+// dst[w] &= src[w] for w < words; returns popcount of the updated dst.
+size_t Avx2BitsetAndPopcount(uint64_t* dst, const uint64_t* src, size_t words);
+
+// Popcount of `n` words.
+size_t Avx2BitsetPopcount(const uint64_t* words, size_t n);
+
+}  // namespace adrdedup::distance::simd
+
+#endif  // ADRDEDUP_DISTANCE_SIMD_BITSET_AVX2_H_

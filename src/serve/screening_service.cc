@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "blocking/postings.h"
 #include "util/logging.h"
 
 namespace adrdedup::serve {
@@ -515,6 +516,15 @@ std::string ScreeningService::MetricsJson(bool pretty) {
         pipeline_->db().size(), pipeline_->num_positive_labels(),
         pipeline_->num_negative_labels(), pipeline_->model_generation(),
         pipeline_->token_dictionary().size());
+    const blocking::PostingIndexStats posting =
+        pipeline_->incremental_index().Stats();
+    const blocking::PostingCounterSnapshot counters =
+        blocking::PostingCounters();
+    metrics_.SetBlockingGauges(posting.posting_containers,
+                               posting.bitset_containers,
+                               posting.posting_bytes,
+                               posting.candidate_unions, counters.promotions,
+                               counters.demotions);
   }
   // Embedded sub-document stays compact so splicing cannot break the
   // outer pretty indentation.

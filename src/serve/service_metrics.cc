@@ -112,6 +112,23 @@ void ServiceMetrics::SetStoreGauges(size_t db_size, size_t positive_labels,
   dictionary_tokens_.store(dictionary_tokens, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::SetBlockingGauges(
+    uint64_t posting_containers, uint64_t bitset_containers,
+    uint64_t posting_bytes, uint64_t candidate_unions,
+    uint64_t container_promotions, uint64_t container_demotions) {
+  blocking_posting_containers_.store(posting_containers,
+                                     std::memory_order_relaxed);
+  blocking_bitset_containers_.store(bitset_containers,
+                                    std::memory_order_relaxed);
+  blocking_posting_bytes_.store(posting_bytes, std::memory_order_relaxed);
+  blocking_candidate_unions_.store(candidate_unions,
+                                   std::memory_order_relaxed);
+  blocking_container_promotions_.store(container_promotions,
+                                       std::memory_order_relaxed);
+  blocking_container_demotions_.store(container_demotions,
+                                      std::memory_order_relaxed);
+}
+
 namespace {
 
 void WriteLatency(util::JsonWriter& w, std::string_view key,
@@ -191,6 +208,15 @@ std::string ServiceMetrics::ToJson(std::string_view extra_json,
   w.Field("positive_labels", Load(positive_labels_));
   w.Field("negative_labels", Load(negative_labels_));
   w.Field("dictionary_tokens", Load(dictionary_tokens_));
+  w.Key("blocking");
+  w.BeginObject();
+  w.Field("posting_containers", Load(blocking_posting_containers_));
+  w.Field("bitset_containers", Load(blocking_bitset_containers_));
+  w.Field("posting_bytes", Load(blocking_posting_bytes_));
+  w.Field("candidate_unions", Load(blocking_candidate_unions_));
+  w.Field("container_promotions", Load(blocking_container_promotions_));
+  w.Field("container_demotions", Load(blocking_container_demotions_));
+  w.EndObject();
   w.EndObject();
 
   w.Key("net");

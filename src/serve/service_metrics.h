@@ -146,6 +146,15 @@ class ServiceMetrics {
   void SetStoreGauges(size_t db_size, size_t positive_labels,
                       size_t negative_labels, uint64_t model_generation,
                       size_t dictionary_tokens = 0);
+  // Blocking posting-layer gauges (blocking::PostingIndexStats of the
+  // pipeline's incremental index plus the process-wide container
+  // promotion/demotion counters of blocking::PostingCounters), exported
+  // as the "blocking" object under "model".
+  void SetBlockingGauges(uint64_t posting_containers,
+                         uint64_t bitset_containers, uint64_t posting_bytes,
+                         uint64_t candidate_unions,
+                         uint64_t container_promotions,
+                         uint64_t container_demotions);
 
   uint64_t connections_accepted() const {
     return Load(net_connections_accepted_);
@@ -234,6 +243,12 @@ class ServiceMetrics {
   std::atomic<uint64_t> negative_labels_{0};
   std::atomic<uint64_t> model_generation_{0};
   std::atomic<uint64_t> dictionary_tokens_{0};
+  std::atomic<uint64_t> blocking_posting_containers_{0};
+  std::atomic<uint64_t> blocking_bitset_containers_{0};
+  std::atomic<uint64_t> blocking_posting_bytes_{0};
+  std::atomic<uint64_t> blocking_candidate_unions_{0};
+  std::atomic<uint64_t> blocking_container_promotions_{0};
+  std::atomic<uint64_t> blocking_container_demotions_{0};
   std::atomic<uint64_t> net_connections_accepted_{0};
   std::atomic<uint64_t> net_connections_rejected_{0};
   std::atomic<uint64_t> net_connections_active_{0};

@@ -1,0 +1,515 @@
+#include "blocking/postings.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "distance/simd/bitset_avx2.h"
+#include "distance/simd/dispatch.h"
+
+namespace adrdedup::blocking {
+namespace {
+
+std::vector<uint32_t> SortedOf(const std::set<uint32_t>& oracle) {
+  return std::vector<uint32_t>(oracle.begin(), oracle.end());
+}
+
+PostingSet BuildSet(const std::vector<uint32_t>& ids) {
+  PostingSet set;
+  for (const uint32_t id : ids) set.Add(id);
+  return set;
+}
+
+TEST(PostingSetTest, EmptySet) {
+  PostingSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.cardinality(), 0u);
+  EXPECT_EQ(set.num_containers(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_TRUE(set.ToVector().empty());
+  size_t visited = 0;
+  set.ForEach([&visited](uint32_t) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(PostingSetTest, SingletonAndIdempotentAdd) {
+  PostingSet set;
+  set.Add(42);
+  set.Add(42);
+  set.Add(42);
+  EXPECT_EQ(set.cardinality(), 1u);
+  EXPECT_TRUE(set.Contains(42));
+  EXPECT_FALSE(set.Contains(41));
+  EXPECT_EQ(set.ToVector(), std::vector<uint32_t>{42});
+}
+
+TEST(PostingSetTest, ChunkBoundaryIds) {
+  // 0 and UINT32_MAX pin the extreme chunks; 65535/65536/65537 straddle
+  // the first chunk boundary.
+  const std::vector<uint32_t> ids = {0,      65535,      65536,
+                                     65537,  1u << 20,   0xFFFFFFFFu};
+  PostingSet set = BuildSet(ids);
+  EXPECT_EQ(set.cardinality(), ids.size());
+  EXPECT_EQ(set.num_containers(), 4u);  // chunks 0, 1, 16, 65535
+  EXPECT_EQ(set.ToVector(), ids);
+  for (const uint32_t id : ids) EXPECT_TRUE(set.Contains(id));
+  EXPECT_FALSE(set.Contains(65538));
+  EXPECT_FALSE(set.Contains(0xFFFFFFFEu));
+}
+
+TEST(PostingSetTest, ExactlyArrayLimitStaysArray) {
+  PostingSet set;
+  for (uint32_t i = 0; i < kPostingArrayLimit; ++i) set.Add(i * 3);
+  EXPECT_EQ(set.cardinality(), kPostingArrayLimit);
+  EXPECT_EQ(set.num_containers(), 1u);
+  EXPECT_EQ(set.num_bitset_containers(), 0u);
+}
+
+TEST(PostingSetTest, OnePastArrayLimitPromotes) {
+  const PostingCounterSnapshot before = PostingCounters();
+  PostingSet set;
+  for (uint32_t i = 0; i <= kPostingArrayLimit; ++i) set.Add(i * 3);
+  EXPECT_EQ(set.cardinality(), kPostingArrayLimit + 1);
+  EXPECT_EQ(set.num_containers(), 1u);
+  EXPECT_EQ(set.num_bitset_containers(), 1u);
+  const PostingCounterSnapshot after = PostingCounters();
+  EXPECT_GE(after.promotions, before.promotions + 1);
+  // The promoted representation still iterates identically.
+  std::vector<uint32_t> expected;
+  for (uint32_t i = 0; i <= kPostingArrayLimit; ++i) expected.push_back(i * 3);
+  EXPECT_EQ(set.ToVector(), expected);
+}
+
+TEST(PostingSetTest, FullyDenseChunk) {
+  PostingSet set;
+  for (uint32_t i = 0; i < kPostingChunkSize; ++i) set.Add(i);
+  EXPECT_EQ(set.cardinality(), static_cast<size_t>(kPostingChunkSize));
+  EXPECT_EQ(set.num_bitset_containers(), 1u);
+  for (uint32_t probe : {0u, 1u, 4095u, 4096u, 65534u, 65535u}) {
+    EXPECT_TRUE(set.Contains(probe)) << probe;
+  }
+  EXPECT_FALSE(set.Contains(65536));
+  const auto ids = set.ToVector();
+  ASSERT_EQ(ids.size(), static_cast<size_t>(kPostingChunkSize));
+  EXPECT_EQ(ids.front(), 0u);
+  EXPECT_EQ(ids.back(), 65535u);
+}
+
+TEST(PostingSetTest, ForEachFromSkipsAndMasksCorrectly) {
+  // Mix a dense chunk (bitset) with sparse chunks (arrays) and check the
+  // suffix iterator against the sorted-vector oracle at many floors,
+  // including word-interior, word-boundary and chunk-boundary floors.
+  std::set<uint32_t> oracle;
+  PostingSet set;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    const uint32_t id = 65536 + i * 13 % kPostingChunkSize;
+    set.Add(id);
+    oracle.insert(id);
+  }
+  for (uint32_t id : {5u, 1000u, 200000u, 200063u, 200064u, 0xFFFF0000u}) {
+    set.Add(id);
+    oracle.insert(id);
+  }
+  const std::vector<uint32_t> sorted = SortedOf(oracle);
+  for (uint32_t floor :
+       {0u, 5u, 6u, 65535u, 65536u, 70000u, 70001u, 131071u, 131072u,
+        200000u, 200064u, 0xFFFF0000u, 0xFFFFFFFFu}) {
+    std::vector<uint32_t> got;
+    set.ForEachFrom(floor, [&got](uint32_t id) { got.push_back(id); });
+    std::vector<uint32_t> expected(
+        std::lower_bound(sorted.begin(), sorted.end(), floor), sorted.end());
+    EXPECT_EQ(got, expected) << "floor=" << floor;
+  }
+}
+
+TEST(PostingSetTest, IntersectionDemotesToArray) {
+  // Build a dense bitset container, intersect it down to a handful of
+  // ids: the survivor must be an array container again.
+  PostingSet dense;
+  for (uint32_t i = 0; i < 10000; ++i) dense.Add(i);
+  ASSERT_EQ(dense.num_bitset_containers(), 1u);
+  PostingSet sparse = BuildSet({3, 500, 9999, 70000});
+  const PostingCounterSnapshot before = PostingCounters();
+  dense.IntersectWith(sparse);
+  const PostingCounterSnapshot after = PostingCounters();
+  EXPECT_EQ(dense.ToVector(), (std::vector<uint32_t>{3, 500, 9999}));
+  EXPECT_EQ(dense.num_bitset_containers(), 0u);
+  EXPECT_GE(after.demotions, before.demotions + 1);
+}
+
+TEST(PostingSetTest, IntersectionDropsEmptiedContainers) {
+  PostingSet a = BuildSet({1, 2, 70000, 70001});
+  PostingSet b = BuildSet({70000, 200000});
+  a.IntersectWith(b);
+  EXPECT_EQ(a.ToVector(), std::vector<uint32_t>{70000});
+  EXPECT_EQ(a.num_containers(), 1u);
+  a.IntersectWith(BuildSet({999}));
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.num_containers(), 0u);
+}
+
+TEST(PostingSetTest, EqualityIsSetEquality) {
+  // Same set built by different insertion orders and different container
+  // histories (one promoted then intersected back down) compares equal —
+  // the canonical-representation invariant.
+  PostingSet forward = BuildSet({7, 100, 65536});
+  PostingSet backward = BuildSet({65536, 100, 7});
+  EXPECT_TRUE(forward == backward);
+
+  PostingSet churned;
+  for (uint32_t i = 0; i < 10000; ++i) churned.Add(i);
+  churned.IntersectWith(BuildSet({7, 100, 65536}));
+  churned.UnionWith(BuildSet({65536}));
+  EXPECT_TRUE(churned == forward);
+  EXPECT_FALSE(forward == BuildSet({7, 100}));
+}
+
+TEST(PostingSetTest, MemoryStaysBelowFlatVectorOncePastAFewIds) {
+  // Array containers cost 2 bytes/id vs 4 flat; a full dense chunk costs
+  // 8 KiB vs 256 KiB flat.
+  PostingSet sparse;
+  std::vector<uint32_t> flat;
+  for (uint32_t i = 0; i < 2048; ++i) {
+    sparse.Add(i * 7);
+    flat.push_back(i * 7);
+  }
+  flat.shrink_to_fit();
+  EXPECT_LT(ByteSizeOf(sparse),
+            sizeof(std::vector<uint32_t>) + flat.capacity() * 4);
+
+  PostingSet dense;
+  for (uint32_t i = 0; i < kPostingChunkSize; ++i) dense.Add(i);
+  EXPECT_LT(ByteSizeOf(dense), 16384u);  // ~8 KiB payload + bookkeeping
+}
+
+// ---------------------------------------------------------------------
+// Seeded randomized fuzz vs std::set<uint32_t> oracle.
+
+enum class IdShape {
+  kClustered,   // few chunks, dense enough to promote
+  kSpread,      // ids across the full 32-bit space, all-sparse
+  kBoundary,    // concentrated around chunk boundaries and extremes
+};
+
+std::vector<uint32_t> RandomIds(std::mt19937_64& rng, IdShape shape,
+                                size_t count) {
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  switch (shape) {
+    case IdShape::kClustered: {
+      const uint32_t base = static_cast<uint32_t>(rng() % 4) << 16;
+      for (size_t i = 0; i < count; ++i) {
+        ids.push_back(base + static_cast<uint32_t>(rng() % (2 * 65536)));
+      }
+      break;
+    }
+    case IdShape::kSpread:
+      for (size_t i = 0; i < count; ++i) {
+        ids.push_back(static_cast<uint32_t>(rng()));
+      }
+      break;
+    case IdShape::kBoundary: {
+      const uint32_t anchors[] = {0, 65535, 65536, 131071, 131072,
+                                  0xFFFF0000u, 0xFFFFFFFFu};
+      for (size_t i = 0; i < count; ++i) {
+        const uint32_t anchor = anchors[rng() % std::size(anchors)];
+        const auto jitter = static_cast<int32_t>(rng() % 9) - 4;
+        ids.push_back(anchor + static_cast<uint32_t>(jitter));
+      }
+      break;
+    }
+  }
+  return ids;
+}
+
+struct FuzzCase {
+  uint64_t seed;
+  IdShape shape_a;
+  IdShape shape_b;
+  size_t count;
+};
+
+class PostingSetFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PostingSetFuzzTest, MatchesStdSetOracle) {
+  const FuzzCase param = GetParam();
+  std::mt19937_64 rng(param.seed);
+  const auto ids_a = RandomIds(rng, param.shape_a, param.count);
+  const auto ids_b = RandomIds(rng, param.shape_b, param.count);
+  const std::set<uint32_t> oracle_a(ids_a.begin(), ids_a.end());
+  const std::set<uint32_t> oracle_b(ids_b.begin(), ids_b.end());
+  const PostingSet set_a = BuildSet(ids_a);
+  const PostingSet set_b = BuildSet(ids_b);
+
+  ASSERT_EQ(set_a.cardinality(), oracle_a.size());
+  ASSERT_EQ(set_a.ToVector(), SortedOf(oracle_a));
+  ASSERT_EQ(set_b.ToVector(), SortedOf(oracle_b));
+
+  // Membership probes: every member plus jittered non-members.
+  for (size_t i = 0; i < 200; ++i) {
+    const uint32_t probe =
+        (i % 2 == 0 && !ids_a.empty()) ? ids_a[rng() % ids_a.size()]
+                                       : static_cast<uint32_t>(rng());
+    EXPECT_EQ(set_a.Contains(probe), oracle_a.contains(probe)) << probe;
+  }
+
+  // Union in both directions (the merge paths differ by argument order).
+  std::set<uint32_t> oracle_union = oracle_a;
+  oracle_union.insert(oracle_b.begin(), oracle_b.end());
+  PostingSet u1 = set_a;
+  u1.UnionWith(set_b);
+  PostingSet u2 = set_b;
+  u2.UnionWith(set_a);
+  EXPECT_EQ(u1.ToVector(), SortedOf(oracle_union));
+  EXPECT_EQ(u2.ToVector(), SortedOf(oracle_union));
+  EXPECT_TRUE(u1 == u2);
+
+  // Intersection in both directions.
+  std::set<uint32_t> oracle_inter;
+  for (const uint32_t id : oracle_a) {
+    if (oracle_b.contains(id)) oracle_inter.insert(id);
+  }
+  PostingSet i1 = set_a;
+  i1.IntersectWith(set_b);
+  PostingSet i2 = set_b;
+  i2.IntersectWith(set_a);
+  EXPECT_EQ(i1.ToVector(), SortedOf(oracle_inter));
+  EXPECT_EQ(i2.ToVector(), SortedOf(oracle_inter));
+  EXPECT_TRUE(i1 == i2);
+
+  // Serialization round-trips the exact structure.
+  std::string blob;
+  minispark::storage::Serializer<PostingSet>::Write(&blob, u1);
+  const char* cursor = blob.data();
+  PostingSet restored;
+  ASSERT_TRUE(minispark::storage::Serializer<PostingSet>::Read(
+      &cursor, blob.data() + blob.size(), &restored));
+  EXPECT_EQ(cursor, blob.data() + blob.size());
+  EXPECT_TRUE(restored == u1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PostingSetFuzzTest,
+    ::testing::Values(
+        FuzzCase{101, IdShape::kClustered, IdShape::kClustered, 6000},
+        FuzzCase{202, IdShape::kClustered, IdShape::kSpread, 6000},
+        FuzzCase{303, IdShape::kSpread, IdShape::kSpread, 4000},
+        FuzzCase{404, IdShape::kBoundary, IdShape::kBoundary, 500},
+        FuzzCase{505, IdShape::kClustered, IdShape::kBoundary, 5000},
+        FuzzCase{606, IdShape::kSpread, IdShape::kBoundary, 2000},
+        FuzzCase{707, IdShape::kClustered, IdShape::kClustered, 1},
+        FuzzCase{808, IdShape::kClustered, IdShape::kClustered, 70000}));
+
+TEST(PostingSetFuzzTest, RandomOperationChurnMatchesOracle) {
+  // Interleaved add/union/intersect churn across promotion/demotion
+  // boundaries, checked against the oracle after every operation batch.
+  std::mt19937_64 rng(4242);
+  PostingSet set;
+  std::set<uint32_t> oracle;
+  for (int round = 0; round < 60; ++round) {
+    const auto op = rng() % 3;
+    const auto shape = static_cast<IdShape>(rng() % 3);
+    if (op == 0) {
+      for (const uint32_t id : RandomIds(rng, shape, 1500)) {
+        set.Add(id);
+        oracle.insert(id);
+      }
+    } else if (op == 1) {
+      const auto ids = RandomIds(rng, shape, 3000);
+      set.UnionWith(BuildSet(ids));
+      oracle.insert(ids.begin(), ids.end());
+    } else {
+      // Intersect with a superset-biased mask so the set does not
+      // collapse to empty immediately: half current members, half noise.
+      std::vector<uint32_t> mask = RandomIds(rng, shape, 2000);
+      for (const uint32_t id : oracle) {
+        if (rng() % 2 == 0) mask.push_back(id);
+      }
+      set.IntersectWith(BuildSet(mask));
+      const std::set<uint32_t> mask_oracle(mask.begin(), mask.end());
+      std::set<uint32_t> kept;
+      for (const uint32_t id : oracle) {
+        if (mask_oracle.contains(id)) kept.insert(id);
+      }
+      oracle = std::move(kept);
+    }
+    ASSERT_EQ(set.cardinality(), oracle.size()) << "round " << round;
+    ASSERT_EQ(set.ToVector(), SortedOf(oracle)) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Serialization corruption: every malformed prefix must fail closed.
+
+std::string SerializedBlob(const PostingSet& set) {
+  std::string blob;
+  set.SerializeTo(&blob);
+  return blob;
+}
+
+bool TryDeserialize(const std::string& blob) {
+  const char* cursor = blob.data();
+  PostingSet set;
+  return set.DeserializeFrom(&cursor, blob.data() + blob.size());
+}
+
+TEST(PostingSetSerializationTest, TruncationFailsClosed) {
+  PostingSet set = BuildSet({1, 2, 3, 70000, 0xFFFFFFFFu});
+  const std::string blob = SerializedBlob(set);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(TryDeserialize(blob.substr(0, len))) << "len=" << len;
+  }
+  EXPECT_TRUE(TryDeserialize(blob));
+}
+
+TEST(PostingSetSerializationTest, BadContainerTagFailsClosed) {
+  PostingSet set = BuildSet({5});
+  std::string blob = SerializedBlob(set);
+  // Layout: u32 container count, u16 key, u8 tag, payload.
+  ASSERT_GT(blob.size(), 7u);
+  blob[6] = 2;  // tag must be 0 (array) or 1 (bitset)
+  EXPECT_FALSE(TryDeserialize(blob));
+}
+
+TEST(PostingSetSerializationTest, UnsortedKeysFailClosed) {
+  PostingSet set = BuildSet({5, 70000});
+  std::string blob = SerializedBlob(set);
+  // Swap the two containers' key fields: keys become descending.
+  const std::string first_key = blob.substr(4, 2);
+  ASSERT_EQ(first_key.size(), 2u);
+  // Find the second container header: after u16 key, u8 tag, u64 vector
+  // length + one u16 element.
+  const size_t second = 4 + 2 + 1 + 8 + 2;
+  ASSERT_GT(blob.size(), second + 2);
+  std::swap(blob[4], blob[second]);
+  std::swap(blob[5], blob[second + 1]);
+  EXPECT_FALSE(TryDeserialize(blob));
+}
+
+TEST(PostingSetSerializationTest, SparseBitsetFailsClosed) {
+  // A bitset container whose popcount is at or below the crossover
+  // violates the canonical-representation invariant.
+  PostingSet dense;
+  for (uint32_t i = 0; i <= kPostingArrayLimit; ++i) dense.Add(i);
+  ASSERT_EQ(dense.num_bitset_containers(), 1u);
+  std::string blob = SerializedBlob(dense);
+  // Zero one occupied word inside the bitset payload: popcount drops to
+  // the crossover (4096 - 63) while the tag still says bitset.
+  const size_t payload = 4 + 2 + 1 + 8;  // count, key, tag, word count
+  ASSERT_GT(blob.size(), payload + 8);
+  for (size_t i = 0; i < 8; ++i) blob[payload + i] = 0;
+  EXPECT_FALSE(TryDeserialize(blob));
+}
+
+TEST(PostingSetSerializationTest, EmptySetRoundTrips) {
+  const std::string blob = SerializedBlob(PostingSet());
+  const char* cursor = blob.data();
+  PostingSet restored = BuildSet({1, 2, 3});
+  ASSERT_TRUE(restored.DeserializeFrom(&cursor, blob.data() + blob.size()));
+  EXPECT_TRUE(restored.empty());
+}
+
+// ---------------------------------------------------------------------
+// Kernel dispatch parity: the AVX2 bitset kernels must match the scalar
+// oracles bit for bit on the same inputs.
+
+class PostingSimdParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!distance::simd::CpuHasAvx2Fma()) {
+      GTEST_SKIP() << "CPU lacks AVX2+FMA; scalar-only environment";
+    }
+  }
+};
+
+TEST_F(PostingSimdParityTest, UnionAndIntersectionMatchAcrossLevels) {
+  std::mt19937_64 rng(9090);
+  for (int round = 0; round < 8; ++round) {
+    const auto shape_a = static_cast<IdShape>(rng() % 3);
+    const auto shape_b = static_cast<IdShape>(rng() % 3);
+    const auto ids_a = RandomIds(rng, shape_a, 9000);
+    const auto ids_b = RandomIds(rng, shape_b, 9000);
+
+    std::vector<uint32_t> scalar_union, avx2_union;
+    std::vector<uint32_t> scalar_inter, avx2_inter;
+    {
+      distance::simd::ScopedSimdOverride scalar(
+          distance::simd::Level::kScalar);
+      PostingSet u = BuildSet(ids_a);
+      u.UnionWith(BuildSet(ids_b));
+      scalar_union = u.ToVector();
+      PostingSet i = BuildSet(ids_a);
+      i.IntersectWith(BuildSet(ids_b));
+      scalar_inter = i.ToVector();
+    }
+    {
+      distance::simd::ScopedSimdOverride avx2(
+          distance::simd::Level::kAvx2Fma);
+      PostingSet u = BuildSet(ids_a);
+      u.UnionWith(BuildSet(ids_b));
+      avx2_union = u.ToVector();
+      PostingSet i = BuildSet(ids_a);
+      i.IntersectWith(BuildSet(ids_b));
+      avx2_inter = i.ToVector();
+    }
+    EXPECT_EQ(scalar_union, avx2_union) << "round " << round;
+    EXPECT_EQ(scalar_inter, avx2_inter) << "round " << round;
+  }
+}
+
+TEST_F(PostingSimdParityTest, RawKernelsMatchScalarOracles) {
+  std::mt19937_64 rng(7171);
+  for (int round = 0; round < 16; ++round) {
+    std::vector<uint64_t> a(kPostingBitsetWords), b(kPostingBitsetWords);
+    for (auto& w : a) w = rng();
+    for (auto& w : b) w = rng();
+    // Sparse rounds exercise mostly-zero words too.
+    if (round % 3 == 0) {
+      for (auto& w : a) w &= rng() & rng() & rng();
+      for (auto& w : b) w &= rng() & rng() & rng();
+    }
+
+    std::vector<uint64_t> scalar_dst = a;
+    const size_t scalar_or =
+        ScalarBitsetOrPopcount(scalar_dst.data(), b.data(), a.size());
+    std::vector<uint64_t> simd_dst = a;
+    const size_t simd_or = distance::simd::Avx2BitsetOrPopcount(
+        simd_dst.data(), b.data(), a.size());
+    EXPECT_EQ(scalar_or, simd_or);
+    EXPECT_EQ(scalar_dst, simd_dst);
+
+    scalar_dst = a;
+    const size_t scalar_and =
+        ScalarBitsetAndPopcount(scalar_dst.data(), b.data(), a.size());
+    simd_dst = a;
+    const size_t simd_and = distance::simd::Avx2BitsetAndPopcount(
+        simd_dst.data(), b.data(), a.size());
+    EXPECT_EQ(scalar_and, simd_and);
+    EXPECT_EQ(scalar_dst, simd_dst);
+
+    EXPECT_EQ(ScalarBitsetPopcount(a.data(), a.size()),
+              distance::simd::Avx2BitsetPopcount(a.data(), a.size()));
+  }
+}
+
+TEST(PostingSetKernelTest, ScalarKernelsHandleOddLengths) {
+  // Tail handling: lengths that are not multiples of the 4-word vector.
+  for (size_t words : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 1023u}) {
+    std::vector<uint64_t> a(words, 0xAAAAAAAAAAAAAAAAull);
+    std::vector<uint64_t> b(words, 0x5555555555555555ull);
+    std::vector<uint64_t> dst = a;
+    EXPECT_EQ(ScalarBitsetOrPopcount(dst.data(), b.data(), words),
+              words * 64);
+    dst = a;
+    EXPECT_EQ(ScalarBitsetAndPopcount(dst.data(), b.data(), words), 0u);
+    EXPECT_EQ(ScalarBitsetPopcount(a.data(), words), words * 32);
+  }
+}
+
+}  // namespace
+}  // namespace adrdedup::blocking
